@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Energy-metric view of Scenario I (extension): the paper optimizes
+ * power at a fixed performance; here we also report energy, energy-delay
+ * product, and ED^2 per configuration on the simulated CMP. Because the
+ * memory clock domain gives memory-bound codes genuine speedups, the
+ * minimum-EDP and minimum-ED^2 configurations can differ from the
+ * minimum-power one.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "runner/experiment.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace tlp;
+    const double scale = std::min(0.5, tlppm_bench::workloadScale());
+    tlppm_bench::banner("Energy metrics across Scenario I configurations "
+                        "(scale " + util::Table::num(scale, 2) + ")");
+
+    const runner::Experiment exp(scale);
+    const std::vector<int> ns = {1, 2, 4, 8, 16};
+
+    for (const char* name : {"Ocean", "FMM", "Radix"}) {
+        const auto rows = exp.scenario1(workloads::byName(name), ns);
+        const double e1 = rows[0].measurement.total_w *
+            rows[0].measurement.seconds;
+        const double d1 = rows[0].measurement.seconds;
+
+        util::Table table(std::string(name) +
+                              ": normalized energy metrics",
+                          {"N", "power", "delay", "energy", "EDP",
+                           "ED^2"});
+        int best_edp_n = 1;
+        double best_edp = 1e300;
+        for (const auto& row : rows) {
+            const double delay = row.measurement.seconds / d1;
+            const double energy =
+                row.measurement.total_w * row.measurement.seconds / e1;
+            const double edp = energy * delay;
+            const double ed2 = edp * delay;
+            if (edp < best_edp) {
+                best_edp = edp;
+                best_edp_n = row.n;
+            }
+            table.addRow({util::Table::num(row.n),
+                          util::Table::num(row.normalized_power, 3),
+                          util::Table::num(delay, 3),
+                          util::Table::num(energy, 3),
+                          util::Table::num(edp, 3),
+                          util::Table::num(ed2, 3)});
+        }
+        table.print(std::cout);
+        std::cout << "  minimum-EDP configuration: N=" << best_edp_n
+                  << "\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablations over the analytical model's design choices (DESIGN.md):
+ *
+ *  1. thermal feedback on/off — how much of Scenario I's power saving
+ *     comes from the temperature drop feeding back into leakage;
+ *  2. voltage-floor sensitivity — where Figure 2's peak lands as the
+ *     noise-margin floor moves;
+ *  3. sink share — how the heat-sink fraction of the package resistance
+ *     shifts the Scenario II speedup curve;
+ *  4. discrete vs continuous DVFS — the cost of a shipping-part V/f
+ *     table relative to the continuous alpha-power law.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "tech/vf_table.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tlp;
+
+void
+thermalFeedbackAblation()
+{
+    util::Table table(
+        "Ablation 1: Scenario I normalized power with/without "
+        "temperature-leakage feedback (65nm, eps_n = 0.9)",
+        {"N", "feedback on", "feedback off (T fixed at 100C)",
+         "saving from feedback [%]"});
+    const tech::Technology tech = tech::tech65nm();
+    const model::AnalyticCmp with(tech, 32, /*thermal_feedback=*/true);
+    const model::AnalyticCmp without(tech, 32, /*thermal_feedback=*/false);
+    const model::Scenario1 s_with(with);
+    const model::Scenario1 s_without(without);
+    for (int n : {2, 4, 8, 16, 32}) {
+        const auto a = s_with.solve(n, 0.9);
+        const auto b = s_without.solve(n, 0.9);
+        table.addRow(
+            {util::Table::num(n),
+             util::Table::num(a.normalized_power, 3),
+             util::Table::num(b.normalized_power, 3),
+             util::Table::num(100.0 * (b.normalized_power -
+                                       a.normalized_power) /
+                                  b.normalized_power,
+                              1)});
+    }
+    table.print(std::cout);
+}
+
+void
+voltageFloorAblation()
+{
+    util::Table table(
+        "Ablation 2: Figure 2 peak vs noise-margin floor (65nm, "
+        "eps_n = 1)",
+        {"v_min / Vth", "peak speedup", "peak N", "speedup at N=32"});
+    for (double mult : {1.5, 2.0, 2.5, 3.0}) {
+        tech::Technology::Params p = tech::tech65nm().params();
+        p.v_min = mult * p.vth;
+        const tech::Technology tech{std::move(p)};
+        const model::AnalyticCmp cmp(tech, 32);
+        const model::Scenario2 scenario(cmp);
+        double peak = 0.0, at32 = 0.0;
+        int argmax = 1;
+        for (int n = 1; n <= 32; ++n) {
+            const auto r = scenario.solve(n, 1.0);
+            if (r.speedup > peak) {
+                peak = r.speedup;
+                argmax = n;
+            }
+            if (n == 32)
+                at32 = r.speedup;
+        }
+        table.addRow({util::Table::num(mult, 2),
+                      util::Table::num(peak, 2), util::Table::num(argmax),
+                      util::Table::num(at32, 2)});
+    }
+    table.print(std::cout);
+}
+
+void
+sinkShareAblation()
+{
+    util::Table table(
+        "Ablation 3: Figure 2 peak vs heat-sink share of the package "
+        "resistance (65nm, eps_n = 1)",
+        {"sink fraction", "peak speedup", "peak N", "speedup at N=32"});
+    for (double sink : {0.3, 0.45, 0.6, 0.75}) {
+        const model::AnalyticCmp cmp(tech::tech65nm(), 32, true, sink);
+        const model::Scenario2 scenario(cmp);
+        double peak = 0.0, at32 = 0.0;
+        int argmax = 1;
+        for (int n = 1; n <= 32; ++n) {
+            const auto r = scenario.solve(n, 1.0);
+            if (r.speedup > peak) {
+                peak = r.speedup;
+                argmax = n;
+            }
+            if (n == 32)
+                at32 = r.speedup;
+        }
+        table.addRow({util::Table::num(sink, 2),
+                      util::Table::num(peak, 2), util::Table::num(argmax),
+                      util::Table::num(at32, 2)});
+    }
+    table.print(std::cout);
+}
+
+void
+discreteDvfsAblation()
+{
+    // The analytical model scales V continuously along the alpha-power
+    // curve (Eq. 1); the experimental testbed extrapolates from a
+    // shipping part's discrete table (§3.1). Compare the Scenario I
+    // power that each voltage source yields at the same Eq. 7 frequency.
+    util::Table table(
+        "Ablation 4: continuous (Eq. 1) vs table-derived (Pentium-M-"
+        "like) supply voltage, Scenario I, 65nm, eps_n = 0.9",
+        {"N", "f [GHz]", "V continuous", "V table", "P/P1 continuous",
+         "P/P1 table"});
+    const tech::Technology tech = tech::tech65nm();
+    const tech::VfTable vf = tech::pentiumMLike(tech);
+    const model::AnalyticCmp cmp(tech, 32);
+    const model::Scenario1 scenario(cmp);
+    for (int n : {2, 4, 8, 16}) {
+        const auto cont = scenario.solve(n, 0.9);
+        if (!cont.feasible)
+            continue;
+        const double v_table =
+            std::clamp(vf.voltageFor(cont.freq), tech.vMin(),
+                       tech.vddNominal());
+        const auto table_pb =
+            cmp.evaluate({n, v_table, cont.freq});
+        table.addRow(
+            {util::Table::num(n), util::Table::num(cont.freq / 1e9, 2),
+             util::Table::num(cont.vdd, 3), util::Table::num(v_table, 3),
+             util::Table::num(cont.normalized_power, 3),
+             util::Table::num(table_pb.total_w / cmp.singleCorePower(),
+                              3)});
+    }
+    table.print(std::cout);
+    std::cout << "A shipping-part table is conservative (higher V at a "
+                 "given f), so the experimental testbed saves somewhat "
+                 "less power than the continuous model predicts.\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    tlppm_bench::banner("Analytical-model ablations");
+    thermalFeedbackAblation();
+    voltageFloorAblation();
+    sinkShareAblation();
+    discreteDvfsAblation();
+    return 0;
+}

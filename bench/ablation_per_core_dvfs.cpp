@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Extension: per-core DVFS vs the paper's chip-wide DVFS under load
+ * imbalance (§3.1 flags per-core scaling as out of scope; related work
+ * [21] motivates it). For several imbalance families, report the chip
+ * power of both policies at the same performance deadline.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "model/per_core_dvfs.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tlp;
+
+std::vector<double>
+uniformWork(int n)
+{
+    return std::vector<double>(n, 1.0 / n);
+}
+
+std::vector<double>
+linearSkew(int n, double ratio)
+{
+    // Work grows linearly from 1 to `ratio` across threads.
+    std::vector<double> w(n);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        w[i] = 1.0 + (ratio - 1.0) * i / std::max(1, n - 1);
+        sum += w[i];
+    }
+    for (double& x : w)
+        x /= sum;
+    return w;
+}
+
+std::vector<double>
+oneHeavy(int n, double share)
+{
+    std::vector<double> w(n, (1.0 - share) / (n - 1));
+    w[0] = share;
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tlp;
+    tlppm_bench::banner("Per-core DVFS under load imbalance (extension)");
+
+    const model::AnalyticCmp cmp(tech::tech65nm(), 32);
+    const model::PerCoreDvfs solver(cmp);
+
+    util::Table table("Chip power at the same deadline, 65nm",
+                      {"N", "imbalance", "global DVFS [W]",
+                       "per-core DVFS [W]", "saving [%]"});
+
+    struct Case
+    {
+        const char* name;
+        std::vector<double> work;
+    };
+    for (int n : {4, 8, 16}) {
+        const Case cases[] = {
+            {"balanced", uniformWork(n)},
+            {"linear 1:2", linearSkew(n, 2.0)},
+            {"linear 1:4", linearSkew(n, 4.0)},
+            {"one thread 40%", oneHeavy(n, 0.4)},
+        };
+        for (const Case& c : cases) {
+            const auto r = solver.solve(c.work);
+            if (!r.feasible)
+                continue;
+            // Strong imbalance can make the *global* policy thermally
+            // infeasible outright (every core racing at the heavy
+            // thread's frequency); report that instead of a wattage.
+            const bool g_run = r.global.runaway;
+            table.addRow({util::Table::num(n), c.name,
+                          g_run ? "runaway"
+                                : util::Table::num(r.global.total_w, 2),
+                          util::Table::num(r.per_core.total_w, 2),
+                          g_run ? "-"
+                                : util::Table::num(
+                                      100.0 * r.saving_fraction, 1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "Expected: zero saving when balanced; savings grow with "
+                 "skew because light threads idle down their own cores "
+                 "instead of pacing the whole chip.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ */
+
+#ifndef TLPPM_BENCH_UTIL_HPP
+#define TLPPM_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace tlppm_bench {
+
+/**
+ * Problem-size scale for the simulation benches: 1.0 reproduces the
+ * paper-scale workloads (minutes of host time for the full Figure 3/4
+ * sweeps); set the TLPPM_SCALE environment variable to a value in (0, 1]
+ * for quicker runs.
+ */
+inline double
+workloadScale()
+{
+    if (const char* env = std::getenv("TLPPM_SCALE")) {
+        const double value = std::atof(env);
+        if (value > 0.0 && value <= 1.0)
+            return value;
+        std::cerr << "ignoring invalid TLPPM_SCALE='" << env << "'\n";
+    }
+    return 1.0;
+}
+
+/** Header banner naming the figure/table being regenerated. */
+inline void
+banner(const std::string& what)
+{
+    std::cout << "##\n## Reproducing " << what
+              << "\n## (Li & Martinez, ISPASS 2005)\n##\n\n";
+}
+
+} // namespace tlppm_bench
+
+#endif // TLPPM_BENCH_UTIL_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's computational
+ * kernels: the event queue, cache arrays, full MESI transactions, the
+ * thermal solver, the leakage fit, the alpha-power inversion, the
+ * analytic scenario solvers, and workload generation. These guard the
+ * simulator's host-side performance (the Figure 3/4 sweeps execute
+ * hundreds of whole-chip simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "sim/cache.hpp"
+#include "sim/cmp.hpp"
+#include "sim/event_queue.hpp"
+#include "tech/technology.hpp"
+#include "thermal/rc_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < n; ++i)
+            queue.schedule(static_cast<sim::Cycle>(i % 97), [&sum] {
+                ++sum;
+            });
+        queue.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_CacheArrayInsertLookup(benchmark::State& state)
+{
+    sim::CacheArray cache(64 * 1024, 64, 2);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        cache.insert(addr, sim::Mesi::Exclusive);
+        benchmark::DoNotOptimize(cache.state(addr ^ 0x40));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayInsertLookup);
+
+void
+BM_WholeChipSimulation(benchmark::State& state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    const sim::Program prog = workloads::makeWaterSp(threads, 0.25);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        const auto result = cmp.run(prog, 3.2e9);
+        insts += result.instructions;
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel("items = simulated instructions");
+}
+BENCHMARK(BM_WholeChipSimulation)->Arg(1)->Arg(16);
+
+void
+BM_ThermalSteadyState(benchmark::State& state)
+{
+    const int cores = static_cast<int>(state.range(0));
+    thermal::RCModel model(
+        thermal::makeTiledCmp(cores, 1e-5, 4e-5, true),
+        thermal::RCParams{});
+    std::vector<double> power(model.floorplan().size(), 0.1);
+    for (auto _ : state) {
+        const auto sol = model.solve(power);
+        benchmark::DoNotOptimize(sol.avg_core_temp_c);
+    }
+}
+BENCHMARK(BM_ThermalSteadyState)->Arg(4)->Arg(16);
+
+void
+BM_LeakageFit(benchmark::State& state)
+{
+    const tech::Technology tech = tech::tech65nm();
+    for (auto _ : state) {
+        const auto report = tech::fitLeakageScale(
+            tech.leakageReference(), tech.vMin(), tech.vddNominal(), 40.0,
+            110.0, 25);
+        benchmark::DoNotOptimize(report.max_rel_error);
+    }
+}
+BENCHMARK(BM_LeakageFit);
+
+void
+BM_AlphaPowerInverse(benchmark::State& state)
+{
+    const tech::Technology tech = tech::tech65nm();
+    double f = 0.4e9;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tech.frequencyLaw().voltageFor(f));
+        f = f < 3.0e9 ? f + 1e8 : 0.4e9;
+    }
+}
+BENCHMARK(BM_AlphaPowerInverse);
+
+void
+BM_Scenario1Solve(benchmark::State& state)
+{
+    const model::AnalyticCmp cmp(tech::tech65nm(), 32);
+    const model::Scenario1 scenario(cmp);
+    int n = 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scenario.solve(n, 0.9).normalized_power);
+        n = n < 32 ? n * 2 : 2;
+    }
+}
+BENCHMARK(BM_Scenario1Solve);
+
+void
+BM_Scenario2Solve(benchmark::State& state)
+{
+    const model::AnalyticCmp cmp(tech::tech65nm(), 32);
+    const model::Scenario2 scenario(cmp);
+    int n = 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scenario.solve(n, 1.0).speedup);
+        n = n < 16 ? n * 2 : 2;
+    }
+}
+BENCHMARK(BM_Scenario2Solve);
+
+void
+BM_WorkloadGeneration(benchmark::State& state)
+{
+    for (auto _ : state) {
+        const sim::Program prog = workloads::makeLu(16, 0.5);
+        benchmark::DoNotOptimize(prog.instructionCount());
+    }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

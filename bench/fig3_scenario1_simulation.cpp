@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Figure 3: the five-panel Scenario I evaluation of the
+ * simulated 16-way CMP over the twelve SPLASH-2-like applications at
+ * N in {1, 2, 4, 8, 16} — nominal parallel efficiency, actual speedup,
+ * normalized power, normalized power density, and average die
+ * temperature (§4.1 of the paper).
+ *
+ * Full problem sizes take a few minutes of host time; set TLPPM_SCALE to
+ * e.g. 0.3 for a quick pass.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "runner/experiment.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace tlp;
+    const double scale = tlppm_bench::workloadScale();
+    tlppm_bench::banner("Figure 3 -- Scenario I on the simulated CMP "
+                        "(scale " + util::Table::num(scale, 2) + ")");
+
+    const runner::Experiment exp(scale);
+    const std::vector<int> ns = {1, 2, 4, 8, 16};
+
+    std::vector<std::string> header = {"Application"};
+    for (int n : ns)
+        header.push_back("N=" + std::to_string(n));
+
+    util::Table eff("Panel 1: nominal parallel efficiency [%]", header);
+    util::Table spd("Panel 2: actual speedup (performance pinned to "
+                    "sequential nominal)",
+                    header);
+    util::Table pwr("Panel 3: normalized power P_N/P_1", header);
+    util::Table dens("Panel 4: normalized power density", header);
+    util::Table temp("Panel 5: average temperature [C]", header);
+
+    for (const auto& info : workloads::suite()) {
+        const auto rows = exp.scenario1(info, ns);
+        std::vector<std::string> r_eff = {info.name};
+        std::vector<std::string> r_spd = {info.name};
+        std::vector<std::string> r_pwr = {info.name};
+        std::vector<std::string> r_dens = {info.name};
+        std::vector<std::string> r_temp = {info.name};
+        for (const auto& row : rows) {
+            // A '*' marks a thermally unsustainable (runaway) operating
+            // point; only tiny TLPPM_SCALE values (distorted efficiency
+            // curves) produce these.
+            const std::string mark =
+                row.measurement.runaway ? "*" : "";
+            r_eff.push_back(util::Table::num(100.0 * row.eps_n, 1));
+            r_spd.push_back(util::Table::num(row.actual_speedup, 2) +
+                            mark);
+            r_pwr.push_back(util::Table::num(row.normalized_power, 3) +
+                            mark);
+            r_dens.push_back(util::Table::num(row.normalized_density, 3) +
+                             mark);
+            r_temp.push_back(util::Table::num(row.avg_temp_c, 1) + mark);
+        }
+        eff.addRow(std::move(r_eff));
+        spd.addRow(std::move(r_spd));
+        pwr.addRow(std::move(r_pwr));
+        dens.addRow(std::move(r_dens));
+        temp.addRow(std::move(r_temp));
+        std::cerr << "  [fig3] " << info.name << " done\n";
+    }
+
+    eff.print(std::cout);
+    spd.print(std::cout);
+    pwr.print(std::cout);
+    dens.print(std::cout);
+    temp.print(std::cout);
+
+    std::cout << "Expected shape (paper): efficiency generally falls "
+                 "with N; actual speedups exceed 1 for memory-bound "
+                 "codes (Ocean, and to a lesser extent Cholesky/"
+                 "Radiosity) because chip DVFS narrows the processor-"
+                 "memory gap; normalized power falls with N given enough "
+                 "efficiency, then stagnates/recedes; power density "
+                 "drops ~95% at N=16; temperatures fall toward the 45 C "
+                 "ambient, fastest for the hottest applications (FMM, "
+                 "LU).\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Table 1: the simulated CMP configuration, cross-checked
+ * against the CactiLite area/latency estimates (the paper sizes its die
+ * with CACTI: 244.5 mm^2 at 65 nm for 16 cores plus the 4 MB L2).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "power/chip_power.hpp"
+#include "sim/config.hpp"
+#include "tech/technology.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int
+main()
+{
+    using namespace tlp;
+    tlppm_bench::banner("Table 1 -- CMP configuration");
+
+    const sim::CmpConfig config;
+    const tech::Technology tech = tech::tech65nm();
+    power::CmpGeometry geometry;
+    geometry.n_cores = config.n_cores;
+    geometry.l1i = {config.l1_size_bytes, config.l1_line_bytes,
+                    config.l1_assoc, 1};
+    geometry.l1d = {config.l1_size_bytes, config.l1_line_bytes,
+                    config.l1_assoc, 2};
+    geometry.l2 = {config.l2_size_bytes, config.l2_line_bytes,
+                   config.l2_assoc, 1};
+    const power::ChipPowerModel power(tech, geometry);
+
+    util::Table table("Table 1: the modeled CMP", {"Parameter", "Value"});
+    table.addRow({"CMP size", std::to_string(config.n_cores) + "-way"});
+    table.addRow({"Processor core", "Alpha 21264-like (4-wide)"});
+    table.addRow({"Process technology", tech.name()});
+    table.addRow({"Nominal frequency",
+                  util::Table::num(tech.fNominal() / 1e9, 1) + " GHz"});
+    table.addRow({"Nominal Vdd",
+                  util::Table::num(tech.vddNominal(), 2) + " V"});
+    table.addRow({"Vth", util::Table::num(tech.vth(), 2) + " V"});
+    table.addRow({"Ambient temperature", "45 C"});
+    table.addRow({"Die size (CactiLite estimate)",
+                  util::Table::num(power.chipArea() / util::mm2(1.0), 1) +
+                      " mm^2 (paper: 244.5 mm^2)"});
+    table.addRow({"L1 I-, D-cache",
+                  "64KB, 64B line, 2-way, " +
+                      std::to_string(config.l1_hit_cycles) + "-cycle RT"});
+    table.addRow({"Unified L2",
+                  "shared on chip, 4MB, 128B line, 8-way, " +
+                      std::to_string(config.l2_rt_cycles) + "-cycle RT"});
+    table.addRow({"Memory",
+                  util::Table::num(config.memory_rt_ns, 0) + " ns RT (" +
+                      std::to_string(config.memoryCycles(
+                          tech.fNominal())) +
+                      " cycles at nominal f)"});
+    table.print(std::cout);
+
+    const auto l1 = power.cacti().estimate(geometry.l1d);
+    const auto l2 = power.cacti().estimate(geometry.l2);
+    util::Table arrays("CactiLite array estimates",
+                       {"Array", "read energy [nJ]", "area [mm^2]",
+                        "access time [ns]"});
+    arrays.addRow({"L1 (64KB/64B/2w)",
+                   util::Table::num(l1.read_energy_j * 1e9, 3),
+                   util::Table::num(l1.area_m2 / util::mm2(1.0), 2),
+                   util::Table::num(l1.access_time_s * 1e9, 2)});
+    arrays.addRow({"L2 (4MB/128B/8w)",
+                   util::Table::num(l2.read_energy_j * 1e9, 3),
+                   util::Table::num(l2.area_m2 / util::mm2(1.0), 2),
+                   util::Table::num(l2.access_time_s * 1e9, 2)});
+    arrays.print(std::cout);
+    return 0;
+}

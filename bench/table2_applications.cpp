@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Table 2: the SPLASH-2 applications and problem sizes, with
+ * the scaled sizes this reproduction simulates and each generator's
+ * measured instruction mix.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/cmp.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+int
+main()
+{
+    using namespace tlp;
+    tlppm_bench::banner("Table 2 -- SPLASH-2 applications");
+
+    const double scale = tlppm_bench::workloadScale();
+    util::Table table(
+        "Table 2: applications (scale = " + util::Table::num(scale, 2) +
+            ")",
+        {"Application", "Paper problem size", "Simulated size", "Regime",
+         "Insts", "FP%", "Mem%"});
+
+    for (const auto& info : workloads::suite()) {
+        const sim::Program prog = info.make(1, scale);
+        const auto& ops = prog.threads[0].ops();
+        std::uint64_t fp = 0, mem = 0, total = 0;
+        for (const auto& op : ops) {
+            switch (op.type) {
+              case sim::OpType::IntOps:
+                total += op.count;
+                break;
+              case sim::OpType::FpOps:
+                total += op.count;
+                fp += op.count;
+                break;
+              case sim::OpType::Load:
+              case sim::OpType::Store:
+                ++total;
+                ++mem;
+                break;
+              default:
+                break;
+            }
+        }
+        table.addRow({info.name, info.paper_size, info.scaled_size,
+                      info.regime, util::Table::num(total),
+                      util::Table::num(100.0 * fp / total, 1),
+                      util::Table::num(100.0 * mem / total, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

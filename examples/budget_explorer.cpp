@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Budget explorer: run a SPLASH-2-like application on the simulated
+ * 16-way CMP and sweep the power budget, reporting the best achievable
+ * speedup and its core count at each budget level — the "how much
+ * performance does each watt buy" view of Scenario II.
+ *
+ * Usage: ./examples/budget_explorer [app] [scale]
+ *   app   one of the Table 2 names (default Cholesky)
+ *   scale problem-size scale in (0, 1] (default 0.25 for a quick run)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "runner/experiment.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tlp;
+
+    const std::string app_name = argc > 1 ? argv[1] : "Cholesky";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    if (scale <= 0.0 || scale > 1.0) {
+        std::fprintf(stderr, "scale must be in (0, 1]\n");
+        return 1;
+    }
+
+    const auto& app = workloads::byName(app_name);
+    std::printf("Calibrating the testbed (microbenchmark + thermal "
+                "anchor)...\n");
+    const runner::Experiment exp(scale);
+    const double reference = exp.maxSingleCorePower();
+    std::printf("Single-core maximum power: %.1f W\n\n", reference);
+
+    util::Table table(app_name + ": best configuration per power budget",
+                      {"budget [W]", "best N", "speedup", "f [GHz]",
+                       "V [V]", "power [W]"});
+
+    const std::vector<int> ns = {1, 2, 4, 8, 16};
+    for (double fraction : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+        const double budget = fraction * reference;
+        const auto rows = exp.scenario2(app, ns, {}, budget);
+        const runner::Scenario2Row* best = &rows.front();
+        for (const auto& row : rows) {
+            if (row.actual_speedup > best->actual_speedup)
+                best = &row;
+        }
+        table.addRow({util::Table::num(budget, 1),
+                      util::Table::num(best->n),
+                      util::Table::num(best->actual_speedup, 2),
+                      util::Table::num(best->freq_hz / 1e9, 2),
+                      util::Table::num(best->vdd, 2),
+                      util::Table::num(best->power_w, 1)});
+    }
+
+    std::ostringstream os;
+    table.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Core-count advisor: given an Amdahl serial fraction (argv[1], default
+ * 0.05), compare the optimal core count and operating point across
+ * process technologies for both of the paper's objectives.
+ *
+ * Usage: ./examples/core_count_advisor [serial_fraction]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "model/efficiency.hpp"
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "tech/technology.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tlp;
+
+    double serial = 0.05;
+    if (argc > 1) {
+        serial = std::atof(argv[1]);
+        if (serial < 0.0 || serial > 1.0) {
+            std::fprintf(stderr, "serial fraction must be in [0, 1]\n");
+            return 1;
+        }
+    }
+    const model::AmdahlEfficiency app(serial);
+    std::printf("Amdahl serial fraction: %.3f\n\n", serial);
+
+    util::Table table(
+        "Best configurations per node",
+        {"Node", "Objective", "best N", "V [V]", "f [GHz]", "result"});
+
+    for (const auto& tech : {tech::tech130nm(), tech::tech65nm()}) {
+        const model::AnalyticCmp chip(tech, 32);
+
+        // Objective 1: minimum power at single-core performance.
+        const model::Scenario1 s1(chip);
+        double best_power = 1e18;
+        model::Scenario1Result best1;
+        for (int n = 1; n <= 32; ++n) {
+            const auto r = s1.solve(n, app);
+            if (r.feasible && !r.power.runaway &&
+                r.power.total_w < best_power) {
+                best_power = r.power.total_w;
+                best1 = r;
+            }
+        }
+        table.addRow({tech.name(), "min power @ 1-core perf",
+                      util::Table::num(best1.n),
+                      util::Table::num(best1.vdd, 2),
+                      util::Table::num(best1.freq / 1e9, 2),
+                      util::Table::num(100.0 * best1.normalized_power, 0) +
+                          "% of P1"});
+
+        // Objective 2: maximum speedup within the single-core budget.
+        const model::Scenario2 s2(chip);
+        model::Scenario2Result best2;
+        for (int n = 1; n <= 32; ++n) {
+            const auto r = s2.solve(n, app);
+            if (r.speedup > best2.speedup)
+                best2 = r;
+        }
+        table.addRow({tech.name(), "max speedup @ budget",
+                      util::Table::num(best2.n),
+                      util::Table::num(best2.vdd, 2),
+                      util::Table::num(best2.freq / 1e9, 2),
+                      util::Table::num(best2.speedup, 2) + "x"});
+    }
+    std::ostringstream os;
+    table.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    std::printf("Note how neither objective is optimized by simply using "
+                "all available cores (the paper's central observation).\n");
+    return 0;
+}

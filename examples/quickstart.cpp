@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the library in ~40 lines.
+ *
+ * Question: my parallel application has a known efficiency curve — if I
+ * spread it over N cores of a 65 nm CMP and scale voltage/frequency so
+ * that performance stays at the single-core level, how much power do I
+ * save? And what is the best N under a fixed power budget?
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "model/efficiency.hpp"
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "tech/technology.hpp"
+
+int
+main()
+{
+    using namespace tlp;
+
+    // A 32-core chip in the 65 nm node, calibrated so one core at full
+    // throttle runs at 100 C.
+    const model::AnalyticCmp chip(tech::tech65nm(), 32);
+
+    // An application that loses 3% efficiency per extra core.
+    const model::OverheadEfficiency app(0.03);
+
+    // Scenario I: same performance as one full-throttle core, minimum
+    // power.
+    std::printf("Scenario I - power at single-core performance:\n");
+    const model::Scenario1 s1(chip);
+    for (int n : {2, 4, 8, 16, 32}) {
+        const auto r = s1.solve(n, app);
+        if (r.power.runaway) {
+            std::printf("  N=%2d: eps=%.2f -> thermally unsustainable "
+                        "(too many cores for this efficiency)\n",
+                        n, r.eps_n);
+            continue;
+        }
+        std::printf("  N=%2d: eps=%.2f -> f=%.2f GHz, V=%.2f V, "
+                    "power = %.0f%% of single core, die %.0f C\n",
+                    n, r.eps_n, r.freq / 1e9, r.vdd,
+                    100.0 * r.normalized_power,
+                    r.power.avg_active_temp_c);
+    }
+
+    // Scenario II: best speedup within the single-core power budget.
+    std::printf("\nScenario II - speedup under the single-core power "
+                "budget (%.0f W):\n",
+                chip.singleCorePower());
+    const model::Scenario2 s2(chip);
+    double best = 0.0;
+    int best_n = 1;
+    for (int n = 1; n <= 32; ++n) {
+        const auto r = s2.solve(n, app);
+        if (r.speedup > best) {
+            best = r.speedup;
+            best_n = n;
+        }
+    }
+    const auto r = s2.solve(best_n, app);
+    std::printf("  best: N=%d at f=%.2f GHz, V=%.2f V -> %.2fx speedup "
+                "(%.1f W)\n",
+                best_n, r.freq / 1e9, r.vdd, r.speedup, r.power.total_w);
+    std::printf("  (using all 32 cores would yield only %.2fx)\n",
+                s2.solve(32, app).speedup);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Thermal map: run an application on the simulated CMP and render the
+ * converged per-core temperatures of the die as an ASCII heat map, for
+ * the nominal operating point and for the Scenario I (performance-
+ * pinned, voltage/frequency-scaled) operating point.
+ *
+ * Usage: ./examples/thermal_map [app] [n_cores] [scale]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/experiment.hpp"
+
+namespace {
+
+using namespace tlp;
+
+void
+renderMap(const runner::Experiment& exp, const sim::Program& prog,
+          int n_threads, double vdd, double freq, const char* caption)
+{
+    const auto m = exp.measure(prog, vdd, freq);
+    std::printf("%s\n  V = %.2f V, f = %.2f GHz -> %.1f W total "
+                "(%.1f dynamic), avg active-core temp %.1f C%s\n",
+                caption, vdd, freq / 1e9, m.total_w, m.dynamic_w,
+                m.avg_core_temp_c, m.runaway ? "  ** RUNAWAY **" : "");
+
+    // One cell per core, 4x4 grid; shade by temperature.
+    const auto coupled_temp = m.avg_core_temp_c;
+    (void)coupled_temp;
+    const char* shades = " .:-=+*#%@";
+    const auto& plan = exp.powerModel().floorplan();
+    std::printf("  core grid (ambient %.0f C):\n",
+                exp.thermalModel().params().ambient_c);
+    // Re-derive per-core averages from a fresh coupled solve via
+    // measure(); approximate with avg temp for active, ambient for idle.
+    for (int row = 3; row >= 0; --row) {
+        std::printf("    ");
+        for (int col = 0; col < 4; ++col) {
+            const int core = row * 4 + col;
+            const bool active = core < n_threads;
+            const double t = active ? m.avg_core_temp_c
+                                    : exp.thermalModel().params().ambient_c;
+            const int idx = std::clamp(
+                static_cast<int>((t - 45.0) / 60.0 * 9.0), 0, 9);
+            std::printf("[%c%c]", shades[idx], active ? '*' : ' ');
+        }
+        std::printf("\n");
+    }
+    (void)plan;
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "FMM";
+    const int n = argc > 2 ? std::atoi(argv[2]) : 8;
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+    if (n < 1 || n > 16 || scale <= 0.0 || scale > 1.0) {
+        std::fprintf(stderr,
+                     "usage: thermal_map [app] [n in 1..16] [scale]\n");
+        return 1;
+    }
+
+    const auto& app = workloads::byName(app_name);
+    const runner::Experiment exp(scale);
+    const auto& tech = exp.technology();
+
+    const sim::Program prog = app.make(n, scale);
+    renderMap(exp, prog, n, tech.vddNominal(), tech.fNominal(),
+              "Nominal V/f:");
+
+    // Scenario I operating point for this N.
+    std::vector<int> ns = {1};
+    if (n > 1)
+        ns.push_back(n);
+    const auto rows = exp.scenario1(app, ns);
+    const auto& row = rows.back();
+    renderMap(exp, prog, n, row.vdd, row.freq_hz,
+              "Scenario I (performance-pinned, scaled V/f):");
+    return 0;
+}

@@ -1,0 +1,165 @@
+#include "model/analytic_cmp.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::model {
+
+namespace {
+
+thermal::RCModel
+makeCalibratedThermal(const tech::Technology& tech, int total_cores,
+                      double sink_fraction)
+{
+    // Single-tile-per-core die; the analytical study assumes a constant
+    // activity factor and explicitly excludes low-activity blocks such as
+    // the L2 from its power density reasoning, so no L2 block here.
+    thermal::Floorplan plan = thermal::makeTiledCmp(
+        total_cores, tech.coreAreaM2(), /*l2_area_m2=*/0.0,
+        /*per_core_blocks=*/false);
+
+    thermal::RCModel model(std::move(plan), thermal::RCParams{});
+
+    // Anchor: one core at full throttle dissipating P1 sits at T1 = 100 C,
+    // with the shared heat sink carrying most of the rise so that die
+    // temperature tracks total chip power (HotSpot-like package).
+    std::vector<double> power(model.floorplan().size(), 0.0);
+    const std::size_t core0 = model.floorplan().indexOf("core0");
+    power[core0] = tech.corePowerHot();
+    thermal::calibratePackage(
+        model, power,
+        [core0](const thermal::ThermalSolution& sol) {
+            return sol.block_temps_c[core0];
+        },
+        tech.tHotC(), sink_fraction);
+    return model;
+}
+
+} // namespace
+
+AnalyticCmp::AnalyticCmp(tech::Technology tech, int total_cores,
+                         bool thermal_feedback, double sink_fraction)
+    : tech_(std::move(tech)), total_cores_(total_cores),
+      thermal_feedback_(thermal_feedback),
+      thermal_(makeCalibratedThermal(tech_, total_cores, sink_fraction))
+{
+    if (total_cores < 1)
+        util::fatal("AnalyticCmp: need at least one core");
+}
+
+double
+AnalyticCmp::singleCorePower() const
+{
+    return tech_.corePowerHot();
+}
+
+std::vector<double>
+AnalyticCmp::activePowerMap(const OperatingPoint& op,
+                            const std::vector<double>& temps) const
+{
+    const auto& blocks = thermal_.floorplan().blocks();
+    std::vector<double> power(blocks.size(), 0.0);
+    const double dyn_core = tech_.dynamicPower(op.vdd, op.freq);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const int core = blocks[i].core_id;
+        if (core < 0 || core >= op.n_active)
+            continue; // unused cores are shut off
+        const double t = thermal_feedback_ ? temps[i] : tech_.tHotC();
+        power[i] = dyn_core + tech_.staticPower(op.vdd, t);
+    }
+    return power;
+}
+
+double
+AnalyticCmp::averageActiveTemp(const thermal::ThermalSolution& sol,
+                               int n_active) const
+{
+    const auto& blocks = thermal_.floorplan().blocks();
+    double area = 0.0;
+    double temp_area = 0.0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const int core = blocks[i].core_id;
+        if (core < 0 || core >= n_active)
+            continue;
+        area += blocks[i].area();
+        temp_area += sol.block_temps_c[i] * blocks[i].area();
+    }
+    return area > 0.0 ? temp_area / area : thermal_.params().ambient_c;
+}
+
+PowerBreakdown
+AnalyticCmp::evaluatePerCore(const std::vector<double>& vdd,
+                             const std::vector<double>& freq) const
+{
+    const int n_active = static_cast<int>(vdd.size());
+    if (n_active < 1 || n_active > total_cores_)
+        util::fatal("AnalyticCmp::evaluatePerCore: bad active count");
+    if (freq.size() != vdd.size())
+        util::fatal("AnalyticCmp::evaluatePerCore: vector size mismatch");
+    for (int i = 0; i < n_active; ++i) {
+        if (vdd[i] <= 0.0 || freq[i] < 0.0)
+            util::fatal("AnalyticCmp::evaluatePerCore: bad point");
+    }
+
+    const auto& blocks = thermal_.floorplan().blocks();
+    const auto result = thermal::solveCoupled(
+        thermal_, [&](const std::vector<double>& temps) {
+            std::vector<double> power(blocks.size(), 0.0);
+            for (std::size_t i = 0; i < blocks.size(); ++i) {
+                const int core = blocks[i].core_id;
+                if (core < 0 || core >= n_active)
+                    continue;
+                const double t =
+                    thermal_feedback_ ? temps[i] : tech_.tHotC();
+                power[i] = tech_.dynamicPower(vdd[core], freq[core]) +
+                    tech_.staticPower(vdd[core], t);
+            }
+            return power;
+        });
+
+    PowerBreakdown out;
+    out.dynamic_w = 0.0;
+    for (int i = 0; i < n_active; ++i)
+        out.dynamic_w += tech_.dynamicPower(vdd[i], freq[i]);
+    out.total_w = result.total_power;
+    out.static_w = out.total_w - out.dynamic_w;
+    out.avg_active_temp_c = averageActiveTemp(result.thermal, n_active);
+    out.max_temp_c = result.thermal.max_temp_c;
+    out.iterations = result.iterations;
+    out.converged = result.converged;
+    out.runaway = result.runaway;
+    return out;
+}
+
+PowerBreakdown
+AnalyticCmp::evaluate(const OperatingPoint& op) const
+{
+    if (op.n_active < 1 || op.n_active > total_cores_) {
+        util::fatal(util::strcatMsg("AnalyticCmp::evaluate: n_active ",
+                                    op.n_active, " outside [1, ",
+                                    total_cores_, "]"));
+    }
+    if (op.vdd <= 0.0 || op.freq < 0.0)
+        util::fatal("AnalyticCmp::evaluate: invalid operating point");
+
+    const auto result = thermal::solveCoupled(
+        thermal_,
+        [&](const std::vector<double>& temps) {
+            return activePowerMap(op, temps);
+        });
+
+    PowerBreakdown out;
+    out.dynamic_w = tech_.dynamicPower(op.vdd, op.freq) * op.n_active;
+    out.total_w = result.total_power;
+    out.static_w = out.total_w - out.dynamic_w;
+    out.avg_active_temp_c =
+        averageActiveTemp(result.thermal, op.n_active);
+    out.max_temp_c = result.thermal.max_temp_c;
+    out.iterations = result.iterations;
+    out.converged = result.converged;
+    out.runaway = result.runaway;
+    return out;
+}
+
+} // namespace tlp::model

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The analytical CMP chip model (§2 of the paper).
+ *
+ * Binds a process technology (alpha-power law + leakage fit + nominal power
+ * split) to a tiled-die thermal model and anchors the calibration the paper
+ * uses: a single core running at full throttle (V1, f1) reaches exactly
+ * T1 = 100 C. Given any operating point (N active cores, supply voltage,
+ * frequency), evaluate() runs the power <-> temperature fixed point and
+ * returns total dynamic/static power plus the converged die temperature.
+ *
+ * As in the paper's analytical study, unused cores are shut off (zero
+ * power) and the chip has a constant activity factor, i.e. per-core dynamic
+ * power is P_D1 * (V/V1)^2 * (f/f1).
+ */
+
+#ifndef TLP_MODEL_ANALYTIC_CMP_HPP
+#define TLP_MODEL_ANALYTIC_CMP_HPP
+
+#include <vector>
+
+#include "tech/technology.hpp"
+#include "thermal/rc_model.hpp"
+
+namespace tlp::model {
+
+/** A chip-wide operating point. */
+struct OperatingPoint
+{
+    int n_active = 1;  ///< cores running the application
+    double vdd = 0.0;  ///< chip supply voltage [V]
+    double freq = 0.0; ///< chip clock frequency [Hz]
+};
+
+/** Converged power/thermal state at an operating point. */
+struct PowerBreakdown
+{
+    double dynamic_w = 0.0;       ///< total dynamic power [W]
+    double static_w = 0.0;        ///< total static power [W]
+    double total_w = 0.0;         ///< dynamic + static [W]
+    double avg_active_temp_c = 0.0; ///< area-weighted over active cores
+    double max_temp_c = 0.0;      ///< hottest block
+    int iterations = 0;           ///< fixed-point iterations used
+    bool converged = false;
+    bool runaway = false;         ///< leakage-thermal runaway detected
+};
+
+/** Calibrated analytical chip model. */
+class AnalyticCmp
+{
+  public:
+    /**
+     * @param tech        process technology
+     * @param total_cores cores on the die (the paper's analytical baseline
+     *                    is a 32-way CMP)
+     * @param thermal_feedback when false, leakage is evaluated at the hot
+     *                    anchor temperature instead of the converged one
+     *                    (ablation knob; the paper's model keeps it on)
+     */
+    AnalyticCmp(tech::Technology tech, int total_cores,
+                bool thermal_feedback = true, double sink_fraction = 0.6);
+
+    /** Evaluate total power and temperature at @p op via the coupled
+     *  power/temperature fixed point. */
+    PowerBreakdown evaluate(const OperatingPoint& op) const;
+
+    /**
+     * Heterogeneous evaluation: core i runs at (vdd[i], freq[i]); both
+     * vectors share one size = the active core count (remaining cores
+     * are shut off). Used by the per-core DVFS extension; assumes
+     * per-core voltage islands.
+     */
+    PowerBreakdown evaluatePerCore(const std::vector<double>& vdd,
+                                   const std::vector<double>& freq) const;
+
+    /** Single-core full-throttle total power, the paper's P1 [W]; by
+     *  calibration this runs at tHotC() (100 C). */
+    double singleCorePower() const;
+
+    const tech::Technology& technology() const { return tech_; }
+    int totalCores() const { return total_cores_; }
+    bool thermalFeedback() const { return thermal_feedback_; }
+
+    /** The calibrated thermal solver (exposed for inspection/tests). */
+    const thermal::RCModel& thermalModel() const { return thermal_; }
+
+  private:
+    std::vector<double> activePowerMap(const OperatingPoint& op,
+                                       const std::vector<double>& temps)
+        const;
+    double averageActiveTemp(const thermal::ThermalSolution& sol,
+                             int n_active) const;
+
+    tech::Technology tech_;
+    int total_cores_;
+    bool thermal_feedback_;
+    thermal::RCModel thermal_;
+};
+
+} // namespace tlp::model
+
+#endif // TLP_MODEL_ANALYTIC_CMP_HPP

@@ -1,0 +1,94 @@
+#include "model/efficiency.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::model {
+
+ConstantEfficiency::ConstantEfficiency(double value) : value_(value)
+{
+    if (value <= 0.0)
+        util::fatal("ConstantEfficiency: value must be positive");
+}
+
+double
+ConstantEfficiency::at(int n) const
+{
+    if (n < 1)
+        util::fatal("EfficiencyCurve: N must be >= 1");
+    return n == 1 ? 1.0 : value_;
+}
+
+AmdahlEfficiency::AmdahlEfficiency(double serial_fraction)
+    : serial_fraction_(serial_fraction)
+{
+    if (serial_fraction < 0.0 || serial_fraction > 1.0)
+        util::fatal("AmdahlEfficiency: serial fraction must be in [0, 1]");
+}
+
+double
+AmdahlEfficiency::at(int n) const
+{
+    if (n < 1)
+        util::fatal("EfficiencyCurve: N must be >= 1");
+    const double s = serial_fraction_;
+    return 1.0 / (n * s + (1.0 - s));
+}
+
+OverheadEfficiency::OverheadEfficiency(double sigma) : sigma_(sigma)
+{
+    if (sigma < 0.0)
+        util::fatal("OverheadEfficiency: sigma must be non-negative");
+}
+
+double
+OverheadEfficiency::at(int n) const
+{
+    if (n < 1)
+        util::fatal("EfficiencyCurve: N must be >= 1");
+    return 1.0 / (1.0 + sigma_ * (n - 1));
+}
+
+TabulatedEfficiency::TabulatedEfficiency(std::map<int, double> samples)
+    : samples_(std::move(samples))
+{
+    if (samples_.empty() || samples_.begin()->first != 1)
+        util::fatal("TabulatedEfficiency: samples must start at N = 1");
+    for (const auto& [n, eps] : samples_) {
+        if (eps <= 0.0) {
+            util::fatal(util::strcatMsg(
+                "TabulatedEfficiency: eps_n(", n, ") = ", eps,
+                " must be positive"));
+        }
+    }
+}
+
+double
+TabulatedEfficiency::at(int n) const
+{
+    if (n < 1)
+        util::fatal("EfficiencyCurve: N must be >= 1");
+    const auto it = samples_.find(n);
+    if (it != samples_.end())
+        return it->second;
+
+    const auto upper = samples_.upper_bound(n);
+    if (upper == samples_.begin())
+        return samples_.begin()->second;
+    if (upper == samples_.end())
+        return samples_.rbegin()->second;
+    const auto lower = std::prev(upper);
+
+    // Geometric interpolation in N keeps interpolated efficiencies
+    // positive and respects the roughly log-linear decay of measured
+    // curves.
+    const double ln = std::log(static_cast<double>(n));
+    const double l0 = std::log(static_cast<double>(lower->first));
+    const double l1 = std::log(static_cast<double>(upper->first));
+    const double t = (ln - l0) / (l1 - l0);
+    return lower->second *
+        std::pow(upper->second / lower->second, t);
+}
+
+} // namespace tlp::model

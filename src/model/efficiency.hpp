@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parallel-efficiency abstractions (Eq. 6 of the paper).
+ *
+ * The nominal parallel efficiency eps_n(N) = T1 / (N * T_N) at unscaled
+ * frequency characterizes an application's parallel behaviour on the CMP
+ * independent of power considerations. The analytical scenarios consume an
+ * EfficiencyCurve; the experimental pipeline builds a TabulatedEfficiency
+ * from profiled execution times.
+ */
+
+#ifndef TLP_MODEL_EFFICIENCY_HPP
+#define TLP_MODEL_EFFICIENCY_HPP
+
+#include <map>
+#include <memory>
+
+namespace tlp::model {
+
+/** Interface: nominal parallel efficiency as a function of core count. */
+class EfficiencyCurve
+{
+  public:
+    virtual ~EfficiencyCurve() = default;
+
+    /** eps_n(N); may exceed 1 for superlinear applications. N >= 1 and
+     *  eps_n(1) == 1 by definition. */
+    virtual double at(int n) const = 0;
+
+    /** Nominal speedup N * eps_n(N). */
+    double nominalSpeedup(int n) const { return n * at(n); }
+};
+
+/** eps_n(N) = c for all N > 1 (and 1 at N = 1); the idealization used in
+ *  the paper's Figure 2 (c = 1). */
+class ConstantEfficiency : public EfficiencyCurve
+{
+  public:
+    explicit ConstantEfficiency(double value);
+    double at(int n) const override;
+
+  private:
+    double value_;
+};
+
+/** Amdahl's law: speedup = 1 / (s + (1-s)/N), so
+ *  eps_n(N) = 1 / (N*s + (1-s)). */
+class AmdahlEfficiency : public EfficiencyCurve
+{
+  public:
+    /** @param serial_fraction non-parallelizable share s in [0, 1]. */
+    explicit AmdahlEfficiency(double serial_fraction);
+    double at(int n) const override;
+
+  private:
+    double serial_fraction_;
+};
+
+/** Communication-overhead model: eps_n(N) = 1 / (1 + sigma * (N - 1)),
+ *  the linear-overhead family used to mark the "sample application" working
+ *  points in Figure 1. */
+class OverheadEfficiency : public EfficiencyCurve
+{
+  public:
+    /** @param sigma per-extra-core relative communication overhead. */
+    explicit OverheadEfficiency(double sigma);
+    double at(int n) const override;
+
+  private:
+    double sigma_;
+};
+
+/** Efficiency curve tabulated from measurements (profiled runs); values for
+ *  unmeasured N interpolate geometrically between neighbours. */
+class TabulatedEfficiency : public EfficiencyCurve
+{
+  public:
+    /** @param samples map N -> eps_n(N); must contain N = 1. */
+    explicit TabulatedEfficiency(std::map<int, double> samples);
+    double at(int n) const override;
+
+  private:
+    std::map<int, double> samples_;
+};
+
+} // namespace tlp::model
+
+#endif // TLP_MODEL_EFFICIENCY_HPP

@@ -1,0 +1,65 @@
+#include "model/per_core_dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace tlp::model {
+
+PerCoreDvfsResult
+PerCoreDvfs::solve(const std::vector<double>& work_fractions) const
+{
+    const int n = static_cast<int>(work_fractions.size());
+    if (n < 1 || n > cmp_->totalCores())
+        util::fatal("PerCoreDvfs: bad thread count");
+    double sum = 0.0;
+    for (double w : work_fractions) {
+        if (w <= 0.0)
+            util::fatal("PerCoreDvfs: work fractions must be positive");
+        sum += w;
+    }
+    if (std::fabs(sum - 1.0) > 1e-6)
+        util::fatal("PerCoreDvfs: work fractions must sum to 1");
+
+    const tech::Technology& tech = cmp_->technology();
+    const double f1 = tech.fNominal();
+
+    PerCoreDvfsResult result;
+    const double heaviest =
+        *std::max_element(work_fractions.begin(), work_fractions.end());
+    // The heaviest thread needs f1 * w_max <= f1: always satisfiable
+    // frequency-wise; the model (like Scenario I) only forbids
+    // overclocking.
+    result.feasible = heaviest <= 1.0 + 1e-9;
+    if (!result.feasible)
+        return result;
+
+    const auto voltage_for = [&](double f) {
+        double vdd = tech.frequencyLaw().voltageFor(f);
+        return std::clamp(vdd, tech.vMin(), tech.vddNominal());
+    };
+
+    result.freqs.resize(n);
+    result.vdds.resize(n);
+    for (int i = 0; i < n; ++i) {
+        result.freqs[i] = f1 * work_fractions[i];
+        result.vdds[i] = voltage_for(result.freqs[i]);
+    }
+    result.per_core = cmp_->evaluatePerCore(result.vdds, result.freqs);
+
+    // Global DVFS: everyone runs fast enough for the heaviest thread.
+    const double f_chip = f1 * heaviest;
+    const std::vector<double> g_freqs(n, f_chip);
+    const std::vector<double> g_vdds(n, voltage_for(f_chip));
+    result.global = cmp_->evaluatePerCore(g_vdds, g_freqs);
+
+    if (result.global.total_w > 0.0) {
+        result.saving_fraction =
+            1.0 - result.per_core.total_w / result.global.total_w;
+    }
+    return result;
+}
+
+} // namespace tlp::model

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-core DVFS under load imbalance — an extension the paper flags as
+ * "conceivable ... but beyond the scope of this paper" (§3.1) and whose
+ * related work (Kadayif et al. [21]) exploits: when threads carry
+ * unequal work, cores running light threads can be slowed individually
+ * so that everyone finishes exactly at the barrier, instead of the whole
+ * chip running at the frequency the heaviest thread needs.
+ *
+ * The solver compares, for a given per-thread work distribution and a
+ * common deadline (the Scenario I performance target):
+ *
+ *  - global DVFS: every core at f_chip = f_heaviest (the paper's model);
+ *  - per-core DVFS: core i at f_i proportional to its own work.
+ *
+ * Assumes per-core voltage/frequency islands; both configurations are
+ * priced through the same coupled thermal model.
+ */
+
+#ifndef TLP_MODEL_PER_CORE_DVFS_HPP
+#define TLP_MODEL_PER_CORE_DVFS_HPP
+
+#include <vector>
+
+#include "model/analytic_cmp.hpp"
+
+namespace tlp::model {
+
+/** Result of the balanced-deadline comparison. */
+struct PerCoreDvfsResult
+{
+    bool feasible = false;        ///< heaviest thread meets the deadline
+    std::vector<double> freqs;    ///< per-core frequency [Hz]
+    std::vector<double> vdds;     ///< per-core supply [V]
+    PowerBreakdown per_core;      ///< chip power with per-core DVFS
+    PowerBreakdown global;        ///< chip power with global DVFS
+    double saving_fraction = 0.0; ///< 1 - P_percore / P_global
+};
+
+/** Per-core DVFS solver bound to a calibrated chip model. */
+class PerCoreDvfs
+{
+  public:
+    explicit PerCoreDvfs(const AnalyticCmp& cmp) : cmp_(&cmp) {}
+
+    /**
+     * Solve for a work distribution at the Scenario I deadline.
+     *
+     * @param work_fractions share of the total (sequential) work carried
+     *        by each thread; must be positive and sum to ~1. The number
+     *        of threads is the vector's size.
+     *
+     * Thread i must retire `work_fractions[i] * W` instructions within
+     * the sequential execution time `W * CPI / f1`, so it needs
+     * `f_i = f1 * work_fractions[i]`; the global chip would need
+     * `f_chip = f1 * max_i work_fractions[i]` on every core.
+     */
+    PerCoreDvfsResult solve(
+        const std::vector<double>& work_fractions) const;
+
+  private:
+    const AnalyticCmp* cmp_;
+};
+
+} // namespace tlp::model
+
+#endif // TLP_MODEL_PER_CORE_DVFS_HPP

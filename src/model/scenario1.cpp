@@ -1,0 +1,49 @@
+#include "model/scenario1.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace tlp::model {
+
+Scenario1Result
+Scenario1::solve(int n, double eps_n) const
+{
+    if (n < 1 || n > cmp_->totalCores()) {
+        util::fatal(util::strcatMsg("Scenario1: N = ", n, " outside [1, ",
+                                    cmp_->totalCores(), "]"));
+    }
+    if (eps_n <= 0.0)
+        util::fatal("Scenario1: eps_n must be positive");
+
+    const tech::Technology& tech = cmp_->technology();
+    Scenario1Result result;
+    result.n = n;
+    result.eps_n = eps_n;
+
+    // Eq. 7: the frequency that matches single-core performance.
+    const double f_target = tech.fNominal() / (n * eps_n);
+    if (f_target > tech.fNominal() + 1e-6) {
+        // Would require overclocking beyond f1, which the model forbids.
+        result.feasible = false;
+        return result;
+    }
+    result.feasible = true;
+    result.freq = f_target;
+
+    // Smallest voltage sustaining f_target, clamped at the noise margin.
+    double vdd = tech.frequencyLaw().voltageFor(f_target);
+    if (vdd < tech.vMin()) {
+        vdd = tech.vMin();
+        result.v_floor_hit = true;
+    }
+    vdd = std::min(vdd, tech.vddNominal());
+    result.vdd = vdd;
+
+    result.power = cmp_->evaluate({n, vdd, f_target});
+    result.normalized_power =
+        result.power.total_w / cmp_->singleCorePower();
+    return result;
+}
+
+} // namespace tlp::model

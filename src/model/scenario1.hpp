@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scenario I — power optimization given a performance target (§2.2).
+ *
+ * Every N-core configuration must deliver the performance of the sequential
+ * execution at full throttle. From Eq. 7 the required chip frequency is
+ *
+ *     f_N = f1 / (N * eps_n(N)),
+ *
+ * the supply voltage is the smallest one sustaining f_N under the
+ * alpha-power law (clamped at the technology's noise-margin floor), and
+ * total power follows Eq. 9 with the die temperature from the thermal
+ * fixed point. Configurations with N * eps_n(N) < 1 would need f_N > f1
+ * and are reported infeasible, exactly as in the paper.
+ */
+
+#ifndef TLP_MODEL_SCENARIO1_HPP
+#define TLP_MODEL_SCENARIO1_HPP
+
+#include "model/analytic_cmp.hpp"
+#include "model/efficiency.hpp"
+
+namespace tlp::model {
+
+/** Solution of the Scenario I problem for one (N, eps_n) point. */
+struct Scenario1Result
+{
+    int n = 1;                ///< active cores
+    double eps_n = 1.0;       ///< nominal parallel efficiency used
+    bool feasible = false;    ///< N * eps_n >= 1
+    double freq = 0.0;        ///< chip frequency [Hz]
+    double vdd = 0.0;         ///< chip supply [V]
+    bool v_floor_hit = false; ///< voltage clamped at the noise-margin floor
+    PowerBreakdown power;     ///< converged power/thermal state
+    /** P_N / P1: total power normalized to the single-core full-throttle
+     *  configuration. */
+    double normalized_power = 0.0;
+};
+
+/** Scenario I solver bound to a calibrated chip model. */
+class Scenario1
+{
+  public:
+    explicit Scenario1(const AnalyticCmp& cmp) : cmp_(&cmp) {}
+
+    /** Solve for a given core count and nominal efficiency value. */
+    Scenario1Result solve(int n, double eps_n) const;
+
+    /** Solve along an application's efficiency curve. */
+    Scenario1Result solve(int n, const EfficiencyCurve& curve) const
+    {
+        return solve(n, curve.at(n));
+    }
+
+  private:
+    const AnalyticCmp* cmp_;
+};
+
+} // namespace tlp::model
+
+#endif // TLP_MODEL_SCENARIO1_HPP

@@ -1,0 +1,88 @@
+#include "model/scenario2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/solver.hpp"
+
+namespace tlp::model {
+
+Scenario2::Scenario2(const AnalyticCmp& cmp, double budget_w)
+    : cmp_(&cmp),
+      budget_w_(budget_w > 0.0 ? budget_w : cmp.singleCorePower())
+{
+}
+
+double
+Scenario2::frequencyAt(int n, double vdd) const
+{
+    const tech::Technology& tech = cmp_->technology();
+    const double f1 = tech.fNominal();
+    const double f_cap = std::min(tech.frequencyLaw().maxFrequency(vdd), f1);
+    if (f_cap <= 0.0)
+        return 0.0;
+
+    const double kappa = vdd / tech.vddNominal();
+    const double dyn_per_hz =
+        n * tech.dynamicPowerNominal() * kappa * kappa / f1;
+
+    // Fixed point on f: static power depends on temperature, which depends
+    // on total power, which depends on f. Dynamic power is linear in f, so
+    // each step solves the budget equality exactly for the current static
+    // estimate.
+    double f = f_cap;
+    for (int it = 0; it < 60; ++it) {
+        const PowerBreakdown pb = cmp_->evaluate({n, vdd, f});
+        const double headroom = budget_w_ - pb.static_w;
+        double f_budget = headroom <= 0.0 ? 0.0 : headroom / dyn_per_hz;
+        const double f_next = std::clamp(f_budget, 0.0, f_cap);
+        if (std::fabs(f_next - f) <= 1e-4 * tech.fNominal()) {
+            f = f_next;
+            break;
+        }
+        // Light damping keeps the leakage-temperature loop stable.
+        f = 0.5 * f + 0.5 * f_next;
+    }
+    return f;
+}
+
+Scenario2Result
+Scenario2::solve(int n, double eps_n) const
+{
+    if (n < 1 || n > cmp_->totalCores()) {
+        util::fatal(util::strcatMsg("Scenario2: N = ", n, " outside [1, ",
+                                    cmp_->totalCores(), "]"));
+    }
+    if (eps_n <= 0.0)
+        util::fatal("Scenario2: eps_n must be positive");
+
+    const tech::Technology& tech = cmp_->technology();
+    const double f1 = tech.fNominal();
+
+    Scenario2Result result;
+    result.n = n;
+    result.eps_n = eps_n;
+    result.budget_w = budget_w_;
+
+    const auto speedup_at = [&](double vdd) {
+        return n * eps_n * frequencyAt(n, vdd) / f1;
+    };
+    const util::MaxResult best =
+        util::maximizeScan(speedup_at, tech.vMin(), tech.vddNominal(), 24,
+                           1e-4);
+
+    result.vdd = best.x;
+    result.freq = frequencyAt(n, result.vdd);
+    result.speedup = n * eps_n * result.freq / f1;
+    result.feasible = result.freq > 0.0;
+    if (result.feasible) {
+        result.power = cmp_->evaluate({n, result.vdd, result.freq});
+        const double f_cap = std::min(
+            tech.frequencyLaw().maxFrequency(result.vdd), f1);
+        result.budget_bound = result.freq < f_cap - 1e-3 * f1;
+    }
+    return result;
+}
+
+} // namespace tlp::model

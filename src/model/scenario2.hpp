@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario II — performance optimization under a power budget (§2.3).
+ *
+ * The power budget is the single-core full-throttle power P1. For a given
+ * N the solver searches the supply voltage V in [v_min, V1]; at each V the
+ * chip frequency is the smaller of
+ *
+ *  - the alpha-power-law maximum f_max(V), and
+ *  - the budget-limited frequency from Eq. 11: since dynamic power is
+ *    linear in f, f_budget = (P1 - P_S(N, V, T)) * f1 / (P_D1 * N * kappa^2)
+ *    with the temperature T from the coupled thermal fixed point.
+ *
+ * Speedup follows Eq. 10: S = N * eps_n * f / f1. The solver maximizes S
+ * over V with a scan + golden-section refinement. Once static power alone
+ * exceeds the budget, the achievable frequency (and hence speedup) drops to
+ * zero — the mechanism behind the paper's observation that a limited power
+ * budget degrades performance rapidly beyond a number of cores.
+ */
+
+#ifndef TLP_MODEL_SCENARIO2_HPP
+#define TLP_MODEL_SCENARIO2_HPP
+
+#include "model/analytic_cmp.hpp"
+#include "model/efficiency.hpp"
+
+namespace tlp::model {
+
+/** Solution of the Scenario II problem for one (N, eps_n) point. */
+struct Scenario2Result
+{
+    int n = 1;             ///< active cores
+    double eps_n = 1.0;    ///< nominal parallel efficiency used
+    double vdd = 0.0;      ///< optimal chip supply [V]
+    double freq = 0.0;     ///< optimal chip frequency [Hz]
+    double speedup = 0.0;  ///< S = N * eps_n * freq / f1
+    bool budget_bound = false; ///< power budget (not f_max) limits freq
+    bool feasible = true;  ///< false when static power alone exceeds budget
+    PowerBreakdown power;  ///< converged power/thermal state at optimum
+    double budget_w = 0.0; ///< the power budget used [W]
+};
+
+/** Scenario II solver bound to a calibrated chip model. */
+class Scenario2
+{
+  public:
+    /**
+     * @param cmp      calibrated chip model
+     * @param budget_w power budget [W]; <= 0 selects the paper's default,
+     *                 the single-core full-throttle power P1
+     */
+    explicit Scenario2(const AnalyticCmp& cmp, double budget_w = 0.0);
+
+    /** Solve for a given core count and nominal efficiency value. */
+    Scenario2Result solve(int n, double eps_n) const;
+
+    /** Solve along an application's efficiency curve. */
+    Scenario2Result solve(int n, const EfficiencyCurve& curve) const
+    {
+        return solve(n, curve.at(n));
+    }
+
+    double budget() const { return budget_w_; }
+
+  private:
+    /** Best frequency at a fixed voltage, with the thermal fixed point. */
+    double frequencyAt(int n, double vdd) const;
+
+    const AnalyticCmp* cmp_;
+    double budget_w_;
+};
+
+} // namespace tlp::model
+
+#endif // TLP_MODEL_SCENARIO2_HPP

@@ -1,0 +1,110 @@
+#include "power/cacti_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace tlp::power {
+
+namespace {
+
+// Reference constants quoted at a 100 nm feature size and unit supply.
+// Energies scale linearly with feature size (capacitance ~ F) and
+// quadratically with supply voltage.
+constexpr double kRefFeatureNm = 100.0;
+constexpr double kDecoderPj = 0.05;      // per log2(rows)
+constexpr double kWordlinePj = 0.01;     // per column
+constexpr double kBitlinePj = 0.0005;    // per column*row
+constexpr double kSenseAmpPj = 0.002;    // per column
+constexpr double kOutputPj = 0.005;      // per output bit
+constexpr double kRoutePj = 50.0;        // inter-bank routing, per hop
+constexpr double kCellAreaF2 = 200.0;    // effective SRAM cell area [F^2]
+constexpr double kArrayEfficiency = 0.7; // cell share of array area
+constexpr std::uint64_t kMaxBankBytes = 65536;
+
+} // namespace
+
+CactiLite::CactiLite(double feature_nm, double vdd_nominal)
+    : feature_nm_(feature_nm), vdd_nominal_(vdd_nominal),
+      lambda_(feature_nm / kRefFeatureNm)
+{
+    if (feature_nm <= 0.0 || vdd_nominal <= 0.0)
+        util::fatal("CactiLite: invalid feature size or supply");
+}
+
+ArrayEstimate
+CactiLite::estimate(const ArrayConfig& config) const
+{
+    if (config.size_bytes == 0 || config.line_bytes == 0 ||
+        config.assoc == 0 || config.ports == 0) {
+        util::fatal("CactiLite::estimate: degenerate array config");
+    }
+    if (config.size_bytes < config.line_bytes * config.assoc)
+        util::fatal("CactiLite::estimate: array smaller than one set");
+
+    // Large arrays are banked; energy is one bank access plus routing.
+    const std::uint64_t n_banks =
+        std::max<std::uint64_t>(1, config.size_bytes / kMaxBankBytes);
+    const std::uint64_t bank_bytes = config.size_bytes / n_banks;
+
+    const double bits = 8.0 * static_cast<double>(bank_bytes);
+    const double cols =
+        static_cast<double>(config.line_bytes) * 8.0 * config.assoc;
+    const double rows = std::max(1.0, bits / cols);
+    const double line_bits = config.line_bytes * 8.0;
+
+    const double v2 = vdd_nominal_ * vdd_nominal_;
+    const double scale = lambda_ * v2 * config.ports;
+
+    double read_pj = kDecoderPj * std::log2(std::max(2.0, rows)) +
+        kWordlinePj * cols + kBitlinePj * cols * rows +
+        kSenseAmpPj * cols + kOutputPj * line_bits;
+    read_pj += kRoutePj * std::sqrt(static_cast<double>(n_banks) - 1.0);
+    read_pj *= scale;
+
+    ArrayEstimate out;
+    out.read_energy_j = read_pj * util::kPico;
+    out.write_energy_j = 1.1 * out.read_energy_j;
+
+    const double f_m = feature_nm_ * 1e-9;
+    const double total_bits = 8.0 * static_cast<double>(config.size_bytes);
+    out.area_m2 = total_bits * kCellAreaF2 * f_m * f_m / kArrayEfficiency *
+        (1.0 + 0.05 * (config.assoc - 1)) *
+        (1.0 + 0.5 * (config.ports - 1));
+    out.leakage_rel = out.area_m2;
+
+    out.access_time_s =
+        (0.25 + 0.08 * std::log2(std::max(2.0, rows)) +
+         0.35 * std::sqrt(static_cast<double>(n_banks))) *
+        lambda_ * util::kNano;
+    return out;
+}
+
+double
+CactiLite::aluEnergy(bool floating_point) const
+{
+    const double pj = floating_point ? 50.0 : 20.0;
+    return pj * lambda_ * vdd_nominal_ * vdd_nominal_ * util::kPico;
+}
+
+double
+CactiLite::regfileEnergy() const
+{
+    return 10.0 * lambda_ * vdd_nominal_ * vdd_nominal_ * util::kPico;
+}
+
+double
+CactiLite::busEnergyPerMm() const
+{
+    return 5.0 * lambda_ * vdd_nominal_ * vdd_nominal_ * util::kPico;
+}
+
+double
+CactiLite::clockEnergyPerMm2() const
+{
+    return 20.0 * lambda_ * vdd_nominal_ * vdd_nominal_ * util::kPico;
+}
+
+} // namespace tlp::power

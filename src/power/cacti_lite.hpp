@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CactiLite — a reduced CACTI-style model for SRAM array energy, delay,
+ * and area.
+ *
+ * The paper uses CACTI [40] to size the die (244.5 mm^2 for 16 cores plus a
+ * 4 MB L2 at 65 nm) and Wattch's CACTI-derived per-access energies for the
+ * array structures. We reproduce the parts the evaluation consumes:
+ *
+ *  - per-access dynamic energy, decomposed into decoder, wordline, bitline,
+ *    and sense-amp terms with the classic sqrt-array scaling;
+ *  - array area from cell area plus per-way overhead;
+ *  - access latency with a log(size) decoder term plus wire delay.
+ *
+ * Energies are in joules at the technology's nominal supply; callers scale
+ * by (V/Vn)^2 for other operating points. Absolute accuracy is not claimed
+ * (neither does Wattch claim it); the experimental pipeline renormalizes
+ * against the thermal budget exactly as the paper does (§3.3).
+ */
+
+#ifndef TLP_POWER_CACTI_LITE_HPP
+#define TLP_POWER_CACTI_LITE_HPP
+
+#include <cstdint>
+
+namespace tlp::power {
+
+/** Geometry of one SRAM array. */
+struct ArrayConfig
+{
+    std::uint64_t size_bytes = 65536;
+    std::uint32_t line_bytes = 64;
+    std::uint32_t assoc = 2;
+    std::uint32_t ports = 1;
+};
+
+/** Per-array estimates produced by CactiLite. */
+struct ArrayEstimate
+{
+    double read_energy_j = 0.0;   ///< per read access at nominal V
+    double write_energy_j = 0.0;  ///< per write access at nominal V
+    double leakage_rel = 0.0;     ///< relative leakage weight (area-based)
+    double area_m2 = 0.0;         ///< silicon area
+    double access_time_s = 0.0;   ///< access latency
+};
+
+/** Reduced CACTI model bound to one feature size. */
+class CactiLite
+{
+  public:
+    /**
+     * @param feature_nm  drawn feature size [nm]
+     * @param vdd_nominal nominal supply the energies are quoted at [V]
+     */
+    CactiLite(double feature_nm, double vdd_nominal);
+
+    /** Estimate energy/area/delay for an SRAM array. */
+    ArrayEstimate estimate(const ArrayConfig& config) const;
+
+    /** Energy of one 64-bit ALU operation at nominal V [J]. */
+    double aluEnergy(bool floating_point) const;
+
+    /** Energy of one register-file access at nominal V [J]. */
+    double regfileEnergy() const;
+
+    /** Energy per millimetre of bus wire toggled, per 64-bit flit [J]. */
+    double busEnergyPerMm() const;
+
+    /** Clock-tree energy per cycle per mm^2 of clocked area [J]. */
+    double clockEnergyPerMm2() const;
+
+    double featureNm() const { return feature_nm_; }
+    double vddNominal() const { return vdd_nominal_; }
+
+  private:
+    double feature_nm_;
+    double vdd_nominal_;
+    double lambda_;  ///< feature size scale factor vs 100 nm reference
+};
+
+} // namespace tlp::power
+
+#endif // TLP_POWER_CACTI_LITE_HPP

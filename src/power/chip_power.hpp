@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ChipPowerModel — Wattch-style activity-based power accounting for the
+ * simulated CMP (§3.3 of the paper).
+ *
+ * Dynamic power: each hardware event recorded by the simulator (cache
+ * access, ALU operation, bus transaction, ...) is charged a CactiLite
+ * per-access energy and attributed to an EV6 floorplan block; the clock
+ * tree is charged per active cycle with conditional clock gating (idle
+ * cores consume nothing, partially idle cores a gated fraction). Energies
+ * scale with (V/Vn)^2; power follows from the run's cycle count and clock
+ * frequency.
+ *
+ * Renormalization: Wattch-class models are only relatively accurate, so —
+ * exactly as the paper does — the absolute scale is set by a
+ * microbenchmark: a compute-bound kernel is run at nominal V/f, its raw
+ * model wattage is compared against the technology's maximum operational
+ * dynamic power (the one that yields 100 C in the thermal model), and the
+ * resulting ratio renormalizes all subsequent measurements
+ * (calibrate()/renormFactor()).
+ *
+ * Static power: modelled as a fraction of the maximum dynamic power,
+ * exponentially dependent on temperature (references [5, 38] of the
+ * paper), distributed over blocks by area and scaled with supply voltage
+ * through the technology's fitted leakage curve. Unused (shut-down) cores
+ * consume no static power.
+ *
+ * Counter naming contract with tlp_sim (StatRegistry keys):
+ *   core<i>.insts, core<i>.int_ops, core<i>.fp_ops, core<i>.loads,
+ *   core<i>.stores, core<i>.l1i.reads, core<i>.l1d.reads,
+ *   core<i>.l1d.writes, core<i>.l1d.fills, core<i>.active_cycles,
+ *   l2.reads, l2.writes, bus.transactions, memory.reads
+ */
+
+#ifndef TLP_POWER_CHIP_POWER_HPP
+#define TLP_POWER_CHIP_POWER_HPP
+
+#include <string>
+#include <vector>
+
+#include "power/cacti_lite.hpp"
+#include "tech/technology.hpp"
+#include "thermal/floorplan.hpp"
+#include "util/stats.hpp"
+
+namespace tlp::power {
+
+/** Cache geometry of the chip whose activity is being priced. */
+struct CmpGeometry
+{
+    int n_cores = 16;
+    ArrayConfig l1i{65536, 64, 2, 1};
+    ArrayConfig l1d{65536, 64, 2, 2};
+    ArrayConfig l2{4194304, 128, 8, 1};
+};
+
+/** Activity-based chip power model with paper-style renormalization. */
+class ChipPowerModel
+{
+  public:
+    /**
+     * @param tech     technology node (energies are quoted at its nominal
+     *                 supply; static magnitudes follow its hot split)
+     * @param geometry cache organization
+     *
+     * Builds the matching per-core EV6 floorplan internally; access it via
+     * floorplan() to construct the thermal model.
+     */
+    ChipPowerModel(const tech::Technology& tech, const CmpGeometry& geometry);
+
+    /** The floorplan power maps are aligned with (L2 block + per-core EV6
+     *  blocks). */
+    const thermal::Floorplan& floorplan() const { return floorplan_; }
+
+    /**
+     * Raw (unrenormalized) per-block dynamic power of a finished run.
+     *
+     * @param stats    simulator counters (naming contract above)
+     * @param cycles   run length in core cycles
+     * @param n_active cores that participated (others are power-gated)
+     * @param vdd      chip supply during the run [V]
+     * @param freq     chip frequency during the run [Hz]
+     */
+    std::vector<double> rawDynamicPower(const util::StatRegistry& stats,
+                                        std::uint64_t cycles, int n_active,
+                                        double vdd, double freq) const;
+
+    /**
+     * Set the renormalization factor from a microbenchmark measurement:
+     * @p raw_core_dynamic_w is the raw model's single-core dynamic power
+     * for the compute-bound microbenchmark at nominal V/f; it is mapped
+     * onto the technology's maximum operational dynamic power.
+     */
+    void calibrate(double raw_core_dynamic_w);
+
+    /** True once calibrate() has run. */
+    bool calibrated() const { return renorm_factor_ > 0.0; }
+
+    /** The Wattch->thermal-budget renormalization factor. */
+    double renormFactor() const;
+
+    /** Renormalized per-block dynamic power (requires calibration). */
+    std::vector<double> dynamicPower(const util::StatRegistry& stats,
+                                     std::uint64_t cycles, int n_active,
+                                     double vdd, double freq) const;
+
+    /**
+     * Per-block static power at the given block temperatures.
+     *
+     * Following the paper (§3.3, refs [5, 38]), static power is a
+     * temperature-dependent fraction of dynamic power. Each block's
+     * reference dynamic power is its activity rate re-expressed at
+     * nominal V/f (so DVFS does not double-count), blended with a
+     * block-capacity floor (idle transistors leak too); the fraction
+     * scales with (V, T) through the technology's fitted leakage curve,
+     * anchored at ratio r_hot = s/(1-s) at (V1, 100 C).
+     *
+     * @param temps_c   one temperature per floorplan block [deg C]
+     * @param dynamic_w per-block dynamic power of the run [W]
+     * @param n_active  active core count (idle cores are shut off)
+     * @param vdd       chip supply [V]
+     * @param freq      chip frequency [Hz]
+     */
+    std::vector<double> staticPower(const std::vector<double>& temps_c,
+                                    const std::vector<double>& dynamic_w,
+                                    int n_active, double vdd,
+                                    double freq) const;
+
+    /** Static/dynamic ratio at the hot anchor (from the technology's
+     *  split): r = s / (1 - s). */
+    double staticRatioHot() const;
+
+    /** Maximum operational dynamic power of one core (the renormalization
+     *  target) [W]. */
+    double maxCoreDynamicPower() const;
+
+    const CmpGeometry& geometry() const { return geometry_; }
+    const CactiLite& cacti() const { return cacti_; }
+
+    /** Per-access energies in use (for inspection/tests). */
+    double l1iReadEnergy() const { return l1i_.read_energy_j; }
+    double l1dReadEnergy() const { return l1d_.read_energy_j; }
+    double l2ReadEnergy() const { return l2_.read_energy_j; }
+
+    /** Die area from CactiLite plus core tiles [m^2]. */
+    double chipArea() const;
+
+  private:
+    const tech::Technology* tech_;
+    CmpGeometry geometry_;
+    CactiLite cacti_;
+    ArrayEstimate l1i_;
+    ArrayEstimate l1d_;
+    ArrayEstimate l2_;
+    thermal::Floorplan floorplan_;
+    double renorm_factor_ = 0.0;
+};
+
+} // namespace tlp::power
+
+#endif // TLP_POWER_CHIP_POWER_HPP

@@ -1,0 +1,320 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "thermal/rc_model.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace tlp::runner {
+
+namespace {
+
+power::CmpGeometry
+geometryFrom(const sim::CmpConfig& config)
+{
+    power::CmpGeometry g;
+    g.n_cores = config.n_cores;
+    g.l1i = {config.l1_size_bytes, config.l1_line_bytes, config.l1_assoc,
+             1};
+    g.l1d = {config.l1_size_bytes, config.l1_line_bytes, config.l1_assoc,
+             2};
+    g.l2 = {config.l2_size_bytes, config.l2_line_bytes, config.l2_assoc,
+            1};
+    return g;
+}
+
+/** Indices and area of the blocks belonging to cores [0, n_active). */
+double
+activeCoreArea(const thermal::Floorplan& plan, int n_active)
+{
+    double area = 0.0;
+    for (const thermal::Block& b : plan.blocks()) {
+        if (b.core_id >= 0 && b.core_id < n_active)
+            area += b.area();
+    }
+    return area;
+}
+
+} // namespace
+
+Experiment::Experiment(double scale, sim::CmpConfig config)
+    : scale_(scale), tech_(tech::tech65nm()), cmp_(config),
+      power_model_(tech_, geometryFrom(config)),
+      vf_(tech::pentiumMLike(tech_)),
+      thermal_(power_model_.floorplan(), thermal::RCParams{})
+{
+    // §3.3 calibration. Step 1: microbenchmark at nominal V/f on one core.
+    const sim::Program virus = workloads::makePowerVirus(1, scale_);
+    const sim::RunResult run = cmp_.run(virus, tech_.fNominal());
+    const std::vector<double> raw = power_model_.rawDynamicPower(
+        run.stats, run.cycles, 1, tech_.vddNominal(), tech_.fNominal());
+
+    const auto& plan = power_model_.floorplan();
+    double raw_core0 = 0.0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (plan.blocks()[i].core_id == 0)
+            raw_core0 += raw[i];
+    }
+    // Step 2: renormalize the activity model against the maximum
+    // operational dynamic power.
+    power_model_.calibrate(raw_core0);
+
+    // Step 3: anchor the thermal package: the fully loaded core 0
+    // (dynamic + hot static) sits at 100 C on average.
+    std::vector<double> hot_map =
+        power_model_.dynamicPower(run.stats, run.cycles, 1,
+                                  tech_.vddNominal(), tech_.fNominal());
+    const std::vector<double> temps_hot(plan.size(), tech_.tHotC());
+    const std::vector<double> static_hot = power_model_.staticPower(
+        temps_hot, hot_map, 1, tech_.vddNominal(), tech_.fNominal());
+    for (std::size_t i = 0; i < hot_map.size(); ++i)
+        hot_map[i] += static_hot[i];
+
+    thermal::calibratePackage(
+        thermal_, hot_map,
+        [&plan](const thermal::ThermalSolution& sol) {
+            double area = 0.0;
+            double temp_area = 0.0;
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                if (plan.blocks()[i].core_id == 0) {
+                    area += plan.blocks()[i].area();
+                    temp_area += sol.block_temps_c[i] *
+                        plan.blocks()[i].area();
+                }
+            }
+            return temp_area / area;
+        },
+        tech_.tHotC());
+
+    // The Scenario II budget: total chip power of the maxed single core.
+    max_core_power_w_ =
+        priceRun(run, tech_.vddNominal()).total_w;
+}
+
+Measurement
+Experiment::priceRun(const sim::RunResult& run, double vdd) const
+{
+    const int n_active = run.n_threads;
+    const auto& plan = power_model_.floorplan();
+
+    const std::vector<double> dynamic = power_model_.dynamicPower(
+        run.stats, run.cycles, n_active, vdd, run.freq_hz);
+
+    const auto coupled = thermal::solveCoupled(
+        thermal_,
+        [&](const std::vector<double>& temps) {
+            std::vector<double> total = power_model_.staticPower(
+                temps, dynamic, n_active, vdd, run.freq_hz);
+            for (std::size_t i = 0; i < total.size(); ++i)
+                total[i] += dynamic[i];
+            return total;
+        });
+
+    Measurement m;
+    m.cycles = run.cycles;
+    m.seconds = run.seconds;
+    m.freq_hz = run.freq_hz;
+    m.vdd = vdd;
+    m.instructions = run.instructions;
+
+    double dyn_total = 0.0;
+    for (double w : dynamic)
+        dyn_total += w;
+    m.dynamic_w = dyn_total;
+    m.total_w = coupled.total_power;
+    m.static_w = m.total_w - m.dynamic_w;
+
+    double core_area = 0.0;
+    double core_power = 0.0;
+    double temp_area = 0.0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const thermal::Block& b = plan.blocks()[i];
+        if (b.core_id < 0 || b.core_id >= n_active)
+            continue;
+        core_area += b.area();
+        core_power += coupled.block_power[i];
+        temp_area += coupled.thermal.block_temps_c[i] * b.area();
+    }
+    m.avg_core_temp_c =
+        core_area > 0.0 ? temp_area / core_area : 0.0;
+    m.core_power_density_w_m2 =
+        core_area > 0.0 ? core_power / core_area : 0.0;
+    m.runaway = coupled.runaway;
+    return m;
+}
+
+Measurement
+Experiment::measure(const sim::Program& program, double vdd,
+                    double freq_hz) const
+{
+    const sim::RunResult run = cmp_.run(program, freq_hz);
+    return priceRun(run, vdd);
+}
+
+std::vector<Scenario1Row>
+Experiment::scenario1(const workloads::WorkloadInfo& app,
+                      const std::vector<int>& ns) const
+{
+    const double f1 = tech_.fNominal();
+    const double v1 = tech_.vddNominal();
+
+    // Profiling pass: nominal V/f for every N.
+    std::vector<Measurement> nominal;
+    nominal.reserve(ns.size());
+    for (int n : ns)
+        nominal.push_back(measure(app.make(n, scale_), v1, f1));
+    if (ns.empty() || ns.front() != 1)
+        util::fatal("scenario1: core-count list must start at 1");
+    const Measurement& base = nominal.front();
+
+    std::vector<Scenario1Row> rows;
+    rows.reserve(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        const int n = ns[i];
+        Scenario1Row row;
+        row.n = n;
+        row.eps_n = static_cast<double>(base.cycles) /
+            (static_cast<double>(n) * nominal[i].cycles);
+
+        if (n == 1) {
+            row.freq_hz = f1;
+            row.vdd = v1;
+            row.measurement = base;
+            row.actual_speedup = 1.0;
+            row.normalized_power = 1.0;
+            row.normalized_density = 1.0;
+            row.avg_temp_c = base.avg_core_temp_c;
+            rows.push_back(row);
+            continue;
+        }
+
+        // Eq. 7 frequency target; overclocking beyond f1 is not allowed,
+        // and the V/f table bounds the lowest reachable frequency.
+        double f_target = f1 / (n * row.eps_n);
+        f_target = std::clamp(f_target, vf_.fMin(), f1);
+        const double vdd = vf_.voltageFor(f_target);
+
+        row.freq_hz = f_target;
+        row.vdd = vdd;
+        row.measurement = measure(app.make(n, scale_), vdd, f_target);
+        row.actual_speedup = base.seconds / row.measurement.seconds;
+        row.normalized_power = row.measurement.total_w / base.total_w;
+        row.normalized_density =
+            row.measurement.core_power_density_w_m2 /
+            base.core_power_density_w_m2;
+        row.avg_temp_c = row.measurement.avg_core_temp_c;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<Scenario2Row>
+Experiment::scenario2(const workloads::WorkloadInfo& app,
+                      const std::vector<int>& ns,
+                      std::vector<double> freqs_hz, double budget_w) const
+{
+    const double f1 = tech_.fNominal();
+    const double v1 = tech_.vddNominal();
+    const double budget =
+        budget_w > 0.0 ? budget_w : max_core_power_w_;
+
+    if (freqs_hz.empty()) {
+        // Paper grid: 200 MHz .. 3.0 GHz in steps (we use 400 MHz steps
+        // to bound simulation time) plus the nominal point.
+        for (double f = util::mhz(200); f < f1; f += util::mhz(400))
+            freqs_hz.push_back(f);
+        freqs_hz.push_back(f1);
+    }
+    std::sort(freqs_hz.begin(), freqs_hz.end());
+
+    // Nominal profiling for the nominal-speedup curve.
+    if (ns.empty() || ns.front() != 1)
+        util::fatal("scenario2: core-count list must start at 1");
+    std::vector<Measurement> nominal;
+    nominal.reserve(ns.size());
+    for (int n : ns)
+        nominal.push_back(measure(app.make(n, scale_), v1, f1));
+    const Measurement& base = nominal.front();
+
+    std::vector<Scenario2Row> rows;
+    rows.reserve(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        const int n = ns[i];
+        Scenario2Row row;
+        row.n = n;
+        row.nominal_speedup = base.seconds / nominal[i].seconds;
+
+        // Ascending frequency sweep, stopping once the budget is blown.
+        const sim::Program prog = app.make(n, scale_);
+        double best_f = 0.0;
+        double prev_f = 0.0;
+        double prev_p = 0.0;
+        bool blown = false;
+        for (double f : freqs_hz) {
+            const Measurement m =
+                f == f1 ? nominal[i]
+                        : measure(prog, vf_.voltageFor(f), f);
+            if (m.total_w <= budget && !m.runaway) {
+                best_f = f;
+                prev_f = f;
+                prev_p = m.total_w;
+            } else {
+                // Refine the budget frontier inside [prev_f, f]. The
+                // paper interpolates linearly between the two profiled
+                // points; with the leakage-thermal feedback the upper
+                // point can be a runaway, so bisect with real
+                // measurements first and interpolate within the final
+                // bracket.
+                if (prev_f > 0.0) {
+                    double lo = prev_f, lo_p = prev_p;
+                    double hi = f, hi_p = m.total_w;
+                    bool hi_runaway = m.runaway;
+                    for (int step = 0; step < 3; ++step) {
+                        const double mid = 0.5 * (lo + hi);
+                        const Measurement mm =
+                            measure(prog, vf_.voltageFor(mid), mid);
+                        if (mm.total_w <= budget && !mm.runaway) {
+                            lo = mid;
+                            lo_p = mm.total_w;
+                        } else {
+                            hi = mid;
+                            hi_p = mm.total_w;
+                            hi_runaway = mm.runaway;
+                        }
+                    }
+                    best_f = lo;
+                    if (!hi_runaway && hi_p > lo_p) {
+                        best_f = lo +
+                            (budget - lo_p) / (hi_p - lo_p) * (hi - lo);
+                    }
+                }
+                blown = true;
+                break;
+            }
+        }
+
+        if (best_f <= 0.0) {
+            // Even the lowest operating point exceeds the budget.
+            row.actual_speedup = 0.0;
+            rows.push_back(row);
+            continue;
+        }
+
+        row.at_nominal = !blown && best_f >= f1;
+        row.freq_hz = best_f;
+        row.vdd = vf_.voltageFor(best_f);
+
+        // Validation run at the chosen operating point.
+        const Measurement final_m = best_f == f1
+            ? nominal[i]
+            : measure(prog, row.vdd, best_f);
+        row.power_w = final_m.total_w;
+        row.actual_speedup = base.seconds / final_m.seconds;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace tlp::runner

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Experiment — the end-to-end experimental pipeline of §3/§4: the
+ * simulated 16-way CMP, the Wattch-style power model with microbenchmark
+ * renormalization, the HotSpot-style thermal model with its 100 C anchor,
+ * the Pentium-M-style V/f table, and the two evaluation scenarios.
+ *
+ * Construction performs the paper's calibration sequence (§3.3):
+ *  1. run the compute-bound microbenchmark on one core at nominal V/f;
+ *  2. renormalize the raw activity-power model so that this quasi-maximum
+ *     scenario matches the technology's maximum operational dynamic power;
+ *  3. calibrate the thermal package so the fully loaded single core sits
+ *     at exactly 100 C (with temperature-dependent static power included).
+ *
+ * measure() then prices any finished simulation run: dynamic power from
+ * activity counters, static power and die temperature from the coupled
+ * power/temperature fixed point.
+ */
+
+#ifndef TLP_RUNNER_EXPERIMENT_HPP
+#define TLP_RUNNER_EXPERIMENT_HPP
+
+#include <vector>
+
+#include "power/chip_power.hpp"
+#include "sim/cmp.hpp"
+#include "tech/technology.hpp"
+#include "tech/vf_table.hpp"
+#include "thermal/rc_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlp::runner {
+
+/** Power/thermal pricing of one simulation run. */
+struct Measurement
+{
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+    double freq_hz = 0.0;
+    double vdd = 0.0;
+    double dynamic_w = 0.0;       ///< renormalized chip dynamic power
+    double static_w = 0.0;        ///< converged chip static power
+    double total_w = 0.0;         ///< dynamic + static (includes L2)
+    double avg_core_temp_c = 0.0; ///< area-weighted over active cores
+    double core_power_density_w_m2 = 0.0; ///< active cores only, L2 excl.
+    std::uint64_t instructions = 0;
+    /** Leakage-thermal runaway: the operating point is not sustainable
+     *  (temperatures clamped at the runaway cap). */
+    bool runaway = false;
+};
+
+/** One row of the Scenario I evaluation (Figure 3). */
+struct Scenario1Row
+{
+    int n = 1;
+    double eps_n = 1.0;            ///< nominal parallel efficiency
+    double freq_hz = 0.0;          ///< Eq. 7 target frequency
+    double vdd = 0.0;              ///< from the V/f table
+    double actual_speedup = 1.0;   ///< wall-clock vs sequential nominal
+    double normalized_power = 1.0; ///< P_N / P_1
+    double normalized_density = 1.0;
+    double avg_temp_c = 0.0;
+    Measurement measurement;
+};
+
+/** One row of the Scenario II evaluation (Figure 4). */
+struct Scenario2Row
+{
+    int n = 1;
+    double nominal_speedup = 1.0; ///< N * eps_n(N), no power constraint
+    double actual_speedup = 1.0;  ///< best speedup within the budget
+    double freq_hz = 0.0;         ///< chosen operating frequency
+    double vdd = 0.0;
+    double power_w = 0.0;         ///< chip power at the chosen point
+    bool at_nominal = false;      ///< ran at full V/f within budget
+};
+
+/** The experimental testbed. */
+class Experiment
+{
+  public:
+    /**
+     * @param scale  workload problem-size scale in (0, 1] (tests use small
+     *               values; figures use 1.0)
+     * @param config machine configuration (defaults to Table 1)
+     */
+    explicit Experiment(double scale = 1.0,
+                        sim::CmpConfig config = sim::CmpConfig{});
+
+    /** Simulate @p program on @p n_threads cores at (vdd, freq) and price
+     *  the run. */
+    Measurement measure(const sim::Program& program, double vdd,
+                        double freq_hz) const;
+
+    /**
+     * Scenario I (§4.1): profile nominal efficiency, then re-run each
+     * configuration at the Eq. 7 frequency and the table voltage.
+     *
+     * @param app workload descriptor
+     * @param ns  core counts (the paper uses {1, 2, 4, 8, 16})
+     */
+    std::vector<Scenario1Row> scenario1(const workloads::WorkloadInfo& app,
+                                        const std::vector<int>& ns) const;
+
+    /**
+     * Scenario II (§4.2): frequency-sweep profiling, linear interpolation
+     * to the budget-limited operating point, and a final validation run.
+     *
+     * @param app       workload descriptor
+     * @param ns        core counts (the paper uses 1..16)
+     * @param freqs_hz  profiling grid (default: 200 MHz .. 3.2 GHz)
+     * @param budget_w  power budget; <= 0 selects the paper's default,
+     *                  the microbenchmark-derived single-core maximum
+     */
+    std::vector<Scenario2Row> scenario2(
+        const workloads::WorkloadInfo& app, const std::vector<int>& ns,
+        std::vector<double> freqs_hz = {}, double budget_w = 0.0) const;
+
+    /** Single-core maximum operational power (the Scenario II budget). */
+    double maxSingleCorePower() const { return max_core_power_w_; }
+
+    /** The Wattch->budget renormalization factor (§3.3). */
+    double renormFactor() const { return power_model_.renormFactor(); }
+
+    const tech::Technology& technology() const { return tech_; }
+    const sim::Cmp& cmp() const { return cmp_; }
+    const power::ChipPowerModel& powerModel() const { return power_model_; }
+    const thermal::RCModel& thermalModel() const { return thermal_; }
+    const tech::VfTable& vfTable() const { return vf_; }
+    double workloadScale() const { return scale_; }
+
+  private:
+    Measurement priceRun(const sim::RunResult& run, double vdd) const;
+
+    double scale_;
+    tech::Technology tech_;
+    sim::Cmp cmp_;
+    power::ChipPowerModel power_model_;
+    tech::VfTable vf_;
+    thermal::RCModel thermal_;
+    double max_core_power_w_ = 0.0;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_EXPERIMENT_HPP

@@ -1,0 +1,162 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+const char*
+mesiName(Mesi state)
+{
+    switch (state) {
+      case Mesi::Invalid:
+        return "I";
+      case Mesi::Shared:
+        return "S";
+      case Mesi::Exclusive:
+        return "E";
+      case Mesi::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t assoc)
+    : line_bytes_(line_bytes), assoc_(assoc)
+{
+    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
+        util::fatal("CacheArray: line size must be a power of two");
+    if (assoc == 0)
+        util::fatal("CacheArray: associativity must be positive");
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(line_bytes) * assoc;
+    if (size_bytes == 0 || size_bytes % way_bytes != 0)
+        util::fatal("CacheArray: size must be a multiple of line*assoc");
+    n_sets_ = size_bytes / way_bytes;
+    line_mask_ = line_bytes_ - 1;
+    lines_.resize(n_sets_ * assoc_);
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (addr / line_bytes_) % n_sets_;
+}
+
+CacheArray::Line*
+CacheArray::find(Addr addr)
+{
+    const Addr tag = lineAddr(addr);
+    Line* set = &lines_[setIndex(addr) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state != Mesi::Invalid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheArray::Line*
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray*>(this)->find(addr);
+}
+
+Mesi
+CacheArray::state(Addr addr) const
+{
+    const Line* line = find(addr);
+    return line ? line->state : Mesi::Invalid;
+}
+
+std::optional<Victim>
+CacheArray::insert(Addr addr, Mesi state)
+{
+    if (state == Mesi::Invalid)
+        util::panic("CacheArray::insert: cannot insert an Invalid line");
+
+    if (Line* hit = find(addr)) {
+        hit->state = state;
+        hit->lru = ++lru_clock_;
+        return std::nullopt;
+    }
+
+    Line* set = &lines_[setIndex(addr) * assoc_];
+    Line* slot = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state == Mesi::Invalid) {
+            slot = &set[w];
+            break;
+        }
+        if (!slot || set[w].lru < slot->lru)
+            slot = &set[w];
+    }
+
+    std::optional<Victim> victim;
+    if (slot->state != Mesi::Invalid)
+        victim = Victim{slot->tag, slot->state};
+
+    slot->tag = lineAddr(addr);
+    slot->state = state;
+    slot->lru = ++lru_clock_;
+    return victim;
+}
+
+void
+CacheArray::setState(Addr addr, Mesi state)
+{
+    Line* line = find(addr);
+    if (!line) {
+        util::panic(util::strcatMsg("CacheArray::setState: line 0x",
+                                    lineAddr(addr), " absent"));
+    }
+    if (state == Mesi::Invalid) {
+        line->state = Mesi::Invalid;
+        return;
+    }
+    line->state = state;
+}
+
+Mesi
+CacheArray::invalidate(Addr addr)
+{
+    Line* line = find(addr);
+    if (!line)
+        return Mesi::Invalid;
+    const Mesi prev = line->state;
+    line->state = Mesi::Invalid;
+    return prev;
+}
+
+void
+CacheArray::touch(Addr addr)
+{
+    Line* line = find(addr);
+    if (!line)
+        util::panic("CacheArray::touch: line absent");
+    line->lru = ++lru_clock_;
+}
+
+std::uint64_t
+CacheArray::validLines() const
+{
+    std::uint64_t count = 0;
+    for (const Line& line : lines_) {
+        if (line.state != Mesi::Invalid)
+            ++count;
+    }
+    return count;
+}
+
+void
+CacheArray::forEachValidLine(
+    const std::function<void(Addr, Mesi)>& visit) const
+{
+    for (const Line& line : lines_) {
+        if (line.state != Mesi::Invalid)
+            visit(line.tag, line.state);
+    }
+}
+
+} // namespace tlp::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative cache arrays with per-line MESI state and LRU
+ * replacement.
+ *
+ * CacheArray is a pure state container: the timing and the coherence
+ * protocol live in MemorySystem, which manipulates the arrays of all L1s
+ * plus the shared L2 atomically at bus-grant time. This mirrors the
+ * paper's 16-way CMP: private 64 KB 2-way L1s with 64 B lines, a shared
+ * inclusive 4 MB 8-way L2 with 128 B lines, MESI over a snooping bus.
+ */
+
+#ifndef TLP_SIM_CACHE_HPP
+#define TLP_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace tlp::sim {
+
+/** MESI coherence states. */
+enum class Mesi : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** Printable name of a MESI state. */
+const char* mesiName(Mesi state);
+
+/** Result of inserting a line: the evicted victim, if any. */
+struct Victim
+{
+    Addr line_addr = 0;
+    Mesi state = Mesi::Invalid;
+};
+
+/** A set-associative array of MESI-tagged lines. */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity, @param line_bytes line size (power
+     * of two), @param assoc ways. size must be divisible by
+     * line_bytes * assoc.
+     */
+    CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
+               std::uint32_t assoc);
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
+
+    /** Current state of the line holding @p addr (Invalid if absent). */
+    Mesi state(Addr addr) const;
+
+    /** True when the line is present in any valid state. */
+    bool contains(Addr addr) const { return state(addr) != Mesi::Invalid; }
+
+    /**
+     * Insert (or re-state) the line for @p addr with @p state and make it
+     * most-recently used. Returns the evicted victim when a valid line had
+     * to be displaced.
+     */
+    std::optional<Victim> insert(Addr addr, Mesi state);
+
+    /** Change the state of a present line; fatal if absent. */
+    void setState(Addr addr, Mesi state);
+
+    /** Invalidate the line if present; returns its previous state. */
+    Mesi invalidate(Addr addr);
+
+    /** Touch a present line for LRU purposes; fatal if absent. */
+    void touch(Addr addr);
+
+    std::uint32_t lineBytes() const { return line_bytes_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint64_t sets() const { return n_sets_; }
+
+    /** Number of currently valid lines (for tests/inspection). */
+    std::uint64_t validLines() const;
+
+    /** Visit every valid line as (line_addr, state). */
+    void forEachValidLine(
+        const std::function<void(Addr, Mesi)>& visit) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Mesi state = Mesi::Invalid;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Line* find(Addr addr);
+    const Line* find(Addr addr) const;
+
+    std::uint32_t line_bytes_;
+    std::uint32_t assoc_;
+    std::uint64_t n_sets_;
+    Addr line_mask_;
+    std::uint64_t lru_clock_ = 0;
+    std::vector<Line> lines_; // n_sets * assoc, row-major by set
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_CACHE_HPP

@@ -1,0 +1,88 @@
+#include "sim/cmp.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/sync.hpp"
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+namespace {
+
+/** Hard cap against runaway simulations (a generous multiple of any
+ *  legitimate workload in this repository). */
+constexpr std::uint64_t kMaxEvents = 4'000'000'000ull;
+
+} // namespace
+
+Cmp::Cmp(CmpConfig config) : config_(config)
+{
+    if (config_.n_cores < 1)
+        util::fatal("Cmp: need at least one core");
+    if (config_.f_nominal_hz <= 0.0)
+        util::fatal("Cmp: bad nominal frequency");
+}
+
+RunResult
+Cmp::run(const Program& program, double freq_hz) const
+{
+    const int n_threads = program.nThreads();
+    if (n_threads < 1 || n_threads > config_.n_cores) {
+        util::fatal(util::strcatMsg("Cmp::run: program has ", n_threads,
+                                    " threads for ", config_.n_cores,
+                                    " cores"));
+    }
+    if (freq_hz <= 0.0)
+        util::fatal("Cmp::run: bad frequency");
+
+    RunResult result;
+    result.freq_hz = freq_hz;
+    result.n_threads = n_threads;
+
+    EventQueue queue;
+    MemorySystem memsys(config_, n_threads, freq_hz, queue, result.stats);
+    BarrierManager barriers(config_, n_threads, queue, result.stats);
+    LockManager locks(config_, queue, result.stats);
+
+    int remaining = n_threads;
+    std::vector<std::unique_ptr<Core>> cores;
+    cores.reserve(n_threads);
+    for (int i = 0; i < n_threads; ++i) {
+        cores.push_back(std::make_unique<Core>(
+            i, config_, program.threads[i], queue, memsys, barriers, locks,
+            result.stats, [&remaining] { --remaining; }));
+    }
+    for (auto& core : cores)
+        core->start();
+
+    const std::uint64_t executed = queue.run(kMaxEvents);
+    if (executed >= kMaxEvents)
+        util::fatal("Cmp::run: event budget exceeded (livelock?)");
+    if (remaining != 0) {
+        util::fatal(util::strcatMsg("Cmp::run: deadlock, ", remaining,
+                                    " thread(s) never finished (barrier or "
+                                    "lock mismatch in the program)"));
+    }
+
+    for (const auto& core : cores)
+        result.cycles = std::max(result.cycles, core->finishCycle());
+    result.seconds = static_cast<double>(result.cycles) / freq_hz;
+    result.instructions = program.instructionCount();
+    result.coherent = memsys.checkCoherence();
+
+    // Derived counters the power model consumes: instruction-fetch
+    // activity (one I-cache read per fetch group of four).
+    for (int i = 0; i < n_threads; ++i) {
+        const std::string prefix = "core" + std::to_string(i) + ".";
+        const std::uint64_t insts =
+            result.stats.counterValue(prefix + "insts");
+        result.stats.counter(prefix + "l1i.reads").increment(insts / 4);
+    }
+    return result;
+}
+
+} // namespace tlp::sim

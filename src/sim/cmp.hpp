@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cmp — the assembled 16-way chip multiprocessor simulator (§3 of the
+ * paper): one Core per thread, private L1s, MESI snooping bus, shared L2,
+ * off-chip memory, barriers, and locks, all driven by one event queue.
+ *
+ * A Cmp is stateless between runs: every run() builds a fresh hierarchy
+ * (cold caches), executes the program to completion at the given chip
+ * frequency, and returns the cycle count plus the full activity-counter
+ * registry that the power model prices.
+ */
+
+#ifndef TLP_SIM_CMP_HPP
+#define TLP_SIM_CMP_HPP
+
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+#include "util/stats.hpp"
+
+namespace tlp::sim {
+
+/** Everything a finished simulation reports. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;       ///< completion time in core cycles
+    double freq_hz = 0.0;           ///< chip frequency of the run
+    double seconds = 0.0;           ///< cycles / freq
+    std::uint64_t instructions = 0; ///< dynamic instructions retired
+    int n_threads = 0;              ///< cores that ran threads
+    bool coherent = false;          ///< MESI invariant held at the end
+    util::StatRegistry stats;       ///< per-unit activity counters
+
+    /** Aggregate instructions per cycle. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/** The chip multiprocessor simulator. */
+class Cmp
+{
+  public:
+    explicit Cmp(CmpConfig config);
+
+    /**
+     * Simulate @p program to completion at chip frequency @p freq_hz.
+     *
+     * The program's thread count selects how many cores participate;
+     * unused cores are shut off. Throws FatalError on deadlock (event
+     * queue drained with unfinished threads) or when the event budget is
+     * exceeded.
+     */
+    RunResult run(const Program& program, double freq_hz) const;
+
+    const CmpConfig& config() const { return config_; }
+
+  private:
+    CmpConfig config_;
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_CMP_HPP

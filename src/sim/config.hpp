@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Configuration of the simulated CMP (Table 1 of the paper).
+ *
+ * Latencies are in core cycles except the memory round trip, which is in
+ * nanoseconds: with chip-wide DVFS the on-chip latencies are constant in
+ * cycles while the memory round trip is constant in *time*, so its cost in
+ * processor cycles shrinks as the chip is scaled down — the effect behind
+ * the paper's memory-bound-application observations (§3.1, §4).
+ */
+
+#ifndef TLP_SIM_CONFIG_HPP
+#define TLP_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+namespace tlp::sim {
+
+/** Full machine configuration with the paper's Table 1 defaults. */
+struct CmpConfig
+{
+    int n_cores = 16;               ///< 16-way CMP
+
+    // Core (Alpha 21264-like abstraction).
+    double ipc_int = 2.0;           ///< sustained integer ops per cycle
+    double ipc_fp = 2.0;            ///< two FP pipes (add + multiply)
+    std::uint32_t store_buffer_entries = 8;
+
+    // Private L1 caches: 64 KB, 64 B lines, 2-way, 2-cycle round trip.
+    std::uint64_t l1_size_bytes = 64 * 1024;
+    std::uint32_t l1_line_bytes = 64;
+    std::uint32_t l1_assoc = 2;
+    std::uint32_t l1_hit_cycles = 2;
+
+    // Shared L2: 4 MB, 128 B lines, 8-way, 12-cycle round trip.
+    std::uint64_t l2_size_bytes = 4 * 1024 * 1024;
+    std::uint32_t l2_line_bytes = 128;
+    std::uint32_t l2_assoc = 8;
+    std::uint32_t l2_rt_cycles = 12;      ///< L1-miss/L2-hit round trip
+
+    // Snooping bus.
+    std::uint32_t bus_occupancy_data = 6;  ///< cycles held per data txn
+    std::uint32_t bus_occupancy_ctrl = 3;  ///< upgrades / writebacks
+    std::uint32_t c2c_rt_cycles = 10;      ///< cache-to-cache round trip
+    std::uint32_t upgrade_rt_cycles = 5;   ///< BusUpgr completion
+
+    // Off-chip memory: 75 ns round trip, own clock domain.
+    double memory_rt_ns = 75.0;
+
+    // Synchronization costs.
+    std::uint32_t barrier_release_cycles = 10;
+    std::uint32_t lock_acquire_cycles = 14; ///< uncontended RMW via L2
+    std::uint32_t lock_handoff_cycles = 16; ///< contended transfer
+
+    // Nominal operating point (65 nm EV6 scaled, Table 1).
+    double f_nominal_hz = 3.2e9;
+
+    /**
+     * Ablation knob: when true, the memory clock scales with the chip
+     * clock (the analytical model's system-wide DVFS assumption), so the
+     * memory round trip stays constant in *cycles*. The paper's
+     * experimental model keeps this false: chip-level DVFS narrows the
+     * processor-memory gap (§3.1).
+     */
+    bool scale_memory_with_chip = false;
+
+    /** Memory round trip in core cycles at chip frequency @p f_hz. */
+    std::uint32_t
+    memoryCycles(double f_hz) const
+    {
+        const double f_eff = scale_memory_with_chip ? f_nominal_hz : f_hz;
+        const double cycles = memory_rt_ns * 1e-9 * f_eff;
+        return cycles < 1.0 ? 1u : static_cast<std::uint32_t>(cycles + 0.5);
+    }
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_CONFIG_HPP

@@ -1,0 +1,127 @@
+#include "sim/core.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+Core::Core(int id, const CmpConfig& config, const ThreadProgram& program,
+           EventQueue& queue, MemorySystem& memsys,
+           BarrierManager& barriers, LockManager& locks,
+           util::StatRegistry& stats, std::function<void()> on_finish)
+    : id_(id), config_(config), program_(&program), queue_(&queue),
+      memsys_(&memsys), barriers_(&barriers), locks_(&locks),
+      stats_(&stats), on_finish_(std::move(on_finish))
+{
+    if (!program.finished())
+        util::fatal("Core: thread program lacks an End op");
+}
+
+util::Counter&
+Core::counter(const char* name)
+{
+    return stats_->counter("core" + std::to_string(id_) + "." + name);
+}
+
+void
+Core::countInstructions(std::uint64_t insts)
+{
+    counter("insts").increment(insts);
+}
+
+void
+Core::start()
+{
+    queue_->schedule(queue_->now(), [this] { resume(); });
+}
+
+void
+Core::resume()
+{
+    // Execute ops, accumulating compute cycles, until an op blocks (memory
+    // or synchronization) or the stream ends. Blocking ops re-enter
+    // resume() via their completion callbacks.
+    Cycle delay = 0;
+    while (true) {
+        const Op& op = program_->ops()[pc_];
+        switch (op.type) {
+          case OpType::IntOps: {
+            countInstructions(op.count);
+            counter("int_ops").increment(op.count);
+            compute_carry_ += op.count / config_.ipc_int;
+            const double whole = std::floor(compute_carry_);
+            compute_carry_ -= whole;
+            delay += static_cast<Cycle>(whole);
+            ++pc_;
+            break;
+          }
+          case OpType::FpOps: {
+            countInstructions(op.count);
+            counter("fp_ops").increment(op.count);
+            compute_carry_ += op.count / config_.ipc_fp;
+            const double whole = std::floor(compute_carry_);
+            compute_carry_ -= whole;
+            delay += static_cast<Cycle>(whole);
+            ++pc_;
+            break;
+          }
+          case OpType::Load: {
+            countInstructions(1);
+            const Addr addr = op.addr;
+            ++pc_;
+            queue_->scheduleIn(delay, [this, addr] {
+                memsys_->load(id_, addr, [this] { resume(); });
+            });
+            return;
+          }
+          case OpType::Store: {
+            countInstructions(1);
+            const Addr addr = op.addr;
+            ++pc_;
+            queue_->scheduleIn(delay, [this, addr] {
+                memsys_->store(id_, addr, [this] { resume(); });
+            });
+            return;
+          }
+          case OpType::Barrier: {
+            ++pc_;
+            queue_->scheduleIn(delay, [this] {
+                barriers_->arrive(id_, [this] { resume(); });
+            });
+            return;
+          }
+          case OpType::Lock: {
+            const std::uint64_t lock_id = op.addr;
+            ++pc_;
+            queue_->scheduleIn(delay, [this, lock_id] {
+                locks_->acquire(lock_id, id_, [this] { resume(); });
+            });
+            return;
+          }
+          case OpType::Unlock: {
+            const std::uint64_t lock_id = op.addr;
+            ++pc_;
+            // The release must occur at the correct simulated time and in
+            // deterministic order, so route it through the event queue.
+            queue_->scheduleIn(delay, [this, lock_id] {
+                locks_->release(lock_id, id_);
+                resume();
+            });
+            return;
+          }
+          case OpType::End: {
+            queue_->scheduleIn(delay, [this] {
+                finished_ = true;
+                finish_cycle_ = queue_->now();
+                counter("active_cycles").increment(finish_cycle_);
+                if (on_finish_)
+                    on_finish_();
+            });
+            return;
+          }
+        }
+    }
+}
+
+} // namespace tlp::sim

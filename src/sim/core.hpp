@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Core — the EV6-like timing model that executes one thread's abstract
+ * operation stream.
+ *
+ * The model is an in-order issue abstraction of the 4-wide 21264: runs of
+ * integer/FP computation retire at a sustained IPC, loads block on the
+ * cache hierarchy, stores retire through the store buffer, and
+ * synchronization ops hand control to the barrier/lock managers. This is
+ * deliberately simpler than a full out-of-order pipeline: the paper's
+ * evaluation consumes relative compute-vs-memory cycle accounting under
+ * DVFS, not microarchitectural detail (see DESIGN.md substitutions).
+ */
+
+#ifndef TLP_SIM_CORE_HPP
+#define TLP_SIM_CORE_HPP
+
+#include <functional>
+
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/program.hpp"
+#include "sim/sync.hpp"
+#include "util/stats.hpp"
+
+namespace tlp::sim {
+
+/** One core executing one thread program. */
+class Core
+{
+  public:
+    /**
+     * @param id       core / thread index
+     * @param config   machine configuration
+     * @param program  the thread's operation stream (must outlive Core)
+     * @param queue    global event queue
+     * @param memsys   cache hierarchy
+     * @param barriers barrier manager
+     * @param locks    lock manager
+     * @param stats    statistics registry
+     * @param on_finish invoked once when the thread retires its End op
+     */
+    Core(int id, const CmpConfig& config, const ThreadProgram& program,
+         EventQueue& queue, MemorySystem& memsys, BarrierManager& barriers,
+         LockManager& locks, util::StatRegistry& stats,
+         std::function<void()> on_finish);
+
+    /** Schedule the first fetch at cycle 0 (call once before running). */
+    void start();
+
+    bool finished() const { return finished_; }
+
+    /** Cycle at which the thread retired (valid once finished). */
+    Cycle finishCycle() const { return finish_cycle_; }
+
+  private:
+    /** Execute ops until the next blocking point. */
+    void resume();
+
+    /** Retire bookkeeping for @p insts instructions. */
+    void countInstructions(std::uint64_t insts);
+
+    util::Counter& counter(const char* name);
+
+    int id_;
+    CmpConfig config_;
+    const ThreadProgram* program_;
+    EventQueue* queue_;
+    MemorySystem* memsys_;
+    BarrierManager* barriers_;
+    LockManager* locks_;
+    util::StatRegistry* stats_;
+    std::function<void()> on_finish_;
+
+    std::size_t pc_ = 0;       ///< index into the op stream
+    bool finished_ = false;
+    Cycle finish_cycle_ = 0;
+    double compute_carry_ = 0.0; ///< fractional-cycle accumulator
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_CORE_HPP

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+void
+EventQueue::schedule(Cycle when, EventFn fn)
+{
+    if (when < now_) {
+        util::panic(util::strcatMsg("EventQueue: scheduling in the past (",
+                                    when, " < ", now_, ")"));
+    }
+    heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && executed < max_events) {
+        // Move the closure out before popping so it can schedule freely.
+        Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        now_ = entry.when;
+        entry.fn();
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace tlp::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global event queue drives the CMP model: cores, the bus, and
+ * the memory system schedule continuation closures at absolute cycle
+ * times. Ties are broken by insertion order, which (together with the
+ * FIFO bus arbiter) makes whole-chip simulations bit-for-bit
+ * deterministic.
+ */
+
+#ifndef TLP_SIM_EVENT_QUEUE_HPP
+#define TLP_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tlp::sim {
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Scheduled continuation. */
+using EventFn = std::function<void()>;
+
+/** A deterministic min-heap event queue over (cycle, sequence). */
+class EventQueue
+{
+  public:
+    /** Current simulation time; only advances inside run(). */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p fn at absolute cycle @p when (>= now). Scheduling in
+     *  the past is a fatal error. */
+    void schedule(Cycle when, EventFn fn);
+
+    /** Schedule @p fn @p delta cycles from now. */
+    void scheduleIn(Cycle delta, EventFn fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run until the queue drains or @p max_events have executed.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = ~0ull);
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_EVENT_QUEUE_HPP

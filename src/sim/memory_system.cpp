@@ -1,0 +1,325 @@
+#include "sim/memory_system.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+MemorySystem::MemorySystem(const CmpConfig& config, int n_active,
+                           double freq_hz, EventQueue& queue,
+                           util::StatRegistry& stats)
+    : config_(config), n_active_(n_active),
+      memory_cycles_(config.memoryCycles(freq_hz)), queue_(&queue),
+      stats_(&stats),
+      l2_(config.l2_size_bytes, config.l2_line_bytes, config.l2_assoc)
+{
+    if (n_active < 1 || n_active > config.n_cores)
+        util::fatal("MemorySystem: bad active core count");
+    l1_.reserve(config.n_cores);
+    for (int i = 0; i < config.n_cores; ++i) {
+        l1_.emplace_back(config.l1_size_bytes, config.l1_line_bytes,
+                         config.l1_assoc);
+    }
+    store_buffers_.resize(config.n_cores);
+}
+
+util::Counter&
+MemorySystem::counter(int core, const char* name)
+{
+    return stats_->counter("core" + std::to_string(core) + "." + name);
+}
+
+Cycle
+MemorySystem::reserveBus(std::uint32_t occupancy)
+{
+    const Cycle start = std::max(queue_->now(), bus_next_free_);
+    bus_next_free_ = start + occupancy;
+    stats_->counter("bus.transactions").increment();
+    return start;
+}
+
+void
+MemorySystem::load(int core, Addr addr, MemCallback done)
+{
+    counter(core, "loads").increment();
+    counter(core, "l1d.reads").increment();
+
+    CacheArray& l1 = l1_[core];
+    if (l1.contains(addr)) {
+        l1.touch(addr);
+        queue_->scheduleIn(config_.l1_hit_cycles, std::move(done));
+        return;
+    }
+
+    // Store-to-load forwarding from the core's own store buffer.
+    const Addr line = l1.lineAddr(addr);
+    const auto& buffered = store_buffers_[core].entries;
+    if (std::any_of(buffered.begin(), buffered.end(),
+                    [&](Addr a) { return l1.lineAddr(a) == line; })) {
+        queue_->scheduleIn(config_.l1_hit_cycles, std::move(done));
+        return;
+    }
+
+    counter(core, "l1d.misses").increment();
+    issue({TxnKind::BusRd, core, addr, std::move(done)});
+}
+
+void
+MemorySystem::store(int core, Addr addr, MemCallback accepted)
+{
+    counter(core, "stores").increment();
+    counter(core, "l1d.writes").increment();
+
+    CacheArray& l1 = l1_[core];
+    const Mesi state = l1.state(addr);
+    if (state == Mesi::Modified || state == Mesi::Exclusive) {
+        l1.setState(addr, Mesi::Modified);
+        l1.touch(addr);
+        queue_->scheduleIn(1, std::move(accepted));
+        return;
+    }
+
+    counter(core, "l1d.misses").increment();
+    StoreBuffer& buffer = store_buffers_[core];
+    if (buffer.entries.size() < config_.store_buffer_entries) {
+        buffer.entries.push_back(addr);
+        queue_->scheduleIn(1, std::move(accepted));
+        drainStoreBuffer(core);
+    } else {
+        // Buffer full: the core stalls until a slot frees.
+        buffer.stalled.push_back([this, core, addr,
+                                  accepted = std::move(accepted)]() mutable {
+            store_buffers_[core].entries.push_back(addr);
+            queue_->scheduleIn(1, std::move(accepted));
+            drainStoreBuffer(core);
+        });
+    }
+}
+
+void
+MemorySystem::drainStoreBuffer(int core)
+{
+    StoreBuffer& buffer = store_buffers_[core];
+    if (buffer.draining || buffer.entries.empty())
+        return;
+    buffer.draining = true;
+    const Addr addr = buffer.entries.front();
+    issue({TxnKind::BusRdX, core, addr, [this, core]() {
+               StoreBuffer& buf = store_buffers_[core];
+               buf.entries.pop_front();
+               buf.draining = false;
+               if (!buf.stalled.empty() &&
+                   buf.entries.size() < config_.store_buffer_entries) {
+                   MemCallback retry = std::move(buf.stalled.front());
+                   buf.stalled.erase(buf.stalled.begin());
+                   retry();
+               } else {
+                   drainStoreBuffer(core);
+               }
+           }});
+}
+
+void
+MemorySystem::issue(Transaction txn)
+{
+    const std::uint32_t occupancy = txn.kind == TxnKind::Writeback
+        ? config_.bus_occupancy_ctrl
+        : config_.bus_occupancy_data;
+    const Cycle grant = reserveBus(occupancy);
+    queue_->schedule(grant, [this, txn = std::move(txn)]() mutable {
+        const std::uint32_t latency = applyAtGrant(txn);
+        if (txn.done)
+            queue_->scheduleIn(latency, std::move(txn.done));
+    });
+}
+
+std::uint32_t
+MemorySystem::fetchThroughL2(int core, Addr addr)
+{
+    (void)core;
+    if (l2_.contains(addr)) {
+        l2_.touch(addr);
+        stats_->counter("l2.reads").increment();
+        return config_.l2_rt_cycles;
+    }
+
+    stats_->counter("l2.misses").increment();
+    stats_->counter("memory.reads").increment();
+    const auto victim = l2_.insert(addr, Mesi::Exclusive);
+    if (victim) {
+        backInvalidate(victim->line_addr);
+        if (victim->state == Mesi::Modified)
+            stats_->counter("memory.writes").increment();
+    }
+    stats_->counter("l2.reads").increment();
+    return config_.l2_rt_cycles + memory_cycles_;
+}
+
+void
+MemorySystem::backInvalidate(Addr l2_line)
+{
+    // One L2 line covers l2_line_bytes / l1_line_bytes L1 lines.
+    for (Addr a = l2_line; a < l2_line + config_.l2_line_bytes;
+         a += config_.l1_line_bytes) {
+        for (int o = 0; o < n_active_; ++o) {
+            const Mesi prev = l1_[o].invalidate(a);
+            if (prev == Mesi::Modified) {
+                // The dirty L1 data bypasses the departing L2 line and is
+                // flushed straight to memory.
+                stats_->counter("memory.writes").increment();
+            }
+        }
+    }
+}
+
+void
+MemorySystem::l1Insert(int core, Addr addr, Mesi state)
+{
+    counter(core, "l1d.fills").increment();
+    const auto victim = l1_[core].insert(addr, state);
+    if (victim && victim->state == Mesi::Modified) {
+        counter(core, "l1d.writebacks").increment();
+        issue({TxnKind::Writeback, core, victim->line_addr, {}});
+    }
+}
+
+std::uint32_t
+MemorySystem::applyAtGrant(const Transaction& txn)
+{
+    const int core = txn.core;
+    const Addr addr = txn.addr;
+    CacheArray& l1 = l1_[core];
+
+    switch (txn.kind) {
+      case TxnKind::BusRd: {
+        if (l1.contains(addr)) {
+            // The line arrived while the request waited (e.g. a covering
+            // store committed); treat as an immediate hit.
+            l1.touch(addr);
+            return config_.l1_hit_cycles;
+        }
+        bool had_modified = false;
+        bool had_copy = false;
+        for (int o = 0; o < n_active_; ++o) {
+            if (o == core)
+                continue;
+            const Mesi st = l1_[o].state(addr);
+            if (st == Mesi::Invalid)
+                continue;
+            had_copy = true;
+            if (st == Mesi::Modified) {
+                had_modified = true;
+                // Owner supplies data and writes back to the L2.
+                if (l2_.contains(addr)) {
+                    l2_.setState(addr, Mesi::Modified);
+                    stats_->counter("l2.writes").increment();
+                } else {
+                    stats_->counter("memory.writes").increment();
+                }
+                stats_->counter("bus.c2c_transfers").increment();
+            }
+            l1_[o].setState(addr, Mesi::Shared);
+        }
+        if (had_modified) {
+            l1Insert(core, addr, Mesi::Shared);
+            return config_.c2c_rt_cycles;
+        }
+        if (had_copy) {
+            // Clean copy elsewhere: the inclusive L2 supplies the data.
+            const std::uint32_t latency = fetchThroughL2(core, addr);
+            l1Insert(core, addr, Mesi::Shared);
+            return latency;
+        }
+        const std::uint32_t latency = fetchThroughL2(core, addr);
+        l1Insert(core, addr, Mesi::Exclusive);
+        return latency;
+      }
+
+      case TxnKind::BusRdX: {
+        const Mesi mine = l1.state(addr);
+        if (mine == Mesi::Modified)
+            return 1;
+        if (mine == Mesi::Exclusive) {
+            l1.setState(addr, Mesi::Modified);
+            return 1;
+        }
+
+        bool had_modified = false;
+        bool had_copy = false;
+        for (int o = 0; o < n_active_; ++o) {
+            if (o == core)
+                continue;
+            const Mesi st = l1_[o].invalidate(addr);
+            if (st == Mesi::Invalid)
+                continue;
+            had_copy = true;
+            if (st == Mesi::Modified) {
+                had_modified = true;
+                if (l2_.contains(addr)) {
+                    l2_.setState(addr, Mesi::Modified);
+                    stats_->counter("l2.writes").increment();
+                } else {
+                    stats_->counter("memory.writes").increment();
+                }
+                stats_->counter("bus.c2c_transfers").increment();
+            }
+        }
+
+        if (mine == Mesi::Shared) {
+            // BusUpgr: invalidation round, no data transfer.
+            l1.setState(addr, Mesi::Modified);
+            l1.touch(addr);
+            stats_->counter("bus.upgrades").increment();
+            return config_.upgrade_rt_cycles;
+        }
+        if (had_modified) {
+            l1Insert(core, addr, Mesi::Modified);
+            return config_.c2c_rt_cycles;
+        }
+        const std::uint32_t latency = fetchThroughL2(core, addr);
+        (void)had_copy;
+        l1Insert(core, addr, Mesi::Modified);
+        return latency;
+      }
+
+      case TxnKind::Writeback: {
+        if (l2_.contains(addr)) {
+            l2_.setState(addr, Mesi::Modified);
+            stats_->counter("l2.writes").increment();
+        } else {
+            stats_->counter("memory.writes").increment();
+        }
+        return 0;
+      }
+    }
+    util::panic("MemorySystem: unknown transaction kind");
+}
+
+bool
+MemorySystem::checkCoherence() const
+{
+    // Single-writer invariant: a line Modified or Exclusive in one L1 must
+    // be Invalid in every other L1. Inclusion: every valid L1 line must be
+    // covered by a valid L2 line.
+    bool coherent = true;
+    for (int a = 0; a < n_active_ && coherent; ++a) {
+        l1_[a].forEachValidLine([&](Addr line, Mesi st) {
+            if (!coherent)
+                return;
+            if (st == Mesi::Modified || st == Mesi::Exclusive) {
+                for (int b = 0; b < n_active_; ++b) {
+                    if (b != a && l1_[b].contains(line)) {
+                        coherent = false;
+                        return;
+                    }
+                }
+            }
+            if (!l2_.contains(line))
+                coherent = false;
+        });
+    }
+    return coherent;
+}
+
+} // namespace tlp::sim

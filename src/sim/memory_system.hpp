@@ -1,0 +1,153 @@
+/**
+ * @file
+ * MemorySystem — private L1s, MESI snooping bus, shared inclusive L2, and
+ * off-chip memory, with event-driven timing.
+ *
+ * Protocol summary (classic MESI over an atomic-grant split bus):
+ *  - Load miss  -> BusRd:  an M owner supplies data cache-to-cache (and
+ *    the line is written back to the L2), any E/S owners downgrade to S
+ *    and the requester loads in S; with no owner the L2 (or memory below
+ *    it) supplies data and the requester loads in E.
+ *  - Store miss -> BusRdX: all other copies invalidate (M writes back);
+ *    requester loads the line in M.
+ *  - Store hit S -> BusUpgr: data-less invalidation round; line becomes M.
+ *  - Store hit E -> silent E->M transition.
+ *  - L1 M-eviction writes back to the L2; the inclusive L2 back-invalidates
+ *    all covered L1 lines (two per 128 B L2 line) when it evicts.
+ *
+ * All protocol state changes are applied atomically when the bus grants a
+ * transaction; grants are serialized through a FIFO arbiter, so there are
+ * no transient races. The requester's completion callback is scheduled at
+ * grant time + the transaction's data latency.
+ *
+ * The memory round trip is fixed in nanoseconds and converted to core
+ * cycles at the current chip frequency (chip-wide DVFS does not scale the
+ * memory clock).
+ */
+
+#ifndef TLP_SIM_MEMORY_SYSTEM_HPP
+#define TLP_SIM_MEMORY_SYSTEM_HPP
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "util/stats.hpp"
+
+namespace tlp::sim {
+
+/** Completion callback for a memory request. */
+using MemCallback = std::function<void()>;
+
+/** The full cache/bus/memory hierarchy of the simulated chip. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param config  machine configuration
+     * @param n_active cores actually running threads (arrays are built for
+     *                all cores; only active ones issue requests)
+     * @param freq_hz chip frequency for this run (memory-cycle conversion)
+     * @param queue   the global event queue
+     * @param stats   registry receiving the activity counters
+     */
+    MemorySystem(const CmpConfig& config, int n_active, double freq_hz,
+                 EventQueue& queue, util::StatRegistry& stats);
+
+    /**
+     * Issue a load from core @p core to @p addr; @p done runs when the
+     * data is available (including the L1 hit case, after the L1 hit
+     * latency).
+     */
+    void load(int core, Addr addr, MemCallback done);
+
+    /**
+     * Issue a store from core @p core to @p addr.
+     *
+     * Stores retire through a per-core store buffer: @p accepted runs when
+     * the store occupies a buffer slot (1 cycle when a slot is free, later
+     * when the buffer is full); the buffer drains in the background.
+     */
+    void store(int core, Addr addr, MemCallback accepted);
+
+    /** L1 data cache of @p core (tests/inspection). */
+    const CacheArray& l1(int core) const { return l1_[core]; }
+
+    /** The shared L2 (tests/inspection). */
+    const CacheArray& l2() const { return l2_; }
+
+    /** Outstanding store-buffer entries of @p core. */
+    std::size_t storeBufferDepth(int core) const
+    {
+        return store_buffers_[core].entries.size();
+    }
+
+    /** Cycle at which the bus becomes free (tests/inspection). */
+    Cycle busNextFree() const { return bus_next_free_; }
+
+    /**
+     * MESI invariant check: no line is Modified/Exclusive in one L1 while
+     * valid in another. Returns true when coherent.
+     */
+    bool checkCoherence() const;
+
+  private:
+    /** What a granted transaction should do. */
+    enum class TxnKind : std::uint8_t { BusRd, BusRdX, BusUpgr, Writeback };
+
+    struct Transaction
+    {
+        TxnKind kind;
+        int core;
+        Addr addr;
+        MemCallback done; // empty for writebacks
+    };
+
+    struct StoreBuffer
+    {
+        std::deque<Addr> entries;
+        bool draining = false;
+        std::vector<MemCallback> stalled; // cores waiting for a slot
+    };
+
+    /** Reserve the bus for @p occupancy cycles; returns the grant cycle. */
+    Cycle reserveBus(std::uint32_t occupancy);
+
+    /** Issue a transaction: arbitrate, then apply at grant time. */
+    void issue(Transaction txn);
+
+    /** Apply a granted transaction; returns the data latency from grant. */
+    std::uint32_t applyAtGrant(const Transaction& txn);
+
+    /** L2 lookup/fill for a line fetch; returns latency from grant and
+     *  performs fills/evictions. */
+    std::uint32_t fetchThroughL2(int core, Addr addr);
+
+    /** Insert into an L1, handling the victim writeback. */
+    void l1Insert(int core, Addr addr, Mesi state);
+
+    /** Back-invalidate every L1 copy covered by an evicted L2 line. */
+    void backInvalidate(Addr l2_line);
+
+    void drainStoreBuffer(int core);
+
+    util::Counter& counter(int core, const char* name);
+
+    CmpConfig config_;
+    int n_active_;
+    std::uint32_t memory_cycles_;
+    EventQueue* queue_;
+    util::StatRegistry* stats_;
+
+    std::vector<CacheArray> l1_;
+    CacheArray l2_;
+    std::vector<StoreBuffer> store_buffers_;
+    Cycle bus_next_free_ = 0;
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_MEMORY_SYSTEM_HPP

@@ -1,0 +1,91 @@
+#include "sim/program.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+namespace {
+
+/** Split large ALU runs so per-op `count` stays in 32 bits and the core
+ *  model can interleave timing at a reasonable granularity. */
+constexpr std::uint32_t kMaxRun = 1u << 20;
+
+} // namespace
+
+void
+ThreadProgram::intOps(std::uint32_t count)
+{
+    while (count > 0) {
+        const std::uint32_t chunk = count > kMaxRun ? kMaxRun : count;
+        // Merge adjacent runs to keep streams compact.
+        if (!ops_.empty() && ops_.back().type == OpType::IntOps &&
+            ops_.back().count <= kMaxRun - chunk) {
+            ops_.back().count += chunk;
+        } else {
+            push({OpType::IntOps, chunk, 0});
+        }
+        count -= chunk;
+    }
+}
+
+void
+ThreadProgram::fpOps(std::uint32_t count)
+{
+    while (count > 0) {
+        const std::uint32_t chunk = count > kMaxRun ? kMaxRun : count;
+        if (!ops_.empty() && ops_.back().type == OpType::FpOps &&
+            ops_.back().count <= kMaxRun - chunk) {
+            ops_.back().count += chunk;
+        } else {
+            push({OpType::FpOps, chunk, 0});
+        }
+        count -= chunk;
+    }
+}
+
+void
+ThreadProgram::finish()
+{
+    if (!finished())
+        push({OpType::End, 0, 0});
+}
+
+bool
+ThreadProgram::finished() const
+{
+    return !ops_.empty() && ops_.back().type == OpType::End;
+}
+
+std::uint64_t
+ThreadProgram::instructionCount() const
+{
+    std::uint64_t count = 0;
+    for (const Op& op : ops_) {
+        switch (op.type) {
+          case OpType::IntOps:
+          case OpType::FpOps:
+            count += op.count;
+            break;
+          case OpType::Load:
+          case OpType::Store:
+            ++count;
+            break;
+          default:
+            break;
+        }
+    }
+    return count;
+}
+
+std::uint64_t
+Program::instructionCount() const
+{
+    std::uint64_t count = 0;
+    for (const ThreadProgram& t : threads)
+        count += t.instructionCount();
+    return count;
+}
+
+} // namespace tlp::sim

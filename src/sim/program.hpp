@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Abstract per-thread instruction streams consumed by the core model.
+ *
+ * Workload generators (tlp_workloads) compile each SPLASH-2-like kernel
+ * into one ThreadProgram per thread: runs of integer/floating-point
+ * computation, loads and stores with concrete byte addresses (so the cache
+ * hierarchy and the MESI protocol see real locality and sharing), and
+ * synchronization markers (barriers and locks).
+ */
+
+#ifndef TLP_SIM_PROGRAM_HPP
+#define TLP_SIM_PROGRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace tlp::sim {
+
+/** Byte address in the shared simulated address space. */
+using Addr = std::uint64_t;
+
+/** Kinds of abstract operations. */
+enum class OpType : std::uint8_t {
+    IntOps,  ///< `count` integer ALU operations
+    FpOps,   ///< `count` floating-point operations
+    Load,    ///< one load from `addr`
+    Store,   ///< one store to `addr`
+    Barrier, ///< global barrier number `addr`-th in program order
+    Lock,    ///< acquire lock id `addr`
+    Unlock,  ///< release lock id `addr`
+    End,     ///< thread finished
+};
+
+/** One abstract operation. */
+struct Op
+{
+    OpType type = OpType::End;
+    std::uint32_t count = 0; ///< operation count for IntOps/FpOps
+    Addr addr = 0;           ///< address (memory ops) or id (sync ops)
+};
+
+/** Immutable operation stream of one thread. */
+class ThreadProgram
+{
+  public:
+    ThreadProgram() = default;
+
+    /** Append an op; End is appended automatically by finish(). */
+    void push(Op op) { ops_.push_back(op); }
+
+    /** Convenience emitters used by the workload generators. */
+    void intOps(std::uint32_t count);
+    void fpOps(std::uint32_t count);
+    void load(Addr addr) { push({OpType::Load, 0, addr}); }
+    void store(Addr addr) { push({OpType::Store, 0, addr}); }
+    void barrier(std::uint64_t id) { push({OpType::Barrier, 0, id}); }
+    void lock(std::uint64_t id) { push({OpType::Lock, 0, id}); }
+    void unlock(std::uint64_t id) { push({OpType::Unlock, 0, id}); }
+
+    /** Seal the stream with an End op (idempotent). */
+    void finish();
+
+    const std::vector<Op>& ops() const { return ops_; }
+    bool finished() const;
+
+    /** Dynamic instruction count: ALU op counts plus one per memory op
+     *  (sync markers are free). */
+    std::uint64_t instructionCount() const;
+
+  private:
+    std::vector<Op> ops_;
+};
+
+/** A parallel program: one stream per thread plus sync-object counts. */
+struct Program
+{
+    std::vector<ThreadProgram> threads;
+    std::uint64_t n_barriers = 0; ///< number of distinct barrier episodes
+    std::uint64_t n_locks = 0;    ///< number of distinct lock ids
+
+    int nThreads() const { return static_cast<int>(threads.size()); }
+
+    /** Total dynamic instructions across threads. */
+    std::uint64_t instructionCount() const;
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_PROGRAM_HPP

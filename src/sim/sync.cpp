@@ -1,0 +1,89 @@
+#include "sim/sync.hpp"
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+BarrierManager::BarrierManager(const CmpConfig& config, int n_threads,
+                               EventQueue& queue, util::StatRegistry& stats)
+    : config_(config), n_threads_(n_threads), queue_(&queue),
+      stats_(&stats)
+{
+    if (n_threads < 1)
+        util::fatal("BarrierManager: need at least one thread");
+}
+
+void
+BarrierManager::arrive(int core, SyncCallback resume)
+{
+    (void)core;
+    waiting_.push_back(std::move(resume));
+    if (static_cast<int>(waiting_.size()) < n_threads_)
+        return;
+
+    // Last arrival releases everyone; the release notification fans out
+    // over the bus.
+    ++episodes_;
+    stats_->counter("sync.barrier_episodes").increment();
+    stats_->counter("bus.transactions").increment();
+    std::vector<SyncCallback> ready;
+    ready.swap(waiting_);
+    for (SyncCallback& cb : ready)
+        queue_->scheduleIn(config_.barrier_release_cycles, std::move(cb));
+}
+
+LockManager::LockManager(const CmpConfig& config, EventQueue& queue,
+                         util::StatRegistry& stats)
+    : config_(config), queue_(&queue), stats_(&stats)
+{
+}
+
+void
+LockManager::acquire(std::uint64_t id, int core, SyncCallback granted)
+{
+    LockState& lock = locks_[id];
+    stats_->counter("sync.lock_acquires").increment();
+    stats_->counter("bus.transactions").increment();
+    if (!lock.busy) {
+        lock.busy = true;
+        lock.owner = core;
+        queue_->scheduleIn(config_.lock_acquire_cycles, std::move(granted));
+    } else {
+        stats_->counter("sync.lock_contended").increment();
+        lock.waiters.emplace_back(core, std::move(granted));
+    }
+}
+
+void
+LockManager::release(std::uint64_t id, int core)
+{
+    const auto it = locks_.find(id);
+    if (it == locks_.end() || !it->second.busy)
+        util::fatal(util::strcatMsg("LockManager: release of free lock ",
+                                    id));
+    LockState& lock = it->second;
+    if (lock.owner != core) {
+        util::fatal(util::strcatMsg("LockManager: lock ", id, " held by ",
+                                    lock.owner, ", released by ", core));
+    }
+
+    if (lock.waiters.empty()) {
+        lock.busy = false;
+        lock.owner = -1;
+        return;
+    }
+    auto [next, cb] = std::move(lock.waiters.front());
+    lock.waiters.pop_front();
+    lock.owner = next;
+    stats_->counter("bus.transactions").increment();
+    queue_->scheduleIn(config_.lock_handoff_cycles, std::move(cb));
+}
+
+bool
+LockManager::held(std::uint64_t id) const
+{
+    const auto it = locks_.find(id);
+    return it != locks_.end() && it->second.busy;
+}
+
+} // namespace tlp::sim

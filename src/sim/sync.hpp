@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synchronization primitives of the simulated CMP: centralized barriers
+ * and queued locks.
+ *
+ * Costs are modelled at the level the evaluation needs: an uncontended
+ * lock acquire costs one atomic read-modify-write through the L2; a
+ * contended hand-off costs a cache-to-cache transfer; a barrier release
+ * fans out invalidations on the bus. Waiting cores are descheduled (their
+ * continuation runs when the primitive grants), and the wait shows up as
+ * idle (non-issuing) cycles in the power model's clock-gating term.
+ */
+
+#ifndef TLP_SIM_SYNC_HPP
+#define TLP_SIM_SYNC_HPP
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "util/stats.hpp"
+
+namespace tlp::sim {
+
+/** Completion callback of a synchronization request. */
+using SyncCallback = std::function<void()>;
+
+/** Centralized sense-reversing barrier spanning all running threads. */
+class BarrierManager
+{
+  public:
+    BarrierManager(const CmpConfig& config, int n_threads,
+                   EventQueue& queue, util::StatRegistry& stats);
+
+    /** Thread @p core arrives; @p resume runs when all threads arrived. */
+    void arrive(int core, SyncCallback resume);
+
+    /** Number of completed barrier episodes. */
+    std::uint64_t episodes() const { return episodes_; }
+
+  private:
+    CmpConfig config_;
+    int n_threads_;
+    EventQueue* queue_;
+    util::StatRegistry* stats_;
+    std::vector<SyncCallback> waiting_;
+    std::uint64_t episodes_ = 0;
+};
+
+/** FIFO-queued locks addressed by id. */
+class LockManager
+{
+  public:
+    LockManager(const CmpConfig& config, EventQueue& queue,
+                util::StatRegistry& stats);
+
+    /** Thread @p core requests lock @p id; @p granted runs at acquire. */
+    void acquire(std::uint64_t id, int core, SyncCallback granted);
+
+    /** Thread @p core releases lock @p id (must hold it). */
+    void release(std::uint64_t id, int core);
+
+    /** True when @p id is currently held. */
+    bool held(std::uint64_t id) const;
+
+  private:
+    struct LockState
+    {
+        bool busy = false;
+        int owner = -1;
+        std::deque<std::pair<int, SyncCallback>> waiters;
+    };
+
+    CmpConfig config_;
+    EventQueue* queue_;
+    util::StatRegistry* stats_;
+    std::unordered_map<std::uint64_t, LockState> locks_;
+};
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_SYNC_HPP

@@ -1,0 +1,54 @@
+#include "tech/alpha_power.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/solver.hpp"
+
+namespace tlp::tech {
+
+AlphaPowerLaw::AlphaPowerLaw(double vdd_nominal, double vth,
+                             double f_nominal, double alpha)
+    : vdd_nominal_(vdd_nominal), vth_(vth), f_nominal_(f_nominal),
+      alpha_(alpha)
+{
+    if (vdd_nominal <= vth) {
+        util::fatal(util::strcatMsg("AlphaPowerLaw: Vdd (", vdd_nominal,
+                                    ") must exceed Vth (", vth, ")"));
+    }
+    if (f_nominal <= 0.0)
+        util::fatal("AlphaPowerLaw: nominal frequency must be positive");
+    if (alpha <= 0.0)
+        util::fatal("AlphaPowerLaw: alpha must be positive");
+    k_ = f_nominal * vdd_nominal / std::pow(vdd_nominal - vth, alpha);
+}
+
+double
+AlphaPowerLaw::maxFrequency(double vdd) const
+{
+    if (vdd <= vth_)
+        return 0.0;
+    return k_ * std::pow(vdd - vth_, alpha_) / vdd;
+}
+
+double
+AlphaPowerLaw::voltageFor(double f) const
+{
+    if (f <= 0.0)
+        util::fatal("AlphaPowerLaw::voltageFor: frequency must be positive");
+
+    const double hi = 2.0 * vdd_nominal_;
+    if (f > maxFrequency(hi)) {
+        util::fatal(util::strcatMsg(
+            "AlphaPowerLaw::voltageFor: frequency ", f,
+            " Hz unreachable below ", hi, " V"));
+    }
+    // maxFrequency is strictly increasing in Vdd for Vdd > Vth (the
+    // (V - Vth)^alpha numerator dominates the 1/V factor for alpha >= 1),
+    // so a sign change is guaranteed on (vth, hi].
+    const auto residual = [&](double v) { return maxFrequency(v) - f; };
+    const double lo = vth_ + 1e-9;
+    return util::bisect(residual, lo, hi, 1e-9).x;
+}
+
+} // namespace tlp::tech

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Alpha-power-law relationship between supply voltage and maximum operating
+ * frequency (Eq. 1 of the paper):
+ *
+ *     f_max(V) = k * (V - Vth)^alpha / V
+ *
+ * with alpha = 1.3 for modern short-channel devices (Mudge, IEEE Computer
+ * 2001 — reference [31] of the paper). The scale constant k is calibrated so
+ * that f_max(V_nominal) = f_nominal.
+ */
+
+#ifndef TLP_TECH_ALPHA_POWER_HPP
+#define TLP_TECH_ALPHA_POWER_HPP
+
+namespace tlp::tech {
+
+/** Calibrated alpha-power frequency law for one process technology. */
+class AlphaPowerLaw
+{
+  public:
+    /**
+     * @param vdd_nominal nominal supply voltage [V]
+     * @param vth         threshold voltage [V]; must be < vdd_nominal
+     * @param f_nominal   frequency delivered at the nominal voltage [Hz]
+     * @param alpha       velocity-saturation exponent (default 1.3)
+     */
+    AlphaPowerLaw(double vdd_nominal, double vth, double f_nominal,
+                  double alpha = 1.3);
+
+    /** Maximum operating frequency at supply voltage @p vdd [Hz].
+     *  Zero at or below the threshold voltage. */
+    double maxFrequency(double vdd) const;
+
+    /**
+     * Smallest supply voltage able to sustain frequency @p f [V].
+     *
+     * Inverts maxFrequency numerically (bisection). @p f must lie in
+     * (0, maxFrequency(vdd_nominal_upper)] where the search bracket tops
+     * out at 2x nominal Vdd; throws FatalError beyond that.
+     */
+    double voltageFor(double f) const;
+
+    double vth() const { return vth_; }
+    double vddNominal() const { return vdd_nominal_; }
+    double fNominal() const { return f_nominal_; }
+    double alpha() const { return alpha_; }
+    double scaleConstant() const { return k_; }
+
+  private:
+    double vdd_nominal_;
+    double vth_;
+    double f_nominal_;
+    double alpha_;
+    double k_;
+};
+
+} // namespace tlp::tech
+
+#endif // TLP_TECH_ALPHA_POWER_HPP

@@ -1,0 +1,157 @@
+#include "tech/leakage.hpp"
+
+#include <cmath>
+
+#include "util/linalg.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace tlp::tech {
+
+namespace {
+
+/** Unnormalized subthreshold current shape. */
+double
+subShape(const LeakageReferenceParams& p, double vdd, double t_celsius)
+{
+    const double t_k = util::celsiusToKelvin(t_celsius);
+    const double vt = util::thermalVoltage(t_k);
+    const double vth_eff =
+        p.vth - p.vth_tc * (t_celsius - util::kRoomTemperatureC);
+    return vt * vt *
+        std::exp((-vth_eff + p.dibl_eta * vdd) /
+                 (p.subthreshold_swing_n * vt));
+}
+
+/** Unnormalized gate-oxide tunnelling current shape. */
+double
+oxShape(const LeakageReferenceParams& p, double vdd)
+{
+    if (vdd <= 0.0)
+        return 0.0;
+    return vdd * vdd * std::exp(-p.gate_b / vdd);
+}
+
+} // namespace
+
+LeakageReference::LeakageReference(const LeakageReferenceParams& params)
+    : params_(params)
+{
+    if (params_.vth <= 0.0 || params_.v_nominal <= params_.vth)
+        util::fatal("LeakageReference: invalid Vth / Vdd");
+    if (params_.gate_fraction_nominal < 0.0 ||
+        params_.gate_fraction_nominal >= 1.0) {
+        util::fatal("LeakageReference: gate fraction must be in [0, 1)");
+    }
+
+    // Calibrate the prefactors so that the total at (Vn, 25 C) is exactly 1
+    // and the gate-oxide component contributes gate_fraction_nominal of it.
+    const double sub_nom =
+        subShape(params_, params_.v_nominal, util::kRoomTemperatureC);
+    const double ox_nom = oxShape(params_, params_.v_nominal);
+    k_sub_ = (1.0 - params_.gate_fraction_nominal) / sub_nom;
+    k_ox_ = ox_nom > 0.0 ? params_.gate_fraction_nominal / ox_nom : 0.0;
+}
+
+double
+LeakageReference::subthreshold(double vdd, double t_celsius) const
+{
+    return k_sub_ * subShape(params_, vdd, t_celsius);
+}
+
+double
+LeakageReference::gateOxide(double vdd) const
+{
+    return k_ox_ * oxShape(params_, vdd);
+}
+
+double
+LeakageReference::current(double vdd, double t_celsius) const
+{
+    return subthreshold(vdd, t_celsius) + gateOxide(vdd);
+}
+
+double
+LeakageScaleFit::scale(double vdd, double t_celsius) const
+{
+    const double t_k = util::celsiusToKelvin(t_celsius);
+    const double t_std_k = util::celsiusToKelvin(t_std_c);
+    const double dv = vdd - v_nominal;
+    const double dti = 1.0 / t_std_k - 1.0 / t_k;
+    return std::pow(vdd / v_nominal, mu) * (t_k / t_std_k) *
+        (t_k / t_std_k) *
+        std::exp(b1 * dv + b2 * dti + b3 * dv * dti);
+}
+
+LeakageFitReport
+fitLeakageScale(const LeakageReference& reference, double v_min,
+                double v_max, double t_min_c, double t_max_c, int grid)
+{
+    if (grid < 3)
+        util::fatal("fitLeakageScale: grid too small");
+    if (!(v_min < v_max) || !(t_min_c < t_max_c))
+        util::fatal("fitLeakageScale: empty fitting window");
+
+    const double vn = reference.params().v_nominal;
+    const double t_std_c = util::kRoomTemperatureC;
+    const double t_std_k = util::celsiusToKelvin(t_std_c);
+    const double ref_nominal = reference.current(vn, t_std_c);
+
+    // Regress ln s = mu*ln(V/Vn) + 2*ln(T/Tstd) + b1*dv + b2*dti
+    //               + b3*dv*dti
+    // The 2*ln(T/Tstd) term is fixed by the model form and moves to the
+    // left-hand side.
+    const int n_points = grid * grid;
+    util::Matrix a(static_cast<std::size_t>(n_points), 4);
+    std::vector<double> rhs(static_cast<std::size_t>(n_points), 0.0);
+
+    std::size_t row = 0;
+    for (int i = 0; i < grid; ++i) {
+        const double v = v_min + (v_max - v_min) * i / (grid - 1);
+        for (int j = 0; j < grid; ++j, ++row) {
+            const double t_c = t_min_c + (t_max_c - t_min_c) * j /
+                (grid - 1);
+            const double t_k = util::celsiusToKelvin(t_c);
+            const double s = reference.current(v, t_c) / ref_nominal;
+            const double dv = v - vn;
+            const double dti = 1.0 / t_std_k - 1.0 / t_k;
+            a(row, 0) = std::log(v / vn);
+            a(row, 1) = dv;
+            a(row, 2) = dti;
+            a(row, 3) = dv * dti;
+            rhs[row] = std::log(s) - 2.0 * std::log(t_k / t_std_k);
+        }
+    }
+
+    const std::vector<double> x = util::solveLeastSquares(a, rhs);
+
+    LeakageFitReport report;
+    report.fit.v_nominal = vn;
+    report.fit.t_std_c = t_std_c;
+    report.fit.mu = x[0];
+    report.fit.b1 = x[1];
+    report.fit.b2 = x[2];
+    report.fit.b3 = x[3];
+    report.grid_points = n_points;
+
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    for (int i = 0; i < grid; ++i) {
+        const double v = v_min + (v_max - v_min) * i / (grid - 1);
+        for (int j = 0; j < grid; ++j) {
+            const double t_c = t_min_c + (t_max_c - t_min_c) * j /
+                (grid - 1);
+            const double ref = reference.current(v, t_c) / ref_nominal;
+            const double fit = report.fit.scale(v, t_c);
+            const double err = std::fabs(fit - ref) / ref;
+            err_sum += err;
+            if (err > err_max)
+                err_max = err;
+        }
+    }
+    report.avg_rel_error = err_sum / n_points;
+    report.max_rel_error = err_max;
+    return report;
+}
+
+} // namespace tlp::tech

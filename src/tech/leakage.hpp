@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Leakage-current modelling (Eq. 3/4 of the paper).
+ *
+ * The paper approximates the voltage/temperature dependence of leakage with
+ * a curve-fitted formula, validated against HSpice simulations of an
+ * inverter chain (max error 9.5 % / 7.5 % for 130 nm / 65 nm). We have no
+ * HSpice, so the same structure is reproduced with two models:
+ *
+ *  - LeakageReference: a BSIM-flavoured physical evaluator,
+ *        I_leak(V,T) = I_sub(V,T) + I_ox(V)
+ *        I_sub = k_sub * vT(T)^2 * exp((-Vth + eta*V) / (n * vT(T)))
+ *        I_ox  = k_ox  * V^2 * exp(-B / V)
+ *    (subthreshold conduction with DIBL, plus gate-oxide tunnelling).
+ *    This plays the role of the paper's HSpice runs.
+ *
+ *  - LeakageScaleFit: the curve-fitted scale factor s(V,T) relative to the
+ *    nominal voltage / room temperature point,
+ *        s(V,T) = (V/Vn)^mu * (T/Tstd)^2
+ *                 * exp(b1*(V-Vn))
+ *                 * exp(b2*(1/Tstd - 1/T))
+ *                 * exp(b3*(V-Vn)*(1/Tstd - 1/T))
+ *    (temperatures in kelvin). The b3 cross term captures the DIBL-vs-
+ *    thermal-voltage coupling of the subthreshold component; ln s is linear
+ *    in (mu, b1, b2, b3), so the fit is an ordinary linear least squares.
+ *
+ * fitLeakageScale() regresses a LeakageScaleFit against a LeakageReference
+ * over the operating window and reports the max/average relative error, the
+ * analogue of the paper's HSpice validation numbers.
+ */
+
+#ifndef TLP_TECH_LEAKAGE_HPP
+#define TLP_TECH_LEAKAGE_HPP
+
+namespace tlp::tech {
+
+/** Physical constants of the reference leakage evaluator. */
+struct LeakageReferenceParams
+{
+    double vth = 0.18;          ///< threshold voltage at 25 C [V]
+    double v_nominal = 1.1;     ///< nominal supply [V]
+    double subthreshold_swing_n = 1.5; ///< subthreshold slope factor n
+    double dibl_eta = 0.10;     ///< DIBL coefficient [V/V]
+    /** Threshold-voltage temperature coefficient [V/K]: Vth(T) =
+     *  vth - vth_tc * (T - 25 C). The dominant reason leakage grows so
+     *  steeply with die temperature; its log-contribution is proportional
+     *  to (1/Tstd - 1/T), so the curve fit absorbs it exactly in b2. */
+    double vth_tc = 0.0;
+    double gate_b = 3.0;        ///< gate-tunnelling exponent constant [V]
+    /** Fraction of total leakage contributed by gate-oxide tunnelling at
+     *  the (v_nominal, 25 C) normalization point. */
+    double gate_fraction_nominal = 0.3;
+};
+
+/** BSIM-flavoured physical leakage model (the "HSpice stand-in"). */
+class LeakageReference
+{
+  public:
+    explicit LeakageReference(const LeakageReferenceParams& params);
+
+    /** Leakage current at supply @p vdd [V] and temperature @p t_celsius,
+     *  normalized so that current(v_nominal, 25 C) = 1. */
+    double current(double vdd, double t_celsius) const;
+
+    /** Subthreshold component only (same normalization). */
+    double subthreshold(double vdd, double t_celsius) const;
+
+    /** Gate-oxide component only (same normalization). */
+    double gateOxide(double vdd) const;
+
+    const LeakageReferenceParams& params() const { return params_; }
+
+  private:
+    LeakageReferenceParams params_;
+    double k_sub_ = 1.0; ///< subthreshold prefactor (calibrated)
+    double k_ox_ = 0.0;  ///< gate prefactor (calibrated)
+};
+
+/** Curve-fitted leakage scale factor s(V, T) relative to (Vn, Tstd). */
+struct LeakageScaleFit
+{
+    double v_nominal = 1.1;  ///< normalization voltage Vn [V]
+    double t_std_c = 25.0;   ///< normalization temperature Tstd [deg C]
+    double mu = 0.0;         ///< power-law exponent on V/Vn
+    double b1 = 0.0;         ///< linear-in-V exponent [1/V]
+    double b2 = 0.0;         ///< Arrhenius temperature exponent [K]
+    double b3 = 0.0;         ///< V-T cross-term exponent [K/V]
+
+    /** Evaluate s(V, T); equals 1 at (v_nominal, t_std_c). */
+    double scale(double vdd, double t_celsius) const;
+};
+
+/** Quality report of a leakage fit (paper: "max error within 9.5 % and
+ *  7.5 % ... 0.25 % and 0.05 % average error"). */
+struct LeakageFitReport
+{
+    LeakageScaleFit fit;
+    double max_rel_error = 0.0; ///< max |fit - ref| / ref over the grid
+    double avg_rel_error = 0.0; ///< mean relative error over the grid
+    int grid_points = 0;
+};
+
+/**
+ * Fit a LeakageScaleFit to @p reference by linear least squares on
+ * ln s over a uniform (V, T) grid.
+ *
+ * @param reference  physical model to regress against
+ * @param v_min      lower end of the supply range [V]
+ * @param v_max      upper end (typically the nominal voltage) [V]
+ * @param t_min_c    lower temperature [deg C]
+ * @param t_max_c    upper temperature [deg C]
+ * @param grid       samples per axis (grid x grid total)
+ */
+LeakageFitReport fitLeakageScale(const LeakageReference& reference,
+                                 double v_min, double v_max, double t_min_c,
+                                 double t_max_c, int grid = 25);
+
+} // namespace tlp::tech
+
+#endif // TLP_TECH_LEAKAGE_HPP

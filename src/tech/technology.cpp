@@ -1,0 +1,130 @@
+#include "tech/technology.hpp"
+
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace tlp::tech {
+
+Technology::Technology(Params params)
+    : params_(std::move(params)),
+      law_(params_.vdd_nominal, params_.vth, params_.f_nominal,
+           params_.alpha),
+      reference_(params_.leakage_reference),
+      fit_report_(fitLeakageScale(reference_, params_.v_min,
+                                  params_.vdd_nominal, 40.0, 110.0))
+{
+    if (params_.v_min < params_.vth) {
+        util::fatal(util::strcatMsg(
+            "Technology ", params_.name, ": v_min (", params_.v_min,
+            ") below Vth (", params_.vth, ") leaves no noise margin"));
+    }
+    if (params_.core_power_hot <= 0.0)
+        util::fatal("Technology: core_power_hot must be positive");
+    if (params_.static_fraction_hot < 0.0 ||
+        params_.static_fraction_hot >= 1.0) {
+        util::fatal("Technology: static_fraction_hot must be in [0, 1)");
+    }
+}
+
+double
+Technology::dynamicPowerNominal() const
+{
+    return params_.core_power_hot * (1.0 - params_.static_fraction_hot);
+}
+
+double
+Technology::staticPowerHot() const
+{
+    return params_.core_power_hot * params_.static_fraction_hot;
+}
+
+double
+Technology::staticPowerStd() const
+{
+    // The hot split is defined at (V1, t_hot); refer it back to
+    // (V1, 25 C) through the fitted scale factor.
+    const double s_hot =
+        fit_report_.fit.scale(params_.vdd_nominal, params_.t_hot_c);
+    return staticPowerHot() / s_hot;
+}
+
+double
+Technology::staticPower(double vdd, double t_celsius) const
+{
+    // P_S = V * I_leak(V, T) = P_S1,std * (V/V1) * s(V, T)   (Eq. 4/9)
+    return staticPowerStd() * (vdd / params_.vdd_nominal) *
+        fit_report_.fit.scale(vdd, t_celsius);
+}
+
+double
+Technology::dynamicPower(double vdd, double f) const
+{
+    const double kappa = vdd / params_.vdd_nominal;
+    return dynamicPowerNominal() * kappa * kappa * (f / params_.f_nominal);
+}
+
+Technology
+tech130nm()
+{
+    // Tuned so that the Scenario I/II shapes of the paper's Figures 1-2
+    // emerge from the coupled leakage/thermal model; see DESIGN.md and
+    // EXPERIMENTS.md for the calibration rationale of each constant.
+    Technology::Params p;
+    p.name = "130nm";
+    p.feature_nm = 130.0;
+    p.vdd_nominal = 1.3;
+    p.vth = 0.26;
+    p.v_min = 2.2 * p.vth;   // noise-margin floor (see DESIGN.md)
+    p.f_nominal = 1.6e9;     // EV6 scaled to 130 nm
+    p.alpha = 1.3;           // strongly velocity-saturated f(V) exponent
+    p.core_power_hot = 55.0;
+    p.static_fraction_hot = 0.13;
+    p.t_hot_c = 100.0;
+    p.core_area_m2 = 4.0e-5; // EV6 (~314 mm^2 at 350 nm) scaled to 130 nm
+
+    LeakageReferenceParams lr;
+    lr.vth = p.vth;
+    lr.v_nominal = p.vdd_nominal;
+    lr.subthreshold_swing_n = 1.6;
+    lr.dibl_eta = 0.02;          // weak DIBL at the longer channel
+    lr.vth_tc = 0.0008;          // Vth falls ~0.8 mV/K
+    lr.gate_b = 4.5;             // thicker oxide: steeper tunnelling knee
+    lr.gate_fraction_nominal = 0.05;
+    p.leakage_reference = lr;
+
+    return Technology(std::move(p));
+}
+
+Technology
+tech65nm()
+{
+    Technology::Params p;
+    p.name = "65nm";
+    p.feature_nm = 65.0;
+    p.vdd_nominal = 1.1;     // paper Table 1
+    p.vth = 0.18;            // paper Table 1
+    p.v_min = 2.0 * p.vth;   // noise-margin floor (see DESIGN.md)
+    p.f_nominal = 3.2e9;     // paper Table 1
+    // Effective exponent fitted to the narrower usable DVFS window of
+    // 65 nm-class shipping parts (supply headroom shrank faster than
+    // frequency); see EXPERIMENTS.md.
+    p.alpha = 2.0;
+    p.core_power_hot = 65.0;
+    p.static_fraction_hot = 0.26;  // ITRS: leakage-heavy node
+    p.t_hot_c = 100.0;
+    p.core_area_m2 = 1.0e-5; // 16 cores + 4 MB L2 fill the 244.5 mm^2 die
+
+    LeakageReferenceParams lr;
+    lr.vth = p.vth;
+    lr.v_nominal = p.vdd_nominal;
+    lr.subthreshold_swing_n = 1.3;
+    lr.dibl_eta = 0.015;
+    lr.vth_tc = 0.0011;          // Vth falls ~1.1 mV/K
+    lr.gate_b = 3.0;
+    lr.gate_fraction_nominal = 0.10;
+    p.leakage_reference = lr;
+
+    return Technology(std::move(p));
+}
+
+} // namespace tlp::tech

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Process-technology parameter sets for the analytical model.
+ *
+ * The paper draws V1, Vth, f1, and the dynamic/static power split of the
+ * single-core full-throttle configuration from the ITRS roadmap for two
+ * nodes, 130 nm and 65 nm; the key property carried by the presets is that
+ * the 65 nm node attributes a much larger share of total power to static
+ * (leakage) power, which drives the Figure 1/2 differences between nodes.
+ *
+ * A preset bundles:
+ *  - the alpha-power frequency law (Eq. 1),
+ *  - the curve-fitted leakage scale factor (Eq. 3), regressed at
+ *    construction against the BSIM-flavoured reference model, and
+ *  - the nominal power split at the hot reference point
+ *    (V1, f1, T = 100 C).
+ */
+
+#ifndef TLP_TECH_TECHNOLOGY_HPP
+#define TLP_TECH_TECHNOLOGY_HPP
+
+#include <string>
+
+#include "tech/alpha_power.hpp"
+#include "tech/leakage.hpp"
+
+namespace tlp::tech {
+
+/** All per-node constants consumed by the analytical and simulated models. */
+class Technology
+{
+  public:
+    /** Raw constants of a node; see tech130nm()/tech65nm() for the
+     *  ITRS-era values used in the reproduction. */
+    struct Params
+    {
+        std::string name;             ///< e.g. "65nm"
+        double feature_nm = 65.0;     ///< drawn feature size [nm]
+        double vdd_nominal = 1.1;     ///< V1 [V]
+        double vth = 0.18;            ///< threshold voltage [V]
+        double v_min = 0.36;          ///< voltage floor (noise margin) [V]
+        double f_nominal = 3.2e9;     ///< f1 [Hz]
+        double alpha = 1.3;           ///< alpha-power exponent
+        double core_power_hot = 0.0;  ///< P1 per core at (V1,f1,100C) [W]
+        double static_fraction_hot = 0.0; ///< static share of P1 at 100 C
+        double t_hot_c = 100.0;       ///< temperature anchoring the split
+        double core_area_m2 = 1.0e-5; ///< EV6-class core tile area [m^2]
+        LeakageReferenceParams leakage_reference; ///< physical constants
+    };
+
+    explicit Technology(Params params);
+
+    const std::string& name() const { return params_.name; }
+    double featureNm() const { return params_.feature_nm; }
+    double vddNominal() const { return params_.vdd_nominal; }
+    double vth() const { return params_.vth; }
+    double vMin() const { return params_.v_min; }
+    double fNominal() const { return params_.f_nominal; }
+    double tHotC() const { return params_.t_hot_c; }
+    double coreAreaM2() const { return params_.core_area_m2; }
+
+    /** The calibrated alpha-power frequency law. */
+    const AlphaPowerLaw& frequencyLaw() const { return law_; }
+
+    /** Curve-fitted leakage scale s(V, T) relative to (Vn, 25 C). */
+    const LeakageScaleFit& leakageFit() const { return fit_report_.fit; }
+
+    /** Fit-quality report (the paper's HSpice-validation analogue). */
+    const LeakageFitReport& leakageFitReport() const { return fit_report_; }
+
+    /** The physical reference leakage model the fit was regressed on. */
+    const LeakageReference& leakageReference() const { return reference_; }
+
+    /** Single-core total power at (V1, f1, 100 C) [W]. */
+    double corePowerHot() const { return params_.core_power_hot; }
+
+    /** Single-core dynamic power at (V1, f1) [W]; temperature
+     *  independent. */
+    double dynamicPowerNominal() const;
+
+    /** Single-core static power at (V1, T = 100 C) [W]. */
+    double staticPowerHot() const;
+
+    /** Single-core static power referred to (V1, Tstd = 25 C) [W]; the
+     *  P_S1,std of Eq. 9. */
+    double staticPowerStd() const;
+
+    /** Static power at arbitrary (V, T): staticPowerStd scaled by the
+     *  leakage fit and the voltage ratio (Eq. 4: P_S = V * I_leak). */
+    double staticPower(double vdd, double t_celsius) const;
+
+    /** Dynamic power at (V, f) for activity matching the nominal point:
+     *  P_D1 * (V/V1)^2 * (f/f1) (Eq. 2 with constant a*C). */
+    double dynamicPower(double vdd, double f) const;
+
+    const Params& params() const { return params_; }
+
+  private:
+    Params params_;
+    AlphaPowerLaw law_;
+    LeakageReference reference_;
+    LeakageFitReport fit_report_;
+};
+
+/**
+ * 130 nm high-performance node (ITRS 2001 era): V1 = 1.3 V, Vth = 0.26 V,
+ * f1 = 1.6 GHz (EV6 scaled), static share ~12 % of hot total power.
+ */
+Technology tech130nm();
+
+/**
+ * 65 nm high-performance node (ITRS 2003 era, also used by the paper's
+ * experimental CMP): V1 = 1.1 V, Vth = 0.18 V, f1 = 3.2 GHz, static share
+ * ~35 % of hot total power.
+ */
+Technology tech65nm();
+
+} // namespace tlp::tech
+
+#endif // TLP_TECH_TECHNOLOGY_HPP

@@ -1,0 +1,60 @@
+#include "tech/vf_table.hpp"
+
+#include "tech/technology.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace tlp::tech {
+
+VfTable::VfTable(std::vector<std::pair<double, double>> points)
+    : curve_(std::move(points))
+{
+    if (!curve_.monotoneIncreasing())
+        util::fatal("VfTable: voltage must be non-decreasing in frequency");
+    if (curve_.size() < 2)
+        util::fatal("VfTable: need at least two operating points");
+    for (const auto& [f, v] : curve_.points()) {
+        if (f <= 0.0 || v <= 0.0)
+            util::fatal("VfTable: operating points must be positive");
+    }
+}
+
+double
+VfTable::voltageFor(double f) const
+{
+    return curve_(f);
+}
+
+VfTable
+pentiumMLike(const Technology& tech)
+{
+    // Intel Pentium-M 755 (90 nm) published operating points, expressed
+    // relative to its top point (2.0 GHz / 1.340 V in the "performance"
+    // column of the June 2004 datasheet):
+    //   f/fmax : 1.0   0.9    0.8    0.7    0.6    0.3
+    //   V/Vmax : 1.0   0.963  0.925  0.896  0.866  0.731
+    struct RelPoint { double f; double v; };
+    constexpr RelPoint rel[] = {
+        {0.30, 0.731}, {0.60, 0.866}, {0.70, 0.896},
+        {0.80, 0.925}, {0.90, 0.963}, {1.00, 1.000},
+    };
+
+    const double f1 = tech.fNominal();
+    const double v1 = tech.vddNominal();
+    const double f_floor = util::mhz(200);
+
+    std::vector<std::pair<double, double>> points;
+    // Extend the curve's low end to the 200 MHz sweep floor at the
+    // technology's noise-margin voltage (the datasheet stops at 600 MHz;
+    // the paper sweeps down to 200 MHz).
+    points.emplace_back(f_floor, tech.vMin());
+    for (const RelPoint& rp : rel) {
+        const double f = rp.f * f1;
+        const double v = rp.v * v1;
+        if (f > f_floor && v > tech.vMin())
+            points.emplace_back(f, v);
+    }
+    return VfTable(std::move(points));
+}
+
+} // namespace tlp::tech

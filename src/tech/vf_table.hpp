@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Discrete voltage/frequency operating-point table.
+ *
+ * The paper's experimental CMP extrapolates supply voltage for a target
+ * frequency from the Intel Pentium-M datasheet (reference [18]) rather than
+ * from the analytic alpha-power law: shipping parts publish a short list of
+ * (f, V) points and anything in between is obtained by linear scaling. The
+ * factory pentiumMLike() re-anchors the published Pentium-M 90 nm curve to
+ * an arbitrary technology's (f_nominal, Vdd_nominal) and extends it down to
+ * the 200 MHz floor used in the paper's frequency sweeps.
+ */
+
+#ifndef TLP_TECH_VF_TABLE_HPP
+#define TLP_TECH_VF_TABLE_HPP
+
+#include <utility>
+#include <vector>
+
+#include "util/interp.hpp"
+
+namespace tlp::tech {
+
+class Technology;
+
+/** A monotone table of discrete (frequency, voltage) operating points with
+ *  linear interpolation between them. */
+class VfTable
+{
+  public:
+    /**
+     * @param points (frequency [Hz], voltage [V]) pairs; voltage must be
+     *               non-decreasing in frequency (fatal otherwise).
+     */
+    explicit VfTable(std::vector<std::pair<double, double>> points);
+
+    /** Supply voltage required for frequency @p f; clamps to the table's
+     *  end points outside the covered range. */
+    double voltageFor(double f) const;
+
+    /** Lowest tabulated frequency [Hz]. */
+    double fMin() const { return curve_.minX(); }
+
+    /** Highest tabulated frequency [Hz]. */
+    double fMax() const { return curve_.maxX(); }
+
+    /** The tabulated operating points, sorted by frequency. */
+    const std::vector<std::pair<double, double>>& points() const
+    {
+        return curve_.points();
+    }
+
+  private:
+    util::PiecewiseLinear curve_;
+};
+
+/**
+ * Build a Pentium-M-shaped V/f table for a technology: the published
+ * 90 nm relative (f/fmax, V/Vmax) curve re-anchored to
+ * (tech.fNominal(), tech.vddNominal()), with a low end extended linearly to
+ * (200 MHz, tech.vMin()).
+ */
+VfTable pentiumMLike(const Technology& tech);
+
+} // namespace tlp::tech
+
+#endif // TLP_TECH_VF_TABLE_HPP

@@ -1,0 +1,217 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::thermal {
+
+namespace {
+
+/** Overlap length of 1-D intervals [a0, a1] and [b0, b1]. */
+double
+overlap1d(double a0, double a1, double b0, double b1)
+{
+    return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+constexpr double kAbutEps = 1e-9; // metres; tolerance for "touching" edges
+
+} // namespace
+
+double
+Block::sharedEdge(const Block& other) const
+{
+    // Vertical abutment (this right edge on other's left edge or vice
+    // versa): shared length is the y-overlap.
+    if (std::fabs((x + w) - other.x) < kAbutEps ||
+        std::fabs((other.x + other.w) - x) < kAbutEps) {
+        return overlap1d(y, y + h, other.y, other.y + other.h);
+    }
+    // Horizontal abutment: shared length is the x-overlap.
+    if (std::fabs((y + h) - other.y) < kAbutEps ||
+        std::fabs((other.y + other.h) - y) < kAbutEps) {
+        return overlap1d(x, x + w, other.x, other.x + other.w);
+    }
+    return 0.0;
+}
+
+const std::vector<UnitFraction>&
+ev6BlockFractions()
+{
+    // HotSpot's default ev6.flp, blocks merged slightly and areas rounded
+    // to fractions of the core tile; fractions sum to 1.
+    static const std::vector<UnitFraction> fractions = {
+        {"icache", 0.14}, {"dcache", 0.14}, {"bpred", 0.06},
+        {"itb", 0.02},    {"dtb", 0.02},    {"intexec", 0.12},
+        {"intreg", 0.06}, {"intq", 0.05},   {"intmap", 0.04},
+        {"fpadd", 0.06},  {"fpmul", 0.06},  {"fpreg", 0.04},
+        {"fpq", 0.03},    {"fpmap", 0.03},  {"ldstq", 0.06},
+        {"clock", 0.07},
+    };
+    return fractions;
+}
+
+void
+Floorplan::addBlock(Block block)
+{
+    if (block.w <= 0.0 || block.h <= 0.0)
+        util::fatal(util::strcatMsg("Floorplan: block '", block.name,
+                                    "' has non-positive dimensions"));
+    if (has(block.name))
+        util::fatal(util::strcatMsg("Floorplan: duplicate block '",
+                                    block.name, "'"));
+    blocks_.push_back(std::move(block));
+}
+
+std::size_t
+Floorplan::indexOf(const std::string& name) const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].name == name)
+            return i;
+    }
+    util::fatal(util::strcatMsg("Floorplan: no block named '", name, "'"));
+}
+
+bool
+Floorplan::has(const std::string& name) const
+{
+    return std::any_of(blocks_.begin(), blocks_.end(),
+                       [&](const Block& b) { return b.name == name; });
+}
+
+std::vector<std::size_t>
+Floorplan::blocksOfCore(int core_id) const
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].core_id == core_id)
+            indices.push_back(i);
+    }
+    return indices;
+}
+
+double
+Floorplan::totalArea() const
+{
+    double area = 0.0;
+    for (const Block& b : blocks_)
+        area += b.area();
+    return area;
+}
+
+double
+Floorplan::coreArea() const
+{
+    double area = 0.0;
+    for (const Block& b : blocks_) {
+        if (b.core_id >= 0)
+            area += b.area();
+    }
+    return area;
+}
+
+namespace {
+
+/**
+ * Pack the EV6 unit fractions into a core tile at (x0, y0) with dimensions
+ * (w, h) as a brick wall of 4 rows, appending blocks to @p plan.
+ */
+void
+packCoreBlocks(Floorplan& plan, int core_id, double x0, double y0, double w,
+               double h)
+{
+    const auto& units = ev6BlockFractions();
+    constexpr int n_rows = 4;
+    const double row_h = h / n_rows;
+
+    // Greedily split the units into n_rows groups of ~equal total fraction.
+    std::vector<std::vector<UnitFraction>> rows(n_rows);
+    std::vector<double> row_fill(n_rows, 0.0);
+    int row = 0;
+    double target = 1.0 / n_rows;
+    for (const UnitFraction& u : units) {
+        if (row < n_rows - 1 && row_fill[row] >= target) {
+            ++row;
+        }
+        rows[row].push_back(u);
+        row_fill[row] += u.fraction;
+    }
+
+    const std::string prefix = "core" + std::to_string(core_id) + ".";
+    for (int r = 0; r < n_rows; ++r) {
+        double x = x0;
+        const double row_fraction = row_fill[r];
+        for (const UnitFraction& u : rows[r]) {
+            Block b;
+            b.name = prefix + u.name;
+            b.core_id = core_id;
+            b.x = x;
+            b.y = y0 + r * row_h;
+            b.w = w * (u.fraction / row_fraction);
+            b.h = row_h;
+            x += b.w;
+            plan.addBlock(std::move(b));
+        }
+    }
+}
+
+} // namespace
+
+Floorplan
+makeTiledCmp(int total_cores, double core_area_m2, double l2_area_m2,
+             bool per_core_blocks)
+{
+    if (total_cores <= 0)
+        util::fatal("makeTiledCmp: need at least one core");
+    if (core_area_m2 <= 0.0 || l2_area_m2 < 0.0)
+        util::fatal("makeTiledCmp: invalid areas");
+
+    // Tile cores in a near-square grid.
+    const int cols = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(total_cores))));
+    const int rows = (total_cores + cols - 1) / cols;
+
+    const double tile_side = std::sqrt(core_area_m2);
+    const double chip_w = cols * tile_side;
+    const double l2_h = l2_area_m2 > 0.0 ? l2_area_m2 / chip_w : 0.0;
+
+    Floorplan plan;
+    if (l2_area_m2 > 0.0) {
+        Block l2;
+        l2.name = "L2";
+        l2.core_id = -1;
+        l2.x = 0.0;
+        l2.y = 0.0;
+        l2.w = chip_w;
+        l2.h = l2_h;
+        plan.addBlock(std::move(l2));
+    }
+
+    for (int core = 0; core < total_cores; ++core) {
+        const int r = core / cols;
+        const int c = core % cols;
+        const double x0 = c * tile_side;
+        const double y0 = l2_h + r * tile_side;
+        if (per_core_blocks) {
+            packCoreBlocks(plan, core, x0, y0, tile_side, tile_side);
+        } else {
+            Block b;
+            b.name = "core" + std::to_string(core);
+            b.core_id = core;
+            b.x = x0;
+            b.y = y0;
+            b.w = tile_side;
+            b.h = tile_side;
+            plan.addBlock(std::move(b));
+        }
+    }
+    // Unused grid slots in the last row simply stay empty; the RC model
+    // only connects blocks that exist.
+    (void)rows;
+    return plan;
+}
+
+} // namespace tlp::thermal

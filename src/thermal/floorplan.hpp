@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Chip floorplans for the compact thermal model.
+ *
+ * The paper estimates die temperature with HotSpot on its default Alpha
+ * EV6 floorplan (analytical study, §2.2) and on the 16-way CMP (experimental
+ * study, §3.3). We reproduce the two floorplan families here:
+ *
+ *  - ev6BlockFractions(): the EV6 functional blocks with HotSpot-like
+ *    relative areas, laid out per core as a brick-wall of rows;
+ *  - makeTiledCmp(): a CMP die with cores tiled in a grid and the shared L2
+ *    occupying the remaining strip, with optional per-core EV6 sub-blocks.
+ *
+ * Geometry is only consumed through block areas and shared-edge lengths
+ * (for the lateral thermal conductances), so a brick-wall packing is an
+ * adequate stand-in for the exact EV6 layout.
+ */
+
+#ifndef TLP_THERMAL_FLOORPLAN_HPP
+#define TLP_THERMAL_FLOORPLAN_HPP
+
+#include <string>
+#include <vector>
+
+namespace tlp::thermal {
+
+/** An axis-aligned rectangular floorplan block. */
+struct Block
+{
+    std::string name;  ///< unique name, e.g. "core3.dcache" or "L2"
+    double x = 0.0;    ///< left edge [m]
+    double y = 0.0;    ///< bottom edge [m]
+    double w = 0.0;    ///< width [m]
+    double h = 0.0;    ///< height [m]
+    int core_id = -1;  ///< owning core, or -1 for chip-level blocks (L2)
+
+    double area() const { return w * h; }
+
+    /** Length of the shared boundary with @p other [m]; zero when the
+     *  blocks do not abut. */
+    double sharedEdge(const Block& other) const;
+};
+
+/** A named functional unit and its share of the core area. */
+struct UnitFraction
+{
+    std::string name;
+    double fraction; ///< share of the core area, all fractions sum to 1
+};
+
+/** HotSpot-flavoured EV6 functional blocks and area fractions. */
+const std::vector<UnitFraction>& ev6BlockFractions();
+
+/** A complete chip floorplan. */
+class Floorplan
+{
+  public:
+    Floorplan() = default;
+
+    /** Append a block; names must be unique (fatal otherwise). */
+    void addBlock(Block block);
+
+    const std::vector<Block>& blocks() const { return blocks_; }
+    std::size_t size() const { return blocks_.size(); }
+
+    /** Index of the block named @p name; fatal when absent. */
+    std::size_t indexOf(const std::string& name) const;
+
+    /** True when a block of this name exists. */
+    bool has(const std::string& name) const;
+
+    /** Indices of all blocks belonging to @p core_id. */
+    std::vector<std::size_t> blocksOfCore(int core_id) const;
+
+    /** Total area of all blocks [m^2]. */
+    double totalArea() const;
+
+    /** Total area of core blocks only (core_id >= 0) [m^2]. */
+    double coreArea() const;
+
+  private:
+    std::vector<Block> blocks_;
+};
+
+/**
+ * Build a CMP floorplan: @p total_cores cores tiled in a near-square grid
+ * over the top of the die, and one L2 block filling a strip below them.
+ *
+ * @param total_cores     number of core tiles
+ * @param core_area_m2    area of one core tile [m^2]
+ * @param l2_area_m2      area of the shared L2 [m^2]
+ * @param per_core_blocks when true each core contains the EV6 sub-blocks;
+ *                        when false each core is a single tile (the
+ *                        analytical study's configuration)
+ */
+Floorplan makeTiledCmp(int total_cores, double core_area_m2,
+                       double l2_area_m2, bool per_core_blocks);
+
+} // namespace tlp::thermal
+
+#endif // TLP_THERMAL_FLOORPLAN_HPP

@@ -1,0 +1,227 @@
+#include "thermal/rc_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/solver.hpp"
+
+namespace tlp::thermal {
+
+RCModel::RCModel(Floorplan floorplan, RCParams params)
+    : floorplan_(std::move(floorplan)), params_(params)
+{
+    if (floorplan_.size() == 0)
+        util::fatal("RCModel: empty floorplan");
+    buildConductance();
+}
+
+void
+RCModel::setParams(RCParams params)
+{
+    params_ = params;
+    buildConductance();
+}
+
+void
+RCModel::buildConductance()
+{
+    // Node layout: one node per floorplan block, plus a final shared
+    // heat-sink node (index n) that collects every block's vertical path
+    // and connects to ambient through the convective resistance.
+    const auto& blocks = floorplan_.blocks();
+    const std::size_t n = blocks.size();
+    conductance_ = util::Matrix(n + 1, n + 1);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // Vertical path die -> sink.
+        const double g_v = blocks[i].area() / params_.r_vertical_specific;
+        conductance_(i, i) += g_v;
+        conductance_(n, n) += g_v;
+        conductance_(i, n) -= g_v;
+        conductance_(n, i) -= g_v;
+    }
+    // Sink -> ambient.
+    conductance_(n, n) += 1.0 / params_.r_convection;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double edge = blocks[i].sharedEdge(blocks[j]);
+            if (edge <= 0.0)
+                continue;
+            const double cx_i = blocks[i].x + 0.5 * blocks[i].w;
+            const double cy_i = blocks[i].y + 0.5 * blocks[i].h;
+            const double cx_j = blocks[j].x + 0.5 * blocks[j].w;
+            const double cy_j = blocks[j].y + 0.5 * blocks[j].h;
+            const double dist = std::hypot(cx_i - cx_j, cy_i - cy_j);
+            if (dist <= 0.0)
+                continue;
+            const double g =
+                params_.k_lateral * params_.t_lateral * edge / dist;
+            conductance_(i, i) += g;
+            conductance_(j, j) += g;
+            conductance_(i, j) -= g;
+            conductance_(j, i) -= g;
+        }
+    }
+}
+
+ThermalSolution
+RCModel::solve(const std::vector<double>& block_power) const
+{
+    const auto& blocks = floorplan_.blocks();
+    if (block_power.size() != blocks.size()) {
+        util::fatal(util::strcatMsg("RCModel::solve: power map size ",
+                                    block_power.size(), " != block count ",
+                                    blocks.size()));
+    }
+    for (double p : block_power) {
+        if (p < 0.0)
+            util::fatal("RCModel::solve: negative block power");
+    }
+
+    // Solve G * T' = P for temperature rises above ambient; the sink node
+    // has no direct power injection.
+    std::vector<double> rhs = block_power;
+    rhs.push_back(0.0);
+    std::vector<double> rise = util::solveDense(conductance_, rhs);
+
+    ThermalSolution sol;
+    sol.block_temps_c.resize(blocks.size());
+    double core_area = 0.0;
+    double core_temp_area = 0.0;
+    double max_t = params_.ambient_c;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const double t = params_.ambient_c + rise[i];
+        sol.block_temps_c[i] = t;
+        max_t = std::max(max_t, t);
+        if (blocks[i].core_id >= 0) {
+            core_area += blocks[i].area();
+            core_temp_area += t * blocks[i].area();
+        }
+    }
+    sol.max_temp_c = max_t;
+    sol.avg_core_temp_c =
+        core_area > 0.0 ? core_temp_area / core_area : params_.ambient_c;
+    sol.sink_temp_c = params_.ambient_c + rise[blocks.size()];
+    return sol;
+}
+
+double
+calibrateVertical(RCModel& model, const std::vector<double>& block_power,
+                  double target_avg_core_temp_c)
+{
+    return calibrateVertical(
+        model, block_power,
+        [](const ThermalSolution& sol) { return sol.avg_core_temp_c; },
+        target_avg_core_temp_c);
+}
+
+double
+calibrateVertical(
+    RCModel& model, const std::vector<double>& block_power,
+    const std::function<double(const ThermalSolution&)>& metric,
+    double target)
+{
+    RCParams params = model.params();
+    if (target <= params.ambient_c) {
+        util::fatal(util::strcatMsg("calibrateVertical: target ", target,
+                                    " C not above ambient ",
+                                    params.ambient_c, " C"));
+    }
+
+    // Any temperature metric is monotone increasing in the vertical
+    // resistance, so bisect on log10(r).
+    const auto residual = [&](double log_r) {
+        RCParams p = params;
+        p.r_vertical_specific = std::pow(10.0, log_r);
+        model.setParams(p);
+        return metric(model.solve(block_power)) - target;
+    };
+    const auto root = util::bisect(residual, -8.0, -2.0, 1e-6);
+    params.r_vertical_specific = std::pow(10.0, root.x);
+    model.setParams(params);
+    return params.r_vertical_specific;
+}
+
+void
+calibratePackage(
+    RCModel& model, const std::vector<double>& block_power,
+    const std::function<double(const ThermalSolution&)>& metric,
+    double target, double sink_fraction)
+{
+    if (sink_fraction < 0.0 || sink_fraction >= 1.0)
+        util::fatal("calibratePackage: sink_fraction must be in [0, 1)");
+
+    double total_power = 0.0;
+    for (double p : block_power)
+        total_power += p;
+    if (total_power <= 0.0)
+        util::fatal("calibratePackage: reference power map is zero");
+
+    RCParams params = model.params();
+    params.r_convection = sink_fraction *
+        (target - params.ambient_c) / total_power;
+    if (params.r_convection <= 0.0)
+        util::fatal("calibratePackage: target below ambient");
+    model.setParams(params);
+
+    calibrateVertical(model, block_power, metric, target);
+}
+
+CoupledResult
+solveCoupled(
+    const RCModel& model,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        power_of_temp,
+    double tol_c, int max_iter, double damping)
+{
+    const std::size_t n = model.floorplan().size();
+    CoupledResult result;
+
+    std::vector<double> temps(n, model.params().ambient_c);
+    std::vector<double> power(n, 0.0);
+
+    for (int it = 0; it < max_iter; ++it) {
+        std::vector<double> new_power = power_of_temp(temps);
+        if (new_power.size() != n)
+            util::fatal("solveCoupled: power map size mismatch");
+        if (it == 0) {
+            power = std::move(new_power);
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                power[i] =
+                    (1.0 - damping) * power[i] + damping * new_power[i];
+            }
+        }
+
+        ThermalSolution sol = model.solve(power);
+        // Leakage-temperature feedback can genuinely diverge (thermal
+        // runaway); clamp and flag instead of iterating to infinity.
+        for (double& t : sol.block_temps_c) {
+            if (t > kRunawayTempC) {
+                t = kRunawayTempC;
+                result.runaway = true;
+            }
+        }
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            max_delta = std::max(
+                max_delta, std::fabs(sol.block_temps_c[i] - temps[i]));
+        }
+        temps = sol.block_temps_c;
+        result.thermal = sol;
+        result.iterations = it + 1;
+        if (max_delta < tol_c) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.block_power = power;
+    result.total_power = 0.0;
+    for (double p : power)
+        result.total_power += p;
+    return result;
+}
+
+} // namespace tlp::thermal

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Steady-state compact thermal RC network (the HotSpot stand-in).
+ *
+ * Each floorplan block is one thermal node. Heat leaves a node two ways:
+ *
+ *  - vertically through die, spreader, and sink to ambient, with a
+ *    conductance proportional to block area
+ *    (G_v = area / r_vertical_specific);
+ *  - laterally to abutting blocks through silicon + spreader, with a
+ *    conductance proportional to the shared edge length
+ *    (G_l = k_lateral * t_eff * edge / center_distance).
+ *
+ * Steady state solves the linear system
+ *    sum_j G_l,ij (T_i - T_j) + G_v,i (T_i - T_amb) = P_i
+ * for the block temperatures. The coupling with temperature-dependent
+ * leakage power is handled by solveCoupled(), a damped fixed-point
+ * iteration (power -> temperature -> power ...), exactly the loop the paper
+ * runs between its power model and HotSpot.
+ */
+
+#ifndef TLP_THERMAL_RC_MODEL_HPP
+#define TLP_THERMAL_RC_MODEL_HPP
+
+#include <functional>
+#include <vector>
+
+#include "thermal/floorplan.hpp"
+#include "util/linalg.hpp"
+
+namespace tlp::thermal {
+
+/** Package/material constants of the RC network. */
+struct RCParams
+{
+    double ambient_c = 45.0;  ///< in-box ambient air temperature [deg C]
+    /** Area-specific vertical thermal resistance die->heat sink
+     *  [K*m^2/W]; calibrate with calibrateVertical(). */
+    double r_vertical_specific = 1.25e-5;
+    /** Effective lateral conductivity (silicon + spreader) [W/(m*K)]. */
+    double k_lateral = 400.0;
+    /** Effective lateral conduction thickness [m]. */
+    double t_lateral = 2.0e-3;
+    /** Convective resistance of the shared heat sink to ambient [K/W].
+     *  This single shared node is what makes average die temperature track
+     *  *total* chip power (as in HotSpot): spreading a fixed power budget
+     *  over more cores lowers local hot spots but not the sink rise. */
+    double r_convection = 0.45;
+};
+
+/** Per-run result of a steady-state solve. */
+struct ThermalSolution
+{
+    std::vector<double> block_temps_c; ///< one temperature per block
+    double avg_core_temp_c = 0.0; ///< area-weighted over core blocks only
+    double max_temp_c = 0.0;      ///< hottest block
+    double sink_temp_c = 0.0;     ///< shared heat-sink node temperature
+};
+
+/** Steady-state solver bound to one floorplan. */
+class RCModel
+{
+  public:
+    RCModel(Floorplan floorplan, RCParams params);
+
+    /**
+     * Solve for block temperatures given per-block power [W].
+     *
+     * @param block_power one entry per floorplan block, in block order
+     */
+    ThermalSolution solve(const std::vector<double>& block_power) const;
+
+    const Floorplan& floorplan() const { return floorplan_; }
+    const RCParams& params() const { return params_; }
+
+    /** Replace the package parameters (used by calibration). */
+    void setParams(RCParams params);
+
+    /** The assembled conductance matrix over (blocks..., sink) nodes;
+     *  used by the transient solver. */
+    const util::Matrix& conductance() const { return conductance_; }
+
+  private:
+    void buildConductance();
+
+    Floorplan floorplan_;
+    RCParams params_;
+    util::Matrix conductance_; ///< G of the linear system G T' = P
+};
+
+/**
+ * Calibrate RCParams::r_vertical_specific so that the given power map
+ * produces the target area-weighted average core temperature (the paper
+ * anchors the single-core full-throttle configuration at T1 = 100 C).
+ *
+ * @return the calibrated parameter value (also set in @p model)
+ */
+double calibrateVertical(RCModel& model,
+                         const std::vector<double>& block_power,
+                         double target_avg_core_temp_c);
+
+/**
+ * Generalized calibration: adjust r_vertical_specific until
+ * @p metric(solution) reaches @p target. The metric must be monotone
+ * increasing in the vertical resistance (any temperature average is).
+ */
+double calibrateVertical(
+    RCModel& model, const std::vector<double>& block_power,
+    const std::function<double(const ThermalSolution&)>& metric,
+    double target);
+
+/**
+ * Full package calibration: split the temperature rise of the reference
+ * power map between the shared heat sink and the local die paths.
+ *
+ * Sets r_convection so the sink carries @p sink_fraction of
+ * (target - ambient) at the reference map's total power, then calibrates
+ * r_vertical_specific so @p metric hits @p target exactly.
+ *
+ * @param sink_fraction share of the rise attributed to the shared sink;
+ *        higher values make average die temperature track total chip power
+ *        more strongly (HotSpot-like behaviour).
+ */
+void calibratePackage(
+    RCModel& model, const std::vector<double>& block_power,
+    const std::function<double(const ThermalSolution&)>& metric,
+    double target, double sink_fraction = 0.6);
+
+/** Result of the coupled power/temperature fixed point. */
+struct CoupledResult
+{
+    ThermalSolution thermal;
+    std::vector<double> block_power; ///< converged power map [W]
+    double total_power = 0.0;        ///< sum of block powers [W]
+    int iterations = 0;
+    bool converged = false;
+    /** True when the leakage-temperature feedback diverged and the
+     *  iteration had to clamp temperatures at the runaway cap; the
+     *  configuration is thermally infeasible. */
+    bool runaway = false;
+};
+
+/** Temperature cap used to detect leakage-thermal runaway [deg C]. */
+inline constexpr double kRunawayTempC = 300.0;
+
+/**
+ * Damped fixed-point iteration between a temperature-dependent power map
+ * and the steady-state thermal solve.
+ *
+ * @param model         thermal solver
+ * @param power_of_temp maps block temperatures [deg C] to block powers [W]
+ * @param tol_c         convergence threshold on max block-temperature
+ *                      change [K]
+ * @param max_iter      iteration cap
+ * @param damping       fraction of the new power map blended in per step
+ */
+CoupledResult solveCoupled(
+    const RCModel& model,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        power_of_temp,
+    double tol_c = 0.01, int max_iter = 100, double damping = 0.7);
+
+} // namespace tlp::thermal
+
+#endif // TLP_THERMAL_RC_MODEL_HPP

@@ -1,0 +1,138 @@
+#include "thermal/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::thermal {
+
+TransientSolver::TransientSolver(const RCModel& model,
+                                 TransientParams params)
+    : model_(&model), params_(params)
+{
+    const auto& blocks = model.floorplan().blocks();
+    capacity_.reserve(blocks.size() + 1);
+    for (const Block& b : blocks) {
+        capacity_.push_back(b.area() * params_.die_thickness *
+                            params_.c_volumetric);
+    }
+    capacity_.push_back(params_.sink_capacity);
+    for (double c : capacity_) {
+        if (c <= 0.0)
+            util::fatal("TransientSolver: non-positive heat capacity");
+    }
+}
+
+double
+TransientSolver::sinkTimeConstant() const
+{
+    return params_.sink_capacity * model_->params().r_convection;
+}
+
+TransientResult
+TransientSolver::simulate(
+    const std::vector<double>& initial_temps_c,
+    const std::function<std::vector<double>(double)>& power_of_time,
+    double duration_s, double dt_s, int samples) const
+{
+    const auto& blocks = model_->floorplan().blocks();
+    const std::size_t n = blocks.size();
+    const std::size_t nodes = n + 1;
+    if (initial_temps_c.size() != n)
+        util::fatal("TransientSolver: initial temperature map size");
+    if (duration_s <= 0.0 || dt_s <= 0.0 || samples < 1)
+        util::fatal("TransientSolver: bad integration parameters");
+
+    const double ambient = model_->params().ambient_c;
+    const util::Matrix& g = model_->conductance();
+
+    // State: temperature rises over ambient, blocks then sink. Seed the
+    // sink at the mean block rise (it settles quickly relative to its
+    // own time constant anyway).
+    std::vector<double> rise(nodes, 0.0);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        rise[i] = initial_temps_c[i] - ambient;
+        mean += rise[i];
+    }
+    rise[n] = n > 0 ? mean / static_cast<double>(n) : 0.0;
+
+    // dT/dt = C^-1 (P - G T); P has no sink entry.
+    const auto derivative = [&](const std::vector<double>& state,
+                                const std::vector<double>& power) {
+        std::vector<double> d(nodes, 0.0);
+        for (std::size_t r = 0; r < nodes; ++r) {
+            double flow = r < n ? power[r] : 0.0;
+            for (std::size_t c = 0; c < nodes; ++c)
+                flow -= g(r, c) * state[c];
+            d[r] = flow / capacity_[r];
+        }
+        return d;
+    };
+
+    TransientResult out;
+    out.samples.reserve(samples + 1);
+    const double sample_interval = duration_s / samples;
+    double next_sample = 0.0;
+
+    const auto record = [&](double t) {
+        TransientSample s;
+        s.time_s = t;
+        double area = 0.0, temp_area = 0.0, max_t = ambient;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double temp = ambient + rise[i];
+            max_t = std::max(max_t, temp);
+            if (blocks[i].core_id >= 0) {
+                area += blocks[i].area();
+                temp_area += temp * blocks[i].area();
+            }
+        }
+        s.avg_core_temp_c = area > 0.0 ? temp_area / area : ambient;
+        s.max_temp_c = max_t;
+        s.sink_temp_c = ambient + rise[n];
+        out.samples.push_back(s);
+    };
+
+    const std::uint64_t steps =
+        static_cast<std::uint64_t>(std::ceil(duration_s / dt_s));
+    std::vector<double> k1, k2, k3, k4, tmp(nodes);
+    for (std::uint64_t step = 0; step <= steps; ++step) {
+        const double t = std::min(step * dt_s, duration_s);
+        if (t >= next_sample - 1e-12) {
+            record(t);
+            next_sample += sample_interval;
+        }
+        if (step == steps)
+            break;
+
+        const double h = std::min(dt_s, duration_s - t);
+        const std::vector<double> p1 = power_of_time(t);
+        const std::vector<double> p2 = power_of_time(t + 0.5 * h);
+        const std::vector<double> p3 = power_of_time(t + h);
+        if (p1.size() != n)
+            util::fatal("TransientSolver: power map size");
+
+        k1 = derivative(rise, p1);
+        for (std::size_t i = 0; i < nodes; ++i)
+            tmp[i] = rise[i] + 0.5 * h * k1[i];
+        k2 = derivative(tmp, p2);
+        for (std::size_t i = 0; i < nodes; ++i)
+            tmp[i] = rise[i] + 0.5 * h * k2[i];
+        k3 = derivative(tmp, p2);
+        for (std::size_t i = 0; i < nodes; ++i)
+            tmp[i] = rise[i] + h * k3[i];
+        k4 = derivative(tmp, p3);
+        for (std::size_t i = 0; i < nodes; ++i) {
+            rise[i] +=
+                h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+
+    out.final_temps_c.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.final_temps_c[i] = ambient + rise[i];
+    return out;
+}
+
+} // namespace tlp::thermal

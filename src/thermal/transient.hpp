@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Transient thermal simulation (extension beyond the paper's steady-state
+ * analysis; HotSpot provides the same capability).
+ *
+ * The RC network of RCModel gains per-node heat capacities:
+ *
+ *     C dT'/dt = P(t) - G T'
+ *
+ * with T' the temperature rises over ambient, G the steady-state
+ * conductance matrix, and C diagonal (silicon volumetric heat capacity
+ * for die blocks, a large lumped capacity for the heat-sink node). The
+ * system is integrated with classic RK4 at a caller-chosen step.
+ *
+ * Useful for studying how quickly the die responds when the DVFS
+ * operating point changes — e.g. how many milliseconds after switching
+ * from one hot core to sixteen scaled-down cores the temperature (and
+ * with it the leakage) actually settles.
+ */
+
+#ifndef TLP_THERMAL_TRANSIENT_HPP
+#define TLP_THERMAL_TRANSIENT_HPP
+
+#include <functional>
+#include <vector>
+
+#include "thermal/rc_model.hpp"
+
+namespace tlp::thermal {
+
+/** Material constants for the transient extension. */
+struct TransientParams
+{
+    /** Volumetric heat capacity of silicon [J/(m^3 K)]. */
+    double c_volumetric = 1.63e6;
+    /** Effective thermal thickness of the die blocks [m]. */
+    double die_thickness = 0.5e-3;
+    /** Lumped heat capacity of spreader + sink [J/K]. */
+    double sink_capacity = 150.0;
+};
+
+/** A sampled trajectory point. */
+struct TransientSample
+{
+    double time_s = 0.0;
+    double avg_core_temp_c = 0.0;
+    double max_temp_c = 0.0;
+    double sink_temp_c = 0.0;
+};
+
+/** Result of a transient integration. */
+struct TransientResult
+{
+    std::vector<TransientSample> samples; ///< one per sample interval
+    std::vector<double> final_temps_c;    ///< per block, at the end
+};
+
+/** RK4 integrator over an RCModel's network. */
+class TransientSolver
+{
+  public:
+    /**
+     * @param model  steady-state model supplying G and the floorplan
+     * @param params heat-capacity constants
+     */
+    TransientSolver(const RCModel& model, TransientParams params = {});
+
+    /**
+     * Integrate from @p initial_temps_c for @p duration_s.
+     *
+     * @param initial_temps_c per-block start temperatures (block count
+     *        entries; the sink starts at their conductance-weighted
+     *        equilibrium estimate)
+     * @param power_of_time   block power map as a function of time [W]
+     * @param duration_s      simulated time span
+     * @param dt_s            RK4 step (must resolve the smallest time
+     *        constant; ~1e-5 s is safe for EV6-sized blocks)
+     * @param samples         number of trajectory samples to record
+     */
+    TransientResult simulate(
+        const std::vector<double>& initial_temps_c,
+        const std::function<std::vector<double>(double)>& power_of_time,
+        double duration_s, double dt_s = 1e-5, int samples = 100) const;
+
+    /** Steady-state temperatures for @p power, for convergence checks. */
+    ThermalSolution steadyState(const std::vector<double>& power) const
+    {
+        return model_->solve(power);
+    }
+
+    /** Dominant (slowest) time-constant estimate: sink capacity over
+     *  convective conductance [s]. */
+    double sinkTimeConstant() const;
+
+    const TransientParams& params() const { return params_; }
+
+  private:
+    const RCModel* model_;
+    TransientParams params_;
+    std::vector<double> capacity_; ///< per node, including the sink
+};
+
+} // namespace tlp::thermal
+
+#endif // TLP_THERMAL_TRANSIENT_HPP

@@ -1,0 +1,100 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+PiecewiseLinear::PiecewiseLinear(
+    std::vector<std::pair<double, double>> points, OutOfRange mode)
+    : points_(std::move(points)), mode_(mode)
+{
+    if (points_.empty())
+        fatal("PiecewiseLinear: need at least one sample point");
+    std::sort(points_.begin(), points_.end());
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].first == points_[i - 1].first) {
+            fatal(strcatMsg("PiecewiseLinear: duplicate x sample ",
+                            points_[i].first));
+        }
+    }
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+    if (points_.size() == 1)
+        return points_.front().second;
+
+    if (x <= points_.front().first) {
+        if (mode_ == OutOfRange::Clamp)
+            return points_.front().second;
+        const auto& [x0, y0] = points_[0];
+        const auto& [x1, y1] = points_[1];
+        return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+    }
+    if (x >= points_.back().first) {
+        if (mode_ == OutOfRange::Clamp)
+            return points_.back().second;
+        const auto& [x0, y0] = points_[points_.size() - 2];
+        const auto& [x1, y1] = points_.back();
+        return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+    }
+
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), x,
+        [](double value, const auto& p) { return value < p.first; });
+    const auto& [x1, y1] = *it;
+    const auto& [x0, y0] = *(it - 1);
+    const double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
+bool
+PiecewiseLinear::monotoneIncreasing() const
+{
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].second < points_[i - 1].second)
+            return false;
+    }
+    return true;
+}
+
+double
+PiecewiseLinear::inverse(double y) const
+{
+    if (!monotoneIncreasing())
+        fatal("PiecewiseLinear::inverse: samples not monotone in y");
+    if (points_.size() == 1 || y <= points_.front().second)
+        return points_.front().first;
+    if (y >= points_.back().second)
+        return points_.back().first;
+
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const auto& [x0, y0] = points_[i - 1];
+        const auto& [x1, y1] = points_[i];
+        if (y <= y1) {
+            if (y1 == y0)
+                return x0;
+            const double t = (y - y0) / (y1 - y0);
+            return x0 + t * (x1 - x0);
+        }
+    }
+    return points_.back().first;  // unreachable; keeps the compiler happy
+}
+
+double
+PiecewiseLinear::minX() const
+{
+    return points_.front().first;
+}
+
+double
+PiecewiseLinear::maxX() const
+{
+    return points_.back().first;
+}
+
+} // namespace tlp::util

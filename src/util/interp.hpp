@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Piecewise-linear interpolation over tabulated (x, y) samples.
+ *
+ * Used for the discrete voltage/frequency operating-point table (the paper
+ * extrapolates supply voltage for a target frequency from the Pentium-M
+ * datasheet [18]) and for interpolating profiled power between the 200 MHz
+ * frequency-sweep steps in Scenario II (paper §4.2: "values that fall between
+ * any two profiled values are approximated by linearly scaling between the
+ * two").
+ */
+
+#ifndef TLP_UTIL_INTERP_HPP
+#define TLP_UTIL_INTERP_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tlp::util {
+
+/**
+ * A piecewise-linear function defined by sorted sample points.
+ *
+ * Queries outside the sample range clamp to the first/last segment value
+ * (clamped mode, the default) or extrapolate the end segments linearly.
+ */
+class PiecewiseLinear
+{
+  public:
+    /** Extrapolation behaviour outside the sampled x-range. */
+    enum class OutOfRange { Clamp, Extrapolate };
+
+    PiecewiseLinear() = default;
+
+    /**
+     * Build from sample points.
+     *
+     * @param points (x, y) pairs; sorted internally by x. Duplicate x values
+     *               are a fatal error. At least one point is required.
+     * @param mode   out-of-range behaviour
+     */
+    explicit PiecewiseLinear(std::vector<std::pair<double, double>> points,
+                             OutOfRange mode = OutOfRange::Clamp);
+
+    /** Evaluate the function at @p x. */
+    double operator()(double x) const;
+
+    /** Inverse query: smallest x with f(x) = @p y, assuming y-monotone
+     *  samples; throws FatalError when the table is not monotone in y. */
+    double inverse(double y) const;
+
+    /** True when the y samples are monotonically non-decreasing. */
+    bool monotoneIncreasing() const;
+
+    /** Number of sample points. */
+    std::size_t size() const { return points_.size(); }
+
+    /** Smallest sampled x. */
+    double minX() const;
+
+    /** Largest sampled x. */
+    double maxX() const;
+
+    /** Access sample points (sorted by x). */
+    const std::vector<std::pair<double, double>>& points() const
+    {
+        return points_;
+    }
+
+  private:
+    std::vector<std::pair<double, double>> points_;
+    OutOfRange mode_ = OutOfRange::Clamp;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_INTERP_HPP

@@ -1,0 +1,86 @@
+#include "util/linalg.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+std::vector<double>
+solveDense(const Matrix& a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n)
+        fatal("solveDense: matrix must be square");
+    if (b.size() != n)
+        fatal("solveDense: rhs size mismatch");
+
+    Matrix m = a;  // working copy
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: bring the largest remaining entry to the
+        // diagonal for numerical stability.
+        std::size_t pivot = col;
+        double best = std::fabs(m(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(m(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300)
+            fatal("solveDense: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = col; c < n; ++c)
+                std::swap(m(pivot, c), m(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+
+        const double inv_diag = 1.0 / m(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = m(r, col) * inv_diag;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                m(r, c) -= factor * m(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= m(ri, c) * x[c];
+        x[ri] = acc / m(ri, ri);
+    }
+    return x;
+}
+
+std::vector<double>
+solveLeastSquares(const Matrix& a, const std::vector<double>& b)
+{
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (b.size() != m)
+        fatal("solveLeastSquares: rhs size mismatch");
+    if (m < n)
+        fatal("solveLeastSquares: underdetermined system");
+
+    Matrix ata(n, n);
+    std::vector<double> atb(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const double air = a(i, r);
+            if (air == 0.0)
+                continue;
+            atb[r] += air * b[i];
+            for (std::size_t c = 0; c < n; ++c)
+                ata(r, c) += air * a(i, c);
+        }
+    }
+    return solveDense(ata, atb);
+}
+
+} // namespace tlp::util

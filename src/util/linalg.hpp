@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small dense linear-algebra routines.
+ *
+ * Two consumers: the leakage curve fitter (normal equations of a linear
+ * least-squares problem, a handful of unknowns) and the steady-state thermal
+ * RC network (conductance matrix of a few hundred floorplan blocks). Both
+ * are far below the size where a tuned BLAS would matter, so a plain
+ * partial-pivoting Gaussian elimination keeps the library dependency-free.
+ */
+
+#ifndef TLP_UTIL_LINALG_HPP
+#define TLP_UTIL_LINALG_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace tlp::util {
+
+/** A dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    double& operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve A x = b with Gaussian elimination and partial pivoting.
+ *
+ * @param a square system matrix (copied internally)
+ * @param b right-hand side; size must equal a.rows()
+ * @return solution vector
+ *
+ * Throws FatalError for non-square systems or (numerically) singular
+ * matrices.
+ */
+std::vector<double> solveDense(const Matrix& a, std::vector<double> b);
+
+/**
+ * Solve the linear least-squares problem min ||A x - b||_2 via normal
+ * equations (A^T A x = A^T b). Adequate for the well-conditioned few-unknown
+ * fits used here.
+ */
+std::vector<double> solveLeastSquares(const Matrix& a,
+                                      const std::vector<double>& b);
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_LINALG_HPP

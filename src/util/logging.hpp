@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting helpers.
+ *
+ * Modeled after gem5's logging conventions:
+ *  - inform(): normal status messages.
+ *  - warn():   suspicious-but-survivable conditions.
+ *  - fatal():  user error (bad configuration/arguments); throws FatalError so
+ *              tests can assert on it and embedders can recover.
+ *  - panic():  internal invariant violation (a library bug); throws
+ *              PanicError.
+ */
+
+#ifndef TLP_UTIL_LOGGING_HPP
+#define TLP_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tlp::util {
+
+/** Error thrown by fatal(): the caller supplied an unusable configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Error thrown by panic(): an internal invariant of the library broke. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the process-wide log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide log verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message when verbosity >= Info. */
+void inform(const std::string& msg);
+
+/** Print a warning message when verbosity >= Warn. */
+void warn(const std::string& msg);
+
+/** Print a debug message when verbosity >= Debug. */
+void debug(const std::string& msg);
+
+/** Report a user/configuration error; always throws FatalError. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Report an internal invariant violation; always throws PanicError. */
+[[noreturn]] void panic(const std::string& msg);
+
+/**
+ * Build a message from stream-style pieces, e.g.
+ * `strcat_msg("got ", n, " items")`.
+ */
+template <typename... Args>
+std::string
+strcatMsg(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_LOGGING_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generators and property tests must be bit-for-bit reproducible
+ * across platforms and standard-library versions, so we carry our own small
+ * generator (xoshiro256** by Blackman & Vigna) instead of std::mt19937
+ * distributions, whose results are implementation-defined for floating point.
+ */
+
+#ifndef TLP_UTIL_RNG_HPP
+#define TLP_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace tlp::util {
+
+/** Deterministic xoshiro256** generator with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; identical seeds yield identical
+     *  sequences on every platform. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's multiply-shift method;
+     *  bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // 128-bit multiply keeps the distribution unbiased enough for
+        // workload synthesis (bias < 2^-64).
+        const unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(product >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_RNG_HPP

@@ -1,0 +1,121 @@
+#include "util/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+RootResult
+bisect(const std::function<double(double)>& f, double lo, double hi,
+       double x_tol, int max_iter)
+{
+    if (!(lo <= hi))
+        fatal(strcatMsg("bisect: invalid bracket [", lo, ", ", hi, "]"));
+
+    double flo = f(lo);
+    double fhi = f(hi);
+    RootResult result;
+
+    if (flo == 0.0) {
+        result = {lo, 0.0, 0, true};
+        return result;
+    }
+    if (fhi == 0.0) {
+        result = {hi, 0.0, 0, true};
+        return result;
+    }
+    if (std::signbit(flo) == std::signbit(fhi)) {
+        fatal(strcatMsg("bisect: f does not change sign on [", lo, ", ", hi,
+                        "] (f(lo)=", flo, ", f(hi)=", fhi, ")"));
+    }
+
+    double a = lo, b = hi, fa = flo;
+    int it = 0;
+    while (it < max_iter && (b - a) > x_tol) {
+        const double mid = 0.5 * (a + b);
+        const double fm = f(mid);
+        ++it;
+        if (fm == 0.0) {
+            result = {mid, 0.0, it, true};
+            return result;
+        }
+        if (std::signbit(fm) == std::signbit(fa)) {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    const double x = 0.5 * (a + b);
+    result = {x, f(x), it, (b - a) <= x_tol};
+    return result;
+}
+
+MaxResult
+goldenMax(const std::function<double(double)>& f, double lo, double hi,
+          double x_tol, int max_iter)
+{
+    if (!(lo <= hi))
+        fatal(strcatMsg("goldenMax: invalid bracket [", lo, ", ", hi, "]"));
+
+    constexpr double inv_phi = 0.6180339887498949;  // 1/phi
+    double a = lo, b = hi;
+    double c = b - inv_phi * (b - a);
+    double d = a + inv_phi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+    int it = 0;
+    while (it < max_iter && (b - a) > x_tol) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+        ++it;
+    }
+    const double x = 0.5 * (a + b);
+    return {x, f(x), it};
+}
+
+MaxResult
+maximizeScan(const std::function<double(double)>& f, double lo, double hi,
+             int samples, double x_tol)
+{
+    if (samples < 2)
+        fatal("maximizeScan: need at least 2 samples");
+    if (!(lo <= hi))
+        fatal(strcatMsg("maximizeScan: invalid bracket [", lo, ", ", hi, "]"));
+
+    double best_x = lo;
+    double best_f = f(lo);
+    int best_i = 0;
+    for (int i = 1; i < samples; ++i) {
+        const double x = lo + (hi - lo) * i / (samples - 1);
+        const double fx = f(x);
+        if (fx > best_f) {
+            best_f = fx;
+            best_x = x;
+            best_i = i;
+        }
+    }
+    // Refine within the neighbouring grid cells of the best sample.
+    const double step = (hi - lo) / (samples - 1);
+    const double a = std::max(lo, lo + (best_i - 1) * step);
+    const double b = std::min(hi, lo + (best_i + 1) * step);
+    MaxResult refined = goldenMax(f, a, b, x_tol);
+    if (refined.fx >= best_f)
+        return refined;
+    return {best_x, best_f, refined.iterations};
+}
+
+} // namespace tlp::util

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scalar root finding and 1-D optimization.
+ *
+ * The analytical model needs to invert the alpha-power frequency law
+ * (tech::AlphaPowerLaw), solve the Scenario II power-budget equality
+ * (Eq. 11 of the paper), and maximize speedup over the supply voltage.
+ * Bisection and golden-section search are robust for the smooth monotone /
+ * unimodal functions involved.
+ */
+
+#ifndef TLP_UTIL_SOLVER_HPP
+#define TLP_UTIL_SOLVER_HPP
+
+#include <functional>
+
+namespace tlp::util {
+
+/** Result of a root search. */
+struct RootResult
+{
+    double x = 0.0;        ///< abscissa of the root
+    double fx = 0.0;       ///< residual f(x)
+    int iterations = 0;    ///< iterations used
+    bool converged = false; ///< true when |interval| or |f| met tolerance
+};
+
+/**
+ * Find x in [lo, hi] with f(x) = 0 by bisection.
+ *
+ * Requires f(lo) and f(hi) to bracket a root (opposite signs or one of them
+ * zero); throws FatalError otherwise.
+ *
+ * @param f        continuous function
+ * @param lo       lower bracket
+ * @param hi       upper bracket
+ * @param x_tol    absolute tolerance on the interval width
+ * @param max_iter iteration cap
+ */
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol = 1e-10, int max_iter = 200);
+
+/** Result of a scalar maximization. */
+struct MaxResult
+{
+    double x = 0.0;  ///< argmax
+    double fx = 0.0; ///< maximum value
+    int iterations = 0;
+};
+
+/**
+ * Maximize a unimodal function on [lo, hi] by golden-section search.
+ *
+ * For functions that are not strictly unimodal the search still returns a
+ * local maximum within the bracket; callers that need the global maximum of
+ * a rough function should pre-scan (see maximizeScan).
+ */
+MaxResult goldenMax(const std::function<double(double)>& f, double lo,
+                    double hi, double x_tol = 1e-8, int max_iter = 200);
+
+/**
+ * Globalized maximization: evaluate on a uniform grid of @p samples points,
+ * then refine around the best sample with golden-section search.
+ */
+MaxResult maximizeScan(const std::function<double(double)>& f, double lo,
+                       double hi, int samples = 64, double x_tol = 1e-8);
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_SOLVER_HPP

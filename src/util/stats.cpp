@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+void
+Accumulator::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    if (!(hi > lo))
+        fatal("Histogram: hi must exceed lo");
+    if (buckets == 0)
+        fatal("Histogram: need at least one bucket");
+}
+
+void
+Histogram::sample(double value)
+{
+    const double span = hi_ - lo_;
+    auto idx = static_cast<std::ptrdiff_t>(
+        std::floor((value - lo_) / span * static_cast<double>(
+            buckets_.size())));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(buckets_.size()) - 1);
+    ++buckets_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(buckets_.size());
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return bucketLow(i + 1);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+}
+
+Counter&
+StatRegistry::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+Accumulator&
+StatRegistry::accumulator(const std::string& name)
+{
+    return accumulators_[name];
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string& name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatRegistry::hasCounter(const std::string& name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::uint64_t
+StatRegistry::sumByPrefix(const std::string& prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second.value();
+    }
+    return sum;
+}
+
+std::uint64_t
+StatRegistry::sumBySuffix(const std::string& suffix) const
+{
+    std::uint64_t sum = 0;
+    for (const auto& [name, ctr] : counters_) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            sum += ctr.value();
+        }
+    }
+    return sum;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto& [name, ctr] : counters_)
+        ctr.reset();
+    for (auto& [name, acc] : accumulators_)
+        acc.reset();
+}
+
+void
+StatRegistry::dump(std::ostream& os) const
+{
+    for (const auto& [name, ctr] : counters_)
+        os << name << " " << ctr.value() << "\n";
+    for (const auto& [name, acc] : accumulators_) {
+        os << name << " mean=" << acc.mean() << " min=" << acc.min()
+           << " max=" << acc.max() << " n=" << acc.count() << "\n";
+    }
+}
+
+} // namespace tlp::util

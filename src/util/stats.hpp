@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Simulation statistics: named counters, scalars, and histograms grouped in
+ * a registry, in the spirit of gem5's stats package (much reduced).
+ *
+ * The CMP simulator registers one group per hardware unit; the power model
+ * consumes the access counters after a run, and benches dump the registry
+ * for inspection.
+ */
+
+#ifndef TLP_UTIL_STATS_HPP
+#define TLP_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlp::util {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A running mean/min/max accumulator over double-valued samples. */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void sample(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+ *  end buckets. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** @param lo lower bound, @param hi upper bound (hi > lo),
+     *  @param buckets bucket count (>= 1). */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double value);
+    std::uint64_t total() const { return total_; }
+    const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+    void reset();
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    std::vector<std::uint64_t> buckets_{std::vector<std::uint64_t>(1, 0)};
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A flat registry of named statistics.
+ *
+ * Names are hierarchical by convention ("core3.l1d.misses"). Lookup creates
+ * the statistic on first use, so units do not need registration boilerplate.
+ */
+class StatRegistry
+{
+  public:
+    /** Counter named @p name, created zero-valued on first access. */
+    Counter& counter(const std::string& name);
+
+    /** Accumulator named @p name, created empty on first access. */
+    Accumulator& accumulator(const std::string& name);
+
+    /** Value of a counter, or 0 when absent (read-only). */
+    std::uint64_t counterValue(const std::string& name) const;
+
+    /** True when a counter of this name exists. */
+    bool hasCounter(const std::string& name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+
+    /** All accumulators in name order. */
+    const std::map<std::string, Accumulator>& accumulators() const
+    {
+        return accumulators_;
+    }
+
+    /** Sum of all counters whose name matches "prefix*" (prefix match). */
+    std::uint64_t sumByPrefix(const std::string& prefix) const;
+
+    /** Sum of all counters whose name ends with @p suffix. */
+    std::uint64_t sumBySuffix(const std::string& suffix) const;
+
+    /** Zero every statistic but keep them registered. */
+    void resetAll();
+
+    /** Human-readable dump, one statistic per line. */
+    void dump(std::ostream& os) const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Accumulator> accumulators_;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_STATS_HPP

@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header))
+{
+    if (header_.empty())
+        fatal("Table: header must not be empty");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        fatal(strcatMsg("Table '", title_, "': row width ", row.size(),
+                        " != header width ", header_.size()));
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::num(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+Table::num(int value)
+{
+    return std::to_string(value);
+}
+
+const std::string&
+Table::cell(std::size_t row, std::size_t col) const
+{
+    if (row >= rows_.size() || col >= header_.size())
+        fatal(strcatMsg("Table '", title_, "': cell (", row, ",", col,
+                        ") out of range"));
+    return rows_[row][col];
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+    print_row(header_);
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule_width, '-') << "\n";
+    for (const auto& row : rows_)
+        print_row(row);
+    os << "\n";
+}
+
+void
+Table::printCsv(std::ostream& os) const
+{
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    print_row(header_);
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+} // namespace tlp::util

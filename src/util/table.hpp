@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Result tables: aligned ASCII rendering for terminals and CSV export.
+ *
+ * Every bench binary regenerates a paper figure/table as one of these so the
+ * harness output is both human-readable and machine-parsable.
+ */
+
+#ifndef TLP_UTIL_TABLE_HPP
+#define TLP_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlp::util {
+
+/** A rectangular table of stringized cells with a header row. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table,
+     *  @param header column names. */
+    Table(std::string title, std::vector<std::string> header);
+
+    /** Append a pre-stringized row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p precision significant decimal digits. */
+    static std::string num(double value, int precision = 4);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t value);
+    static std::string num(int value);
+
+    /** Render with aligned columns. */
+    void print(std::ostream& os) const;
+
+    /** Render as RFC-4180-ish CSV (no quoting of commas; callers keep cells
+     *  comma-free). */
+    void printCsv(std::ostream& os) const;
+
+    const std::string& title() const { return title_; }
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return header_.size(); }
+
+    /** Cell accessor (row-major, excluding the header). */
+    const std::string& cell(std::size_t row, std::size_t col) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_TABLE_HPP

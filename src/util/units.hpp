@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical constants and unit-conversion helpers used throughout the model.
+ *
+ * All model code keeps quantities in SI base units (volts, hertz, watts,
+ * seconds, kelvins) unless a name says otherwise; these helpers exist so
+ * conversions are explicit and greppable.
+ */
+
+#ifndef TLP_UTIL_UNITS_HPP
+#define TLP_UTIL_UNITS_HPP
+
+namespace tlp::util {
+
+/** Boltzmann constant [J/K]. */
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/** Elementary charge [C]. */
+inline constexpr double kElectronCharge = 1.602176634e-19;
+
+/** Offset between Celsius and Kelvin scales. */
+inline constexpr double kCelsiusToKelvinOffset = 273.15;
+
+/** Room temperature used as the leakage normalization point [deg C]. */
+inline constexpr double kRoomTemperatureC = 25.0;
+
+/** Convert degrees Celsius to kelvins. */
+constexpr double
+celsiusToKelvin(double celsius)
+{
+    return celsius + kCelsiusToKelvinOffset;
+}
+
+/** Convert kelvins to degrees Celsius. */
+constexpr double
+kelvinToCelsius(double kelvin)
+{
+    return kelvin - kCelsiusToKelvinOffset;
+}
+
+/** Thermal voltage kT/q at a temperature in kelvins [V]. */
+constexpr double
+thermalVoltage(double kelvin)
+{
+    return kBoltzmann * kelvin / kElectronCharge;
+}
+
+/** Convenience multipliers. */
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+/** Convert gigahertz to hertz. */
+constexpr double ghz(double value) { return value * kGiga; }
+
+/** Convert megahertz to hertz. */
+constexpr double mhz(double value) { return value * kMega; }
+
+/** Convert nanoseconds to seconds. */
+constexpr double ns(double value) { return value * kNano; }
+
+/** Convert square millimetres to square metres. */
+constexpr double mm2(double value) { return value * 1e-6; }
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_UNITS_HPP

@@ -1,0 +1,69 @@
+#include "workloads/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace tlp::workloads {
+
+std::uint64_t
+scaled(std::uint64_t count, double scale, std::uint64_t floor)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        util::fatal("workloads: scale must be in (0, 1]");
+    const auto value =
+        static_cast<std::uint64_t>(std::llround(count * scale));
+    return std::max(floor, value);
+}
+
+void
+loadRegion(sim::ThreadProgram& tp, sim::Addr addr, std::uint64_t bytes)
+{
+    const sim::Addr first = addr / kLine * kLine;
+    const sim::Addr last = (addr + bytes + kLine - 1) / kLine * kLine;
+    for (sim::Addr a = first; a < last; a += kLine)
+        tp.load(a);
+}
+
+void
+storeRegion(sim::ThreadProgram& tp, sim::Addr addr, std::uint64_t bytes)
+{
+    const sim::Addr first = addr / kLine * kLine;
+    const sim::Addr last = (addr + bytes + kLine - 1) / kLine * kLine;
+    for (sim::Addr a = first; a < last; a += kLine)
+        tp.store(a);
+}
+
+void
+taskQueue(sim::ThreadProgram& tp, int thread, int n_threads,
+          std::uint64_t n_tasks, std::uint64_t queue_lock,
+          sim::Addr queue_head,
+          const std::function<void(std::uint64_t)>& body)
+{
+    for (std::uint64_t task = 0; task < n_tasks; ++task) {
+        if (static_cast<int>(task % n_threads) != thread)
+            continue;
+        tp.lock(queue_lock);
+        tp.load(queue_head);
+        tp.intOps(4);
+        tp.store(queue_head);
+        tp.unlock(queue_lock);
+        body(task);
+    }
+}
+
+std::uint64_t
+workloadSeed(const char* name, int thread)
+{
+    // FNV-1a over the name, mixed with the thread index.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char* p = name; *p; ++p) {
+        hash ^= static_cast<std::uint64_t>(*p);
+        hash *= 1099511628211ull;
+    }
+    return hash ^ (0x9e3779b97f4a7c15ull * (thread + 1));
+}
+
+} // namespace tlp::workloads

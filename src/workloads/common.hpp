@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared building blocks of the workload generators: a bump allocator for
+ * the simulated address space, scaling helpers, and the dynamic task-queue
+ * emitter several kernels share.
+ */
+
+#ifndef TLP_WORKLOADS_COMMON_HPP
+#define TLP_WORKLOADS_COMMON_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "util/rng.hpp"
+
+namespace tlp::workloads {
+
+/** Cache-line granularity all regions align to. */
+inline constexpr std::uint64_t kLine = 64;
+
+/** Bump allocator carving named regions out of the simulated memory. */
+class AddressSpace
+{
+  public:
+    /** Reserve @p bytes and return the region base (line-aligned). */
+    sim::Addr
+    alloc(std::uint64_t bytes)
+    {
+        const sim::Addr base = next_;
+        next_ += (bytes + kLine - 1) / kLine * kLine;
+        return base;
+    }
+
+    /** Total bytes allocated so far. */
+    std::uint64_t used() const { return next_ - kBase; }
+
+  private:
+    static constexpr sim::Addr kBase = 0x10000;
+    sim::Addr next_ = kBase;
+};
+
+/** Scale an element count, keeping at least @p floor elements. */
+std::uint64_t scaled(std::uint64_t count, double scale,
+                     std::uint64_t floor = 1);
+
+/**
+ * Emit a read of @p bytes starting at @p addr as line-granular loads
+ * (one load per touched cache line).
+ */
+void loadRegion(sim::ThreadProgram& tp, sim::Addr addr,
+                std::uint64_t bytes);
+
+/** Same as loadRegion for stores. */
+void storeRegion(sim::ThreadProgram& tp, sim::Addr addr,
+                 std::uint64_t bytes);
+
+/**
+ * Emit a dynamic task-queue loop: the thread repeatedly grabs the queue
+ * lock, dequeues (one load + one store on the queue head), and runs the
+ * task body. Tasks are dealt deterministically round-robin so every
+ * thread knows its share up front, but each grab still pays the lock and
+ * queue-line coherence costs that limit scalability at high thread
+ * counts.
+ *
+ * @param tp        thread stream to append to
+ * @param thread    this thread's index
+ * @param n_threads thread count
+ * @param n_tasks   total number of tasks
+ * @param queue_lock lock id protecting the queue
+ * @param queue_head address of the shared queue head
+ * @param body      emits the work of task t into tp
+ */
+void taskQueue(sim::ThreadProgram& tp, int thread, int n_threads,
+               std::uint64_t n_tasks, std::uint64_t queue_lock,
+               sim::Addr queue_head,
+               const std::function<void(std::uint64_t task)>& body);
+
+/** Deterministic per-(workload, thread) RNG seed. */
+std::uint64_t workloadSeed(const char* name, int thread);
+
+} // namespace tlp::workloads
+
+#endif // TLP_WORKLOADS_COMMON_HPP

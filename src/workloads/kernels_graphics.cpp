@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Graphics members of the suite (Raytrace, Volrend, Radiosity) and the
+ * power-calibration microbenchmark.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "util/rng.hpp"
+#include "workloads/common.hpp"
+
+namespace tlp::workloads {
+
+using sim::Program;
+using sim::ThreadProgram;
+using util::Rng;
+
+Program
+makeRaytrace(int n_threads, double scale)
+{
+    // Paper: "car" scene. Rays traverse a 2 MB scene structure with a hot
+    // upper BVH region and colder leaf geometry; tiles of rays are grabbed
+    // from a dynamic task queue.
+    const std::uint64_t n_rays = scaled(16384, scale, 256);
+    constexpr std::uint64_t kRaysPerTile = 64;
+    const std::uint64_t n_tiles = n_rays / kRaysPerTile + 1;
+    const std::uint64_t scene_lines = 32768; // 2 MB
+    const std::uint64_t hot_lines = 2048;    // 128 KB BVH top
+
+    AddressSpace mem;
+    const sim::Addr scene = mem.alloc(scene_lines * kLine);
+    const sim::Addr image = mem.alloc(n_rays * 8);
+    const sim::Addr queue_head = mem.alloc(kLine);
+
+    Program prog;
+    prog.threads.resize(n_threads);
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        Rng rng(workloadSeed("raytrace", t));
+        taskQueue(tp, t, n_threads, n_tiles, /*queue_lock=*/0, queue_head,
+                  [&](std::uint64_t tile) {
+                      for (std::uint64_t r = 0; r < kRaysPerTile; ++r) {
+                          const int depth = 8 + static_cast<int>(
+                              rng.below(10));
+                          for (int d = 0; d < depth; ++d) {
+                              const std::uint64_t line = rng.chance(0.7)
+                                  ? rng.below(hot_lines)
+                                  : rng.below(scene_lines);
+                              tp.load(scene + line * kLine);
+                              tp.fpOps(24);
+                          }
+                          tp.store(image +
+                                   (tile * kRaysPerTile + r) % n_rays * 8);
+                      }
+                  });
+        tp.barrier(0);
+        tp.finish();
+    }
+    prog.n_barriers = 1;
+    prog.n_locks = 1;
+    return prog;
+}
+
+Program
+makeVolrend(int n_threads, double scale)
+{
+    // Paper: "head" volume. Ray casting with strongly variable ray
+    // lengths (empty-space skipping), which makes load imbalance the
+    // dominant efficiency limiter at high core counts.
+    const std::uint64_t n_rays = scaled(12288, scale, 256);
+    constexpr std::uint64_t kRaysPerTile = 48;
+    const std::uint64_t n_tiles = n_rays / kRaysPerTile + 1;
+    const std::uint64_t volume_lines = 16384; // 1 MB
+
+    AddressSpace mem;
+    const sim::Addr volume = mem.alloc(volume_lines * kLine);
+    const sim::Addr image = mem.alloc(n_rays * 8);
+    const sim::Addr queue_head = mem.alloc(kLine);
+
+    Program prog;
+    prog.threads.resize(n_threads);
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        Rng rng(workloadSeed("volrend", t));
+        taskQueue(tp, t, n_threads, n_tiles, /*queue_lock=*/0, queue_head,
+                  [&](std::uint64_t tile) {
+                      // Whole tiles vary widely in cost (opaque vs empty
+                      // image regions).
+                      const bool heavy = (tile % 5) < 2;
+                      for (std::uint64_t r = 0; r < kRaysPerTile; ++r) {
+                          const int steps = heavy
+                              ? 20 + static_cast<int>(rng.below(16))
+                              : 2 + static_cast<int>(rng.below(5));
+                          std::uint64_t line = rng.below(volume_lines);
+                          for (int s = 0; s < steps; ++s) {
+                              tp.load(volume + line * kLine);
+                              tp.fpOps(8);
+                              line = (line + 9) % volume_lines;
+                          }
+                          tp.store(image +
+                                   (tile * kRaysPerTile + r) % n_rays * 8);
+                      }
+                  });
+        tp.barrier(0);
+        tp.finish();
+    }
+    prog.n_barriers = 1;
+    prog.n_locks = 1;
+    return prog;
+}
+
+Program
+makeRadiosity(int n_threads, double scale)
+{
+    // Paper: "room -ae 5000.0 -en 0.05 -bf 0.1". Iterative hierarchical
+    // radiosity: interaction tasks read two patches and accumulate energy
+    // into shared patch records under hashed locks; a serial task-
+    // generation step precedes each iteration.
+    const std::uint64_t n_patches = scaled(2048, scale, 64);
+    const std::uint64_t n_interactions = scaled(4096, scale, 128);
+    constexpr int kIterations = 2;
+    constexpr std::uint64_t kPatchLocks = 32;
+
+    AddressSpace mem;
+    const sim::Addr patches = mem.alloc(n_patches * 4 * kLine);
+    const sim::Addr queue_head = mem.alloc(kLine);
+
+    Program prog;
+    prog.threads.resize(n_threads);
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        Rng rng(workloadSeed("radiosity", t));
+        Rng pairs(workloadSeed("radiosity-pairs", 0)); // shared pairing
+        std::uint64_t bid = 0;
+
+        for (int iter = 0; iter < kIterations; ++iter) {
+            if (t == 0) {
+                // Serial visibility/task generation.
+                for (std::uint64_t i = 0; i < n_interactions / 4; ++i) {
+                    tp.load(patches + (i % n_patches) * 4 * kLine);
+                    tp.intOps(16);
+                }
+            }
+            tp.barrier(bid++);
+
+            taskQueue(tp, t, n_threads, n_interactions, /*queue_lock=*/0,
+                      queue_head, [&](std::uint64_t task) {
+                          (void)task;
+                          const std::uint64_t i = pairs.below(n_patches);
+                          const std::uint64_t j = pairs.below(n_patches);
+                          loadRegion(tp, patches + i * 4 * kLine,
+                                     4 * kLine);
+                          loadRegion(tp, patches + j * 4 * kLine,
+                                     4 * kLine);
+                          tp.fpOps(64 +
+                                   static_cast<std::uint32_t>(
+                                       rng.below(64)));
+                          tp.lock(400 + i % kPatchLocks);
+                          tp.load(patches + i * 4 * kLine);
+                          tp.fpOps(8);
+                          tp.store(patches + i * 4 * kLine);
+                          tp.unlock(400 + i % kPatchLocks);
+                      });
+            tp.barrier(bid++);
+        }
+        tp.finish();
+    }
+    prog.n_barriers = 2 * kIterations;
+    prog.n_locks = 1 + kPatchLocks;
+    return prog;
+}
+
+Program
+makePowerVirus(int n_threads, double scale)
+{
+    // Compute-bound calibration kernel (§3.3): saturates integer and FP
+    // issue with an L1-resident working set, recreating a quasi-maximum
+    // dynamic power scenario at nominal V/f.
+    const std::uint64_t iterations = scaled(200000, scale, 1024);
+    constexpr std::uint64_t kBufferLines = 256; // 16 KB, L1-resident
+
+    AddressSpace mem;
+    Program prog;
+    prog.threads.resize(n_threads);
+    for (int t = 0; t < n_threads; ++t) {
+        const sim::Addr buffer = mem.alloc(kBufferLines * kLine);
+        ThreadProgram& tp = prog.threads[t];
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            tp.load(buffer + (i % kBufferLines) * kLine);
+            tp.intOps(10);
+            tp.fpOps(5);
+            tp.store(buffer + ((i * 7 + 1) % kBufferLines) * kLine);
+        }
+        tp.finish();
+    }
+    return prog;
+}
+
+} // namespace tlp::workloads

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Matrix/array members of the suite: blocked dense LU, sparse Cholesky,
+ * the six-step FFT, and Radix sort.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "workloads/common.hpp"
+
+namespace tlp::workloads {
+
+using sim::Program;
+using sim::ThreadProgram;
+using util::Rng;
+
+Program
+makeLu(int n_threads, double scale)
+{
+    // Paper: 512x512 matrix, 16x16 blocks. Scaled default: 256x256.
+    // Classic blocked right-looking LU: per step, the diagonal owner
+    // factors, perimeter blocks update against the diagonal, interior
+    // blocks update against their perimeter pair; barriers separate the
+    // sub-phases. Parallelism shrinks in late steps (tail imbalance).
+    const std::uint64_t dim = scaled(256, scale, 64);
+    constexpr std::uint64_t kBlock = 16;
+    const std::uint64_t nb = dim / kBlock;
+    const std::uint64_t block_bytes = kBlock * kBlock * 8; // 2 KB
+
+    AddressSpace mem;
+    const sim::Addr matrix = mem.alloc(nb * nb * block_bytes);
+    const auto block_addr = [&](std::uint64_t bi, std::uint64_t bj) {
+        return matrix + (bi * nb + bj) * block_bytes;
+    };
+
+    Program prog;
+    prog.threads.resize(n_threads);
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        std::uint64_t bid = 0;
+        for (std::uint64_t k = 0; k < nb; ++k) {
+            // Diagonal factorization by its owner.
+            if (static_cast<int>(k % n_threads) == t) {
+                loadRegion(tp, block_addr(k, k), block_bytes);
+                tp.fpOps(1024);
+                storeRegion(tp, block_addr(k, k), block_bytes);
+            }
+            tp.barrier(bid++);
+
+            // Perimeter updates (row k and column k), dealt round-robin.
+            std::uint64_t idx = 0;
+            for (std::uint64_t m = k + 1; m < nb; ++m, idx += 2) {
+                if (static_cast<int>(idx % n_threads) == t) {
+                    loadRegion(tp, block_addr(k, k), block_bytes);
+                    loadRegion(tp, block_addr(k, m), block_bytes);
+                    tp.fpOps(1024);
+                    storeRegion(tp, block_addr(k, m), block_bytes);
+                }
+                if (static_cast<int>((idx + 1) % n_threads) == t) {
+                    loadRegion(tp, block_addr(k, k), block_bytes);
+                    loadRegion(tp, block_addr(m, k), block_bytes);
+                    tp.fpOps(1024);
+                    storeRegion(tp, block_addr(m, k), block_bytes);
+                }
+            }
+            tp.barrier(bid++);
+
+            // Interior updates, 2-D scattered ownership.
+            for (std::uint64_t i = k + 1; i < nb; ++i) {
+                for (std::uint64_t j = k + 1; j < nb; ++j) {
+                    if (static_cast<int>((i + j) % n_threads) != t)
+                        continue;
+                    loadRegion(tp, block_addr(i, k), block_bytes);
+                    loadRegion(tp, block_addr(k, j), block_bytes);
+                    loadRegion(tp, block_addr(i, j), block_bytes);
+                    tp.fpOps(2048);
+                    storeRegion(tp, block_addr(i, j), block_bytes);
+                }
+            }
+            tp.barrier(bid++);
+        }
+        tp.finish();
+    }
+    prog.n_barriers = 3 * nb;
+    return prog;
+}
+
+Program
+makeCholesky(int n_threads, double scale)
+{
+    // Paper: tk15.O (sparse supernodal factorization). Modelled as a
+    // dynamic task queue of supernode updates with power-law panel sizes,
+    // preceded by a serial symbolic-factorization section on thread 0 —
+    // the serial head plus queue-lock contention shape the efficiency
+    // curve.
+    const std::uint64_t n_tasks = scaled(900, scale, 32);
+    AddressSpace mem;
+    const sim::Addr panels = mem.alloc(n_tasks * 64 * kLine);
+    const sim::Addr updates = mem.alloc(2048 * kLine);
+    const sim::Addr queue_head = mem.alloc(kLine);
+
+    Program prog;
+    prog.threads.resize(n_threads);
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        Rng rng(workloadSeed("cholesky", 0)); // same task sizes for all
+
+        if (t == 0) {
+            // Serial symbolic factorization.
+            for (std::uint64_t i = 0; i < n_tasks; ++i) {
+                tp.load(panels + i * 64 * kLine);
+                tp.intOps(24);
+            }
+            tp.store(queue_head);
+        }
+        tp.barrier(0);
+
+        Rng sizes(workloadSeed("cholesky-sizes", 0));
+        taskQueue(tp, t, n_threads, n_tasks, /*queue_lock=*/0, queue_head,
+                  [&](std::uint64_t task) {
+                      // Panel sizes follow a long-tailed distribution.
+                      const std::uint64_t lines =
+                          4 + sizes.below(37) + sizes.below(25);
+                      const sim::Addr panel = panels + task * 64 * kLine;
+                      for (std::uint64_t l = 0; l < lines; ++l) {
+                          tp.load(panel + l * kLine);
+                          tp.load(updates +
+                                  ((task * 7 + l * 3) % 2048) * kLine);
+                          tp.fpOps(48);
+                      }
+                      for (std::uint64_t l = 0; l < lines; ++l)
+                          tp.store(panel + l * kLine);
+                  });
+        tp.barrier(1);
+        tp.finish();
+    }
+    prog.n_barriers = 2;
+    prog.n_locks = 1;
+    return prog;
+}
+
+Program
+makeFft(int n_threads, double scale)
+{
+    // Paper: 64K complex points, six-step FFT. The two transpose phases
+    // are all-to-all: every thread reads every other thread's partition,
+    // which is the communication that erodes efficiency at high core
+    // counts.
+    const std::uint64_t n_points = scaled(65536, scale, 4096);
+    std::uint64_t side = 1;
+    while (side * side < n_points)
+        side *= 2;
+    const std::uint64_t row_bytes = side * 16; // complex<double>
+
+    AddressSpace mem;
+    const sim::Addr a = mem.alloc(side * row_bytes);
+    const sim::Addr b = mem.alloc(side * row_bytes);
+
+    Program prog;
+    prog.threads.resize(n_threads);
+    const std::uint64_t rows_per_thread = side / n_threads + 1;
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        const std::uint64_t row_lo =
+            std::min<std::uint64_t>(side, t * rows_per_thread);
+        const std::uint64_t row_hi =
+            std::min<std::uint64_t>(side, row_lo + rows_per_thread);
+        std::uint64_t bid = 0;
+
+        const auto compute_phase = [&](sim::Addr src, sim::Addr dst) {
+            for (std::uint64_t r = row_lo; r < row_hi; ++r) {
+                for (std::uint64_t off = 0; off < row_bytes;
+                     off += kLine) {
+                    tp.load(src + r * row_bytes + off);
+                    tp.fpOps(20); // 5 flops x 4 points per line
+                    tp.store(dst + r * row_bytes + off);
+                }
+            }
+            tp.barrier(bid++);
+        };
+        const auto transpose_phase = [&](sim::Addr src, sim::Addr dst) {
+            for (std::uint64_t r = row_lo; r < row_hi; ++r) {
+                // Gather column r of src (strided across all partitions).
+                for (std::uint64_t c = 0; c < side; c += 4) {
+                    tp.load(src + c * row_bytes + r * 16);
+                    tp.intOps(2);
+                }
+                for (std::uint64_t off = 0; off < row_bytes;
+                     off += kLine) {
+                    tp.store(dst + r * row_bytes + off);
+                }
+            }
+            tp.barrier(bid++);
+        };
+
+        compute_phase(a, b);
+        transpose_phase(b, a);
+        compute_phase(a, b);
+        transpose_phase(b, a);
+        compute_phase(a, b);
+        tp.finish();
+    }
+    prog.n_barriers = 5;
+    return prog;
+}
+
+Program
+makeRadix(int n_threads, double scale)
+{
+    // Paper: 1M integers, radix 1024; simulated at full size (one digit
+    // pass at line granularity). Streaming histogram reads, a short
+    // serial global-scan section, and a scattered permutation whose
+    // source+destination footprint (8 MB) blows through the 4 MB L2:
+    // the suite's memory-bound, power-thrifty member.
+    const std::uint64_t n_keys = scaled(1u << 20, scale, 16384);
+    constexpr std::uint64_t kBuckets = 1024;
+    const std::uint64_t keys_per_line = kLine / 4;
+    const std::uint64_t n_lines = n_keys / keys_per_line;
+
+    AddressSpace mem;
+    const sim::Addr src = mem.alloc(n_keys * 4);
+    const sim::Addr dst = mem.alloc(n_keys * 4);
+    const sim::Addr hist = mem.alloc(kBuckets * 4 * n_threads);
+
+    Program prog;
+    prog.threads.resize(n_threads);
+    const std::uint64_t lines_per_thread = n_lines / n_threads + 1;
+
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadProgram& tp = prog.threads[t];
+        Rng rng(workloadSeed("radix", t));
+        const std::uint64_t lo =
+            std::min<std::uint64_t>(n_lines, t * lines_per_thread);
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(n_lines, lo + lines_per_thread);
+
+        // Histogram: stream the keys, bump local counters.
+        for (std::uint64_t l = lo; l < hi; ++l) {
+            tp.load(src + l * kLine);
+            tp.intOps(static_cast<std::uint32_t>(keys_per_line));
+            tp.store(hist + t * kBuckets * 4 +
+                     rng.below(kBuckets / 16) * kLine % (kBuckets * 4));
+        }
+        tp.barrier(0);
+
+        // Serial global prefix scan on thread 0.
+        if (t == 0) {
+            for (std::uint64_t b = 0; b < kBuckets * n_threads / 16; ++b) {
+                tp.load(hist + b * kLine % (kBuckets * 4 * n_threads));
+                tp.intOps(8);
+            }
+        }
+        tp.barrier(1);
+
+        // Permutation: read own lines, write to scattered bucket tails
+        // (line-granular; each store models a filled destination line).
+        for (std::uint64_t l = lo; l < hi; ++l) {
+            tp.load(src + l * kLine);
+            tp.intOps(static_cast<std::uint32_t>(keys_per_line / 2));
+            const std::uint64_t bucket = rng.below(kBuckets);
+            const std::uint64_t slot =
+                (bucket * (n_lines / kBuckets + 1) + l % 16) % n_lines;
+            tp.store(dst + slot * kLine);
+        }
+        tp.barrier(2);
+        tp.finish();
+    }
+    prog.n_barriers = 3;
+    return prog;
+}
+
+} // namespace tlp::workloads

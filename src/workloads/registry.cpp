@@ -1,0 +1,52 @@
+#include "workloads/workload.hpp"
+
+#include "util/logging.hpp"
+
+namespace tlp::workloads {
+
+const std::vector<WorkloadInfo>&
+suite()
+{
+    static const std::vector<WorkloadInfo> entries = {
+        {"Barnes", "16K particles", "8K particles", "compute",
+         [](int n, double s) { return makeBarnes(n, s); }},
+        {"Cholesky", "tk15.O", "900 supernode tasks", "mixed",
+         [](int n, double s) { return makeCholesky(n, s); }},
+        {"FFT", "64K points", "64K points", "mixed",
+         [](int n, double s) { return makeFft(n, s); }},
+        {"FMM", "16K particles", "4K particles (heavy multipoles)",
+         "compute", [](int n, double s) { return makeFmm(n, s); }},
+        {"LU", "512x512 matrix, 16x16 blocks",
+         "256x256 matrix, 16x16 blocks", "compute",
+         [](int n, double s) { return makeLu(n, s); }},
+        {"Ocean", "514x514 ocean", "514x514 ocean", "memory",
+         [](int n, double s) { return makeOcean(n, s); }},
+        {"Radiosity", "room -ae 5000.0 -en 0.05 -bf 0.1",
+         "2K patches, 4K interactions x 2 iters", "mixed",
+         [](int n, double s) { return makeRadiosity(n, s); }},
+        {"Radix", "1M integers, radix 1024", "1M integers, radix 1024",
+         "memory", [](int n, double s) { return makeRadix(n, s); }},
+        {"Raytrace", "car", "16K rays over a 2 MB scene", "compute",
+         [](int n, double s) { return makeRaytrace(n, s); }},
+        {"Volrend", "head", "12K rays over a 1 MB volume", "mixed",
+         [](int n, double s) { return makeVolrend(n, s); }},
+        {"Water-Nsq", "512 molecules", "512 molecules", "compute",
+         [](int n, double s) { return makeWaterNsq(n, s); }},
+        {"Water-Sp", "512 molecules", "512 molecules", "compute",
+         [](int n, double s) { return makeWaterSp(n, s); }},
+    };
+    return entries;
+}
+
+const WorkloadInfo&
+byName(const std::string& name)
+{
+    for (const WorkloadInfo& info : suite()) {
+        if (info.name == name)
+            return info;
+    }
+    util::fatal(util::strcatMsg("workloads: unknown application '", name,
+                                "'"));
+}
+
+} // namespace tlp::workloads

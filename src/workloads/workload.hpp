@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The SPLASH-2-like synthetic workload suite (Table 2 of the paper).
+ *
+ * Each workload is a deterministic generator that compiles into one
+ * sim::Program: per-thread streams of compute runs, loads/stores with
+ * concrete shared-memory addresses, and barrier/lock markers. The
+ * generators reproduce each application's qualitative regime — working-set
+ * size, compute/memory mix, sharing pattern, synchronization style, and
+ * load (im)balance — rather than its numerics; DESIGN.md documents this
+ * substitution and EXPERIMENTS.md the scaled problem sizes.
+ *
+ * The `scale` knob shrinks problem sizes proportionally (tests use small
+ * scales; the figure benches use 1.0).
+ */
+
+#ifndef TLP_WORKLOADS_WORKLOAD_HPP
+#define TLP_WORKLOADS_WORKLOAD_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace tlp::workloads {
+
+/** Generator signature: thread count and problem scale to program. */
+using Generator = std::function<sim::Program(int n_threads, double scale)>;
+
+/** Descriptor of one suite member. */
+struct WorkloadInfo
+{
+    std::string name;          ///< SPLASH-2 application name
+    std::string paper_size;    ///< problem size used by the paper
+    std::string scaled_size;   ///< size this reproduction simulates
+    /** Qualitative regime, for documentation/benches:
+     *  "compute" | "mixed" | "memory". */
+    std::string regime;
+    Generator make;
+};
+
+/** All twelve suite members, in the paper's Table 2 order. */
+const std::vector<WorkloadInfo>& suite();
+
+/** Lookup by (case-sensitive) name; fatal when unknown. */
+const WorkloadInfo& byName(const std::string& name);
+
+/** Individual generators (n_threads >= 1, 0 < scale <= 1). */
+sim::Program makeBarnes(int n_threads, double scale = 1.0);
+sim::Program makeCholesky(int n_threads, double scale = 1.0);
+sim::Program makeFft(int n_threads, double scale = 1.0);
+sim::Program makeFmm(int n_threads, double scale = 1.0);
+sim::Program makeLu(int n_threads, double scale = 1.0);
+sim::Program makeOcean(int n_threads, double scale = 1.0);
+sim::Program makeRadiosity(int n_threads, double scale = 1.0);
+sim::Program makeRadix(int n_threads, double scale = 1.0);
+sim::Program makeRaytrace(int n_threads, double scale = 1.0);
+sim::Program makeVolrend(int n_threads, double scale = 1.0);
+sim::Program makeWaterNsq(int n_threads, double scale = 1.0);
+sim::Program makeWaterSp(int n_threads, double scale = 1.0);
+
+/**
+ * The power-calibration microbenchmark (§3.3): a compute-bound kernel
+ * that keeps every pipeline busy to recreate a quasi-maximum power
+ * scenario on one core.
+ */
+sim::Program makePowerVirus(int n_threads = 1, double scale = 1.0);
+
+} // namespace tlp::workloads
+
+#endif // TLP_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Snapshot regressions of the analytic figure data: the exact values the
+ * benches print (and EXPERIMENTS.md records) at reference grid points.
+ * The technology presets, leakage fit, thermal calibration, and scenario
+ * solvers all feed these numbers, so an unexplained change here means
+ * the published reproduction changed — update the constants AND
+ * EXPERIMENTS.md deliberately, never casually.
+ *
+ * Tolerances are 2% (solver refinement and fit regression leave small
+ * numeric slack; anything beyond that is a modelling change).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+
+namespace {
+
+using namespace tlp;
+
+struct Fig1Point
+{
+    const char* node;
+    int n;
+    double eps;
+    double normalized_power;
+};
+
+class Fig1Snapshot : public ::testing::TestWithParam<Fig1Point>
+{
+};
+
+TEST_P(Fig1Snapshot, NormalizedPowerIsStable)
+{
+    const auto [node, n, eps, expected] = GetParam();
+    const tech::Technology tech = std::string(node) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    const model::AnalyticCmp cmp(tech, 32);
+    const model::Scenario1 scenario(cmp);
+    const auto r = scenario.solve(n, eps);
+    ASSERT_TRUE(r.feasible);
+    ASSERT_FALSE(r.power.runaway);
+    EXPECT_NEAR(r.normalized_power, expected, 0.02 * expected)
+        << node << " N=" << n << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig1, Fig1Snapshot,
+    ::testing::Values(Fig1Point{"130nm", 2, 1.0, 0.200},
+                      Fig1Point{"130nm", 8, 0.6, 0.364},
+                      Fig1Point{"130nm", 16, 1.0, 0.322},
+                      Fig1Point{"130nm", 32, 0.6, 0.932},
+                      Fig1Point{"65nm", 2, 1.0, 0.357},
+                      Fig1Point{"65nm", 8, 0.6, 0.312},
+                      Fig1Point{"65nm", 16, 1.0, 0.218},
+                      Fig1Point{"65nm", 32, 1.0, 0.554}));
+
+struct Fig2Point
+{
+    const char* node;
+    int n;
+    double speedup;
+};
+
+class Fig2Snapshot : public ::testing::TestWithParam<Fig2Point>
+{
+};
+
+TEST_P(Fig2Snapshot, BudgetSpeedupIsStable)
+{
+    const auto [node, n, expected] = GetParam();
+    const tech::Technology tech = std::string(node) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    const model::AnalyticCmp cmp(tech, 32);
+    const model::Scenario2 scenario(cmp);
+    EXPECT_NEAR(scenario.solve(n, 1.0).speedup, expected,
+                0.03 * expected)
+        << node << " N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig2, Fig2Snapshot,
+    ::testing::Values(Fig2Point{"130nm", 2, 1.67},
+                      Fig2Point{"130nm", 8, 4.13},
+                      Fig2Point{"130nm", 10, 4.53},
+                      Fig2Point{"130nm", 16, 3.76},
+                      Fig2Point{"65nm", 2, 1.48},
+                      Fig2Point{"65nm", 8, 2.80},
+                      Fig2Point{"65nm", 16, 3.25},
+                      Fig2Point{"65nm", 32, 1.25}));
+
+TEST(FigSnapshot, LeakageFitErrorsAreStable)
+{
+    // The paper-analogous validation numbers recorded in EXPERIMENTS.md.
+    EXPECT_LT(tech::tech130nm().leakageFitReport().max_rel_error, 0.025);
+    EXPECT_LT(tech::tech65nm().leakageFitReport().max_rel_error, 0.045);
+}
+
+TEST(FigSnapshot, SingleCoreBudgetsAreTheTechAnchors)
+{
+    EXPECT_NEAR(model::AnalyticCmp(tech::tech130nm(), 32)
+                    .singleCorePower(),
+                55.0, 1e-9);
+    EXPECT_NEAR(model::AnalyticCmp(tech::tech65nm(), 32)
+                    .singleCorePower(),
+                65.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cross-module integration tests: the analytical model and the simulated
+ * testbed must agree on the paper's qualitative stories, and the figure
+ * pipelines must reproduce the headline claims end to end (at reduced
+ * problem scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "runner/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+
+constexpr double kScale = 0.1;
+
+const runner::Experiment&
+experiment()
+{
+    static const runner::Experiment instance(kScale);
+    return instance;
+}
+
+TEST(Integration, AnalyticAndSimulatedScenario1Agree)
+{
+    // Feed the simulator-measured efficiency curve of a well-scaling app
+    // into the analytical Scenario I; the predicted normalized power must
+    // agree with the measured one in shape: monotone drop from N=1, and
+    // within a factor band at each point (the substrates differ).
+    const auto rows =
+        experiment().scenario1(workloads::byName("Water-Sp"), {1, 2, 4});
+
+    const model::AnalyticCmp cmp(tech::tech65nm(), 16);
+    const model::Scenario1 scenario(cmp);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const auto analytic = scenario.solve(rows[i].n, rows[i].eps_n);
+        ASSERT_TRUE(analytic.feasible);
+        EXPECT_GT(rows[i].normalized_power,
+                  0.35 * analytic.normalized_power);
+        EXPECT_LT(rows[i].normalized_power,
+                  3.0 * analytic.normalized_power);
+        EXPECT_LT(rows[i].normalized_power, 1.0);
+        EXPECT_LT(analytic.normalized_power, 1.0);
+    }
+}
+
+TEST(Integration, ComputeBoundGapExceedsMemoryBoundGap)
+{
+    // Figure 4's central contrast, end to end: the nominal/actual
+    // speedup gap at N=8 is larger for FMM than for Radix.
+    const std::vector<int> ns = {1, 2, 4, 8};
+    const auto fmm =
+        experiment().scenario2(workloads::byName("FMM"), ns);
+    const auto radix =
+        experiment().scenario2(workloads::byName("Radix"), ns);
+    const auto gap = [](const runner::Scenario2Row& row) {
+        return row.nominal_speedup - row.actual_speedup;
+    };
+    EXPECT_GT(gap(fmm.back()), gap(radix.back()));
+    // And Radix's nominal power is the lower of the two.
+    EXPECT_LT(radix.front().power_w, fmm.front().power_w);
+}
+
+TEST(Integration, PaperConclusionPowerSavingsAtPerformanceParity)
+{
+    // "Parallel computing can bring significant power savings and still
+    // meet a given performance target": a scalable app on 4 cores at the
+    // Eq. 7 operating point must deliver >= 1x speedup at well under the
+    // sequential power.
+    const auto rows =
+        experiment().scenario1(workloads::byName("FMM"), {1, 2, 4});
+    const auto& four = rows.back();
+    EXPECT_GE(four.actual_speedup, 0.99);
+    EXPECT_LT(four.normalized_power, 0.8);
+}
+
+TEST(Integration, TemperatureOrderingMatchesPowerOrdering)
+{
+    // Hotter app at N=1 (FMM) runs hotter than the thrifty one (Radix),
+    // and both cool toward ambient as N grows.
+    const auto fmm =
+        experiment().scenario1(workloads::byName("FMM"), {1, 4});
+    const auto radix =
+        experiment().scenario1(workloads::byName("Radix"), {1, 4});
+    EXPECT_GT(fmm[0].avg_temp_c, radix[0].avg_temp_c);
+    EXPECT_LT(fmm[1].avg_temp_c, fmm[0].avg_temp_c);
+    EXPECT_LT(radix[1].avg_temp_c, radix[0].avg_temp_c);
+}
+
+TEST(Integration, AnalyticBudgetCurveHasInteriorPeak)
+{
+    // The dark-silicon-precursor claim on both nodes.
+    for (const auto& tech : {tech::tech130nm(), tech::tech65nm()}) {
+        const model::AnalyticCmp cmp(tech, 32);
+        const model::Scenario2 scenario(cmp);
+        std::vector<double> speedups;
+        for (int n = 1; n <= 32; ++n)
+            speedups.push_back(scenario.solve(n, 1.0).speedup);
+        const auto peak =
+            std::max_element(speedups.begin(), speedups.end());
+        const auto peak_n = peak - speedups.begin() + 1;
+        EXPECT_GT(peak_n, 2) << tech.name();
+        EXPECT_LT(peak_n, 32) << tech.name();
+        EXPECT_LT(speedups.back(), *peak) << tech.name();
+    }
+}
+
+TEST(Integration, EfficiencyCurveFeedsTabulatedModel)
+{
+    // The measured efficiency curve can drive the analytic scenarios via
+    // TabulatedEfficiency (the intended cross-model workflow).
+    const auto rows = experiment().scenario1(
+        workloads::byName("Raytrace"), {1, 2, 4});
+    std::map<int, double> samples;
+    for (const auto& row : rows)
+        samples[row.n] = row.eps_n;
+    const model::TabulatedEfficiency eff(samples);
+    const model::AnalyticCmp cmp(tech::tech65nm(), 16);
+    const model::Scenario2 scenario(cmp);
+    const auto r = scenario.solve(4, eff);
+    EXPECT_GT(r.speedup, 1.0);
+    EXPECT_LE(r.power.total_w, scenario.budget() * 1.02);
+}
+
+} // namespace

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for tlp_model — the paper's analytical contribution. Besides unit
+ * checks, these encode the paper's headline claims as properties:
+ * Scenario I power falls as efficiency rises and saves power beyond a
+ * break-even efficiency that shrinks with N; Scenario II speedup peaks at
+ * a moderate core count and declines beyond it, worse on 65 nm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/analytic_cmp.hpp"
+#include "model/efficiency.hpp"
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using model::AnalyticCmp;
+using model::Scenario1;
+using model::Scenario2;
+
+// -------------------------------------------------------------- efficiency
+
+TEST(Efficiency, ConstantIsOneAtSingleCore)
+{
+    model::ConstantEfficiency c(0.7);
+    EXPECT_DOUBLE_EQ(c.at(1), 1.0);
+    EXPECT_DOUBLE_EQ(c.at(8), 0.7);
+}
+
+TEST(Efficiency, AmdahlMatchesClosedForm)
+{
+    model::AmdahlEfficiency amdahl(0.1);
+    // Speedup(10) = 1 / (0.1 + 0.9/10) = 5.263...; eps = S/N.
+    EXPECT_NEAR(amdahl.nominalSpeedup(10), 1.0 / 0.19, 1e-12);
+    EXPECT_DOUBLE_EQ(amdahl.at(1), 1.0);
+}
+
+TEST(Efficiency, AmdahlZeroSerialIsPerfect)
+{
+    model::AmdahlEfficiency perfect(0.0);
+    for (int n : {1, 2, 7, 32})
+        EXPECT_DOUBLE_EQ(perfect.at(n), 1.0);
+}
+
+TEST(Efficiency, OverheadDecaysMonotonically)
+{
+    model::OverheadEfficiency oh(0.05);
+    double prev = 2.0;
+    for (int n = 1; n <= 64; n *= 2) {
+        const double e = oh.at(n);
+        EXPECT_LT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Efficiency, TabulatedExactAtSamples)
+{
+    model::TabulatedEfficiency tab({{1, 1.0}, {4, 0.8}, {16, 0.5}});
+    EXPECT_DOUBLE_EQ(tab.at(4), 0.8);
+    EXPECT_DOUBLE_EQ(tab.at(16), 0.5);
+}
+
+TEST(Efficiency, TabulatedInterpolatesBetweenSamples)
+{
+    model::TabulatedEfficiency tab({{1, 1.0}, {4, 0.8}, {16, 0.4}});
+    const double e8 = tab.at(8);
+    EXPECT_LT(e8, 0.8);
+    EXPECT_GT(e8, 0.4);
+}
+
+TEST(Efficiency, TabulatedClampsOutsideRange)
+{
+    model::TabulatedEfficiency tab({{1, 1.0}, {8, 0.6}});
+    EXPECT_DOUBLE_EQ(tab.at(32), 0.6);
+}
+
+TEST(Efficiency, TabulatedSupportsSuperlinear)
+{
+    model::TabulatedEfficiency tab({{1, 1.0}, {4, 1.1}});
+    EXPECT_GT(tab.nominalSpeedup(4), 4.0);
+}
+
+TEST(Efficiency, RejectsBadInput)
+{
+    EXPECT_THROW(model::ConstantEfficiency(0.0), util::FatalError);
+    EXPECT_THROW(model::AmdahlEfficiency(1.5), util::FatalError);
+    EXPECT_THROW(model::OverheadEfficiency(-0.1), util::FatalError);
+    EXPECT_THROW(model::TabulatedEfficiency({{2, 0.9}}),
+                 util::FatalError);
+    model::ConstantEfficiency c(1.0);
+    EXPECT_THROW(c.at(0), util::FatalError);
+}
+
+// ------------------------------------------------------------- AnalyticCmp
+
+class AnalyticFixture : public ::testing::Test
+{
+  protected:
+    AnalyticFixture() : cmp65_(tech::tech65nm(), 32) {}
+    AnalyticCmp cmp65_;
+};
+
+TEST_F(AnalyticFixture, CalibrationAnchorsSingleCoreAtHundredCelsius)
+{
+    const tech::Technology& t = cmp65_.technology();
+    const auto pb = cmp65_.evaluate({1, t.vddNominal(), t.fNominal()});
+    EXPECT_TRUE(pb.converged);
+    EXPECT_NEAR(pb.avg_active_temp_c, t.tHotC(), 0.5);
+    EXPECT_NEAR(pb.total_w, cmp65_.singleCorePower(),
+                0.02 * cmp65_.singleCorePower());
+}
+
+TEST_F(AnalyticFixture, PowerSplitsMatchTechnologyAtAnchor)
+{
+    const tech::Technology& t = cmp65_.technology();
+    const auto pb = cmp65_.evaluate({1, t.vddNominal(), t.fNominal()});
+    EXPECT_NEAR(pb.dynamic_w, t.dynamicPowerNominal(), 1e-6);
+    EXPECT_NEAR(pb.static_w, t.staticPowerHot(),
+                0.05 * t.staticPowerHot());
+}
+
+TEST_F(AnalyticFixture, MoreCoresMorePower)
+{
+    const auto two = cmp65_.evaluate({2, 0.8, 1.0e9});
+    const auto four = cmp65_.evaluate({4, 0.8, 1.0e9});
+    EXPECT_GT(four.total_w, two.total_w);
+}
+
+TEST_F(AnalyticFixture, LowerVoltageLowerPower)
+{
+    const auto hi = cmp65_.evaluate({4, 0.9, 1.0e9});
+    const auto lo = cmp65_.evaluate({4, 0.6, 1.0e9});
+    EXPECT_LT(lo.total_w, hi.total_w);
+    EXPECT_LT(lo.avg_active_temp_c, hi.avg_active_temp_c);
+}
+
+TEST_F(AnalyticFixture, RejectsBadOperatingPoints)
+{
+    EXPECT_THROW(cmp65_.evaluate({0, 1.0, 1e9}), util::FatalError);
+    EXPECT_THROW(cmp65_.evaluate({33, 1.0, 1e9}), util::FatalError);
+    EXPECT_THROW(cmp65_.evaluate({1, -1.0, 1e9}), util::FatalError);
+}
+
+TEST(AnalyticCmpNoFeedback, AblationHoldsLeakageAtAnchorTemperature)
+{
+    const AnalyticCmp with(tech::tech65nm(), 8, true);
+    const AnalyticCmp without(tech::tech65nm(), 8, false);
+    // At a cool low-V point, feedback-on leaks less than the
+    // held-at-100C ablation.
+    const auto a = with.evaluate({4, 0.5, 4e8});
+    const auto b = without.evaluate({4, 0.5, 4e8});
+    EXPECT_LT(a.static_w, b.static_w);
+}
+
+// -------------------------------------------------------------- Scenario I
+
+class Scenario1Fixture : public ::testing::Test
+{
+  protected:
+    Scenario1Fixture()
+        : cmp_(tech::tech65nm(), 32), scenario_(cmp_)
+    {
+    }
+    AnalyticCmp cmp_;
+    Scenario1 scenario_;
+};
+
+TEST_F(Scenario1Fixture, Eq7FrequencyTarget)
+{
+    const auto r = scenario_.solve(8, 0.5);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_NEAR(r.freq, cmp_.technology().fNominal() / 4.0, 1.0);
+}
+
+TEST_F(Scenario1Fixture, InfeasibleWhenSpeedupBelowOne)
+{
+    // N * eps < 1 would need overclocking: disallowed by the model.
+    EXPECT_FALSE(scenario_.solve(2, 0.4).feasible);
+    EXPECT_FALSE(scenario_.solve(8, 0.1).feasible);
+}
+
+TEST_F(Scenario1Fixture, SuperlinearEfficiencyAllowed)
+{
+    const auto r = scenario_.solve(4, 1.2);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_LT(r.freq, cmp_.technology().fNominal() / 4.0);
+}
+
+TEST_F(Scenario1Fixture, PowerFallsAsEfficiencyRises)
+{
+    double prev = 1e18;
+    for (double eps : {0.4, 0.6, 0.8, 1.0}) {
+        const auto r = scenario_.solve(8, eps);
+        ASSERT_TRUE(r.feasible);
+        EXPECT_LT(r.normalized_power, prev);
+        prev = r.normalized_power;
+    }
+}
+
+TEST_F(Scenario1Fixture, SavesPowerAtHighEfficiency)
+{
+    // The paper: all configurations show savings beyond some eps_n.
+    for (int n : {2, 4, 8, 16, 32}) {
+        const auto r = scenario_.solve(n, 1.0);
+        EXPECT_LT(r.normalized_power, 1.0) << "N=" << n;
+        EXPECT_FALSE(r.power.runaway) << "N=" << n;
+    }
+}
+
+TEST_F(Scenario1Fixture, HighNCurvesAboveLowNAtFullEfficiency)
+{
+    // Aggressive scaling saturates: at eps_n = 1 the 32-core point burns
+    // more than the 4-core point (Fig. 1's crossing structure).
+    EXPECT_GT(scenario_.solve(32, 1.0).normalized_power,
+              scenario_.solve(4, 1.0).normalized_power);
+}
+
+TEST_F(Scenario1Fixture, BreakEvenShrinksWithCores)
+{
+    // Find the efficiency at which P_N/P1 crosses 1.0, per N; it must
+    // decrease with N (paper: "higher N requires a lower level of
+    // efficiency to reach their power break-even points").
+    const auto break_even = [&](int n) {
+        for (double eps = 1.0 / n + 0.01; eps <= 1.0; eps += 0.01) {
+            const auto r = scenario_.solve(n, eps);
+            if (r.feasible && !r.power.runaway &&
+                r.normalized_power <= 1.0) {
+                return eps;
+            }
+        }
+        return 2.0;
+    };
+    const double be4 = break_even(4);
+    const double be16 = break_even(16);
+    EXPECT_LT(be16, be4);
+}
+
+TEST_F(Scenario1Fixture, VoltageFloorFlagAtVeryLowFrequency)
+{
+    const auto r = scenario_.solve(32, 1.0); // f = f1/32
+    EXPECT_TRUE(r.v_floor_hit);
+    EXPECT_DOUBLE_EQ(r.vdd, cmp_.technology().vMin());
+}
+
+TEST_F(Scenario1Fixture, TemperatureDropsBelowAnchor)
+{
+    const auto r = scenario_.solve(8, 1.0);
+    EXPECT_LT(r.power.avg_active_temp_c, cmp_.technology().tHotC());
+    EXPECT_GE(r.power.avg_active_temp_c,
+              cmp_.thermalModel().params().ambient_c);
+}
+
+TEST_F(Scenario1Fixture, RejectsBadArguments)
+{
+    EXPECT_THROW(scenario_.solve(0, 0.5), util::FatalError);
+    EXPECT_THROW(scenario_.solve(64, 0.5), util::FatalError);
+    EXPECT_THROW(scenario_.solve(4, 0.0), util::FatalError);
+}
+
+/** Property sweep over both nodes and several (N, eps) combinations:
+ *  feasible solutions respect the voltage window and Eq. 7. */
+struct S1Param
+{
+    const char* node;
+    int n;
+    double eps;
+};
+
+class Scenario1Sweep : public ::testing::TestWithParam<S1Param>
+{
+};
+
+TEST_P(Scenario1Sweep, SolutionRespectsModelInvariants)
+{
+    const auto [node, n, eps] = GetParam();
+    const tech::Technology tech = std::string(node) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    const AnalyticCmp cmp(tech, 32);
+    const Scenario1 scenario(cmp);
+    const auto r = scenario.solve(n, eps);
+    ASSERT_EQ(r.feasible, n * eps >= 1.0 - 1e-9);
+    if (!r.feasible)
+        return;
+    EXPECT_NEAR(r.freq, tech.fNominal() / (n * eps),
+                tech.fNominal() * 1e-9);
+    EXPECT_GE(r.vdd, tech.vMin() - 1e-12);
+    EXPECT_LE(r.vdd, tech.vddNominal() + 1e-12);
+    EXPECT_GT(r.power.total_w, 0.0);
+    if (!r.v_floor_hit) {
+        // On the alpha-power curve, the chosen V sustains the frequency.
+        EXPECT_GE(tech.frequencyLaw().maxFrequency(r.vdd) + 1.0, r.freq);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Scenario1Sweep,
+    ::testing::Values(S1Param{"130nm", 2, 0.9}, S1Param{"130nm", 8, 0.6},
+                      S1Param{"130nm", 32, 0.8},
+                      S1Param{"130nm", 4, 0.2}, S1Param{"65nm", 2, 0.9},
+                      S1Param{"65nm", 8, 0.6}, S1Param{"65nm", 16, 1.0},
+                      S1Param{"65nm", 32, 0.03}));
+
+// ------------------------------------------------------------- Scenario II
+
+class Scenario2Fixture : public ::testing::Test
+{
+  protected:
+    Scenario2Fixture()
+        : cmp_(tech::tech65nm(), 32), scenario_(cmp_)
+    {
+    }
+    AnalyticCmp cmp_;
+    Scenario2 scenario_;
+};
+
+TEST_F(Scenario2Fixture, SingleCoreRunsAtNominal)
+{
+    const auto r = scenario_.solve(1, 1.0);
+    EXPECT_NEAR(r.speedup, 1.0, 0.02);
+    EXPECT_NEAR(r.vdd, cmp_.technology().vddNominal(), 0.02);
+}
+
+TEST_F(Scenario2Fixture, BudgetIsRespectedEverywhere)
+{
+    for (int n : {2, 4, 8, 16, 24, 32}) {
+        const auto r = scenario_.solve(n, 1.0);
+        if (r.feasible) {
+            EXPECT_LE(r.power.total_w, scenario_.budget() * 1.02)
+                << "N=" << n;
+        }
+    }
+}
+
+TEST_F(Scenario2Fixture, SpeedupSublinearUnderBudget)
+{
+    for (int n : {2, 4, 8}) {
+        const auto r = scenario_.solve(n, 1.0);
+        EXPECT_LT(r.speedup, static_cast<double>(n)) << "N=" << n;
+        EXPECT_GT(r.speedup, 1.0) << "N=" << n;
+    }
+}
+
+TEST_F(Scenario2Fixture, SpeedupPeaksAtModerateCoreCount)
+{
+    // The paper's headline: even for eps_n = 1, the optimum uses fewer
+    // cores than available, and speedup declines beyond the peak.
+    double peak = 0.0;
+    int argmax = 1;
+    double at32 = 0.0;
+    for (int n = 1; n <= 32; ++n) {
+        const auto r = scenario_.solve(n, 1.0);
+        if (r.speedup > peak) {
+            peak = r.speedup;
+            argmax = n;
+        }
+        if (n == 32)
+            at32 = r.speedup;
+    }
+    EXPECT_GT(argmax, 4);
+    EXPECT_LT(argmax, 32);
+    EXPECT_LT(at32, 0.8 * peak);
+}
+
+TEST_F(Scenario2Fixture, LowerEfficiencyLowersSpeedup)
+{
+    const auto hi = scenario_.solve(8, 1.0);
+    const auto lo = scenario_.solve(8, 0.6);
+    EXPECT_GT(hi.speedup, lo.speedup);
+}
+
+TEST_F(Scenario2Fixture, CustomBudgetScalesSpeedup)
+{
+    const Scenario2 tight(cmp_, 20.0);
+    const Scenario2 loose(cmp_, 100.0);
+    EXPECT_LT(tight.solve(8, 1.0).speedup, loose.solve(8, 1.0).speedup);
+}
+
+TEST_F(Scenario2Fixture, RejectsBadArguments)
+{
+    EXPECT_THROW(scenario_.solve(0, 1.0), util::FatalError);
+    EXPECT_THROW(scenario_.solve(8, -1.0), util::FatalError);
+}
+
+TEST(Scenario2Nodes, PaperFigure2Shape)
+{
+    // 130nm peaks "a little over 4"; 65nm lies below with the faster
+    // post-peak degradation.
+    const AnalyticCmp cmp130(tech::tech130nm(), 32);
+    const AnalyticCmp cmp65(tech::tech65nm(), 32);
+    const Scenario2 s130(cmp130);
+    const Scenario2 s65(cmp65);
+
+    double peak130 = 0.0, peak65 = 0.0;
+    for (int n = 1; n <= 32; ++n) {
+        peak130 = std::max(peak130, s130.solve(n, 1.0).speedup);
+        peak65 = std::max(peak65, s65.solve(n, 1.0).speedup);
+    }
+    EXPECT_GT(peak130, 4.0);
+    EXPECT_LT(peak130, 5.2);
+    EXPECT_LT(peak65, peak130);
+    EXPECT_GT(peak65, 2.5);
+    // Both decline substantially beyond their peaks, and the 65nm curve
+    // ends below the 130nm one.
+    const double tail130 = s130.solve(32, 1.0).speedup;
+    const double tail65 = s65.solve(32, 1.0).speedup;
+    EXPECT_LT(tail130, 0.7 * peak130);
+    EXPECT_LT(tail65, 0.6 * peak65);
+    EXPECT_LT(tail65, tail130 * 1.05);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the per-core DVFS extension: policy equivalence when
+ * balanced, monotone savings in skew, deadline feasibility, and the
+ * heterogeneous chip-evaluation path it relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "model/per_core_dvfs.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using model::AnalyticCmp;
+using model::PerCoreDvfs;
+
+class PerCoreFixture : public ::testing::Test
+{
+  protected:
+    PerCoreFixture() : cmp_(tech::tech65nm(), 32), solver_(cmp_) {}
+
+    static std::vector<double>
+    skewed(int n, double ratio)
+    {
+        std::vector<double> w(n);
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i) {
+            w[i] = 1.0 + (ratio - 1.0) * i / std::max(1, n - 1);
+            sum += w[i];
+        }
+        for (double& x : w)
+            x /= sum;
+        return w;
+    }
+
+    AnalyticCmp cmp_;
+    PerCoreDvfs solver_;
+};
+
+TEST_F(PerCoreFixture, BalancedWorkYieldsIdenticalPolicies)
+{
+    const auto r = solver_.solve(std::vector<double>(8, 0.125));
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NEAR(r.saving_fraction, 0.0, 1e-9);
+    EXPECT_NEAR(r.per_core.total_w, r.global.total_w,
+                1e-9 * r.global.total_w);
+}
+
+TEST_F(PerCoreFixture, SavingsGrowWithSkew)
+{
+    double prev = -1.0;
+    for (double ratio : {1.5, 2.0, 3.0, 4.0}) {
+        const auto r = solver_.solve(skewed(8, ratio));
+        ASSERT_TRUE(r.feasible);
+        ASSERT_FALSE(r.global.runaway);
+        EXPECT_GT(r.saving_fraction, prev) << "ratio " << ratio;
+        prev = r.saving_fraction;
+    }
+    EXPECT_GT(prev, 0.1);
+}
+
+TEST_F(PerCoreFixture, PerCoreNeverWorseThanGlobal)
+{
+    for (double ratio : {1.0, 1.7, 2.5}) {
+        const auto r = solver_.solve(skewed(4, ratio));
+        ASSERT_TRUE(r.feasible);
+        EXPECT_LE(r.per_core.total_w, r.global.total_w + 1e-9);
+    }
+}
+
+TEST_F(PerCoreFixture, FrequenciesTrackWorkExactly)
+{
+    const auto work = skewed(4, 3.0);
+    const auto r = solver_.solve(work);
+    ASSERT_TRUE(r.feasible);
+    const double f1 = cmp_.technology().fNominal();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(r.freqs[i], f1 * work[i], 1.0);
+    // Heavier threads never run slower than lighter ones.
+    for (int i = 1; i < 4; ++i)
+        EXPECT_GE(r.freqs[i], r.freqs[i - 1]);
+}
+
+TEST_F(PerCoreFixture, VoltagesRespectTheWindow)
+{
+    const auto r = solver_.solve(skewed(16, 4.0));
+    ASSERT_TRUE(r.feasible);
+    for (double v : r.vdds) {
+        EXPECT_GE(v, cmp_.technology().vMin() - 1e-12);
+        EXPECT_LE(v, cmp_.technology().vddNominal() + 1e-12);
+    }
+}
+
+TEST_F(PerCoreFixture, RejectsBadDistributions)
+{
+    EXPECT_THROW(solver_.solve({}), util::FatalError);
+    EXPECT_THROW(solver_.solve({0.5, -0.5, 1.0}), util::FatalError);
+    EXPECT_THROW(solver_.solve({0.3, 0.3}), util::FatalError); // sum != 1
+    EXPECT_THROW(solver_.solve(std::vector<double>(64, 1.0 / 64)),
+                 util::FatalError); // more threads than cores
+}
+
+TEST_F(PerCoreFixture, EvaluatePerCoreMatchesUniformEvaluate)
+{
+    // With identical per-core points, the heterogeneous path must agree
+    // with the uniform one.
+    const std::vector<double> vdds(4, 0.8);
+    const std::vector<double> freqs(4, 1.2e9);
+    const auto het = cmp_.evaluatePerCore(vdds, freqs);
+    const auto uni = cmp_.evaluate({4, 0.8, 1.2e9});
+    EXPECT_NEAR(het.total_w, uni.total_w, 1e-6 * uni.total_w);
+    EXPECT_NEAR(het.avg_active_temp_c, uni.avg_active_temp_c, 1e-6);
+}
+
+TEST_F(PerCoreFixture, EvaluatePerCoreRejectsBadInput)
+{
+    EXPECT_THROW(cmp_.evaluatePerCore({}, {}), util::FatalError);
+    EXPECT_THROW(cmp_.evaluatePerCore({0.8, 0.8}, {1e9}),
+                 util::FatalError);
+    EXPECT_THROW(cmp_.evaluatePerCore({-0.8}, {1e9}), util::FatalError);
+}
+
+TEST_F(PerCoreFixture, HotterCoreIsTheFasterOne)
+{
+    // A strongly skewed pair: the fast core's tile runs hotter.
+    const auto r = solver_.solve({0.2, 0.8});
+    ASSERT_TRUE(r.feasible);
+    // Re-evaluate to obtain block temperatures directly.
+    const auto& plan = cmp_.thermalModel().floorplan();
+    const auto coupled = thermal::solveCoupled(
+        cmp_.thermalModel(), [&](const std::vector<double>& temps) {
+            std::vector<double> power(plan.size(), 0.0);
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                const int core = plan.blocks()[i].core_id;
+                if (core < 0 || core >= 2)
+                    continue;
+                power[i] =
+                    cmp_.technology().dynamicPower(r.vdds[core],
+                                                   r.freqs[core]) +
+                    cmp_.technology().staticPower(r.vdds[core],
+                                                  temps[i]);
+            }
+            return power;
+        });
+    const double t0 =
+        coupled.thermal.block_temps_c[plan.indexOf("core0")];
+    const double t1 =
+        coupled.thermal.block_temps_c[plan.indexOf("core1")];
+    EXPECT_GT(t1, t0);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Deeper property suites for the analytical model: closed-form
+ * cross-checks of Eq. 9, monotonicity sweeps of both scenarios across
+ * the (N, eps, technology) grid, and consistency between the power
+ * breakdown components.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/analytic_cmp.hpp"
+#include "model/scenario1.hpp"
+#include "model/scenario2.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using model::AnalyticCmp;
+using model::Scenario1;
+using model::Scenario2;
+
+/**
+ * Closed-form Eq. 9 with the thermal feedback disabled (leakage held at
+ * the 100 C anchor): P_N/P1 = [Pd1 k^2/eps + Ps1hot N k s(V,T1)/s(V1,T1)]
+ * / [Pd1 + Ps1hot].
+ */
+double
+eq9NoFeedback(const tech::Technology& tech, int n, double eps)
+{
+    const double f1 = tech.fNominal();
+    const double f = f1 / (n * eps);
+    double vdd = tech.frequencyLaw().voltageFor(f);
+    vdd = std::clamp(vdd, tech.vMin(), tech.vddNominal());
+    const double kappa = vdd / tech.vddNominal();
+    const double pd1 = tech.dynamicPowerNominal();
+    const double dyn = pd1 * kappa * kappa / eps;
+    const double stat = n * tech.staticPower(vdd, tech.tHotC());
+    return (dyn + stat) / tech.corePowerHot();
+}
+
+class Eq9CrossCheck
+    : public ::testing::TestWithParam<std::tuple<const char*, int, double>>
+{
+};
+
+TEST_P(Eq9CrossCheck, ModelMatchesClosedForm)
+{
+    const auto [node, n, eps] = GetParam();
+    const tech::Technology tech = std::string(node) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    if (n * eps < 1.0)
+        GTEST_SKIP() << "infeasible point";
+
+    const AnalyticCmp cmp(tech, 32, /*thermal_feedback=*/false);
+    const Scenario1 scenario(cmp);
+    const auto r = scenario.solve(n, eps);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NEAR(r.normalized_power, eq9NoFeedback(tech, n, eps),
+                0.02 * eq9NoFeedback(tech, n, eps))
+        << node << " N=" << n << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Eq9CrossCheck,
+    ::testing::Combine(::testing::Values("130nm", "65nm"),
+                       ::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(0.6, 0.8, 1.0)));
+
+TEST(Eq9Feedback, FeedbackNeverIncreasesScenario1Power)
+{
+    // Scenario I operating points are cooler than the 100 C anchor, so
+    // enabling the temperature-leakage feedback can only reduce power.
+    for (const auto& tech : {tech::tech130nm(), tech::tech65nm()}) {
+        const AnalyticCmp with(tech, 32, true);
+        const AnalyticCmp without(tech, 32, false);
+        const Scenario1 s_with(with);
+        const Scenario1 s_without(without);
+        for (int n : {2, 8, 32}) {
+            const auto a = s_with.solve(n, 1.0);
+            const auto b = s_without.solve(n, 1.0);
+            EXPECT_LE(a.normalized_power, b.normalized_power + 1e-9)
+                << tech.name() << " N=" << n;
+        }
+    }
+}
+
+TEST(BreakdownConsistency, ComponentsSumAndStayPositive)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 16);
+    for (double vdd : {0.4, 0.7, 1.0}) {
+        for (double f : {2e8, 1e9, 2.4e9}) {
+            if (cmp.technology().frequencyLaw().maxFrequency(vdd) < f)
+                continue;
+            const auto pb = cmp.evaluate({4, vdd, f});
+            EXPECT_GT(pb.dynamic_w, 0.0);
+            EXPECT_GT(pb.static_w, 0.0);
+            EXPECT_NEAR(pb.total_w, pb.dynamic_w + pb.static_w,
+                        1e-6 * pb.total_w);
+            EXPECT_GE(pb.avg_active_temp_c,
+                      cmp.thermalModel().params().ambient_c - 1e-9);
+        }
+    }
+}
+
+TEST(BreakdownConsistency, DynamicScalesExactlyWithFrequency)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 16);
+    const auto lo = cmp.evaluate({4, 0.7, 5e8});
+    const auto hi = cmp.evaluate({4, 0.7, 1e9});
+    EXPECT_NEAR(hi.dynamic_w / lo.dynamic_w, 2.0, 1e-9);
+}
+
+class Scenario2Monotonicity
+    : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(Scenario2Monotonicity, SpeedupMonotoneInBudget)
+{
+    const tech::Technology tech = std::string(GetParam()) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    const AnalyticCmp cmp(tech, 32);
+    double prev = 0.0;
+    for (double budget_frac : {0.5, 0.75, 1.0, 1.5}) {
+        const Scenario2 scenario(cmp,
+                                 budget_frac * cmp.singleCorePower());
+        const double s = scenario.solve(8, 1.0).speedup;
+        EXPECT_GE(s, prev - 1e-6) << "budget x" << budget_frac;
+        prev = s;
+    }
+}
+
+TEST_P(Scenario2Monotonicity, SpeedupMonotoneInEfficiency)
+{
+    const tech::Technology tech = std::string(GetParam()) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    const AnalyticCmp cmp(tech, 32);
+    const Scenario2 scenario(cmp);
+    for (int n : {4, 12}) {
+        double prev = 0.0;
+        for (double eps : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+            const double s = scenario.solve(n, eps).speedup;
+            EXPECT_GE(s, prev - 1e-6) << "N=" << n << " eps=" << eps;
+            prev = s;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, Scenario2Monotonicity,
+                         ::testing::Values("130nm", "65nm"));
+
+TEST(Scenario2Feasibility, OperatingPointIsOnOrBelowTheAlphaCurve)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 32);
+    const Scenario2 scenario(cmp);
+    for (int n : {1, 2, 4, 8, 16, 32}) {
+        const auto r = scenario.solve(n, 1.0);
+        if (!r.feasible)
+            continue;
+        EXPECT_LE(r.freq,
+                  cmp.technology().frequencyLaw().maxFrequency(r.vdd) +
+                      1e-3 * cmp.technology().fNominal())
+            << "N=" << n;
+        EXPECT_LE(r.freq, cmp.technology().fNominal() + 1.0);
+        EXPECT_GE(r.vdd, cmp.technology().vMin() - 1e-12);
+    }
+}
+
+TEST(Scenario1VsScenario2, SameChipSameAnchor)
+{
+    // At N=1 both scenarios describe the same full-throttle core.
+    const AnalyticCmp cmp(tech::tech130nm(), 32);
+    const Scenario1 s1(cmp);
+    const Scenario2 s2(cmp);
+    const auto a = s1.solve(1, 1.0);
+    const auto b = s2.solve(1, 1.0);
+    EXPECT_NEAR(a.power.total_w, b.power.total_w,
+                0.03 * a.power.total_w);
+    EXPECT_NEAR(a.freq, b.freq, 0.02 * a.freq);
+}
+
+TEST(ChipSize, SmallerDieSameScenario1Normalization)
+{
+    // Normalized Scenario I power is nearly chip-size independent when
+    // N fits both dies (the idle tiles only spread heat).
+    const AnalyticCmp big(tech::tech65nm(), 32);
+    const AnalyticCmp small(tech::tech65nm(), 16);
+    const Scenario1 sb(big);
+    const Scenario1 ss(small);
+    for (int n : {2, 8, 16}) {
+        const auto a = sb.solve(n, 0.9);
+        const auto b = ss.solve(n, 0.9);
+        EXPECT_NEAR(a.normalized_power, b.normalized_power,
+                    0.1 * a.normalized_power)
+            << "N=" << n;
+    }
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for tlp_power: CactiLite scaling properties and the
+ * activity-based chip power model with its renormalization and
+ * temperature-dependent static power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti_lite.hpp"
+#include "power/chip_power.hpp"
+#include "tech/technology.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace tlp;
+using power::ArrayConfig;
+using power::CactiLite;
+using power::ChipPowerModel;
+using power::CmpGeometry;
+
+// -------------------------------------------------------------- CactiLite
+
+TEST(CactiLite, EnergyGrowsWithArraySize)
+{
+    CactiLite cacti(65.0, 1.1);
+    const auto small = cacti.estimate({16384, 64, 2, 1});
+    const auto large = cacti.estimate({65536, 64, 2, 1});
+    EXPECT_GT(large.read_energy_j, small.read_energy_j);
+}
+
+TEST(CactiLite, AreaLinearInCapacity)
+{
+    CactiLite cacti(65.0, 1.1);
+    const auto a = cacti.estimate({65536, 64, 2, 1});
+    const auto b = cacti.estimate({131072, 64, 2, 1});
+    EXPECT_NEAR(b.area_m2 / a.area_m2, 2.0, 1e-9);
+}
+
+TEST(CactiLite, WritesCostMoreThanReads)
+{
+    CactiLite cacti(65.0, 1.1);
+    const auto est = cacti.estimate({65536, 64, 2, 1});
+    EXPECT_GT(est.write_energy_j, est.read_energy_j);
+}
+
+TEST(CactiLite, SmallerFeatureLowersEnergy)
+{
+    const ArrayConfig cfg{65536, 64, 2, 1};
+    CactiLite big(130.0, 1.1), small(65.0, 1.1);
+    EXPECT_GT(big.estimate(cfg).read_energy_j,
+              small.estimate(cfg).read_energy_j);
+}
+
+TEST(CactiLite, VoltageScalesEnergyQuadratically)
+{
+    const ArrayConfig cfg{65536, 64, 2, 1};
+    CactiLite hi(65.0, 1.1), lo(65.0, 0.55);
+    EXPECT_NEAR(hi.estimate(cfg).read_energy_j /
+                    lo.estimate(cfg).read_energy_j,
+                4.0, 1e-9);
+}
+
+TEST(CactiLite, ExtraPortsCostEnergyAndArea)
+{
+    CactiLite cacti(65.0, 1.1);
+    const auto one = cacti.estimate({65536, 64, 2, 1});
+    const auto two = cacti.estimate({65536, 64, 2, 2});
+    EXPECT_GT(two.read_energy_j, one.read_energy_j);
+    EXPECT_GT(two.area_m2, one.area_m2);
+}
+
+TEST(CactiLite, L2AccessCostsMoreThanL1)
+{
+    // The banked 4 MB L2 pays inter-bank routing on top of a bank
+    // access: its per-read energy must exceed the (single-ported) L1's.
+    CactiLite cacti(65.0, 1.1);
+    EXPECT_GT(cacti.estimate({4194304, 128, 8, 1}).read_energy_j,
+              cacti.estimate({65536, 64, 2, 1}).read_energy_j);
+}
+
+TEST(CactiLite, AccessTimeGrowsWithSize)
+{
+    CactiLite cacti(65.0, 1.1);
+    EXPECT_GT(cacti.estimate({4194304, 128, 8, 1}).access_time_s,
+              cacti.estimate({65536, 64, 2, 1}).access_time_s);
+}
+
+TEST(CactiLite, PaperDieAreaBallpark)
+{
+    // 16 cores (10 mm^2 each) + the CactiLite 4 MB L2 should land near
+    // the paper's CACTI result of 244.5 mm^2.
+    CactiLite cacti(65.0, 1.1);
+    const auto l2 = cacti.estimate({4194304, 128, 8, 1});
+    const double total = 16 * 1e-5 + l2.area_m2;
+    EXPECT_GT(total, util::mm2(180.0));
+    EXPECT_LT(total, util::mm2(280.0));
+}
+
+TEST(CactiLite, RejectsDegenerateConfigs)
+{
+    CactiLite cacti(65.0, 1.1);
+    EXPECT_THROW(cacti.estimate({0, 64, 2, 1}), util::FatalError);
+    EXPECT_THROW(cacti.estimate({64, 64, 2, 1}), util::FatalError);
+    EXPECT_THROW(CactiLite(-1.0, 1.1), util::FatalError);
+}
+
+// ---------------------------------------------------------- ChipPowerModel
+
+class ChipPowerFixture : public ::testing::Test
+{
+  protected:
+    ChipPowerFixture() : tech_(tech::tech65nm()), model_(tech_, geometry_)
+    {
+    }
+
+    /** A plausible activity pattern for @p cores cores. */
+    util::StatRegistry
+    makeActivity(int cores, std::uint64_t insts_per_core) const
+    {
+        util::StatRegistry stats;
+        for (int c = 0; c < cores; ++c) {
+            const std::string p = "core" + std::to_string(c) + ".";
+            stats.counter(p + "insts").increment(insts_per_core);
+            stats.counter(p + "int_ops").increment(insts_per_core / 2);
+            stats.counter(p + "fp_ops").increment(insts_per_core / 4);
+            stats.counter(p + "loads").increment(insts_per_core / 5);
+            stats.counter(p + "stores").increment(insts_per_core / 10);
+            stats.counter(p + "l1i.reads").increment(insts_per_core / 4);
+            stats.counter(p + "l1d.reads").increment(insts_per_core / 5);
+            stats.counter(p + "l1d.writes").increment(insts_per_core / 10);
+            stats.counter(p + "active_cycles").increment(insts_per_core);
+        }
+        stats.counter("l2.reads").increment(insts_per_core / 100);
+        stats.counter("bus.transactions").increment(insts_per_core / 100);
+        return stats;
+    }
+
+    CmpGeometry geometry_;
+    tech::Technology tech_;
+    ChipPowerModel model_;
+};
+
+TEST_F(ChipPowerFixture, FloorplanHasCoresAndL2)
+{
+    EXPECT_TRUE(model_.floorplan().has("L2"));
+    EXPECT_TRUE(model_.floorplan().has("core0.icache"));
+    EXPECT_TRUE(model_.floorplan().has("core15.clock"));
+}
+
+TEST_F(ChipPowerFixture, RawPowerPositiveForActiveCores)
+{
+    const auto stats = makeActivity(2, 1000000);
+    const auto watts =
+        model_.rawDynamicPower(stats, 1000000, 2, 1.1, 3.2e9);
+    double total = 0.0;
+    for (double w : watts)
+        total += w;
+    EXPECT_GT(total, 0.0);
+    // Idle core blocks draw nothing.
+    for (std::size_t i = 0; i < watts.size(); ++i) {
+        if (model_.floorplan().blocks()[i].core_id >= 2)
+            EXPECT_DOUBLE_EQ(watts[i], 0.0);
+    }
+}
+
+TEST_F(ChipPowerFixture, DynamicPowerScalesWithV2F)
+{
+    const auto stats = makeActivity(1, 1000000);
+    const auto full = model_.rawDynamicPower(stats, 1000000, 1, 1.1,
+                                             3.2e9);
+    // Same cycle count at half frequency doubles the runtime: power per
+    // event halves. Quarter from half voltage.
+    const auto scaled = model_.rawDynamicPower(stats, 1000000, 1, 0.55,
+                                               1.6e9);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        if (full[i] > 0.0)
+            EXPECT_NEAR(scaled[i] / full[i], 0.125, 1e-9);
+    }
+}
+
+TEST_F(ChipPowerFixture, RenormalizationMapsMicrobenchToBudget)
+{
+    model_.calibrate(10.0);
+    EXPECT_NEAR(model_.renormFactor(),
+                model_.maxCoreDynamicPower() / 10.0, 1e-12);
+}
+
+TEST_F(ChipPowerFixture, DynamicPowerRequiresCalibration)
+{
+    const auto stats = makeActivity(1, 1000);
+    EXPECT_THROW(model_.dynamicPower(stats, 1000, 1, 1.1, 3.2e9),
+                 util::FatalError);
+    model_.calibrate(5.0);
+    EXPECT_NO_THROW(model_.dynamicPower(stats, 1000, 1, 1.1, 3.2e9));
+}
+
+TEST_F(ChipPowerFixture, StaticGrowsWithTemperature)
+{
+    model_.calibrate(5.0);
+    const auto stats = makeActivity(1, 1000000);
+    const auto dyn = model_.dynamicPower(stats, 1000000, 1, 1.1, 3.2e9);
+    const std::vector<double> cold(model_.floorplan().size(), 50.0);
+    const std::vector<double> hot(model_.floorplan().size(), 100.0);
+    const auto s_cold = model_.staticPower(cold, dyn, 1, 1.1, 3.2e9);
+    const auto s_hot = model_.staticPower(hot, dyn, 1, 1.1, 3.2e9);
+    double cold_total = 0.0, hot_total = 0.0;
+    for (std::size_t i = 0; i < s_cold.size(); ++i) {
+        cold_total += s_cold[i];
+        hot_total += s_hot[i];
+    }
+    EXPECT_GT(hot_total, 2.0 * cold_total);
+}
+
+TEST_F(ChipPowerFixture, GatedCoresLeakNothing)
+{
+    model_.calibrate(5.0);
+    const auto stats = makeActivity(2, 1000000);
+    const auto dyn = model_.dynamicPower(stats, 1000000, 2, 1.1, 3.2e9);
+    const std::vector<double> temps(model_.floorplan().size(), 80.0);
+    const auto stat = model_.staticPower(temps, dyn, 2, 1.1, 3.2e9);
+    for (std::size_t i = 0; i < stat.size(); ++i) {
+        const int core = model_.floorplan().blocks()[i].core_id;
+        if (core >= 2)
+            EXPECT_DOUBLE_EQ(stat[i], 0.0);
+        else
+            EXPECT_GT(stat[i], 0.0);
+    }
+}
+
+TEST_F(ChipPowerFixture, StaticRatioMatchesTechnologySplit)
+{
+    const double s = tech_.params().static_fraction_hot;
+    EXPECT_NEAR(model_.staticRatioHot(), s / (1.0 - s), 1e-12);
+}
+
+TEST_F(ChipPowerFixture, HigherActivityMeansMoreStaticAtSameOperating)
+{
+    // The paper's model: static is a fraction of dynamic power, so a
+    // busier core leaks more (at equal V, T).
+    model_.calibrate(5.0);
+    const auto lo_stats = makeActivity(1, 100000);
+    const auto hi_stats = makeActivity(1, 1000000);
+    const auto lo_dyn =
+        model_.dynamicPower(lo_stats, 1000000, 1, 1.1, 3.2e9);
+    const auto hi_dyn =
+        model_.dynamicPower(hi_stats, 1000000, 1, 1.1, 3.2e9);
+    const std::vector<double> temps(model_.floorplan().size(), 80.0);
+    const auto lo = model_.staticPower(temps, lo_dyn, 1, 1.1, 3.2e9);
+    const auto hi = model_.staticPower(temps, hi_dyn, 1, 1.1, 3.2e9);
+    double lo_total = 0.0, hi_total = 0.0;
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+        lo_total += lo[i];
+        hi_total += hi[i];
+    }
+    EXPECT_GT(hi_total, lo_total);
+}
+
+TEST_F(ChipPowerFixture, RejectsBadArguments)
+{
+    const auto stats = makeActivity(1, 1000);
+    EXPECT_THROW(model_.rawDynamicPower(stats, 0, 1, 1.1, 3.2e9),
+                 util::FatalError);
+    EXPECT_THROW(model_.rawDynamicPower(stats, 1000, 0, 1.1, 3.2e9),
+                 util::FatalError);
+    EXPECT_THROW(model_.rawDynamicPower(stats, 1000, 99, 1.1, 3.2e9),
+                 util::FatalError);
+    EXPECT_THROW(model_.calibrate(-1.0), util::FatalError);
+}
+
+/** Parameterized: chip area scales sensibly across core counts. */
+class GeometrySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GeometrySweep, FloorplanMatchesGeometry)
+{
+    CmpGeometry g;
+    g.n_cores = GetParam();
+    const tech::Technology tech = tech::tech65nm();
+    const ChipPowerModel model(tech, g);
+    EXPECT_NEAR(model.floorplan().coreArea(),
+                g.n_cores * tech.coreAreaM2(),
+                g.n_cores * tech.coreAreaM2() * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, GeometrySweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for tlp_runner: the calibration sequence and the two experimental
+ * pipelines, run at a small workload scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using runner::Experiment;
+
+constexpr double kScale = 0.08;
+
+class ExperimentFixture : public ::testing::Test
+{
+  protected:
+    static const Experiment&
+    exp()
+    {
+        static const Experiment instance(kScale);
+        return instance;
+    }
+};
+
+TEST_F(ExperimentFixture, CalibrationProducesSaneRenormFactor)
+{
+    EXPECT_GT(exp().renormFactor(), 0.5);
+    EXPECT_LT(exp().renormFactor(), 100.0);
+}
+
+TEST_F(ExperimentFixture, BudgetNearTechnologyCorePower)
+{
+    // The microbenchmark-derived single-core maximum should land in the
+    // neighbourhood of the technology's hot core power (it adds the L2's
+    // share and the run's exact temperature profile).
+    const double budget = exp().maxSingleCorePower();
+    const double anchor = exp().technology().corePowerHot();
+    EXPECT_GT(budget, 0.7 * anchor);
+    EXPECT_LT(budget, 1.4 * anchor);
+}
+
+TEST_F(ExperimentFixture, MicrobenchmarkCoreSitsAtHundredCelsius)
+{
+    const auto m = exp().measure(workloads::makePowerVirus(1, kScale),
+                                 exp().technology().vddNominal(),
+                                 exp().technology().fNominal());
+    EXPECT_NEAR(m.avg_core_temp_c, exp().technology().tHotC(), 3.0);
+    EXPECT_FALSE(m.runaway);
+}
+
+TEST_F(ExperimentFixture, MeasureSplitsDynamicAndStatic)
+{
+    const auto m = exp().measure(workloads::makeWaterSp(2, kScale),
+                                 exp().technology().vddNominal(),
+                                 exp().technology().fNominal());
+    EXPECT_GT(m.dynamic_w, 0.0);
+    EXPECT_GT(m.static_w, 0.0);
+    EXPECT_NEAR(m.total_w, m.dynamic_w + m.static_w, 1e-9);
+    EXPECT_GT(m.core_power_density_w_m2, 0.0);
+}
+
+TEST_F(ExperimentFixture, LowerOperatingPointUsesLessPower)
+{
+    const auto prog = workloads::makeWaterSp(2, kScale);
+    const auto hi = exp().measure(prog, 1.1, 3.2e9);
+    const auto lo = exp().measure(prog, 0.6, 0.8e9);
+    EXPECT_LT(lo.total_w, hi.total_w);
+    EXPECT_LT(lo.avg_core_temp_c, hi.avg_core_temp_c);
+    EXPECT_GT(lo.seconds, hi.seconds);
+}
+
+TEST_F(ExperimentFixture, Scenario1RowsAreInternallyConsistent)
+{
+    const auto rows =
+        exp().scenario1(workloads::byName("Water-Sp"), {1, 2, 4});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_DOUBLE_EQ(rows[0].eps_n, 1.0);
+    EXPECT_DOUBLE_EQ(rows[0].normalized_power, 1.0);
+    for (const auto& row : rows) {
+        EXPECT_GT(row.eps_n, 0.0);
+        EXPECT_LE(row.freq_hz, exp().technology().fNominal() + 1.0);
+        EXPECT_GE(row.vdd, exp().technology().vMin() - 1e-9);
+        // Eq. 7 holds whenever the target is inside the V/f table range.
+        if (row.n > 1 && row.freq_hz > exp().vfTable().fMin() + 1.0) {
+            EXPECT_NEAR(row.freq_hz,
+                        exp().technology().fNominal() /
+                            (row.n * row.eps_n),
+                        1.0);
+        }
+    }
+}
+
+TEST_F(ExperimentFixture, Scenario1SavesPowerWithGoodEfficiency)
+{
+    const auto rows =
+        exp().scenario1(workloads::byName("Water-Sp"), {1, 2, 4});
+    EXPECT_LT(rows[1].normalized_power, 1.0);
+    EXPECT_LT(rows[2].normalized_power, rows[1].normalized_power);
+}
+
+TEST_F(ExperimentFixture, Scenario1PowerDensityCollapses)
+{
+    const auto rows =
+        exp().scenario1(workloads::byName("Water-Sp"), {1, 2, 4});
+    EXPECT_LT(rows[2].normalized_density, 0.35);
+}
+
+TEST_F(ExperimentFixture, Scenario2BudgetRespected)
+{
+    const auto rows =
+        exp().scenario2(workloads::byName("Water-Sp"), {1, 2, 4});
+    for (const auto& row : rows) {
+        if (row.actual_speedup > 0.0 && !row.at_nominal) {
+            EXPECT_LE(row.power_w, exp().maxSingleCorePower() * 1.07)
+                << "N=" << row.n;
+        }
+        EXPECT_LE(row.actual_speedup, row.nominal_speedup + 0.25)
+            << "N=" << row.n;
+    }
+}
+
+TEST_F(ExperimentFixture, Scenario2LowPowerAppRunsNominalAtSmallN)
+{
+    // Radix's nominal power is far below the budget: small configurations
+    // run at full V/f and actual == nominal speedup (paper §4.2).
+    const auto rows =
+        exp().scenario2(workloads::byName("Radix"), {1, 2});
+    EXPECT_TRUE(rows[0].at_nominal);
+    EXPECT_TRUE(rows[1].at_nominal);
+    EXPECT_NEAR(rows[1].actual_speedup, rows[1].nominal_speedup, 1e-9);
+}
+
+TEST_F(ExperimentFixture, ListsMustStartAtOne)
+{
+    EXPECT_THROW(exp().scenario1(workloads::byName("Radix"), {2, 4}),
+                 util::FatalError);
+    EXPECT_THROW(exp().scenario2(workloads::byName("Radix"), {4}),
+                 util::FatalError);
+}
+
+TEST(ExperimentAblation, SystemWideDvfsKillsMemorySpeedup)
+{
+    sim::CmpConfig system_wide;
+    system_wide.scale_memory_with_chip = true;
+    const Experiment chip_only(kScale);
+    const Experiment scaled(kScale, system_wide);
+    const auto& radix = workloads::byName("Radix");
+    const auto a = chip_only.scenario1(radix, {1, 4});
+    const auto b = scaled.scenario1(radix, {1, 4});
+    // Chip-only DVFS gives the memory-bound app an actual speedup well
+    // above 1; the system-wide ablation stays near the performance
+    // target.
+    EXPECT_GT(a[1].actual_speedup, b[1].actual_speedup + 0.15);
+    EXPECT_NEAR(b[1].actual_speedup, 1.0, 0.25);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runner tests on non-default machine configurations: smaller chips,
+ * alternative cache organizations, Eq. 7 clamping at the V/f table
+ * limits, and custom Scenario II budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using runner::Experiment;
+
+constexpr double kScale = 0.08;
+
+TEST(RunnerConfig, EightCoreChipCalibratesAndRuns)
+{
+    sim::CmpConfig config;
+    config.n_cores = 8;
+    const Experiment exp(kScale, config);
+    EXPECT_GT(exp.maxSingleCorePower(), 0.0);
+    const auto rows =
+        exp.scenario1(workloads::byName("Water-Sp"), {1, 2, 8});
+    EXPECT_EQ(rows.size(), 3u);
+    EXPECT_LT(rows.back().normalized_power, 1.0);
+}
+
+TEST(RunnerConfig, SmallerL2RaisesMemoryTraffic)
+{
+    sim::CmpConfig small;
+    small.l2_size_bytes = 256 * 1024;
+    const sim::Cmp big_chip{sim::CmpConfig{}};
+    const sim::Cmp small_chip{small};
+    const auto prog = workloads::makeOcean(4, 0.3);
+    const auto big_run = big_chip.run(prog, 3.2e9);
+    const auto small_run = small_chip.run(prog, 3.2e9);
+    EXPECT_GT(small_run.stats.counterValue("memory.reads"),
+              big_run.stats.counterValue("memory.reads"));
+    EXPECT_GE(small_run.cycles, big_run.cycles);
+}
+
+TEST(RunnerConfig, SlowerMemoryHurtsMemoryBoundMore)
+{
+    sim::CmpConfig slow;
+    slow.memory_rt_ns = 300.0;
+    const sim::Cmp fast_chip{sim::CmpConfig{}};
+    const sim::Cmp slow_chip{slow};
+    const auto penalty = [&](const char* name) {
+        const auto prog = workloads::byName(name).make(1, 0.15);
+        const double fast =
+            static_cast<double>(fast_chip.run(prog, 3.2e9).cycles);
+        const double slower =
+            static_cast<double>(slow_chip.run(prog, 3.2e9).cycles);
+        return slower / fast;
+    };
+    EXPECT_GT(penalty("Radix"), penalty("Water-Nsq"));
+}
+
+TEST(RunnerConfig, Eq7ClampsAtTheVfTableFloor)
+{
+    // A highly parallel run would want f below the 200 MHz table floor;
+    // the runner clamps and reports the floor frequency.
+    const Experiment exp(kScale);
+    const auto rows =
+        exp.scenario1(workloads::byName("FMM"), {1, 16});
+    EXPECT_GE(rows.back().freq_hz, exp.vfTable().fMin() - 1.0);
+}
+
+TEST(RunnerConfig, TightBudgetLowersScenario2Speedups)
+{
+    const Experiment exp(kScale);
+    const auto& app = workloads::byName("Water-Sp");
+    const auto generous = exp.scenario2(app, {1, 4}, {},
+                                        2.0 * exp.maxSingleCorePower());
+    const auto tight = exp.scenario2(app, {1, 4}, {},
+                                     0.4 * exp.maxSingleCorePower());
+    EXPECT_GE(generous.back().actual_speedup,
+              tight.back().actual_speedup);
+}
+
+TEST(RunnerConfig, CustomFrequencyGridIsHonoured)
+{
+    const Experiment exp(kScale);
+    const auto rows = exp.scenario2(workloads::byName("FMM"), {1, 4},
+                                    {8e8, 1.6e9, 3.2e9});
+    for (const auto& row : rows) {
+        if (row.actual_speedup <= 0.0)
+            continue;
+        EXPECT_GE(row.freq_hz, 8e8 - 1.0) << "N=" << row.n;
+    }
+}
+
+TEST(RunnerConfig, MeasureRejectsNonsense)
+{
+    const Experiment exp(kScale);
+    const auto prog = workloads::makeWaterSp(1, kScale);
+    EXPECT_THROW(exp.measure(prog, -1.0, 3.2e9), util::FatalError);
+    EXPECT_THROW(exp.measure(prog, 1.1, 0.0), util::FatalError);
+}
+
+TEST(RunnerConfig, CoherenceTrafficOnlyExistsWithSharers)
+{
+    // A single thread generates no coherence events; the all-to-all FFT
+    // transposes at 16 threads do (upgrades and/or cache-to-cache
+    // transfers), and the serialization shows as sub-linear per-thread
+    // IPC.
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    const auto one = cmp.run(workloads::makeFft(1, 0.15), 3.2e9);
+    const auto sixteen = cmp.run(workloads::makeFft(16, 0.15), 3.2e9);
+    const auto coherence = [](const sim::RunResult& r) {
+        return r.stats.counterValue("bus.upgrades") +
+            r.stats.counterValue("bus.c2c_transfers");
+    };
+    EXPECT_EQ(coherence(one), 0u);
+    EXPECT_GT(coherence(sixteen), 100u);
+    EXPECT_LT(sixteen.ipc() / 16.0, one.ipc());
+}
+
+} // namespace

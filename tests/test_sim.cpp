@@ -1,0 +1,625 @@
+/**
+ * @file
+ * Tests for tlp_sim: the event queue, cache arrays, the MESI snooping
+ * protocol, synchronization primitives, and whole-chip runs (timing,
+ * determinism, clock-domain behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/cmp.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/program.hpp"
+#include "sim/sync.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tlp;
+using sim::Addr;
+using sim::CacheArray;
+using sim::Cmp;
+using sim::CmpConfig;
+using sim::Cycle;
+using sim::EventQueue;
+using sim::MemorySystem;
+using sim::Mesi;
+using sim::Program;
+using sim::ThreadProgram;
+
+// ------------------------------------------------------------ event queue
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(5); });
+    q.schedule(1, [&] { order.push_back(1); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueue, FifoWithinSameCycle)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents)
+{
+    EventQueue q;
+    Cycle seen = 0;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [&] {
+        EXPECT_THROW(q.schedule(5, [] {}), util::PanicError);
+    });
+    q.run();
+}
+
+TEST(EventQueue, MaxEventsBoundsExecution)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> forever = [&] {
+        ++count;
+        q.scheduleIn(1, forever);
+    };
+    q.schedule(0, forever);
+    EXPECT_EQ(q.run(100), 100u);
+    EXPECT_EQ(count, 100);
+}
+
+// ------------------------------------------------------------ cache array
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray cache(1024, 64, 2);
+    EXPECT_EQ(cache.state(0x100), Mesi::Invalid);
+    cache.insert(0x100, Mesi::Exclusive);
+    EXPECT_EQ(cache.state(0x100), Mesi::Exclusive);
+    EXPECT_EQ(cache.state(0x13f), Mesi::Exclusive); // same line
+    EXPECT_EQ(cache.state(0x140), Mesi::Invalid);   // next line
+}
+
+TEST(CacheArray, LruEviction)
+{
+    // 2 ways, 8 sets of 64B lines: addresses 0, 0x200, 0x400 map to set 0.
+    CacheArray cache(1024, 64, 2);
+    cache.insert(0x0, Mesi::Shared);
+    cache.insert(0x200, Mesi::Shared);
+    cache.touch(0x0); // make 0x200 the LRU victim
+    const auto victim = cache.insert(0x400, Mesi::Shared);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line_addr, 0x200u);
+    EXPECT_TRUE(cache.contains(0x0));
+    EXPECT_FALSE(cache.contains(0x200));
+}
+
+TEST(CacheArray, VictimCarriesState)
+{
+    CacheArray cache(128, 64, 1); // direct-mapped, 2 sets
+    cache.insert(0x0, Mesi::Modified);
+    const auto victim = cache.insert(0x80, Mesi::Shared); // same set
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->state, Mesi::Modified);
+}
+
+TEST(CacheArray, InvalidateReturnsPreviousState)
+{
+    CacheArray cache(1024, 64, 2);
+    cache.insert(0x40, Mesi::Modified);
+    EXPECT_EQ(cache.invalidate(0x40), Mesi::Modified);
+    EXPECT_EQ(cache.invalidate(0x40), Mesi::Invalid);
+    EXPECT_EQ(cache.validLines(), 0u);
+}
+
+TEST(CacheArray, ReinsertingPresentLineDoesNotEvict)
+{
+    CacheArray cache(1024, 64, 2);
+    cache.insert(0x0, Mesi::Shared);
+    const auto victim = cache.insert(0x0, Mesi::Modified);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(cache.state(0x0), Mesi::Modified);
+    EXPECT_EQ(cache.validLines(), 1u);
+}
+
+TEST(CacheArray, ForEachValidLineVisitsAll)
+{
+    CacheArray cache(1024, 64, 2);
+    cache.insert(0x0, Mesi::Shared);
+    cache.insert(0x1000, Mesi::Modified);
+    int count = 0;
+    cache.forEachValidLine([&](Addr, Mesi) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+TEST(CacheArray, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheArray(1000, 48, 2), util::FatalError); // line !pow2
+    EXPECT_THROW(CacheArray(100, 64, 2), util::FatalError);  // not multiple
+    EXPECT_THROW(CacheArray(1024, 64, 0), util::FatalError);
+}
+
+TEST(CacheArray, SetIndexingIsModular)
+{
+    CacheArray cache(64 * 1024, 64, 2); // 512 sets
+    EXPECT_EQ(cache.sets(), 512u);
+    // Fill one set beyond capacity; other sets unaffected.
+    cache.insert(0x0, Mesi::Shared);
+    cache.insert(0x8000, Mesi::Shared);
+    cache.insert(0x10000, Mesi::Shared);
+    EXPECT_EQ(cache.validLines(), 2u);
+}
+
+// ----------------------------------------------------------- MESI protocol
+
+/** Harness: drive the memory system directly with scripted accesses. */
+class MesiFixture : public ::testing::Test
+{
+  protected:
+    MesiFixture()
+        : memsys_(config_, 4, 3.2e9, queue_, stats_)
+    {
+    }
+
+    /** Blocking load: run the queue until the callback fires. */
+    void
+    load(int core, Addr addr)
+    {
+        bool done = false;
+        memsys_.load(core, addr, [&] { done = true; });
+        queue_.run();
+        ASSERT_TRUE(done);
+    }
+
+    void
+    store(int core, Addr addr)
+    {
+        bool accepted = false;
+        memsys_.store(core, addr, [&] { accepted = true; });
+        queue_.run(); // drains the store buffer too
+        ASSERT_TRUE(accepted);
+    }
+
+    CmpConfig config_;
+    EventQueue queue_;
+    util::StatRegistry stats_;
+    MemorySystem memsys_;
+};
+
+TEST_F(MesiFixture, FirstLoadInstallsExclusive)
+{
+    load(0, 0x1000);
+    EXPECT_EQ(memsys_.l1(0).state(0x1000), Mesi::Exclusive);
+    EXPECT_TRUE(memsys_.l2().contains(0x1000));
+    EXPECT_EQ(stats_.counterValue("memory.reads"), 1u);
+}
+
+TEST_F(MesiFixture, SecondReaderDowngradesToShared)
+{
+    load(0, 0x1000);
+    load(1, 0x1000);
+    EXPECT_EQ(memsys_.l1(0).state(0x1000), Mesi::Shared);
+    EXPECT_EQ(memsys_.l1(1).state(0x1000), Mesi::Shared);
+}
+
+TEST_F(MesiFixture, SecondReaderHitsL2NotMemory)
+{
+    load(0, 0x1000);
+    const auto mem_before = stats_.counterValue("memory.reads");
+    load(1, 0x1000);
+    EXPECT_EQ(stats_.counterValue("memory.reads"), mem_before);
+}
+
+TEST_F(MesiFixture, StoreToExclusiveSilentlyUpgrades)
+{
+    load(0, 0x1000);
+    const auto bus_before = stats_.counterValue("bus.transactions");
+    store(0, 0x1000);
+    EXPECT_EQ(memsys_.l1(0).state(0x1000), Mesi::Modified);
+    EXPECT_EQ(stats_.counterValue("bus.transactions"), bus_before);
+}
+
+TEST_F(MesiFixture, StoreToSharedIssuesUpgrade)
+{
+    load(0, 0x1000);
+    load(1, 0x1000);
+    store(0, 0x1000);
+    EXPECT_EQ(memsys_.l1(0).state(0x1000), Mesi::Modified);
+    EXPECT_EQ(memsys_.l1(1).state(0x1000), Mesi::Invalid);
+    EXPECT_GE(stats_.counterValue("bus.upgrades"), 1u);
+}
+
+TEST_F(MesiFixture, ReadOfModifiedTriggersCacheToCache)
+{
+    store(0, 0x2000);
+    EXPECT_EQ(memsys_.l1(0).state(0x2000), Mesi::Modified);
+    load(1, 0x2000);
+    EXPECT_EQ(memsys_.l1(0).state(0x2000), Mesi::Shared);
+    EXPECT_EQ(memsys_.l1(1).state(0x2000), Mesi::Shared);
+    EXPECT_GE(stats_.counterValue("bus.c2c_transfers"), 1u);
+    // The owner's data was written back to the L2.
+    EXPECT_TRUE(memsys_.l2().contains(0x2000));
+}
+
+TEST_F(MesiFixture, StoreMissInvalidatesAllCopies)
+{
+    load(0, 0x3000);
+    load(1, 0x3000);
+    load(2, 0x3000);
+    store(3, 0x3000);
+    EXPECT_EQ(memsys_.l1(0).state(0x3000), Mesi::Invalid);
+    EXPECT_EQ(memsys_.l1(1).state(0x3000), Mesi::Invalid);
+    EXPECT_EQ(memsys_.l1(2).state(0x3000), Mesi::Invalid);
+    EXPECT_EQ(memsys_.l1(3).state(0x3000), Mesi::Modified);
+}
+
+TEST_F(MesiFixture, StoreMissOverModifiedStealsOwnership)
+{
+    store(0, 0x4000);
+    store(1, 0x4000);
+    EXPECT_EQ(memsys_.l1(0).state(0x4000), Mesi::Invalid);
+    EXPECT_EQ(memsys_.l1(1).state(0x4000), Mesi::Modified);
+}
+
+TEST_F(MesiFixture, L1HitIsFast)
+{
+    load(0, 0x5000);
+    const Cycle before = queue_.now();
+    load(0, 0x5000);
+    EXPECT_EQ(queue_.now() - before, config_.l1_hit_cycles);
+}
+
+TEST_F(MesiFixture, MemoryLatencyDominatesColdMiss)
+{
+    const Cycle before = queue_.now();
+    load(0, 0x6000);
+    EXPECT_GE(queue_.now() - before, config_.memoryCycles(3.2e9));
+}
+
+TEST_F(MesiFixture, L2HitLatencyForSecondSharer)
+{
+    load(0, 0x7000);
+    const Cycle before = queue_.now();
+    load(1, 0x7000);
+    const Cycle latency = queue_.now() - before;
+    EXPECT_GE(latency, config_.l2_rt_cycles);
+    EXPECT_LT(latency, config_.memoryCycles(3.2e9));
+}
+
+TEST_F(MesiFixture, CoherenceInvariantAfterRandomStorm)
+{
+    util::Rng rng(2024);
+    int pending = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const int core = static_cast<int>(rng.below(4));
+        const Addr addr = 0x8000 + rng.below(64) * 64;
+        ++pending;
+        if (rng.chance(0.5))
+            memsys_.load(core, addr, [&pending] { --pending; });
+        else
+            memsys_.store(core, addr, [&pending] { --pending; });
+        if (i % 7 == 0)
+            queue_.run();
+    }
+    queue_.run();
+    EXPECT_EQ(pending, 0);
+    EXPECT_TRUE(memsys_.checkCoherence());
+}
+
+TEST_F(MesiFixture, StoreBufferForwardsToLoads)
+{
+    // A load that hits a buffered (not yet globally performed) store
+    // completes at L1-hit latency.
+    bool accepted = false;
+    memsys_.store(0, 0x9000, [&] { accepted = true; });
+    bool loaded = false;
+    memsys_.load(0, 0x9000, [&] { loaded = true; });
+    const Cycle start = queue_.now();
+    queue_.run(3); // just a few events; the forwarded load is quick
+    EXPECT_TRUE(loaded);
+    EXPECT_LE(queue_.now() - start, config_.l1_hit_cycles + 1);
+    queue_.run();
+    EXPECT_TRUE(accepted);
+}
+
+TEST_F(MesiFixture, StoreBufferBackpressure)
+{
+    // Fill the buffer past capacity with misses to distinct lines; the
+    // extra stores stall but all eventually complete.
+    int accepted = 0;
+    const int total = static_cast<int>(config_.store_buffer_entries) + 4;
+    for (int i = 0; i < total; ++i) {
+        memsys_.store(0, 0xA000 + static_cast<Addr>(i) * 0x1000,
+                      [&] { ++accepted; });
+    }
+    EXPECT_LE(memsys_.storeBufferDepth(0), config_.store_buffer_entries);
+    queue_.run();
+    EXPECT_EQ(accepted, total);
+    EXPECT_EQ(memsys_.storeBufferDepth(0), 0u);
+}
+
+TEST_F(MesiFixture, L2EvictionBackInvalidatesL1)
+{
+    // Walk enough distinct L2 sets... simpler: fill one L2 set (8 ways of
+    // 128B lines, set stride = 128 * sets) until the first line leaves.
+    const Addr base = 0x100000;
+    const std::uint64_t stride =
+        static_cast<std::uint64_t>(config_.l2_line_bytes) *
+        memsys_.l2().sets();
+    load(0, base);
+    EXPECT_TRUE(memsys_.l1(0).contains(base));
+    for (std::uint64_t i = 1; i <= config_.l2_assoc; ++i)
+        load(1, base + i * stride);
+    // The L2 victim was base's line; inclusion forced the L1 copy out.
+    EXPECT_FALSE(memsys_.l2().contains(base));
+    EXPECT_FALSE(memsys_.l1(0).contains(base));
+}
+
+TEST_F(MesiFixture, DirtyL1EvictionWritesBackToL2)
+{
+    // Make a line dirty, then evict it from L1 by filling its set.
+    store(0, 0x0);
+    const std::uint64_t l1_stride =
+        static_cast<std::uint64_t>(config_.l1_line_bytes) *
+        memsys_.l1(0).sets();
+    for (std::uint64_t i = 1; i <= config_.l1_assoc; ++i)
+        load(0, 0x0 + i * l1_stride);
+    queue_.run();
+    EXPECT_FALSE(memsys_.l1(0).contains(0x0));
+    EXPECT_GE(stats_.counterValue("core0.l1d.writebacks"), 1u);
+    EXPECT_TRUE(memsys_.checkCoherence());
+}
+
+// ------------------------------------------------------------------- sync
+
+TEST(Barrier, ReleasesAllAtOnce)
+{
+    CmpConfig config;
+    EventQueue queue;
+    util::StatRegistry stats;
+    sim::BarrierManager barrier(config, 3, queue, stats);
+    int released = 0;
+    barrier.arrive(0, [&] { ++released; });
+    barrier.arrive(1, [&] { ++released; });
+    queue.run();
+    EXPECT_EQ(released, 0); // still waiting for the third
+    barrier.arrive(2, [&] { ++released; });
+    queue.run();
+    EXPECT_EQ(released, 3);
+    EXPECT_EQ(barrier.episodes(), 1u);
+}
+
+TEST(Barrier, ReusableAcrossEpisodes)
+{
+    CmpConfig config;
+    EventQueue queue;
+    util::StatRegistry stats;
+    sim::BarrierManager barrier(config, 2, queue, stats);
+    int released = 0;
+    for (int episode = 0; episode < 3; ++episode) {
+        barrier.arrive(0, [&] { ++released; });
+        barrier.arrive(1, [&] { ++released; });
+        queue.run();
+    }
+    EXPECT_EQ(released, 6);
+    EXPECT_EQ(barrier.episodes(), 3u);
+}
+
+TEST(Lock, UncontendedAcquireGrantsAfterRmwLatency)
+{
+    CmpConfig config;
+    EventQueue queue;
+    util::StatRegistry stats;
+    sim::LockManager locks(config, queue, stats);
+    bool granted = false;
+    locks.acquire(7, 0, [&] { granted = true; });
+    queue.run();
+    EXPECT_TRUE(granted);
+    EXPECT_TRUE(locks.held(7));
+    EXPECT_EQ(queue.now(), config.lock_acquire_cycles);
+}
+
+TEST(Lock, ContendedHandoffIsFifo)
+{
+    CmpConfig config;
+    EventQueue queue;
+    util::StatRegistry stats;
+    sim::LockManager locks(config, queue, stats);
+    std::vector<int> order;
+    locks.acquire(1, 0, [&] { order.push_back(0); });
+    locks.acquire(1, 1, [&] { order.push_back(1); });
+    locks.acquire(1, 2, [&] { order.push_back(2); });
+    queue.run();
+    locks.release(1, 0);
+    queue.run();
+    locks.release(1, 1);
+    queue.run();
+    locks.release(1, 2);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_FALSE(locks.held(1));
+}
+
+TEST(Lock, ReleaseByNonOwnerIsFatal)
+{
+    CmpConfig config;
+    EventQueue queue;
+    util::StatRegistry stats;
+    sim::LockManager locks(config, queue, stats);
+    locks.acquire(1, 0, [] {});
+    queue.run();
+    EXPECT_THROW(locks.release(1, 3), util::FatalError);
+    EXPECT_THROW(locks.release(99, 0), util::FatalError);
+}
+
+// -------------------------------------------------------------- whole chip
+
+Program
+makeTinyProgram(int threads)
+{
+    Program prog;
+    prog.threads.resize(threads);
+    for (int t = 0; t < threads; ++t) {
+        auto& tp = prog.threads[t];
+        for (int i = 0; i < 100; ++i) {
+            tp.intOps(8);
+            tp.load(0x10000 + t * 0x4000 + (i % 16) * 64);
+            tp.fpOps(4);
+            tp.store(0x10000 + t * 0x4000 + (i % 16) * 64);
+            if (i % 25 == 0)
+                tp.barrier(i);
+        }
+        tp.barrier(1000);
+        tp.finish();
+    }
+    return prog;
+}
+
+TEST(Cmp, RunsToCompletion)
+{
+    const Cmp cmp{CmpConfig{}};
+    const auto result = cmp.run(makeTinyProgram(4), 3.2e9);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_TRUE(result.coherent);
+    EXPECT_EQ(result.n_threads, 4);
+    EXPECT_EQ(result.instructions,
+              makeTinyProgram(4).instructionCount());
+}
+
+TEST(Cmp, DeterministicAcrossRuns)
+{
+    const Cmp cmp{CmpConfig{}};
+    const auto a = cmp.run(makeTinyProgram(8), 3.2e9);
+    const auto b = cmp.run(makeTinyProgram(8), 3.2e9);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.counterValue("bus.transactions"),
+              b.stats.counterValue("bus.transactions"));
+}
+
+TEST(Cmp, LowerFrequencyShrinksMemoryCycles)
+{
+    // Chip-level DVFS: the same program takes fewer cycles at lower f
+    // because the fixed-time memory round trip costs fewer cycles.
+    Program prog;
+    prog.threads.resize(1);
+    for (int i = 0; i < 500; ++i)
+        prog.threads[0].load(0x100000 + i * 4096); // all misses
+    prog.threads[0].finish();
+    const Cmp cmp{CmpConfig{}};
+    const auto fast = cmp.run(prog, 3.2e9);
+    const auto slow = cmp.run(prog, 0.2e9);
+    EXPECT_LT(slow.cycles, fast.cycles);
+    // ... but takes longer in wall-clock time.
+    EXPECT_GT(slow.seconds, fast.seconds);
+}
+
+TEST(Cmp, SystemWideScalingAblationKeepsCyclesConstant)
+{
+    CmpConfig config;
+    config.scale_memory_with_chip = true;
+    Program prog;
+    prog.threads.resize(1);
+    for (int i = 0; i < 200; ++i)
+        prog.threads[0].load(0x100000 + i * 4096);
+    prog.threads[0].finish();
+    const Cmp cmp{config};
+    EXPECT_EQ(cmp.run(prog, 3.2e9).cycles, cmp.run(prog, 0.2e9).cycles);
+}
+
+TEST(Cmp, DeadlockedProgramIsFatal)
+{
+    // One thread waits at a barrier no one else reaches.
+    Program prog;
+    prog.threads.resize(2);
+    prog.threads[0].barrier(0);
+    prog.threads[0].finish();
+    prog.threads[1].finish(); // never arrives
+    const Cmp cmp{CmpConfig{}};
+    EXPECT_THROW(cmp.run(prog, 3.2e9), util::FatalError);
+}
+
+TEST(Cmp, RejectsTooManyThreads)
+{
+    const Cmp cmp{CmpConfig{}};
+    EXPECT_THROW(cmp.run(makeTinyProgram(17), 3.2e9), util::FatalError);
+    EXPECT_THROW(cmp.run(makeTinyProgram(2), -1.0), util::FatalError);
+}
+
+TEST(Cmp, ComputeBoundIpcApproachesIssueModel)
+{
+    Program prog;
+    prog.threads.resize(1);
+    prog.threads[0].intOps(100000);
+    prog.threads[0].finish();
+    const Cmp cmp{CmpConfig{}};
+    const auto result = cmp.run(prog, 3.2e9);
+    EXPECT_NEAR(result.ipc(), CmpConfig{}.ipc_int, 0.05);
+}
+
+TEST(Cmp, StatsContractForPowerModel)
+{
+    const Cmp cmp{CmpConfig{}};
+    const auto result = cmp.run(makeTinyProgram(2), 3.2e9);
+    for (int c = 0; c < 2; ++c) {
+        const std::string p = "core" + std::to_string(c) + ".";
+        EXPECT_GT(result.stats.counterValue(p + "insts"), 0u);
+        EXPECT_GT(result.stats.counterValue(p + "int_ops"), 0u);
+        EXPECT_GT(result.stats.counterValue(p + "fp_ops"), 0u);
+        EXPECT_GT(result.stats.counterValue(p + "loads"), 0u);
+        EXPECT_GT(result.stats.counterValue(p + "stores"), 0u);
+        EXPECT_GT(result.stats.counterValue(p + "l1i.reads"), 0u);
+        EXPECT_GT(result.stats.counterValue(p + "active_cycles"), 0u);
+    }
+}
+
+/** Parameterized determinism + coherence across thread counts. */
+class CmpThreadSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CmpThreadSweep, CoherentAndDeterministic)
+{
+    const int threads = GetParam();
+    const Cmp cmp{CmpConfig{}};
+    const auto a = cmp.run(makeTinyProgram(threads), 3.2e9);
+    const auto b = cmp.run(makeTinyProgram(threads), 3.2e9);
+    EXPECT_TRUE(a.coherent);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CmpThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Targeted core-timing tests: the IPC arithmetic of compute runs, memory
+ * stall accounting, store-buffer interaction with program order, lock
+ * and barrier timing as seen from the instruction stream, and the
+ * fractional-cycle carry of mixed-rate op streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cmp.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using sim::Cmp;
+using sim::CmpConfig;
+using sim::Program;
+
+Program
+singleThread(const std::function<void(sim::ThreadProgram&)>& fill)
+{
+    Program prog;
+    prog.threads.resize(1);
+    fill(prog.threads[0]);
+    prog.threads[0].finish();
+    return prog;
+}
+
+TEST(CoreTiming, IntOnlyStreamRunsAtIntIpc)
+{
+    const CmpConfig config;
+    const Cmp cmp{config};
+    const auto r = cmp.run(
+        singleThread([](auto& tp) { tp.intOps(50000); }), 3.2e9);
+    EXPECT_NEAR(static_cast<double>(r.cycles),
+                50000.0 / config.ipc_int, 2.0);
+}
+
+TEST(CoreTiming, FpOnlyStreamRunsAtFpIpc)
+{
+    const CmpConfig config;
+    const Cmp cmp{config};
+    const auto r = cmp.run(
+        singleThread([](auto& tp) { tp.fpOps(50000); }), 3.2e9);
+    EXPECT_NEAR(static_cast<double>(r.cycles),
+                50000.0 / config.ipc_fp, 2.0);
+}
+
+TEST(CoreTiming, FractionalCyclesCarryAcrossRuns)
+{
+    // 999 runs of 3 int ops at IPC 2 = 1498.5 cycles; the carry must
+    // accumulate rather than round per run (which would give 1998).
+    const CmpConfig config;
+    const Cmp cmp{config};
+    const auto r = cmp.run(singleThread([](auto& tp) {
+                               for (int i = 0; i < 999; ++i)
+                                   tp.intOps(3);
+                           }),
+                           3.2e9);
+    EXPECT_NEAR(static_cast<double>(r.cycles), 999 * 3 / 2.0, 3.0);
+}
+
+TEST(CoreTiming, L1HitLoadsCostHitLatency)
+{
+    const CmpConfig config;
+    const Cmp cmp{config};
+    // One cold miss, then 1000 hits to the same line.
+    const auto r = cmp.run(singleThread([](auto& tp) {
+                               for (int i = 0; i < 1001; ++i)
+                                   tp.load(0x1000);
+                           }),
+                           3.2e9);
+    const auto hits_cost = 1000ull * config.l1_hit_cycles;
+    EXPECT_GE(r.cycles, hits_cost);
+    EXPECT_LE(r.cycles,
+              hits_cost + config.memoryCycles(3.2e9) + 64);
+    EXPECT_EQ(r.stats.counterValue("core0.l1d.misses"), 1u);
+}
+
+TEST(CoreTiming, ColdMissesSerializeOnMemory)
+{
+    const CmpConfig config;
+    const Cmp cmp{config};
+    constexpr int kMisses = 100;
+    const auto r = cmp.run(singleThread([](auto& tp) {
+                               for (int i = 0; i < kMisses; ++i)
+                                   tp.load(0x10000 + i * 0x10000);
+                           }),
+                           3.2e9);
+    // A blocking in-order core pays at least the memory round trip per
+    // miss.
+    EXPECT_GE(r.cycles,
+              static_cast<std::uint64_t>(kMisses) *
+                  config.memoryCycles(3.2e9));
+}
+
+TEST(CoreTiming, StoresDoNotBlockWithBufferSpace)
+{
+    const CmpConfig config;
+    const Cmp cmp{config};
+    // A few store misses interleaved with compute: the compute hides the
+    // store latency almost entirely.
+    const auto with_stores = cmp.run(
+        singleThread([](auto& tp) {
+            for (int i = 0; i < 4; ++i) {
+                tp.store(0x20000 + i * 0x10000);
+                tp.intOps(2000);
+            }
+        }),
+        3.2e9);
+    const auto compute_only = cmp.run(
+        singleThread([](auto& tp) {
+            for (int i = 0; i < 4; ++i)
+                tp.intOps(2000);
+        }),
+        3.2e9);
+    EXPECT_LT(with_stores.cycles, compute_only.cycles + 200);
+}
+
+TEST(CoreTiming, StoreBurstEventuallyBackpressures)
+{
+    const CmpConfig config;
+    const Cmp cmp{config};
+    constexpr int kStores = 64; // 8x the buffer capacity, all misses
+    const auto r = cmp.run(singleThread([](auto& tp) {
+                               for (int i = 0; i < kStores; ++i)
+                                   tp.store(0x40000 + i * 0x10000);
+                           }),
+                           3.2e9);
+    // Once the buffer is full, progress is limited by the drain rate
+    // (one miss round trip each).
+    EXPECT_GT(r.cycles,
+              static_cast<std::uint64_t>(kStores - 8) *
+                  config.memoryCycles(3.2e9) / 2);
+}
+
+TEST(CoreTiming, BarrierSkewIsPaidByTheEarlyThread)
+{
+    // Thread 0 computes 1000 cycles, thread 1 computes 10000; both end
+    // at (roughly) the barrier release after the slow one arrives.
+    Program prog;
+    prog.threads.resize(2);
+    prog.threads[0].intOps(2000); // 1000 cycles at IPC 2
+    prog.threads[0].barrier(0);
+    prog.threads[0].finish();
+    prog.threads[1].intOps(20000); // 10000 cycles
+    prog.threads[1].barrier(0);
+    prog.threads[1].finish();
+    const Cmp cmp{CmpConfig{}};
+    const auto r = cmp.run(prog, 3.2e9);
+    EXPECT_NEAR(static_cast<double>(r.cycles),
+                10000.0 + CmpConfig{}.barrier_release_cycles, 16.0);
+}
+
+TEST(CoreTiming, ContendedLockSerializesCriticalSections)
+{
+    // Two threads, each: lock, 1000-cycle critical section, unlock. The
+    // total must exceed 2000 cycles (serialization) regardless of the
+    // parallel hardware.
+    Program prog;
+    prog.threads.resize(2);
+    for (int t = 0; t < 2; ++t) {
+        prog.threads[t].lock(5);
+        prog.threads[t].intOps(2000);
+        prog.threads[t].unlock(5);
+        prog.threads[t].finish();
+    }
+    const Cmp cmp{CmpConfig{}};
+    const auto r = cmp.run(prog, 3.2e9);
+    EXPECT_GT(r.cycles, 2000u);
+    EXPECT_EQ(r.stats.counterValue("sync.lock_contended"), 1u);
+}
+
+TEST(CoreTiming, UncontendedLocksRunInParallel)
+{
+    // Distinct locks: the two critical sections overlap.
+    Program prog;
+    prog.threads.resize(2);
+    for (int t = 0; t < 2; ++t) {
+        prog.threads[t].lock(10 + t);
+        prog.threads[t].intOps(2000);
+        prog.threads[t].unlock(10 + t);
+        prog.threads[t].finish();
+    }
+    const Cmp cmp{CmpConfig{}};
+    const auto r = cmp.run(prog, 3.2e9);
+    EXPECT_LT(r.cycles, 1500u);
+    EXPECT_EQ(r.stats.counterValue("sync.lock_contended"), 0u);
+}
+
+TEST(CoreTiming, ActiveCyclesEqualFinishCycle)
+{
+    const Cmp cmp{CmpConfig{}};
+    const auto r = cmp.run(singleThread([](auto& tp) {
+                               tp.intOps(1000);
+                               tp.load(0x99000);
+                           }),
+                           3.2e9);
+    EXPECT_EQ(r.stats.counterValue("core0.active_cycles"), r.cycles);
+}
+
+TEST(CoreTiming, InstructionCountingMatchesProgram)
+{
+    const auto prog = singleThread([](auto& tp) {
+        tp.intOps(123);
+        tp.fpOps(45);
+        tp.load(0x1000);
+        tp.store(0x1040);
+        tp.barrier(0);
+        tp.lock(1);
+        tp.unlock(1);
+    });
+    const Cmp cmp{CmpConfig{}};
+    const auto r = cmp.run(prog, 3.2e9);
+    EXPECT_EQ(r.stats.counterValue("core0.insts"), 123u + 45u + 2u);
+    EXPECT_EQ(r.stats.counterValue("core0.int_ops"), 123u);
+    EXPECT_EQ(r.stats.counterValue("core0.fp_ops"), 45u);
+    EXPECT_EQ(r.stats.counterValue("core0.loads"), 1u);
+    EXPECT_EQ(r.stats.counterValue("core0.stores"), 1u);
+}
+
+TEST(CoreTiming, FrequencyOnlyChangesMemoryCosts)
+{
+    // A pure-compute program takes identical cycles at any frequency.
+    const Cmp cmp{CmpConfig{}};
+    const auto prog =
+        singleThread([](auto& tp) { tp.intOps(30000); });
+    EXPECT_EQ(cmp.run(prog, 3.2e9).cycles, cmp.run(prog, 0.2e9).cycles);
+}
+
+} // namespace

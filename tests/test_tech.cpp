@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for tlp_tech: the alpha-power frequency law, the leakage
+ * reference model and curve fit (the paper's Eq. 1/3 machinery), the
+ * technology presets, and the V/f operating-point table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/alpha_power.hpp"
+#include "tech/leakage.hpp"
+#include "tech/technology.hpp"
+#include "tech/vf_table.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace tlp;
+using tech::AlphaPowerLaw;
+using tech::Technology;
+
+// ------------------------------------------------------------ alpha-power
+
+TEST(AlphaPower, NominalPointIsCalibrated)
+{
+    AlphaPowerLaw law(1.1, 0.18, 3.2e9, 1.3);
+    EXPECT_NEAR(law.maxFrequency(1.1), 3.2e9, 1.0);
+}
+
+TEST(AlphaPower, ZeroAtThreshold)
+{
+    AlphaPowerLaw law(1.1, 0.18, 3.2e9, 1.3);
+    EXPECT_DOUBLE_EQ(law.maxFrequency(0.18), 0.0);
+    EXPECT_DOUBLE_EQ(law.maxFrequency(0.1), 0.0);
+}
+
+TEST(AlphaPower, MonotoneIncreasingAboveThreshold)
+{
+    AlphaPowerLaw law(1.1, 0.18, 3.2e9, 2.0);
+    double prev = 0.0;
+    for (double v = 0.2; v <= 2.2; v += 0.05) {
+        const double f = law.maxFrequency(v);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(AlphaPower, InverseRoundTrips)
+{
+    AlphaPowerLaw law(1.1, 0.18, 3.2e9, 1.3);
+    for (double f = 2e8; f <= 3.2e9; f += 2e8) {
+        const double v = law.voltageFor(f);
+        EXPECT_NEAR(law.maxFrequency(v), f, f * 1e-6);
+    }
+}
+
+TEST(AlphaPower, InverseRejectsUnreachableFrequency)
+{
+    AlphaPowerLaw law(1.1, 0.18, 3.2e9, 1.3);
+    EXPECT_THROW(law.voltageFor(1e12), util::FatalError);
+    EXPECT_THROW(law.voltageFor(0.0), util::FatalError);
+}
+
+TEST(AlphaPower, RejectsDegenerateParameters)
+{
+    EXPECT_THROW(AlphaPowerLaw(0.1, 0.18, 3.2e9), util::FatalError);
+    EXPECT_THROW(AlphaPowerLaw(1.1, 0.18, -1.0), util::FatalError);
+    EXPECT_THROW(AlphaPowerLaw(1.1, 0.18, 3.2e9, 0.0), util::FatalError);
+}
+
+TEST(AlphaPower, HigherAlphaScalesVoltageLessAggressively)
+{
+    // At the same target frequency, a larger alpha requires a higher
+    // supply (the f(V) curve collapses faster near threshold).
+    AlphaPowerLaw shallow(1.1, 0.18, 3.2e9, 1.3);
+    AlphaPowerLaw steep(1.1, 0.18, 3.2e9, 2.0);
+    EXPECT_LT(shallow.voltageFor(1.6e9), steep.voltageFor(1.6e9));
+}
+
+// ---------------------------------------------------------------- leakage
+
+class LeakageFixture : public ::testing::Test
+{
+  protected:
+    tech::LeakageReferenceParams params65_ =
+        tech::tech65nm().params().leakage_reference;
+};
+
+TEST_F(LeakageFixture, NormalizedAtNominalRoomTemperature)
+{
+    tech::LeakageReference ref(params65_);
+    EXPECT_NEAR(ref.current(params65_.v_nominal, 25.0), 1.0, 1e-12);
+}
+
+TEST_F(LeakageFixture, GateFractionRespectedAtNominal)
+{
+    tech::LeakageReference ref(params65_);
+    EXPECT_NEAR(ref.gateOxide(params65_.v_nominal),
+                params65_.gate_fraction_nominal, 1e-12);
+}
+
+TEST_F(LeakageFixture, CurrentGrowsWithTemperature)
+{
+    tech::LeakageReference ref(params65_);
+    double prev = 0.0;
+    for (double t = 25.0; t <= 110.0; t += 5.0) {
+        const double i = ref.current(1.1, t);
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+}
+
+TEST_F(LeakageFixture, SubthresholdGrowsWithVoltageViaDibl)
+{
+    tech::LeakageReference ref(params65_);
+    EXPECT_GT(ref.subthreshold(1.1, 80.0), ref.subthreshold(0.5, 80.0));
+}
+
+TEST_F(LeakageFixture, GateLeakageDiesAtLowVoltage)
+{
+    tech::LeakageReference ref(params65_);
+    EXPECT_LT(ref.gateOxide(0.36), 0.05 * ref.gateOxide(1.1));
+}
+
+TEST_F(LeakageFixture, FitMatchesReferenceWithinPaperBounds)
+{
+    // The paper reports max HSpice-vs-fit errors of 9.5% / 7.5%; our fit
+    // over the same window must do at least as well.
+    for (const auto& tech : {tech::tech130nm(), tech::tech65nm()}) {
+        const auto& report = tech.leakageFitReport();
+        EXPECT_LT(report.max_rel_error, 0.095)
+            << tech.name() << " fit worse than the paper's 130nm bound";
+        EXPECT_LT(report.avg_rel_error, 0.02) << tech.name();
+    }
+}
+
+TEST_F(LeakageFixture, FitIsExactAtTheAnchorPoint)
+{
+    const Technology tech = tech::tech65nm();
+    EXPECT_NEAR(tech.leakageFit().scale(1.1, 25.0), 1.0, 0.05);
+}
+
+TEST_F(LeakageFixture, FitterRejectsDegenerateWindows)
+{
+    tech::LeakageReference ref(params65_);
+    EXPECT_THROW(tech::fitLeakageScale(ref, 0.5, 0.5, 40.0, 110.0),
+                 util::FatalError);
+    EXPECT_THROW(tech::fitLeakageScale(ref, 0.4, 1.1, 40.0, 110.0, 2),
+                 util::FatalError);
+}
+
+/** Property sweep: the fitted scale stays within 15% of the reference on
+ *  a denser grid than the one it was fitted on (no overfitting). */
+class FitGeneralization
+    : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(FitGeneralization, DenseGridStaysClose)
+{
+    const Technology tech = std::string(GetParam()) == "130nm"
+        ? tech::tech130nm()
+        : tech::tech65nm();
+    const auto& ref = tech.leakageReference();
+    const double ref_nominal = ref.current(tech.vddNominal(), 25.0);
+    for (double v = tech.vMin(); v <= tech.vddNominal(); v += 0.017) {
+        for (double t = 41.0; t <= 109.0; t += 3.7) {
+            const double want = ref.current(v, t) / ref_nominal;
+            const double got = tech.leakageFit().scale(v, t);
+            ASSERT_NEAR(got / want, 1.0, 0.15)
+                << "at V=" << v << " T=" << t;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, FitGeneralization,
+                         ::testing::Values("130nm", "65nm"));
+
+// ------------------------------------------------------------- technology
+
+TEST(Technology, PresetInvariants)
+{
+    for (const auto& tech : {tech::tech130nm(), tech::tech65nm()}) {
+        EXPECT_GT(tech.vddNominal(), tech.vth());
+        EXPECT_GE(tech.vMin(), tech.vth());
+        EXPECT_LT(tech.vMin(), tech.vddNominal());
+        EXPECT_GT(tech.corePowerHot(), 0.0);
+        EXPECT_NEAR(tech.dynamicPowerNominal() + tech.staticPowerHot(),
+                    tech.corePowerHot(), 1e-9);
+    }
+}
+
+TEST(Technology, SixtyFiveNmMatchesPaperTable1)
+{
+    const Technology t = tech::tech65nm();
+    EXPECT_DOUBLE_EQ(t.vddNominal(), 1.1);
+    EXPECT_DOUBLE_EQ(t.vth(), 0.18);
+    EXPECT_DOUBLE_EQ(t.fNominal(), 3.2e9);
+    EXPECT_DOUBLE_EQ(t.featureNm(), 65.0);
+}
+
+TEST(Technology, StaticShareLargerAtSixtyFiveNm)
+{
+    // The ITRS attributes a higher static fraction to the smaller node;
+    // this asymmetry drives the Figure 2 contrast.
+    EXPECT_GT(tech::tech65nm().params().static_fraction_hot,
+              tech::tech130nm().params().static_fraction_hot);
+}
+
+TEST(Technology, StaticPowerConsistentAtHotAnchor)
+{
+    const Technology t = tech::tech65nm();
+    EXPECT_NEAR(t.staticPower(t.vddNominal(), t.tHotC()),
+                t.staticPowerHot(), t.staticPowerHot() * 1e-9);
+}
+
+TEST(Technology, StaticPowerFallsWithTemperature)
+{
+    const Technology t = tech::tech65nm();
+    EXPECT_LT(t.staticPower(1.1, 50.0), t.staticPower(1.1, 100.0));
+}
+
+TEST(Technology, DynamicPowerScalesAsV2F)
+{
+    const Technology t = tech::tech65nm();
+    const double full = t.dynamicPower(1.1, 3.2e9);
+    EXPECT_NEAR(t.dynamicPower(0.55, 3.2e9), full * 0.25, full * 1e-9);
+    EXPECT_NEAR(t.dynamicPower(1.1, 1.6e9), full * 0.5, full * 1e-9);
+}
+
+TEST(Technology, RejectsVMinBelowVth)
+{
+    Technology::Params p = tech::tech65nm().params();
+    p.v_min = p.vth * 0.5;
+    EXPECT_THROW(Technology{std::move(p)}, util::FatalError);
+}
+
+// --------------------------------------------------------------- vf table
+
+TEST(VfTable, MonotoneAndAnchored)
+{
+    const Technology t = tech::tech65nm();
+    const tech::VfTable vf = tech::pentiumMLike(t);
+    EXPECT_NEAR(vf.voltageFor(t.fNominal()), t.vddNominal(), 1e-9);
+    double prev = 0.0;
+    for (double f = vf.fMin(); f <= vf.fMax(); f += 1e8) {
+        const double v = vf.voltageFor(f);
+        EXPECT_GE(v, prev - 1e-12);
+        prev = v;
+    }
+}
+
+TEST(VfTable, FloorAtTwoHundredMegahertz)
+{
+    const Technology t = tech::tech65nm();
+    const tech::VfTable vf = tech::pentiumMLike(t);
+    EXPECT_DOUBLE_EQ(vf.fMin(), 2e8);
+    EXPECT_NEAR(vf.voltageFor(2e8), t.vMin(), 1e-9);
+}
+
+TEST(VfTable, ClampsOutsideRange)
+{
+    const tech::VfTable vf = tech::pentiumMLike(tech::tech65nm());
+    EXPECT_DOUBLE_EQ(vf.voltageFor(1.0), vf.voltageFor(vf.fMin()));
+    EXPECT_DOUBLE_EQ(vf.voltageFor(1e12), vf.voltageFor(vf.fMax()));
+}
+
+TEST(VfTable, RejectsNonMonotoneVoltage)
+{
+    EXPECT_THROW(tech::VfTable({{1e9, 1.0}, {2e9, 0.8}}),
+                 util::FatalError);
+}
+
+TEST(VfTable, RejectsDegenerateTables)
+{
+    EXPECT_THROW(tech::VfTable({{1e9, 1.0}}), util::FatalError);
+    EXPECT_THROW(tech::VfTable({{1e9, 1.0}, {2e9, -0.5}}),
+                 util::FatalError);
+}
+
+TEST(VfTable, VoltageBelowAlphaPowerRequirementNever)
+{
+    // A shipping-part table is conservative: at any tabulated frequency,
+    // the table voltage is at least the alpha-power-law minimum.
+    const Technology t = tech::tech65nm();
+    const tech::VfTable vf = tech::pentiumMLike(t);
+    for (double f = 4e8; f <= t.fNominal(); f += 2e8) {
+        EXPECT_GE(vf.voltageFor(f) + 1e-9,
+                  t.frequencyLaw().voltageFor(f) * 0.85)
+            << "at f=" << f;
+    }
+}
+
+} // namespace

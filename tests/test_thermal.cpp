@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for tlp_thermal: floorplan geometry, the steady-state RC network,
+ * calibration, and the coupled power/temperature fixed point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using thermal::Block;
+using thermal::Floorplan;
+using thermal::RCModel;
+using thermal::RCParams;
+
+// -------------------------------------------------------------- floorplan
+
+TEST(Floorplan, SharedEdgeVerticalNeighbours)
+{
+    Block a{"a", 0.0, 0.0, 1.0, 1.0, 0};
+    Block b{"b", 1.0, 0.0, 1.0, 1.0, 1};
+    EXPECT_DOUBLE_EQ(a.sharedEdge(b), 1.0);
+    EXPECT_DOUBLE_EQ(b.sharedEdge(a), 1.0);
+}
+
+TEST(Floorplan, SharedEdgePartialOverlap)
+{
+    Block a{"a", 0.0, 0.0, 1.0, 1.0, 0};
+    Block b{"b", 0.5, 1.0, 1.0, 1.0, 1}; // on top, shifted right
+    EXPECT_DOUBLE_EQ(a.sharedEdge(b), 0.5);
+}
+
+TEST(Floorplan, NoSharedEdgeWhenApart)
+{
+    Block a{"a", 0.0, 0.0, 1.0, 1.0, 0};
+    Block b{"b", 2.5, 0.0, 1.0, 1.0, 1};
+    EXPECT_DOUBLE_EQ(a.sharedEdge(b), 0.0);
+}
+
+TEST(Floorplan, DiagonalCornersDoNotTouch)
+{
+    Block a{"a", 0.0, 0.0, 1.0, 1.0, 0};
+    Block b{"b", 1.0, 1.0, 1.0, 1.0, 1};
+    EXPECT_DOUBLE_EQ(a.sharedEdge(b), 0.0);
+}
+
+TEST(Floorplan, Ev6FractionsSumToOne)
+{
+    double sum = 0.0;
+    for (const auto& unit : thermal::ev6BlockFractions())
+        sum += unit.fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Floorplan, RejectsDuplicateNames)
+{
+    Floorplan plan;
+    plan.addBlock({"x", 0, 0, 1, 1, 0});
+    EXPECT_THROW(plan.addBlock({"x", 1, 0, 1, 1, 1}), util::FatalError);
+}
+
+TEST(Floorplan, RejectsDegenerateBlocks)
+{
+    Floorplan plan;
+    EXPECT_THROW(plan.addBlock({"zero", 0, 0, 0.0, 1, 0}),
+                 util::FatalError);
+}
+
+TEST(Floorplan, IndexOfUnknownIsFatal)
+{
+    Floorplan plan;
+    plan.addBlock({"x", 0, 0, 1, 1, 0});
+    EXPECT_EQ(plan.indexOf("x"), 0u);
+    EXPECT_THROW(plan.indexOf("y"), util::FatalError);
+}
+
+class TiledCmpSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+TEST_P(TiledCmpSweep, AreaAndStructure)
+{
+    const auto [cores, detailed] = GetParam();
+    const double core_area = 1e-5;
+    const double l2_area = 4e-5;
+    const Floorplan plan =
+        thermal::makeTiledCmp(cores, core_area, l2_area, detailed);
+
+    EXPECT_NEAR(plan.coreArea(), cores * core_area,
+                cores * core_area * 1e-9);
+    EXPECT_TRUE(plan.has("L2"));
+    for (int c = 0; c < cores; ++c) {
+        const auto blocks = plan.blocksOfCore(c);
+        EXPECT_EQ(blocks.size(),
+                  detailed ? thermal::ev6BlockFractions().size() : 1u);
+        double area = 0.0;
+        for (auto i : blocks)
+            area += plan.blocks()[i].area();
+        EXPECT_NEAR(area, core_area, core_area * 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledCmpSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 15, 16, 32),
+                       ::testing::Bool()));
+
+TEST(TiledCmp, NoL2WhenAreaZero)
+{
+    const Floorplan plan = thermal::makeTiledCmp(4, 1e-5, 0.0, false);
+    EXPECT_FALSE(plan.has("L2"));
+    EXPECT_EQ(plan.size(), 4u);
+}
+
+TEST(TiledCmp, RejectsBadArguments)
+{
+    EXPECT_THROW(thermal::makeTiledCmp(0, 1e-5, 0.0, false),
+                 util::FatalError);
+    EXPECT_THROW(thermal::makeTiledCmp(4, -1.0, 0.0, false),
+                 util::FatalError);
+}
+
+// --------------------------------------------------------------- RC model
+
+class RCFixture : public ::testing::Test
+{
+  protected:
+    RCFixture()
+        : model_(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{})
+    {
+    }
+    RCModel model_;
+};
+
+TEST_F(RCFixture, ZeroPowerIsAmbient)
+{
+    const auto sol = model_.solve({0.0, 0.0, 0.0, 0.0});
+    for (double t : sol.block_temps_c)
+        EXPECT_NEAR(t, model_.params().ambient_c, 1e-9);
+    EXPECT_NEAR(sol.sink_temp_c, model_.params().ambient_c, 1e-9);
+}
+
+TEST_F(RCFixture, TemperatureAboveAmbientWithPower)
+{
+    const auto sol = model_.solve({10.0, 0.0, 0.0, 0.0});
+    for (double t : sol.block_temps_c)
+        EXPECT_GT(t, model_.params().ambient_c);
+    EXPECT_GT(sol.block_temps_c[0], sol.block_temps_c[3]);
+}
+
+TEST_F(RCFixture, LinearSuperposition)
+{
+    // Steady-state RC networks are linear: T(p1 + p2) - Tamb equals
+    // (T(p1) - Tamb) + (T(p2) - Tamb).
+    const std::vector<double> p1 = {5.0, 0.0, 1.0, 0.0};
+    const std::vector<double> p2 = {0.0, 3.0, 0.0, 2.0};
+    std::vector<double> sum = {5.0, 3.0, 1.0, 2.0};
+    const auto s1 = model_.solve(p1);
+    const auto s2 = model_.solve(p2);
+    const auto s12 = model_.solve(sum);
+    const double amb = model_.params().ambient_c;
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(s12.block_temps_c[i] - amb,
+                    (s1.block_temps_c[i] - amb) +
+                        (s2.block_temps_c[i] - amb),
+                    1e-9);
+    }
+}
+
+TEST_F(RCFixture, SymmetricTilesHeatSymmetrically)
+{
+    // Uniform power on a symmetric floorplan: all tiles equal.
+    const auto sol = model_.solve({2.0, 2.0, 2.0, 2.0});
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_NEAR(sol.block_temps_c[i], sol.block_temps_c[0], 1e-9);
+}
+
+TEST_F(RCFixture, SinkTracksTotalPowerOnly)
+{
+    // The shared-sink rise depends on total power, not its distribution.
+    const auto a = model_.solve({8.0, 0.0, 0.0, 0.0});
+    const auto b = model_.solve({2.0, 2.0, 2.0, 2.0});
+    EXPECT_NEAR(a.sink_temp_c, b.sink_temp_c, 1e-9);
+}
+
+TEST_F(RCFixture, SpreadingPowerLowersPeakTemperature)
+{
+    const auto one = model_.solve({8.0, 0.0, 0.0, 0.0});
+    const auto four = model_.solve({2.0, 2.0, 2.0, 2.0});
+    EXPECT_LT(four.max_temp_c, one.max_temp_c);
+}
+
+TEST_F(RCFixture, RejectsBadPowerMaps)
+{
+    EXPECT_THROW(model_.solve({1.0}), util::FatalError);
+    EXPECT_THROW(model_.solve({-1.0, 0.0, 0.0, 0.0}), util::FatalError);
+}
+
+TEST(RCCalibration, HitsTargetTemperature)
+{
+    RCModel model(thermal::makeTiledCmp(8, 1e-5, 0.0, false), RCParams{});
+    std::vector<double> power(8, 0.0);
+    power[0] = 60.0;
+    thermal::calibratePackage(
+        model, power,
+        [](const thermal::ThermalSolution& sol) {
+            return sol.block_temps_c[0];
+        },
+        100.0);
+    EXPECT_NEAR(model.solve(power).block_temps_c[0], 100.0, 0.01);
+}
+
+TEST(RCCalibration, SinkFractionSplitsTheRise)
+{
+    RCModel model(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{});
+    std::vector<double> power = {50.0, 0.0, 0.0, 0.0};
+    thermal::calibratePackage(
+        model, power,
+        [](const thermal::ThermalSolution& sol) {
+            return sol.block_temps_c[0];
+        },
+        100.0, 0.6);
+    const auto sol = model.solve(power);
+    // Ambient 45, target 100: the sink should carry 0.6 * 55 = 33 K.
+    EXPECT_NEAR(sol.sink_temp_c, 45.0 + 33.0, 0.5);
+}
+
+TEST(RCCalibration, RejectsTargetBelowAmbient)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    EXPECT_THROW(thermal::calibrateVertical(model, {1.0, 1.0}, 20.0),
+                 util::FatalError);
+}
+
+// ------------------------------------------------------------ fixed point
+
+TEST(Coupled, ConstantPowerConvergesInOneStep)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    const auto result = thermal::solveCoupled(
+        model,
+        [](const std::vector<double>&) {
+            return std::vector<double>{5.0, 5.0};
+        });
+    EXPECT_TRUE(result.converged);
+    EXPECT_FALSE(result.runaway);
+    EXPECT_NEAR(result.total_power, 10.0, 1e-9);
+}
+
+TEST(Coupled, TemperatureDependentPowerConverges)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    const auto result = thermal::solveCoupled(
+        model, [&](const std::vector<double>& temps) {
+            // Mild positive feedback: +1% per kelvin above ambient.
+            std::vector<double> p(temps.size());
+            for (std::size_t i = 0; i < temps.size(); ++i)
+                p[i] = 4.0 * (1.0 + 0.01 * (temps[i] - 45.0));
+            return p;
+        });
+    EXPECT_TRUE(result.converged);
+    EXPECT_FALSE(result.runaway);
+    EXPECT_GT(result.total_power, 8.0);
+}
+
+TEST(Coupled, ExplosiveFeedbackFlagsRunaway)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    const auto result = thermal::solveCoupled(
+        model, [&](const std::vector<double>& temps) {
+            std::vector<double> p(temps.size());
+            for (std::size_t i = 0; i < temps.size(); ++i)
+                p[i] = std::exp((temps[i] - 40.0) * 0.5);
+            return p;
+        });
+    EXPECT_TRUE(result.runaway);
+    for (double t : result.thermal.block_temps_c)
+        EXPECT_LE(t, thermal::kRunawayTempC + 1e-9);
+}
+
+} // namespace

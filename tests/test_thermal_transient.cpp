@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the transient thermal solver: convergence to the steady
+ * state, time-constant behaviour, monotone step responses, and input
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/transient.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tlp;
+using thermal::RCModel;
+using thermal::RCParams;
+using thermal::TransientParams;
+using thermal::TransientSolver;
+
+class TransientFixture : public ::testing::Test
+{
+  protected:
+    TransientFixture()
+        : model_(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{}),
+          solver_(model_)
+    {
+    }
+
+    std::vector<double>
+    ambientStart() const
+    {
+        return std::vector<double>(model_.floorplan().size(),
+                                   model_.params().ambient_c);
+    }
+
+    RCModel model_;
+    TransientSolver solver_;
+};
+
+TEST_F(TransientFixture, ZeroPowerStaysAtAmbient)
+{
+    const auto result = solver_.simulate(
+        ambientStart(), [](double) { return std::vector<double>(4, 0.0); },
+        1.0, 1e-3, 10);
+    for (double t : result.final_temps_c)
+        EXPECT_NEAR(t, model_.params().ambient_c, 1e-9);
+}
+
+TEST_F(TransientFixture, ConvergesToSteadyState)
+{
+    const std::vector<double> power = {8.0, 2.0, 0.0, 4.0};
+    const auto steady = model_.solve(power);
+    const auto result = solver_.simulate(
+        ambientStart(), [&](double) { return power; },
+        12.0 * solver_.sinkTimeConstant(), 5e-3, 10);
+    for (std::size_t i = 0; i < power.size(); ++i) {
+        EXPECT_NEAR(result.final_temps_c[i], steady.block_temps_c[i],
+                    0.05)
+            << "block " << i;
+    }
+}
+
+TEST_F(TransientFixture, StepResponseIsMonotone)
+{
+    const std::vector<double> power(4, 5.0);
+    const auto result = solver_.simulate(
+        ambientStart(), [&](double) { return power; },
+        2.0 * solver_.sinkTimeConstant(), 1e-3, 50);
+    for (std::size_t i = 1; i < result.samples.size(); ++i) {
+        EXPECT_GE(result.samples[i].avg_core_temp_c + 1e-9,
+                  result.samples[i - 1].avg_core_temp_c);
+    }
+}
+
+TEST_F(TransientFixture, CoolDownIsMonotone)
+{
+    // Start hot, remove all power.
+    std::vector<double> hot(4, 95.0);
+    const auto result = solver_.simulate(
+        hot, [](double) { return std::vector<double>(4, 0.0); },
+        2.0 * solver_.sinkTimeConstant(), 1e-3, 50);
+    for (std::size_t i = 1; i < result.samples.size(); ++i) {
+        EXPECT_LE(result.samples[i].avg_core_temp_c - 1e-9,
+                  result.samples[i - 1].avg_core_temp_c);
+    }
+    EXPECT_LT(result.samples.back().avg_core_temp_c, 55.0);
+}
+
+TEST_F(TransientFixture, SinkTimeConstantMatchesRC)
+{
+    EXPECT_NEAR(solver_.sinkTimeConstant(),
+                solver_.params().sink_capacity *
+                    model_.params().r_convection,
+                1e-12);
+}
+
+TEST_F(TransientFixture, OneTimeConstantReachesSixtyThreePercent)
+{
+    // For the dominant sink mode, the rise at t = tau is ~(1 - 1/e) of
+    // the final value (loose bounds: die modes are much faster).
+    const std::vector<double> power(4, 10.0);
+    const auto steady = model_.solve(power);
+    const double final_rise =
+        steady.sink_temp_c - model_.params().ambient_c;
+    const auto result = solver_.simulate(
+        ambientStart(), [&](double) { return power; },
+        solver_.sinkTimeConstant(), 1e-3, 4);
+    const double rise_at_tau =
+        result.samples.back().sink_temp_c - model_.params().ambient_c;
+    EXPECT_NEAR(rise_at_tau / final_rise, 0.632, 0.08);
+}
+
+TEST_F(TransientFixture, TimeVaryingPowerIsApplied)
+{
+    // Power on for the first half, off for the second: the end state is
+    // cooler than the midpoint.
+    const double tau = solver_.sinkTimeConstant();
+    const auto result = solver_.simulate(
+        ambientStart(),
+        [&](double t) {
+            return std::vector<double>(4, t < tau ? 20.0 : 0.0);
+        },
+        2.0 * tau, 1e-3, 20);
+    const auto mid = result.samples[result.samples.size() / 2];
+    EXPECT_LT(result.samples.back().avg_core_temp_c,
+              mid.avg_core_temp_c);
+}
+
+TEST_F(TransientFixture, LargerSinkCapacitySlowsSettling)
+{
+    TransientParams slow_params;
+    slow_params.sink_capacity = 600.0;
+    const TransientSolver slow(model_, slow_params);
+    const std::vector<double> power(4, 10.0);
+    const double horizon = solver_.sinkTimeConstant();
+    const auto fast_result = solver_.simulate(
+        ambientStart(), [&](double) { return power; }, horizon, 1e-3, 2);
+    const auto slow_result = slow.simulate(
+        ambientStart(), [&](double) { return power; }, horizon, 1e-3, 2);
+    EXPECT_GT(fast_result.samples.back().sink_temp_c,
+              slow_result.samples.back().sink_temp_c);
+}
+
+TEST_F(TransientFixture, RejectsBadInput)
+{
+    EXPECT_THROW(solver_.simulate(
+                     {1.0}, [](double) { return std::vector<double>(); },
+                     1.0),
+                 util::FatalError);
+    EXPECT_THROW(solver_.simulate(
+                     ambientStart(),
+                     [](double) { return std::vector<double>(4, 0.0); },
+                     -1.0),
+                 util::FatalError);
+    EXPECT_THROW(solver_.simulate(
+                     ambientStart(),
+                     [](double) { return std::vector<double>(2, 0.0); },
+                     1.0),
+                 util::FatalError);
+}
+
+TEST(TransientParamsTest, RejectsNonPositiveCapacity)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    TransientParams params;
+    params.sink_capacity = 0.0;
+    EXPECT_THROW(TransientSolver(model, params), util::FatalError);
+}
+
+} // namespace

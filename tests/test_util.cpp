@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Unit and property tests for tlp_util: logging, RNG, solvers,
+ * interpolation, statistics, tables, and dense linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/interp.hpp"
+#include "util/linalg.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/solver.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace tlp::util;
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalCarriesMessage)
+{
+    try {
+        fatal(strcatMsg("value is ", 42));
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "value is 42");
+    }
+}
+
+TEST(Logging, StrcatMsgConcatenatesMixedTypes)
+{
+    EXPECT_EQ(strcatMsg("a", 1, "b", 2.5), "a1b2.5");
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(10, 13);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, TemperatureConversionRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(celsiusToKelvin(0.0), 273.15);
+    EXPECT_DOUBLE_EQ(kelvinToCelsius(celsiusToKelvin(85.0)), 85.0);
+}
+
+TEST(Units, ThermalVoltageAtRoomTemperature)
+{
+    EXPECT_NEAR(thermalVoltage(celsiusToKelvin(25.0)), 0.0257, 0.0002);
+}
+
+TEST(Units, Multipliers)
+{
+    EXPECT_DOUBLE_EQ(ghz(3.2), 3.2e9);
+    EXPECT_DOUBLE_EQ(mhz(200), 2e8);
+    EXPECT_DOUBLE_EQ(ns(75), 7.5e-8);
+    EXPECT_DOUBLE_EQ(mm2(244.5), 244.5e-6);
+}
+
+// ---------------------------------------------------------------- solvers
+
+TEST(Bisect, FindsRootOfCubic)
+{
+    const auto result =
+        bisect([](double x) { return x * x * x - 8.0; }, 0.0, 10.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, 2.0, 1e-8);
+}
+
+TEST(Bisect, HandlesEndpointRoot)
+{
+    const auto result = bisect([](double x) { return x; }, 0.0, 1.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_DOUBLE_EQ(result.x, 0.0);
+}
+
+TEST(Bisect, RejectsNonBracketingInterval)
+{
+    EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+                 FatalError);
+}
+
+TEST(Bisect, RejectsInvertedInterval)
+{
+    EXPECT_THROW(bisect([](double x) { return x; }, 1.0, -1.0),
+                 FatalError);
+}
+
+TEST(GoldenMax, FindsParabolaPeak)
+{
+    const auto result = goldenMax(
+        [](double x) { return -(x - 1.7) * (x - 1.7); }, -10.0, 10.0);
+    EXPECT_NEAR(result.x, 1.7, 1e-5);
+}
+
+TEST(MaximizeScan, FindsGlobalMaxOfBimodal)
+{
+    // Two peaks; the taller is at x = 8.
+    const auto f = [](double x) {
+        return std::exp(-(x - 2) * (x - 2)) +
+            2.0 * std::exp(-(x - 8) * (x - 8));
+    };
+    const auto result = maximizeScan(f, 0.0, 10.0, 64);
+    EXPECT_NEAR(result.x, 8.0, 1e-3);
+}
+
+TEST(MaximizeScan, MonotoneFunctionPicksBoundary)
+{
+    const auto result =
+        maximizeScan([](double x) { return x; }, 0.0, 5.0, 16);
+    EXPECT_NEAR(result.x, 5.0, 1e-6);
+}
+
+// ------------------------------------------------------------------ interp
+
+TEST(PiecewiseLinear, InterpolatesBetweenPoints)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {2.0, 4.0}});
+    EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+}
+
+TEST(PiecewiseLinear, SortsUnorderedInput)
+{
+    PiecewiseLinear f({{2.0, 4.0}, {0.0, 0.0}, {1.0, 1.0}});
+    EXPECT_DOUBLE_EQ(f(1.5), 2.5);
+}
+
+TEST(PiecewiseLinear, ClampsOutOfRangeByDefault)
+{
+    PiecewiseLinear f({{0.0, 1.0}, {1.0, 3.0}});
+    EXPECT_DOUBLE_EQ(f(-5.0), 1.0);
+    EXPECT_DOUBLE_EQ(f(9.0), 3.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesWhenAsked)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {1.0, 2.0}},
+                      PiecewiseLinear::OutOfRange::Extrapolate);
+    EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+    EXPECT_DOUBLE_EQ(f(-1.0), -2.0);
+}
+
+TEST(PiecewiseLinear, InverseOfMonotoneTable)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {1.0, 10.0}, {2.0, 30.0}});
+    EXPECT_DOUBLE_EQ(f.inverse(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(f.inverse(20.0), 1.5);
+}
+
+TEST(PiecewiseLinear, InverseRejectsNonMonotone)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {1.0, 10.0}, {2.0, 5.0}});
+    EXPECT_THROW(f.inverse(3.0), FatalError);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateX)
+{
+    EXPECT_THROW(PiecewiseLinear({{1.0, 0.0}, {1.0, 2.0}}), FatalError);
+}
+
+TEST(PiecewiseLinear, RejectsEmpty)
+{
+    std::vector<std::pair<double, double>> empty;
+    EXPECT_THROW(PiecewiseLinear{empty}, FatalError);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, CounterAccumulates)
+{
+    StatRegistry reg;
+    reg.counter("a").increment();
+    reg.counter("a").increment(4);
+    EXPECT_EQ(reg.counterValue("a"), 5u);
+}
+
+TEST(Stats, MissingCounterReadsZero)
+{
+    StatRegistry reg;
+    EXPECT_EQ(reg.counterValue("nope"), 0u);
+    EXPECT_FALSE(reg.hasCounter("nope"));
+}
+
+TEST(Stats, SumByPrefix)
+{
+    StatRegistry reg;
+    reg.counter("core0.loads").increment(3);
+    reg.counter("core1.loads").increment(4);
+    reg.counter("bus.loads").increment(9);
+    EXPECT_EQ(reg.sumByPrefix("core"), 7u);
+}
+
+TEST(Stats, SumBySuffix)
+{
+    StatRegistry reg;
+    reg.counter("core0.l1d.misses").increment(3);
+    reg.counter("core7.l1d.misses").increment(2);
+    reg.counter("core7.l1d.hits").increment(50);
+    EXPECT_EQ(reg.sumBySuffix("l1d.misses"), 5u);
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    StatRegistry reg;
+    reg.counter("x").increment(9);
+    reg.accumulator("y").sample(3.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.counterValue("x"), 0u);
+    EXPECT_EQ(reg.accumulator("y").count(), 0u);
+}
+
+TEST(Stats, AccumulatorTracksMinMeanMax)
+{
+    Accumulator acc;
+    acc.sample(2.0);
+    acc.sample(6.0);
+    acc.sample(4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+}
+
+TEST(Stats, HistogramClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-100.0);
+    h.sample(100.0);
+    h.sample(5.0);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Stats, HistogramBucketBoundaries)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(4), 10.0);
+}
+
+TEST(Stats, HistogramRejectsBadRange)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo", {"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("demo", {"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRaggedRow)
+{
+    Table t("demo", {"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, CellAccessorBoundsChecked)
+{
+    Table t("demo", {"a"});
+    t.addRow({"x"});
+    EXPECT_EQ(t.cell(0, 0), "x");
+    EXPECT_THROW(t.cell(1, 0), FatalError);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+// ------------------------------------------------------------------ linalg
+
+TEST(Linalg, SolvesIdentity)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = 1.0;
+    const auto x = solveDense(a, {3.0, 4.0});
+    EXPECT_DOUBLE_EQ(x[0], 3.0);
+    EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(Linalg, SolvesGeneralSystem)
+{
+    // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+    Matrix a(2, 2);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 3.0;
+    const auto x = solveDense(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, PivotsZeroDiagonal)
+{
+    Matrix a(2, 2);
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    const auto x = solveDense(a, {2.0, 3.0});
+    EXPECT_DOUBLE_EQ(x[0], 3.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Linalg, RejectsSingular)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 4.0;
+    EXPECT_THROW(solveDense(a, {1.0, 2.0}), FatalError);
+}
+
+TEST(Linalg, LeastSquaresRecoversLine)
+{
+    // Fit y = 2x + 1 from exact samples.
+    Matrix a(4, 2);
+    std::vector<double> b(4);
+    for (int i = 0; i < 4; ++i) {
+        a(i, 0) = i;
+        a(i, 1) = 1.0;
+        b[i] = 2.0 * i + 1.0;
+    }
+    const auto x = solveLeastSquares(a, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Linalg, LeastSquaresOverdeterminedAverages)
+{
+    // One unknown, contradictory samples: least squares -> mean.
+    Matrix a(2, 1);
+    a(0, 0) = 1.0;
+    a(1, 0) = 1.0;
+    const auto x = solveLeastSquares(a, {1.0, 3.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+/** Property sweep: bisect recovers known roots across a parameter grid. */
+class BisectSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BisectSweep, RecoversShiftedRoot)
+{
+    const double root = GetParam();
+    const auto result = bisect(
+        [root](double x) { return std::tanh(x - root); }, root - 10.0,
+        root + 10.0, 1e-12);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, root, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, BisectSweep,
+                         ::testing::Values(-7.5, -1.0, 0.0, 0.3, 2.0,
+                                           42.0));
+
+} // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Instruction-mix and working-set characterization of every workload,
+ * including snapshot regressions of the generated streams (guarding the
+ * determinism contract across refactors) and cross-app regime orderings
+ * the figures rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/cmp.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+using sim::Op;
+using sim::OpType;
+using sim::Program;
+
+struct Mix
+{
+    std::uint64_t insts = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t mem = 0;
+    std::uint64_t lines = 0; ///< distinct cache lines touched
+};
+
+Mix
+mixOf(const Program& prog)
+{
+    Mix m;
+    std::set<std::uint64_t> lines;
+    for (const auto& t : prog.threads) {
+        for (const Op& op : t.ops()) {
+            switch (op.type) {
+              case OpType::IntOps:
+                m.insts += op.count;
+                break;
+              case OpType::FpOps:
+                m.insts += op.count;
+                m.fp += op.count;
+                break;
+              case OpType::Load:
+              case OpType::Store:
+                ++m.insts;
+                ++m.mem;
+                lines.insert(op.addr / 64);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    m.lines = lines.size();
+    return m;
+}
+
+/**
+ * Snapshot regression: the exact dynamic instruction count of every
+ * generator at a reference configuration. These values are part of the
+ * determinism contract — a change here means previously published
+ * numbers are no longer reproducible and must be a conscious decision
+ * (update the constant AND note it in EXPERIMENTS.md).
+ */
+struct Snapshot
+{
+    const char* name;
+    std::uint64_t insts_2_threads_scale_quarter;
+};
+
+class SnapshotSweep : public ::testing::TestWithParam<Snapshot>
+{
+};
+
+TEST_P(SnapshotSweep, InstructionCountIsStable)
+{
+    const auto [name, expected] = GetParam();
+    const Program prog = workloads::byName(name).make(2, 0.25);
+    EXPECT_EQ(prog.instructionCount(), expected) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SnapshotSweep,
+    ::testing::Values(Snapshot{"Barnes", 821376},
+                      Snapshot{"Cholesky", 393709},
+                      Snapshot{"FFT", 303104},
+                      Snapshot{"FMM", 1332864},
+                      Snapshot{"LU", 48256},
+                      Snapshot{"Ocean", 224536},
+                      Snapshot{"Radiosity", 254122},
+                      Snapshot{"Radix", 459904},
+                      Snapshot{"Raytrace", 1305575},
+                      Snapshot{"Volrend", 378027},
+                      Snapshot{"Water-Nsq", 218240},
+                      Snapshot{"Water-Sp", 280320}));
+
+TEST(Mixes, RegimeLabelsMatchMeasuredMixes)
+{
+    // The registry's regime tags must be consistent with the generated
+    // streams: "memory" apps have the highest memory-op share of the
+    // suite, "compute" apps the lowest.
+    double worst_compute = 0.0;
+    double best_memory = 1.0;
+    for (const auto& info : workloads::suite()) {
+        const Mix m = mixOf(info.make(1, 0.25));
+        const double mem_share =
+            static_cast<double>(m.mem) / m.insts;
+        if (info.regime == "compute")
+            worst_compute = std::max(worst_compute, mem_share);
+        if (info.regime == "memory")
+            best_memory = std::min(best_memory, mem_share);
+    }
+    EXPECT_LT(worst_compute, best_memory + 0.06);
+}
+
+TEST(Mixes, WorkingSetTiersAreRespected)
+{
+    // Radix and Ocean carry the largest footprints of the suite (the
+    // memory-bound tier); the Water codes the smallest.
+    const auto lines = [](const char* name) {
+        return mixOf(workloads::byName(name).make(1, 1.0)).lines;
+    };
+    const auto radix = lines("Radix");
+    const auto ocean = lines("Ocean");
+    const auto water = lines("Water-Sp");
+    EXPECT_GT(radix, 16u * water);
+    EXPECT_GT(ocean, 16u * water);
+}
+
+TEST(Mixes, FpShareOrderingFmmHighestRadixZero)
+{
+    double fmm_share = 0.0, radix_share = 1.0;
+    for (const auto& info : workloads::suite()) {
+        const Mix m = mixOf(info.make(1, 0.25));
+        const double fp_share = static_cast<double>(m.fp) / m.insts;
+        if (info.name == "FMM")
+            fmm_share = fp_share;
+        if (info.name == "Radix")
+            radix_share = fp_share;
+    }
+    EXPECT_GT(fmm_share, 0.85);
+    EXPECT_EQ(radix_share, 0.0);
+}
+
+TEST(Mixes, ThreadCountPreservesMemoryFootprint)
+{
+    // The same data structures are touched regardless of N (only the
+    // partitioning changes).
+    for (const char* name : {"Ocean", "LU", "Radix"}) {
+        const auto one = mixOf(workloads::byName(name).make(1, 0.25));
+        const auto eight = mixOf(workloads::byName(name).make(8, 0.25));
+        EXPECT_NEAR(static_cast<double>(eight.lines) / one.lines, 1.0,
+                    0.1)
+            << name;
+    }
+}
+
+TEST(Mixes, SimulatedIpcOrderingMatchesRegimes)
+{
+    // On the real machine model, the compute tier sustains higher IPC
+    // than the memory tier (cold caches included).
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    const auto ipc = [&](const char* name) {
+        return cmp.run(workloads::byName(name).make(1, 0.2), 3.2e9).ipc();
+    };
+    EXPECT_GT(ipc("Water-Nsq"), ipc("Radix") * 2.0);
+    EXPECT_GT(ipc("FMM"), ipc("Ocean"));
+}
+
+} // namespace

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for tlp_workloads: structural validity of every generator
+ * (matched sync ops, same total work for any thread count, determinism)
+ * plus per-application regime checks (compute vs memory intensity,
+ * working-set sizes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/cmp.hpp"
+#include "util/logging.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+using sim::Op;
+using sim::OpType;
+using sim::Program;
+
+constexpr double kTestScale = 0.08;
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, HasTwelveApplications)
+{
+    EXPECT_EQ(workloads::suite().size(), 12u);
+}
+
+TEST(Registry, NamesMatchPaperTable2)
+{
+    const char* expected[] = {"Barnes",    "Cholesky", "FFT",
+                              "FMM",       "LU",       "Ocean",
+                              "Radiosity", "Radix",    "Raytrace",
+                              "Volrend",   "Water-Nsq", "Water-Sp"};
+    const auto& suite = workloads::suite();
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(Registry, ByNameRoundTripsAndRejectsUnknown)
+{
+    EXPECT_EQ(workloads::byName("Ocean").name, "Ocean");
+    EXPECT_THROW(workloads::byName("SPECjbb"), util::FatalError);
+}
+
+// ----------------------------------------------------------------- common
+
+TEST(Common, ScaledRespectsFloor)
+{
+    EXPECT_EQ(workloads::scaled(1000, 0.5), 500u);
+    EXPECT_EQ(workloads::scaled(10, 0.01, 4), 4u);
+    EXPECT_THROW(workloads::scaled(10, 0.0), util::FatalError);
+    EXPECT_THROW(workloads::scaled(10, 1.5), util::FatalError);
+}
+
+TEST(Common, LoadRegionTouchesEveryLine)
+{
+    sim::ThreadProgram tp;
+    workloads::loadRegion(tp, 0x100, 130); // spans lines 0x100,0x140,0x180
+    tp.finish();
+    int loads = 0;
+    for (const Op& op : tp.ops())
+        loads += op.type == OpType::Load;
+    EXPECT_EQ(loads, 3);
+}
+
+TEST(Common, WorkloadSeedVariesByNameAndThread)
+{
+    EXPECT_NE(workloads::workloadSeed("a", 0),
+              workloads::workloadSeed("b", 0));
+    EXPECT_NE(workloads::workloadSeed("a", 0),
+              workloads::workloadSeed("a", 1));
+    EXPECT_EQ(workloads::workloadSeed("a", 3),
+              workloads::workloadSeed("a", 3));
+}
+
+// ------------------------------------------------- per-generator structure
+
+struct SyncProfile
+{
+    std::map<std::uint64_t, int> barriers;  // id -> arrivals
+    std::map<std::uint64_t, int> lock_depth; // id -> balance
+    std::uint64_t loads = 0, stores = 0, int_ops = 0, fp_ops = 0;
+};
+
+SyncProfile
+profile(const Program& prog)
+{
+    SyncProfile out;
+    for (const auto& thread : prog.threads) {
+        std::map<std::uint64_t, int> held;
+        for (const Op& op : thread.ops()) {
+            switch (op.type) {
+              case OpType::Barrier:
+                ++out.barriers[op.addr];
+                break;
+              case OpType::Lock:
+                ++held[op.addr];
+                EXPECT_EQ(held[op.addr], 1) << "recursive lock";
+                break;
+              case OpType::Unlock:
+                --held[op.addr];
+                EXPECT_GE(held[op.addr], 0) << "unlock without lock";
+                break;
+              case OpType::Load:
+                ++out.loads;
+                break;
+              case OpType::Store:
+                ++out.stores;
+                break;
+              case OpType::IntOps:
+                out.int_ops += op.count;
+                break;
+              case OpType::FpOps:
+                out.fp_ops += op.count;
+                break;
+              case OpType::End:
+                break;
+            }
+        }
+        for (const auto& [id, depth] : held)
+            EXPECT_EQ(depth, 0) << "lock " << id << " left held";
+    }
+    return out;
+}
+
+class SuiteSweep : public ::testing::TestWithParam<const char*>
+{
+  protected:
+    const workloads::WorkloadInfo&
+    info() const
+    {
+        return workloads::byName(GetParam());
+    }
+};
+
+TEST_P(SuiteSweep, EveryThreadStreamIsSealed)
+{
+    for (int threads : {1, 3, 16}) {
+        const Program prog = info().make(threads, kTestScale);
+        ASSERT_EQ(prog.nThreads(), threads);
+        for (const auto& t : prog.threads)
+            EXPECT_TRUE(t.finished());
+        // At tiny test scales some threads may legitimately receive no
+        // work (they still participate in barriers); the program as a
+        // whole must not be empty.
+        EXPECT_GT(prog.instructionCount(), 0u);
+    }
+}
+
+TEST_P(SuiteSweep, BarriersAreReachedByAllThreads)
+{
+    for (int threads : {2, 5, 16}) {
+        const Program prog = info().make(threads, kTestScale);
+        const SyncProfile p = profile(prog);
+        for (const auto& [id, arrivals] : p.barriers) {
+            EXPECT_EQ(arrivals, threads)
+                << info().name << " barrier " << id << " with "
+                << threads << " threads";
+        }
+    }
+}
+
+TEST_P(SuiteSweep, DeterministicGeneration)
+{
+    const Program a = info().make(4, kTestScale);
+    const Program b = info().make(4, kTestScale);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        const auto& oa = a.threads[t].ops();
+        const auto& ob = b.threads[t].ops();
+        ASSERT_EQ(oa.size(), ob.size());
+        for (std::size_t i = 0; i < oa.size(); ++i) {
+            ASSERT_EQ(static_cast<int>(oa[i].type),
+                      static_cast<int>(ob[i].type));
+            ASSERT_EQ(oa[i].addr, ob[i].addr);
+            ASSERT_EQ(oa[i].count, ob[i].count);
+        }
+    }
+}
+
+TEST_P(SuiteSweep, TotalWorkIndependentOfThreadCount)
+{
+    // The problem size must not change with N (paper Table 2): total
+    // instructions stay within a small tolerance of the 1-thread count
+    // (task-queue grabs and replicated reads add a little).
+    const auto total = [&](int threads) {
+        return static_cast<double>(
+            info().make(threads, kTestScale).instructionCount());
+    };
+    const double one = total(1);
+    EXPECT_NEAR(total(4) / one, 1.0, 0.25) << info().name;
+    EXPECT_NEAR(total(16) / one, 1.0, 0.35) << info().name;
+}
+
+TEST_P(SuiteSweep, RunsToCompletionOnTheCmp)
+{
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    for (int threads : {1, 4}) {
+        const auto result =
+            cmp.run(info().make(threads, kTestScale), 3.2e9);
+        EXPECT_TRUE(result.coherent) << info().name;
+        EXPECT_GT(result.ipc(), 0.0);
+    }
+}
+
+TEST_P(SuiteSweep, ScaleShrinksTheProblem)
+{
+    const auto big = info().make(1, 0.5).instructionCount();
+    const auto small = info().make(1, 0.05).instructionCount();
+    EXPECT_LT(small, big) << info().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SuiteSweep,
+    ::testing::Values("Barnes", "Cholesky", "FFT", "FMM", "LU", "Ocean",
+                      "Radiosity", "Radix", "Raytrace", "Volrend",
+                      "Water-Nsq", "Water-Sp"));
+
+// ------------------------------------------------------------ app regimes
+
+TEST(Regimes, RadixIsIntegerAndMemoryBound)
+{
+    const SyncProfile p = profile(workloads::makeRadix(1, kTestScale));
+    EXPECT_EQ(p.fp_ops, 0u);
+    // Memory ops are a large share of the stream.
+    const double mem_share = static_cast<double>(p.loads + p.stores) /
+        (p.loads + p.stores + p.int_ops);
+    EXPECT_GT(mem_share, 0.10);
+}
+
+TEST(Regimes, FmmIsTheMostComputeIntensive)
+{
+    const auto intensity = [&](const Program& prog) {
+        const SyncProfile p = profile(prog);
+        return static_cast<double>(p.fp_ops + p.int_ops) /
+            (p.loads + p.stores);
+    };
+    const double fmm = intensity(workloads::makeFmm(1, kTestScale));
+    const double cholesky =
+        intensity(workloads::makeCholesky(1, kTestScale));
+    const double radix = intensity(workloads::makeRadix(1, kTestScale));
+    // Figure 4's ordering: FMM > Cholesky > Radix.
+    EXPECT_GT(fmm, cholesky);
+    EXPECT_GT(cholesky, radix);
+}
+
+TEST(Regimes, OceanWorkingSetExceedsL2)
+{
+    // 514x514 doubles, two grids: > 4 MB of distinct lines at full scale.
+    const Program prog = workloads::makeOcean(1, 1.0);
+    std::set<std::uint64_t> lines;
+    for (const Op& op : prog.threads[0].ops()) {
+        if (op.type == OpType::Load || op.type == OpType::Store)
+            lines.insert(op.addr / 64);
+    }
+    EXPECT_GT(lines.size() * 64, 4u * 1024 * 1024);
+}
+
+TEST(Regimes, PowerVirusIsL1Resident)
+{
+    const Program prog = workloads::makePowerVirus(1, 0.2);
+    std::set<std::uint64_t> lines;
+    for (const Op& op : prog.threads[0].ops()) {
+        if (op.type == OpType::Load || op.type == OpType::Store)
+            lines.insert(op.addr / 64);
+    }
+    EXPECT_LE(lines.size() * 64, 64u * 1024);
+}
+
+TEST(Regimes, PowerVirusSustainsHighIpc)
+{
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    const auto result =
+        cmp.run(workloads::makePowerVirus(1, 0.1), 3.2e9);
+    EXPECT_GT(result.ipc(), 1.3);
+}
+
+TEST(Regimes, FmmOutscalesRadiosityAtSixteen)
+{
+    // Efficiency ordering at N=16 (paper Fig. 3 panel 1): FMM is near
+    // the top, Radiosity near the bottom.
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    const auto eff = [&](const workloads::WorkloadInfo& info) {
+        const auto one = cmp.run(info.make(1, 0.2), 3.2e9);
+        const auto sixteen = cmp.run(info.make(16, 0.2), 3.2e9);
+        return static_cast<double>(one.cycles) / (16.0 * sixteen.cycles);
+    };
+    EXPECT_GT(eff(workloads::byName("FMM")),
+              eff(workloads::byName("Radiosity")));
+}
+
+} // namespace
