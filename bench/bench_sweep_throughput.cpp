@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sweep-engine throughput: times the full Scenario I sweep over the
+ * twelve-application suite serially (jobs = 1) and in parallel (--jobs N
+ * / TLPPM_JOBS / hardware concurrency), verifies the two row sets are
+ * identical field by field, and emits one machine-readable JSON line so
+ * CI and scripts can track the speedup.
+ *
+ * Defaults to a small problem scale (0.08) so a run takes seconds;
+ * override with TLPPM_SCALE.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "runner/sweep_runner.hpp"
+
+namespace {
+
+using namespace tlp;
+
+double
+benchScale()
+{
+    if (const char* env = std::getenv("TLPPM_SCALE")) {
+        const double value = std::atof(env);
+        if (value > 0.0 && value <= 1.0)
+            return value;
+        std::cerr << "ignoring invalid TLPPM_SCALE='" << env << "'\n";
+    }
+    return 0.08;
+}
+
+bool
+sameMeasurement(const runner::Measurement& a, const runner::Measurement& b)
+{
+    return a.cycles == b.cycles && a.seconds == b.seconds &&
+           a.freq_hz == b.freq_hz && a.vdd == b.vdd &&
+           a.dynamic_w == b.dynamic_w && a.static_w == b.static_w &&
+           a.total_w == b.total_w &&
+           a.avg_core_temp_c == b.avg_core_temp_c &&
+           a.core_power_density_w_m2 == b.core_power_density_w_m2 &&
+           a.instructions == b.instructions && a.runaway == b.runaway;
+}
+
+bool
+sameRows(const std::vector<std::vector<runner::Scenario1Row>>& a,
+         const std::vector<std::vector<runner::Scenario1Row>>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size())
+            return false;
+        for (std::size_t j = 0; j < a[i].size(); ++j) {
+            const runner::Scenario1Row& x = a[i][j];
+            const runner::Scenario1Row& y = b[i][j];
+            if (x.n != y.n || x.eps_n != y.eps_n ||
+                x.freq_hz != y.freq_hz || x.vdd != y.vdd ||
+                x.actual_speedup != y.actual_speedup ||
+                x.normalized_power != y.normalized_power ||
+                x.normalized_density != y.normalized_density ||
+                x.avg_temp_c != y.avg_temp_c ||
+                !sameMeasurement(x.measurement, y.measurement))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const double scale = benchScale();
+    int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    if (jobs <= 0)
+        jobs = static_cast<int>(util::ThreadPool::defaultJobs());
+
+    const std::vector<int> ns = {1, 2, 4, 8, 16};
+    const auto& suite = workloads::suite();
+    std::vector<const workloads::WorkloadInfo*> apps;
+    for (const auto& info : suite)
+        apps.push_back(&info);
+
+    using clock = std::chrono::steady_clock;
+    const auto seconds_since = [](clock::time_point start) {
+        return std::chrono::duration<double>(clock::now() - start).count();
+    };
+
+    std::cerr << "[sweep_throughput] scale " << scale << ", " << apps.size()
+              << " apps, serial pass...\n";
+    runner::SweepRunner::Options serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.scale = scale;
+    runner::SweepRunner serial(serial_opts);
+    const auto t_serial = clock::now();
+    const auto serial_rows = serial.scenario1Sweep(apps, ns);
+    const double serial_s = seconds_since(t_serial);
+
+    std::cerr << "[sweep_throughput] parallel pass on " << jobs
+              << " worker(s)...\n";
+    runner::SweepRunner::Options par_opts;
+    par_opts.jobs = jobs;
+    par_opts.scale = scale;
+    runner::SweepRunner parallel(par_opts);
+    const auto t_par = clock::now();
+    const auto parallel_rows = parallel.scenario1Sweep(apps, ns);
+    const double parallel_s = seconds_since(t_par);
+
+    const bool identical = sameRows(serial_rows, parallel_rows);
+
+    // Event-queue pressure of one representative simulation, for tracking
+    // the heap-reservation hot path.
+    const sim::Cmp cmp{sim::CmpConfig{}};
+    const sim::RunResult probe =
+        cmp.run(apps.front()->make(16, scale),
+                serial.experiment().technology().fNominal());
+    const std::uint64_t high_water =
+        probe.stats.counterValue("queue.high_water");
+
+    std::cout << "{\"bench\":\"sweep_throughput\""
+              << ",\"scale\":" << scale
+              << ",\"apps\":" << apps.size()
+              << ",\"jobs\":" << jobs
+              << ",\"serial_s\":" << serial_s
+              << ",\"parallel_s\":" << parallel_s
+              << ",\"speedup\":"
+              << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
+              << ",\"identical\":" << (identical ? "true" : "false")
+              << ",\"cache_hits\":" << parallel.cache().hits()
+              << ",\"cache_misses\":" << parallel.cache().misses()
+              << ",\"queue_high_water\":" << high_water << "}\n";
+
+    if (!identical) {
+        std::cerr << "[sweep_throughput] FAIL: parallel rows differ from "
+                     "serial rows\n";
+        return 1;
+    }
+    return 0;
+}

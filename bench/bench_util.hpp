@@ -30,6 +30,26 @@ workloadScale()
     return 1.0;
 }
 
+/**
+ * Worker count for the parallel harnesses: `--jobs N` (or `--jobs=N`) on
+ * the command line wins, else 0 is returned and the sweep layer falls
+ * back to TLPPM_JOBS / the hardware concurrency
+ * (util::ThreadPool::defaultJobs()). Pass `--jobs 1` for the legacy
+ * serial path.
+ */
+inline int
+jobsFromArgsOrEnv(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            return std::atoi(argv[i + 1]);
+        if (arg.rfind("--jobs=", 0) == 0)
+            return std::atoi(arg.c_str() + 7);
+    }
+    return 0;
+}
+
 /** Header banner naming the figure/table being regenerated. */
 inline void
 banner(const std::string& what)

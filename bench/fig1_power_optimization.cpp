@@ -16,13 +16,14 @@
 #include "model/efficiency.hpp"
 #include "model/scenario1.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace tlp;
 
 void
-runNode(const tech::Technology& tech)
+runNode(const tech::Technology& tech, util::ThreadPool* pool)
 {
     const model::AnalyticCmp cmp(tech, 32);
     const model::Scenario1 scenario(cmp);
@@ -37,8 +38,15 @@ runNode(const tech::Technology& tech)
         "nominal parallel efficiency",
         header);
 
-    for (int pct = 5; pct <= 100; pct += 5) {
-        const double eps = pct / 100.0;
+    // The (eps, N) grid points are independent; fan one task per eps row
+    // and add the finished rows in order, so the table is identical to a
+    // serial evaluation.
+    std::vector<int> pcts;
+    for (int pct = 5; pct <= 100; pct += 5)
+        pcts.push_back(pct);
+    std::vector<std::vector<std::string>> rows(pcts.size());
+    const auto solve_row = [&](std::size_t i) {
+        const double eps = pcts[i] / 100.0;
         std::vector<std::string> row = {util::Table::num(eps, 2)};
         for (int n : core_counts) {
             const auto r = scenario.solve(n, eps);
@@ -50,8 +58,15 @@ runNode(const tech::Technology& tech)
                 row.push_back(util::Table::num(r.normalized_power, 3));
             }
         }
+        rows[i] = std::move(row);
+    };
+    if (pool)
+        pool->parallelFor(0, pcts.size(), solve_row);
+    else
+        for (std::size_t i = 0; i < pcts.size(); ++i)
+            solve_row(i);
+    for (auto& row : rows)
         table.addRow(std::move(row));
-    }
     table.print(std::cout);
 
     // Sample-application marks: eps_n decays with N (communication
@@ -61,26 +76,43 @@ runNode(const tech::Technology& tech)
                           "): sample-application working points",
                       {"N", "eps_n(N)", "P_N/P1", "V [V]", "f [GHz]",
                        "T [C]"});
-    for (int n : core_counts) {
+    const std::size_t n_marks = std::size(core_counts);
+    std::vector<std::vector<std::string>> mark_rows(n_marks);
+    const auto solve_mark = [&](std::size_t i) {
+        const int n = core_counts[i];
         const auto r = scenario.solve(n, app);
-        marks.addRow({util::Table::num(n), util::Table::num(r.eps_n, 3),
-                      util::Table::num(r.normalized_power, 3),
-                      util::Table::num(r.vdd, 3),
-                      util::Table::num(r.freq / 1e9, 3),
-                      util::Table::num(r.power.avg_active_temp_c, 1)});
-    }
+        mark_rows[i] = {util::Table::num(n), util::Table::num(r.eps_n, 3),
+                        util::Table::num(r.normalized_power, 3),
+                        util::Table::num(r.vdd, 3),
+                        util::Table::num(r.freq / 1e9, 3),
+                        util::Table::num(r.power.avg_active_temp_c, 1)};
+    };
+    if (pool)
+        pool->parallelFor(0, n_marks, solve_mark);
+    else
+        for (std::size_t i = 0; i < n_marks; ++i)
+            solve_mark(i);
+    for (auto& row : mark_rows)
+        marks.addRow(std::move(row));
     marks.print(std::cout);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     tlppm_bench::banner("Figure 1 -- Scenario I power optimization "
                         "(analytical model)");
-    runNode(tlp::tech::tech130nm());
-    runNode(tlp::tech::tech65nm());
+    int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    if (jobs <= 0)
+        jobs = static_cast<int>(tlp::util::ThreadPool::defaultJobs());
+    std::unique_ptr<tlp::util::ThreadPool> pool;
+    if (jobs > 1)
+        pool = std::make_unique<tlp::util::ThreadPool>(
+            static_cast<unsigned>(jobs));
+    runNode(tlp::tech::tech130nm(), pool.get());
+    runNode(tlp::tech::tech65nm(), pool.get());
     std::cout << "Expected shape (paper): curves fall as eps_n grows; "
                  "high-N curves lie above low-N ones at high eps_n; every "
                  "curve drops below 1.0 beyond a break-even eps_n that "

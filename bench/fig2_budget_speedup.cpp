@@ -7,13 +7,15 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "model/scenario2.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace tlp;
     tlppm_bench::banner("Figure 2 -- Scenario II speedup under a fixed "
@@ -31,11 +33,32 @@ main()
         {"N", "130nm speedup", "130nm V", "130nm f[GHz]", "65nm speedup",
          "65nm V", "65nm f[GHz]"});
 
+    // Both per-N solves are independent; fan them across the pool and
+    // fold the table/peak scan serially in N order afterwards.
+    constexpr int kMaxN = 32;
+    std::vector<model::Scenario2Result> res130(kMaxN);
+    std::vector<model::Scenario2Result> res65(kMaxN);
+    const auto solve_n = [&](std::size_t i) {
+        const int n = static_cast<int>(i) + 1;
+        res130[i] = s130.solve(n, 1.0);
+        res65[i] = s65.solve(n, 1.0);
+    };
+    int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    if (jobs <= 0)
+        jobs = static_cast<int>(util::ThreadPool::defaultJobs());
+    if (jobs > 1) {
+        util::ThreadPool pool(static_cast<unsigned>(jobs));
+        pool.parallelFor(0, kMaxN, solve_n);
+    } else {
+        for (std::size_t i = 0; i < kMaxN; ++i)
+            solve_n(i);
+    }
+
     double peak130 = 0.0, peak65 = 0.0;
     int argmax130 = 1, argmax65 = 1;
-    for (int n = 1; n <= 32; ++n) {
-        const auto a = s130.solve(n, 1.0);
-        const auto b = s65.solve(n, 1.0);
+    for (int n = 1; n <= kMaxN; ++n) {
+        const auto& a = res130[n - 1];
+        const auto& b = res65[n - 1];
         if (a.speedup > peak130) {
             peak130 = a.speedup;
             argmax130 = n;

@@ -7,24 +7,29 @@
  * temperature (§4.1 of the paper).
  *
  * Full problem sizes take a few minutes of host time; set TLPPM_SCALE to
- * e.g. 0.3 for a quick pass.
+ * e.g. 0.3 for a quick pass. The sweep fans across hardware threads;
+ * control the worker count with --jobs N (or TLPPM_JOBS); --jobs 1 runs
+ * serially. The printed tables are byte-identical at any job count.
  */
 
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
+#include "runner/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace tlp;
     const double scale = tlppm_bench::workloadScale();
     tlppm_bench::banner("Figure 3 -- Scenario I on the simulated CMP "
                         "(scale " + util::Table::num(scale, 2) + ")");
 
-    const runner::Experiment exp(scale);
+    runner::SweepRunner::Options options;
+    options.jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    options.scale = scale;
+    runner::SweepRunner sweep(options);
     const std::vector<int> ns = {1, 2, 4, 8, 16};
 
     std::vector<std::string> header = {"Application"};
@@ -39,8 +44,17 @@ main()
     util::Table dens("Panel 4: normalized power density", header);
     util::Table temp("Panel 5: average temperature [C]", header);
 
-    for (const auto& info : workloads::suite()) {
-        const auto rows = exp.scenario1(info, ns);
+    const auto& suite = workloads::suite();
+    std::vector<const workloads::WorkloadInfo*> apps;
+    for (const auto& info : suite)
+        apps.push_back(&info);
+    std::cerr << "  [fig3] sweeping " << apps.size() << " applications on "
+              << sweep.jobs() << " worker(s)\n";
+    const auto all_rows = sweep.scenario1Sweep(apps, ns);
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto& info = *apps[a];
+        const auto& rows = all_rows[a];
         std::vector<std::string> r_eff = {info.name};
         std::vector<std::string> r_spd = {info.name};
         std::vector<std::string> r_pwr = {info.name};

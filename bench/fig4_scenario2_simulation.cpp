@@ -5,33 +5,47 @@
  * core, N = 1..16 (§4.2 of the paper).
  *
  * Full problem sizes take a few minutes of host time; set TLPPM_SCALE to
- * e.g. 0.3 for a quick pass.
+ * e.g. 0.3 for a quick pass. The sweep fans across hardware threads;
+ * control the worker count with --jobs N (or TLPPM_JOBS); --jobs 1 runs
+ * serially. The printed tables are byte-identical at any job count.
  */
 
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
+#include "runner/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace tlp;
     const double scale = tlppm_bench::workloadScale();
     tlppm_bench::banner("Figure 4 -- Scenario II on the simulated CMP "
                         "(scale " + util::Table::num(scale, 2) + ")");
 
-    const runner::Experiment exp(scale);
+    runner::SweepRunner::Options options;
+    options.jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    options.scale = scale;
+    runner::SweepRunner sweep(options);
     std::cout << "Power budget (microbenchmark-derived single-core "
                  "maximum): "
-              << util::Table::num(exp.maxSingleCorePower(), 1) << " W\n\n";
+              << util::Table::num(sweep.experiment().maxSingleCorePower(),
+                                  1)
+              << " W\n\n";
 
     const std::vector<int> ns = {1, 2, 3, 4, 6, 8, 10, 12, 14, 16};
-    const char* apps[] = {"FMM", "Cholesky", "Radix"};
+    const char* app_names[] = {"FMM", "Cholesky", "Radix"};
+    std::vector<const workloads::WorkloadInfo*> apps;
+    for (const char* name : app_names)
+        apps.push_back(&workloads::byName(name));
+    std::cerr << "  [fig4] sweeping " << apps.size() << " applications on "
+              << sweep.jobs() << " worker(s)\n";
+    const auto all_rows = sweep.scenario2Sweep(apps, ns);
 
-    for (const char* name : apps) {
-        const auto rows = exp.scenario2(workloads::byName(name), ns);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const std::string name = apps[a]->name;
+        const auto& rows = all_rows[a];
         util::Table table("Figure 4: " + std::string(name) +
                               " (descending computational intensity: "
                               "FMM > Cholesky > Radix)",

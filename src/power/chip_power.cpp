@@ -57,6 +57,31 @@ ChipPowerModel::ChipPowerModel(const tech::Technology& tech,
     floorplan_ = thermal::makeTiledCmp(geometry.n_cores, tech.coreAreaM2(),
                                        l2_.area_m2,
                                        /*per_core_blocks=*/true);
+
+    // Resolve every per-core block index once; rawDynamicPower runs after
+    // every simulation and must not rebuild block names.
+    core_blocks_.reserve(static_cast<std::size_t>(geometry.n_cores));
+    for (int core = 0; core < geometry.n_cores; ++core) {
+        const std::string p = "core" + std::to_string(core) + ".";
+        CoreBlocks blocks;
+        blocks.icache = floorplan_.indexOf(p + "icache");
+        blocks.dcache = floorplan_.indexOf(p + "dcache");
+        blocks.bpred = floorplan_.indexOf(p + "bpred");
+        blocks.itb = floorplan_.indexOf(p + "itb");
+        blocks.dtb = floorplan_.indexOf(p + "dtb");
+        blocks.ldstq = floorplan_.indexOf(p + "ldstq");
+        blocks.clock = floorplan_.indexOf(p + "clock");
+        for (std::size_t i = 0; i < std::size(kIntShares); ++i)
+            blocks.int_blocks[i] = floorplan_.indexOf(p +
+                                                      kIntShares[i].block);
+        for (std::size_t i = 0; i < std::size(kFpShares); ++i)
+            blocks.fp_blocks[i] = floorplan_.indexOf(p +
+                                                     kFpShares[i].block);
+        core_blocks_.push_back(blocks);
+    }
+    has_l2_block_ = floorplan_.has("L2");
+    if (has_l2_block_)
+        l2_index_ = floorplan_.indexOf("L2");
 }
 
 double
@@ -95,9 +120,6 @@ ChipPowerModel::rawDynamicPower(const util::StatRegistry& stats,
     const double v_scale = kappa * kappa;
 
     std::vector<double> energy(floorplan_.size(), 0.0);
-    auto add = [&](const std::string& block, double joules) {
-        energy[floorplan_.indexOf(block)] += joules;
-    };
 
     const double alu_int = cacti_.aluEnergy(false) * kCoreOverhead;
     const double alu_fp = cacti_.aluEnergy(true) * kCoreOverhead;
@@ -109,11 +131,18 @@ ChipPowerModel::rawDynamicPower(const util::StatRegistry& stats,
     const double clock_per_cycle = kCoreOverhead *
         cacti_.clockEnergyPerMm2() * core_area / util::mm2(1.0);
 
+    // One reused key buffer; all block indices were resolved in the
+    // constructor. This aggregation runs after every simulated point, so
+    // it must not allocate.
+    std::string key;
     for (int core = 0; core < n_active; ++core) {
         const std::string p = "core" + std::to_string(core) + ".";
         const auto c = [&](const char* name) {
-            return static_cast<double>(stats.counterValue(p + name));
+            key.assign(p);
+            key.append(name);
+            return static_cast<double>(stats.counterValue(key));
         };
+        const CoreBlocks& b = core_blocks_[static_cast<std::size_t>(core)];
 
         const double insts = c("insts");
         const double l1i_reads = c("l1i.reads");
@@ -125,23 +154,25 @@ ChipPowerModel::rawDynamicPower(const util::StatRegistry& stats,
         const double mem_ops = c("loads") + c("stores");
         const double active = c("active_cycles");
 
-        add(p + "icache", l1i_reads * l1i_read);
-        add(p + "dcache", l1d_reads * l1d_read +
-                              (l1d_writes + l1d_fills) * l1d_write);
-        add(p + "bpred", insts * 0.10 * alu_int);
-        add(p + "itb", l1i_reads * 0.05 * alu_int);
-        add(p + "dtb", mem_ops * 0.05 * alu_int);
-        add(p + "ldstq", mem_ops * 0.5 * regfile);
+        energy[b.icache] += l1i_reads * l1i_read;
+        energy[b.dcache] += l1d_reads * l1d_read +
+                            (l1d_writes + l1d_fills) * l1d_write;
+        energy[b.bpred] += insts * 0.10 * alu_int;
+        energy[b.itb] += l1i_reads * 0.05 * alu_int;
+        energy[b.dtb] += mem_ops * 0.05 * alu_int;
+        energy[b.ldstq] += mem_ops * 0.5 * regfile;
 
-        for (const Share& s : kIntShares) {
-            const double unit_e =
-                s.block == std::string("intreg") ? regfile : alu_int;
-            add(p + s.block, int_ops * s.fraction * unit_e * 2.0);
+        for (std::size_t i = 0; i < std::size(kIntShares); ++i) {
+            const Share& s = kIntShares[i];
+            const double unit_e = i == 2 ? regfile : alu_int; // intreg
+            energy[b.int_blocks[i]] +=
+                int_ops * s.fraction * unit_e * 2.0;
         }
-        for (const Share& s : kFpShares) {
-            const double unit_e =
-                s.block == std::string("fpreg") ? regfile : alu_fp;
-            add(p + s.block, fp_ops * s.fraction * unit_e * 2.0);
+        for (std::size_t i = 0; i < std::size(kFpShares); ++i) {
+            const Share& s = kFpShares[i];
+            const double unit_e = i == 2 ? regfile : alu_fp; // fpreg
+            energy[b.fp_blocks[i]] +=
+                fp_ops * s.fraction * unit_e * 2.0;
         }
 
         // Conditional clock gating: a fully idle cycle still burns the
@@ -153,12 +184,12 @@ ChipPowerModel::rawDynamicPower(const util::StatRegistry& stats,
         const double clock_e = active * clock_per_cycle *
             (kClockUngatedFraction +
              (1.0 - kClockUngatedFraction) * util_factor);
-        add(p + "clock", clock_e);
+        energy[b.clock] += clock_e;
     }
 
     // Shared structures: the L2 and the snooping bus. The bus wires span
     // the chip edge; attribute their energy to the L2 block they run over.
-    if (floorplan_.has("L2")) {
+    if (has_l2_block_) {
         const double l2_accesses =
             static_cast<double>(stats.counterValue("l2.reads")) +
             static_cast<double>(stats.counterValue("l2.writes"));
@@ -166,8 +197,8 @@ ChipPowerModel::rawDynamicPower(const util::StatRegistry& stats,
             static_cast<double>(stats.counterValue("bus.transactions"));
         const double chip_w_mm =
             std::sqrt(floorplan_.totalArea()) / util::kMilli;
-        add("L2", l2_accesses * l2_.read_energy_j +
-                      bus_txns * cacti_.busEnergyPerMm() * chip_w_mm);
+        energy[l2_index_] += l2_accesses * l2_.read_energy_j +
+                             bus_txns * cacti_.busEnergyPerMm() * chip_w_mm;
     }
 
     std::vector<double> watts(energy.size(), 0.0);

@@ -146,6 +146,15 @@ class ChipPowerModel
     double chipArea() const;
 
   private:
+    /** Pre-resolved floorplan indices of one core's EV6 blocks, so the
+     *  per-run aggregation never rebuilds "core<i>.<block>" names. */
+    struct CoreBlocks
+    {
+        std::size_t icache, dcache, bpred, itb, dtb, ldstq, clock;
+        std::size_t int_blocks[4]; ///< kIntShares order
+        std::size_t fp_blocks[5];  ///< kFpShares order
+    };
+
     const tech::Technology* tech_;
     CmpGeometry geometry_;
     CactiLite cacti_;
@@ -153,6 +162,9 @@ class ChipPowerModel
     ArrayEstimate l1d_;
     ArrayEstimate l2_;
     thermal::Floorplan floorplan_;
+    std::vector<CoreBlocks> core_blocks_;
+    bool has_l2_block_ = false;
+    std::size_t l2_index_ = 0;
     double renorm_factor_ = 0.0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runner/run_cache.hpp"
 #include "thermal/rc_model.hpp"
 #include "util/logging.hpp"
 #include "util/units.hpp"
@@ -153,6 +154,76 @@ Experiment::measure(const sim::Program& program, double vdd,
     return priceRun(run, vdd);
 }
 
+Measurement
+Experiment::measureApp(const workloads::WorkloadInfo& app, int n,
+                       double vdd, double freq_hz) const
+{
+    if (!cache_)
+        return measure(app.make(n, scale_), vdd, freq_hz);
+
+    const RunKey key{app.name, n, scale_, vdd, freq_hz};
+    if (std::optional<Measurement> cached = cache_->find(key))
+        return *cached;
+    const Measurement m = measure(app.make(n, scale_), vdd, freq_hz);
+    cache_->insert(key, m);
+    return m;
+}
+
+std::vector<double>
+Experiment::defaultFrequencyGrid() const
+{
+    // Paper grid: 200 MHz .. 3.0 GHz in steps (we use 400 MHz steps to
+    // bound simulation time) plus the nominal point.
+    const double f1 = tech_.fNominal();
+    std::vector<double> freqs_hz;
+    for (double f = util::mhz(200); f < f1; f += util::mhz(400))
+        freqs_hz.push_back(f);
+    freqs_hz.push_back(f1);
+    return freqs_hz;
+}
+
+Scenario1Row
+Experiment::scenario1Row(const workloads::WorkloadInfo& app, int n,
+                         const Measurement& base,
+                         const Measurement& nominal_n) const
+{
+    const double f1 = tech_.fNominal();
+    const double v1 = tech_.vddNominal();
+
+    Scenario1Row row;
+    row.n = n;
+    row.eps_n = static_cast<double>(base.cycles) /
+        (static_cast<double>(n) * nominal_n.cycles);
+
+    if (n == 1) {
+        row.freq_hz = f1;
+        row.vdd = v1;
+        row.measurement = base;
+        row.actual_speedup = 1.0;
+        row.normalized_power = 1.0;
+        row.normalized_density = 1.0;
+        row.avg_temp_c = base.avg_core_temp_c;
+        return row;
+    }
+
+    // Eq. 7 frequency target; overclocking beyond f1 is not allowed,
+    // and the V/f table bounds the lowest reachable frequency.
+    double f_target = f1 / (n * row.eps_n);
+    f_target = std::clamp(f_target, vf_.fMin(), f1);
+    const double vdd = vf_.voltageFor(f_target);
+
+    row.freq_hz = f_target;
+    row.vdd = vdd;
+    row.measurement = measureApp(app, n, vdd, f_target);
+    row.actual_speedup = base.seconds / row.measurement.seconds;
+    row.normalized_power = row.measurement.total_w / base.total_w;
+    row.normalized_density =
+        row.measurement.core_power_density_w_m2 /
+        base.core_power_density_w_m2;
+    row.avg_temp_c = row.measurement.avg_core_temp_c;
+    return row;
+}
+
 std::vector<Scenario1Row>
 Experiment::scenario1(const workloads::WorkloadInfo& app,
                       const std::vector<int>& ns) const
@@ -164,50 +235,99 @@ Experiment::scenario1(const workloads::WorkloadInfo& app,
     std::vector<Measurement> nominal;
     nominal.reserve(ns.size());
     for (int n : ns)
-        nominal.push_back(measure(app.make(n, scale_), v1, f1));
+        nominal.push_back(measureApp(app, n, v1, f1));
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario1: core-count list must start at 1");
     const Measurement& base = nominal.front();
 
     std::vector<Scenario1Row> rows;
     rows.reserve(ns.size());
-    for (std::size_t i = 0; i < ns.size(); ++i) {
-        const int n = ns[i];
-        Scenario1Row row;
-        row.n = n;
-        row.eps_n = static_cast<double>(base.cycles) /
-            (static_cast<double>(n) * nominal[i].cycles);
-
-        if (n == 1) {
-            row.freq_hz = f1;
-            row.vdd = v1;
-            row.measurement = base;
-            row.actual_speedup = 1.0;
-            row.normalized_power = 1.0;
-            row.normalized_density = 1.0;
-            row.avg_temp_c = base.avg_core_temp_c;
-            rows.push_back(row);
-            continue;
-        }
-
-        // Eq. 7 frequency target; overclocking beyond f1 is not allowed,
-        // and the V/f table bounds the lowest reachable frequency.
-        double f_target = f1 / (n * row.eps_n);
-        f_target = std::clamp(f_target, vf_.fMin(), f1);
-        const double vdd = vf_.voltageFor(f_target);
-
-        row.freq_hz = f_target;
-        row.vdd = vdd;
-        row.measurement = measure(app.make(n, scale_), vdd, f_target);
-        row.actual_speedup = base.seconds / row.measurement.seconds;
-        row.normalized_power = row.measurement.total_w / base.total_w;
-        row.normalized_density =
-            row.measurement.core_power_density_w_m2 /
-            base.core_power_density_w_m2;
-        row.avg_temp_c = row.measurement.avg_core_temp_c;
-        rows.push_back(row);
-    }
+    for (std::size_t i = 0; i < ns.size(); ++i)
+        rows.push_back(scenario1Row(app, ns[i], base, nominal[i]));
     return rows;
+}
+
+Scenario2Row
+Experiment::scenario2Row(const workloads::WorkloadInfo& app, int n,
+                         const Measurement& base,
+                         const Measurement& nominal_n,
+                         const std::vector<double>& freqs_hz,
+                         double budget_w) const
+{
+    if (budget_w <= 0.0)
+        util::fatal("scenario2Row: budget must be resolved and positive");
+    const double f1 = tech_.fNominal();
+    const double budget = budget_w;
+
+    Scenario2Row row;
+    row.n = n;
+    row.nominal_speedup = base.seconds / nominal_n.seconds;
+
+    // Ascending frequency sweep, stopping once the budget is blown.
+    double best_f = 0.0;
+    double prev_f = 0.0;
+    double prev_p = 0.0;
+    bool blown = false;
+    for (double f : freqs_hz) {
+        const Measurement m =
+            f == f1 ? nominal_n
+                    : measureApp(app, n, vf_.voltageFor(f), f);
+        if (m.total_w <= budget && !m.runaway) {
+            best_f = f;
+            prev_f = f;
+            prev_p = m.total_w;
+        } else {
+            // Refine the budget frontier inside [prev_f, f]. The
+            // paper interpolates linearly between the two profiled
+            // points; with the leakage-thermal feedback the upper
+            // point can be a runaway, so bisect with real
+            // measurements first and interpolate within the final
+            // bracket.
+            if (prev_f > 0.0) {
+                double lo = prev_f, lo_p = prev_p;
+                double hi = f, hi_p = m.total_w;
+                bool hi_runaway = m.runaway;
+                for (int step = 0; step < 3; ++step) {
+                    const double mid = 0.5 * (lo + hi);
+                    const Measurement mm =
+                        measureApp(app, n, vf_.voltageFor(mid), mid);
+                    if (mm.total_w <= budget && !mm.runaway) {
+                        lo = mid;
+                        lo_p = mm.total_w;
+                    } else {
+                        hi = mid;
+                        hi_p = mm.total_w;
+                        hi_runaway = mm.runaway;
+                    }
+                }
+                best_f = lo;
+                if (!hi_runaway && hi_p > lo_p) {
+                    best_f = lo +
+                        (budget - lo_p) / (hi_p - lo_p) * (hi - lo);
+                }
+            }
+            blown = true;
+            break;
+        }
+    }
+
+    if (best_f <= 0.0) {
+        // Even the lowest operating point exceeds the budget.
+        row.actual_speedup = 0.0;
+        return row;
+    }
+
+    row.at_nominal = !blown && best_f >= f1;
+    row.freq_hz = best_f;
+    row.vdd = vf_.voltageFor(best_f);
+
+    // Validation run at the chosen operating point.
+    const Measurement final_m = best_f == f1
+        ? nominal_n
+        : measureApp(app, n, row.vdd, best_f);
+    row.power_w = final_m.total_w;
+    row.actual_speedup = base.seconds / final_m.seconds;
+    return row;
 }
 
 std::vector<Scenario2Row>
@@ -220,13 +340,8 @@ Experiment::scenario2(const workloads::WorkloadInfo& app,
     const double budget =
         budget_w > 0.0 ? budget_w : max_core_power_w_;
 
-    if (freqs_hz.empty()) {
-        // Paper grid: 200 MHz .. 3.0 GHz in steps (we use 400 MHz steps
-        // to bound simulation time) plus the nominal point.
-        for (double f = util::mhz(200); f < f1; f += util::mhz(400))
-            freqs_hz.push_back(f);
-        freqs_hz.push_back(f1);
-    }
+    if (freqs_hz.empty())
+        freqs_hz = defaultFrequencyGrid();
     std::sort(freqs_hz.begin(), freqs_hz.end());
 
     // Nominal profiling for the nominal-speedup curve.
@@ -235,85 +350,14 @@ Experiment::scenario2(const workloads::WorkloadInfo& app,
     std::vector<Measurement> nominal;
     nominal.reserve(ns.size());
     for (int n : ns)
-        nominal.push_back(measure(app.make(n, scale_), v1, f1));
+        nominal.push_back(measureApp(app, n, v1, f1));
     const Measurement& base = nominal.front();
 
     std::vector<Scenario2Row> rows;
     rows.reserve(ns.size());
-    for (std::size_t i = 0; i < ns.size(); ++i) {
-        const int n = ns[i];
-        Scenario2Row row;
-        row.n = n;
-        row.nominal_speedup = base.seconds / nominal[i].seconds;
-
-        // Ascending frequency sweep, stopping once the budget is blown.
-        const sim::Program prog = app.make(n, scale_);
-        double best_f = 0.0;
-        double prev_f = 0.0;
-        double prev_p = 0.0;
-        bool blown = false;
-        for (double f : freqs_hz) {
-            const Measurement m =
-                f == f1 ? nominal[i]
-                        : measure(prog, vf_.voltageFor(f), f);
-            if (m.total_w <= budget && !m.runaway) {
-                best_f = f;
-                prev_f = f;
-                prev_p = m.total_w;
-            } else {
-                // Refine the budget frontier inside [prev_f, f]. The
-                // paper interpolates linearly between the two profiled
-                // points; with the leakage-thermal feedback the upper
-                // point can be a runaway, so bisect with real
-                // measurements first and interpolate within the final
-                // bracket.
-                if (prev_f > 0.0) {
-                    double lo = prev_f, lo_p = prev_p;
-                    double hi = f, hi_p = m.total_w;
-                    bool hi_runaway = m.runaway;
-                    for (int step = 0; step < 3; ++step) {
-                        const double mid = 0.5 * (lo + hi);
-                        const Measurement mm =
-                            measure(prog, vf_.voltageFor(mid), mid);
-                        if (mm.total_w <= budget && !mm.runaway) {
-                            lo = mid;
-                            lo_p = mm.total_w;
-                        } else {
-                            hi = mid;
-                            hi_p = mm.total_w;
-                            hi_runaway = mm.runaway;
-                        }
-                    }
-                    best_f = lo;
-                    if (!hi_runaway && hi_p > lo_p) {
-                        best_f = lo +
-                            (budget - lo_p) / (hi_p - lo_p) * (hi - lo);
-                    }
-                }
-                blown = true;
-                break;
-            }
-        }
-
-        if (best_f <= 0.0) {
-            // Even the lowest operating point exceeds the budget.
-            row.actual_speedup = 0.0;
-            rows.push_back(row);
-            continue;
-        }
-
-        row.at_nominal = !blown && best_f >= f1;
-        row.freq_hz = best_f;
-        row.vdd = vf_.voltageFor(best_f);
-
-        // Validation run at the chosen operating point.
-        const Measurement final_m = best_f == f1
-            ? nominal[i]
-            : measure(prog, row.vdd, best_f);
-        row.power_w = final_m.total_w;
-        row.actual_speedup = base.seconds / final_m.seconds;
-        rows.push_back(row);
-    }
+    for (std::size_t i = 0; i < ns.size(); ++i)
+        rows.push_back(
+            scenario2Row(app, ns[i], base, nominal[i], freqs_hz, budget));
     return rows;
 }
 

@@ -31,6 +31,8 @@
 
 namespace tlp::runner {
 
+class RunCache;
+
 /** Power/thermal pricing of one simulation run. */
 struct Measurement
 {
@@ -93,6 +95,23 @@ class Experiment
                         double freq_hz) const;
 
     /**
+     * Cache-aware measure(): price @p app at @p n threads and (vdd, freq).
+     * With a RunCache attached (setRunCache()) a previously priced
+     * identical point is replayed instead of re-simulated; without one
+     * this is exactly measure(app.make(n, scale), vdd, freq).
+     */
+    Measurement measureApp(const workloads::WorkloadInfo& app, int n,
+                           double vdd, double freq_hz) const;
+
+    /**
+     * Attach (or detach, with nullptr) a Measurement memoization cache.
+     * The cache may be shared across Experiments — it is thread-safe —
+     * and must outlive every attached Experiment's use of measureApp().
+     */
+    void setRunCache(RunCache* cache) { cache_ = cache; }
+    RunCache* runCache() const { return cache_; }
+
+    /**
      * Scenario I (§4.1): profile nominal efficiency, then re-run each
      * configuration at the Eq. 7 frequency and the table voltage.
      *
@@ -115,6 +134,35 @@ class Experiment
     std::vector<Scenario2Row> scenario2(
         const workloads::WorkloadInfo& app, const std::vector<int>& ns,
         std::vector<double> freqs_hz = {}, double budget_w = 0.0) const;
+
+    /**
+     * One Scenario I row for core count @p n: Eq. 7 frequency from the
+     * profiled efficiency, table voltage, re-simulation, normalization
+     * against the sequential baseline. @p base is the (n = 1) nominal
+     * measurement, @p nominal_n the nominal measurement at @p n. The
+     * scenario1() loop is exactly a fold of this function; the sweep
+     * runner fans the same calls across threads, so both paths produce
+     * bit-identical rows.
+     */
+    Scenario1Row scenario1Row(const workloads::WorkloadInfo& app, int n,
+                              const Measurement& base,
+                              const Measurement& nominal_n) const;
+
+    /**
+     * One Scenario II row for core count @p n: ascending frequency sweep
+     * within @p budget_w, bisection + linear interpolation at the budget
+     * frontier, validation run. @p freqs_hz must be sorted ascending and
+     * contain the nominal frequency; @p budget_w must be positive
+     * (resolve a defaulted budget with maxSingleCorePower() first).
+     */
+    Scenario2Row scenario2Row(const workloads::WorkloadInfo& app, int n,
+                              const Measurement& base,
+                              const Measurement& nominal_n,
+                              const std::vector<double>& freqs_hz,
+                              double budget_w) const;
+
+    /** The default Scenario II profiling grid (200 MHz .. nominal). */
+    std::vector<double> defaultFrequencyGrid() const;
 
     /** Single-core maximum operational power (the Scenario II budget). */
     double maxSingleCorePower() const { return max_core_power_w_; }
@@ -139,6 +187,7 @@ class Experiment
     tech::VfTable vf_;
     thermal::RCModel thermal_;
     double max_core_power_w_ = 0.0;
+    RunCache* cache_ = nullptr; ///< optional, not owned
 };
 
 } // namespace tlp::runner

@@ -1,0 +1,41 @@
+#include "runner/run_cache.hpp"
+
+namespace tlp::runner {
+
+std::optional<Measurement>
+RunCache::find(const RunKey& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+RunCache::insert(const RunKey& key, const Measurement& m)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, m);
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+} // namespace tlp::runner

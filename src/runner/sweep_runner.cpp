@@ -1,0 +1,208 @@
+#include "runner/sweep_runner.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "util/logging.hpp"
+
+namespace tlp::runner {
+
+SweepRunner::SweepRunner(Options options) : options_(options)
+{
+    jobs_ = options_.jobs > 0
+        ? options_.jobs
+        : static_cast<int>(util::ThreadPool::defaultJobs());
+    if (jobs_ < 1)
+        jobs_ = 1;
+    experiments_.resize(static_cast<std::size_t>(jobs_) + 1);
+    if (jobs_ > 1)
+        pool_ = std::make_unique<util::ThreadPool>(
+            static_cast<unsigned>(jobs_));
+    // The calling thread's testbed is built eagerly: sweeps need its
+    // technology constants (and callers its calibration) up front.
+    workerExperiment();
+}
+
+SweepRunner::~SweepRunner() = default;
+
+Experiment&
+SweepRunner::workerExperiment()
+{
+    const int slot = util::ThreadPool::currentWorkerIndex() + 1;
+    std::unique_ptr<Experiment>& exp =
+        experiments_[static_cast<std::size_t>(slot)];
+    if (!exp) {
+        exp = std::make_unique<Experiment>(options_.scale, options_.config);
+        if (options_.share_cache)
+            exp->setRunCache(&cache_);
+    }
+    return *exp;
+}
+
+std::vector<std::vector<Scenario1Row>>
+SweepRunner::scenario1Sweep(
+    const std::vector<const workloads::WorkloadInfo*>& apps,
+    const std::vector<int>& ns)
+{
+    if (ns.empty() || ns.front() != 1)
+        util::fatal("scenario1Sweep: core-count list must start at 1");
+
+    std::vector<std::vector<Scenario1Row>> results(apps.size());
+    if (jobs_ == 1) {
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            results[a] = experiment().scenario1(*apps[a], ns);
+        return results;
+    }
+
+    const tech::Technology& tech = experiment().technology();
+    const double f1 = tech.fNominal();
+    const double v1 = tech.vddNominal();
+
+    // Phase A: the nominal-V/f profiling pass, one task per (app, n).
+    // Collecting the futures in submission order fills the cache and
+    // gives every row task its baseline without re-simulation.
+    std::vector<std::vector<std::future<Measurement>>> nominal_futures(
+        apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (int n : ns) {
+            const workloads::WorkloadInfo* app = apps[a];
+            nominal_futures[a].push_back(pool_->submit([this, app, n, v1,
+                                                        f1] {
+                return workerExperiment().measureApp(*app, n, v1, f1);
+            }));
+        }
+    }
+    std::vector<std::vector<Measurement>> nominal(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        nominal[a].reserve(ns.size());
+        for (auto& future : nominal_futures[a])
+            nominal[a].push_back(future.get());
+    }
+
+    // Phase B: one Eq. 7 row per (app, n), again in submission order.
+    std::vector<std::vector<std::future<Scenario1Row>>> row_futures(
+        apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            const workloads::WorkloadInfo* app = apps[a];
+            const int n = ns[i];
+            const Measurement& base = nominal[a].front();
+            const Measurement& nominal_n = nominal[a][i];
+            row_futures[a].push_back(
+                pool_->submit([this, app, n, &base, &nominal_n] {
+                    return workerExperiment().scenario1Row(*app, n, base,
+                                                           nominal_n);
+                }));
+        }
+    }
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        results[a].reserve(ns.size());
+        for (auto& future : row_futures[a])
+            results[a].push_back(future.get());
+    }
+    return results;
+}
+
+std::vector<std::vector<Scenario2Row>>
+SweepRunner::scenario2Sweep(
+    const std::vector<const workloads::WorkloadInfo*>& apps,
+    const std::vector<int>& ns, std::vector<double> freqs_hz,
+    double budget_w)
+{
+    if (ns.empty() || ns.front() != 1)
+        util::fatal("scenario2Sweep: core-count list must start at 1");
+
+    std::vector<std::vector<Scenario2Row>> results(apps.size());
+    if (jobs_ == 1) {
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            results[a] = experiment().scenario2(*apps[a], ns, freqs_hz,
+                                                budget_w);
+        return results;
+    }
+
+    Experiment& caller = experiment();
+    const tech::Technology& tech = caller.technology();
+    const double f1 = tech.fNominal();
+    const double v1 = tech.vddNominal();
+    const double budget =
+        budget_w > 0.0 ? budget_w : caller.maxSingleCorePower();
+    if (freqs_hz.empty())
+        freqs_hz = caller.defaultFrequencyGrid();
+    std::sort(freqs_hz.begin(), freqs_hz.end());
+
+    // Phase A: nominal profiling pass (also the grid's top point).
+    std::vector<std::vector<std::future<Measurement>>> nominal_futures(
+        apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (int n : ns) {
+            const workloads::WorkloadInfo* app = apps[a];
+            nominal_futures[a].push_back(pool_->submit([this, app, n, v1,
+                                                        f1] {
+                return workerExperiment().measureApp(*app, n, v1, f1);
+            }));
+        }
+    }
+    std::vector<std::vector<Measurement>> nominal(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        nominal[a].reserve(ns.size());
+        for (auto& future : nominal_futures[a])
+            nominal[a].push_back(future.get());
+    }
+
+    // Phase B: one budget-sweep row per (app, n). Each row runs its own
+    // ascending frequency sweep; the shared cache deduplicates points
+    // that several rows visit.
+    std::vector<std::vector<std::future<Scenario2Row>>> row_futures(
+        apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            const workloads::WorkloadInfo* app = apps[a];
+            const int n = ns[i];
+            const Measurement& base = nominal[a].front();
+            const Measurement& nominal_n = nominal[a][i];
+            row_futures[a].push_back(pool_->submit(
+                [this, app, n, &base, &nominal_n, &freqs_hz, budget] {
+                    return workerExperiment().scenario2Row(
+                        *app, n, base, nominal_n, freqs_hz, budget);
+                }));
+        }
+    }
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        results[a].reserve(ns.size());
+        for (auto& future : row_futures[a])
+            results[a].push_back(future.get());
+    }
+    return results;
+}
+
+std::vector<Measurement>
+SweepRunner::measureAll(const std::vector<MeasureSpec>& specs)
+{
+    for (const MeasureSpec& spec : specs) {
+        if (!spec.app)
+            util::fatal("measureAll: null workload");
+    }
+
+    std::vector<Measurement> results;
+    results.reserve(specs.size());
+    if (jobs_ == 1) {
+        for (const MeasureSpec& spec : specs)
+            results.push_back(experiment().measureApp(
+                *spec.app, spec.n, spec.vdd, spec.freq_hz));
+        return results;
+    }
+
+    std::vector<std::future<Measurement>> futures;
+    futures.reserve(specs.size());
+    for (const MeasureSpec& spec : specs) {
+        futures.push_back(pool_->submit([this, spec] {
+            return workerExperiment().measureApp(*spec.app, spec.n,
+                                                 spec.vdd, spec.freq_hz);
+        }));
+    }
+    for (auto& future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+} // namespace tlp::runner

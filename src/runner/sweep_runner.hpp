@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SweepRunner — parallel execution of the figure-harness sweeps.
+ *
+ * The figure benches iterate (application x core count x operating point)
+ * grids whose individual simulations are completely independent, so the
+ * runner fans them across a util::ThreadPool. Each worker thread owns its
+ * own Experiment (the Cmp run arena is not safe for concurrent run()
+ * calls on one simulator), and all workers share one RunCache, so points
+ * common to several rows — above all the nominal-V/f profiling pass that
+ * both scenarios need — are simulated exactly once.
+ *
+ * Determinism: the simulator is single-threaded and deterministic, so a
+ * given (workload, n, scale, vdd, freq) point yields bit-identical
+ * Measurements on every worker. Rows are assembled by the same
+ * Experiment::scenario1Row / scenario2Row functions the serial path folds
+ * over, and results are collected in submission order — the output is
+ * byte-for-byte identical to a serial sweep, at any job count.
+ *
+ * Job-count selection: Options.jobs <= 0 defers to
+ * util::ThreadPool::defaultJobs() (the TLPPM_JOBS environment variable,
+ * else the hardware concurrency). jobs == 1 runs the legacy serial path
+ * on the calling thread with no pool at all.
+ */
+
+#ifndef TLP_RUNNER_SWEEP_RUNNER_HPP
+#define TLP_RUNNER_SWEEP_RUNNER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "runner/run_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tlp::runner {
+
+/** One independent simulation point for SweepRunner::measureAll(). */
+struct MeasureSpec
+{
+    const workloads::WorkloadInfo* app = nullptr;
+    int n = 1;
+    double vdd = 0.0;
+    double freq_hz = 0.0;
+};
+
+/** Fans scenario sweeps over a thread pool, one Experiment per worker. */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker count; <= 0 selects ThreadPool::defaultJobs(). 1 runs
+         *  serially on the calling thread (no pool). */
+        int jobs = 0;
+        double scale = 1.0;            ///< workload problem-size scale
+        sim::CmpConfig config{};       ///< machine configuration
+        bool share_cache = true;       ///< attach the shared RunCache
+    };
+
+    SweepRunner() : SweepRunner(Options{}) {}
+    explicit SweepRunner(Options options);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner&) = delete;
+    SweepRunner& operator=(const SweepRunner&) = delete;
+
+    /** Resolved worker count (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /** The Measurement cache shared by all workers. */
+    RunCache& cache() { return cache_; }
+    const RunCache& cache() const { return cache_; }
+
+    /** The calling thread's Experiment (calibrated testbed). */
+    Experiment& experiment() { return *experiments_.front(); }
+    const Experiment& experiment() const { return *experiments_.front(); }
+
+    /**
+     * Scenario I (Figure 3) for every application in @p apps: result[a]
+     * equals experiments' scenario1(*apps[a], ns), byte-identically, for
+     * any job count.
+     */
+    std::vector<std::vector<Scenario1Row>> scenario1Sweep(
+        const std::vector<const workloads::WorkloadInfo*>& apps,
+        const std::vector<int>& ns);
+
+    /**
+     * Scenario II (Figure 4) for every application in @p apps: result[a]
+     * equals scenario2(*apps[a], ns, freqs_hz, budget_w). An empty grid
+     * selects the default profiling grid; budget_w <= 0 selects the
+     * microbenchmark-derived single-core maximum.
+     */
+    std::vector<std::vector<Scenario2Row>> scenario2Sweep(
+        const std::vector<const workloads::WorkloadInfo*>& apps,
+        const std::vector<int>& ns, std::vector<double> freqs_hz = {},
+        double budget_w = 0.0);
+
+    /** Price every spec (in order); specs may repeat (cache hits). */
+    std::vector<Measurement> measureAll(
+        const std::vector<MeasureSpec>& specs);
+
+  private:
+    /** The calling/worker thread's lazily constructed Experiment. */
+    Experiment& workerExperiment();
+
+    Options options_;
+    int jobs_ = 1;
+    RunCache cache_;
+    std::unique_ptr<util::ThreadPool> pool_; ///< null when jobs_ == 1
+    /** Slot 0: calling thread; slot 1 + w: pool worker w. Each slot is
+     *  only ever touched by its own thread. */
+    std::vector<std::unique_ptr<Experiment>> experiments_;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_SWEEP_RUNNER_HPP

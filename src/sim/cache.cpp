@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hpp"
@@ -150,13 +151,10 @@ CacheArray::validLines() const
 }
 
 void
-CacheArray::forEachValidLine(
-    const std::function<void(Addr, Mesi)>& visit) const
+CacheArray::reset()
 {
-    for (const Line& line : lines_) {
-        if (line.state != Mesi::Invalid)
-            visit(line.tag, line.state);
-    }
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    lru_clock_ = 0;
 }
 
 } // namespace tlp::sim

@@ -14,7 +14,6 @@
 #define TLP_SIM_CACHE_HPP
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,8 +80,22 @@ class CacheArray
     std::uint64_t validLines() const;
 
     /** Visit every valid line as (line_addr, state). */
-    void forEachValidLine(
-        const std::function<void(Addr, Mesi)>& visit) const;
+    template <typename Visitor>
+    void
+    forEachValidLine(Visitor&& visit) const
+    {
+        for (const Line& line : lines_) {
+            if (line.state != Mesi::Invalid)
+                visit(line.tag, line.state);
+        }
+    }
+
+    /**
+     * Return the array to its cold state (every line Invalid, LRU clock
+     * zero) without releasing the line storage, so one allocation serves
+     * many simulation runs.
+     */
+    void reset();
 
   private:
     struct Line

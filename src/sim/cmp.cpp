@@ -19,12 +19,37 @@ constexpr std::uint64_t kMaxEvents = 4'000'000'000ull;
 
 } // namespace
 
+/** Storage that survives across runs: the event heap keeps its capacity
+ *  (pre-reserved to the previous run's high-water mark) and the memory
+ *  system keeps its cache-line arrays, reset to cold state per run. */
+struct Cmp::Arena
+{
+    EventQueue queue;
+    std::unique_ptr<MemorySystem> memsys;
+};
+
 Cmp::Cmp(CmpConfig config) : config_(config)
 {
     if (config_.n_cores < 1)
         util::fatal("Cmp: need at least one core");
     if (config_.f_nominal_hz <= 0.0)
         util::fatal("Cmp: bad nominal frequency");
+}
+
+Cmp::~Cmp() = default;
+Cmp::Cmp(Cmp&&) noexcept = default;
+Cmp& Cmp::operator=(Cmp&&) noexcept = default;
+
+Cmp::Cmp(const Cmp& other) : config_(other.config_) {}
+
+Cmp&
+Cmp::operator=(const Cmp& other)
+{
+    if (this != &other) {
+        config_ = other.config_;
+        arena_.reset();
+    }
+    return *this;
 }
 
 RunResult
@@ -43,8 +68,17 @@ Cmp::run(const Program& program, double freq_hz) const
     result.freq_hz = freq_hz;
     result.n_threads = n_threads;
 
-    EventQueue queue;
-    MemorySystem memsys(config_, n_threads, freq_hz, queue, result.stats);
+    if (!arena_)
+        arena_ = std::make_unique<Arena>();
+    EventQueue& queue = arena_->queue;
+    queue.reset();
+    if (!arena_->memsys) {
+        arena_->memsys = std::make_unique<MemorySystem>(
+            config_, n_threads, freq_hz, queue, result.stats);
+    } else {
+        arena_->memsys->reset(n_threads, freq_hz, result.stats);
+    }
+    MemorySystem& memsys = *arena_->memsys;
     BarrierManager barriers(config_, n_threads, queue, result.stats);
     LockManager locks(config_, queue, result.stats);
 
@@ -82,6 +116,8 @@ Cmp::run(const Program& program, double freq_hz) const
             result.stats.counterValue(prefix + "insts");
         result.stats.counter(prefix + "l1i.reads").increment(insts / 4);
     }
+    // Event-queue pressure, for the sweep-throughput bench.
+    result.stats.counter("queue.high_water").increment(queue.highWater());
     return result;
 }
 

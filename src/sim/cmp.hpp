@@ -4,14 +4,22 @@
  * paper): one Core per thread, private L1s, MESI snooping bus, shared L2,
  * off-chip memory, barriers, and locks, all driven by one event queue.
  *
- * A Cmp is stateless between runs: every run() builds a fresh hierarchy
- * (cold caches), executes the program to completion at the given chip
- * frequency, and returns the cycle count plus the full activity-counter
- * registry that the power model prices.
+ * A Cmp is semantically stateless between runs: every run() starts from a
+ * cold hierarchy (invalid caches, empty queue), executes the program to
+ * completion at the given chip frequency, and returns the cycle count plus
+ * the full activity-counter registry that the power model prices. The
+ * large per-run allocations (cache-line arrays, the event heap) live in a
+ * reusable arena, so back-to-back runs — the figure sweeps simulate
+ * hundreds — do not rebuild them; runs remain bit-for-bit identical to a
+ * freshly constructed Cmp. Because of the arena, concurrent run() calls on
+ * the SAME Cmp are not allowed; give each thread its own Cmp (the sweep
+ * runner keeps one simulator per worker).
  */
 
 #ifndef TLP_SIM_CMP_HPP
 #define TLP_SIM_CMP_HPP
+
+#include <memory>
 
 #include "sim/config.hpp"
 #include "sim/program.hpp"
@@ -42,6 +50,13 @@ class Cmp
 {
   public:
     explicit Cmp(CmpConfig config);
+    ~Cmp();
+
+    /** Copies share the configuration but never the run arena. */
+    Cmp(const Cmp& other);
+    Cmp& operator=(const Cmp& other);
+    Cmp(Cmp&&) noexcept;
+    Cmp& operator=(Cmp&&) noexcept;
 
     /**
      * Simulate @p program to completion at chip frequency @p freq_hz.
@@ -49,14 +64,18 @@ class Cmp
      * The program's thread count selects how many cores participate;
      * unused cores are shut off. Throws FatalError on deadlock (event
      * queue drained with unfinished threads) or when the event budget is
-     * exceeded.
+     * exceeded. Not safe to call concurrently on one Cmp (see the file
+     * comment); distinct Cmp objects are independent.
      */
     RunResult run(const Program& program, double freq_hz) const;
 
     const CmpConfig& config() const { return config_; }
 
   private:
+    struct Arena; ///< reusable event heap + cache hierarchy storage
+
     CmpConfig config_;
+    mutable std::unique_ptr<Arena> arena_;
 };
 
 } // namespace tlp::sim

@@ -16,18 +16,11 @@ Core::Core(int id, const CmpConfig& config, const ThreadProgram& program,
 {
     if (!program.finished())
         util::fatal("Core: thread program lacks an End op");
-}
-
-util::Counter&
-Core::counter(const char* name)
-{
-    return stats_->counter("core" + std::to_string(id_) + "." + name);
-}
-
-void
-Core::countInstructions(std::uint64_t insts)
-{
-    counter("insts").increment(insts);
+    const std::string prefix = "core" + std::to_string(id_) + ".";
+    insts_ = &stats.counter(prefix + "insts");
+    int_ops_ = &stats.counter(prefix + "int_ops");
+    fp_ops_ = &stats.counter(prefix + "fp_ops");
+    active_cycles_ = &stats.counter(prefix + "active_cycles");
 }
 
 void
@@ -48,7 +41,7 @@ Core::resume()
         switch (op.type) {
           case OpType::IntOps: {
             countInstructions(op.count);
-            counter("int_ops").increment(op.count);
+            int_ops_->increment(op.count);
             compute_carry_ += op.count / config_.ipc_int;
             const double whole = std::floor(compute_carry_);
             compute_carry_ -= whole;
@@ -58,7 +51,7 @@ Core::resume()
           }
           case OpType::FpOps: {
             countInstructions(op.count);
-            counter("fp_ops").increment(op.count);
+            fp_ops_->increment(op.count);
             compute_carry_ += op.count / config_.ipc_fp;
             const double whole = std::floor(compute_carry_);
             compute_carry_ -= whole;
@@ -114,7 +107,7 @@ Core::resume()
             queue_->scheduleIn(delay, [this] {
                 finished_ = true;
                 finish_cycle_ = queue_->now();
-                counter("active_cycles").increment(finish_cycle_);
+                active_cycles_->increment(finish_cycle_);
                 if (on_finish_)
                     on_finish_();
             });

@@ -59,9 +59,11 @@ class Core
     void resume();
 
     /** Retire bookkeeping for @p insts instructions. */
-    void countInstructions(std::uint64_t insts);
-
-    util::Counter& counter(const char* name);
+    void
+    countInstructions(std::uint64_t insts)
+    {
+        insts_->increment(insts);
+    }
 
     int id_;
     CmpConfig config_;
@@ -72,6 +74,13 @@ class Core
     LockManager* locks_;
     util::StatRegistry* stats_;
     std::function<void()> on_finish_;
+
+    // Pre-resolved counters: resume() touches them once per op, so the
+    // per-access name concatenation would dominate the execute loop.
+    util::Counter* insts_;
+    util::Counter* int_ops_;
+    util::Counter* fp_ops_;
+    util::Counter* active_cycles_;
 
     std::size_t pc_ = 0;       ///< index into the op stream
     bool finished_ = false;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace tlp::sim {
@@ -11,22 +13,39 @@ EventQueue::schedule(Cycle when, EventFn fn)
         util::panic(util::strcatMsg("EventQueue: scheduling in the past (",
                                     when, " < ", now_, ")"));
     }
-    heap_.push(Entry{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Entry{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    high_water_ = std::max(high_water_, heap_.size());
 }
 
 std::uint64_t
 EventQueue::run(std::uint64_t max_events)
 {
+    if (reserve_hint_ > heap_.capacity())
+        heap_.reserve(reserve_hint_);
+
     std::uint64_t executed = 0;
     while (!heap_.empty() && executed < max_events) {
         // Move the closure out before popping so it can schedule freely.
-        Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-        heap_.pop();
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry entry = std::move(heap_.back());
+        heap_.pop_back();
         now_ = entry.when;
         entry.fn();
         ++executed;
     }
+    reserve_hint_ = std::max(reserve_hint_, high_water_);
     return executed;
+}
+
+void
+EventQueue::reset()
+{
+    reserve_hint_ = std::max(reserve_hint_, high_water_);
+    heap_.clear();
+    now_ = 0;
+    next_seq_ = 0;
+    high_water_ = 0;
 }
 
 } // namespace tlp::sim

@@ -7,23 +7,31 @@
  * times. Ties are broken by insertion order, which (together with the
  * FIFO bus arbiter) makes whole-chip simulations bit-for-bit
  * deterministic.
+ *
+ * Continuations are stored in a small-buffer-optimized callable
+ * (util::SmallFunction) rather than std::function: every closure the
+ * simulator schedules fits the inline buffer, so the hot loop performs no
+ * per-event heap allocation. The heap itself is an explicit std::vector
+ * (std::push_heap/std::pop_heap) so its capacity survives reset() and can
+ * be pre-reserved from the previous run's high-water mark.
  */
 
 #ifndef TLP_SIM_EVENT_QUEUE_HPP
 #define TLP_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/small_function.hpp"
 
 namespace tlp::sim {
 
 /** Simulation time in core clock cycles. */
 using Cycle = std::uint64_t;
 
-/** Scheduled continuation. */
-using EventFn = std::function<void()>;
+/** Scheduled continuation; inline capacity covers every simulator
+ *  closure (the largest captures a bus Transaction plus `this`). */
+using EventFn = util::SmallFunction<64>;
 
 /** A deterministic min-heap event queue over (cycle, sequence). */
 class EventQueue
@@ -48,11 +56,24 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
+    /** Maximum pending() observed since construction or reset(). */
+    std::size_t highWater() const { return high_water_; }
+
     /**
-     * Run until the queue drains or @p max_events have executed.
+     * Run until the queue drains or @p max_events have executed. On
+     * entry the heap is pre-reserved to the previous run's high-water
+     * mark so steady-state execution never reallocates.
      * @return number of events executed.
      */
     std::uint64_t run(std::uint64_t max_events = ~0ull);
+
+    /**
+     * Restore the pristine state (time 0, empty, sequence 0) while
+     * keeping the heap's allocation, so a queue can be reused across
+     * simulation runs without re-growing its storage. The high-water mark
+     * of the finished run is retained as the next run's reserve hint.
+     */
+    void reset();
 
   private:
     struct Entry
@@ -72,9 +93,11 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<Entry> heap_;
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
+    std::size_t high_water_ = 0;
+    std::size_t reserve_hint_ = 0; ///< previous run's high-water mark
 };
 
 } // namespace tlp::sim

@@ -22,12 +22,59 @@ MemorySystem::MemorySystem(const CmpConfig& config, int n_active,
                          config.l1_assoc);
     }
     store_buffers_.resize(config.n_cores);
+    bindCounters(stats);
 }
 
-util::Counter&
-MemorySystem::counter(int core, const char* name)
+void
+MemorySystem::reset(int n_active, double freq_hz,
+                    util::StatRegistry& stats)
 {
-    return stats_->counter("core" + std::to_string(core) + "." + name);
+    if (n_active < 1 || n_active > config_.n_cores)
+        util::fatal("MemorySystem: bad active core count");
+    n_active_ = n_active;
+    memory_cycles_ = config_.memoryCycles(freq_hz);
+    stats_ = &stats;
+    for (CacheArray& l1 : l1_)
+        l1.reset();
+    l2_.reset();
+    for (StoreBuffer& buffer : store_buffers_) {
+        buffer.entries.clear();
+        buffer.draining = false;
+        buffer.stalled.clear();
+    }
+    bus_next_free_ = 0;
+    bindCounters(stats);
+}
+
+void
+MemorySystem::bindCounters(util::StatRegistry& stats)
+{
+    core_counters_.resize(static_cast<std::size_t>(n_active_));
+    std::string name;
+    for (int i = 0; i < n_active_; ++i) {
+        const std::string prefix = "core" + std::to_string(i) + ".";
+        const auto at = [&](const char* suffix) {
+            name.assign(prefix);
+            name.append(suffix);
+            return &stats.counter(name);
+        };
+        CoreCounters& c = core_counters_[static_cast<std::size_t>(i)];
+        c.loads = at("loads");
+        c.stores = at("stores");
+        c.l1d_reads = at("l1d.reads");
+        c.l1d_writes = at("l1d.writes");
+        c.l1d_misses = at("l1d.misses");
+        c.l1d_fills = at("l1d.fills");
+        c.l1d_writebacks = at("l1d.writebacks");
+    }
+    bus_transactions_ = &stats.counter("bus.transactions");
+    bus_c2c_transfers_ = &stats.counter("bus.c2c_transfers");
+    bus_upgrades_ = &stats.counter("bus.upgrades");
+    l2_reads_ = &stats.counter("l2.reads");
+    l2_writes_ = &stats.counter("l2.writes");
+    l2_misses_ = &stats.counter("l2.misses");
+    memory_reads_ = &stats.counter("memory.reads");
+    memory_writes_ = &stats.counter("memory.writes");
 }
 
 Cycle
@@ -35,15 +82,16 @@ MemorySystem::reserveBus(std::uint32_t occupancy)
 {
     const Cycle start = std::max(queue_->now(), bus_next_free_);
     bus_next_free_ = start + occupancy;
-    stats_->counter("bus.transactions").increment();
+    bus_transactions_->increment();
     return start;
 }
 
 void
 MemorySystem::load(int core, Addr addr, MemCallback done)
 {
-    counter(core, "loads").increment();
-    counter(core, "l1d.reads").increment();
+    CoreCounters& ctrs = core_counters_[static_cast<std::size_t>(core)];
+    ctrs.loads->increment();
+    ctrs.l1d_reads->increment();
 
     CacheArray& l1 = l1_[core];
     if (l1.contains(addr)) {
@@ -61,15 +109,16 @@ MemorySystem::load(int core, Addr addr, MemCallback done)
         return;
     }
 
-    counter(core, "l1d.misses").increment();
+    ctrs.l1d_misses->increment();
     issue({TxnKind::BusRd, core, addr, std::move(done)});
 }
 
 void
 MemorySystem::store(int core, Addr addr, MemCallback accepted)
 {
-    counter(core, "stores").increment();
-    counter(core, "l1d.writes").increment();
+    CoreCounters& ctrs = core_counters_[static_cast<std::size_t>(core)];
+    ctrs.stores->increment();
+    ctrs.l1d_writes->increment();
 
     CacheArray& l1 = l1_[core];
     const Mesi state = l1.state(addr);
@@ -80,7 +129,7 @@ MemorySystem::store(int core, Addr addr, MemCallback accepted)
         return;
     }
 
-    counter(core, "l1d.misses").increment();
+    ctrs.l1d_misses->increment();
     StoreBuffer& buffer = store_buffers_[core];
     if (buffer.entries.size() < config_.store_buffer_entries) {
         buffer.entries.push_back(addr);
@@ -140,19 +189,19 @@ MemorySystem::fetchThroughL2(int core, Addr addr)
     (void)core;
     if (l2_.contains(addr)) {
         l2_.touch(addr);
-        stats_->counter("l2.reads").increment();
+        l2_reads_->increment();
         return config_.l2_rt_cycles;
     }
 
-    stats_->counter("l2.misses").increment();
-    stats_->counter("memory.reads").increment();
+    l2_misses_->increment();
+    memory_reads_->increment();
     const auto victim = l2_.insert(addr, Mesi::Exclusive);
     if (victim) {
         backInvalidate(victim->line_addr);
         if (victim->state == Mesi::Modified)
-            stats_->counter("memory.writes").increment();
+            memory_writes_->increment();
     }
-    stats_->counter("l2.reads").increment();
+    l2_reads_->increment();
     return config_.l2_rt_cycles + memory_cycles_;
 }
 
@@ -167,7 +216,7 @@ MemorySystem::backInvalidate(Addr l2_line)
             if (prev == Mesi::Modified) {
                 // The dirty L1 data bypasses the departing L2 line and is
                 // flushed straight to memory.
-                stats_->counter("memory.writes").increment();
+                memory_writes_->increment();
             }
         }
     }
@@ -176,10 +225,11 @@ MemorySystem::backInvalidate(Addr l2_line)
 void
 MemorySystem::l1Insert(int core, Addr addr, Mesi state)
 {
-    counter(core, "l1d.fills").increment();
+    CoreCounters& ctrs = core_counters_[static_cast<std::size_t>(core)];
+    ctrs.l1d_fills->increment();
     const auto victim = l1_[core].insert(addr, state);
     if (victim && victim->state == Mesi::Modified) {
-        counter(core, "l1d.writebacks").increment();
+        ctrs.l1d_writebacks->increment();
         issue({TxnKind::Writeback, core, victim->line_addr, {}});
     }
 }
@@ -213,11 +263,11 @@ MemorySystem::applyAtGrant(const Transaction& txn)
                 // Owner supplies data and writes back to the L2.
                 if (l2_.contains(addr)) {
                     l2_.setState(addr, Mesi::Modified);
-                    stats_->counter("l2.writes").increment();
+                    l2_writes_->increment();
                 } else {
-                    stats_->counter("memory.writes").increment();
+                    memory_writes_->increment();
                 }
-                stats_->counter("bus.c2c_transfers").increment();
+                bus_c2c_transfers_->increment();
             }
             l1_[o].setState(addr, Mesi::Shared);
         }
@@ -258,11 +308,11 @@ MemorySystem::applyAtGrant(const Transaction& txn)
                 had_modified = true;
                 if (l2_.contains(addr)) {
                     l2_.setState(addr, Mesi::Modified);
-                    stats_->counter("l2.writes").increment();
+                    l2_writes_->increment();
                 } else {
-                    stats_->counter("memory.writes").increment();
+                    memory_writes_->increment();
                 }
-                stats_->counter("bus.c2c_transfers").increment();
+                bus_c2c_transfers_->increment();
             }
         }
 
@@ -270,7 +320,7 @@ MemorySystem::applyAtGrant(const Transaction& txn)
             // BusUpgr: invalidation round, no data transfer.
             l1.setState(addr, Mesi::Modified);
             l1.touch(addr);
-            stats_->counter("bus.upgrades").increment();
+            bus_upgrades_->increment();
             return config_.upgrade_rt_cycles;
         }
         if (had_modified) {
@@ -286,9 +336,9 @@ MemorySystem::applyAtGrant(const Transaction& txn)
       case TxnKind::Writeback: {
         if (l2_.contains(addr)) {
             l2_.setState(addr, Mesi::Modified);
-            stats_->counter("l2.writes").increment();
+            l2_writes_->increment();
         } else {
-            stats_->counter("memory.writes").increment();
+            memory_writes_->increment();
         }
         return 0;
       }

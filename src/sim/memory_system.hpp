@@ -58,6 +58,16 @@ class MemorySystem
                  EventQueue& queue, util::StatRegistry& stats);
 
     /**
+     * Return the hierarchy to its cold state for a fresh run — every
+     * cache line invalid, store buffers empty, bus idle — while keeping
+     * the cache-line storage allocated, and rebind the activity counters
+     * to @p stats. Semantically equivalent to destroying and
+     * reconstructing the object (cold-cache runs), minus the large
+     * per-run allocations.
+     */
+    void reset(int n_active, double freq_hz, util::StatRegistry& stats);
+
+    /**
      * Issue a load from core @p core to @p addr; @p done runs when the
      * data is available (including the L1 hit case, after the L1 hit
      * latency).
@@ -134,7 +144,22 @@ class MemorySystem
 
     void drainStoreBuffer(int core);
 
-    util::Counter& counter(int core, const char* name);
+    /** Pre-resolved per-core activity counters (the per-access string
+     *  concatenation and map lookup would dominate the hot path). */
+    struct CoreCounters
+    {
+        util::Counter* loads;
+        util::Counter* stores;
+        util::Counter* l1d_reads;
+        util::Counter* l1d_writes;
+        util::Counter* l1d_misses;
+        util::Counter* l1d_fills;
+        util::Counter* l1d_writebacks;
+    };
+
+    /** Resolve every counter pointer against @p stats (node-based map:
+     *  pointers stay valid as later counters are created). */
+    void bindCounters(util::StatRegistry& stats);
 
     CmpConfig config_;
     int n_active_;
@@ -146,6 +171,16 @@ class MemorySystem
     CacheArray l2_;
     std::vector<StoreBuffer> store_buffers_;
     Cycle bus_next_free_ = 0;
+
+    std::vector<CoreCounters> core_counters_;
+    util::Counter* bus_transactions_ = nullptr;
+    util::Counter* bus_c2c_transfers_ = nullptr;
+    util::Counter* bus_upgrades_ = nullptr;
+    util::Counter* l2_reads_ = nullptr;
+    util::Counter* l2_writes_ = nullptr;
+    util::Counter* l2_misses_ = nullptr;
+    util::Counter* memory_reads_ = nullptr;
+    util::Counter* memory_writes_ = nullptr;
 };
 
 } // namespace tlp::sim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * SmallFunction — a move-only, small-buffer-optimized `void()` callable.
+ *
+ * The discrete-event simulator schedules tens of millions of continuation
+ * closures per figure sweep; wrapping each one in std::function costs a
+ * heap allocation whenever the capture outgrows the (implementation
+ * defined, typically 16-byte) inline buffer. SmallFunction guarantees a
+ * caller-chosen inline capacity, so every closure the simulator creates
+ * stays on the stack/heap-array of the event queue itself. Callables that
+ * do exceed the buffer fall back to a single heap allocation, preserving
+ * generality.
+ */
+
+#ifndef TLP_UTIL_SMALL_FUNCTION_HPP
+#define TLP_UTIL_SMALL_FUNCTION_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tlp::util {
+
+/** Move-only `void()` callable with @p InlineBytes of inline storage. */
+template <std::size_t InlineBytes = 64>
+class SmallFunction
+{
+  public:
+    SmallFunction() noexcept = default;
+    SmallFunction(std::nullptr_t) noexcept {}
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, SmallFunction> &&
+                  std::is_invocable_r_v<void, D&>>>
+    SmallFunction(F&& f)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>();
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(
+                new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>();
+        }
+    }
+
+    SmallFunction(SmallFunction&& other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(storage_, other.storage_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    SmallFunction&
+    operator=(SmallFunction&& other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            if (other.ops_) {
+                other.ops_->relocate(storage_, other.storage_);
+                ops_ = other.ops_;
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction&) = delete;
+    SmallFunction& operator=(const SmallFunction&) = delete;
+
+    ~SmallFunction() { destroy(); }
+
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void*);
+        /** Move-construct into @p dst from @p src and destroy @p src. */
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= InlineBytes &&
+            alignof(D) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static const Ops&
+    inlineOps()
+    {
+        struct H
+        {
+            static void
+            invoke(void* p)
+            {
+                (*std::launder(static_cast<D*>(p)))();
+            }
+            static void
+            relocate(void* dst, void* src) noexcept
+            {
+                D* s = std::launder(static_cast<D*>(src));
+                ::new (dst) D(std::move(*s));
+                s->~D();
+            }
+            static void
+            destroy(void* p) noexcept
+            {
+                std::launder(static_cast<D*>(p))->~D();
+            }
+        };
+        static constexpr Ops ops = {&H::invoke, &H::relocate, &H::destroy};
+        return ops;
+    }
+
+    template <typename D>
+    static const Ops&
+    heapOps()
+    {
+        struct H
+        {
+            static D*&
+            slot(void* p)
+            {
+                return *std::launder(static_cast<D**>(p));
+            }
+            static void
+            invoke(void* p)
+            {
+                (*slot(p))();
+            }
+            static void
+            relocate(void* dst, void* src) noexcept
+            {
+                ::new (dst) D*(slot(src));
+            }
+            static void
+            destroy(void* p) noexcept
+            {
+                delete slot(p);
+            }
+        };
+        static constexpr Ops ops = {&H::invoke, &H::relocate, &H::destroy};
+        return ops;
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte storage_[InlineBytes];
+    const Ops* ops_ = nullptr;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_SMALL_FUNCTION_HPP

@@ -73,37 +73,44 @@ Histogram::reset()
 }
 
 Counter&
-StatRegistry::counter(const std::string& name)
+StatRegistry::counter(std::string_view name)
 {
-    return counters_[name];
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        return it->second;
+    return counters_.emplace(std::string(name), Counter{}).first->second;
 }
 
 Accumulator&
-StatRegistry::accumulator(const std::string& name)
+StatRegistry::accumulator(std::string_view name)
 {
-    return accumulators_[name];
+    const auto it = accumulators_.find(name);
+    if (it != accumulators_.end())
+        return it->second;
+    return accumulators_.emplace(std::string(name), Accumulator{})
+        .first->second;
 }
 
 std::uint64_t
-StatRegistry::counterValue(const std::string& name) const
+StatRegistry::counterValue(std::string_view name) const
 {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.value();
 }
 
 bool
-StatRegistry::hasCounter(const std::string& name) const
+StatRegistry::hasCounter(std::string_view name) const
 {
-    return counters_.count(name) != 0;
+    return counters_.find(name) != counters_.end();
 }
 
 std::uint64_t
-StatRegistry::sumByPrefix(const std::string& prefix) const
+StatRegistry::sumByPrefix(std::string_view prefix) const
 {
     std::uint64_t sum = 0;
     for (auto it = counters_.lower_bound(prefix); it != counters_.end();
          ++it) {
-        if (it->first.compare(0, prefix.size(), prefix) != 0)
+        if (std::string_view(it->first).substr(0, prefix.size()) != prefix)
             break;
         sum += it->second.value();
     }
@@ -111,13 +118,13 @@ StatRegistry::sumByPrefix(const std::string& prefix) const
 }
 
 std::uint64_t
-StatRegistry::sumBySuffix(const std::string& suffix) const
+StatRegistry::sumBySuffix(std::string_view suffix) const
 {
     std::uint64_t sum = 0;
     for (const auto& [name, ctr] : counters_) {
-        if (name.size() >= suffix.size() &&
-            name.compare(name.size() - suffix.size(), suffix.size(),
-                         suffix) == 0) {
+        const std::string_view sv(name);
+        if (sv.size() >= suffix.size() &&
+            sv.substr(sv.size() - suffix.size()) == suffix) {
             sum += ctr.value();
         }
     }

@@ -15,6 +15,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tlp::util {
@@ -82,39 +83,44 @@ class Histogram
  *
  * Names are hierarchical by convention ("core3.l1d.misses"). Lookup creates
  * the statistic on first use, so units do not need registration boilerplate.
+ *
+ * All read paths take std::string_view and use heterogeneous map lookup,
+ * so callers on the pricing hot path (power model aggregation after every
+ * simulation run) never materialize temporary std::string keys.
  */
 class StatRegistry
 {
   public:
+    /** Map type: ordered, with transparent (string_view) lookup. */
+    template <typename T>
+    using NameMap = std::map<std::string, T, std::less<>>;
+
     /** Counter named @p name, created zero-valued on first access. */
-    Counter& counter(const std::string& name);
+    Counter& counter(std::string_view name);
 
     /** Accumulator named @p name, created empty on first access. */
-    Accumulator& accumulator(const std::string& name);
+    Accumulator& accumulator(std::string_view name);
 
     /** Value of a counter, or 0 when absent (read-only). */
-    std::uint64_t counterValue(const std::string& name) const;
+    std::uint64_t counterValue(std::string_view name) const;
 
     /** True when a counter of this name exists. */
-    bool hasCounter(const std::string& name) const;
+    bool hasCounter(std::string_view name) const;
 
     /** All counters in name order. */
-    const std::map<std::string, Counter>& counters() const
-    {
-        return counters_;
-    }
+    const NameMap<Counter>& counters() const { return counters_; }
 
     /** All accumulators in name order. */
-    const std::map<std::string, Accumulator>& accumulators() const
+    const NameMap<Accumulator>& accumulators() const
     {
         return accumulators_;
     }
 
     /** Sum of all counters whose name matches "prefix*" (prefix match). */
-    std::uint64_t sumByPrefix(const std::string& prefix) const;
+    std::uint64_t sumByPrefix(std::string_view prefix) const;
 
     /** Sum of all counters whose name ends with @p suffix. */
-    std::uint64_t sumBySuffix(const std::string& suffix) const;
+    std::uint64_t sumBySuffix(std::string_view suffix) const;
 
     /** Zero every statistic but keep them registered. */
     void resetAll();
@@ -123,8 +129,8 @@ class StatRegistry
     void dump(std::ostream& os) const;
 
   private:
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Accumulator> accumulators_;
+    NameMap<Counter> counters_;
+    NameMap<Accumulator> accumulators_;
 };
 
 } // namespace tlp::util

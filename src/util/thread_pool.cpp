@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+namespace {
+
+thread_local int tl_worker_index = -1;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned n_threads)
+{
+    if (n_threads == 0)
+        n_threads = 1;
+    workers_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            fatal("ThreadPool: submit after shutdown began");
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tl_worker_index = static_cast<int>(index);
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task(); // packaged_task captures any exception in its future
+    }
+}
+
+int
+ThreadPool::currentWorkerIndex()
+{
+    return tl_worker_index;
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char* env = std::getenv("TLPPM_JOBS")) {
+        const long value = std::strtol(env, nullptr, 10);
+        if (value >= 1)
+            return static_cast<unsigned>(value);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace tlp::util

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ThreadPool — a fixed-size worker pool with futures-based task submission.
+ *
+ * The experiment layer (runner::SweepRunner) fans independent simulation
+ * runs across hardware threads with this pool: submit() returns a
+ * std::future carrying the task's result (or its exception), and
+ * parallelFor() blocks until an index range has been fully processed.
+ * Destruction drains the queue: every task submitted before the destructor
+ * runs is executed before the destructor returns.
+ *
+ * Worker threads are identified by currentWorkerIndex(), which lets
+ * callers maintain strictly per-worker state (e.g. one simulator instance
+ * per worker) without locking.
+ */
+
+#ifndef TLP_UTIL_THREAD_POOL_HPP
+#define TLP_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tlp::util {
+
+/** Fixed worker-count task pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p n_threads workers (clamped to >= 1). */
+    explicit ThreadPool(unsigned n_threads);
+
+    /** Drains: every submitted task completes before this returns. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue @p f; the returned future carries its result. An exception
+     * thrown by the task propagates through future::get().
+     */
+    template <typename F>
+    auto
+    submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>&>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>&>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end) across the pool and wait.
+     * The first task exception (in index order) is rethrown. Must not be
+     * called from a pool worker (the waiting would deadlock the pool).
+     */
+    template <typename F>
+    void
+    parallelFor(std::size_t begin, std::size_t end, F&& body)
+    {
+        std::vector<std::future<void>> futures;
+        futures.reserve(end > begin ? end - begin : 0);
+        for (std::size_t i = begin; i < end; ++i)
+            futures.push_back(submit([&body, i] { body(i); }));
+        for (auto& future : futures)
+            future.get();
+    }
+
+    /**
+     * Index of the calling thread within its owning pool, or -1 when the
+     * caller is not a pool worker.
+     */
+    static int currentWorkerIndex();
+
+    /**
+     * Default parallelism: the TLPPM_JOBS environment variable when set to
+     * a positive integer, otherwise std::thread::hardware_concurrency()
+     * (at least 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop(unsigned index);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool stopping_ = false;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_THREAD_POOL_HPP

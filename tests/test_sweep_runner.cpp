@@ -1,0 +1,324 @@
+/**
+ * @file
+ * SweepRunner and RunCache tests: the parallel sweep engine must produce
+ * bit-identical rows to the serial pipeline at any job count, the
+ * Measurement cache must account hits/misses and actually deduplicate the
+ * scenario pipelines' repeated points, and the Cmp run arena must keep
+ * repeated runs identical to a freshly constructed simulator.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/run_cache.hpp"
+#include "runner/sweep_runner.hpp"
+#include "sim/cmp.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+
+constexpr double kScale = 0.08;
+
+void
+expectSameMeasurement(const runner::Measurement& a,
+                      const runner::Measurement& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.freq_hz, b.freq_hz);
+    EXPECT_EQ(a.vdd, b.vdd);
+    EXPECT_EQ(a.dynamic_w, b.dynamic_w);
+    EXPECT_EQ(a.static_w, b.static_w);
+    EXPECT_EQ(a.total_w, b.total_w);
+    EXPECT_EQ(a.avg_core_temp_c, b.avg_core_temp_c);
+    EXPECT_EQ(a.core_power_density_w_m2, b.core_power_density_w_m2);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.runaway, b.runaway);
+}
+
+TEST(RunCache, MissThenHit)
+{
+    runner::RunCache cache;
+    const runner::RunKey key{"FMM", 4, 0.1, 1.2, 2.0e9};
+
+    EXPECT_FALSE(cache.find(key).has_value());
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    runner::Measurement m;
+    m.cycles = 1234;
+    m.total_w = 42.0;
+    cache.insert(key, m);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto found = cache.find(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->cycles, 1234u);
+    EXPECT_EQ(found->total_w, 42.0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RunCache, DistinguishesEveryKeyField)
+{
+    runner::RunCache cache;
+    const runner::RunKey key{"FMM", 4, 0.1, 1.2, 2.0e9};
+    cache.insert(key, runner::Measurement{});
+
+    runner::RunKey other = key;
+    other.workload = "Radix";
+    EXPECT_FALSE(cache.find(other).has_value());
+    other = key;
+    other.n = 8;
+    EXPECT_FALSE(cache.find(other).has_value());
+    other = key;
+    other.scale = 0.2;
+    EXPECT_FALSE(cache.find(other).has_value());
+    other = key;
+    other.vdd = 1.1;
+    EXPECT_FALSE(cache.find(other).has_value());
+    other = key;
+    other.freq_hz = 1.0e9;
+    EXPECT_FALSE(cache.find(other).has_value());
+    EXPECT_TRUE(cache.find(key).has_value());
+}
+
+TEST(RunCache, ClearResetsEverything)
+{
+    runner::RunCache cache;
+    cache.insert(runner::RunKey{"a", 1, 1.0, 1.0, 1.0},
+                 runner::Measurement{});
+    (void)cache.find(runner::RunKey{"a", 1, 1.0, 1.0, 1.0});
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(Experiment, MeasureAppMatchesMeasure)
+{
+    const runner::Experiment exp(kScale);
+    const auto& app = workloads::byName("FMM");
+    const double v1 = exp.technology().vddNominal();
+    const double f1 = exp.technology().fNominal();
+
+    const runner::Measurement direct =
+        exp.measure(app.make(2, kScale), v1, f1);
+    const runner::Measurement via_app = exp.measureApp(app, 2, v1, f1);
+    expectSameMeasurement(direct, via_app);
+
+    // With a cache attached the value is identical and the second call
+    // hits.
+    runner::RunCache cache;
+    runner::Experiment cached(kScale);
+    cached.setRunCache(&cache);
+    const runner::Measurement first = cached.measureApp(app, 2, v1, f1);
+    const runner::Measurement second = cached.measureApp(app, 2, v1, f1);
+    expectSameMeasurement(first, direct);
+    expectSameMeasurement(second, direct);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Experiment, ScenarioPipelineReusesCachedPoints)
+{
+    // Scenario I and Scenario II share the nominal-V/f profiling pass;
+    // with a RunCache attached the second pipeline must replay those
+    // points instead of re-simulating them.
+    runner::RunCache cache;
+    runner::Experiment exp(kScale);
+    exp.setRunCache(&cache);
+    const auto& app = workloads::byName("Radix");
+    const std::vector<int> ns = {1, 2, 4};
+
+    const auto s1 = exp.scenario1(app, ns);
+    ASSERT_EQ(s1.size(), ns.size());
+    const std::uint64_t hits_after_s1 = cache.hits();
+
+    const auto s2 = exp.scenario2(app, ns);
+    ASSERT_EQ(s2.size(), ns.size());
+    EXPECT_GT(cache.hits(), hits_after_s1);
+    EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(SweepRunner, SerialMatchesExperimentPipeline)
+{
+    const auto& app = workloads::byName("LU");
+    const std::vector<int> ns = {1, 2, 4};
+
+    const runner::Experiment exp(kScale);
+    const auto expected = exp.scenario1(app, ns);
+
+    runner::SweepRunner::Options options;
+    options.jobs = 1;
+    options.scale = kScale;
+    runner::SweepRunner sweep(options);
+    EXPECT_EQ(sweep.jobs(), 1);
+    const auto got = sweep.scenario1Sweep({&app}, ns);
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_EQ(got[0].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[0][i].n, expected[i].n);
+        EXPECT_EQ(got[0][i].eps_n, expected[i].eps_n);
+        EXPECT_EQ(got[0][i].freq_hz, expected[i].freq_hz);
+        EXPECT_EQ(got[0][i].vdd, expected[i].vdd);
+        EXPECT_EQ(got[0][i].actual_speedup, expected[i].actual_speedup);
+        EXPECT_EQ(got[0][i].normalized_power,
+                  expected[i].normalized_power);
+        EXPECT_EQ(got[0][i].normalized_density,
+                  expected[i].normalized_density);
+        EXPECT_EQ(got[0][i].avg_temp_c, expected[i].avg_temp_c);
+        expectSameMeasurement(got[0][i].measurement,
+                              expected[i].measurement);
+    }
+}
+
+TEST(SweepRunner, ParallelScenario1IsBitIdenticalToSerial)
+{
+    const std::vector<const workloads::WorkloadInfo*> apps = {
+        &workloads::byName("FMM"), &workloads::byName("Radix")};
+    const std::vector<int> ns = {1, 2, 4};
+
+    runner::SweepRunner::Options serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.scale = kScale;
+    runner::SweepRunner serial(serial_opts);
+    const auto serial_rows = serial.scenario1Sweep(apps, ns);
+
+    runner::SweepRunner::Options par_opts;
+    par_opts.jobs = 4;
+    par_opts.scale = kScale;
+    runner::SweepRunner parallel(par_opts);
+    EXPECT_EQ(parallel.jobs(), 4);
+    const auto parallel_rows = parallel.scenario1Sweep(apps, ns);
+
+    ASSERT_EQ(parallel_rows.size(), serial_rows.size());
+    for (std::size_t a = 0; a < serial_rows.size(); ++a) {
+        ASSERT_EQ(parallel_rows[a].size(), serial_rows[a].size());
+        for (std::size_t i = 0; i < serial_rows[a].size(); ++i) {
+            const runner::Scenario1Row& s = serial_rows[a][i];
+            const runner::Scenario1Row& p = parallel_rows[a][i];
+            EXPECT_EQ(p.n, s.n);
+            EXPECT_EQ(p.eps_n, s.eps_n);
+            EXPECT_EQ(p.freq_hz, s.freq_hz);
+            EXPECT_EQ(p.vdd, s.vdd);
+            EXPECT_EQ(p.actual_speedup, s.actual_speedup);
+            EXPECT_EQ(p.normalized_power, s.normalized_power);
+            EXPECT_EQ(p.normalized_density, s.normalized_density);
+            EXPECT_EQ(p.avg_temp_c, s.avg_temp_c);
+            expectSameMeasurement(p.measurement, s.measurement);
+        }
+    }
+    // Re-running the sweep on the warm runner must replay every point
+    // from the cache: no new misses, and identical rows again.
+    const std::uint64_t misses_before = parallel.cache().misses();
+    const auto replay = parallel.scenario1Sweep(apps, ns);
+    EXPECT_EQ(parallel.cache().misses(), misses_before);
+    EXPECT_GT(parallel.cache().hits(), 0u);
+    ASSERT_EQ(replay.size(), parallel_rows.size());
+    for (std::size_t a = 0; a < replay.size(); ++a) {
+        ASSERT_EQ(replay[a].size(), parallel_rows[a].size());
+        for (std::size_t i = 0; i < replay[a].size(); ++i)
+            expectSameMeasurement(replay[a][i].measurement,
+                                  parallel_rows[a][i].measurement);
+    }
+}
+
+TEST(SweepRunner, ParallelScenario2IsBitIdenticalToSerial)
+{
+    const std::vector<const workloads::WorkloadInfo*> apps = {
+        &workloads::byName("Radix")};
+    const std::vector<int> ns = {1, 2, 4};
+
+    runner::SweepRunner::Options serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.scale = kScale;
+    runner::SweepRunner serial(serial_opts);
+    const auto serial_rows = serial.scenario2Sweep(apps, ns);
+
+    runner::SweepRunner::Options par_opts;
+    par_opts.jobs = 4;
+    par_opts.scale = kScale;
+    runner::SweepRunner parallel(par_opts);
+    const auto parallel_rows = parallel.scenario2Sweep(apps, ns);
+
+    ASSERT_EQ(parallel_rows.size(), serial_rows.size());
+    for (std::size_t a = 0; a < serial_rows.size(); ++a) {
+        ASSERT_EQ(parallel_rows[a].size(), serial_rows[a].size());
+        for (std::size_t i = 0; i < serial_rows[a].size(); ++i) {
+            const runner::Scenario2Row& s = serial_rows[a][i];
+            const runner::Scenario2Row& p = parallel_rows[a][i];
+            EXPECT_EQ(p.n, s.n);
+            EXPECT_EQ(p.nominal_speedup, s.nominal_speedup);
+            EXPECT_EQ(p.actual_speedup, s.actual_speedup);
+            EXPECT_EQ(p.freq_hz, s.freq_hz);
+            EXPECT_EQ(p.vdd, s.vdd);
+            EXPECT_EQ(p.power_w, s.power_w);
+            EXPECT_EQ(p.at_nominal, s.at_nominal);
+        }
+    }
+}
+
+TEST(SweepRunner, MeasureAllPreservesOrderAndDeduplicates)
+{
+    const auto& app = workloads::byName("FMM");
+    runner::SweepRunner::Options options;
+    options.jobs = 2;
+    options.scale = kScale;
+    runner::SweepRunner sweep(options);
+
+    const double v1 = sweep.experiment().technology().vddNominal();
+    const double f1 = sweep.experiment().technology().fNominal();
+    const std::vector<runner::MeasureSpec> specs = {
+        {&app, 1, v1, f1},
+        {&app, 2, v1, f1},
+        {&app, 1, v1, f1}, // repeat of specs[0]: identical result
+    };
+    const auto results = sweep.measureAll(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    expectSameMeasurement(results[0], results[2]);
+    EXPECT_GT(results[0].cycles, 0u);
+    EXPECT_GT(results[1].cycles, 0u);
+
+    // A second pass over the same specs is fully served by the cache.
+    const std::uint64_t misses_before = sweep.cache().misses();
+    const auto replay = sweep.measureAll(specs);
+    ASSERT_EQ(replay.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectSameMeasurement(replay[i], results[i]);
+    EXPECT_EQ(sweep.cache().misses(), misses_before);
+    EXPECT_GE(sweep.cache().hits(), specs.size());
+}
+
+TEST(Cmp, ArenaReuseKeepsRunsIdentical)
+{
+    const auto& app = workloads::byName("Radix");
+    const sim::Program program = app.make(4, kScale);
+    const double freq = 3.0e9;
+
+    const sim::Cmp reused{sim::CmpConfig{}};
+    const sim::RunResult first = reused.run(program, freq);
+    const sim::RunResult second = reused.run(program, freq);
+    const sim::Cmp fresh{sim::CmpConfig{}};
+    const sim::RunResult reference = fresh.run(program, freq);
+
+    EXPECT_EQ(first.cycles, reference.cycles);
+    EXPECT_EQ(second.cycles, reference.cycles);
+    EXPECT_EQ(first.instructions, reference.instructions);
+    EXPECT_EQ(second.instructions, reference.instructions);
+    EXPECT_TRUE(first.coherent);
+    EXPECT_TRUE(second.coherent);
+
+    // Every counter (including the queue high-water mark) must agree.
+    for (const auto& [name, counter] : reference.stats.counters()) {
+        EXPECT_EQ(second.stats.counterValue(name), counter.value())
+            << "counter " << name;
+    }
+    EXPECT_GT(reference.stats.counterValue("queue.high_water"), 0u);
+}
+
+} // namespace

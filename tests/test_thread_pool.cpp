@@ -1,0 +1,116 @@
+/**
+ * @file
+ * util::ThreadPool unit tests: futures carry results and exceptions,
+ * destruction drains the queue, parallelFor covers its range, and the
+ * worker-index / default-jobs helpers behave.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using tlp::util::ThreadPool;
+
+TEST(ThreadPool, SubmitReturnsValues)
+{
+    ThreadPool pool(4);
+    auto f1 = pool.submit([] { return 41 + 1; });
+    auto f2 = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+
+    // The pool survives a throwing task.
+    auto g = pool.submit([] { return 7; });
+    EXPECT_EQ(g.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> done{0};
+    constexpr int kTasks = 64;
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < kTasks; ++i) {
+            pool.submit([&done] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                done.fetch_add(1);
+            });
+        }
+        // Futures intentionally dropped: the destructor must still run
+        // every queued task before returning.
+    }
+    EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 100;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(0, kN, [&hits](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 10,
+                                  [](std::size_t i) {
+                                      if (i == 3)
+                                          throw std::runtime_error("bad");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange)
+{
+    constexpr unsigned kWorkers = 3;
+    ThreadPool pool(kWorkers);
+    EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1); // caller thread
+
+    std::mutex mutex;
+    std::set<int> seen;
+    pool.parallelFor(0, 64, [&](std::size_t) {
+        const int index = ThreadPool::currentWorkerIndex();
+        ASSERT_GE(index, 0);
+        ASSERT_LT(index, static_cast<int>(kWorkers));
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(index);
+    });
+    EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    auto f = pool.submit([] { return 1; });
+    EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+} // namespace
