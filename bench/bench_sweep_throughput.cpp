@@ -21,18 +21,6 @@ namespace {
 
 using namespace tlp;
 
-double
-benchScale()
-{
-    if (const char* env = std::getenv("TLPPM_SCALE")) {
-        const double value = std::atof(env);
-        if (value > 0.0 && value <= 1.0)
-            return value;
-        std::cerr << "ignoring invalid TLPPM_SCALE='" << env << "'\n";
-    }
-    return 0.08;
-}
-
 bool
 sameMeasurement(const runner::Measurement& a, const runner::Measurement& b)
 {
@@ -62,7 +50,7 @@ sameRows(const std::vector<std::vector<runner::Scenario1Row>>& a,
                 x.actual_speedup != y.actual_speedup ||
                 x.normalized_power != y.normalized_power ||
                 x.normalized_density != y.normalized_density ||
-                x.avg_temp_c != y.avg_temp_c ||
+                x.avg_temp_c != y.avg_temp_c || x.failed != y.failed ||
                 !sameMeasurement(x.measurement, y.measurement))
                 return false;
         }
@@ -75,7 +63,8 @@ sameRows(const std::vector<std::vector<runner::Scenario1Row>>& a,
 int
 main(int argc, char** argv)
 {
-    const double scale = benchScale();
+    // Small default scale so a run takes seconds; TLPPM_SCALE overrides.
+    const double scale = tlppm_bench::workloadScale(0.08);
     int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
     if (jobs <= 0)
         jobs = static_cast<int>(util::ThreadPool::defaultJobs());

@@ -10,32 +10,54 @@
 #include <iostream>
 #include <string>
 
+#include "runner/sweep_report.hpp"
+#include "util/parse.hpp"
+
 namespace tlppm_bench {
 
+/** A malformed knob is a usage error: report it and exit(2) rather than
+ *  silently running a multi-minute sweep at an unintended setting. */
+[[noreturn]] inline void
+usageError(const std::string& what)
+{
+    std::cerr << "error: " << what << "\n";
+    std::exit(2);
+}
+
 /**
- * Problem-size scale for the simulation benches: 1.0 reproduces the
- * paper-scale workloads (minutes of host time for the full Figure 3/4
- * sweeps); set the TLPPM_SCALE environment variable to a value in (0, 1]
- * for quicker runs.
+ * Problem-size scale for the simulation benches: @p fallback reproduces
+ * the bench's default; set the TLPPM_SCALE environment variable to a
+ * value in (0, 1] to override. Malformed values are a hard usage error —
+ * an ignored typo would silently burn minutes at full scale.
  */
 inline double
-workloadScale()
+workloadScale(double fallback = 1.0)
 {
-    if (const char* env = std::getenv("TLPPM_SCALE")) {
-        const double value = std::atof(env);
-        if (value > 0.0 && value <= 1.0)
-            return value;
-        std::cerr << "ignoring invalid TLPPM_SCALE='" << env << "'\n";
-    }
-    return 1.0;
+    const char* env = std::getenv("TLPPM_SCALE");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    const auto value =
+        tlp::util::parseNumber(env, "TLPPM_SCALE", 1e-6, 1.0);
+    if (!value)
+        usageError(value.error().describe());
+    return value.value();
+}
+
+/** Parse the integer argument of @p flag, exiting on garbage. */
+inline int
+parsedJobs(const std::string& text)
+{
+    const auto jobs = tlp::util::parseInt(text, "--jobs", 1, 4096);
+    if (!jobs)
+        usageError(jobs.error().describe());
+    return static_cast<int>(jobs.value());
 }
 
 /**
  * Worker count for the parallel harnesses: `--jobs N` (or `--jobs=N`) on
  * the command line wins, else 0 is returned and the sweep layer falls
  * back to TLPPM_JOBS / the hardware concurrency
- * (util::ThreadPool::defaultJobs()). Pass `--jobs 1` for the legacy
- * serial path.
+ * (util::ThreadPool::defaultJobs()). Pass `--jobs 1` for the serial path.
  */
 inline int
 jobsFromArgsOrEnv(int argc, char** argv)
@@ -43,11 +65,82 @@ jobsFromArgsOrEnv(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc)
-            return std::atoi(argv[i + 1]);
+            return parsedJobs(argv[i + 1]);
         if (arg.rfind("--jobs=", 0) == 0)
-            return std::atoi(arg.c_str() + 7);
+            return parsedJobs(arg.substr(7));
     }
     return 0;
+}
+
+/** Robustness knobs shared by the sweep-driving figure harnesses. */
+struct SweepCliOptions
+{
+    int jobs = 0;               ///< --jobs N (0: defaultJobs())
+    std::string journal;        ///< --journal PATH (empty: off)
+    bool resume = false;        ///< --resume (replay journal first)
+    double point_timeout_s = 0; ///< --point-timeout SECONDS (0: off)
+};
+
+/**
+ * Parse the sweep CLI: --jobs N, --journal PATH, --resume,
+ * --point-timeout SECONDS (each also in --flag=value form). Unknown
+ * arguments are a usage error.
+ */
+inline SweepCliOptions
+parseSweepCli(int argc, char** argv)
+{
+    SweepCliOptions options;
+    const auto timeout = [&](const std::string& text) {
+        const auto value =
+            tlp::util::parseNumber(text, "--point-timeout", 0.0, 86400.0);
+        if (!value)
+            usageError(value.error().describe());
+        options.point_timeout_s = value.value();
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            options.jobs = parsedJobs(argv[++i]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.jobs = parsedJobs(arg.substr(7));
+        } else if (arg == "--journal" && i + 1 < argc) {
+            options.journal = argv[++i];
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            options.journal = arg.substr(10);
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--point-timeout" && i + 1 < argc) {
+            timeout(argv[++i]);
+        } else if (arg.rfind("--point-timeout=", 0) == 0) {
+            timeout(arg.substr(16));
+        } else {
+            usageError("unknown argument '" + arg +
+                       "' (expected --jobs N, --journal PATH, --resume, "
+                       "--point-timeout SECONDS)");
+        }
+    }
+    if (options.resume && options.journal.empty())
+        usageError("--resume requires --journal PATH");
+    return options;
+}
+
+/**
+ * Print the sweep's containment ledger to stderr: one summary line, plus
+ * one line per failed point. Returns true when the sweep was clean. The
+ * harnesses still exit 0 on a partially failed sweep — the completed
+ * rows are valid results and the failures are itemized here.
+ */
+inline bool
+reportSweep(const tlp::runner::SweepReport& report, const char* tag)
+{
+    std::cerr << "  [" << tag << "] " << report.summary() << "\n";
+    for (const auto& f : report.failed) {
+        std::cerr << "  [" << tag << "] FAILED " << f.phase << " "
+                  << f.workload << " n=" << f.n << " after " << f.attempts
+                  << " attempt(s), " << f.wall_seconds
+                  << " s: " << f.error.describe() << "\n";
+    }
+    return report.allOk();
 }
 
 /** Header banner naming the figure/table being regenerated. */

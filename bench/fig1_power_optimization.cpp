@@ -49,13 +49,21 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool)
         const double eps = pcts[i] / 100.0;
         std::vector<std::string> row = {util::Table::num(eps, 2)};
         for (int n : core_counts) {
-            const auto r = scenario.solve(n, eps);
-            if (!r.feasible) {
-                row.push_back("-");       // needs f > f1: disallowed
-            } else if (r.power.runaway) {
-                row.push_back("runaway"); // thermally infeasible
-            } else {
-                row.push_back(util::Table::num(r.normalized_power, 3));
+            // Contain per-point solver failures: one bad grid point
+            // becomes one "error" cell, not a dead figure.
+            try {
+                const auto r = scenario.solve(n, eps);
+                if (!r.feasible) {
+                    row.push_back("-");       // needs f > f1: disallowed
+                } else if (r.power.runaway) {
+                    row.push_back("runaway"); // thermally infeasible
+                } else {
+                    row.push_back(util::Table::num(r.normalized_power, 3));
+                }
+            } catch (const std::exception& e) {
+                std::cerr << "  [fig1] solve(N=" << n << ", eps=" << eps
+                          << ") failed: " << e.what() << "\n";
+                row.push_back("error");
             }
         }
         rows[i] = std::move(row);
@@ -80,12 +88,20 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool)
     std::vector<std::vector<std::string>> mark_rows(n_marks);
     const auto solve_mark = [&](std::size_t i) {
         const int n = core_counts[i];
-        const auto r = scenario.solve(n, app);
-        mark_rows[i] = {util::Table::num(n), util::Table::num(r.eps_n, 3),
-                        util::Table::num(r.normalized_power, 3),
-                        util::Table::num(r.vdd, 3),
-                        util::Table::num(r.freq / 1e9, 3),
-                        util::Table::num(r.power.avg_active_temp_c, 1)};
+        try {
+            const auto r = scenario.solve(n, app);
+            mark_rows[i] = {util::Table::num(n),
+                            util::Table::num(r.eps_n, 3),
+                            util::Table::num(r.normalized_power, 3),
+                            util::Table::num(r.vdd, 3),
+                            util::Table::num(r.freq / 1e9, 3),
+                            util::Table::num(r.power.avg_active_temp_c, 1)};
+        } catch (const std::exception& e) {
+            std::cerr << "  [fig1] sample-app solve(N=" << n
+                      << ") failed: " << e.what() << "\n";
+            mark_rows[i] = {util::Table::num(n), "error", "error",
+                            "error", "error", "error"};
+        }
     };
     if (pool)
         pool->parallelFor(0, n_marks, solve_mark);

@@ -38,10 +38,25 @@ main(int argc, char** argv)
     constexpr int kMaxN = 32;
     std::vector<model::Scenario2Result> res130(kMaxN);
     std::vector<model::Scenario2Result> res65(kMaxN);
+    std::vector<char> ok130(kMaxN, 1), ok65(kMaxN, 1);
+    // Contain per-point solver failures: one bad N becomes one "error"
+    // row cell, not a dead figure.
     const auto solve_n = [&](std::size_t i) {
         const int n = static_cast<int>(i) + 1;
-        res130[i] = s130.solve(n, 1.0);
-        res65[i] = s65.solve(n, 1.0);
+        try {
+            res130[i] = s130.solve(n, 1.0);
+        } catch (const std::exception& e) {
+            std::cerr << "  [fig2] 130nm solve(N=" << n
+                      << ") failed: " << e.what() << "\n";
+            ok130[i] = 0;
+        }
+        try {
+            res65[i] = s65.solve(n, 1.0);
+        } catch (const std::exception& e) {
+            std::cerr << "  [fig2] 65nm solve(N=" << n
+                      << ") failed: " << e.what() << "\n";
+            ok65[i] = 0;
+        }
     };
     int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
     if (jobs <= 0)
@@ -59,20 +74,30 @@ main(int argc, char** argv)
     for (int n = 1; n <= kMaxN; ++n) {
         const auto& a = res130[n - 1];
         const auto& b = res65[n - 1];
-        if (a.speedup > peak130) {
+        if (ok130[n - 1] && a.speedup > peak130) {
             peak130 = a.speedup;
             argmax130 = n;
         }
-        if (b.speedup > peak65) {
+        if (ok65[n - 1] && b.speedup > peak65) {
             peak65 = b.speedup;
             argmax65 = n;
         }
-        table.addRow({util::Table::num(n), util::Table::num(a.speedup, 3),
-                      util::Table::num(a.vdd, 3),
-                      util::Table::num(a.freq / 1e9, 3),
-                      util::Table::num(b.speedup, 3),
-                      util::Table::num(b.vdd, 3),
-                      util::Table::num(b.freq / 1e9, 3)});
+        std::vector<std::string> row = {util::Table::num(n)};
+        if (ok130[n - 1]) {
+            row.push_back(util::Table::num(a.speedup, 3));
+            row.push_back(util::Table::num(a.vdd, 3));
+            row.push_back(util::Table::num(a.freq / 1e9, 3));
+        } else {
+            row.insert(row.end(), {"error", "error", "error"});
+        }
+        if (ok65[n - 1]) {
+            row.push_back(util::Table::num(b.speedup, 3));
+            row.push_back(util::Table::num(b.vdd, 3));
+            row.push_back(util::Table::num(b.freq / 1e9, 3));
+        } else {
+            row.insert(row.end(), {"error", "error", "error"});
+        }
+        table.addRow(std::move(row));
     }
     table.print(std::cout);
 

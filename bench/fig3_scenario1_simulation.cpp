@@ -10,6 +10,12 @@
  * e.g. 0.3 for a quick pass. The sweep fans across hardware threads;
  * control the worker count with --jobs N (or TLPPM_JOBS); --jobs 1 runs
  * serially. The printed tables are byte-identical at any job count.
+ *
+ * Robustness knobs: --journal PATH appends every completed simulation to
+ * a crash-safe journal, --resume replays it first (an interrupted sweep
+ * re-simulates only unfinished points), --point-timeout SECONDS arms a
+ * per-point watchdog. A failed point is contained, itemized on stderr,
+ * and shown as "FAILED" in the tables; the sweep still completes.
  */
 
 #include <iostream>
@@ -26,9 +32,14 @@ main(int argc, char** argv)
     tlppm_bench::banner("Figure 3 -- Scenario I on the simulated CMP "
                         "(scale " + util::Table::num(scale, 2) + ")");
 
+    const tlppm_bench::SweepCliOptions cli =
+        tlppm_bench::parseSweepCli(argc, argv);
     runner::SweepRunner::Options options;
-    options.jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    options.jobs = cli.jobs;
     options.scale = scale;
+    options.journal_path = cli.journal;
+    options.resume = cli.resume;
+    options.point_timeout_s = cli.point_timeout_s;
     runner::SweepRunner sweep(options);
     const std::vector<int> ns = {1, 2, 4, 8, 16};
 
@@ -61,6 +72,14 @@ main(int argc, char** argv)
         std::vector<std::string> r_dens = {info.name};
         std::vector<std::string> r_temp = {info.name};
         for (const auto& row : rows) {
+            if (row.failed) {
+                // Containment placeholder: the point is itemized in the
+                // sweep report below.
+                for (auto* cells : {&r_eff, &r_spd, &r_pwr, &r_dens,
+                                    &r_temp})
+                    cells->push_back("FAILED");
+                continue;
+            }
             // A '*' marks a thermally unsustainable (runaway) operating
             // point; only tiny TLPPM_SCALE values (distorted efficiency
             // curves) produce these.
@@ -82,6 +101,8 @@ main(int argc, char** argv)
         temp.addRow(std::move(r_temp));
         std::cerr << "  [fig3] " << info.name << " done\n";
     }
+
+    tlppm_bench::reportSweep(sweep.lastReport(), "fig3");
 
     eff.print(std::cout);
     spd.print(std::cout);

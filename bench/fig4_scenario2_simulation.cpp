@@ -8,6 +8,10 @@
  * e.g. 0.3 for a quick pass. The sweep fans across hardware threads;
  * control the worker count with --jobs N (or TLPPM_JOBS); --jobs 1 runs
  * serially. The printed tables are byte-identical at any job count.
+ *
+ * Robustness knobs (as in fig3): --journal PATH, --resume,
+ * --point-timeout SECONDS. Failed points are contained, itemized on
+ * stderr, and shown as "FAILED" rows; the sweep still completes.
  */
 
 #include <iostream>
@@ -24,9 +28,14 @@ main(int argc, char** argv)
     tlppm_bench::banner("Figure 4 -- Scenario II on the simulated CMP "
                         "(scale " + util::Table::num(scale, 2) + ")");
 
+    const tlppm_bench::SweepCliOptions cli =
+        tlppm_bench::parseSweepCli(argc, argv);
     runner::SweepRunner::Options options;
-    options.jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    options.jobs = cli.jobs;
     options.scale = scale;
+    options.journal_path = cli.journal;
+    options.resume = cli.resume;
+    options.point_timeout_s = cli.point_timeout_s;
     runner::SweepRunner sweep(options);
     std::cout << "Power budget (microbenchmark-derived single-core "
                  "maximum): "
@@ -42,6 +51,7 @@ main(int argc, char** argv)
     std::cerr << "  [fig4] sweeping " << apps.size() << " applications on "
               << sweep.jobs() << " worker(s)\n";
     const auto all_rows = sweep.scenario2Sweep(apps, ns);
+    tlppm_bench::reportSweep(sweep.lastReport(), "fig4");
 
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const std::string name = apps[a]->name;
@@ -53,6 +63,11 @@ main(int argc, char** argv)
                            "f [GHz]", "Vdd [V]", "power [W]",
                            "at nominal V/f"});
         for (const auto& row : rows) {
+            if (row.failed) {
+                table.addRow({util::Table::num(row.n), "FAILED", "FAILED",
+                              "-", "-", "-", "-"});
+                continue;
+            }
             table.addRow({util::Table::num(row.n),
                           util::Table::num(row.nominal_speedup, 2),
                           util::Table::num(row.actual_speedup, 2),

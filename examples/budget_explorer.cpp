@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "runner/experiment.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 int
@@ -23,10 +24,16 @@ main(int argc, char** argv)
     using namespace tlp;
 
     const std::string app_name = argc > 1 ? argv[1] : "Cholesky";
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
-    if (scale <= 0.0 || scale > 1.0) {
-        std::fprintf(stderr, "scale must be in (0, 1]\n");
-        return 1;
+    double scale = 0.25;
+    if (argc > 2) {
+        const auto parsed =
+            util::parseNumber(argv[2], "scale", 1e-6, 1.0);
+        if (!parsed) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.error().describe().c_str());
+            return 1;
+        }
+        scale = parsed.value();
     }
 
     const auto& app = workloads::byName(app_name);

@@ -15,6 +15,7 @@
 #include "model/scenario1.hpp"
 #include "model/scenario2.hpp"
 #include "tech/technology.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 int
@@ -24,11 +25,14 @@ main(int argc, char** argv)
 
     double serial = 0.05;
     if (argc > 1) {
-        serial = std::atof(argv[1]);
-        if (serial < 0.0 || serial > 1.0) {
-            std::fprintf(stderr, "serial fraction must be in [0, 1]\n");
+        const auto parsed =
+            util::parseNumber(argv[1], "serial fraction", 0.0, 1.0);
+        if (!parsed) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.error().describe().c_str());
             return 1;
         }
+        serial = parsed.value();
     }
     const model::AmdahlEfficiency app(serial);
     std::printf("Amdahl serial fraction: %.3f\n\n", serial);

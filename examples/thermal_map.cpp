@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "runner/experiment.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -61,12 +62,28 @@ int
 main(int argc, char** argv)
 {
     const std::string app_name = argc > 1 ? argv[1] : "FMM";
-    const int n = argc > 2 ? std::atoi(argv[2]) : 8;
-    const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
-    if (n < 1 || n > 16 || scale <= 0.0 || scale > 1.0) {
-        std::fprintf(stderr,
-                     "usage: thermal_map [app] [n in 1..16] [scale]\n");
-        return 1;
+    int n = 8;
+    double scale = 0.25;
+    if (argc > 2) {
+        const auto parsed = tlp::util::parseInt(argv[2], "n", 1, 16);
+        if (!parsed) {
+            std::fprintf(stderr, "usage: thermal_map [app] [n in 1..16] "
+                                 "[scale]: %s\n",
+                         parsed.error().describe().c_str());
+            return 1;
+        }
+        n = static_cast<int>(parsed.value());
+    }
+    if (argc > 3) {
+        const auto parsed =
+            tlp::util::parseNumber(argv[3], "scale", 1e-6, 1.0);
+        if (!parsed) {
+            std::fprintf(stderr, "usage: thermal_map [app] [n in 1..16] "
+                                 "[scale]: %s\n",
+                         parsed.error().describe().c_str());
+            return 1;
+        }
+        scale = parsed.value();
     }
 
     const auto& app = workloads::byName(app_name);

@@ -1,12 +1,17 @@
 #include "runner/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <thread>
 
+#include "runner/fault_injection.hpp"
 #include "runner/run_cache.hpp"
 #include "thermal/rc_model.hpp"
 #include "util/logging.hpp"
 #include "util/units.hpp"
+#include "util/watchdog.hpp"
 
 namespace tlp::runner {
 
@@ -26,26 +31,85 @@ geometryFrom(const sim::CmpConfig& config)
     return g;
 }
 
-/** Indices and area of the blocks belonging to cores [0, n_active). */
-double
-activeCoreArea(const thermal::Floorplan& plan, int n_active)
+/** Validate @p config before any simulator state is built from it. */
+const sim::CmpConfig&
+validated(const sim::CmpConfig& config)
 {
-    double area = 0.0;
-    for (const thermal::Block& b : plan.blocks()) {
-        if (b.core_id >= 0 && b.core_id < n_active)
-            area += b.area();
+    config.validate();
+    return config;
+}
+
+/** "vdd=1.1 V f=3.2e+09 Hz" — the operating-point frame every
+ *  measurement error carries in its context chain. */
+std::string
+operatingPoint(double vdd, double freq_hz)
+{
+    return util::strcatMsg("vdd=", vdd, " V f=", freq_hz, " Hz");
+}
+
+/**
+ * Reject a Measurement with any non-finite field: a NaN admitted here
+ * would silently propagate through speedup/power normalizations into the
+ * figure tables. Names the first offending field.
+ */
+util::Expected<Measurement>
+checkFinite(const Measurement& m)
+{
+    const std::pair<const char*, double> fields[] = {
+        {"seconds", m.seconds},
+        {"freq_hz", m.freq_hz},
+        {"vdd", m.vdd},
+        {"dynamic_w", m.dynamic_w},
+        {"static_w", m.static_w},
+        {"total_w", m.total_w},
+        {"avg_core_temp_c", m.avg_core_temp_c},
+        {"core_power_density_w_m2", m.core_power_density_w_m2},
+    };
+    for (const auto& [name, value] : fields) {
+        if (!std::isfinite(value)) {
+            return util::Error{
+                util::ErrorCode::NonFinite,
+                util::strcatMsg("Measurement field '", name,
+                                "' is non-finite (", value, ")")};
+        }
     }
-    return area;
+    return m;
+}
+
+/** Busy-wait (politely) until the per-point watchdog fires — the stall
+ *  fault. A safety valve aborts after ~5 s when no deadline is armed, so
+ *  a misconfigured stall fault cannot hang a sweep forever. */
+[[noreturn]] void
+stallUntilWatchdog()
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        util::checkPointDeadline("injected stall fault");
+        if (!util::pointDeadlineArmed() &&
+            std::chrono::steady_clock::now() - start >
+                std::chrono::seconds(5)) {
+            util::fatal("injected stall fault ran 5 s with no point "
+                        "deadline armed; set --point-timeout when using "
+                        "stall faults");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
 }
 
 } // namespace
 
 Experiment::Experiment(double scale, sim::CmpConfig config)
-    : scale_(scale), tech_(tech::tech65nm()), cmp_(config),
+    : scale_(scale), tech_(tech::tech65nm()), cmp_(validated(config)),
       power_model_(tech_, geometryFrom(config)),
       vf_(tech::pentiumMLike(tech_)),
       thermal_(power_model_.floorplan(), thermal::RCParams{})
 {
+    if (!std::isfinite(scale_) || !(scale_ > 0.0) || scale_ > 1.0) {
+        util::fatal(util::strcatMsg(
+            "Experiment: workload scale must be in (0, 1], got ", scale_));
+    }
+    validateVfTable();
+
     // §3.3 calibration. Step 1: microbenchmark at nominal V/f on one core.
     const sim::Program virus = workloads::makePowerVirus(1, scale_);
     const sim::RunResult run = cmp_.run(virus, tech_.fNominal());
@@ -94,8 +158,37 @@ Experiment::Experiment(double scale, sim::CmpConfig config)
         priceRun(run, tech_.vddNominal()).total_w;
 }
 
-Measurement
-Experiment::priceRun(const sim::RunResult& run, double vdd) const
+void
+Experiment::validateVfTable() const
+{
+    const auto& points = vf_.points();
+    if (points.empty())
+        util::fatal("Experiment: V/f table has no operating points");
+    const double v_lo = tech_.vMin() - 1e-6;
+    const double v_hi = tech_.vddNominal() + 1e-6;
+    for (const auto& [f, v] : points) {
+        if (!std::isfinite(f) || !(f > 0.0)) {
+            util::fatal(util::strcatMsg(
+                "Experiment: V/f table frequency must be positive and "
+                "finite, got ", f, " Hz"));
+        }
+        if (!std::isfinite(v) || v < v_lo || v > v_hi) {
+            util::fatal(util::strcatMsg(
+                "Experiment: V/f table voltage ", v, " V at ", f,
+                " Hz is outside the technology envelope [", tech_.vMin(),
+                ", ", tech_.vddNominal(), "] V"));
+        }
+    }
+    if (vf_.fMax() > tech_.fNominal() * (1.0 + 1e-9)) {
+        util::fatal(util::strcatMsg(
+            "Experiment: V/f table fMax ", vf_.fMax(),
+            " Hz exceeds the nominal frequency ", tech_.fNominal(),
+            " Hz (overclocked entries are not modeled)"));
+    }
+}
+
+util::Expected<Measurement>
+Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
 {
     const int n_active = run.n_threads;
     const auto& plan = power_model_.floorplan();
@@ -103,15 +196,51 @@ Experiment::priceRun(const sim::RunResult& run, double vdd) const
     const std::vector<double> dynamic = power_model_.dynamicPower(
         run.stats, run.cycles, n_active, vdd, run.freq_hz);
 
-    const auto coupled = thermal::solveCoupled(
-        thermal_,
-        [&](const std::vector<double>& temps) {
-            std::vector<double> total = power_model_.staticPower(
-                temps, dynamic, n_active, vdd, run.freq_hz);
-            for (std::size_t i = 0; i < total.size(); ++i)
-                total[i] += dynamic[i];
-            return total;
-        });
+    const auto power_of_temp = [&](const std::vector<double>& temps) {
+        std::vector<double> total = power_model_.staticPower(
+            temps, dynamic, n_active, vdd, run.freq_hz);
+        for (std::size_t i = 0; i < total.size(); ++i)
+            total[i] += dynamic[i];
+        return total;
+    };
+
+    // Damped fixed-point retry ladder: the first rung is the historical
+    // default (converging points must take the exact same path as
+    // before); the later rungs trade iterations for heavier damping,
+    // which rescues oscillating points near the leakage knee. Runaway
+    // points are excluded — their clamped result is the answer.
+    struct Rung
+    {
+        double tol_c;
+        int max_iter;
+        double damping;
+    };
+    static constexpr Rung kLadder[] = {
+        {0.01, 100, 0.7},
+        {0.01, 300, 0.4},
+        {0.01, 1000, 0.2},
+    };
+
+    thermal::CoupledResult coupled{};
+    int attempts = 0;
+    for (const Rung& rung : kLadder) {
+        ++attempts;
+        coupled = thermal::solveCoupled(thermal_, power_of_temp,
+                                        rung.tol_c, rung.max_iter,
+                                        rung.damping);
+        if (coupled.converged || coupled.runaway)
+            break;
+    }
+    if (!coupled.converged && !coupled.runaway) {
+        return util::Error{
+            util::ErrorCode::NoConvergence,
+            util::strcatMsg(
+                "thermal fixed point did not converge after ", attempts,
+                " attempts (last: ", coupled.iterations,
+                " iterations, residual ", coupled.residual_c,
+                " C > tol ", kLadder[attempts - 1].tol_c, " C)")}
+            .withContext(operatingPoint(vdd, run.freq_hz));
+    }
 
     Measurement m;
     m.cycles = run.cycles;
@@ -143,30 +272,108 @@ Experiment::priceRun(const sim::RunResult& run, double vdd) const
     m.core_power_density_w_m2 =
         core_area > 0.0 ? core_power / core_area : 0.0;
     m.runaway = coupled.runaway;
-    return m;
+    return checkFinite(m);
+}
+
+Measurement
+Experiment::priceRun(const sim::RunResult& run, double vdd) const
+{
+    auto priced = tryPriceRun(run, vdd);
+    if (!priced)
+        util::fatal(priced.error().describe());
+    return priced.value();
+}
+
+util::Expected<Measurement>
+Experiment::tryMeasure(const sim::Program& program, double vdd,
+                       double freq_hz) const
+{
+    try {
+        const sim::RunResult run = cmp_.run(program, freq_hz);
+        auto priced = tryPriceRun(run, vdd);
+        if (!priced) {
+            return std::move(priced.error())
+                .withContext("Experiment::tryMeasure");
+        }
+        return priced;
+    } catch (const util::TimeoutError& e) {
+        return util::Error{util::ErrorCode::Timeout, e.what()}
+            .withContext(operatingPoint(vdd, freq_hz))
+            .withContext("Experiment::tryMeasure");
+    } catch (const util::FatalError& e) {
+        return util::Error{util::ErrorCode::SimulationError, e.what()}
+            .withContext(operatingPoint(vdd, freq_hz))
+            .withContext("Experiment::tryMeasure");
+    }
 }
 
 Measurement
 Experiment::measure(const sim::Program& program, double vdd,
                     double freq_hz) const
 {
-    const sim::RunResult run = cmp_.run(program, freq_hz);
-    return priceRun(run, vdd);
+    auto m = tryMeasure(program, vdd, freq_hz);
+    if (!m)
+        util::fatal(m.error().describe());
+    return m.value();
+}
+
+util::Expected<Measurement>
+Experiment::tryMeasureApp(const workloads::WorkloadInfo& app, int n,
+                          double vdd, double freq_hz) const
+{
+    const RunKey key{app.name, n, scale_, vdd, freq_hz};
+    if (cache_) {
+        if (std::optional<Measurement> cached = cache_->find(key))
+            return *cached;
+    }
+
+    // A cache miss is a real measurement: the fault-injection hook counts
+    // it and may turn it into a deliberate failure.
+    FaultInjector& injector = FaultInjector::instance();
+    injector.installFromEnv();
+    bool poison = false;
+    switch (injector.onMeasure(app.name, n)) {
+    case FaultKind::None:
+        break;
+    case FaultKind::Nan:
+        poison = true; // price the run, then corrupt it (guard path)
+        break;
+    case FaultKind::Throw:
+        throw util::FatalError(util::strcatMsg(
+            "injected fault: throw at ", app.name, " n=", n));
+    case FaultKind::Stall:
+        stallUntilWatchdog();
+    case FaultKind::Kill:
+        throw FaultKillError(util::strcatMsg(
+            "injected fault: kill at ", app.name, " n=", n));
+    }
+
+    auto measured = tryMeasure(app.make(n, scale_), vdd, freq_hz);
+    if (!measured) {
+        return std::move(measured.error())
+            .withContext(util::strcatMsg(app.name, " n=", n));
+    }
+    if (poison) {
+        Measurement bad = measured.value();
+        bad.total_w = std::numeric_limits<double>::quiet_NaN();
+        auto guarded = checkFinite(bad);
+        return std::move(guarded.error())
+            .withContext(util::strcatMsg("injected fault: nan at ",
+                                         app.name, " n=", n));
+    }
+    if (cache_)
+        cache_->insert(key, measured.value());
+    return measured;
 }
 
 Measurement
 Experiment::measureApp(const workloads::WorkloadInfo& app, int n,
                        double vdd, double freq_hz) const
 {
-    if (!cache_)
-        return measure(app.make(n, scale_), vdd, freq_hz);
-
-    const RunKey key{app.name, n, scale_, vdd, freq_hz};
-    if (std::optional<Measurement> cached = cache_->find(key))
-        return *cached;
-    const Measurement m = measure(app.make(n, scale_), vdd, freq_hz);
-    cache_->insert(key, m);
-    return m;
+    auto m = tryMeasureApp(app, n, vdd, freq_hz);
+    if (!m)
+        util::fatal(m.error().describe());
+    return m.value();
 }
 
 std::vector<double>

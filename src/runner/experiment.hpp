@@ -27,6 +27,7 @@
 #include "tech/technology.hpp"
 #include "tech/vf_table.hpp"
 #include "thermal/rc_model.hpp"
+#include "util/error.hpp"
 #include "workloads/workload.hpp"
 
 namespace tlp::runner {
@@ -63,6 +64,9 @@ struct Scenario1Row
     double normalized_density = 1.0;
     double avg_temp_c = 0.0;
     Measurement measurement;
+    /** The point could not be measured (see SweepReport::failed); every
+     *  numeric field above is a placeholder. */
+    bool failed = false;
 };
 
 /** One row of the Scenario II evaluation (Figure 4). */
@@ -75,6 +79,9 @@ struct Scenario2Row
     double vdd = 0.0;
     double power_w = 0.0;         ///< chip power at the chosen point
     bool at_nominal = false;      ///< ran at full V/f within budget
+    /** The point could not be measured (see SweepReport::failed); every
+     *  numeric field above is a placeholder. */
+    bool failed = false;
 };
 
 /** The experimental testbed. */
@@ -84,7 +91,9 @@ class Experiment
     /**
      * @param scale  workload problem-size scale in (0, 1] (tests use small
      *               values; figures use 1.0)
-     * @param config machine configuration (defaults to Table 1)
+     * @param config machine configuration (defaults to Table 1); validated
+     *               up front — a bad field is a FatalError naming it and
+     *               the accepted range, before any simulation runs
      */
     explicit Experiment(double scale = 1.0,
                         sim::CmpConfig config = sim::CmpConfig{});
@@ -93,6 +102,24 @@ class Experiment
      *  the run. */
     Measurement measure(const sim::Program& program, double vdd,
                         double freq_hz) const;
+
+    /**
+     * Error-returning measure(): instead of throwing, simulation failures
+     * (deadlock / event-budget FatalError), watchdog timeouts,
+     * thermal-fixed-point non-convergence (after a damped retry ladder),
+     * and non-finite results come back as a structured util::Error with
+     * the operating point in its context chain. The sweep containment
+     * layer is built on this entry point.
+     */
+    util::Expected<Measurement> tryMeasure(const sim::Program& program,
+                                           double vdd,
+                                           double freq_hz) const;
+
+    /** Cache- and fault-injection-aware tryMeasure() for a workload
+     *  operating point — the Expected counterpart of measureApp(). */
+    util::Expected<Measurement>
+    tryMeasureApp(const workloads::WorkloadInfo& app, int n, double vdd,
+                  double freq_hz) const;
 
     /**
      * Cache-aware measure(): price @p app at @p n threads and (vdd, freq).
@@ -179,6 +206,9 @@ class Experiment
 
   private:
     Measurement priceRun(const sim::RunResult& run, double vdd) const;
+    util::Expected<Measurement> tryPriceRun(const sim::RunResult& run,
+                                            double vdd) const;
+    void validateVfTable() const;
 
     double scale_;
     tech::Technology tech_;

@@ -1,0 +1,176 @@
+#include "runner/fault_injection.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+
+namespace tlp::runner {
+
+namespace {
+
+util::Expected<FaultKind>
+parseKind(std::string_view word)
+{
+    if (word == "throw" || word == "point")
+        return FaultKind::Throw;
+    if (word == "nan")
+        return FaultKind::Nan;
+    if (word == "stall")
+        return FaultKind::Stall;
+    if (word == "kill")
+        return FaultKind::Kill;
+    return util::Error{util::ErrorCode::ParseError,
+                       util::strcatMsg("unknown fault kind '",
+                                       std::string(word),
+                                       "' (expected point, throw, nan, "
+                                       "stall, or kill)")};
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::None:
+        return "none";
+    case FaultKind::Throw:
+        return "throw";
+    case FaultKind::Nan:
+        return "nan";
+    case FaultKind::Stall:
+        return "stall";
+    case FaultKind::Kill:
+        return "kill";
+    }
+    return "?";
+}
+
+util::Expected<FaultPlan>
+parseFaultPlan(std::string_view spec)
+{
+    const auto fail = [&](const std::string& why) -> util::Error {
+        return util::Error{
+            util::ErrorCode::ParseError,
+            util::strcatMsg("fault plan '", std::string(spec), "': ", why,
+                            "; expected kind:K or kind:workload:n with "
+                            "kind in {point, throw, nan, stall, kill}")};
+    };
+
+    const std::size_t first = spec.find(':');
+    if (first == std::string_view::npos)
+        return fail("missing ':' separator");
+
+    auto kind = parseKind(spec.substr(0, first));
+    if (!kind)
+        return kind.error().withContext("parseFaultPlan");
+
+    FaultPlan plan;
+    plan.kind = kind.value();
+
+    const std::string_view rest = spec.substr(first + 1);
+    const std::size_t second = rest.find(':');
+    if (second == std::string_view::npos) {
+        // kind:K — ordinal selection.
+        auto point = util::parseInt(rest, "fault point ordinal", 1);
+        if (!point)
+            return point.error().withContext("parseFaultPlan");
+        plan.point = static_cast<std::uint64_t>(point.value());
+        return plan;
+    }
+
+    // kind:workload:n — key selection.
+    const std::string_view workload = rest.substr(0, second);
+    if (workload.empty())
+        return fail("empty workload name");
+    auto n = util::parseInt(rest.substr(second + 1),
+                            "fault plan thread count", 1, 1 << 20);
+    if (!n)
+        return n.error().withContext("parseFaultPlan");
+    plan.workload = std::string(workload);
+    plan.n = static_cast<int>(n.value());
+    return plan;
+}
+
+FaultInjector&
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::setPlan(const FaultPlan& plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = plan;
+    fired_ = false;
+}
+
+void
+FaultInjector::clearPlan()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = FaultPlan{};
+    fired_ = false;
+}
+
+FaultPlan
+FaultInjector::plan() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plan_;
+}
+
+bool
+FaultInjector::installFromEnv()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!env_checked_) {
+        env_checked_ = true;
+        if (const char* spec = std::getenv("TLPPM_FAULT");
+            spec != nullptr && *spec != '\0') {
+            auto plan = parseFaultPlan(spec);
+            if (!plan) {
+                util::fatal(util::strcatMsg("TLPPM_FAULT: ",
+                                            plan.error().describe()));
+            }
+            plan_ = plan.value();
+            fired_ = false;
+            util::warn(util::strcatMsg(
+                "fault injection armed: kind=", faultKindName(plan_.kind),
+                plan_.byKey()
+                    ? util::strcatMsg(" workload=", plan_.workload,
+                                      " n=", plan_.n)
+                    : util::strcatMsg(" point=", plan_.point)));
+        }
+    }
+    return plan_.active();
+}
+
+FaultKind
+FaultInjector::onMeasure(const std::string& workload, int n)
+{
+    const std::uint64_t ordinal =
+        count_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!plan_.active())
+        return FaultKind::None;
+    if (plan_.byKey()) {
+        // Key plans are sticky: the point fails identically on every
+        // attempt and at every job count.
+        if (workload == plan_.workload && (plan_.n == 0 || n == plan_.n))
+            return plan_.kind;
+        return FaultKind::None;
+    }
+    // Ordinal plans fire exactly once — a transient fault.
+    if (!fired_ && ordinal == plan_.point) {
+        fired_ = true;
+        return plan_.kind;
+    }
+    return FaultKind::None;
+}
+
+} // namespace tlp::runner

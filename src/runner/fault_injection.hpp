@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic fault injection for the sweep fault-tolerance layer.
+ *
+ * Containment, retry, journaling, and resume are only trustworthy if they
+ * can be exercised on demand, so the measurement hot path asks a global
+ * FaultInjector before every *real* (cache-miss) simulation whether this
+ * point should misbehave. A plan selects points either by ordinal (the
+ * K-th real measurement process-wide, firing once — a transient fault the
+ * retry ladder recovers from) or by key (every measurement of one
+ * (workload, n) pair — a persistent fault the sweep must contain and
+ * report).
+ *
+ * Kinds:
+ *  - throw: the measurement throws FatalError (worker-exception path);
+ *  - nan:   the priced Measurement is poisoned with NaN (non-finite-guard
+ *           path);
+ *  - stall: the measurement spins until the per-point watchdog fires
+ *           (timeout path);
+ *  - kill:  the measurement throws FaultKillError, which containment
+ *           deliberately re-raises — simulating a killed process for
+ *           journal/resume tests.
+ *
+ * The environment knob `TLPPM_FAULT` installs a plan at first use:
+ *   TLPPM_FAULT=point:K        throw at the K-th measurement (1-based)
+ *   TLPPM_FAULT=<kind>:K       kind in {throw, nan, stall, kill}
+ *   TLPPM_FAULT=<kind>:<workload>:<n>  key-selected persistent fault
+ *
+ * The injector also counts real measurements unconditionally; tests use
+ * the counter to prove a resumed sweep re-simulates zero completed
+ * points.
+ */
+
+#ifndef TLP_RUNNER_FAULT_INJECTION_HPP
+#define TLP_RUNNER_FAULT_INJECTION_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace tlp::runner {
+
+/** What an injected fault does to its measurement. */
+enum class FaultKind { None = 0, Throw, Nan, Stall, Kill };
+
+/** Stable name of @p kind ("throw", "nan", ...). */
+const char* faultKindName(FaultKind kind);
+
+/** Which measurement(s) to hit, and how. */
+struct FaultPlan
+{
+    FaultKind kind = FaultKind::None;
+    /** 1-based ordinal of the real measurement to hit (fires once);
+     *  ignored when a workload key is set. */
+    std::uint64_t point = 0;
+    /** Key selection: every real measurement of this workload (and, when
+     *  n != 0, this thread count) faults — persistent, any job count. */
+    std::string workload;
+    int n = 0;
+
+    bool active() const { return kind != FaultKind::None; }
+    bool byKey() const { return !workload.empty(); }
+};
+
+/** Parse a TLPPM_FAULT-style spec ("point:5", "nan:3", "stall:FMM:4"). */
+util::Expected<FaultPlan> parseFaultPlan(std::string_view spec);
+
+/** Thrown by kill faults; the containment layer re-raises it so a test
+ *  can simulate a process death mid-sweep. */
+class FaultKillError : public std::runtime_error
+{
+  public:
+    explicit FaultKillError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Process-wide fault plan + real-measurement counter. */
+class FaultInjector
+{
+  public:
+    static FaultInjector& instance();
+
+    /** Install @p plan (replacing any active one). */
+    void setPlan(const FaultPlan& plan);
+
+    /** Remove the active plan (the counter keeps running). */
+    void clearPlan();
+
+    /** Active plan (kind None when none installed). */
+    FaultPlan plan() const;
+
+    /**
+     * Install a plan from the TLPPM_FAULT environment variable, once per
+     * process. Returns true when a plan is (already) active. A malformed
+     * spec is a fatal error: a mistyped fault knob silently doing nothing
+     * would defeat the CI leg that relies on it.
+     */
+    bool installFromEnv();
+
+    /**
+     * Hot-path hook: count one real measurement of (@p workload, @p n)
+     * and return the fault to apply to it (usually None).
+     */
+    FaultKind onMeasure(const std::string& workload, int n);
+
+    /** Real (cache-miss) measurements counted since process start /
+     *  resetCount(). */
+    std::uint64_t measurements() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    void resetCount() { count_.store(0, std::memory_order_relaxed); }
+
+  private:
+    FaultInjector() = default;
+
+    mutable std::mutex mutex_;
+    FaultPlan plan_;
+    bool env_checked_ = false;
+    bool fired_ = false; ///< ordinal plans fire exactly once
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/** RAII plan installation for tests: installs on construction, clears
+ *  (and resets the ordinal-fired latch) on destruction. */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(const FaultPlan& plan)
+    {
+        FaultInjector::instance().setPlan(plan);
+    }
+    ~ScopedFaultPlan() { FaultInjector::instance().clearPlan(); }
+    ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+    ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_FAULT_INJECTION_HPP

@@ -1,0 +1,308 @@
+#include "runner/journal.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <unistd.h>
+
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+
+namespace tlp::runner {
+
+namespace {
+
+constexpr std::string_view kHeader = "{\"tlppm_journal\":1}";
+
+/** Append @p value to @p out with %.17g: enough digits that strtod
+ *  recovers the exact IEEE-754 bits, so resumed rows are byte-identical
+ *  to never-interrupted ones. */
+void
+appendDouble(std::string& out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+void
+appendU64(std::string& out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+}
+
+/**
+ * Locate `"<field>":` in @p line and return a pointer to the first
+ * character of its value, or nullptr. Fields are short fixed tokens
+ * written by formatLine(); workload names never contain quotes, so a
+ * plain substring search is exact for this format.
+ */
+const char*
+findField(const std::string& line, const char* field)
+{
+    const std::string token = util::strcatMsg("\"", field, "\":");
+    const std::size_t pos = line.find(token);
+    if (pos == std::string::npos)
+        return nullptr;
+    return line.c_str() + pos + token.size();
+}
+
+bool
+parseDoubleField(const std::string& line, const char* field, double& out)
+{
+    const char* start = findField(line, field);
+    if (start == nullptr)
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtod(start, &end);
+    if (end == start)
+        return false;
+    // ERANGE underflow still yields the exact (sub)normal value — only
+    // overflow (to +/-HUGE_VAL) means the text is not a double.
+    return !(errno == ERANGE && (out >= HUGE_VAL || out <= -HUGE_VAL));
+}
+
+bool
+parseU64Field(const std::string& line, const char* field,
+              std::uint64_t& out)
+{
+    const char* start = findField(line, field);
+    if (start == nullptr)
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtoull(start, &end, 10);
+    return end != start && errno != ERANGE;
+}
+
+bool
+parseStringField(const std::string& line, const char* field,
+                 std::string& out)
+{
+    const char* start = findField(line, field);
+    if (start == nullptr || *start != '"')
+        return false;
+    const char* close = std::strchr(start + 1, '"');
+    if (close == nullptr)
+        return false;
+    out.assign(start + 1, close);
+    return true;
+}
+
+/** Parse one journal line into (key, m). The CRC must already have been
+ *  verified; this only extracts fields. */
+bool
+parseLine(const std::string& line, RunKey& key, Measurement& m)
+{
+    std::uint64_t n = 0;
+    if (!parseStringField(line, "w", key.workload) ||
+        !parseU64Field(line, "n", n) ||
+        !parseDoubleField(line, "s", key.scale) ||
+        !parseDoubleField(line, "v", key.vdd) ||
+        !parseDoubleField(line, "f", key.freq_hz))
+        return false;
+    key.n = static_cast<int>(n);
+
+    std::uint64_t runaway = 0;
+    if (!parseU64Field(line, "cyc", m.cycles) ||
+        !parseDoubleField(line, "sec", m.seconds) ||
+        !parseDoubleField(line, "fhz", m.freq_hz) ||
+        !parseDoubleField(line, "vdd", m.vdd) ||
+        !parseDoubleField(line, "dyn", m.dynamic_w) ||
+        !parseDoubleField(line, "sta", m.static_w) ||
+        !parseDoubleField(line, "tot", m.total_w) ||
+        !parseDoubleField(line, "tmp", m.avg_core_temp_c) ||
+        !parseDoubleField(line, "den", m.core_power_density_w_m2) ||
+        !parseU64Field(line, "ins", m.instructions) ||
+        !parseU64Field(line, "run", runaway))
+        return false;
+    m.runaway = runaway != 0;
+    return true;
+}
+
+/** Split @p line into payload and CRC; verify. */
+bool
+checkCrc(const std::string& line)
+{
+    static constexpr std::string_view kCrcToken = ",\"crc\":";
+    const std::size_t pos = line.rfind(kCrcToken);
+    if (pos == std::string::npos)
+        return false;
+    const char* start = line.c_str() + pos + kCrcToken.size();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long stored = std::strtoull(start, &end, 10);
+    if (end == start || errno == ERANGE || stored > 0xFFFFFFFFull)
+        return false;
+    const std::uint32_t computed =
+        util::crc32(std::string_view(line.data(), pos));
+    return computed == static_cast<std::uint32_t>(stored);
+}
+
+} // namespace
+
+std::string
+Journal::formatLine(const RunKey& key, const Measurement& m)
+{
+    std::string line;
+    line.reserve(384);
+    line += "{\"k\":{\"w\":\"";
+    line += key.workload;
+    line += "\",\"n\":";
+    appendU64(line, static_cast<std::uint64_t>(key.n));
+    line += ",\"s\":";
+    appendDouble(line, key.scale);
+    line += ",\"v\":";
+    appendDouble(line, key.vdd);
+    line += ",\"f\":";
+    appendDouble(line, key.freq_hz);
+    line += "},\"m\":{\"cyc\":";
+    appendU64(line, m.cycles);
+    line += ",\"sec\":";
+    appendDouble(line, m.seconds);
+    line += ",\"fhz\":";
+    appendDouble(line, m.freq_hz);
+    line += ",\"vdd\":";
+    appendDouble(line, m.vdd);
+    line += ",\"dyn\":";
+    appendDouble(line, m.dynamic_w);
+    line += ",\"sta\":";
+    appendDouble(line, m.static_w);
+    line += ",\"tot\":";
+    appendDouble(line, m.total_w);
+    line += ",\"tmp\":";
+    appendDouble(line, m.avg_core_temp_c);
+    line += ",\"den\":";
+    appendDouble(line, m.core_power_density_w_m2);
+    line += ",\"ins\":";
+    appendU64(line, m.instructions);
+    line += ",\"run\":";
+    line += m.runaway ? '1' : '0';
+    line += "}";
+    const std::uint32_t crc = util::crc32(line);
+    line += ",\"crc\":";
+    appendU64(line, crc);
+    line += "}";
+    return line;
+}
+
+Journal::Journal(std::string path, int flush_every)
+    : path_(std::move(path)),
+      flush_every_(flush_every < 1 ? 1 : flush_every)
+{
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr) {
+        util::fatal(util::strcatMsg("journal: cannot open '", path_,
+                                    "' for appending: ",
+                                    std::strerror(errno)));
+    }
+    // Header only on a brand-new (or truncated-empty) file, so repeated
+    // resume runs keep appending to one journal.
+    if (std::ftell(file_) == 0) {
+        std::fwrite(kHeader.data(), 1, kHeader.size(), file_);
+        std::fputc('\n', file_);
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+    }
+}
+
+Journal::~Journal()
+{
+    if (file_ != nullptr) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+        std::fclose(file_);
+    }
+}
+
+void
+Journal::append(const RunKey& key, const Measurement& m)
+{
+    const std::string line = formatLine(key, m);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    ++appended_;
+    if (++unflushed_ >= flush_every_) {
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+        unflushed_ = 0;
+    }
+}
+
+void
+Journal::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+    unflushed_ = 0;
+}
+
+std::uint64_t
+Journal::appended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appended_;
+}
+
+ReplayStats
+Journal::replayInto(const std::string& path, RunCache& cache)
+{
+    ReplayStats stats;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return stats; // fresh run with --resume: nothing to replay
+
+    std::string line;
+    char buf[4096];
+    std::size_t line_no = 0;
+    const auto consume = [&](bool final_flush) {
+        if (line.empty() && final_flush)
+            return;
+        ++line_no;
+        if (line_no == 1 && line == kHeader) {
+            line.clear();
+            return;
+        }
+        RunKey key;
+        Measurement m;
+        if (!checkCrc(line) || !parseLine(line, key, m)) {
+            ++stats.corrupt;
+            util::warn(util::strcatMsg("journal: skipping corrupt line ",
+                                       line_no, " of '", path, "'"));
+        } else if (!RunCache::admissible(m)) {
+            ++stats.inadmissible;
+            util::warn(util::strcatMsg(
+                "journal: dropping non-finite record at line ", line_no,
+                " of '", path, "' (", key.workload, " n=", key.n,
+                "); the point will be recomputed"));
+        } else {
+            cache.insert(key, m); // duplicate keys: first record wins
+            ++stats.entries;
+        }
+        line.clear();
+    };
+
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            if (buf[i] == '\n')
+                consume(false);
+            else
+                line += buf[i];
+        }
+    }
+    consume(true); // torn final line (no newline): CRC-checked, dropped
+    std::fclose(file);
+    return stats;
+}
+
+} // namespace tlp::runner

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Append-only sweep journal: crash-safe checkpoint/resume for sweeps.
+ *
+ * Every first-inserted cache entry — i.e. every completed simulation — is
+ * appended as one self-contained JSONL record keyed by the full RunKey
+ * (workload, n, scale, vdd, freq_hz). On resume, the journal is replayed
+ * into the RunCache before any simulation starts, so an interrupted sweep
+ * re-simulates only the points it never finished; the rows it then emits
+ * are byte-identical to an uninterrupted run because doubles are written
+ * with %.17g (exact IEEE-754 round trip).
+ *
+ * Durability and integrity:
+ *  - appends are flushed AND fsync'd every `flush_every` records, so a
+ *    SIGKILL loses at most the current batch;
+ *  - each line carries a CRC32 of its payload; replay skips (with a
+ *    warning) any line that fails the CRC or does not parse — a torn
+ *    final write after a crash degrades to "one more point to re-run",
+ *    never to a poisoned cache;
+ *  - only admissible Measurements reach the journal (the RunCache
+ *    rejects non-finite ones before the observer fires).
+ *
+ * Line format (one record, no spaces in practice):
+ *   {"k":{"w":"FFT","n":4,"s":…,"v":…,"f":…},
+ *    "m":{"cyc":…,"sec":…,"fhz":…,"vdd":…,"dyn":…,"sta":…,"tot":…,
+ *         "tmp":…,"den":…,"ins":…,"run":0},"crc":3735928559}
+ * The CRC covers everything before `,"crc":`.
+ */
+
+#ifndef TLP_RUNNER_JOURNAL_HPP
+#define TLP_RUNNER_JOURNAL_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "runner/run_cache.hpp"
+
+namespace tlp::runner {
+
+/** Outcome of replaying a journal file into a RunCache. */
+struct ReplayStats
+{
+    std::size_t entries = 0;      ///< records restored into the cache
+    std::size_t corrupt = 0;      ///< lines dropped (CRC/parse failure)
+    std::size_t inadmissible = 0; ///< records the cache refused
+};
+
+/** Append-only, fsync'd, CRC-protected record of completed runs. */
+class Journal
+{
+  public:
+    /**
+     * Open @p path for appending, creating it (with a header line) when
+     * new or empty. @p flush_every batches the flush+fsync: 1 = maximum
+     * durability (default), larger values trade loss-window for speed.
+     * Throws FatalError when the file cannot be opened.
+     */
+    explicit Journal(std::string path, int flush_every = 1);
+    ~Journal();
+
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /** Append one completed run. Thread-safe. */
+    void append(const RunKey& key, const Measurement& m);
+
+    /** Force the current batch to disk (flush + fsync). */
+    void flush();
+
+    /** Records appended through this handle. */
+    std::uint64_t appended() const;
+
+    const std::string& path() const { return path_; }
+
+    /**
+     * Replay @p path into @p cache: parse each line, verify its CRC, and
+     * insert the record. Missing file → zero stats (a fresh run with
+     * --resume is not an error). Corrupt lines are skipped with a
+     * warning.
+     */
+    static ReplayStats replayInto(const std::string& path,
+                                  RunCache& cache);
+
+    /** Serialize one record to its journal line (without newline);
+     *  exposed for tests. */
+    static std::string formatLine(const RunKey& key, const Measurement& m);
+
+  private:
+    std::string path_;
+    int flush_every_ = 1;
+    std::FILE* file_ = nullptr;
+    mutable std::mutex mutex_;
+    std::uint64_t appended_ = 0;
+    int unflushed_ = 0;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_JOURNAL_HPP

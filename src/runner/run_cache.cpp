@@ -1,6 +1,20 @@
 #include "runner/run_cache.hpp"
 
+#include <cmath>
+
+#include "util/logging.hpp"
+
 namespace tlp::runner {
+
+bool
+RunCache::admissible(const Measurement& m)
+{
+    return std::isfinite(m.seconds) && std::isfinite(m.freq_hz) &&
+           std::isfinite(m.vdd) && std::isfinite(m.dynamic_w) &&
+           std::isfinite(m.static_w) && std::isfinite(m.total_w) &&
+           std::isfinite(m.avg_core_temp_c) &&
+           std::isfinite(m.core_power_density_w_m2);
+}
 
 std::optional<Measurement>
 RunCache::find(const RunKey& key) const
@@ -15,11 +29,37 @@ RunCache::find(const RunKey& key) const
     return it->second;
 }
 
-void
+bool
 RunCache::insert(const RunKey& key, const Measurement& m)
 {
+    if (!admissible(m)) {
+        util::warn(util::strcatMsg(
+            "RunCache: rejecting non-finite Measurement for ",
+            key.workload, " n=", key.n, " vdd=", key.vdd,
+            " f=", key.freq_hz, "; the point will be recomputed"));
+        return false;
+    }
+    InsertObserver observer;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = entries_.emplace(key, m);
+        (void)it;
+        if (!inserted)
+            return false;
+        observer = observer_;
+    }
+    // Observer runs outside the lock: it may do slow I/O (journaling) and
+    // must not serialize concurrent cache lookups.
+    if (observer)
+        observer(key, m);
+    return true;
+}
+
+void
+RunCache::setInsertObserver(InsertObserver observer)
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(key, m);
+    observer_ = std::move(observer);
 }
 
 std::size_t

@@ -15,6 +15,12 @@
  * simulation itself runs outside the lock, so two workers may race to
  * compute the same point — both produce bit-identical Measurements (the
  * simulator is deterministic), and whichever inserts first wins.
+ *
+ * The cache is also the integrity choke point of the fault-tolerance
+ * layer: only admissible (all-finite) Measurements are ever stored, so a
+ * poisoned result can neither be replayed to later sweep points nor
+ * persisted to a journal. An optional insert observer is notified of each
+ * first insertion (outside the lock) — the sweep journal hangs off it.
  */
 
 #ifndef TLP_RUNNER_RUN_CACHE_HPP
@@ -22,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -52,11 +59,28 @@ struct RunKey
 class RunCache
 {
   public:
+    /** Called after each first insertion, outside the cache lock. */
+    using InsertObserver =
+        std::function<void(const RunKey&, const Measurement&)>;
+
+    /** True when every double field of @p m is finite: the only
+     *  Measurements the cache will store or a journal will persist. */
+    static bool admissible(const Measurement& m);
+
     /** The cached Measurement for @p key, or nullopt. Counts hit/miss. */
     std::optional<Measurement> find(const RunKey& key) const;
 
-    /** Record @p m for @p key (first writer wins on a race). */
-    void insert(const RunKey& key, const Measurement& m);
+    /**
+     * Record @p m for @p key (first writer wins on a race). Returns true
+     * when @p m was newly stored; inadmissible Measurements are rejected
+     * with a warning so a poisoned value is recomputed, never replayed.
+     */
+    bool insert(const RunKey& key, const Measurement& m);
+
+    /** Observe first insertions (e.g. to journal them). Pass an empty
+     *  function to detach. Not synchronized against concurrent insert();
+     *  set it before handing the cache to workers. */
+    void setInsertObserver(InsertObserver observer);
 
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
@@ -66,6 +90,7 @@ class RunCache
   private:
     mutable std::mutex mutex_;
     std::map<RunKey, Measurement> entries_;
+    InsertObserver observer_;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,0 +1,15 @@
+#include "runner/sweep_report.hpp"
+
+#include "util/logging.hpp"
+
+namespace tlp::runner {
+
+std::string
+SweepReport::summary() const
+{
+    return util::strcatMsg("ok=", ok, " failed=", failed.size(),
+                           " retried=", retried, " skipped=", skipped,
+                           " replayed=", replayed);
+}
+
+} // namespace tlp::runner

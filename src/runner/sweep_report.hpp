@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SweepReport — the containment ledger of one sweep.
+ *
+ * A fault-tolerant sweep never silently drops work: every point that
+ * could not be measured is recorded as a FailedPoint carrying the
+ * operating point, the structured error, the wall time burned, and the
+ * retry count; rows that depend on a failed point are counted as skipped
+ * and marked in the output. The figure harnesses print the summary and
+ * the failed list so a partially failed overnight sweep is still a
+ * usable (and auditable) result.
+ */
+
+#ifndef TLP_RUNNER_SWEEP_REPORT_HPP
+#define TLP_RUNNER_SWEEP_REPORT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tlp::runner {
+
+/** One operating point the sweep could not measure. */
+struct FailedPoint
+{
+    std::string workload;
+    int n = 0;
+    double vdd = 0.0;
+    double freq_hz = 0.0;
+    /** Which stage failed: "profile" (nominal pass), "row" (scenario
+     *  row assembly), or "measure" (measureAll point). */
+    std::string phase;
+    util::Error error;
+    double wall_seconds = 0.0; ///< total time across all attempts
+    int attempts = 1;          ///< 1 + retries actually taken
+    std::size_t order = 0;     ///< submission order (stable across jobs)
+};
+
+/** Outcome counts of one sweep (scenario1Sweep / scenario2Sweep /
+ *  measureAll call). */
+struct SweepReport
+{
+    std::size_t ok = 0;       ///< points / rows completed
+    std::size_t retried = 0;  ///< points that needed >= 1 retry to pass
+    std::size_t skipped = 0;  ///< rows dropped because a dependency failed
+    std::size_t replayed = 0; ///< cache entries restored from a journal
+    std::vector<FailedPoint> failed; ///< sorted by submission order
+
+    bool allOk() const { return failed.empty() && skipped == 0; }
+
+    /** "ok=12 failed=1 retried=0 skipped=3 replayed=0" */
+    std::string summary() const;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_SWEEP_REPORT_HPP

@@ -1,19 +1,159 @@
 #include "runner/sweep_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <type_traits>
+#include <utility>
 
+#include "runner/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace tlp::runner {
 
-SweepRunner::SweepRunner(Options options) : options_(options)
+/**
+ * Task-side helpers shared by the three sweep entry points. Lives on the
+ * sweep call's stack; worker lambdas reference it, which is safe because
+ * every sweep collects all its futures before returning.
+ */
+struct SweepTaskRunner
+{
+    SweepRunner& r;
+
+    /** Run @p f on the pool, or inline (jobs == 1) on the calling
+     *  thread — same code path, executed at submission, so serial
+     *  results are the parallel reference by construction. */
+    template <typename F>
+    auto
+    submit(F&& f) -> std::future<std::invoke_result_t<F&>>
+    {
+        if (r.pool_)
+            return r.pool_->submit(std::forward<F>(f));
+        using R = std::invoke_result_t<F&>;
+        std::promise<R> promise;
+        // Inline mode: contained errors are already inside the returned
+        // Expected; anything thrown here (FaultKillError, PanicError) is
+        // meant to abort the sweep and propagates immediately.
+        promise.set_value(f());
+        return promise.get_future();
+    }
+
+    /**
+     * Containment boundary around one task body. @p body returns an
+     * util::Expected; a thrown exception or error result is retried up
+     * to Options.max_point_retries times (each attempt under a fresh
+     * watchdog deadline) and finally recorded as a FailedPoint. Only
+     * FaultKillError (simulated crash) and PanicError (internal bug)
+     * escape.
+     */
+    template <typename Body>
+    auto
+    contain(const char* phase, const std::string& workload, int n,
+            double vdd, double freq_hz, std::size_t order, Body&& body)
+        -> decltype(body())
+    {
+        using Result = decltype(body());
+        const auto start = std::chrono::steady_clock::now();
+        const int max_attempts =
+            1 + std::max(0, r.options_.max_point_retries);
+        util::Error last;
+        int attempts = 0;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            ++attempts;
+            util::PointDeadlineGuard guard(r.options_.point_timeout_s);
+            try {
+                Result result = body();
+                if (result.ok()) {
+                    std::lock_guard<std::mutex> lock(r.report_mutex_);
+                    ++r.report_.ok;
+                    if (attempt > 0)
+                        ++r.report_.retried;
+                    return result;
+                }
+                last = std::move(result.error());
+            } catch (FaultKillError&) {
+                throw;
+            } catch (util::PanicError&) {
+                throw;
+            } catch (const util::TimeoutError& e) {
+                last = util::Error{util::ErrorCode::Timeout, e.what()};
+            } catch (const std::exception& e) {
+                last =
+                    util::Error{util::ErrorCode::SimulationError, e.what()};
+            }
+        }
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        util::warn(util::strcatMsg("sweep: ", phase, " point ", workload,
+                                   " n=", n, " failed after ", attempts,
+                                   attempts == 1 ? " attempt: "
+                                                 : " attempts: ",
+                                   last.describe()));
+        FailedPoint failure;
+        failure.workload = workload;
+        failure.n = n;
+        failure.vdd = vdd;
+        failure.freq_hz = freq_hz;
+        failure.phase = phase;
+        failure.error = last;
+        failure.wall_seconds = wall;
+        failure.attempts = attempts;
+        failure.order = order;
+        {
+            std::lock_guard<std::mutex> lock(r.report_mutex_);
+            r.report_.failed.push_back(std::move(failure));
+        }
+        return Result(std::move(last));
+    }
+
+    /** Count one row dropped because a dependency failed. */
+    void
+    skip()
+    {
+        std::lock_guard<std::mutex> lock(r.report_mutex_);
+        ++r.report_.skipped;
+    }
+};
+
+SweepRunner::SweepRunner(Options options) : options_(std::move(options))
 {
     jobs_ = options_.jobs > 0
         ? options_.jobs
         : static_cast<int>(util::ThreadPool::defaultJobs());
     if (jobs_ < 1)
         jobs_ = 1;
+
+    if (!options_.journal_path.empty()) {
+        // Journaling observes the shared cache; without it no completed
+        // point would ever reach the journal.
+        options_.share_cache = true;
+        if (options_.resume) {
+            const ReplayStats stats =
+                Journal::replayInto(options_.journal_path, cache_);
+            replayed_ = stats.entries;
+            if (stats.entries > 0 || stats.corrupt > 0 ||
+                stats.inadmissible > 0) {
+                util::warn(util::strcatMsg(
+                    "journal resume: restored ", stats.entries,
+                    " completed points from '", options_.journal_path,
+                    "' (corrupt: ", stats.corrupt,
+                    ", inadmissible: ", stats.inadmissible, ")"));
+            }
+        }
+        journal_ = std::make_unique<Journal>(options_.journal_path,
+                                             options_.journal_flush_every);
+        // Set the observer only after replay: replayed entries are
+        // already on disk and must not be appended a second time.
+        cache_.setInsertObserver(
+            [journal = journal_.get()](const RunKey& key,
+                                       const Measurement& m) {
+                journal->append(key, m);
+            });
+    }
+
     experiments_.resize(static_cast<std::size_t>(jobs_) + 1);
     if (jobs_ > 1)
         pool_ = std::make_unique<util::ThreadPool>(
@@ -39,6 +179,24 @@ SweepRunner::workerExperiment()
     return *exp;
 }
 
+void
+SweepRunner::beginSweep()
+{
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_ = SweepReport{};
+    report_.replayed = replayed_;
+}
+
+void
+SweepRunner::finishSweep()
+{
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    std::sort(report_.failed.begin(), report_.failed.end(),
+              [](const FailedPoint& a, const FailedPoint& b) {
+                  return a.order < b.order;
+              });
+}
+
 std::vector<std::vector<Scenario1Row>>
 SweepRunner::scenario1Sweep(
     const std::vector<const workloads::WorkloadInfo*>& apps,
@@ -46,33 +204,35 @@ SweepRunner::scenario1Sweep(
 {
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario1Sweep: core-count list must start at 1");
-
-    std::vector<std::vector<Scenario1Row>> results(apps.size());
-    if (jobs_ == 1) {
-        for (std::size_t a = 0; a < apps.size(); ++a)
-            results[a] = experiment().scenario1(*apps[a], ns);
-        return results;
-    }
+    beginSweep();
+    SweepTaskRunner tasks{*this};
 
     const tech::Technology& tech = experiment().technology();
     const double f1 = tech.fNominal();
     const double v1 = tech.vddNominal();
+    std::size_t order = 0;
 
     // Phase A: the nominal-V/f profiling pass, one task per (app, n).
     // Collecting the futures in submission order fills the cache and
     // gives every row task its baseline without re-simulation.
-    std::vector<std::vector<std::future<Measurement>>> nominal_futures(
-        apps.size());
+    std::vector<std::vector<std::future<util::Expected<Measurement>>>>
+        nominal_futures(apps.size());
     for (std::size_t a = 0; a < apps.size(); ++a) {
         for (int n : ns) {
             const workloads::WorkloadInfo* app = apps[a];
-            nominal_futures[a].push_back(pool_->submit([this, app, n, v1,
-                                                        f1] {
-                return workerExperiment().measureApp(*app, n, v1, f1);
-            }));
+            const std::size_t task_order = order++;
+            nominal_futures[a].push_back(
+                tasks.submit([this, &tasks, app, n, v1, f1, task_order] {
+                    return tasks.contain(
+                        "profile", app->name, n, v1, f1, task_order, [&] {
+                            return workerExperiment().tryMeasureApp(
+                                *app, n, v1, f1);
+                        });
+                }));
         }
     }
-    std::vector<std::vector<Measurement>> nominal(apps.size());
+    std::vector<std::vector<util::Expected<Measurement>>> nominal(
+        apps.size());
     for (std::size_t a = 0; a < apps.size(); ++a) {
         nominal[a].reserve(ns.size());
         for (auto& future : nominal_futures[a])
@@ -80,26 +240,51 @@ SweepRunner::scenario1Sweep(
     }
 
     // Phase B: one Eq. 7 row per (app, n), again in submission order.
-    std::vector<std::vector<std::future<Scenario1Row>>> row_futures(
-        apps.size());
+    // A row whose baseline or nominal profile failed cannot be assembled
+    // and is emitted as a `failed` placeholder instead.
+    std::vector<std::vector<Scenario1Row>> results(apps.size());
+    struct Pending
+    {
+        std::size_t a;
+        std::size_t i;
+        std::future<util::Expected<Scenario1Row>> future;
+    };
+    std::vector<Pending> pending;
     for (std::size_t a = 0; a < apps.size(); ++a) {
+        results[a].resize(ns.size());
         for (std::size_t i = 0; i < ns.size(); ++i) {
+            results[a][i].n = ns[i];
+            if (!nominal[a].front().ok() || !nominal[a][i].ok()) {
+                results[a][i].failed = true;
+                tasks.skip();
+                continue;
+            }
             const workloads::WorkloadInfo* app = apps[a];
             const int n = ns[i];
-            const Measurement& base = nominal[a].front();
-            const Measurement& nominal_n = nominal[a][i];
-            row_futures[a].push_back(
-                pool_->submit([this, app, n, &base, &nominal_n] {
-                    return workerExperiment().scenario1Row(*app, n, base,
-                                                           nominal_n);
-                }));
+            const Measurement& base = nominal[a].front().value();
+            const Measurement& nominal_n = nominal[a][i].value();
+            const std::size_t task_order = order++;
+            pending.push_back(
+                {a, i,
+                 tasks.submit([this, &tasks, app, n, &base, &nominal_n,
+                               task_order] {
+                     return tasks.contain(
+                         "row", app->name, n, 0.0, 0.0, task_order,
+                         [&]() -> util::Expected<Scenario1Row> {
+                             return workerExperiment().scenario1Row(
+                                 *app, n, base, nominal_n);
+                         });
+                 })});
         }
     }
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        results[a].reserve(ns.size());
-        for (auto& future : row_futures[a])
-            results[a].push_back(future.get());
+    for (Pending& p : pending) {
+        util::Expected<Scenario1Row> row = p.future.get();
+        if (row.ok())
+            results[p.a][p.i] = row.value();
+        else
+            results[p.a][p.i].failed = true;
     }
+    finishSweep();
     return results;
 }
 
@@ -111,14 +296,8 @@ SweepRunner::scenario2Sweep(
 {
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario2Sweep: core-count list must start at 1");
-
-    std::vector<std::vector<Scenario2Row>> results(apps.size());
-    if (jobs_ == 1) {
-        for (std::size_t a = 0; a < apps.size(); ++a)
-            results[a] = experiment().scenario2(*apps[a], ns, freqs_hz,
-                                                budget_w);
-        return results;
-    }
+    beginSweep();
+    SweepTaskRunner tasks{*this};
 
     Experiment& caller = experiment();
     const tech::Technology& tech = caller.technology();
@@ -129,20 +308,27 @@ SweepRunner::scenario2Sweep(
     if (freqs_hz.empty())
         freqs_hz = caller.defaultFrequencyGrid();
     std::sort(freqs_hz.begin(), freqs_hz.end());
+    std::size_t order = 0;
 
     // Phase A: nominal profiling pass (also the grid's top point).
-    std::vector<std::vector<std::future<Measurement>>> nominal_futures(
-        apps.size());
+    std::vector<std::vector<std::future<util::Expected<Measurement>>>>
+        nominal_futures(apps.size());
     for (std::size_t a = 0; a < apps.size(); ++a) {
         for (int n : ns) {
             const workloads::WorkloadInfo* app = apps[a];
-            nominal_futures[a].push_back(pool_->submit([this, app, n, v1,
-                                                        f1] {
-                return workerExperiment().measureApp(*app, n, v1, f1);
-            }));
+            const std::size_t task_order = order++;
+            nominal_futures[a].push_back(
+                tasks.submit([this, &tasks, app, n, v1, f1, task_order] {
+                    return tasks.contain(
+                        "profile", app->name, n, v1, f1, task_order, [&] {
+                            return workerExperiment().tryMeasureApp(
+                                *app, n, v1, f1);
+                        });
+                }));
         }
     }
-    std::vector<std::vector<Measurement>> nominal(apps.size());
+    std::vector<std::vector<util::Expected<Measurement>>> nominal(
+        apps.size());
     for (std::size_t a = 0; a < apps.size(); ++a) {
         nominal[a].reserve(ns.size());
         for (auto& future : nominal_futures[a])
@@ -152,26 +338,50 @@ SweepRunner::scenario2Sweep(
     // Phase B: one budget-sweep row per (app, n). Each row runs its own
     // ascending frequency sweep; the shared cache deduplicates points
     // that several rows visit.
-    std::vector<std::vector<std::future<Scenario2Row>>> row_futures(
-        apps.size());
+    std::vector<std::vector<Scenario2Row>> results(apps.size());
+    struct Pending
+    {
+        std::size_t a;
+        std::size_t i;
+        std::future<util::Expected<Scenario2Row>> future;
+    };
+    std::vector<Pending> pending;
     for (std::size_t a = 0; a < apps.size(); ++a) {
+        results[a].resize(ns.size());
         for (std::size_t i = 0; i < ns.size(); ++i) {
+            results[a][i].n = ns[i];
+            if (!nominal[a].front().ok() || !nominal[a][i].ok()) {
+                results[a][i].failed = true;
+                tasks.skip();
+                continue;
+            }
             const workloads::WorkloadInfo* app = apps[a];
             const int n = ns[i];
-            const Measurement& base = nominal[a].front();
-            const Measurement& nominal_n = nominal[a][i];
-            row_futures[a].push_back(pool_->submit(
-                [this, app, n, &base, &nominal_n, &freqs_hz, budget] {
-                    return workerExperiment().scenario2Row(
-                        *app, n, base, nominal_n, freqs_hz, budget);
-                }));
+            const Measurement& base = nominal[a].front().value();
+            const Measurement& nominal_n = nominal[a][i].value();
+            const std::size_t task_order = order++;
+            pending.push_back(
+                {a, i,
+                 tasks.submit([this, &tasks, app, n, &base, &nominal_n,
+                               &freqs_hz, budget, task_order] {
+                     return tasks.contain(
+                         "row", app->name, n, 0.0, 0.0, task_order,
+                         [&]() -> util::Expected<Scenario2Row> {
+                             return workerExperiment().scenario2Row(
+                                 *app, n, base, nominal_n, freqs_hz,
+                                 budget);
+                         });
+                 })});
         }
     }
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        results[a].reserve(ns.size());
-        for (auto& future : row_futures[a])
-            results[a].push_back(future.get());
+    for (Pending& p : pending) {
+        util::Expected<Scenario2Row> row = p.future.get();
+        if (row.ok())
+            results[p.a][p.i] = row.value();
+        else
+            results[p.a][p.i].failed = true;
     }
+    finishSweep();
     return results;
 }
 
@@ -182,26 +392,27 @@ SweepRunner::measureAll(const std::vector<MeasureSpec>& specs)
         if (!spec.app)
             util::fatal("measureAll: null workload");
     }
+    beginSweep();
+    SweepTaskRunner tasks{*this};
 
-    std::vector<Measurement> results;
-    results.reserve(specs.size());
-    if (jobs_ == 1) {
-        for (const MeasureSpec& spec : specs)
-            results.push_back(experiment().measureApp(
-                *spec.app, spec.n, spec.vdd, spec.freq_hz));
-        return results;
-    }
-
-    std::vector<std::future<Measurement>> futures;
+    std::vector<std::future<util::Expected<Measurement>>> futures;
     futures.reserve(specs.size());
-    for (const MeasureSpec& spec : specs) {
-        futures.push_back(pool_->submit([this, spec] {
-            return workerExperiment().measureApp(*spec.app, spec.n,
-                                                 spec.vdd, spec.freq_hz);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const MeasureSpec spec = specs[i];
+        futures.push_back(tasks.submit([this, &tasks, spec, i] {
+            return tasks.contain(
+                "measure", spec.app->name, spec.n, spec.vdd, spec.freq_hz,
+                i, [&] {
+                    return workerExperiment().tryMeasureApp(
+                        *spec.app, spec.n, spec.vdd, spec.freq_hz);
+                });
         }));
     }
+    std::vector<Measurement> results;
+    results.reserve(specs.size());
     for (auto& future : futures)
-        results.push_back(future.get());
+        results.push_back(future.get().valueOr(Measurement{}));
+    finishSweep();
     return results;
 }
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * SweepRunner — parallel execution of the figure-harness sweeps.
+ * SweepRunner — fault-tolerant (and parallel) execution of the figure
+ * sweeps.
  *
  * The figure benches iterate (application x core count x operating point)
  * grids whose individual simulations are completely independent, so the
@@ -13,24 +14,45 @@
  * Determinism: the simulator is single-threaded and deterministic, so a
  * given (workload, n, scale, vdd, freq) point yields bit-identical
  * Measurements on every worker. Rows are assembled by the same
- * Experiment::scenario1Row / scenario2Row functions the serial path folds
- * over, and results are collected in submission order — the output is
+ * Experiment::scenario1Row / scenario2Row functions at every job count,
+ * and results are collected in submission order — the output is
  * byte-for-byte identical to a serial sweep, at any job count.
+ *
+ * Fault tolerance: every task runs inside a containment boundary. A point
+ * that throws (simulator deadlock, event-budget blowout, injected fault),
+ * times out against the per-point watchdog (Options.point_timeout_s), or
+ * returns a structured error (thermal non-convergence, non-finite result)
+ * is optionally retried and otherwise recorded as a FailedPoint; rows
+ * depending on it are marked `failed` and counted as skipped. The sweep
+ * always completes and lastReport() says exactly what happened. The only
+ * exceptions that escape a sweep are FaultKillError (a deliberate
+ * simulated crash) and PanicError (an internal invariant break).
+ *
+ * Checkpoint/resume: with Options.journal_path set, every first-inserted
+ * cache entry is appended (fsync'd) to an on-disk journal; with
+ * Options.resume, the journal is replayed into the cache before the sweep
+ * starts, so an interrupted sweep re-simulates only unfinished points and
+ * reproduces the uninterrupted output byte-for-byte.
  *
  * Job-count selection: Options.jobs <= 0 defers to
  * util::ThreadPool::defaultJobs() (the TLPPM_JOBS environment variable,
- * else the hardware concurrency). jobs == 1 runs the legacy serial path
- * on the calling thread with no pool at all.
+ * else the hardware concurrency). jobs == 1 runs every task inline on the
+ * calling thread, in submission order, with no pool at all — the same
+ * code path, so serial output is the parallel reference by construction.
  */
 
 #ifndef TLP_RUNNER_SWEEP_RUNNER_HPP
 #define TLP_RUNNER_SWEEP_RUNNER_HPP
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "runner/experiment.hpp"
+#include "runner/journal.hpp"
 #include "runner/run_cache.hpp"
+#include "runner/sweep_report.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tlp::runner {
@@ -51,11 +73,27 @@ class SweepRunner
     struct Options
     {
         /** Worker count; <= 0 selects ThreadPool::defaultJobs(). 1 runs
-         *  serially on the calling thread (no pool). */
+         *  all tasks inline on the calling thread (no pool). */
         int jobs = 0;
         double scale = 1.0;            ///< workload problem-size scale
         sim::CmpConfig config{};       ///< machine configuration
         bool share_cache = true;       ///< attach the shared RunCache
+        /** Max extra attempts for a failed point (0 disables retry). A
+         *  retry re-prices the point from scratch; deterministic results
+         *  make this safe — a success on retry is bit-identical to a
+         *  first-attempt success. */
+        int max_point_retries = 1;
+        /** Per-task wall-clock watchdog [s]; <= 0 disables. A task that
+         *  overruns is aborted cooperatively (TimeoutError at the next
+         *  event-loop / fixed-point poll) and contained as a failure. */
+        double point_timeout_s = 0.0;
+        /** Append completed runs to this JSONL journal (empty: off).
+         *  Implies share_cache. */
+        std::string journal_path;
+        /** Replay journal_path into the cache before sweeping. */
+        bool resume = false;
+        /** fsync the journal every K appends (1 = every record). */
+        int journal_flush_every = 1;
     };
 
     SweepRunner() : SweepRunner(Options{}) {}
@@ -76,10 +114,17 @@ class SweepRunner
     Experiment& experiment() { return *experiments_.front(); }
     const Experiment& experiment() const { return *experiments_.front(); }
 
+    /** Containment ledger of the most recent sweep call. */
+    const SweepReport& lastReport() const { return report_; }
+
+    /** Journal entries replayed into the cache at construction. */
+    std::size_t replayedEntries() const { return replayed_; }
+
     /**
      * Scenario I (Figure 3) for every application in @p apps: result[a]
      * equals experiments' scenario1(*apps[a], ns), byte-identically, for
-     * any job count.
+     * any job count. Failed rows come back with `failed == true` and are
+     * itemized in lastReport().
      */
     std::vector<std::vector<Scenario1Row>> scenario1Sweep(
         const std::vector<const workloads::WorkloadInfo*>& apps,
@@ -96,17 +141,29 @@ class SweepRunner
         const std::vector<int>& ns, std::vector<double> freqs_hz = {},
         double budget_w = 0.0);
 
-    /** Price every spec (in order); specs may repeat (cache hits). */
+    /** Price every spec (in order); specs may repeat (cache hits). A
+     *  failed spec yields a default Measurement and a FailedPoint. */
     std::vector<Measurement> measureAll(
         const std::vector<MeasureSpec>& specs);
 
   private:
+    friend struct SweepTaskRunner;
+
     /** The calling/worker thread's lazily constructed Experiment. */
     Experiment& workerExperiment();
+
+    void beginSweep();
+    void finishSweep();
 
     Options options_;
     int jobs_ = 1;
     RunCache cache_;
+    /** Declared before pool_ so it outlives the workers that append to
+     *  it through the cache observer during pool teardown. */
+    std::unique_ptr<Journal> journal_;
+    std::size_t replayed_ = 0;
+    SweepReport report_;
+    std::mutex report_mutex_;
     std::unique_ptr<util::ThreadPool> pool_; ///< null when jobs_ == 1
     /** Slot 0: calling thread; slot 1 + w: pool worker w. Each slot is
      *  only ever touched by its own thread. */

@@ -1,0 +1,82 @@
+#include "sim/config.hpp"
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+namespace {
+
+void
+requirePositive(double value, const char* field, const char* unit)
+{
+    if (!(value > 0.0)) {
+        util::fatal(util::strcatMsg("CmpConfig: ", field, " must be a "
+                                    "positive ", unit, ", got ", value));
+    }
+}
+
+void
+requireAtLeast(std::uint64_t value, std::uint64_t min, const char* field)
+{
+    if (value < min) {
+        util::fatal(util::strcatMsg("CmpConfig: ", field, " must be >= ",
+                                    min, ", got ", value));
+    }
+}
+
+void
+requireCacheShape(std::uint64_t size, std::uint32_t line,
+                  std::uint32_t assoc, const char* cache)
+{
+    requireAtLeast(size, 1, util::strcatMsg(cache, " size_bytes").c_str());
+    requireAtLeast(line, 1,
+                   util::strcatMsg(cache, " line_bytes").c_str());
+    requireAtLeast(assoc, 1, util::strcatMsg(cache, " assoc").c_str());
+    if (static_cast<std::uint64_t>(line) * assoc > size) {
+        util::fatal(util::strcatMsg(
+            "CmpConfig: ", cache, " line_bytes (", line, ") x assoc (",
+            assoc, ") exceeds its size_bytes (", size,
+            "); shrink the line/associativity or grow the cache"));
+    }
+}
+
+} // namespace
+
+void
+validateCmpConfig(const CmpConfig& config)
+{
+    if (config.n_cores < 1 || config.n_cores > 1024) {
+        util::fatal(util::strcatMsg(
+            "CmpConfig: n_cores must be in [1, 1024], got ",
+            config.n_cores));
+    }
+    requirePositive(config.ipc_int, "ipc_int", "issue rate");
+    requirePositive(config.ipc_fp, "ipc_fp", "issue rate");
+    requireAtLeast(config.store_buffer_entries, 1,
+                   "store_buffer_entries");
+    requireCacheShape(config.l1_size_bytes, config.l1_line_bytes,
+                      config.l1_assoc, "L1");
+    requireAtLeast(config.l1_hit_cycles, 1, "l1_hit_cycles");
+    requireCacheShape(config.l2_size_bytes, config.l2_line_bytes,
+                      config.l2_assoc, "L2");
+    requireAtLeast(config.l2_rt_cycles, 1, "l2_rt_cycles");
+    if (config.l2_line_bytes < config.l1_line_bytes) {
+        util::fatal(util::strcatMsg(
+            "CmpConfig: l2_line_bytes (", config.l2_line_bytes,
+            ") must be >= l1_line_bytes (", config.l1_line_bytes,
+            ") for inclusive line fills"));
+    }
+    requireAtLeast(config.bus_occupancy_data, 1, "bus_occupancy_data");
+    requireAtLeast(config.bus_occupancy_ctrl, 1, "bus_occupancy_ctrl");
+    requireAtLeast(config.c2c_rt_cycles, 1, "c2c_rt_cycles");
+    requireAtLeast(config.upgrade_rt_cycles, 1, "upgrade_rt_cycles");
+    requirePositive(config.memory_rt_ns, "memory_rt_ns", "latency [ns]");
+    requireAtLeast(config.barrier_release_cycles, 1,
+                   "barrier_release_cycles");
+    requireAtLeast(config.lock_acquire_cycles, 1, "lock_acquire_cycles");
+    requireAtLeast(config.lock_handoff_cycles, 1, "lock_handoff_cycles");
+    requirePositive(config.f_nominal_hz, "f_nominal_hz",
+                    "frequency [Hz]");
+}
+
+} // namespace tlp::sim

@@ -72,7 +72,23 @@ struct CmpConfig
         const double cycles = memory_rt_ns * 1e-9 * f_eff;
         return cycles < 1.0 ? 1u : static_cast<std::uint32_t>(cycles + 0.5);
     }
+
+    /**
+     * Sanity-check every field, throwing FatalError with the offending
+     * field named and the accepted range spelled out. Invoked at
+     * Experiment construction so a bad sweep configuration fails up
+     * front, not as garbage rows minutes in.
+     */
+    void validate() const;
 };
+
+void validateCmpConfig(const CmpConfig& config);
+
+inline void
+CmpConfig::validate() const
+{
+    validateCmpConfig(*this);
+}
 
 } // namespace tlp::sim
 

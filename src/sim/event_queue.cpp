@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace tlp::sim {
 
@@ -26,6 +27,11 @@ EventQueue::run(std::uint64_t max_events)
 
     std::uint64_t executed = 0;
     while (!heap_.empty() && executed < max_events) {
+        // Watchdog poll: amortized over 16K events so an armed per-point
+        // deadline costs nothing measurable, but a runaway simulation is
+        // cut short instead of hanging its sweep worker.
+        if ((executed & 0x3FFFu) == 0u)
+            util::checkPointDeadline("EventQueue::run");
         // Move the closure out before popping so it can schedule freely.
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
         Entry entry = std::move(heap_.back());

@@ -5,6 +5,7 @@
 
 #include "util/logging.hpp"
 #include "util/solver.hpp"
+#include "util/watchdog.hpp"
 
 namespace tlp::thermal {
 
@@ -182,6 +183,7 @@ solveCoupled(
     std::vector<double> power(n, 0.0);
 
     for (int it = 0; it < max_iter; ++it) {
+        util::checkPointDeadline("solveCoupled");
         std::vector<double> new_power = power_of_temp(temps);
         if (new_power.size() != n)
             util::fatal("solveCoupled: power map size mismatch");
@@ -211,6 +213,7 @@ solveCoupled(
         temps = sol.block_temps_c;
         result.thermal = sol;
         result.iterations = it + 1;
+        result.residual_c = max_delta;
         if (max_delta < tol_c) {
             result.converged = true;
             break;

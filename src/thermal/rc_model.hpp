@@ -134,6 +134,9 @@ struct CoupledResult
     double total_power = 0.0;        ///< sum of block powers [W]
     int iterations = 0;
     bool converged = false;
+    /** Last max block-temperature change [K]; the convergence residual a
+     *  non-converged solve reports upward. */
+    double residual_c = 0.0;
     /** True when the leakage-temperature feedback diverged and the
      *  iteration had to clamp temperatures at the runaway cap; the
      *  configuration is thermally infeasible. */

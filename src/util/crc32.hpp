@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, reflected) for journal line integrity.
+ *
+ * The run-cache journal appends one checksummed JSONL record per priced
+ * operating point; on resume, a torn or bit-rotted line must be detected
+ * and skipped rather than replayed into the cache. Table-driven, header
+ * only, no dependencies.
+ */
+
+#ifndef TLP_UTIL_CRC32_HPP
+#define TLP_UTIL_CRC32_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tlp::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/** CRC-32 of @p data (zlib-compatible). */
+inline std::uint32_t
+crc32(std::string_view data)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const char ch : data) {
+        c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) &
+                                0xFFu] ^
+            (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_CRC32_HPP

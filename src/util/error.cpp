@@ -1,0 +1,52 @@
+#include "util/error.hpp"
+
+namespace tlp::util {
+
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Unknown:
+        return "unknown";
+    case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+    case ErrorCode::ParseError:
+        return "parse-error";
+    case ErrorCode::NonFinite:
+        return "non-finite";
+    case ErrorCode::NoConvergence:
+        return "no-convergence";
+    case ErrorCode::Timeout:
+        return "timeout";
+    case ErrorCode::FaultInjected:
+        return "fault-injected";
+    case ErrorCode::SimulationError:
+        return "simulation-error";
+    case ErrorCode::IoError:
+        return "io-error";
+    case ErrorCode::CorruptData:
+        return "corrupt-data";
+    }
+    return "unknown";
+}
+
+std::string
+Error::describe() const
+{
+    std::string out = "[";
+    out += errorCodeName(code);
+    out += "] ";
+    out += message;
+    if (!context.empty()) {
+        out += " (in: ";
+        for (std::size_t i = 0; i < context.size(); ++i) {
+            if (i)
+                out += " <- ";
+            out += context[i];
+        }
+        out += ")";
+    }
+    return out;
+}
+
+} // namespace tlp::util

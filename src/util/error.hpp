@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structured error taxonomy for the measurement/solve hot paths.
+ *
+ * The figure sweeps price thousands of operating points, several of which
+ * sit right at the edge of model validity (the Vdd lower bound, the
+ * ambient floor, the thermal fixed point's convergence envelope). A
+ * failure there must carry enough context to be reported, retried, or
+ * journaled — not crash the whole multi-minute sweep. Error is a small
+ * (code, message, context-chain) record; Expected<T> is the result type
+ * the converted hot paths return instead of throwing or silently handing
+ * back garbage.
+ */
+
+#ifndef TLP_UTIL_ERROR_HPP
+#define TLP_UTIL_ERROR_HPP
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+/** Coarse classification of a recoverable failure. */
+enum class ErrorCode {
+    Unknown = 0,
+    InvalidArgument, ///< caller supplied an unusable value
+    ParseError,      ///< malformed textual input (CLI, env, journal)
+    NonFinite,       ///< a computed quantity came out NaN/inf
+    NoConvergence,   ///< an iterative solve hit its budget unconverged
+    Timeout,         ///< the per-point watchdog fired
+    FaultInjected,   ///< a deliberate test fault (TLPPM_FAULT / FaultPlan)
+    SimulationError, ///< the simulator refused the run (deadlock, budget)
+    IoError,         ///< filesystem failure (journal open/append)
+    CorruptData,     ///< CRC/format mismatch while replaying a journal
+};
+
+/** Stable lowercase name of @p code, e.g. "no-convergence". */
+const char* errorCodeName(ErrorCode code);
+
+/** A failure with its classification and the chain of call-site context
+ *  frames it bubbled through (innermost first). */
+struct Error
+{
+    ErrorCode code = ErrorCode::Unknown;
+    std::string message;
+    std::vector<std::string> context;
+
+    Error() = default;
+    Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+    /** Append a context frame (outer call sites push after inner ones). */
+    Error&
+    withContext(std::string frame) &
+    {
+        context.push_back(std::move(frame));
+        return *this;
+    }
+
+    Error
+    withContext(std::string frame) &&
+    {
+        context.push_back(std::move(frame));
+        return std::move(*this);
+    }
+
+    /** One-line rendering: "[code] message (in: inner <- outer)". */
+    std::string describe() const;
+};
+
+/**
+ * Value-or-Error result of a fallible operation. Minimal by design: the
+ * hot paths only need construction, ok(), value(), and error().
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : v_(std::move(value)) {}
+    Expected(Error error) : v_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    T&
+    value()
+    {
+        if (!ok())
+            panic("Expected::value() on error: " + error().describe());
+        return std::get<T>(v_);
+    }
+
+    const T&
+    value() const
+    {
+        if (!ok())
+            panic("Expected::value() on error: " + error().describe());
+        return std::get<T>(v_);
+    }
+
+    Error&
+    error()
+    {
+        if (ok())
+            panic("Expected::error() on value");
+        return std::get<Error>(v_);
+    }
+
+    const Error&
+    error() const
+    {
+        if (ok())
+            panic("Expected::error() on value");
+        return std::get<Error>(v_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(v_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_ERROR_HPP

@@ -1,0 +1,80 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace tlp::util {
+
+namespace {
+
+Error
+parseError(std::string_view what, std::string_view text,
+           const std::string& why)
+{
+    return Error(ErrorCode::ParseError,
+                 strcatMsg(what, ": ", why, " (got '", text, "')"));
+}
+
+} // namespace
+
+Expected<double>
+parseNumber(std::string_view text, std::string_view what, double lo,
+            double hi)
+{
+    if (text.empty())
+        return parseError(what, text, "empty value, expected a number");
+
+    const std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str())
+        return parseError(what, text, "not a number");
+    if (*end != '\0') {
+        return parseError(what, text,
+                          strcatMsg("trailing garbage '", end, "'"));
+    }
+    if (errno == ERANGE || !std::isfinite(value)) {
+        return parseError(what, text,
+                          "value does not fit a finite double");
+    }
+    if (value < lo || value > hi) {
+        return parseError(
+            what, text,
+            strcatMsg("value ", value, " outside [", lo, ", ", hi, "]"));
+    }
+    return value;
+}
+
+Expected<std::int64_t>
+parseInt(std::string_view text, std::string_view what, std::int64_t lo,
+         std::int64_t hi)
+{
+    if (text.empty())
+        return parseError(what, text, "empty value, expected an integer");
+
+    const std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(buf.c_str(), &end, 10);
+    if (end == buf.c_str())
+        return parseError(what, text, "not an integer");
+    if (*end != '\0') {
+        return parseError(what, text,
+                          strcatMsg("trailing garbage '", end, "'"));
+    }
+    if (errno == ERANGE) {
+        return parseError(what, text,
+                          "value does not fit a 64-bit integer");
+    }
+    if (value < lo || value > hi) {
+        return parseError(
+            what, text,
+            strcatMsg("value ", value, " outside [", lo, ", ", hi, "]"));
+    }
+    return static_cast<std::int64_t>(value);
+}
+
+} // namespace tlp::util

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Checked numeric parsing for CLI arguments and environment variables.
+ *
+ * std::atof/std::atoi silently return 0 on garbage and ignore trailing
+ * junk, so a typo like `--jobs 4x` or `TLPPM_SCALE=0.3.5` used to pass
+ * unnoticed. These helpers reject empty input, trailing characters,
+ * non-finite values, and out-of-range values, and say exactly what was
+ * wrong with which input.
+ */
+
+#ifndef TLP_UTIL_PARSE_HPP
+#define TLP_UTIL_PARSE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace tlp::util {
+
+/**
+ * Parse @p text as a finite double in [lo, hi]. @p what names the input
+ * in error messages (e.g. "TLPPM_SCALE"). Leading/trailing whitespace and
+ * trailing garbage are rejected.
+ */
+Expected<double> parseNumber(
+    std::string_view text, std::string_view what,
+    double lo = std::numeric_limits<double>::lowest(),
+    double hi = std::numeric_limits<double>::max());
+
+/** Parse @p text as an integer in [lo, hi]; same strictness. */
+Expected<std::int64_t> parseInt(
+    std::string_view text, std::string_view what,
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max());
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_PARSE_HPP

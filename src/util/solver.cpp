@@ -7,28 +7,61 @@
 
 namespace tlp::util {
 
-RootResult
-bisect(const std::function<double(double)>& f, double lo, double hi,
-       double x_tol, int max_iter)
+const char*
+rootFailureName(RootFailure failure)
 {
-    if (!(lo <= hi))
-        fatal(strcatMsg("bisect: invalid bracket [", lo, ", ", hi, "]"));
+    switch (failure) {
+    case RootFailure::None:
+        return "none";
+    case RootFailure::InvalidBracket:
+        return "invalid-bracket";
+    case RootFailure::NoSignChange:
+        return "no-sign-change";
+    case RootFailure::NanObjective:
+        return "nan-objective";
+    case RootFailure::MaxIterations:
+        return "max-iterations";
+    }
+    return "none";
+}
 
-    double flo = f(lo);
-    double fhi = f(hi);
+RootResult
+tryBisect(const std::function<double(double)>& f, double lo, double hi,
+          double x_tol, int max_iter)
+{
     RootResult result;
+    if (!(lo <= hi)) {
+        result.failure = RootFailure::InvalidBracket;
+        result.x = lo;
+        return result;
+    }
+
+    const double flo = f(lo);
+    const double fhi = f(hi);
+    result.f_lo = flo;
+    result.f_hi = fhi;
+    if (std::isnan(flo) || std::isnan(fhi)) {
+        result.failure = RootFailure::NanObjective;
+        result.x = std::isnan(flo) ? lo : hi;
+        result.fx = std::isnan(flo) ? flo : fhi;
+        return result;
+    }
 
     if (flo == 0.0) {
-        result = {lo, 0.0, 0, true};
+        result.x = lo;
+        result.converged = true;
         return result;
     }
     if (fhi == 0.0) {
-        result = {hi, 0.0, 0, true};
+        result.x = hi;
+        result.converged = true;
         return result;
     }
     if (std::signbit(flo) == std::signbit(fhi)) {
-        fatal(strcatMsg("bisect: f does not change sign on [", lo, ", ", hi,
-                        "] (f(lo)=", flo, ", f(hi)=", fhi, ")"));
+        result.failure = RootFailure::NoSignChange;
+        result.x = 0.5 * (lo + hi);
+        result.fx = flo;
+        return result;
     }
 
     double a = lo, b = hi, fa = flo;
@@ -37,8 +70,17 @@ bisect(const std::function<double(double)>& f, double lo, double hi,
         const double mid = 0.5 * (a + b);
         const double fm = f(mid);
         ++it;
+        if (std::isnan(fm)) {
+            result.failure = RootFailure::NanObjective;
+            result.x = mid;
+            result.fx = fm;
+            result.iterations = it;
+            return result;
+        }
         if (fm == 0.0) {
-            result = {mid, 0.0, it, true};
+            result.x = mid;
+            result.iterations = it;
+            result.converged = true;
             return result;
         }
         if (std::signbit(fm) == std::signbit(fa)) {
@@ -48,8 +90,32 @@ bisect(const std::function<double(double)>& f, double lo, double hi,
             b = mid;
         }
     }
-    const double x = 0.5 * (a + b);
-    result = {x, f(x), it, (b - a) <= x_tol};
+    result.x = 0.5 * (a + b);
+    result.fx = f(result.x);
+    result.iterations = it;
+    result.converged = (b - a) <= x_tol;
+    if (!result.converged)
+        result.failure = RootFailure::MaxIterations;
+    return result;
+}
+
+RootResult
+bisect(const std::function<double(double)>& f, double lo, double hi,
+       double x_tol, int max_iter)
+{
+    RootResult result = tryBisect(f, lo, hi, x_tol, max_iter);
+    switch (result.failure) {
+    case RootFailure::InvalidBracket:
+        fatal(strcatMsg("bisect: invalid bracket [", lo, ", ", hi, "]"));
+    case RootFailure::NoSignChange:
+    case RootFailure::NanObjective:
+        fatal(strcatMsg("bisect: f does not change sign on [", lo, ", ", hi,
+                        "] (f(lo)=", result.f_lo, ", f(hi)=", result.f_hi,
+                        ")"));
+    case RootFailure::None:
+    case RootFailure::MaxIterations:
+        break; // max-iter keeps the legacy converged=false return
+    }
     return result;
 }
 

@@ -16,13 +16,28 @@
 
 namespace tlp::util {
 
+/** Why a root search gave up (diagnostics for non-convergence paths). */
+enum class RootFailure {
+    None = 0,      ///< converged (or still iterable)
+    InvalidBracket, ///< lo > hi
+    NoSignChange,  ///< f(lo) and f(hi) share a sign: no bracketed root
+    NanObjective,  ///< f evaluated to NaN inside the bracket
+    MaxIterations, ///< iteration budget exhausted above tolerance
+};
+
+/** Stable name of @p failure, e.g. "no-sign-change". */
+const char* rootFailureName(RootFailure failure);
+
 /** Result of a root search. */
 struct RootResult
 {
-    double x = 0.0;        ///< abscissa of the root
+    double x = 0.0;        ///< abscissa of the root (best estimate)
     double fx = 0.0;       ///< residual f(x)
     int iterations = 0;    ///< iterations used
     bool converged = false; ///< true when |interval| or |f| met tolerance
+    RootFailure failure = RootFailure::None; ///< why it gave up
+    double f_lo = 0.0;     ///< f at the lower bracket (diagnostic)
+    double f_hi = 0.0;     ///< f at the upper bracket (diagnostic)
 };
 
 /**
@@ -39,6 +54,17 @@ struct RootResult
  */
 RootResult bisect(const std::function<double(double)>& f, double lo,
                   double hi, double x_tol = 1e-10, int max_iter = 200);
+
+/**
+ * Non-throwing bisection: identical search, but a bad bracket, a NaN
+ * objective, or an exhausted iteration budget comes back as a RootResult
+ * with converged = false and the failure/f_lo/f_hi/iterations diagnostics
+ * populated instead of a FatalError. The sweep containment layer prefers
+ * this form: a boundary operating point that cannot be solved is a
+ * reportable per-point failure, not a crash.
+ */
+RootResult tryBisect(const std::function<double(double)>& f, double lo,
+                     double hi, double x_tol = 1e-10, int max_iter = 200);
 
 /** Result of a scalar maximization. */
 struct MaxResult

@@ -1,0 +1,58 @@
+#include "util/watchdog.hpp"
+
+#include <chrono>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+thread_local bool g_armed = false;
+thread_local Clock::time_point g_deadline{};
+
+} // namespace
+
+void
+setPointDeadline(double seconds)
+{
+    if (seconds <= 0.0) {
+        g_armed = false;
+        return;
+    }
+    g_armed = true;
+    g_deadline = Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(seconds));
+}
+
+void
+clearPointDeadline()
+{
+    g_armed = false;
+}
+
+bool
+pointDeadlineArmed()
+{
+    return g_armed;
+}
+
+bool
+pointDeadlineExpired()
+{
+    return g_armed && Clock::now() >= g_deadline;
+}
+
+void
+checkPointDeadline(const char* where)
+{
+    if (pointDeadlineExpired()) {
+        throw TimeoutError(
+            strcatMsg(where, ": point wall-clock timeout exceeded"));
+    }
+}
+
+} // namespace tlp::util

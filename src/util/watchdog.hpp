@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-point wall-clock watchdog.
+ *
+ * A sweep worker arms a thread-local deadline before pricing one
+ * operating point; long-running inner loops (the event queue, the thermal
+ * fixed point) poll it cheaply and throw TimeoutError once it passes, so
+ * a runaway simulation is turned into one failed point instead of a hung
+ * worker. The deadline is cooperative and strictly per-thread: arming it
+ * on one worker never affects another, and an unarmed thread pays only a
+ * thread-local bool read per poll.
+ */
+
+#ifndef TLP_UTIL_WATCHDOG_HPP
+#define TLP_UTIL_WATCHDOG_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace tlp::util {
+
+/** Thrown by deadline polls once the armed point deadline has passed. */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    explicit TimeoutError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Arm the calling thread's point deadline @p seconds from now;
+ *  seconds <= 0 clears it. */
+void setPointDeadline(double seconds);
+
+/** Disarm the calling thread's point deadline. */
+void clearPointDeadline();
+
+/** True when a deadline is armed on the calling thread. */
+bool pointDeadlineArmed();
+
+/** True when a deadline is armed and has passed. */
+bool pointDeadlineExpired();
+
+/** Throw TimeoutError (naming @p where) if the armed deadline passed. */
+void checkPointDeadline(const char* where);
+
+/** RAII guard: arms on construction, disarms on destruction. */
+class PointDeadlineGuard
+{
+  public:
+    explicit PointDeadlineGuard(double seconds)
+    {
+        setPointDeadline(seconds);
+    }
+    ~PointDeadlineGuard() { clearPointDeadline(); }
+    PointDeadlineGuard(const PointDeadlineGuard&) = delete;
+    PointDeadlineGuard& operator=(const PointDeadlineGuard&) = delete;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_WATCHDOG_HPP

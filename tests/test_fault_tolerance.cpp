@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Fault-tolerance tests: configuration validation fails fast with the
+ * offending field named; fault plans parse strictly; an injected failing
+ * point is contained (the sweep completes, reports exactly that point,
+ * and every other row is bit-identical to a fault-free run at any job
+ * count); a transient fault is retried to a bit-identical success; and a
+ * killed sweep resumes from its journal without re-simulating any
+ * completed point.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "runner/fault_injection.hpp"
+#include "runner/sweep_runner.hpp"
+#include "util/logging.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+
+constexpr double kScale = 0.08;
+
+std::string
+fatalMessageOf(const std::function<void()>& f)
+{
+    try {
+        f();
+    } catch (const util::FatalError& e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected FatalError";
+    return {};
+}
+
+void
+expectSameMeasurement(const runner::Measurement& a,
+                      const runner::Measurement& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.freq_hz, b.freq_hz);
+    EXPECT_EQ(a.vdd, b.vdd);
+    EXPECT_EQ(a.dynamic_w, b.dynamic_w);
+    EXPECT_EQ(a.static_w, b.static_w);
+    EXPECT_EQ(a.total_w, b.total_w);
+    EXPECT_EQ(a.avg_core_temp_c, b.avg_core_temp_c);
+    EXPECT_EQ(a.core_power_density_w_m2, b.core_power_density_w_m2);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.runaway, b.runaway);
+}
+
+void
+expectSameRow(const runner::Scenario1Row& a, const runner::Scenario1Row& b)
+{
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.eps_n, b.eps_n);
+    EXPECT_EQ(a.freq_hz, b.freq_hz);
+    EXPECT_EQ(a.vdd, b.vdd);
+    EXPECT_EQ(a.actual_speedup, b.actual_speedup);
+    EXPECT_EQ(a.normalized_power, b.normalized_power);
+    EXPECT_EQ(a.normalized_density, b.normalized_density);
+    EXPECT_EQ(a.avg_temp_c, b.avg_temp_c);
+    expectSameMeasurement(a.measurement, b.measurement);
+}
+
+// ---------------------------------------------------------------------
+// Configuration validation: a bad field is a FatalError naming the field
+// and the accepted range, raised before any simulation runs.
+// ---------------------------------------------------------------------
+
+TEST(ConfigValidation, RejectsBadCoreCount)
+{
+    sim::CmpConfig config;
+    config.n_cores = 0;
+    const std::string msg = fatalMessageOf(
+        [&] { runner::Experiment exp(kScale, config); });
+    EXPECT_NE(msg.find("n_cores"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[1, 1024]"), std::string::npos) << msg;
+}
+
+TEST(ConfigValidation, RejectsImpossibleCacheShape)
+{
+    sim::CmpConfig config;
+    config.l1_size_bytes = 64; // smaller than line_bytes x assoc
+    const std::string msg = fatalMessageOf(
+        [&] { runner::Experiment exp(kScale, config); });
+    EXPECT_NE(msg.find("L1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("size_bytes"), std::string::npos) << msg;
+}
+
+TEST(ConfigValidation, RejectsL2LinesSmallerThanL1)
+{
+    sim::CmpConfig config;
+    config.l2_line_bytes = 32; // < l1_line_bytes: breaks inclusion
+    const std::string msg = fatalMessageOf(
+        [&] { runner::Experiment exp(kScale, config); });
+    EXPECT_NE(msg.find("l2_line_bytes"), std::string::npos) << msg;
+}
+
+TEST(ConfigValidation, RejectsNonPositiveRates)
+{
+    sim::CmpConfig config;
+    config.ipc_int = 0.0;
+    const std::string msg = fatalMessageOf(
+        [&] { runner::Experiment exp(kScale, config); });
+    EXPECT_NE(msg.find("ipc_int"), std::string::npos) << msg;
+}
+
+TEST(ConfigValidation, RejectsOutOfRangeScale)
+{
+    for (const double bad : {0.0, -0.5, 1.5}) {
+        const std::string msg =
+            fatalMessageOf([&] { runner::Experiment exp(bad); });
+        EXPECT_NE(msg.find("scale"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("(0, 1]"), std::string::npos) << msg;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan parsing (the TLPPM_FAULT grammar).
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanParse, AcceptsOrdinalSpecs)
+{
+    const auto plan = runner::parseFaultPlan("point:5");
+    ASSERT_TRUE(plan.ok()) << plan.error().describe();
+    EXPECT_EQ(plan.value().kind, runner::FaultKind::Throw);
+    EXPECT_EQ(plan.value().point, 5u);
+    EXPECT_FALSE(plan.value().byKey());
+
+    const auto nan = runner::parseFaultPlan("nan:3");
+    ASSERT_TRUE(nan.ok());
+    EXPECT_EQ(nan.value().kind, runner::FaultKind::Nan);
+    EXPECT_EQ(nan.value().point, 3u);
+
+    const auto kill = runner::parseFaultPlan("kill:1");
+    ASSERT_TRUE(kill.ok());
+    EXPECT_EQ(kill.value().kind, runner::FaultKind::Kill);
+}
+
+TEST(FaultPlanParse, AcceptsKeySpecs)
+{
+    const auto plan = runner::parseFaultPlan("stall:FMM:4");
+    ASSERT_TRUE(plan.ok()) << plan.error().describe();
+    EXPECT_EQ(plan.value().kind, runner::FaultKind::Stall);
+    EXPECT_TRUE(plan.value().byKey());
+    EXPECT_EQ(plan.value().workload, "FMM");
+    EXPECT_EQ(plan.value().n, 4);
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs)
+{
+    for (const char* bad :
+         {"", "point", "bogus:1", "nan:", "nan:0", "throw:-2",
+          "throw:FMM:", "stall:FMM:zero", "kill::4", "nan:FMM:0"}) {
+        const auto plan = runner::parseFaultPlan(bad);
+        EXPECT_FALSE(plan.ok()) << "accepted '" << bad << "'";
+        if (!plan.ok()) {
+            EXPECT_EQ(plan.error().code, util::ErrorCode::ParseError);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containment: an injected persistently-failing point is reported, every
+// other row is bit-identical to a fault-free sweep, at any job count.
+// ---------------------------------------------------------------------
+
+TEST(FaultTolerance, StickyFaultIsContainedAtAnyJobCount)
+{
+    const std::vector<const workloads::WorkloadInfo*> apps = {
+        &workloads::byName("FMM"), &workloads::byName("Radix")};
+    const std::vector<int> ns = {1, 2, 4};
+
+    runner::SweepRunner::Options clean_opts;
+    clean_opts.jobs = 1;
+    clean_opts.scale = kScale;
+    runner::SweepRunner clean(clean_opts);
+    const auto reference = clean.scenario1Sweep(apps, ns);
+    ASSERT_TRUE(clean.lastReport().allOk());
+
+    // Every measurement of (Radix, n=2) throws — on every attempt, on
+    // every worker.
+    runner::FaultPlan plan;
+    plan.kind = runner::FaultKind::Throw;
+    plan.workload = "Radix";
+    plan.n = 2;
+    runner::ScopedFaultPlan scoped(plan);
+
+    for (const int jobs : {1, 4}) {
+        runner::SweepRunner::Options options;
+        options.jobs = jobs;
+        options.scale = kScale;
+        runner::SweepRunner sweep(options);
+        const auto rows = sweep.scenario1Sweep(apps, ns);
+
+        const runner::SweepReport& report = sweep.lastReport();
+        ASSERT_EQ(report.failed.size(), 1u) << "jobs=" << jobs;
+        const runner::FailedPoint& failure = report.failed.front();
+        EXPECT_EQ(failure.workload, "Radix");
+        EXPECT_EQ(failure.n, 2);
+        EXPECT_EQ(failure.phase, "profile");
+        EXPECT_EQ(failure.error.code, util::ErrorCode::SimulationError);
+        EXPECT_EQ(failure.attempts, 2); // initial try + one retry
+        EXPECT_EQ(report.skipped, 1u);  // the (Radix, 2) row
+        // 5 profile points + 5 assembled rows succeeded.
+        EXPECT_EQ(report.ok, 10u);
+
+        ASSERT_EQ(rows.size(), reference.size());
+        for (std::size_t a = 0; a < reference.size(); ++a) {
+            ASSERT_EQ(rows[a].size(), reference[a].size());
+            for (std::size_t i = 0; i < reference[a].size(); ++i) {
+                const bool injected = a == 1 && ns[i] == 2;
+                EXPECT_EQ(rows[a][i].failed, injected);
+                EXPECT_EQ(rows[a][i].n, ns[i]);
+                if (!injected)
+                    expectSameRow(rows[a][i], reference[a][i]);
+            }
+        }
+    }
+}
+
+TEST(FaultTolerance, TransientFaultIsRetriedToBitIdenticalSuccess)
+{
+    const std::vector<const workloads::WorkloadInfo*> apps = {
+        &workloads::byName("Radix")};
+    const std::vector<int> ns = {1, 2};
+
+    runner::SweepRunner::Options clean_opts;
+    clean_opts.jobs = 1;
+    clean_opts.scale = kScale;
+    runner::SweepRunner clean(clean_opts);
+    const auto reference = clean.scenario1Sweep(apps, ns);
+
+    // The 2nd real measurement — the (Radix, 2) nominal profile — throws
+    // once; the retry re-simulates it successfully.
+    runner::FaultPlan plan;
+    plan.kind = runner::FaultKind::Throw;
+    plan.point = 2;
+    runner::ScopedFaultPlan scoped(plan);
+    runner::FaultInjector::instance().resetCount();
+
+    runner::SweepRunner::Options options;
+    options.jobs = 1;
+    options.scale = kScale;
+    options.max_point_retries = 1;
+    runner::SweepRunner sweep(options);
+    const auto rows = sweep.scenario1Sweep(apps, ns);
+
+    const runner::SweepReport& report = sweep.lastReport();
+    EXPECT_TRUE(report.failed.empty());
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_EQ(report.retried, 1u);
+
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), reference[0].size());
+    for (std::size_t i = 0; i < reference[0].size(); ++i)
+        expectSameRow(rows[0][i], reference[0][i]);
+}
+
+TEST(FaultTolerance, NanFaultIsCaughtByTheNonFiniteGuard)
+{
+    runner::FaultPlan plan;
+    plan.kind = runner::FaultKind::Nan;
+    plan.workload = "FMM";
+    plan.n = 2;
+    runner::ScopedFaultPlan scoped(plan);
+
+    runner::SweepRunner::Options options;
+    options.jobs = 1;
+    options.scale = kScale;
+    options.max_point_retries = 0;
+    runner::SweepRunner sweep(options);
+    const auto rows =
+        sweep.scenario1Sweep({&workloads::byName("FMM")}, {1, 2});
+
+    const runner::SweepReport& report = sweep.lastReport();
+    ASSERT_EQ(report.failed.size(), 1u);
+    EXPECT_EQ(report.failed.front().error.code,
+              util::ErrorCode::NonFinite);
+    EXPECT_EQ(report.failed.front().n, 2);
+    EXPECT_TRUE(rows[0][1].failed);
+    // The poisoned value must never have entered the shared cache.
+    runner::RunKey key{"FMM", 2, kScale,
+                       sweep.experiment().technology().vddNominal(),
+                       sweep.experiment().technology().fNominal()};
+    EXPECT_FALSE(sweep.cache().find(key).has_value());
+}
+
+TEST(FaultTolerance, StallFaultTripsThePointWatchdog)
+{
+    runner::FaultPlan plan;
+    plan.kind = runner::FaultKind::Stall;
+    plan.workload = "FMM";
+    plan.n = 2;
+    runner::ScopedFaultPlan scoped(plan);
+
+    runner::SweepRunner::Options options;
+    options.jobs = 1;
+    options.scale = kScale;
+    options.max_point_retries = 0;
+    options.point_timeout_s = 0.2;
+    runner::SweepRunner sweep(options);
+    const auto rows =
+        sweep.scenario1Sweep({&workloads::byName("FMM")}, {1, 2});
+
+    const runner::SweepReport& report = sweep.lastReport();
+    ASSERT_EQ(report.failed.size(), 1u);
+    EXPECT_EQ(report.failed.front().error.code, util::ErrorCode::Timeout);
+    EXPECT_GE(report.failed.front().wall_seconds, 0.2);
+    EXPECT_TRUE(rows[0][1].failed);
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-resume: a sweep killed mid-flight resumes from its journal,
+// re-simulates zero completed points, and reproduces the uninterrupted
+// rows bit-identically.
+// ---------------------------------------------------------------------
+
+TEST(FaultTolerance, KilledSweepResumesFromJournalWithoutRecomputing)
+{
+    const std::string journal_path = std::string(::testing::TempDir()) +
+        "tlppm_kill_resume_" + std::to_string(::getpid()) + ".jsonl";
+    std::remove(journal_path.c_str());
+
+    const std::vector<const workloads::WorkloadInfo*> apps = {
+        &workloads::byName("FMM")};
+    const std::vector<int> ns = {1, 2, 4};
+
+    // Fault-free reference, counting the real simulations it needs.
+    runner::FaultInjector::instance().resetCount();
+    runner::SweepRunner::Options clean_opts;
+    clean_opts.jobs = 1;
+    clean_opts.scale = kScale;
+    runner::SweepRunner clean(clean_opts);
+    const auto reference = clean.scenario1Sweep(apps, ns);
+    const std::uint64_t clean_measurements =
+        runner::FaultInjector::instance().measurements();
+    ASSERT_GE(clean_measurements, ns.size());
+
+    // Run with a journal and die (FaultKillError) at the 2nd real
+    // measurement: exactly one completed point is on disk.
+    {
+        runner::FaultPlan plan;
+        plan.kind = runner::FaultKind::Kill;
+        plan.point = 2;
+        runner::ScopedFaultPlan scoped(plan);
+        runner::FaultInjector::instance().resetCount();
+
+        runner::SweepRunner::Options options;
+        options.jobs = 1;
+        options.scale = kScale;
+        options.journal_path = journal_path;
+        runner::SweepRunner sweep(options);
+        EXPECT_THROW(sweep.scenario1Sweep(apps, ns),
+                     runner::FaultKillError);
+    }
+
+    // Resume from the journal: the completed point is replayed, every
+    // remaining point is simulated exactly once, and the rows match the
+    // uninterrupted reference bit for bit.
+    runner::FaultInjector::instance().resetCount();
+    runner::SweepRunner::Options resume_opts;
+    resume_opts.jobs = 1;
+    resume_opts.scale = kScale;
+    resume_opts.journal_path = journal_path;
+    resume_opts.resume = true;
+    runner::SweepRunner resumed(resume_opts);
+    EXPECT_EQ(resumed.replayedEntries(), 1u);
+
+    const auto rows = resumed.scenario1Sweep(apps, ns);
+    EXPECT_TRUE(resumed.lastReport().allOk());
+    EXPECT_EQ(resumed.lastReport().replayed, 1u);
+    EXPECT_EQ(runner::FaultInjector::instance().measurements(),
+              clean_measurements - 1);
+
+    ASSERT_EQ(rows.size(), reference.size());
+    ASSERT_EQ(rows[0].size(), reference[0].size());
+    for (std::size_t i = 0; i < reference[0].size(); ++i)
+        expectSameRow(rows[0][i], reference[0][i]);
+
+    std::remove(journal_path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Journal and RunCache-admissibility tests: the checkpoint layer must
+ * round-trip Measurements bit-exactly (resume output is required to be
+ * byte-identical to an uninterrupted run), survive corrupt and torn
+ * lines by dropping exactly the damaged record, and refuse to replay a
+ * poisoned (non-finite) record so the point is recomputed instead.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/journal.hpp"
+#include "runner/run_cache.hpp"
+
+namespace {
+
+using namespace tlp;
+
+/** Unique temp path per test; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "tlppm_" + tag + "_" +
+                std::to_string(::getpid()) + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A Measurement whose doubles exercise the %.17g round trip: values
+ *  with no short decimal representation, subnormals, and negatives. */
+runner::Measurement
+awkwardMeasurement()
+{
+    runner::Measurement m;
+    m.cycles = 0xDEADBEEFCAFEull;
+    m.seconds = 1.0 / 3.0;
+    m.freq_hz = 3.2e9 * (2.0 / 3.0);
+    m.vdd = std::nextafter(1.2, 2.0);
+    m.dynamic_w = 0.1; // classic non-representable decimal
+    m.static_w = std::numeric_limits<double>::denorm_min();
+    m.total_w = 123.45678901234567;
+    m.avg_core_temp_c = 99.999999999999986;
+    m.core_power_density_w_m2 = 5.4321e5;
+    m.instructions = 987654321098765ull;
+    m.runaway = true;
+    return m;
+}
+
+runner::RunKey
+awkwardKey()
+{
+    return runner::RunKey{"FMM", 16, 0.1, std::nextafter(1.0, 2.0),
+                          3.2e9 / 7.0};
+}
+
+void
+expectBitIdentical(const runner::Measurement& a,
+                   const runner::Measurement& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.freq_hz, b.freq_hz);
+    EXPECT_EQ(a.vdd, b.vdd);
+    EXPECT_EQ(a.dynamic_w, b.dynamic_w);
+    EXPECT_EQ(a.static_w, b.static_w);
+    EXPECT_EQ(a.total_w, b.total_w);
+    EXPECT_EQ(a.avg_core_temp_c, b.avg_core_temp_c);
+    EXPECT_EQ(a.core_power_density_w_m2, b.core_power_density_w_m2);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.runaway, b.runaway);
+}
+
+std::vector<std::string>
+readLines(const std::string& path)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeLines(const std::string& path, const std::vector<std::string>& lines,
+           bool final_newline = true)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        out << lines[i];
+        if (i + 1 < lines.size() || final_newline)
+            out << "\n";
+    }
+}
+
+TEST(Journal, RoundTripsMeasurementsBitExactly)
+{
+    const TempFile file("roundtrip");
+    const runner::RunKey key = awkwardKey();
+    const runner::Measurement m = awkwardMeasurement();
+
+    {
+        runner::Journal journal(file.path());
+        journal.append(key, m);
+        EXPECT_EQ(journal.appended(), 1u);
+    }
+
+    runner::RunCache cache;
+    const runner::ReplayStats stats =
+        runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    EXPECT_EQ(stats.inadmissible, 0u);
+
+    const auto found = cache.find(key);
+    ASSERT_TRUE(found.has_value());
+    expectBitIdentical(*found, m);
+}
+
+TEST(Journal, ReopenAppendsWithoutDuplicatingTheHeader)
+{
+    const TempFile file("reopen");
+    runner::RunKey key = awkwardKey();
+    {
+        runner::Journal journal(file.path());
+        journal.append(key, awkwardMeasurement());
+    }
+    {
+        runner::Journal journal(file.path());
+        key.n = 8;
+        journal.append(key, awkwardMeasurement());
+    }
+
+    // One header plus two records.
+    EXPECT_EQ(readLines(file.path()).size(), 3u);
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Journal, SkipsCorruptLineAndKeepsTheRest)
+{
+    const TempFile file("corrupt");
+    runner::RunKey key = awkwardKey();
+    {
+        runner::Journal journal(file.path());
+        for (int n : {1, 2, 4}) {
+            key.n = n;
+            journal.append(key, awkwardMeasurement());
+        }
+    }
+
+    // Flip one payload digit of the middle record; its CRC no longer
+    // matches, so replay must drop exactly that line.
+    std::vector<std::string> lines = readLines(file.path());
+    ASSERT_EQ(lines.size(), 4u);
+    std::string& victim = lines[2];
+    const std::size_t pos = victim.find("\"cyc\":");
+    ASSERT_NE(pos, std::string::npos);
+    char& digit = victim[pos + 6];
+    digit = digit == '9' ? '1' : static_cast<char>(digit + 1);
+    writeLines(file.path(), lines);
+
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.corrupt, 1u);
+    EXPECT_EQ(stats.inadmissible, 0u);
+    key.n = 1;
+    EXPECT_TRUE(cache.find(key).has_value());
+    key.n = 2;
+    EXPECT_FALSE(cache.find(key).has_value()); // the corrupted record
+    key.n = 4;
+    EXPECT_TRUE(cache.find(key).has_value());
+}
+
+TEST(Journal, DropsTornFinalLine)
+{
+    const TempFile file("torn");
+    runner::RunKey key = awkwardKey();
+    {
+        runner::Journal journal(file.path());
+        for (int n : {1, 2}) {
+            key.n = n;
+            journal.append(key, awkwardMeasurement());
+        }
+    }
+
+    // Simulate a crash mid-write: truncate the last record in half and
+    // lose its newline.
+    const std::vector<std::string> lines = readLines(file.path());
+    ASSERT_EQ(lines.size(), 3u);
+    std::vector<std::string> torn(lines.begin(), lines.end() - 1);
+    torn.push_back(lines.back().substr(0, lines.back().size() / 2));
+    writeLines(file.path(), torn, /*final_newline=*/false);
+
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.corrupt, 1u);
+    key.n = 1;
+    EXPECT_TRUE(cache.find(key).has_value());
+    key.n = 2;
+    EXPECT_FALSE(cache.find(key).has_value());
+}
+
+TEST(Journal, MissingFileReplaysNothing)
+{
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(
+        std::string(::testing::TempDir()) + "tlppm_never_written.jsonl",
+        cache);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    EXPECT_EQ(stats.inadmissible, 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Journal, FirstRecordWinsOnDuplicateKeys)
+{
+    const TempFile file("dupes");
+    const runner::RunKey key = awkwardKey();
+    runner::Measurement first = awkwardMeasurement();
+    runner::Measurement second = awkwardMeasurement();
+    second.cycles += 1;
+    {
+        runner::Journal journal(file.path());
+        journal.append(key, first);
+        journal.append(key, second);
+    }
+
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 2u);
+    const auto found = cache.find(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->cycles, first.cycles);
+}
+
+TEST(RunCache, RejectsNonFiniteMeasurements)
+{
+    const double bads[] = {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+    for (const double bad : bads) {
+        runner::RunCache cache;
+        runner::Measurement m = awkwardMeasurement();
+        m.total_w = bad;
+        EXPECT_FALSE(runner::RunCache::admissible(m));
+        EXPECT_FALSE(cache.insert(awkwardKey(), m));
+        EXPECT_EQ(cache.size(), 0u);
+        EXPECT_FALSE(cache.find(awkwardKey()).has_value());
+    }
+
+    // Each priced field individually poisons admissibility.
+    for (double runner::Measurement::* field :
+         {&runner::Measurement::seconds, &runner::Measurement::freq_hz,
+          &runner::Measurement::vdd, &runner::Measurement::dynamic_w,
+          &runner::Measurement::static_w, &runner::Measurement::total_w,
+          &runner::Measurement::avg_core_temp_c,
+          &runner::Measurement::core_power_density_w_m2}) {
+        runner::Measurement m = awkwardMeasurement();
+        m.*field = std::numeric_limits<double>::quiet_NaN();
+        EXPECT_FALSE(runner::RunCache::admissible(m));
+    }
+    EXPECT_TRUE(runner::RunCache::admissible(awkwardMeasurement()));
+}
+
+TEST(Journal, PoisonedRecordIsDroppedSoThePointIsRecomputed)
+{
+    // A journal line can be bit-rot-free (valid CRC) and still carry a
+    // non-finite Measurement — e.g. written by a buggy build. Replay
+    // must refuse it: the cache stays empty for that key, so the sweep
+    // re-simulates the point instead of replaying poison.
+    const TempFile file("poisoned");
+    const runner::RunKey key = awkwardKey();
+    runner::Measurement poisoned = awkwardMeasurement();
+    poisoned.total_w = std::numeric_limits<double>::quiet_NaN();
+
+    const std::string header = "{\"tlppm_journal\":1}";
+    const std::string line = runner::Journal::formatLine(key, poisoned);
+    writeLines(file.path(), {header, line});
+
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    EXPECT_EQ(stats.inadmissible, 1u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.find(key).has_value());
+
+    // The recomputed (finite) value is then admitted normally.
+    EXPECT_TRUE(cache.insert(key, awkwardMeasurement()));
+    EXPECT_TRUE(cache.find(key).has_value());
+}
+
+TEST(RunCache, ObserverSeesOnlyFirstInsertions)
+{
+    runner::RunCache cache;
+    std::vector<runner::RunKey> seen;
+    cache.setInsertObserver(
+        [&seen](const runner::RunKey& key, const runner::Measurement&) {
+            seen.push_back(key);
+        });
+
+    const runner::RunKey key = awkwardKey();
+    runner::Measurement m = awkwardMeasurement();
+    EXPECT_TRUE(cache.insert(key, m));
+    EXPECT_FALSE(cache.insert(key, m)); // duplicate: no re-observation
+    m.total_w = std::numeric_limits<double>::quiet_NaN();
+    runner::RunKey other = key;
+    other.n = 2;
+    EXPECT_FALSE(cache.insert(other, m)); // inadmissible: never observed
+
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].workload, key.workload);
+    EXPECT_EQ(seen[0].n, key.n);
+}
+
+} // namespace

@@ -10,14 +10,18 @@
 #include <set>
 #include <sstream>
 
+#include "util/crc32.hpp"
+#include "util/error.hpp"
 #include "util/interp.hpp"
 #include "util/linalg.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/solver.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
+#include "util/watchdog.hpp"
 
 namespace {
 
@@ -169,6 +173,67 @@ TEST(Bisect, RejectsInvertedInterval)
 {
     EXPECT_THROW(bisect([](double x) { return x; }, 1.0, -1.0),
                  FatalError);
+}
+
+// ---------------------------------------------- non-throwing root search
+
+TEST(TryBisect, FindsRootLikeBisect)
+{
+    const auto result =
+        tryBisect([](double x) { return x * x * x - 8.0; }, 0.0, 10.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.failure, RootFailure::None);
+    EXPECT_NEAR(result.x, 2.0, 1e-8);
+}
+
+TEST(TryBisect, ReportsNoSignChangeWithEndpointValues)
+{
+    const auto result =
+        tryBisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.failure, RootFailure::NoSignChange);
+    EXPECT_DOUBLE_EQ(result.f_lo, 2.0);
+    EXPECT_DOUBLE_EQ(result.f_hi, 2.0);
+    EXPECT_STREQ(rootFailureName(result.failure), "no-sign-change");
+}
+
+TEST(TryBisect, ReportsInvalidBracket)
+{
+    const auto result = tryBisect([](double x) { return x; }, 1.0, -1.0);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.failure, RootFailure::InvalidBracket);
+}
+
+TEST(TryBisect, ReportsNanObjective)
+{
+    const auto result = tryBisect(
+        [](double x) { return x < 0.0 ? -1.0 : std::nan(""); }, -1.0,
+        1.0);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.failure, RootFailure::NanObjective);
+}
+
+TEST(TryBisect, ReportsMaxIterationsWithDiagnostics)
+{
+    // A 20-unit bracket at 1e-12 tolerance needs ~44 halvings; cap at 5.
+    const auto result = tryBisect(
+        [](double x) { return std::tanh(x - 0.3); }, -10.0, 10.0, 1e-12,
+        5);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.failure, RootFailure::MaxIterations);
+    EXPECT_EQ(result.iterations, 5);
+    // The estimate is still the midpoint of a valid (shrunken) bracket.
+    EXPECT_NEAR(result.x, 0.3, 20.0 / (1 << 5));
+}
+
+TEST(Bisect, ThrowingWrapperStillReturnsMaxIterResult)
+{
+    // bisect() historically returned converged=false on budget
+    // exhaustion (only bracket failures throw); keep that contract.
+    const auto result = bisect([](double x) { return x - 0.3; }, 0.0,
+                               1.0, 1e-15, 3);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.failure, RootFailure::MaxIterations);
 }
 
 TEST(GoldenMax, FindsParabolaPeak)
@@ -462,5 +527,127 @@ TEST_P(BisectSweep, RecoversShiftedRoot)
 INSTANTIATE_TEST_SUITE_P(Roots, BisectSweep,
                          ::testing::Values(-7.5, -1.0, 0.0, 0.3, 2.0,
                                            42.0));
+
+// --------------------------------------------------------- error taxonomy
+
+TEST(Error, DescribeRendersCodeMessageAndContextChain)
+{
+    Error e{ErrorCode::NoConvergence, "residual 0.5 C"};
+    e.withContext("solveCoupled").withContext("measure FFT n=4");
+    const std::string text = e.describe();
+    EXPECT_NE(text.find("no-convergence"), std::string::npos);
+    EXPECT_NE(text.find("residual 0.5 C"), std::string::npos);
+    // Innermost frame first.
+    EXPECT_LT(text.find("solveCoupled"), text.find("measure FFT n=4"));
+}
+
+TEST(Expected, HoldsValueOrError)
+{
+    Expected<int> good(42);
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(good.valueOr(0), 42);
+
+    Expected<int> bad(Error{ErrorCode::Timeout, "too slow"});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Timeout);
+    EXPECT_EQ(bad.valueOr(-1), -1);
+}
+
+TEST(Expected, ValueOnErrorPanics)
+{
+    const Expected<int> bad(Error{ErrorCode::Unknown, "nope"});
+    EXPECT_THROW(bad.value(), PanicError);
+}
+
+TEST(ErrorCodeNames, AreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::NonFinite), "non-finite");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Timeout), "timeout");
+    EXPECT_STREQ(errorCodeName(ErrorCode::FaultInjected),
+                 "fault-injected");
+}
+
+// --------------------------------------------------------- checked parsing
+
+TEST(ParseNumber, AcceptsPlainAndScientific)
+{
+    EXPECT_DOUBLE_EQ(parseNumber("0.25", "x").value(), 0.25);
+    EXPECT_DOUBLE_EQ(parseNumber("3e8", "x").value(), 3e8);
+    EXPECT_DOUBLE_EQ(parseNumber("-1.5", "x").value(), -1.5);
+}
+
+TEST(ParseNumber, RejectsGarbage)
+{
+    EXPECT_FALSE(parseNumber("", "x").ok());
+    EXPECT_FALSE(parseNumber("abc", "x").ok());
+    EXPECT_FALSE(parseNumber("0.3.5", "x").ok());
+    EXPECT_FALSE(parseNumber("1.0 ", "x").ok());
+    EXPECT_FALSE(parseNumber("nan", "x").ok());
+    EXPECT_FALSE(parseNumber("inf", "x").ok());
+}
+
+TEST(ParseNumber, EnforcesRangeAndNamesTheInput)
+{
+    const auto out_of_range = parseNumber("2.5", "TLPPM_SCALE", 0.0, 1.0);
+    ASSERT_FALSE(out_of_range.ok());
+    EXPECT_EQ(out_of_range.error().code, ErrorCode::ParseError);
+    EXPECT_NE(out_of_range.error().message.find("TLPPM_SCALE"),
+              std::string::npos);
+    EXPECT_NE(out_of_range.error().message.find("2.5"), std::string::npos);
+}
+
+TEST(ParseInt, StrictnessMatchesParseNumber)
+{
+    EXPECT_EQ(parseInt("16", "--jobs").value(), 16);
+    EXPECT_FALSE(parseInt("4x", "--jobs").ok());
+    EXPECT_FALSE(parseInt("", "--jobs").ok());
+    EXPECT_FALSE(parseInt("3.5", "--jobs").ok());
+    EXPECT_FALSE(parseInt("99", "--jobs", 1, 64).ok());
+}
+
+// ------------------------------------------------------------------ crc32
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // Standard IEEE 802.3 (zlib) check values.
+    EXPECT_EQ(crc32(""), 0u);
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+              0x414FA339u);
+}
+
+TEST(Crc32, DetectsSingleCharacterCorruption)
+{
+    EXPECT_NE(crc32("{\"n\":4,\"sec\":1.5}"), crc32("{\"n\":5,\"sec\":1.5}"));
+}
+
+// --------------------------------------------------------------- watchdog
+
+TEST(Watchdog, UnarmedThreadNeverTimesOut)
+{
+    clearPointDeadline();
+    EXPECT_FALSE(pointDeadlineArmed());
+    EXPECT_NO_THROW(checkPointDeadline("test"));
+}
+
+TEST(Watchdog, ExpiredDeadlineThrowsTimeoutError)
+{
+    setPointDeadline(1e-9); // effectively already expired
+    EXPECT_TRUE(pointDeadlineArmed());
+    EXPECT_THROW(checkPointDeadline("test"), TimeoutError);
+    clearPointDeadline();
+    EXPECT_NO_THROW(checkPointDeadline("test"));
+}
+
+TEST(Watchdog, GuardDisarmsOnScopeExit)
+{
+    {
+        PointDeadlineGuard guard(60.0);
+        EXPECT_TRUE(pointDeadlineArmed());
+        EXPECT_NO_THROW(checkPointDeadline("test"));
+    }
+    EXPECT_FALSE(pointDeadlineArmed());
+}
 
 } // namespace
