@@ -111,6 +111,12 @@ main(int argc, char** argv)
     const std::uint64_t high_water =
         probe.stats.counterValue("queue.high_water");
 
+    // serial_* counters are deterministic (one worker, fixed task order)
+    // and are what the CI perf guard compares against its committed
+    // baseline; the parallel counters can vary by a few units with worker
+    // interleaving (e.g. which workers lazily calibrate an Experiment).
+    const runner::SweepReport& serial_rep = serial.lastReport();
+    const runner::SweepReport& par_rep = parallel.lastReport();
     std::cout << "{\"bench\":\"sweep_throughput\""
               << ",\"scale\":" << scale
               << ",\"apps\":" << apps.size()
@@ -120,6 +126,12 @@ main(int argc, char** argv)
               << ",\"speedup\":"
               << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
               << ",\"identical\":" << (identical ? "true" : "false")
+              << ",\"serial_sim_calls\":" << serial_rep.sim_calls
+              << ",\"serial_price_calls\":" << serial_rep.price_calls
+              << ",\"sim_calls\":" << par_rep.sim_calls
+              << ",\"price_calls\":" << par_rep.price_calls
+              << ",\"raw_hits\":" << parallel.rawCache().hits()
+              << ",\"raw_misses\":" << parallel.rawCache().misses()
               << ",\"cache_hits\":" << parallel.cache().hits()
               << ",\"cache_misses\":" << parallel.cache().misses()
               << ",\"queue_high_water\":" << high_water << "}\n";

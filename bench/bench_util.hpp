@@ -79,12 +79,13 @@ struct SweepCliOptions
     std::string journal;        ///< --journal PATH (empty: off)
     bool resume = false;        ///< --resume (replay journal first)
     double point_timeout_s = 0; ///< --point-timeout SECONDS (0: off)
+    bool cache_stats = false;   ///< --cache-stats (counters to stderr)
 };
 
 /**
  * Parse the sweep CLI: --jobs N, --journal PATH, --resume,
- * --point-timeout SECONDS (each also in --flag=value form). Unknown
- * arguments are a usage error.
+ * --point-timeout SECONDS, --cache-stats (value-taking flags also in
+ * --flag=value form). Unknown arguments are a usage error.
  */
 inline SweepCliOptions
 parseSweepCli(int argc, char** argv)
@@ -113,15 +114,45 @@ parseSweepCli(int argc, char** argv)
             timeout(argv[++i]);
         } else if (arg.rfind("--point-timeout=", 0) == 0) {
             timeout(arg.substr(16));
+        } else if (arg == "--cache-stats") {
+            options.cache_stats = true;
         } else {
             usageError("unknown argument '" + arg +
                        "' (expected --jobs N, --journal PATH, --resume, "
-                       "--point-timeout SECONDS)");
+                       "--point-timeout SECONDS, --cache-stats)");
         }
     }
     if (options.resume && options.journal.empty())
         usageError("--resume requires --journal PATH");
     return options;
+}
+
+/** Tolerant scan for --cache-stats, for the harnesses that otherwise
+ *  only read --jobs (jobsFromArgsOrEnv). */
+inline bool
+cacheStatsFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--cache-stats")
+            return true;
+    }
+    return false;
+}
+
+/**
+ * One-line two-level cache accounting of a sweep, printed to stderr when
+ * --cache-stats is set: simulations and pricing passes actually executed,
+ * and the hit/miss split of both cache levels.
+ */
+inline void
+printCacheStats(const tlp::runner::SweepReport& report, const char* tag)
+{
+    std::cerr << "  [" << tag << "] cache-stats: sim_calls="
+              << report.sim_calls << " price_calls=" << report.price_calls
+              << " raw_hits=" << report.raw_hits
+              << " raw_misses=" << report.raw_misses
+              << " priced_hits=" << report.priced_hits
+              << " priced_misses=" << report.priced_misses << "\n";
 }
 
 /**

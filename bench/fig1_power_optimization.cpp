@@ -23,7 +23,8 @@ namespace {
 using namespace tlp;
 
 void
-runNode(const tech::Technology& tech, util::ThreadPool* pool)
+runNode(const tech::Technology& tech, util::ThreadPool* pool,
+        bool cache_stats)
 {
     const model::AnalyticCmp cmp(tech, 32);
     const model::Scenario1 scenario(cmp);
@@ -111,6 +112,17 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool)
     for (auto& row : mark_rows)
         marks.addRow(std::move(row));
     marks.print(std::cout);
+
+    if (cache_stats) {
+        // The analytic figures run zero cycle-level simulations; the
+        // relevant hot-path counters here are the thermal solver's:
+        // back-substitutions against the one cached LU factorization.
+        const thermal::RCModel& model = cmp.thermalModel();
+        std::cerr << "  [fig1 " << tech.name()
+                  << "] cache-stats: sim_calls=0 thermal_solves="
+                  << model.solveCount() << " thermal_factorizations="
+                  << model.factorizationCount() << "\n";
+    }
 }
 
 } // namespace
@@ -123,12 +135,13 @@ main(int argc, char** argv)
     int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
     if (jobs <= 0)
         jobs = static_cast<int>(tlp::util::ThreadPool::defaultJobs());
+    const bool cache_stats = tlppm_bench::cacheStatsFromArgs(argc, argv);
     std::unique_ptr<tlp::util::ThreadPool> pool;
     if (jobs > 1)
         pool = std::make_unique<tlp::util::ThreadPool>(
             static_cast<unsigned>(jobs));
-    runNode(tlp::tech::tech130nm(), pool.get());
-    runNode(tlp::tech::tech65nm(), pool.get());
+    runNode(tlp::tech::tech130nm(), pool.get(), cache_stats);
+    runNode(tlp::tech::tech65nm(), pool.get(), cache_stats);
     std::cout << "Expected shape (paper): curves fall as eps_n grows; "
                  "high-N curves lie above low-N ones at high eps_n; every "
                  "curve drops below 1.0 beyond a break-even eps_n that "

@@ -103,6 +103,8 @@ main(int argc, char** argv)
     }
 
     tlppm_bench::reportSweep(sweep.lastReport(), "fig3");
+    if (cli.cache_stats)
+        tlppm_bench::printCacheStats(sweep.lastReport(), "fig3");
 
     eff.print(std::cout);
     spd.print(std::cout);

@@ -52,6 +52,8 @@ main(int argc, char** argv)
               << sweep.jobs() << " worker(s)\n";
     const auto all_rows = sweep.scenario2Sweep(apps, ns);
     tlppm_bench::reportSweep(sweep.lastReport(), "fig4");
+    if (cli.cache_stats)
+        tlppm_bench::printCacheStats(sweep.lastReport(), "fig4");
 
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const std::string name = apps[a]->name;

@@ -20,6 +20,9 @@
 #ifndef TLP_RUNNER_EXPERIMENT_HPP
 #define TLP_RUNNER_EXPERIMENT_HPP
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "power/chip_power.hpp"
@@ -33,6 +36,7 @@
 namespace tlp::runner {
 
 class RunCache;
+class RawRunCache;
 
 /** Power/thermal pricing of one simulation run. */
 struct Measurement
@@ -95,8 +99,15 @@ class Experiment
      *               up front — a bad field is a FatalError naming it and
      *               the accepted range, before any simulation runs
      */
+    /**
+     * @param raw_cache optional voltage-independent run cache, consulted
+     *        already for the construction-time calibration microbenchmark
+     *        (so a fleet of worker Experiments pays for the power-virus
+     *        simulation once); also attached as by setRawRunCache()
+     */
     explicit Experiment(double scale = 1.0,
-                        sim::CmpConfig config = sim::CmpConfig{});
+                        sim::CmpConfig config = sim::CmpConfig{},
+                        RawRunCache* raw_cache = nullptr);
 
     /** Simulate @p program on @p n_threads cores at (vdd, freq) and price
      *  the run. */
@@ -137,6 +148,53 @@ class Experiment
      */
     void setRunCache(RunCache* cache) { cache_ = cache; }
     RunCache* runCache() const { return cache_; }
+
+    /**
+     * Attach (or detach) the first-level cache of voltage-independent
+     * sim::RunResults. With both caches attached, re-pricing a cached run
+     * at a new Vdd costs one priceRun() + thermal fixed point instead of
+     * a cycle-level simulation. Same sharing/lifetime rules as the
+     * RunCache.
+     */
+    void setRawRunCache(RawRunCache* cache) { raw_cache_ = cache; }
+    RawRunCache* rawRunCache() const { return raw_cache_; }
+
+    /**
+     * The voltage-independent simulation phase of a measurement: the
+     * cycle-level run of @p app at @p n threads and @p freq_hz, served
+     * from the RawRunCache when one is attached. Simulation failures
+     * (deadlock / event budget / watchdog timeout) come back as
+     * structured errors, exactly as in tryMeasure().
+     */
+    util::Expected<std::shared_ptr<const sim::RunResult>>
+    trySimulateApp(const workloads::WorkloadInfo& app, int n,
+                   double freq_hz) const;
+
+    /** Cycle-level simulations actually executed by this Experiment
+     *  (cache hits excluded). Thread-safe, relaxed. */
+    std::uint64_t simCalls() const
+    {
+        return sim_calls_.load(std::memory_order_relaxed);
+    }
+
+    /** Pricing passes (power + coupled thermal solve) performed by this
+     *  Experiment. Thread-safe, relaxed. */
+    std::uint64_t priceCalls() const
+    {
+        return price_calls_.load(std::memory_order_relaxed);
+    }
+
+    /** Price an already-simulated run at supply voltage @p vdd: Wattch
+     *  dynamic power from the activity counters, static power and die
+     *  temperature from the coupled power/temperature fixed point. The
+     *  cheap phase of the split measure() pipeline. */
+    Measurement priceRun(const sim::RunResult& run, double vdd) const;
+
+    /** Error-returning priceRun(): thermal non-convergence (after the
+     *  acceleration/damping ladder) and non-finite fields come back as
+     *  structured errors. */
+    util::Expected<Measurement> tryPriceRun(const sim::RunResult& run,
+                                            double vdd) const;
 
     /**
      * Scenario I (§4.1): profile nominal efficiency, then re-run each
@@ -205,9 +263,6 @@ class Experiment
     double workloadScale() const { return scale_; }
 
   private:
-    Measurement priceRun(const sim::RunResult& run, double vdd) const;
-    util::Expected<Measurement> tryPriceRun(const sim::RunResult& run,
-                                            double vdd) const;
     void validateVfTable() const;
 
     double scale_;
@@ -217,7 +272,14 @@ class Experiment
     tech::VfTable vf_;
     thermal::RCModel thermal_;
     double max_core_power_w_ = 0.0;
-    RunCache* cache_ = nullptr; ///< optional, not owned
+    RunCache* cache_ = nullptr;        ///< optional, not owned
+    RawRunCache* raw_cache_ = nullptr; ///< optional, not owned
+    /** Reusable fixed-point buffers. Like the simulator's run arena, an
+     *  Experiment is thread-confined (the sweep runner gives each worker
+     *  its own), so a single scratch per Experiment is race-free. */
+    mutable thermal::CoupledScratch coupled_scratch_;
+    mutable std::atomic<std::uint64_t> sim_calls_{0};
+    mutable std::atomic<std::uint64_t> price_calls_{0};
 };
 
 } // namespace tlp::runner

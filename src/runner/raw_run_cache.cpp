@@ -1,0 +1,64 @@
+#include "runner/raw_run_cache.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::runner {
+
+bool
+RawRunCache::admissible(const sim::RunResult& run)
+{
+    return run.cycles > 0 && std::isfinite(run.seconds) &&
+           std::isfinite(run.freq_hz) && run.freq_hz > 0.0;
+}
+
+std::shared_ptr<const sim::RunResult>
+RawRunCache::find(const RawRunKey& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+std::shared_ptr<const sim::RunResult>
+RawRunCache::insert(const RawRunKey& key,
+                    std::shared_ptr<const sim::RunResult> run)
+{
+    if (!run)
+        return run;
+    if (!admissible(*run)) {
+        util::warn(util::strcatMsg(
+            "RawRunCache: rejecting inadmissible run for ", key.workload,
+            " n=", key.n, " f=", key.freq_hz,
+            "; the point will be re-simulated"));
+        return run;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = entries_.emplace(key, std::move(run));
+    (void)inserted; // first writer wins; racers adopt the stored run
+    return it->second;
+}
+
+std::size_t
+RawRunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+RawRunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+} // namespace tlp::runner

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * RawRunCache — memoization of voltage-independent simulation results.
+ *
+ * A cycle-level run is a pure function of (workload, thread count, problem
+ * scale, frequency): cycle counts and activity traces never depend on Vdd.
+ * Pricing a run at a voltage (Wattch-style power from activity counts plus
+ * the coupled thermal solve) is orders of magnitude cheaper than simulating
+ * it, so the bisection searches of both paper scenarios — Scenario I over
+ * Vdd at fixed frequency, Scenario II over frequency against a power
+ * budget — should pay for at most one simulation per distinct frequency
+ * and re-price the cached activity counts for every candidate voltage.
+ *
+ * This is the first level of the two-level cache: RawRunCache holds the
+ * expensive sim::RunResult on the voltage-free key, while RunCache (the
+ * second level) keeps fully priced Measurements on the full key including
+ * Vdd. Entries are shared_ptr<const RunResult> so concurrent workers can
+ * price the same run without copying its StatRegistry.
+ *
+ * Thread-safety and integrity mirror RunCache: a mutex guards the map, the
+ * simulation runs outside the lock (first writer wins on a race; the
+ * simulator is deterministic so both racers hold identical results), and
+ * only admissible results are ever stored.
+ */
+
+#ifndef TLP_RUNNER_RAW_RUN_CACHE_HPP
+#define TLP_RUNNER_RAW_RUN_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "runner/run_cache.hpp"
+#include "sim/cmp.hpp"
+
+namespace tlp::runner {
+
+/** Identity of a raw (unpriced) simulation run: RunKey minus vdd. */
+struct RawRunKey
+{
+    std::string workload; ///< workload name (workloads::WorkloadInfo::name)
+    int n = 0;            ///< thread / core count
+    double scale = 0.0;   ///< problem-size scale
+    double freq_hz = 0.0; ///< chip frequency [Hz]
+
+    /** Same quantized comparison as RunKey, minus the vdd field. */
+    friend bool operator<(const RawRunKey& a, const RawRunKey& b)
+    {
+        if (a.workload != b.workload)
+            return a.workload < b.workload;
+        return std::make_tuple(a.n, quantizeScale(a.scale),
+                               quantizeFreq(a.freq_hz)) <
+               std::make_tuple(b.n, quantizeScale(b.scale),
+                               quantizeFreq(b.freq_hz));
+    }
+};
+
+/** Thread-safe memoization of sim::RunResult keyed on RawRunKey. */
+class RawRunCache
+{
+  public:
+    /** True when the run is usable for pricing: finite timing fields and
+     *  a non-zero cycle count. The gate that keeps a poisoned or
+     *  degenerate run from being replayed to every voltage. */
+    static bool admissible(const sim::RunResult& run);
+
+    /** The cached run for @p key, or nullptr. Counts hit/miss. */
+    std::shared_ptr<const sim::RunResult> find(const RawRunKey& key) const;
+
+    /**
+     * Record @p run for @p key (first writer wins on a race) and return
+     * the canonical stored pointer — the caller should continue with the
+     * returned run so racing workers price the same object. Inadmissible
+     * runs are not stored and are returned as-is.
+     */
+    std::shared_ptr<const sim::RunResult>
+    insert(const RawRunKey& key, std::shared_ptr<const sim::RunResult> run);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::size_t size() const;
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<RawRunKey, std::shared_ptr<const sim::RunResult>> entries_;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_RAW_RUN_CACHE_HPP

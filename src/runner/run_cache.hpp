@@ -27,6 +27,7 @@
 #define TLP_RUNNER_RUN_CACHE_HPP
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -39,6 +40,32 @@
 
 namespace tlp::runner {
 
+/**
+ * Canonical integer grid for the floating-point cache-key fields.
+ *
+ * Bisection midpoints and budget-search frequencies are *recomputed* on
+ * resume and on different worker interleavings; a last-ulp difference in
+ * `lo + (hi - lo) / 2` must not turn a cache hit into a fresh simulation.
+ * Quantizing to physically meaningless resolutions (1 uV, 1 Hz, 1e-9 of
+ * problem scale) before comparison makes the key identity robust to such
+ * drift while keeping every deliberately distinct operating point
+ * distinct.
+ */
+inline std::int64_t quantizeVdd(double vdd)
+{
+    return std::llround(vdd * 1e6); // 1 uV grid
+}
+
+inline std::int64_t quantizeFreq(double freq_hz)
+{
+    return std::llround(freq_hz); // 1 Hz grid
+}
+
+inline std::int64_t quantizeScale(double scale)
+{
+    return std::llround(scale * 1e9); // 1e-9 grid
+}
+
 /** Identity of a simulation run: everything its Measurement depends on. */
 struct RunKey
 {
@@ -48,10 +75,18 @@ struct RunKey
     double vdd = 0.0;     ///< supply voltage [V]
     double freq_hz = 0.0; ///< chip frequency [Hz]
 
+    /** Ordering compares the quantized FP fields, so keys differing only
+     *  in the last ulps of vdd/freq/scale are the *same* cache entry. */
     friend bool operator<(const RunKey& a, const RunKey& b)
     {
-        return std::tie(a.workload, a.n, a.scale, a.vdd, a.freq_hz) <
-               std::tie(b.workload, b.n, b.scale, b.vdd, b.freq_hz);
+        if (a.workload != b.workload)
+            return a.workload < b.workload;
+        return std::make_tuple(a.n, quantizeScale(a.scale),
+                               quantizeVdd(a.vdd),
+                               quantizeFreq(a.freq_hz)) <
+               std::make_tuple(b.n, quantizeScale(b.scale),
+                               quantizeVdd(b.vdd),
+                               quantizeFreq(b.freq_hz));
     }
 };
 

@@ -9,7 +9,10 @@ SweepReport::summary() const
 {
     return util::strcatMsg("ok=", ok, " failed=", failed.size(),
                            " retried=", retried, " skipped=", skipped,
-                           " replayed=", replayed);
+                           " replayed=", replayed, " sim_calls=", sim_calls,
+                           " price_calls=", price_calls, " raw=", raw_hits,
+                           "/", raw_misses, " priced=", priced_hits, "/",
+                           priced_misses);
 }
 
 } // namespace tlp::runner

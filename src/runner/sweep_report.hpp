@@ -15,6 +15,7 @@
 #define TLP_RUNNER_SWEEP_REPORT_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,22 @@ struct SweepReport
     std::size_t replayed = 0; ///< cache entries restored from a journal
     std::vector<FailedPoint> failed; ///< sorted by submission order
 
+    /** Two-level cache accounting over this sweep (deltas between sweep
+     *  start and end, summed over all worker Experiments): how many
+     *  cycle-level simulations and pricing passes actually ran, and how
+     *  each cache level performed. The perf counters that make the
+     *  redundant-simulation elimination auditable. */
+    std::uint64_t sim_calls = 0;    ///< cycle-level simulations executed
+    std::uint64_t price_calls = 0;  ///< power/thermal pricing passes
+    std::uint64_t raw_hits = 0;     ///< RawRunCache hits (sim elided)
+    std::uint64_t raw_misses = 0;   ///< RawRunCache misses
+    std::uint64_t priced_hits = 0;  ///< RunCache hits (pricing elided)
+    std::uint64_t priced_misses = 0; ///< RunCache misses
+
     bool allOk() const { return failed.empty() && skipped == 0; }
 
-    /** "ok=12 failed=1 retried=0 skipped=3 replayed=0" */
+    /** "ok=12 failed=1 retried=0 skipped=3 replayed=0 sim_calls=…
+     *  price_calls=… raw=h/m priced=h/m" */
     std::string summary() const;
 };
 

@@ -172,16 +172,42 @@ SweepRunner::workerExperiment()
     std::unique_ptr<Experiment>& exp =
         experiments_[static_cast<std::size_t>(slot)];
     if (!exp) {
-        exp = std::make_unique<Experiment>(options_.scale, options_.config);
+        // share_cache gates both levels together: a worker fleet either
+        // shares the full two-level cache or runs fully isolated.
+        exp = std::make_unique<Experiment>(
+            options_.scale, options_.config,
+            options_.share_cache ? &raw_cache_ : nullptr);
         if (options_.share_cache)
             exp->setRunCache(&cache_);
     }
     return *exp;
 }
 
+SweepRunner::CounterSnapshot
+SweepRunner::counterTotals() const
+{
+    // Only called from the sweep-driving thread while no tasks are in
+    // flight (beginSweep / finishSweep), so reading the lazily filled
+    // experiment slots is race-free: every worker construction
+    // happened-before the future collection that preceded this call.
+    CounterSnapshot totals;
+    for (const std::unique_ptr<Experiment>& exp : experiments_) {
+        if (!exp)
+            continue;
+        totals.sim_calls += exp->simCalls();
+        totals.price_calls += exp->priceCalls();
+    }
+    totals.raw_hits = raw_cache_.hits();
+    totals.raw_misses = raw_cache_.misses();
+    totals.priced_hits = cache_.hits();
+    totals.priced_misses = cache_.misses();
+    return totals;
+}
+
 void
 SweepRunner::beginSweep()
 {
+    sweep_start_counters_ = counterTotals();
     std::lock_guard<std::mutex> lock(report_mutex_);
     report_ = SweepReport{};
     report_.replayed = replayed_;
@@ -190,7 +216,17 @@ SweepRunner::beginSweep()
 void
 SweepRunner::finishSweep()
 {
+    const CounterSnapshot now = counterTotals();
     std::lock_guard<std::mutex> lock(report_mutex_);
+    report_.sim_calls = now.sim_calls - sweep_start_counters_.sim_calls;
+    report_.price_calls =
+        now.price_calls - sweep_start_counters_.price_calls;
+    report_.raw_hits = now.raw_hits - sweep_start_counters_.raw_hits;
+    report_.raw_misses = now.raw_misses - sweep_start_counters_.raw_misses;
+    report_.priced_hits =
+        now.priced_hits - sweep_start_counters_.priced_hits;
+    report_.priced_misses =
+        now.priced_misses - sweep_start_counters_.priced_misses;
     std::sort(report_.failed.begin(), report_.failed.end(),
               [](const FailedPoint& a, const FailedPoint& b) {
                   return a.order < b.order;

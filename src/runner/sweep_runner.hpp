@@ -51,6 +51,7 @@
 
 #include "runner/experiment.hpp"
 #include "runner/journal.hpp"
+#include "runner/raw_run_cache.hpp"
 #include "runner/run_cache.hpp"
 #include "runner/sweep_report.hpp"
 #include "util/thread_pool.hpp"
@@ -110,6 +111,11 @@ class SweepRunner
     RunCache& cache() { return cache_; }
     const RunCache& cache() const { return cache_; }
 
+    /** The voltage-independent sim::RunResult cache shared by all
+     *  workers (the first level of the two-level cache). */
+    RawRunCache& rawCache() { return raw_cache_; }
+    const RawRunCache& rawCache() const { return raw_cache_; }
+
     /** The calling thread's Experiment (calibrated testbed). */
     Experiment& experiment() { return *experiments_.front(); }
     const Experiment& experiment() const { return *experiments_.front(); }
@@ -155,15 +161,31 @@ class SweepRunner
     void beginSweep();
     void finishSweep();
 
+    /** Sum of sim/price counters over all constructed Experiments plus
+     *  both caches' hit/miss counts — snapshotted at beginSweep() so
+     *  finishSweep() can report per-sweep deltas. */
+    struct CounterSnapshot
+    {
+        std::uint64_t sim_calls = 0;
+        std::uint64_t price_calls = 0;
+        std::uint64_t raw_hits = 0;
+        std::uint64_t raw_misses = 0;
+        std::uint64_t priced_hits = 0;
+        std::uint64_t priced_misses = 0;
+    };
+    CounterSnapshot counterTotals() const;
+
     Options options_;
     int jobs_ = 1;
     RunCache cache_;
+    RawRunCache raw_cache_;
     /** Declared before pool_ so it outlives the workers that append to
      *  it through the cache observer during pool teardown. */
     std::unique_ptr<Journal> journal_;
     std::size_t replayed_ = 0;
     SweepReport report_;
     std::mutex report_mutex_;
+    CounterSnapshot sweep_start_counters_;
     std::unique_ptr<util::ThreadPool> pool_; ///< null when jobs_ == 1
     /** Slot 0: calling thread; slot 1 + w: pool worker w. Each slot is
      *  only ever touched by its own thread. */

@@ -17,6 +17,31 @@ RCModel::RCModel(Floorplan floorplan, RCParams params)
     buildConductance();
 }
 
+RCModel::RCModel(const RCModel& other)
+    : floorplan_(other.floorplan_), params_(other.params_),
+      conductance_(other.conductance_), lu_(other.lu_),
+      solves_(other.solves_.load(std::memory_order_relaxed)),
+      factorizations_(
+          other.factorizations_.load(std::memory_order_relaxed))
+{}
+
+RCModel&
+RCModel::operator=(const RCModel& other)
+{
+    if (this != &other) {
+        floorplan_ = other.floorplan_;
+        params_ = other.params_;
+        conductance_ = other.conductance_;
+        lu_ = other.lu_;
+        solves_.store(other.solves_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        factorizations_.store(
+            other.factorizations_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+    return *this;
+}
+
 void
 RCModel::setParams(RCParams params)
 {
@@ -64,10 +89,25 @@ RCModel::buildConductance()
             conductance_(j, i) -= g;
         }
     }
+    // Factor once per conductance rebuild (HotSpot factors its RC network
+    // per floorplan, not per solve); every solve() is then O(n^2)
+    // back-substitution with bit-identical results to a full elimination.
+    lu_ = util::LuFactorization(conductance_);
+    factorizations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ThermalSolution
 RCModel::solve(const std::vector<double>& block_power) const
+{
+    ThermalSolution sol;
+    SolveScratch scratch;
+    solveInto(block_power, sol, scratch);
+    return sol;
+}
+
+void
+RCModel::solveInto(const std::vector<double>& block_power,
+                   ThermalSolution& sol, SolveScratch& scratch) const
 {
     const auto& blocks = floorplan_.blocks();
     if (block_power.size() != blocks.size()) {
@@ -79,14 +119,15 @@ RCModel::solve(const std::vector<double>& block_power) const
         if (p < 0.0)
             util::fatal("RCModel::solve: negative block power");
     }
+    solves_.fetch_add(1, std::memory_order_relaxed);
 
     // Solve G * T' = P for temperature rises above ambient; the sink node
     // has no direct power injection.
-    std::vector<double> rhs = block_power;
-    rhs.push_back(0.0);
-    std::vector<double> rise = util::solveDense(conductance_, rhs);
+    std::vector<double>& rise = scratch.rhs;
+    rise.assign(block_power.begin(), block_power.end());
+    rise.push_back(0.0);
+    lu_.solveInPlace(rise);
 
-    ThermalSolution sol;
     sol.block_temps_c.resize(blocks.size());
     double core_area = 0.0;
     double core_temp_area = 0.0;
@@ -104,7 +145,6 @@ RCModel::solve(const std::vector<double>& block_power) const
     sol.avg_core_temp_c =
         core_area > 0.0 ? core_temp_area / core_area : params_.ambient_c;
     sol.sink_temp_c = params_.ambient_c + rise[blocks.size()];
-    return sol;
 }
 
 double
@@ -176,11 +216,26 @@ solveCoupled(
         power_of_temp,
     double tol_c, int max_iter, double damping)
 {
+    CoupledScratch scratch;
+    return solveCoupled(model, power_of_temp, scratch, tol_c, max_iter,
+                        damping);
+}
+
+CoupledResult
+solveCoupled(
+    const RCModel& model,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        power_of_temp,
+    CoupledScratch& scratch, double tol_c, int max_iter, double damping)
+{
     const std::size_t n = model.floorplan().size();
     CoupledResult result;
 
-    std::vector<double> temps(n, model.params().ambient_c);
-    std::vector<double> power(n, 0.0);
+    std::vector<double>& temps = scratch.temps;
+    std::vector<double>& power = scratch.power;
+    ThermalSolution& sol = scratch.sol;
+    temps.assign(n, model.params().ambient_c);
+    power.assign(n, 0.0);
 
     for (int it = 0; it < max_iter; ++it) {
         util::checkPointDeadline("solveCoupled");
@@ -196,7 +251,7 @@ solveCoupled(
             }
         }
 
-        ThermalSolution sol = model.solve(power);
+        model.solveInto(power, sol, scratch.solve);
         // Leakage-temperature feedback can genuinely diverge (thermal
         // runaway); clamp and flag instead of iterating to infinity.
         for (double& t : sol.block_temps_c) {
@@ -211,7 +266,6 @@ solveCoupled(
                 max_delta, std::fabs(sol.block_temps_c[i] - temps[i]));
         }
         temps = sol.block_temps_c;
-        result.thermal = sol;
         result.iterations = it + 1;
         result.residual_c = max_delta;
         if (max_delta < tol_c) {
@@ -220,6 +274,101 @@ solveCoupled(
         }
     }
 
+    result.thermal = sol;
+    result.block_power = power;
+    result.total_power = 0.0;
+    for (double p : power)
+        result.total_power += p;
+    return result;
+}
+
+CoupledResult
+solveCoupledAccelerated(
+    const RCModel& model,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        power_of_temp,
+    double tol_c, int max_iter)
+{
+    const std::size_t n = model.floorplan().size();
+    const double ambient = model.params().ambient_c;
+    CoupledResult result;
+
+    std::vector<double> temps(n, ambient);
+    std::vector<double> power(n, 0.0);
+    ThermalSolution sol;
+    SolveScratch scratch;
+    // Anderson(1) history: previous iterate's fixed-point image and
+    // residual.
+    std::vector<double> g_prev, r_prev;
+    std::vector<double> r(n, 0.0);
+
+    for (int it = 0; it < max_iter; ++it) {
+        util::checkPointDeadline("solveCoupledAccelerated");
+        std::vector<double> new_power = power_of_temp(temps);
+        if (new_power.size() != n)
+            util::fatal("solveCoupledAccelerated: power map size mismatch");
+        power = std::move(new_power);
+
+        model.solveInto(power, sol, scratch);
+        for (double& t : sol.block_temps_c) {
+            if (t > kRunawayTempC) {
+                t = kRunawayTempC;
+                result.runaway = true;
+            }
+        }
+        const std::vector<double>& g = sol.block_temps_c;
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            r[i] = g[i] - temps[i];
+            max_delta = std::max(max_delta, std::fabs(r[i]));
+        }
+        result.iterations = it + 1;
+        result.residual_c = max_delta;
+        if (max_delta < tol_c) {
+            temps = g;
+            result.converged = true;
+            break;
+        }
+
+        // Secant (Anderson m=1) extrapolation of the next iterate:
+        //   gamma = <r - r_prev, r> / ||r - r_prev||^2
+        //   t_next = g - gamma * (g - g_prev)
+        // Safeguards fall back to the plain step t_next = g: no history
+        // yet, a degenerate denominator, or an extrapolation that leaves
+        // the physically meaningful band (the leakage fit is only valid
+        // between ambient and the runaway cap).
+        bool accelerated = false;
+        if (!g_prev.empty() && !result.runaway) {
+            double dr_dot_dr = 0.0;
+            double dr_dot_r = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double dr = r[i] - r_prev[i];
+                dr_dot_dr += dr * dr;
+                dr_dot_r += dr * r[i];
+            }
+            if (dr_dot_dr > 0.0 && std::isfinite(dr_dot_dr) &&
+                std::isfinite(dr_dot_r)) {
+                const double gamma = dr_dot_r / dr_dot_dr;
+                accelerated = true;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double t =
+                        g[i] - gamma * (g[i] - g_prev[i]);
+                    if (!std::isfinite(t) || t < ambient ||
+                        t > kRunawayTempC) {
+                        accelerated = false;
+                        break;
+                    }
+                    temps[i] = t;
+                }
+            }
+        }
+        g_prev = g;
+        r_prev = r;
+        if (!accelerated)
+            temps = g;
+    }
+
+    result.thermal = sol;
     result.block_power = power;
     result.total_power = 0.0;
     for (double p : power)

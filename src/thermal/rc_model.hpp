@@ -22,6 +22,8 @@
 #ifndef TLP_THERMAL_RC_MODEL_HPP
 #define TLP_THERMAL_RC_MODEL_HPP
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -57,11 +59,22 @@ struct ThermalSolution
     double sink_temp_c = 0.0;     ///< shared heat-sink node temperature
 };
 
+/** Reusable scratch buffers for the steady-state solve hot path. */
+struct SolveScratch
+{
+    std::vector<double> rhs; ///< (blocks + sink) right-hand side
+};
+
 /** Steady-state solver bound to one floorplan. */
 class RCModel
 {
   public:
     RCModel(Floorplan floorplan, RCParams params);
+
+    /** Copies share no counters: each copy starts its solve/factorization
+     *  accounting at the values of the source at copy time. */
+    RCModel(const RCModel& other);
+    RCModel& operator=(const RCModel& other);
 
     /**
      * Solve for block temperatures given per-block power [W].
@@ -70,15 +83,38 @@ class RCModel
      */
     ThermalSolution solve(const std::vector<double>& block_power) const;
 
+    /**
+     * Allocation-free solve for the coupled fixed point's inner loop:
+     * reuses @p scratch across calls and overwrites @p sol in place.
+     * Bit-identical to solve().
+     */
+    void solveInto(const std::vector<double>& block_power,
+                   ThermalSolution& sol, SolveScratch& scratch) const;
+
     const Floorplan& floorplan() const { return floorplan_; }
     const RCParams& params() const { return params_; }
 
-    /** Replace the package parameters (used by calibration). */
+    /** Replace the package parameters (used by calibration). Rebuilds the
+     *  conductance matrix and re-factorizes it. */
     void setParams(RCParams params);
 
     /** The assembled conductance matrix over (blocks..., sink) nodes;
      *  used by the transient solver. */
     const util::Matrix& conductance() const { return conductance_; }
+
+    /** Steady-state solves performed (thread-safe, relaxed). */
+    std::uint64_t solveCount() const
+    {
+        return solves_.load(std::memory_order_relaxed);
+    }
+
+    /** LU factorizations performed: one per floorplan/params change, not
+     *  one per solve — the HotSpot-style factor-once optimization this
+     *  counter makes auditable. */
+    std::uint64_t factorizationCount() const
+    {
+        return factorizations_.load(std::memory_order_relaxed);
+    }
 
   private:
     void buildConductance();
@@ -86,6 +122,14 @@ class RCModel
     Floorplan floorplan_;
     RCParams params_;
     util::Matrix conductance_; ///< G of the linear system G T' = P
+    /** Cached LU of conductance_: rebuilt only by buildConductance()
+     *  (construction and setParams), so every solve is an O(n^2)
+     *  back-substitution instead of an O(n^3) elimination. */
+    util::LuFactorization lu_;
+    /** Relaxed atomics: solve() runs concurrently on shared const models
+     *  (the analytic figure benches fan one model across a pool). */
+    mutable std::atomic<std::uint64_t> solves_{0};
+    std::atomic<std::uint64_t> factorizations_{0};
 };
 
 /**
@@ -146,6 +190,17 @@ struct CoupledResult
 /** Temperature cap used to detect leakage-thermal runaway [deg C]. */
 inline constexpr double kRunawayTempC = 300.0;
 
+/** Reusable buffers for solveCoupled(): one per thread-confined caller
+ *  (the Experiment pricing loop) saves the per-call temps/power/rhs
+ *  allocations of the fixed point. */
+struct CoupledScratch
+{
+    std::vector<double> temps;
+    std::vector<double> power;
+    ThermalSolution sol;
+    SolveScratch solve;
+};
+
 /**
  * Damped fixed-point iteration between a temperature-dependent power map
  * and the steady-state thermal solve.
@@ -162,6 +217,31 @@ CoupledResult solveCoupled(
     const std::function<std::vector<double>(const std::vector<double>&)>&
         power_of_temp,
     double tol_c = 0.01, int max_iter = 100, double damping = 0.7);
+
+/** solveCoupled() with caller-owned scratch buffers; bit-identical to
+ *  the overload above, minus its per-call allocations. */
+CoupledResult solveCoupled(
+    const RCModel& model,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        power_of_temp,
+    CoupledScratch& scratch, double tol_c = 0.01, int max_iter = 100,
+    double damping = 0.7);
+
+/**
+ * Anderson(m=1)-accelerated variant of the coupled fixed point (secant
+ * extrapolation on the temperature iterates, safeguarded: a step that
+ * extrapolates out of [ambient, runaway cap] or goes non-finite falls
+ * back to a plain undamped step). Converges in far fewer iterations on
+ * the oscillating points near the leakage knee where the damped
+ * iteration crawls. Used by the Experiment pricing ladder as a rescue
+ * rung between the historical damped default and the heavy-damping
+ * fallbacks, so converging points keep their exact legacy trajectory.
+ */
+CoupledResult solveCoupledAccelerated(
+    const RCModel& model,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        power_of_temp,
+    double tol_c = 0.01, int max_iter = 100);
 
 } // namespace tlp::thermal
 

@@ -6,6 +6,80 @@
 
 namespace tlp::util {
 
+LuFactorization::LuFactorization(const Matrix& a)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n)
+        fatal("LuFactorization: matrix must be square");
+    lu_ = a;
+    pivot_row_.resize(n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: bring the largest remaining entry to the
+        // diagonal for numerical stability.
+        std::size_t pivot = col;
+        double best = std::fabs(lu_(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(lu_(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300)
+            fatal("LuFactorization: singular matrix");
+        pivot_row_[col] = pivot;
+        if (pivot != col) {
+            // Swap the full rows: the already-stored multipliers travel
+            // with their rows, which is what lets solveInPlace() apply
+            // all recorded swaps to b up front and still replay the
+            // elimination's operations on identical values.
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(lu_(pivot, c), lu_(col, c));
+        }
+
+        const double inv_diag = 1.0 / lu_(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = lu_(r, col) * inv_diag;
+            lu_(r, col) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col + 1; c < n; ++c)
+                lu_(r, c) -= factor * lu_(col, c);
+        }
+    }
+}
+
+void
+LuFactorization::solveInPlace(std::vector<double>& b) const
+{
+    const std::size_t n = lu_.rows();
+    if (b.size() != n)
+        fatal("LuFactorization::solve: rhs size mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        if (pivot_row_[col] != col)
+            std::swap(b[pivot_row_[col]], b[col]);
+    }
+    // Forward substitution in the elimination's column order; the
+    // factor == 0 skip mirrors the elimination exactly.
+    for (std::size_t col = 0; col < n; ++col) {
+        const double b_col = b[col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = lu_(r, col);
+            if (factor == 0.0)
+                continue;
+            b[r] -= factor * b_col;
+        }
+    }
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= lu_(ri, c) * b[c];
+        b[ri] = acc / lu_(ri, ri);
+    }
+}
+
 std::vector<double>
 solveDense(const Matrix& a, std::vector<double> b)
 {
@@ -14,48 +88,9 @@ solveDense(const Matrix& a, std::vector<double> b)
         fatal("solveDense: matrix must be square");
     if (b.size() != n)
         fatal("solveDense: rhs size mismatch");
-
-    Matrix m = a;  // working copy
-
-    for (std::size_t col = 0; col < n; ++col) {
-        // Partial pivoting: bring the largest remaining entry to the
-        // diagonal for numerical stability.
-        std::size_t pivot = col;
-        double best = std::fabs(m(col, col));
-        for (std::size_t r = col + 1; r < n; ++r) {
-            const double v = std::fabs(m(r, col));
-            if (v > best) {
-                best = v;
-                pivot = r;
-            }
-        }
-        if (best < 1e-300)
-            fatal("solveDense: singular matrix");
-        if (pivot != col) {
-            for (std::size_t c = col; c < n; ++c)
-                std::swap(m(pivot, c), m(col, c));
-            std::swap(b[pivot], b[col]);
-        }
-
-        const double inv_diag = 1.0 / m(col, col);
-        for (std::size_t r = col + 1; r < n; ++r) {
-            const double factor = m(r, col) * inv_diag;
-            if (factor == 0.0)
-                continue;
-            for (std::size_t c = col; c < n; ++c)
-                m(r, c) -= factor * m(col, c);
-            b[r] -= factor * b[col];
-        }
-    }
-
-    std::vector<double> x(n, 0.0);
-    for (std::size_t ri = n; ri-- > 0;) {
-        double acc = b[ri];
-        for (std::size_t c = ri + 1; c < n; ++c)
-            acc -= m(ri, c) * x[c];
-        x[ri] = acc / m(ri, ri);
-    }
-    return x;
+    LuFactorization lu(a);
+    lu.solveInPlace(b);
+    return b;
 }
 
 std::vector<double>

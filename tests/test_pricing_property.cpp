@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Property test of the split measurement pipeline: for any operating
+ * point (v, f), simulating once (trySimulateApp) and pricing the run at v
+ * (priceRun, which includes the coupled thermal solve) must equal a full
+ * measure() at the same point with tolerance ZERO — the figure tables are
+ * byte-compared against pre-split output, so "close" is not good enough.
+ * Equality is checked on the %.17g-formatted rendering of every
+ * Measurement field (the round-trip-exact format the journal uses), which
+ * is a byte-compare of the values' decimal images.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "runner/raw_run_cache.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+
+constexpr double kScale = 0.08;
+
+/** Every field of @p m rendered %.17g (round-trip exact for doubles):
+ *  two Measurements are byte-equal iff these strings are. */
+std::string
+formatted(const runner::Measurement& m)
+{
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof buffer,
+        "cyc=%llu sec=%.17g fhz=%.17g vdd=%.17g dyn=%.17g sta=%.17g "
+        "tot=%.17g tmp=%.17g den=%.17g ins=%llu run=%d",
+        static_cast<unsigned long long>(m.cycles), m.seconds, m.freq_hz,
+        m.vdd, m.dynamic_w, m.static_w, m.total_w, m.avg_core_temp_c,
+        m.core_power_density_w_m2,
+        static_cast<unsigned long long>(m.instructions),
+        m.runaway ? 1 : 0);
+    return buffer;
+}
+
+class PricingProperty : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(PricingProperty, SplitPipelineEqualsFullMeasureOnVfGrid)
+{
+    const runner::Experiment exp(kScale);
+    const auto& app = workloads::byName(GetParam());
+    const double f1 = exp.technology().fNominal();
+    const double v1 = exp.technology().vddNominal();
+    const double v_min = exp.technology().vMin();
+
+    const std::vector<double> freqs = {0.4 * f1, 0.7 * f1, f1};
+    const std::vector<double> vdds = {v_min, 0.5 * (v_min + v1), v1};
+
+    for (const double f : freqs) {
+        // One simulation per frequency...
+        const auto run = exp.trySimulateApp(app, 2, f);
+        ASSERT_TRUE(run.ok()) << run.error().describe();
+        for (const double v : vdds) {
+            // ...priced at every voltage equals the full pipeline.
+            const runner::Measurement split = exp.priceRun(*run.value(), v);
+            const runner::Measurement full =
+                exp.measure(app.make(2, kScale), v, f);
+            EXPECT_EQ(formatted(split), formatted(full))
+                << GetParam() << " at v=" << v << " f=" << f;
+        }
+    }
+}
+
+TEST_P(PricingProperty, RawCachedRunPricesIdenticallyToFreshRun)
+{
+    // The shared raw cache hands every worker the same RunResult object;
+    // pricing through the cache must not perturb a single bit relative
+    // to pricing a freshly simulated run.
+    runner::RawRunCache raw;
+    const runner::Experiment cached(kScale, sim::CmpConfig{}, &raw);
+    const runner::Experiment fresh(kScale);
+    const auto& app = workloads::byName(GetParam());
+    const double f = 0.6 * cached.technology().fNominal();
+    const double v1 = cached.technology().vddNominal();
+
+    const auto first = cached.trySimulateApp(app, 4, f);
+    ASSERT_TRUE(first.ok());
+    const auto replayed = cached.trySimulateApp(app, 4, f);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(first.value().get(), replayed.value().get()); // raw hit
+
+    for (const double v : {v1, v1 - 0.15}) {
+        const runner::Measurement via_cache =
+            cached.priceRun(*replayed.value(), v);
+        const runner::Measurement via_fresh =
+            fresh.measure(app.make(4, kScale), v, f);
+        EXPECT_EQ(formatted(via_cache), formatted(via_fresh))
+            << GetParam() << " at v=" << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoWorkloads, PricingProperty,
+                         ::testing::Values("FMM", "Radix"));
+
+} // namespace

@@ -7,10 +7,13 @@
  * repeated runs identical to a freshly constructed simulator.
  */
 
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "runner/raw_run_cache.hpp"
 #include "runner/run_cache.hpp"
 #include "runner/sweep_runner.hpp"
 #include "sim/cmp.hpp"
@@ -98,6 +101,114 @@ TEST(RunCache, ClearResetsEverything)
     EXPECT_EQ(cache.misses(), 0u);
 }
 
+TEST(RunKey, QuantizationAbsorbsLastUlpDrift)
+{
+    // Bisection midpoints recomputed on resume or under a different
+    // worker interleaving can differ in the last ulps; such keys must
+    // land on the same cache entry.
+    runner::RunCache cache;
+    const runner::RunKey key{"FMM", 4, 0.1, 1.2, 2.0e9};
+    cache.insert(key, runner::Measurement{});
+
+    runner::RunKey perturbed = key;
+    perturbed.vdd = key.vdd * (1.0 + 1e-12);
+    perturbed.freq_hz = key.freq_hz * (1.0 + 1e-13);
+    perturbed.scale = key.scale * (1.0 - 1e-12);
+    EXPECT_FALSE(perturbed < key);
+    EXPECT_FALSE(key < perturbed);
+    EXPECT_TRUE(cache.find(perturbed).has_value());
+}
+
+TEST(RunKey, QuantizationKeepsDistinctOperatingPointsDistinct)
+{
+    // Deliberately different points sit many quanta apart (1 uV, 1 Hz,
+    // 1e-9 scale) and must stay separate entries.
+    runner::RunCache cache;
+    const runner::RunKey key{"FMM", 4, 0.1, 1.2, 2.0e9};
+    cache.insert(key, runner::Measurement{});
+
+    runner::RunKey other = key;
+    other.vdd = 1.2 + 1e-3;
+    EXPECT_FALSE(cache.find(other).has_value());
+    other = key;
+    other.freq_hz = 2.0e9 + 10.0;
+    EXPECT_FALSE(cache.find(other).has_value());
+    other = key;
+    other.scale = 0.1 + 1e-6;
+    EXPECT_FALSE(cache.find(other).has_value());
+    EXPECT_TRUE(cache.find(key).has_value());
+}
+
+TEST(RawRunCache, MissThenHitSharesTheStoredRun)
+{
+    runner::RawRunCache cache;
+    const runner::RawRunKey key{"FMM", 4, 0.1, 2.0e9};
+    EXPECT_EQ(cache.find(key), nullptr);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    auto run = std::make_shared<sim::RunResult>();
+    run->cycles = 1234;
+    run->freq_hz = 2.0e9;
+    run->seconds = 1234 / 2.0e9;
+    const auto stored = cache.insert(key, run);
+    EXPECT_EQ(stored.get(), run.get()); // first writer wins
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A racing duplicate insert adopts the canonical stored run.
+    auto dup = std::make_shared<sim::RunResult>(*run);
+    EXPECT_EQ(cache.insert(key, dup).get(), run.get());
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto found = cache.find(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found.get(), run.get());
+    EXPECT_EQ(found->cycles, 1234u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(RawRunCache, KeyIgnoresNothingButVdd)
+{
+    runner::RawRunCache cache;
+    const runner::RawRunKey key{"FMM", 4, 0.1, 2.0e9};
+    auto run = std::make_shared<sim::RunResult>();
+    run->cycles = 1;
+    run->freq_hz = 2.0e9;
+    run->seconds = 0.5e-9;
+    cache.insert(key, run);
+
+    runner::RawRunKey other = key;
+    other.workload = "Radix";
+    EXPECT_EQ(cache.find(other), nullptr);
+    other = key;
+    other.n = 8;
+    EXPECT_EQ(cache.find(other), nullptr);
+    other = key;
+    other.scale = 0.2;
+    EXPECT_EQ(cache.find(other), nullptr);
+    other = key;
+    other.freq_hz = 1.0e9;
+    EXPECT_EQ(cache.find(other), nullptr);
+    EXPECT_NE(cache.find(key), nullptr);
+}
+
+TEST(RawRunCache, RejectsInadmissibleRuns)
+{
+    runner::RawRunCache cache;
+    const runner::RawRunKey key{"FMM", 1, 0.1, 2.0e9};
+    auto zero_cycles = std::make_shared<sim::RunResult>();
+    zero_cycles->freq_hz = 2.0e9;
+    cache.insert(key, zero_cycles); // cycles == 0: not storable
+    EXPECT_EQ(cache.size(), 0u);
+
+    auto bad_seconds = std::make_shared<sim::RunResult>();
+    bad_seconds->cycles = 10;
+    bad_seconds->freq_hz = 2.0e9;
+    bad_seconds->seconds = std::numeric_limits<double>::quiet_NaN();
+    cache.insert(key, bad_seconds);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(runner::RawRunCache::admissible(*bad_seconds));
+}
+
 TEST(Experiment, MeasureAppMatchesMeasure)
 {
     const runner::Experiment exp(kScale);
@@ -122,6 +233,58 @@ TEST(Experiment, MeasureAppMatchesMeasure)
     EXPECT_EQ(cache.hits(), 1u);
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Experiment, TwoLevelCacheElidesSimulationAcrossVoltages)
+{
+    runner::RawRunCache raw;
+    runner::RunCache priced;
+    runner::Experiment exp(kScale, sim::CmpConfig{}, &raw);
+    exp.setRunCache(&priced);
+    const auto& app = workloads::byName("FMM");
+    const double f1 = exp.technology().fNominal();
+    const double v1 = exp.technology().vddNominal();
+
+    const std::uint64_t sims_before = exp.simCalls();
+    const runner::Measurement at_v1 = exp.measureApp(app, 2, v1, f1);
+    EXPECT_EQ(exp.simCalls(), sims_before + 1);
+
+    // Same frequency, different voltage: the raw level serves the run,
+    // only the pricing pass re-runs.
+    const std::uint64_t prices_before = exp.priceCalls();
+    const runner::Measurement at_v2 =
+        exp.measureApp(app, 2, v1 - 0.1, f1);
+    EXPECT_EQ(exp.simCalls(), sims_before + 1); // no new simulation
+    EXPECT_EQ(exp.priceCalls(), prices_before + 1);
+    EXPECT_GE(raw.hits(), 1u);
+    EXPECT_EQ(at_v2.vdd, v1 - 0.1);
+    EXPECT_EQ(at_v2.cycles, at_v1.cycles); // same run, new price
+    EXPECT_LT(at_v2.dynamic_w, at_v1.dynamic_w);
+
+    // The priced level still distinguishes the two voltages.
+    EXPECT_EQ(priced.size(), 2u);
+
+    // A second Experiment sharing the raw cache skips even its own
+    // calibration simulation (the power-virus run is cached too).
+    runner::Experiment sibling(kScale, sim::CmpConfig{}, &raw);
+    EXPECT_EQ(sibling.simCalls(), 0u);
+}
+
+TEST(Experiment, PriceRunMatchesMeasureAtEveryVoltage)
+{
+    const runner::Experiment exp(kScale);
+    const auto& app = workloads::byName("Radix");
+    const double f = exp.technology().fNominal();
+
+    auto run = exp.trySimulateApp(app, 2, f);
+    ASSERT_TRUE(run.ok());
+    for (const double vdd : {1.0, 1.1, exp.technology().vddNominal()}) {
+        const runner::Measurement split =
+            exp.priceRun(*run.value(), vdd);
+        const runner::Measurement full =
+            exp.measure(app.make(2, kScale), vdd, f);
+        expectSameMeasurement(split, full);
+    }
 }
 
 TEST(Experiment, ScenarioPipelineReusesCachedPoints)

@@ -286,4 +286,127 @@ TEST(Coupled, ExplosiveFeedbackFlagsRunaway)
         EXPECT_LE(t, thermal::kRunawayTempC + 1e-9);
 }
 
+// ------------------------------------------- factored-solve optimization
+
+TEST(RCCounters, FactorizesOncePerParamsChangeNotPerSolve)
+{
+    RCModel model(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{});
+    EXPECT_EQ(model.factorizationCount(), 1u); // construction
+    EXPECT_EQ(model.solveCount(), 0u);
+
+    const std::vector<double> power = {1.0, 2.0, 3.0, 4.0};
+    for (int i = 0; i < 10; ++i)
+        model.solve(power);
+    EXPECT_EQ(model.solveCount(), 10u);
+    EXPECT_EQ(model.factorizationCount(), 1u); // solves don't re-factor
+
+    RCParams params = model.params();
+    params.ambient_c += 1.0;
+    model.setParams(params);
+    EXPECT_EQ(model.factorizationCount(), 2u); // params change re-factors
+}
+
+TEST(RCCounters, CopyCarriesCountersButNotSharing)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    model.solve({1.0, 1.0});
+    RCModel copy(model);
+    EXPECT_EQ(copy.solveCount(), 1u);
+    copy.solve({1.0, 1.0});
+    EXPECT_EQ(copy.solveCount(), 2u);
+    EXPECT_EQ(model.solveCount(), 1u); // copies count independently
+}
+
+TEST(RCFactoredSolve, BitIdenticalToDirectDenseSolve)
+{
+    // The cached-LU solve must reproduce the historical
+    // solveDense(conductance, rhs) doubles exactly — the figure tables
+    // are byte-compared against pre-optimization output.
+    RCModel model(thermal::makeTiledCmp(8, 1e-5, 2e-5, true), RCParams{});
+    const std::size_t blocks = model.floorplan().size();
+    std::vector<double> power(blocks);
+    for (std::size_t i = 0; i < blocks; ++i)
+        power[i] = 0.5 + 0.25 * static_cast<double>(i);
+
+    const auto sol = model.solve(power);
+
+    std::vector<double> rhs = power;
+    rhs.push_back(0.0); // sink node
+    const std::vector<double> rise =
+        tlp::util::solveDense(model.conductance(), rhs);
+    ASSERT_EQ(sol.block_temps_c.size(), blocks);
+    for (std::size_t i = 0; i < blocks; ++i) {
+        EXPECT_EQ(sol.block_temps_c[i],
+                  model.params().ambient_c + rise[i]);
+    }
+    EXPECT_EQ(sol.sink_temp_c, model.params().ambient_c + rise[blocks]);
+}
+
+TEST(CoupledScratchOverload, BitIdenticalToAllocatingOverload)
+{
+    RCModel model(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{});
+    const auto power_of_temp = [](const std::vector<double>& temps) {
+        std::vector<double> p(temps.size());
+        for (std::size_t i = 0; i < temps.size(); ++i)
+            p[i] = 3.0 * (1.0 + 0.02 * (temps[i] - 45.0));
+        return p;
+    };
+    const auto plain = thermal::solveCoupled(model, power_of_temp);
+    thermal::CoupledScratch scratch;
+    for (int round = 0; round < 3; ++round) { // scratch reuse is clean
+        const auto scratched =
+            thermal::solveCoupled(model, power_of_temp, scratch);
+        EXPECT_EQ(scratched.converged, plain.converged);
+        EXPECT_EQ(scratched.iterations, plain.iterations);
+        ASSERT_EQ(scratched.thermal.block_temps_c.size(),
+                  plain.thermal.block_temps_c.size());
+        for (std::size_t i = 0; i < plain.thermal.block_temps_c.size();
+             ++i) {
+            EXPECT_EQ(scratched.thermal.block_temps_c[i],
+                      plain.thermal.block_temps_c[i]);
+            EXPECT_EQ(scratched.block_power[i], plain.block_power[i]);
+        }
+        EXPECT_EQ(scratched.total_power, plain.total_power);
+    }
+}
+
+TEST(CoupledAccelerated, ConvergesToTheDampedFixedPoint)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    const auto power_of_temp = [](const std::vector<double>& temps) {
+        std::vector<double> p(temps.size());
+        for (std::size_t i = 0; i < temps.size(); ++i)
+            p[i] = 4.0 * (1.0 + 0.015 * (temps[i] - 45.0));
+        return p;
+    };
+    const auto damped = thermal::solveCoupled(model, power_of_temp);
+    const auto accel =
+        thermal::solveCoupledAccelerated(model, power_of_temp);
+    ASSERT_TRUE(damped.converged);
+    ASSERT_TRUE(accel.converged);
+    EXPECT_FALSE(accel.runaway);
+    // Same fixed point (to the shared tolerance), typically in fewer
+    // iterations.
+    for (std::size_t i = 0; i < damped.thermal.block_temps_c.size(); ++i) {
+        EXPECT_NEAR(accel.thermal.block_temps_c[i],
+                    damped.thermal.block_temps_c[i], 0.05);
+    }
+    EXPECT_LE(accel.iterations, damped.iterations);
+}
+
+TEST(CoupledAccelerated, ExplosiveFeedbackStillFlagsRunaway)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    const auto result = thermal::solveCoupledAccelerated(
+        model, [&](const std::vector<double>& temps) {
+            std::vector<double> p(temps.size());
+            for (std::size_t i = 0; i < temps.size(); ++i)
+                p[i] = std::exp((temps[i] - 40.0) * 0.5);
+            return p;
+        });
+    EXPECT_TRUE(result.runaway);
+    for (double t : result.thermal.block_temps_c)
+        EXPECT_LE(t, thermal::kRunawayTempC + 1e-9);
+}
+
 } // namespace

@@ -509,6 +509,142 @@ TEST(Linalg, LeastSquaresOverdeterminedAverages)
     EXPECT_NEAR(x[0], 2.0, 1e-12);
 }
 
+/**
+ * Reference one-shot Gaussian elimination with partial pivoting and the
+ * right-hand side interleaved — the elimination LuFactorization::solve()
+ * claims to replay bit-for-bit (same pivot rule, same factor == 0 skips,
+ * same operation order).
+ */
+std::vector<double>
+referenceElimination(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        double best = std::fabs(a(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300)
+            fatal("referenceElimination: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(pivot, c), a(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        const double inv_diag = 1.0 / a(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a(r, col) * inv_diag;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col + 1; c < n; ++c)
+                a(r, c) -= factor * a(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= a(ri, c) * b[c];
+        b[ri] = acc / a(ri, ri);
+    }
+    return b;
+}
+
+TEST(LuFactorization, BitIdenticalToReferenceEliminationOnRandomSystems)
+{
+    // The thermal hot path depends on factor-once/solve-many producing
+    // the exact doubles of the historical per-call elimination: compare
+    // bit patterns, not EXPECT_NEAR, across sizes and seeds. Random
+    // dense systems of this kind are comfortably nonsingular.
+    Rng rng(20240805);
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u}) {
+        for (int trial = 0; trial < 5; ++trial) {
+            Matrix a(n, n);
+            std::vector<double> b(n);
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t c = 0; c < n; ++c)
+                    a(r, c) = rng.uniform(-10.0, 10.0);
+                // Diagonal dominance mirrors the conductance matrices.
+                a(r, r) += 25.0;
+                b[r] = rng.uniform(-100.0, 100.0);
+            }
+            const std::vector<double> expected =
+                referenceElimination(a, b);
+            const LuFactorization lu(a);
+            const std::vector<double> got = lu.solve(b);
+            ASSERT_EQ(got.size(), expected.size());
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(got[i], expected[i])
+                    << "n=" << n << " trial=" << trial << " i=" << i;
+        }
+    }
+}
+
+TEST(LuFactorization, BitIdenticalWhenPivotingIsForced)
+{
+    // Zero diagonal forces a row swap in every elimination step.
+    Matrix a(3, 3);
+    a(0, 1) = 2.0;
+    a(0, 2) = 1.0;
+    a(1, 0) = 3.0;
+    a(1, 2) = 4.0;
+    a(2, 0) = 1.0;
+    a(2, 1) = 1.0;
+    const std::vector<double> b = {1.0, 2.0, 3.0};
+    const std::vector<double> expected = referenceElimination(a, b);
+    const LuFactorization lu(a);
+    const std::vector<double> got = lu.solve(b);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ(got[i], expected[i]);
+}
+
+TEST(LuFactorization, ReusesFactorsAcrossRightHandSides)
+{
+    Rng rng(7);
+    Matrix a(6, 6);
+    for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 6; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+        a(r, r) += 4.0;
+    }
+    const LuFactorization lu(a);
+    EXPECT_EQ(lu.size(), 6u);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<double> b(6);
+        for (double& v : b)
+            v = rng.uniform(-5.0, 5.0);
+        const std::vector<double> expected = solveDense(a, b);
+        const std::vector<double> got = lu.solve(b);
+        for (std::size_t i = 0; i < b.size(); ++i)
+            EXPECT_EQ(got[i], expected[i]) << "trial=" << trial;
+    }
+}
+
+TEST(LuFactorization, RejectsSingularAndNonSquare)
+{
+    Matrix singular(2, 2);
+    singular(0, 0) = 1.0;
+    singular(0, 1) = 2.0;
+    singular(1, 0) = 2.0;
+    singular(1, 1) = 4.0;
+    EXPECT_THROW(LuFactorization{singular}, FatalError);
+
+    Matrix rect(2, 3);
+    EXPECT_THROW(LuFactorization{rect}, FatalError);
+
+    Matrix good(2, 2);
+    good(0, 0) = 1.0;
+    good(1, 1) = 1.0;
+    const LuFactorization lu(good);
+    std::vector<double> wrong_size = {1.0, 2.0, 3.0};
+    EXPECT_THROW(lu.solveInPlace(wrong_size), FatalError);
+}
+
 /** Property sweep: bisect recovers known roots across a parameter grid. */
 class BisectSweep : public ::testing::TestWithParam<double>
 {
