@@ -108,8 +108,7 @@ main(int argc, char** argv)
     const sim::RunResult probe =
         cmp.run(apps.front()->make(16, scale),
                 serial.experiment().technology().fNominal());
-    const std::uint64_t high_water =
-        probe.stats.counterValue("queue.high_water");
+    const std::uint64_t high_water = probe.queue_high_water;
 
     // serial_* counters are deterministic (one worker, fixed task order)
     // and are what the CI perf guard compares against its committed
@@ -127,6 +126,11 @@ main(int argc, char** argv)
               << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
               << ",\"identical\":" << (identical ? "true" : "false")
               << ",\"serial_sim_calls\":" << serial_rep.sim_calls
+              << ",\"serial_sim_events\":" << serial_rep.sim_events
+              << ",\"events_per_sec\":"
+              << (serial_s > 0.0
+                      ? static_cast<double>(serial_rep.sim_events) / serial_s
+                      : 0.0)
               << ",\"serial_price_calls\":" << serial_rep.price_calls
               << ",\"sim_calls\":" << par_rep.sim_calls
               << ",\"price_calls\":" << par_rep.price_calls

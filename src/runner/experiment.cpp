@@ -128,6 +128,7 @@ Experiment::Experiment(double scale, sim::CmpConfig config,
         sim_calls_.fetch_add(1, std::memory_order_relaxed);
         run_ptr = std::make_shared<const sim::RunResult>(
             cmp_.run(virus, tech_.fNominal()));
+        sim_events_.fetch_add(run_ptr->events, std::memory_order_relaxed);
         if (raw_cache_)
             run_ptr = raw_cache_->insert(virus_key, run_ptr);
     }
@@ -319,6 +320,7 @@ Experiment::tryMeasure(const sim::Program& program, double vdd,
     try {
         sim_calls_.fetch_add(1, std::memory_order_relaxed);
         const sim::RunResult run = cmp_.run(program, freq_hz);
+        sim_events_.fetch_add(run.events, std::memory_order_relaxed);
         auto priced = tryPriceRun(run, vdd);
         if (!priced) {
             return std::move(priced.error())
@@ -361,6 +363,7 @@ Experiment::trySimulateApp(const workloads::WorkloadInfo& app, int n,
         std::shared_ptr<const sim::RunResult> run =
             std::make_shared<const sim::RunResult>(
                 cmp_.run(app.make(n, scale_), freq_hz));
+        sim_events_.fetch_add(run->events, std::memory_order_relaxed);
         if (raw_cache_)
             run = raw_cache_->insert(key, std::move(run));
         return run;

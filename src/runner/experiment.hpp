@@ -184,6 +184,14 @@ class Experiment
         return price_calls_.load(std::memory_order_relaxed);
     }
 
+    /** Kernel events executed across this Experiment's simulations (sum
+     *  of RunResult.events over simCalls(); cache hits contribute
+     *  nothing). Thread-safe, relaxed. */
+    std::uint64_t simEvents() const
+    {
+        return sim_events_.load(std::memory_order_relaxed);
+    }
+
     /** Price an already-simulated run at supply voltage @p vdd: Wattch
      *  dynamic power from the activity counters, static power and die
      *  temperature from the coupled power/temperature fixed point. The
@@ -280,6 +288,7 @@ class Experiment
     mutable thermal::CoupledScratch coupled_scratch_;
     mutable std::atomic<std::uint64_t> sim_calls_{0};
     mutable std::atomic<std::uint64_t> price_calls_{0};
+    mutable std::atomic<std::uint64_t> sim_events_{0};
 };
 
 } // namespace tlp::runner

@@ -10,6 +10,7 @@ SweepReport::summary() const
     return util::strcatMsg("ok=", ok, " failed=", failed.size(),
                            " retried=", retried, " skipped=", skipped,
                            " replayed=", replayed, " sim_calls=", sim_calls,
+                           " sim_events=", sim_events,
                            " price_calls=", price_calls, " raw=", raw_hits,
                            "/", raw_misses, " priced=", priced_hits, "/",
                            priced_misses);

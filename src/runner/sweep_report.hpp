@@ -55,6 +55,7 @@ struct SweepReport
      *  each cache level performed. The perf counters that make the
      *  redundant-simulation elimination auditable. */
     std::uint64_t sim_calls = 0;    ///< cycle-level simulations executed
+    std::uint64_t sim_events = 0;   ///< kernel events those runs executed
     std::uint64_t price_calls = 0;  ///< power/thermal pricing passes
     std::uint64_t raw_hits = 0;     ///< RawRunCache hits (sim elided)
     std::uint64_t raw_misses = 0;   ///< RawRunCache misses
@@ -64,7 +65,7 @@ struct SweepReport
     bool allOk() const { return failed.empty() && skipped == 0; }
 
     /** "ok=12 failed=1 retried=0 skipped=3 replayed=0 sim_calls=…
-     *  price_calls=… raw=h/m priced=h/m" */
+     *  sim_events=… price_calls=… raw=h/m priced=h/m" */
     std::string summary() const;
 };
 

@@ -195,6 +195,7 @@ SweepRunner::counterTotals() const
         if (!exp)
             continue;
         totals.sim_calls += exp->simCalls();
+        totals.sim_events += exp->simEvents();
         totals.price_calls += exp->priceCalls();
     }
     totals.raw_hits = raw_cache_.hits();
@@ -219,6 +220,8 @@ SweepRunner::finishSweep()
     const CounterSnapshot now = counterTotals();
     std::lock_guard<std::mutex> lock(report_mutex_);
     report_.sim_calls = now.sim_calls - sweep_start_counters_.sim_calls;
+    report_.sim_events =
+        now.sim_events - sweep_start_counters_.sim_events;
     report_.price_calls =
         now.price_calls - sweep_start_counters_.price_calls;
     report_.raw_hits = now.raw_hits - sweep_start_counters_.raw_hits;

@@ -167,6 +167,7 @@ class SweepRunner
     struct CounterSnapshot
     {
         std::uint64_t sim_calls = 0;
+        std::uint64_t sim_events = 0;
         std::uint64_t price_calls = 0;
         std::uint64_t raw_hits = 0;
         std::uint64_t raw_misses = 0;

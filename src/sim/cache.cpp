@@ -27,8 +27,10 @@ CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
                        std::uint32_t assoc)
     : line_bytes_(line_bytes), assoc_(assoc)
 {
-    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
-        util::fatal("CacheArray: line size must be a power of two");
+    // Line size >= 2 also guarantees the all-ones invalid-tag sentinel is
+    // never a legal (line-aligned) tag.
+    if (line_bytes < 2 || !std::has_single_bit(line_bytes))
+        util::fatal("CacheArray: line size must be a power of two >= 2");
     if (assoc == 0)
         util::fatal("CacheArray: associativity must be positive");
     const std::uint64_t way_bytes =
@@ -37,31 +39,10 @@ CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
         util::fatal("CacheArray: size must be a multiple of line*assoc");
     n_sets_ = size_bytes / way_bytes;
     line_mask_ = line_bytes_ - 1;
+    line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes_));
+    sets_pow2_ = std::has_single_bit(n_sets_);
+    set_mask_ = sets_pow2_ ? n_sets_ - 1 : 0;
     lines_.resize(n_sets_ * assoc_);
-}
-
-std::uint64_t
-CacheArray::setIndex(Addr addr) const
-{
-    return (addr / line_bytes_) % n_sets_;
-}
-
-CacheArray::Line*
-CacheArray::find(Addr addr)
-{
-    const Addr tag = lineAddr(addr);
-    Line* set = &lines_[setIndex(addr) * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (set[w].state != Mesi::Invalid && set[w].tag == tag)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const CacheArray::Line*
-CacheArray::find(Addr addr) const
-{
-    return const_cast<CacheArray*>(this)->find(addr);
 }
 
 Mesi
@@ -114,6 +95,7 @@ CacheArray::setState(Addr addr, Mesi state)
     }
     if (state == Mesi::Invalid) {
         line->state = Mesi::Invalid;
+        line->tag = kInvalidTag;
         return;
     }
     line->state = state;
@@ -127,6 +109,7 @@ CacheArray::invalidate(Addr addr)
         return Mesi::Invalid;
     const Mesi prev = line->state;
     line->state = Mesi::Invalid;
+    line->tag = kInvalidTag;
     return prev;
 }
 

@@ -8,6 +8,14 @@
  * plus the shared L2 atomically at bus-grant time. This mirrors the
  * paper's 16-way CMP: private 64 KB 2-way L1s with 64 B lines, a shared
  * inclusive 4 MB 8-way L2 with 128 B lines, MESI over a snooping bus.
+ *
+ * Lookups are on the simulator's hottest path (every load and store of
+ * every core probes an L1), so the array is laid out for cheap probes:
+ * set selection is a precomputed shift/mask when the set count is a power
+ * of two (the paper geometry always is; a divide/modulo fallback keeps
+ * arbitrary set counts correct), and invalid lines carry a sentinel tag
+ * that can never equal a line-aligned address, so the way scan compares
+ * tags only — no per-way validity branch.
  */
 
 #ifndef TLP_SIM_CACHE_HPP
@@ -41,7 +49,7 @@ class CacheArray
   public:
     /**
      * @param size_bytes total capacity, @param line_bytes line size (power
-     * of two), @param assoc ways. size must be divisible by
+     * of two, >= 2), @param assoc ways. size must be divisible by
      * line_bytes * assoc.
      */
     CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
@@ -54,7 +62,40 @@ class CacheArray
     Mesi state(Addr addr) const;
 
     /** True when the line is present in any valid state. */
-    bool contains(Addr addr) const { return state(addr) != Mesi::Invalid; }
+    bool contains(Addr addr) const { return find(addr) != nullptr; }
+
+    /**
+     * Fused read probe: when the line is present, make it most-recently
+     * used and return true. Exactly equivalent to
+     * `contains(addr) && (touch(addr), true)` with a single way scan.
+     */
+    bool
+    readHit(Addr addr)
+    {
+        Line* line = find(addr);
+        if (!line)
+            return false;
+        line->lru = ++lru_clock_;
+        return true;
+    }
+
+    /**
+     * Fused write probe: when the line is held in Modified or Exclusive
+     * (writable without a bus transaction), dirty it, make it
+     * most-recently used, and return true. A Shared hit or a miss returns
+     * false with the array untouched — the caller must take the bus.
+     */
+    bool
+    writeHitUpgrade(Addr addr)
+    {
+        Line* line = find(addr);
+        if (!line || (line->state != Mesi::Modified &&
+                      line->state != Mesi::Exclusive))
+            return false;
+        line->state = Mesi::Modified;
+        line->lru = ++lru_clock_;
+        return true;
+    }
 
     /**
      * Insert (or re-state) the line for @p addr with @p state and make it
@@ -98,21 +139,51 @@ class CacheArray
     void reset();
 
   private:
+    /** Tag of an invalid line. All-ones is never line-aligned (line size
+     *  >= 2), so a tag-only way scan can never hit an invalid way. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
     struct Line
     {
-        Addr tag = 0;
-        Mesi state = Mesi::Invalid;
+        Addr tag = kInvalidTag;
         std::uint64_t lru = 0;
+        Mesi state = Mesi::Invalid;
     };
 
-    std::uint64_t setIndex(Addr addr) const;
-    Line* find(Addr addr);
-    const Line* find(Addr addr) const;
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        const Addr line = addr >> line_shift_;
+        return sets_pow2_ ? (line & set_mask_) : (line % n_sets_);
+    }
+
+    /** Tag-only scan of the addressed set; null on miss. Invalid ways
+     *  hold kInvalidTag and can never match a line-aligned tag. */
+    Line*
+    find(Addr addr)
+    {
+        const Addr want = lineAddr(addr);
+        Line* set = &lines_[setIndex(addr) * assoc_];
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].tag == want)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const Line*
+    find(Addr addr) const
+    {
+        return const_cast<CacheArray*>(this)->find(addr);
+    }
 
     std::uint32_t line_bytes_;
     std::uint32_t assoc_;
     std::uint64_t n_sets_;
     Addr line_mask_;
+    std::uint32_t line_shift_;  ///< log2(line_bytes)
+    bool sets_pow2_;            ///< shift/mask indexing applies
+    std::uint64_t set_mask_;    ///< n_sets - 1 when sets_pow2_
     std::uint64_t lru_clock_ = 0;
     std::vector<Line> lines_; // n_sets * assoc, row-major by set
 };

@@ -1,5 +1,6 @@
 #include "sim/cmp.hpp"
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,16 @@ namespace {
 /** Hard cap against runaway simulations (a generous multiple of any
  *  legitimate workload in this repository). */
 constexpr std::uint64_t kMaxEvents = 4'000'000'000ull;
+
+/** The inline L1-hit fast path is on unless TLPPM_SIM_FASTPATH=0 (the
+ *  differential test flips this per run; results are identical either
+ *  way — see DESIGN.md "Simulator kernel"). */
+bool
+fastPathEnabled()
+{
+    const char* v = std::getenv("TLPPM_SIM_FASTPATH");
+    return !(v && v[0] == '0' && v[1] == '\0');
+}
 
 } // namespace
 
@@ -82,18 +93,62 @@ Cmp::run(const Program& program, double freq_hz) const
     BarrierManager barriers(config_, n_threads, queue, result.stats);
     LockManager locks(config_, queue, result.stats);
 
+    const bool fast_path = fastPathEnabled();
     int remaining = n_threads;
-    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Core> cores;
     cores.reserve(n_threads);
     for (int i = 0; i < n_threads; ++i) {
-        cores.push_back(std::make_unique<Core>(
-            i, config_, program.threads[i], queue, memsys, barriers, locks,
-            result.stats, [&remaining] { --remaining; }));
+        cores.emplace_back(i, config_, program.threads[i], queue, memsys,
+                           result.stats, fast_path,
+                           [&remaining] { --remaining; });
     }
-    for (auto& core : cores)
-        core->start();
+    for (Core& core : cores)
+        core.start();
 
-    const std::uint64_t executed = queue.run(kMaxEvents);
+    // The dispatcher: routes every typed event to its actor. Completion
+    // events re-enter the issuing core's execute loop; issue events enter
+    // the memory system or a sync manager; bus machinery events stay
+    // inside the memory system.
+    const auto dispatch = [&](const Event& event) {
+        switch (event.kind) {
+          case EventKind::CoreResume:
+          case EventKind::MemDone:
+          case EventKind::StoreAccept:
+          case EventKind::BarrierRelease:
+          case EventKind::LockGrant:
+            cores[event.arg].resume();
+            break;
+          case EventKind::IssueLoad:
+            memsys.load(static_cast<int>(event.arg), event.addr);
+            break;
+          case EventKind::IssueStore:
+            memsys.store(static_cast<int>(event.arg), event.addr);
+            break;
+          case EventKind::IssueBarrier:
+            barriers.arrive(static_cast<int>(event.arg));
+            break;
+          case EventKind::IssueLock:
+            locks.acquire(event.addr, static_cast<int>(event.arg));
+            break;
+          case EventKind::IssueUnlock:
+            locks.release(event.addr, static_cast<int>(event.arg));
+            cores[event.arg].resume();
+            break;
+          case EventKind::CoreFinish:
+            cores[event.arg].finish();
+            break;
+          case EventKind::BusGrant:
+            memsys.onBusGrant(static_cast<int>(event.arg), event.addr,
+                              event.aux);
+            break;
+          case EventKind::StoreDrained:
+            memsys.onStoreDrained(static_cast<int>(event.arg));
+            break;
+          case EventKind::Callback:
+            break; // handled inside EventQueue::run, never reaches here
+        }
+    };
+    const std::uint64_t executed = queue.run(dispatch, kMaxEvents);
     if (executed >= kMaxEvents)
         util::fatal("Cmp::run: event budget exceeded (livelock?)");
     if (remaining != 0) {
@@ -102,8 +157,8 @@ Cmp::run(const Program& program, double freq_hz) const
                                     "lock mismatch in the program)"));
     }
 
-    for (const auto& core : cores)
-        result.cycles = std::max(result.cycles, core->finishCycle());
+    for (const Core& core : cores)
+        result.cycles = std::max(result.cycles, core.finishCycle());
     result.seconds = static_cast<double>(result.cycles) / freq_hz;
     result.instructions = program.instructionCount();
     result.coherent = memsys.checkCoherence();
@@ -116,8 +171,10 @@ Cmp::run(const Program& program, double freq_hz) const
             result.stats.counterValue(prefix + "insts");
         result.stats.counter(prefix + "l1i.reads").increment(insts / 4);
     }
-    // Event-queue pressure, for the sweep-throughput bench.
-    result.stats.counter("queue.high_water").increment(queue.highWater());
+    // Kernel telemetry (fast-path dependent, so deliberately outside the
+    // StatRegistry — see the RunResult field comments).
+    result.events = executed;
+    result.queue_high_water = queue.highWater();
     return result;
 }
 

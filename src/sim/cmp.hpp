@@ -36,6 +36,13 @@ struct RunResult
     std::uint64_t instructions = 0; ///< dynamic instructions retired
     int n_threads = 0;              ///< cores that ran threads
     bool coherent = false;          ///< MESI invariant held at the end
+    /** Events the kernel executed for this run. Kernel telemetry, not an
+     *  architectural counter: the L1-hit fast path legitimately shrinks
+     *  it (stats stays byte-identical), which is why it lives here and
+     *  not in the StatRegistry. */
+    std::uint64_t events = 0;
+    /** Peak pending-event count (heap-reservation telemetry). */
+    std::uint64_t queue_high_water = 0;
     util::StatRegistry stats;       ///< per-unit activity counters
 
     /** Aggregate instructions per cycle. */

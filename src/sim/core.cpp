@@ -3,16 +3,18 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace tlp::sim {
 
 Core::Core(int id, const CmpConfig& config, const ThreadProgram& program,
            EventQueue& queue, MemorySystem& memsys,
-           BarrierManager& barriers, LockManager& locks,
-           util::StatRegistry& stats, std::function<void()> on_finish)
-    : id_(id), config_(config), program_(&program), queue_(&queue),
-      memsys_(&memsys), barriers_(&barriers), locks_(&locks),
-      stats_(&stats), on_finish_(std::move(on_finish))
+           util::StatRegistry& stats, bool fast_path,
+           std::function<void()> on_finish)
+    : id_(id), uid_(static_cast<std::uint32_t>(id)), config_(config),
+      program_(&program), queue_(&queue), memsys_(&memsys),
+      stats_(&stats), fast_path_(fast_path),
+      on_finish_(std::move(on_finish))
 {
     if (!program.finished())
         util::fatal("Core: thread program lacks an End op");
@@ -26,7 +28,7 @@ Core::Core(int id, const CmpConfig& config, const ThreadProgram& program,
 void
 Core::start()
 {
-    queue_->schedule(queue_->now(), [this] { resume(); });
+    queue_->post(queue_->now(), EventKind::CoreResume, uid_);
 }
 
 void
@@ -34,7 +36,7 @@ Core::resume()
 {
     // Execute ops, accumulating compute cycles, until an op blocks (memory
     // or synchronization) or the stream ends. Blocking ops re-enter
-    // resume() via their completion callbacks.
+    // resume() through their typed completion events.
     Cycle delay = 0;
     while (true) {
         const Op& op = program_->ops()[pc_];
@@ -63,33 +65,51 @@ Core::resume()
             countInstructions(1);
             const Addr addr = op.addr;
             ++pc_;
-            queue_->scheduleIn(delay, [this, addr] {
-                memsys_->load(id_, addr, [this] { resume(); });
-            });
+            if (fast_path_) {
+                // Safe to resolve inline iff the whole issue-to-completion
+                // window [at, at + hit] precedes every pending event:
+                // nothing else can observe or perturb the access, and the
+                // slow path would execute the identical state transitions
+                // with no event interleaved.
+                const Cycle at = queue_->now() + delay;
+                if (queue_->nextEventTime() > at + config_.l1_hit_cycles &&
+                    memsys_->inlineLoadHit(id_, addr)) {
+                    delay += config_.l1_hit_cycles;
+                    if ((++inline_ops_ & 0x3FFFu) == 0u)
+                        util::checkPointDeadline("Core::resume");
+                    break;
+                }
+            }
+            queue_->postIn(delay, EventKind::IssueLoad, uid_, addr);
             return;
           }
           case OpType::Store: {
             countInstructions(1);
             const Addr addr = op.addr;
             ++pc_;
-            queue_->scheduleIn(delay, [this, addr] {
-                memsys_->store(id_, addr, [this] { resume(); });
-            });
+            if (fast_path_) {
+                // A writable (M/E) hit is accepted one cycle after issue.
+                const Cycle at = queue_->now() + delay;
+                if (queue_->nextEventTime() > at + 1 &&
+                    memsys_->inlineStoreHit(id_, addr)) {
+                    delay += 1;
+                    if ((++inline_ops_ & 0x3FFFu) == 0u)
+                        util::checkPointDeadline("Core::resume");
+                    break;
+                }
+            }
+            queue_->postIn(delay, EventKind::IssueStore, uid_, addr);
             return;
           }
           case OpType::Barrier: {
             ++pc_;
-            queue_->scheduleIn(delay, [this] {
-                barriers_->arrive(id_, [this] { resume(); });
-            });
+            queue_->postIn(delay, EventKind::IssueBarrier, uid_);
             return;
           }
           case OpType::Lock: {
             const std::uint64_t lock_id = op.addr;
             ++pc_;
-            queue_->scheduleIn(delay, [this, lock_id] {
-                locks_->acquire(lock_id, id_, [this] { resume(); });
-            });
+            queue_->postIn(delay, EventKind::IssueLock, uid_, lock_id);
             return;
           }
           case OpType::Unlock: {
@@ -97,24 +117,25 @@ Core::resume()
             ++pc_;
             // The release must occur at the correct simulated time and in
             // deterministic order, so route it through the event queue.
-            queue_->scheduleIn(delay, [this, lock_id] {
-                locks_->release(lock_id, id_);
-                resume();
-            });
+            queue_->postIn(delay, EventKind::IssueUnlock, uid_, lock_id);
             return;
           }
           case OpType::End: {
-            queue_->scheduleIn(delay, [this] {
-                finished_ = true;
-                finish_cycle_ = queue_->now();
-                active_cycles_->increment(finish_cycle_);
-                if (on_finish_)
-                    on_finish_();
-            });
+            queue_->postIn(delay, EventKind::CoreFinish, uid_);
             return;
           }
         }
     }
+}
+
+void
+Core::finish()
+{
+    finished_ = true;
+    finish_cycle_ = queue_->now();
+    active_cycles_->increment(finish_cycle_);
+    if (on_finish_)
+        on_finish_();
 }
 
 } // namespace tlp::sim

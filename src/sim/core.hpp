@@ -10,6 +10,18 @@
  * deliberately simpler than a full out-of-order pipeline: the paper's
  * evaluation consumes relative compute-vs-memory cycle accounting under
  * DVFS, not microarchitectural detail (see DESIGN.md substitutions).
+ *
+ * Blocking ops leave resume() by posting a typed event (IssueLoad,
+ * IssueStore, IssueBarrier, IssueLock, IssueUnlock, CoreFinish) at
+ * now + accumulated delay; the run-loop dispatcher (Cmp) routes the event
+ * to the memory system or a sync manager, whose completion event
+ * (MemDone, StoreAccept, BarrierRelease, LockGrant) re-enters resume().
+ *
+ * Fast path: when enabled, an L1 load/store hit (or store-to-load
+ * forward) whose whole issue-to-completion window precedes every pending
+ * event is resolved inline as pure delay accumulation — no event-queue
+ * round trip. DESIGN.md ("Simulator kernel") gives the equivalence
+ * argument for why this is invisible to every architectural counter.
  */
 
 #ifndef TLP_SIM_CORE_HPP
@@ -21,7 +33,6 @@
 #include "sim/event_queue.hpp"
 #include "sim/memory_system.hpp"
 #include "sim/program.hpp"
-#include "sim/sync.hpp"
 #include "util/stats.hpp"
 
 namespace tlp::sim {
@@ -36,18 +47,27 @@ class Core
      * @param program  the thread's operation stream (must outlive Core)
      * @param queue    global event queue
      * @param memsys   cache hierarchy
-     * @param barriers barrier manager
-     * @param locks    lock manager
      * @param stats    statistics registry
+     * @param fast_path resolve safe L1 hits inline (TLPPM_SIM_FASTPATH)
      * @param on_finish invoked once when the thread retires its End op
      */
     Core(int id, const CmpConfig& config, const ThreadProgram& program,
-         EventQueue& queue, MemorySystem& memsys, BarrierManager& barriers,
-         LockManager& locks, util::StatRegistry& stats,
+         EventQueue& queue, MemorySystem& memsys,
+         util::StatRegistry& stats, bool fast_path,
          std::function<void()> on_finish);
 
     /** Schedule the first fetch at cycle 0 (call once before running). */
     void start();
+
+    /**
+     * Execute ops until the next blocking point. Invoked by the event
+     * dispatcher whenever a completion event (CoreResume, MemDone,
+     * StoreAccept, BarrierRelease, LockGrant) targets this core.
+     */
+    void resume();
+
+    /** Retire the thread (CoreFinish event). */
+    void finish();
 
     bool finished() const { return finished_; }
 
@@ -55,9 +75,6 @@ class Core
     Cycle finishCycle() const { return finish_cycle_; }
 
   private:
-    /** Execute ops until the next blocking point. */
-    void resume();
-
     /** Retire bookkeeping for @p insts instructions. */
     void
     countInstructions(std::uint64_t insts)
@@ -66,13 +83,13 @@ class Core
     }
 
     int id_;
+    std::uint32_t uid_; ///< id_ as the events' arg payload
     CmpConfig config_;
     const ThreadProgram* program_;
     EventQueue* queue_;
     MemorySystem* memsys_;
-    BarrierManager* barriers_;
-    LockManager* locks_;
     util::StatRegistry* stats_;
+    bool fast_path_;
     std::function<void()> on_finish_;
 
     // Pre-resolved counters: resume() touches them once per op, so the
@@ -86,6 +103,7 @@ class Core
     bool finished_ = false;
     Cycle finish_cycle_ = 0;
     double compute_carry_ = 0.0; ///< fractional-cycle accumulator
+    std::uint32_t inline_ops_ = 0; ///< fast-path watchdog poll counter
 };
 
 } // namespace tlp::sim

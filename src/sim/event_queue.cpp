@@ -2,46 +2,33 @@
 
 #include <algorithm>
 
-#include "util/logging.hpp"
-#include "util/watchdog.hpp"
-
 namespace tlp::sim {
 
 void
 EventQueue::schedule(Cycle when, EventFn fn)
 {
-    if (when < now_) {
-        util::panic(util::strcatMsg("EventQueue: scheduling in the past (",
-                                    when, " < ", now_, ")"));
+    // Closure payloads live in a recycled side-slot pool so the heap
+    // itself stays an array of 32-byte plain records.
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(fn));
     }
-    heap_.push_back(Entry{when, next_seq_++, std::move(fn)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    high_water_ = std::max(high_water_, heap_.size());
+    post(when, EventKind::Callback, slot);
 }
 
-std::uint64_t
-EventQueue::run(std::uint64_t max_events)
+void
+EventQueue::invokeCallback(std::uint32_t slot)
 {
-    if (reserve_hint_ > heap_.capacity())
-        heap_.reserve(reserve_hint_);
-
-    std::uint64_t executed = 0;
-    while (!heap_.empty() && executed < max_events) {
-        // Watchdog poll: amortized over 16K events so an armed per-point
-        // deadline costs nothing measurable, but a runaway simulation is
-        // cut short instead of hanging its sweep worker.
-        if ((executed & 0x3FFFu) == 0u)
-            util::checkPointDeadline("EventQueue::run");
-        // Move the closure out before popping so it can schedule freely.
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        Entry entry = std::move(heap_.back());
-        heap_.pop_back();
-        now_ = entry.when;
-        entry.fn();
-        ++executed;
-    }
-    reserve_hint_ = std::max(reserve_hint_, high_water_);
-    return executed;
+    // Move the closure out and free its slot before invoking, so the
+    // callback can schedule further events (possibly reusing the slot).
+    EventFn fn = std::move(slots_[slot]);
+    free_slots_.push_back(slot);
+    fn();
 }
 
 void
@@ -49,6 +36,8 @@ EventQueue::reset()
 {
     reserve_hint_ = std::max(reserve_hint_, high_water_);
     heap_.clear();
+    slots_.clear();
+    free_slots_.clear();
     now_ = 0;
     next_seq_ = 0;
     high_water_ = 0;

@@ -2,49 +2,122 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global event queue drives the CMP model: cores, the bus, and
- * the memory system schedule continuation closures at absolute cycle
- * times. Ties are broken by insertion order, which (together with the
- * FIFO bus arbiter) makes whole-chip simulations bit-for-bit
- * deterministic.
+ * A single global event queue drives the CMP model. Events are compact
+ * 32-byte typed records (a tagged union over the simulator's event
+ * taxonomy: core resume/issue, memory completion, bus grant, store-buffer
+ * drain, barrier/lock grants, thread finish) dispatched by a caller-
+ * supplied handler — the hot loop performs no indirect calls and no
+ * per-event allocation. A generic closure event (EventKind::Callback,
+ * payload in a recycled side-slot pool) remains for tests and ad-hoc
+ * callers.
  *
- * Continuations are stored in a small-buffer-optimized callable
- * (util::SmallFunction) rather than std::function: every closure the
- * simulator schedules fits the inline buffer, so the hot loop performs no
- * per-event heap allocation. The heap itself is an explicit std::vector
- * (std::push_heap/std::pop_heap) so its capacity survives reset() and can
- * be pre-reserved from the previous run's high-water mark.
+ * Determinism contract: events execute in strictly increasing
+ * (when, seq) order, where seq is the schedule-call order. seq is unique,
+ * so the order is total — any correct priority queue pops the identical
+ * sequence. The heap is a 4-ary indexed array heap: shallower than a
+ * binary heap and with all four children of a node on one cache line, so
+ * the push/pop churn of the simulator (one push per pop in steady state)
+ * touches fewer lines than std::push_heap/std::pop_heap over fat
+ * closure-carrying entries ever could. Capacity survives reset() and is
+ * pre-reserved from the previous run's high-water mark.
  */
 
 #ifndef TLP_SIM_EVENT_QUEUE_HPP
 #define TLP_SIM_EVENT_QUEUE_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/logging.hpp"
 #include "util/small_function.hpp"
+#include "util/watchdog.hpp"
 
 namespace tlp::sim {
 
 /** Simulation time in core clock cycles. */
 using Cycle = std::uint64_t;
 
-/** Scheduled continuation; inline capacity covers every simulator
- *  closure (the largest captures a bus Transaction plus `this`). */
+/** Scheduled continuation for generic Callback events; inline capacity
+ *  covers every closure the tests and benches schedule. */
 using EventFn = util::SmallFunction<64>;
 
-/** A deterministic min-heap event queue over (cycle, sequence). */
+/**
+ * The simulator's event taxonomy. `arg` is a core id except for
+ * Callback (side-slot index); `addr` is a byte address or lock id;
+ * `aux` packs the bus transaction kind and completion routing of a
+ * BusGrant (see MemorySystem).
+ */
+enum class EventKind : std::uint8_t {
+    Callback,       ///< invoke the closure in side slot `arg`
+    CoreResume,     ///< core `arg` re-enters its execute loop
+    IssueLoad,      ///< core `arg` presents a load for `addr`
+    IssueStore,     ///< core `arg` presents a store for `addr`
+    IssueBarrier,   ///< core `arg` arrives at the global barrier
+    IssueLock,      ///< core `arg` requests lock id `addr`
+    IssueUnlock,    ///< core `arg` releases lock id `addr` and continues
+    CoreFinish,     ///< core `arg` retires its End op
+    MemDone,        ///< load data ready for core `arg`
+    StoreAccept,    ///< store of core `arg` occupies a buffer slot
+    BusGrant,       ///< bus grants the transaction packed in (aux, addr)
+    StoreDrained,   ///< head store of core `arg`'s buffer performed
+    BarrierRelease, ///< barrier releases core `arg`
+    LockGrant,      ///< lock hands over to core `arg`
+};
+
+/** One scheduled event: a plain 32-byte record, no indirection. */
+struct Event
+{
+    Cycle when = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t addr = 0;
+    std::uint32_t arg = 0;
+    EventKind kind = EventKind::Callback;
+    std::uint8_t aux = 0;
+};
+
+static_assert(sizeof(Event) == 32, "Event must stay one compact record");
+
+/** A deterministic min-queue of typed events over (cycle, sequence). */
 class EventQueue
 {
   public:
+    /** nextEventTime() when no event is pending. */
+    static constexpr Cycle kNever = ~Cycle{0};
+
     /** Current simulation time; only advances inside run(). */
     Cycle now() const { return now_; }
 
-    /** Schedule @p fn at absolute cycle @p when (>= now). Scheduling in
-     *  the past is a fatal error. */
+    /**
+     * Schedule a typed event at absolute cycle @p when (>= now).
+     * Scheduling in the past is a fatal internal error.
+     */
+    void
+    post(Cycle when, EventKind kind, std::uint32_t arg,
+         std::uint64_t addr = 0, std::uint8_t aux = 0)
+    {
+        if (when < now_) {
+            util::panic(util::strcatMsg(
+                "EventQueue: scheduling in the past (", when, " < ", now_,
+                ")"));
+        }
+        push(Event{when, next_seq_++, addr, arg, kind, aux});
+    }
+
+    /** Schedule a typed event @p delta cycles from now. */
+    void
+    postIn(Cycle delta, EventKind kind, std::uint32_t arg,
+           std::uint64_t addr = 0, std::uint8_t aux = 0)
+    {
+        post(now_ + delta, kind, arg, addr, aux);
+    }
+
+    /** Schedule closure @p fn at absolute cycle @p when (>= now). */
     void schedule(Cycle when, EventFn fn);
 
-    /** Schedule @p fn @p delta cycles from now. */
+    /** Schedule closure @p fn @p delta cycles from now. */
     void scheduleIn(Cycle delta, EventFn fn)
     {
         schedule(now_ + delta, std::move(fn));
@@ -60,12 +133,66 @@ class EventQueue
     std::size_t highWater() const { return high_water_; }
 
     /**
-     * Run until the queue drains or @p max_events have executed. On
-     * entry the heap is pre-reserved to the previous run's high-water
-     * mark so steady-state execution never reallocates.
+     * Execution time of the earliest pending event, kNever when idle.
+     * The L1-hit fast path keys off this: an access at time t whose
+     * completion precedes every pending event cannot be perturbed by (or
+     * perturb) any other actor, so it may be resolved inline.
+     */
+    Cycle nextEventTime() const
+    {
+        return heap_.empty() ? kNever : heap_.front().when;
+    }
+
+    /**
+     * Run until the queue drains or @p max_events have executed,
+     * dispatching each typed event to @p handler. Callback events are
+     * resolved internally and never reach the handler. On entry the heap
+     * is pre-reserved to the previous run's high-water mark so
+     * steady-state execution never reallocates.
      * @return number of events executed.
      */
-    std::uint64_t run(std::uint64_t max_events = ~0ull);
+    template <typename Handler,
+              typename = std::enable_if_t<
+                  std::is_invocable_v<Handler&, const Event&>>>
+    std::uint64_t
+    run(Handler&& handler, std::uint64_t max_events = ~0ull)
+    {
+        if (reserve_hint_ > heap_.capacity())
+            heap_.reserve(reserve_hint_);
+
+        std::uint64_t executed = 0;
+        while (!heap_.empty() && executed < max_events) {
+            // Watchdog poll: amortized over 16K events so an armed
+            // per-point deadline costs nothing measurable, but a runaway
+            // simulation is cut short instead of hanging its sweep worker.
+            if ((executed & 0x3FFFu) == 0u)
+                util::checkPointDeadline("EventQueue::run");
+            const Event event = heap_.front();
+            popRoot();
+            now_ = event.when;
+            if (event.kind == EventKind::Callback)
+                invokeCallback(event.arg);
+            else
+                handler(event);
+            ++executed;
+        }
+        reserve_hint_ = std::max(reserve_hint_, high_water_);
+        return executed;
+    }
+
+    /**
+     * Run a queue that only holds Callback events (tests, benches). A
+     * typed event without a dispatcher is a fatal internal error.
+     */
+    std::uint64_t
+    run(std::uint64_t max_events = ~0ull)
+    {
+        return run(
+            [](const Event&) {
+                util::panic("EventQueue: typed event without a dispatcher");
+            },
+            max_events);
+    }
 
     /**
      * Restore the pristine state (time 0, empty, sequence 0) while
@@ -76,24 +203,66 @@ class EventQueue
     void reset();
 
   private:
-    struct Entry
+    /** Strict (when, seq) order; seq is unique, so never equal. */
+    static bool
+    before(const Event& a, const Event& b)
     {
-        Cycle when;
-        std::uint64_t seq;
-        EventFn fn;
-    };
-    struct Later
-    {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::vector<Entry> heap_;
+    /** 4-ary sift-up insertion (hole-bubbling, no swaps). */
+    void
+    push(const Event& event)
+    {
+        std::size_t i = heap_.size();
+        heap_.push_back(event);
+        while (i > 0) {
+            const std::size_t parent = (i - 1) >> 2;
+            if (!before(event, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = event;
+        if (heap_.size() > high_water_)
+            high_water_ = heap_.size();
+    }
+
+    /** Remove the minimum; 4-ary sift-down of the displaced tail. */
+    void
+    popRoot()
+    {
+        const Event tail = heap_.back();
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t first = 4 * i + 1;
+            if (first >= n)
+                break;
+            std::size_t best = first;
+            const std::size_t last = std::min(first + 4, n);
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (before(heap_[c], heap_[best]))
+                    best = c;
+            }
+            if (!before(heap_[best], tail))
+                break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = tail;
+    }
+
+    void invokeCallback(std::uint32_t slot);
+
+    std::vector<Event> heap_;
+    std::vector<EventFn> slots_;            ///< Callback payloads
+    std::vector<std::uint32_t> free_slots_; ///< recycled slot indices
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::size_t high_water_ = 0;

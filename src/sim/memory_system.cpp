@@ -16,12 +16,18 @@ MemorySystem::MemorySystem(const CmpConfig& config, int n_active,
 {
     if (n_active < 1 || n_active > config.n_cores)
         util::fatal("MemorySystem: bad active core count");
+    if (config.store_buffer_entries == 0)
+        util::fatal("MemorySystem: store buffer needs at least one slot");
     l1_.reserve(config.n_cores);
     for (int i = 0; i < config.n_cores; ++i) {
         l1_.emplace_back(config.l1_size_bytes, config.l1_line_bytes,
                          config.l1_assoc);
     }
     store_buffers_.resize(config.n_cores);
+    for (StoreBuffer& buffer : store_buffers_) {
+        buffer.ring.assign(config.store_buffer_entries, 0);
+        buffer.line_refs.reserve(config.store_buffer_entries);
+    }
     bindCounters(stats);
 }
 
@@ -38,9 +44,11 @@ MemorySystem::reset(int n_active, double freq_hz,
         l1.reset();
     l2_.reset();
     for (StoreBuffer& buffer : store_buffers_) {
-        buffer.entries.clear();
+        buffer.head = 0;
+        buffer.count = 0;
         buffer.draining = false;
         buffer.stalled.clear();
+        buffer.line_refs.clear();
     }
     bus_next_free_ = 0;
     bindCounters(stats);
@@ -87,108 +95,165 @@ MemorySystem::reserveBus(std::uint32_t occupancy)
 }
 
 void
-MemorySystem::load(int core, Addr addr, MemCallback done)
+MemorySystem::bufferPush(int core, Addr addr)
+{
+    StoreBuffer& buffer = store_buffers_[static_cast<std::size_t>(core)];
+    std::uint32_t pos = buffer.head + buffer.count;
+    const auto cap = static_cast<std::uint32_t>(buffer.ring.size());
+    if (pos >= cap)
+        pos -= cap;
+    buffer.ring[pos] = addr;
+    ++buffer.count;
+
+    const Addr line = l1_[static_cast<std::size_t>(core)].lineAddr(addr);
+    for (auto& [l, n] : buffer.line_refs) {
+        if (l == line) {
+            ++n;
+            return;
+        }
+    }
+    buffer.line_refs.emplace_back(line, 1u);
+}
+
+Addr
+MemorySystem::bufferPop(int core)
+{
+    StoreBuffer& buffer = store_buffers_[static_cast<std::size_t>(core)];
+    const Addr addr = buffer.ring[buffer.head];
+    ++buffer.head;
+    if (buffer.head == buffer.ring.size())
+        buffer.head = 0;
+    --buffer.count;
+
+    const Addr line = l1_[static_cast<std::size_t>(core)].lineAddr(addr);
+    for (auto& ref : buffer.line_refs) {
+        if (ref.first == line) {
+            if (--ref.second == 0) {
+                ref = buffer.line_refs.back();
+                buffer.line_refs.pop_back();
+            }
+            break;
+        }
+    }
+    return addr;
+}
+
+void
+MemorySystem::load(int core, Addr addr)
 {
     CoreCounters& ctrs = core_counters_[static_cast<std::size_t>(core)];
     ctrs.loads->increment();
     ctrs.l1d_reads->increment();
 
-    CacheArray& l1 = l1_[core];
-    if (l1.contains(addr)) {
-        l1.touch(addr);
-        queue_->scheduleIn(config_.l1_hit_cycles, std::move(done));
+    CacheArray& l1 = l1_[static_cast<std::size_t>(core)];
+    if (l1.readHit(addr)) {
+        queue_->postIn(config_.l1_hit_cycles, EventKind::MemDone,
+                       static_cast<std::uint32_t>(core));
         return;
     }
 
     // Store-to-load forwarding from the core's own store buffer.
-    const Addr line = l1.lineAddr(addr);
-    const auto& buffered = store_buffers_[core].entries;
-    if (std::any_of(buffered.begin(), buffered.end(),
-                    [&](Addr a) { return l1.lineAddr(a) == line; })) {
-        queue_->scheduleIn(config_.l1_hit_cycles, std::move(done));
+    if (storeBufferCovers(core, l1.lineAddr(addr))) {
+        queue_->postIn(config_.l1_hit_cycles, EventKind::MemDone,
+                       static_cast<std::uint32_t>(core));
         return;
     }
 
     ctrs.l1d_misses->increment();
-    issue({TxnKind::BusRd, core, addr, std::move(done)});
+    issue(TxnKind::BusRd, core, addr, Notify::MemDone);
 }
 
 void
-MemorySystem::store(int core, Addr addr, MemCallback accepted)
+MemorySystem::store(int core, Addr addr)
 {
     CoreCounters& ctrs = core_counters_[static_cast<std::size_t>(core)];
     ctrs.stores->increment();
     ctrs.l1d_writes->increment();
 
-    CacheArray& l1 = l1_[core];
-    const Mesi state = l1.state(addr);
-    if (state == Mesi::Modified || state == Mesi::Exclusive) {
-        l1.setState(addr, Mesi::Modified);
-        l1.touch(addr);
-        queue_->scheduleIn(1, std::move(accepted));
+    if (l1_[static_cast<std::size_t>(core)].writeHitUpgrade(addr)) {
+        queue_->postIn(1, EventKind::StoreAccept,
+                       static_cast<std::uint32_t>(core));
         return;
     }
 
     ctrs.l1d_misses->increment();
-    StoreBuffer& buffer = store_buffers_[core];
-    if (buffer.entries.size() < config_.store_buffer_entries) {
-        buffer.entries.push_back(addr);
-        queue_->scheduleIn(1, std::move(accepted));
+    StoreBuffer& buffer = store_buffers_[static_cast<std::size_t>(core)];
+    if (buffer.count < config_.store_buffer_entries) {
+        bufferPush(core, addr);
+        queue_->postIn(1, EventKind::StoreAccept,
+                       static_cast<std::uint32_t>(core));
         drainStoreBuffer(core);
     } else {
         // Buffer full: the core stalls until a slot frees.
-        buffer.stalled.push_back([this, core, addr,
-                                  accepted = std::move(accepted)]() mutable {
-            store_buffers_[core].entries.push_back(addr);
-            queue_->scheduleIn(1, std::move(accepted));
-            drainStoreBuffer(core);
-        });
+        buffer.stalled.push_back(addr);
     }
 }
 
 void
 MemorySystem::drainStoreBuffer(int core)
 {
-    StoreBuffer& buffer = store_buffers_[core];
-    if (buffer.draining || buffer.entries.empty())
+    StoreBuffer& buffer = store_buffers_[static_cast<std::size_t>(core)];
+    if (buffer.draining || buffer.count == 0)
         return;
     buffer.draining = true;
-    const Addr addr = buffer.entries.front();
-    issue({TxnKind::BusRdX, core, addr, [this, core]() {
-               StoreBuffer& buf = store_buffers_[core];
-               buf.entries.pop_front();
-               buf.draining = false;
-               if (!buf.stalled.empty() &&
-                   buf.entries.size() < config_.store_buffer_entries) {
-                   MemCallback retry = std::move(buf.stalled.front());
-                   buf.stalled.erase(buf.stalled.begin());
-                   retry();
-               } else {
-                   drainStoreBuffer(core);
-               }
-           }});
+    issue(TxnKind::BusRdX, core, buffer.ring[buffer.head],
+          Notify::StoreDrained);
 }
 
 void
-MemorySystem::issue(Transaction txn)
+MemorySystem::onStoreDrained(int core)
 {
-    const std::uint32_t occupancy = txn.kind == TxnKind::Writeback
+    StoreBuffer& buffer = store_buffers_[static_cast<std::size_t>(core)];
+    bufferPop(core);
+    buffer.draining = false;
+    if (!buffer.stalled.empty() &&
+        buffer.count < config_.store_buffer_entries) {
+        const Addr addr = buffer.stalled.front();
+        buffer.stalled.pop_front();
+        bufferPush(core, addr);
+        queue_->postIn(1, EventKind::StoreAccept,
+                       static_cast<std::uint32_t>(core));
+    }
+    drainStoreBuffer(core);
+}
+
+void
+MemorySystem::issue(TxnKind kind, int core, Addr addr, Notify notify)
+{
+    const std::uint32_t occupancy = kind == TxnKind::Writeback
         ? config_.bus_occupancy_ctrl
         : config_.bus_occupancy_data;
     const Cycle grant = reserveBus(occupancy);
-    queue_->schedule(grant, [this, txn = std::move(txn)]() mutable {
-        const std::uint32_t latency = applyAtGrant(txn);
-        if (txn.done)
-            queue_->scheduleIn(latency, std::move(txn.done));
-    });
+    queue_->post(grant, EventKind::BusGrant,
+                 static_cast<std::uint32_t>(core), addr,
+                 packGrant(kind, notify));
+}
+
+void
+MemorySystem::onBusGrant(int core, Addr addr, std::uint8_t aux)
+{
+    const auto kind = static_cast<TxnKind>(aux & 0x0Fu);
+    const auto notify = static_cast<Notify>(aux >> 4);
+    const std::uint32_t latency = applyAtGrant(kind, core, addr);
+    switch (notify) {
+      case Notify::None:
+        break;
+      case Notify::MemDone:
+        queue_->postIn(latency, EventKind::MemDone,
+                       static_cast<std::uint32_t>(core));
+        break;
+      case Notify::StoreDrained:
+        queue_->postIn(latency, EventKind::StoreDrained,
+                       static_cast<std::uint32_t>(core));
+        break;
+    }
 }
 
 std::uint32_t
 MemorySystem::fetchThroughL2(int core, Addr addr)
 {
     (void)core;
-    if (l2_.contains(addr)) {
-        l2_.touch(addr);
+    if (l2_.readHit(addr)) {
         l2_reads_->increment();
         return config_.l2_rt_cycles;
     }
@@ -230,23 +295,20 @@ MemorySystem::l1Insert(int core, Addr addr, Mesi state)
     const auto victim = l1_[core].insert(addr, state);
     if (victim && victim->state == Mesi::Modified) {
         ctrs.l1d_writebacks->increment();
-        issue({TxnKind::Writeback, core, victim->line_addr, {}});
+        issue(TxnKind::Writeback, core, victim->line_addr, Notify::None);
     }
 }
 
 std::uint32_t
-MemorySystem::applyAtGrant(const Transaction& txn)
+MemorySystem::applyAtGrant(TxnKind kind, int core, Addr addr)
 {
-    const int core = txn.core;
-    const Addr addr = txn.addr;
-    CacheArray& l1 = l1_[core];
+    CacheArray& l1 = l1_[static_cast<std::size_t>(core)];
 
-    switch (txn.kind) {
+    switch (kind) {
       case TxnKind::BusRd: {
-        if (l1.contains(addr)) {
+        if (l1.readHit(addr)) {
             // The line arrived while the request waited (e.g. a covering
             // store committed); treat as an immediate hit.
-            l1.touch(addr);
             return config_.l1_hit_cycles;
         }
         bool had_modified = false;
@@ -333,6 +395,7 @@ MemorySystem::applyAtGrant(const Transaction& txn)
         return latency;
       }
 
+      case TxnKind::BusUpgr:
       case TxnKind::Writeback: {
         if (l2_.contains(addr)) {
             l2_.setState(addr, Mesi::Modified);

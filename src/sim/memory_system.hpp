@@ -17,8 +17,19 @@
  *
  * All protocol state changes are applied atomically when the bus grants a
  * transaction; grants are serialized through a FIFO arbiter, so there are
- * no transient races. The requester's completion callback is scheduled at
- * grant time + the transaction's data latency.
+ * no transient races. Completion is signalled with typed events: a load
+ * finishes with EventKind::MemDone for the issuing core, a store with
+ * EventKind::StoreAccept when it occupies a buffer slot; the background
+ * drain of a store buffer advances on EventKind::StoreDrained. A granted
+ * bus transaction arrives as EventKind::BusGrant whose `aux` byte packs
+ * the transaction kind and the completion event to emit — the event
+ * dispatcher (Cmp's run loop, or a test harness via dispatch()) routes
+ * both kinds back into this class.
+ *
+ * Store buffers are fixed-capacity rings with a per-line reference count,
+ * so the store-to-load forwarding probe on every load is a scan of at
+ * most `store_buffer_entries` distinct lines (typically zero or one)
+ * instead of an O(depth) address walk, and draining pops in O(1).
  *
  * The memory round trip is fixed in nanoseconds and converted to core
  * cycles at the current chip frequency (chip-wide DVFS does not scale the
@@ -29,7 +40,7 @@
 #define TLP_SIM_MEMORY_SYSTEM_HPP
 
 #include <deque>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -38,9 +49,6 @@
 #include "util/stats.hpp"
 
 namespace tlp::sim {
-
-/** Completion callback for a memory request. */
-using MemCallback = std::function<void()>;
 
 /** The full cache/bus/memory hierarchy of the simulated chip. */
 class MemorySystem
@@ -68,20 +76,85 @@ class MemorySystem
     void reset(int n_active, double freq_hz, util::StatRegistry& stats);
 
     /**
-     * Issue a load from core @p core to @p addr; @p done runs when the
-     * data is available (including the L1 hit case, after the L1 hit
-     * latency).
+     * Issue a load from core @p core to @p addr. EventKind::MemDone for
+     * @p core fires when the data is available (including the L1 hit
+     * case, after the L1 hit latency).
      */
-    void load(int core, Addr addr, MemCallback done);
+    void load(int core, Addr addr);
 
     /**
      * Issue a store from core @p core to @p addr.
      *
-     * Stores retire through a per-core store buffer: @p accepted runs when
-     * the store occupies a buffer slot (1 cycle when a slot is free, later
-     * when the buffer is full); the buffer drains in the background.
+     * Stores retire through a per-core store buffer:
+     * EventKind::StoreAccept for @p core fires when the store occupies a
+     * buffer slot (1 cycle when a slot is free, later when the buffer is
+     * full); the buffer drains in the background.
      */
-    void store(int core, Addr addr, MemCallback accepted);
+    void store(int core, Addr addr);
+
+    /**
+     * Fast-path load probe: when @p addr is an L1 hit or a store-buffer
+     * forward, perform the access completely (LRU touch + counters) and
+     * return true; otherwise return false with NO state touched — the
+     * caller must then take the ordinary load() path.
+     */
+    bool
+    inlineLoadHit(int core, Addr addr)
+    {
+        CacheArray& l1 = l1_[static_cast<std::size_t>(core)];
+        if (!l1.readHit(addr) &&
+            !storeBufferCovers(core, l1.lineAddr(addr)))
+            return false;
+        CoreCounters& c = core_counters_[static_cast<std::size_t>(core)];
+        c.loads->increment();
+        c.l1d_reads->increment();
+        return true;
+    }
+
+    /**
+     * Fast-path store probe: when @p addr is writable in the L1 (M/E),
+     * perform the access completely (M transition + LRU touch +
+     * counters) and return true; otherwise return false with NO state
+     * touched.
+     */
+    bool
+    inlineStoreHit(int core, Addr addr)
+    {
+        if (!l1_[static_cast<std::size_t>(core)].writeHitUpgrade(addr))
+            return false;
+        CoreCounters& c = core_counters_[static_cast<std::size_t>(core)];
+        c.stores->increment();
+        c.l1d_writes->increment();
+        return true;
+    }
+
+    /**
+     * Consume a memory-system machinery event (BusGrant, StoreDrained)
+     * and return true; any other kind returns false untouched. Cmp's
+     * dispatcher routes these kinds directly; test harnesses that pump
+     * the queue themselves call this first for every event.
+     */
+    bool
+    dispatch(const Event& event)
+    {
+        switch (event.kind) {
+          case EventKind::BusGrant:
+            onBusGrant(static_cast<int>(event.arg), event.addr, event.aux);
+            return true;
+          case EventKind::StoreDrained:
+            onStoreDrained(static_cast<int>(event.arg));
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Apply a granted bus transaction (EventKind::BusGrant). */
+    void onBusGrant(int core, Addr addr, std::uint8_t aux);
+
+    /** Head store of @p core's buffer performed (EventKind::StoreDrained):
+     *  retire it, admit a stalled store if one waits, keep draining. */
+    void onStoreDrained(int core);
 
     /** L1 data cache of @p core (tests/inspection). */
     const CacheArray& l1(int core) const { return l1_[core]; }
@@ -92,7 +165,13 @@ class MemorySystem
     /** Outstanding store-buffer entries of @p core. */
     std::size_t storeBufferDepth(int core) const
     {
-        return store_buffers_[core].entries.size();
+        return store_buffers_[core].count;
+    }
+
+    /** Stores of @p core waiting for a buffer slot (tests/inspection). */
+    std::size_t storeBufferStalled(int core) const
+    {
+        return store_buffers_[core].stalled.size();
     }
 
     /** Cycle at which the bus becomes free (tests/inspection). */
@@ -108,29 +187,57 @@ class MemorySystem
     /** What a granted transaction should do. */
     enum class TxnKind : std::uint8_t { BusRd, BusRdX, BusUpgr, Writeback };
 
-    struct Transaction
-    {
-        TxnKind kind;
-        int core;
-        Addr addr;
-        MemCallback done; // empty for writebacks
-    };
+    /** Completion event a granted transaction emits. */
+    enum class Notify : std::uint8_t { None, MemDone, StoreDrained };
 
+    /** BusGrant aux byte: transaction kind | completion routing. */
+    static std::uint8_t
+    packGrant(TxnKind kind, Notify notify)
+    {
+        return static_cast<std::uint8_t>(
+            static_cast<unsigned>(kind) |
+            (static_cast<unsigned>(notify) << 4));
+    }
+
+    /**
+     * Fixed-capacity FIFO of retiring stores plus the per-line reference
+     * counts that answer the forwarding probe, and the overflow queue of
+     * stores waiting for a slot.
+     */
     struct StoreBuffer
     {
-        std::deque<Addr> entries;
+        std::vector<Addr> ring; ///< capacity = store_buffer_entries
+        std::uint32_t head = 0;
+        std::uint32_t count = 0;
         bool draining = false;
-        std::vector<MemCallback> stalled; // cores waiting for a slot
+        std::deque<Addr> stalled; ///< stores waiting for a slot
+        /** (line, pending stores) pairs; at most `capacity` entries. */
+        std::vector<std::pair<Addr, std::uint32_t>> line_refs;
     };
+
+    /** True when a buffered store of @p core covers L1 line @p line. */
+    bool
+    storeBufferCovers(int core, Addr line) const
+    {
+        const StoreBuffer& b = store_buffers_[static_cast<std::size_t>(core)];
+        for (const auto& [l, n] : b.line_refs) {
+            if (l == line)
+                return n != 0;
+        }
+        return false;
+    }
+
+    void bufferPush(int core, Addr addr);
+    Addr bufferPop(int core);
 
     /** Reserve the bus for @p occupancy cycles; returns the grant cycle. */
     Cycle reserveBus(std::uint32_t occupancy);
 
     /** Issue a transaction: arbitrate, then apply at grant time. */
-    void issue(Transaction txn);
+    void issue(TxnKind kind, int core, Addr addr, Notify notify);
 
     /** Apply a granted transaction; returns the data latency from grant. */
-    std::uint32_t applyAtGrant(const Transaction& txn);
+    std::uint32_t applyAtGrant(TxnKind kind, int core, Addr addr);
 
     /** L2 lookup/fill for a line fetch; returns latency from grant and
      *  performs fills/evictions. */

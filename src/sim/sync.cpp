@@ -14,10 +14,9 @@ BarrierManager::BarrierManager(const CmpConfig& config, int n_threads,
 }
 
 void
-BarrierManager::arrive(int core, SyncCallback resume)
+BarrierManager::arrive(int core)
 {
-    (void)core;
-    waiting_.push_back(std::move(resume));
+    waiting_.push_back(static_cast<std::uint32_t>(core));
     if (static_cast<int>(waiting_.size()) < n_threads_)
         return;
 
@@ -26,10 +25,11 @@ BarrierManager::arrive(int core, SyncCallback resume)
     ++episodes_;
     stats_->counter("sync.barrier_episodes").increment();
     stats_->counter("bus.transactions").increment();
-    std::vector<SyncCallback> ready;
-    ready.swap(waiting_);
-    for (SyncCallback& cb : ready)
-        queue_->scheduleIn(config_.barrier_release_cycles, std::move(cb));
+    for (const std::uint32_t waiter : waiting_) {
+        queue_->postIn(config_.barrier_release_cycles,
+                       EventKind::BarrierRelease, waiter);
+    }
+    waiting_.clear();
 }
 
 LockManager::LockManager(const CmpConfig& config, EventQueue& queue,
@@ -39,7 +39,7 @@ LockManager::LockManager(const CmpConfig& config, EventQueue& queue,
 }
 
 void
-LockManager::acquire(std::uint64_t id, int core, SyncCallback granted)
+LockManager::acquire(std::uint64_t id, int core)
 {
     LockState& lock = locks_[id];
     stats_->counter("sync.lock_acquires").increment();
@@ -47,10 +47,11 @@ LockManager::acquire(std::uint64_t id, int core, SyncCallback granted)
     if (!lock.busy) {
         lock.busy = true;
         lock.owner = core;
-        queue_->scheduleIn(config_.lock_acquire_cycles, std::move(granted));
+        queue_->postIn(config_.lock_acquire_cycles, EventKind::LockGrant,
+                       static_cast<std::uint32_t>(core));
     } else {
         stats_->counter("sync.lock_contended").increment();
-        lock.waiters.emplace_back(core, std::move(granted));
+        lock.waiters.push_back(core);
     }
 }
 
@@ -72,11 +73,12 @@ LockManager::release(std::uint64_t id, int core)
         lock.owner = -1;
         return;
     }
-    auto [next, cb] = std::move(lock.waiters.front());
+    const int next = lock.waiters.front();
     lock.waiters.pop_front();
     lock.owner = next;
     stats_->counter("bus.transactions").increment();
-    queue_->scheduleIn(config_.lock_handoff_cycles, std::move(cb));
+    queue_->postIn(config_.lock_handoff_cycles, EventKind::LockGrant,
+                   static_cast<std::uint32_t>(next));
 }
 
 bool

@@ -6,16 +6,18 @@
  * Costs are modelled at the level the evaluation needs: an uncontended
  * lock acquire costs one atomic read-modify-write through the L2; a
  * contended hand-off costs a cache-to-cache transfer; a barrier release
- * fans out invalidations on the bus. Waiting cores are descheduled (their
- * continuation runs when the primitive grants), and the wait shows up as
- * idle (non-issuing) cycles in the power model's clock-gating term.
+ * fans out invalidations on the bus. Waiting cores are descheduled — the
+ * manager records only the waiting core id and emits a typed event
+ * (EventKind::BarrierRelease / EventKind::LockGrant for that core) when
+ * the primitive grants; the event dispatcher resumes the core, and the
+ * wait shows up as idle (non-issuing) cycles in the power model's
+ * clock-gating term.
  */
 
 #ifndef TLP_SIM_SYNC_HPP
 #define TLP_SIM_SYNC_HPP
 
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -25,9 +27,6 @@
 
 namespace tlp::sim {
 
-/** Completion callback of a synchronization request. */
-using SyncCallback = std::function<void()>;
-
 /** Centralized sense-reversing barrier spanning all running threads. */
 class BarrierManager
 {
@@ -35,8 +34,9 @@ class BarrierManager
     BarrierManager(const CmpConfig& config, int n_threads,
                    EventQueue& queue, util::StatRegistry& stats);
 
-    /** Thread @p core arrives; @p resume runs when all threads arrived. */
-    void arrive(int core, SyncCallback resume);
+    /** Thread @p core arrives; EventKind::BarrierRelease for each waiter
+     *  (in arrival order) fires once all threads have arrived. */
+    void arrive(int core);
 
     /** Number of completed barrier episodes. */
     std::uint64_t episodes() const { return episodes_; }
@@ -46,7 +46,7 @@ class BarrierManager
     int n_threads_;
     EventQueue* queue_;
     util::StatRegistry* stats_;
-    std::vector<SyncCallback> waiting_;
+    std::vector<std::uint32_t> waiting_; ///< arrived cores, in order
     std::uint64_t episodes_ = 0;
 };
 
@@ -57,8 +57,9 @@ class LockManager
     LockManager(const CmpConfig& config, EventQueue& queue,
                 util::StatRegistry& stats);
 
-    /** Thread @p core requests lock @p id; @p granted runs at acquire. */
-    void acquire(std::uint64_t id, int core, SyncCallback granted);
+    /** Thread @p core requests lock @p id; EventKind::LockGrant for
+     *  @p core fires at acquire. */
+    void acquire(std::uint64_t id, int core);
 
     /** Thread @p core releases lock @p id (must hold it). */
     void release(std::uint64_t id, int core);
@@ -71,7 +72,7 @@ class LockManager
     {
         bool busy = false;
         int owner = -1;
-        std::deque<std::pair<int, SyncCallback>> waiters;
+        std::deque<int> waiters;
     };
 
     CmpConfig config_;

@@ -194,29 +194,48 @@ class MesiFixture : public ::testing::Test
     {
     }
 
-    /** Blocking load: run the queue until the callback fires. */
+    /** Pump the queue: machinery events (bus grants, drains) go back
+     *  into the memory system; completion events are tallied. */
+    std::uint64_t
+    pump(std::uint64_t max_events = ~0ull)
+    {
+        return queue_.run(
+            [&](const sim::Event& event) {
+                if (memsys_.dispatch(event))
+                    return;
+                if (event.kind == sim::EventKind::MemDone)
+                    ++loads_done_;
+                else if (event.kind == sim::EventKind::StoreAccept)
+                    ++stores_accepted_;
+            },
+            max_events);
+    }
+
+    /** Blocking load: run the queue until the completion event fires. */
     void
     load(int core, Addr addr)
     {
-        bool done = false;
-        memsys_.load(core, addr, [&] { done = true; });
-        queue_.run();
-        ASSERT_TRUE(done);
+        const std::uint64_t before = loads_done_;
+        memsys_.load(core, addr);
+        pump();
+        ASSERT_EQ(loads_done_, before + 1);
     }
 
     void
     store(int core, Addr addr)
     {
-        bool accepted = false;
-        memsys_.store(core, addr, [&] { accepted = true; });
-        queue_.run(); // drains the store buffer too
-        ASSERT_TRUE(accepted);
+        const std::uint64_t before = stores_accepted_;
+        memsys_.store(core, addr);
+        pump(); // drains the store buffer too
+        ASSERT_EQ(stores_accepted_, before + 1);
     }
 
     CmpConfig config_;
     EventQueue queue_;
     util::StatRegistry stats_;
     MemorySystem memsys_;
+    std::uint64_t loads_done_ = 0;
+    std::uint64_t stores_accepted_ = 0;
 };
 
 TEST_F(MesiFixture, FirstLoadInstallsExclusive)
@@ -322,20 +341,20 @@ TEST_F(MesiFixture, L2HitLatencyForSecondSharer)
 TEST_F(MesiFixture, CoherenceInvariantAfterRandomStorm)
 {
     util::Rng rng(2024);
-    int pending = 0;
+    std::uint64_t issued = 0;
     for (int i = 0; i < 5000; ++i) {
         const int core = static_cast<int>(rng.below(4));
         const Addr addr = 0x8000 + rng.below(64) * 64;
-        ++pending;
+        ++issued;
         if (rng.chance(0.5))
-            memsys_.load(core, addr, [&pending] { --pending; });
+            memsys_.load(core, addr);
         else
-            memsys_.store(core, addr, [&pending] { --pending; });
+            memsys_.store(core, addr);
         if (i % 7 == 0)
-            queue_.run();
+            pump();
     }
-    queue_.run();
-    EXPECT_EQ(pending, 0);
+    pump();
+    EXPECT_EQ(loads_done_ + stores_accepted_, issued);
     EXPECT_TRUE(memsys_.checkCoherence());
 }
 
@@ -343,32 +362,29 @@ TEST_F(MesiFixture, StoreBufferForwardsToLoads)
 {
     // A load that hits a buffered (not yet globally performed) store
     // completes at L1-hit latency.
-    bool accepted = false;
-    memsys_.store(0, 0x9000, [&] { accepted = true; });
-    bool loaded = false;
-    memsys_.load(0, 0x9000, [&] { loaded = true; });
+    memsys_.store(0, 0x9000);
+    memsys_.load(0, 0x9000);
     const Cycle start = queue_.now();
-    queue_.run(3); // just a few events; the forwarded load is quick
-    EXPECT_TRUE(loaded);
+    pump(3); // just a few events; the forwarded load is quick
+    EXPECT_EQ(loads_done_, 1u);
     EXPECT_LE(queue_.now() - start, config_.l1_hit_cycles + 1);
-    queue_.run();
-    EXPECT_TRUE(accepted);
+    pump();
+    EXPECT_EQ(stores_accepted_, 1u);
 }
 
 TEST_F(MesiFixture, StoreBufferBackpressure)
 {
     // Fill the buffer past capacity with misses to distinct lines; the
     // extra stores stall but all eventually complete.
-    int accepted = 0;
     const int total = static_cast<int>(config_.store_buffer_entries) + 4;
-    for (int i = 0; i < total; ++i) {
-        memsys_.store(0, 0xA000 + static_cast<Addr>(i) * 0x1000,
-                      [&] { ++accepted; });
-    }
+    for (int i = 0; i < total; ++i)
+        memsys_.store(0, 0xA000 + static_cast<Addr>(i) * 0x1000);
     EXPECT_LE(memsys_.storeBufferDepth(0), config_.store_buffer_entries);
-    queue_.run();
-    EXPECT_EQ(accepted, total);
+    EXPECT_EQ(memsys_.storeBufferStalled(0), 4u);
+    pump();
+    EXPECT_EQ(stores_accepted_, static_cast<std::uint64_t>(total));
     EXPECT_EQ(memsys_.storeBufferDepth(0), 0u);
+    EXPECT_EQ(memsys_.storeBufferStalled(0), 0u);
 }
 
 TEST_F(MesiFixture, L2EvictionBackInvalidatesL1)
@@ -405,20 +421,30 @@ TEST_F(MesiFixture, DirtyL1EvictionWritesBackToL2)
 
 // ------------------------------------------------------------------- sync
 
+/** Pump a queue, recording which cores sync-grant events release. */
+std::vector<int>
+pumpSyncGrants(EventQueue& queue)
+{
+    std::vector<int> granted;
+    queue.run([&](const sim::Event& event) {
+        if (event.kind == sim::EventKind::BarrierRelease ||
+            event.kind == sim::EventKind::LockGrant)
+            granted.push_back(static_cast<int>(event.arg));
+    });
+    return granted;
+}
+
 TEST(Barrier, ReleasesAllAtOnce)
 {
     CmpConfig config;
     EventQueue queue;
     util::StatRegistry stats;
     sim::BarrierManager barrier(config, 3, queue, stats);
-    int released = 0;
-    barrier.arrive(0, [&] { ++released; });
-    barrier.arrive(1, [&] { ++released; });
-    queue.run();
-    EXPECT_EQ(released, 0); // still waiting for the third
-    barrier.arrive(2, [&] { ++released; });
-    queue.run();
-    EXPECT_EQ(released, 3);
+    barrier.arrive(0);
+    barrier.arrive(1);
+    EXPECT_TRUE(pumpSyncGrants(queue).empty()); // waiting for the third
+    barrier.arrive(2);
+    EXPECT_EQ(pumpSyncGrants(queue), (std::vector<int>{0, 1, 2}));
     EXPECT_EQ(barrier.episodes(), 1u);
 }
 
@@ -430,9 +456,9 @@ TEST(Barrier, ReusableAcrossEpisodes)
     sim::BarrierManager barrier(config, 2, queue, stats);
     int released = 0;
     for (int episode = 0; episode < 3; ++episode) {
-        barrier.arrive(0, [&] { ++released; });
-        barrier.arrive(1, [&] { ++released; });
-        queue.run();
+        barrier.arrive(0);
+        barrier.arrive(1);
+        released += static_cast<int>(pumpSyncGrants(queue).size());
     }
     EXPECT_EQ(released, 6);
     EXPECT_EQ(barrier.episodes(), 3u);
@@ -444,10 +470,8 @@ TEST(Lock, UncontendedAcquireGrantsAfterRmwLatency)
     EventQueue queue;
     util::StatRegistry stats;
     sim::LockManager locks(config, queue, stats);
-    bool granted = false;
-    locks.acquire(7, 0, [&] { granted = true; });
-    queue.run();
-    EXPECT_TRUE(granted);
+    locks.acquire(7, 0);
+    EXPECT_EQ(pumpSyncGrants(queue), (std::vector<int>{0}));
     EXPECT_TRUE(locks.held(7));
     EXPECT_EQ(queue.now(), config.lock_acquire_cycles);
 }
@@ -459,14 +483,18 @@ TEST(Lock, ContendedHandoffIsFifo)
     util::StatRegistry stats;
     sim::LockManager locks(config, queue, stats);
     std::vector<int> order;
-    locks.acquire(1, 0, [&] { order.push_back(0); });
-    locks.acquire(1, 1, [&] { order.push_back(1); });
-    locks.acquire(1, 2, [&] { order.push_back(2); });
-    queue.run();
+    const auto pump = [&] {
+        for (const int core : pumpSyncGrants(queue))
+            order.push_back(core);
+    };
+    locks.acquire(1, 0);
+    locks.acquire(1, 1);
+    locks.acquire(1, 2);
+    pump();
     locks.release(1, 0);
-    queue.run();
+    pump();
     locks.release(1, 1);
-    queue.run();
+    pump();
     locks.release(1, 2);
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
     EXPECT_FALSE(locks.held(1));
@@ -478,8 +506,8 @@ TEST(Lock, ReleaseByNonOwnerIsFatal)
     EventQueue queue;
     util::StatRegistry stats;
     sim::LockManager locks(config, queue, stats);
-    locks.acquire(1, 0, [] {});
-    queue.run();
+    locks.acquire(1, 0);
+    pumpSyncGrants(queue);
     EXPECT_THROW(locks.release(1, 3), util::FatalError);
     EXPECT_THROW(locks.release(99, 0), util::FatalError);
 }

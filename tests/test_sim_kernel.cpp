@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Simulator-kernel tests: the 4-ary indexed event heap against a
+ * reference priority queue (randomized lockstep property test), typed
+ * event ordering against a stable sort, CacheArray probe/replacement
+ * goldens for the shift/mask + sentinel-tag layout, and the
+ * TLPPM_SIM_FASTPATH differential — fast-path-on and -off runs of the
+ * full CMP must produce byte-identical architectural results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/cmp.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tlp;
+using sim::Addr;
+using sim::CacheArray;
+using sim::Cmp;
+using sim::CmpConfig;
+using sim::Cycle;
+using sim::Event;
+using sim::EventKind;
+using sim::EventQueue;
+using sim::Mesi;
+using sim::Program;
+
+// ---------------------------------------------------------------------
+// EventQueue vs a reference priority queue
+// ---------------------------------------------------------------------
+
+/**
+ * Lockstep oracle: every schedule() also records (when, id) in a mirror
+ * multiset ordered the same way the kernel promises — (when, then
+ * insertion order). Each callback pops the mirror minimum and checks it
+ * matches what actually ran. Cascading reschedules from inside callbacks
+ * exercise the heap under the simulator's real push-per-pop churn.
+ */
+/** Shared state of the lockstep property test, reachable through one
+ *  pointer so each scheduled closure stays tiny. */
+struct LockstepCtx
+{
+    EventQueue queue;
+    util::Rng rng{0xc0ffee};
+    /** (when, id), id in schedule order; the reference pop order is the
+     *  lexicographic minimum — exactly the kernel's (when, seq). */
+    std::vector<std::pair<Cycle, std::uint64_t>> mirror;
+    std::uint64_t next_id = 0;
+    std::uint64_t executed = 0;
+
+    void
+    sched(Cycle when)
+    {
+        const std::uint64_t id = next_id++;
+        mirror.emplace_back(when, id);
+        queue.schedule(when, [this, id] { onFire(id); });
+    }
+
+    void
+    onFire(std::uint64_t id)
+    {
+        const auto it = std::min_element(mirror.begin(), mirror.end());
+        ASSERT_NE(it, mirror.end());
+        EXPECT_EQ(it->second, id);
+        EXPECT_EQ(it->first, queue.now());
+        mirror.erase(it);
+        ++executed;
+        // Cascade: schedule 0-3 future events with heavy tie pressure
+        // (small when-range, often == now).
+        const int extra = static_cast<int>(rng.below(4));
+        for (int i = 0; i < extra && next_id < 6000; ++i)
+            sched(queue.now() + rng.below(5));
+    }
+};
+
+TEST(EventQueueProperty, MatchesReferenceQueueUnderRandomCascades)
+{
+    LockstepCtx ctx;
+    for (int i = 0; i < 500; ++i)
+        ctx.sched(ctx.rng.below(64));
+    ctx.queue.run();
+
+    EXPECT_TRUE(ctx.mirror.empty());
+    EXPECT_GE(ctx.executed, 500u);
+    EXPECT_EQ(ctx.executed, ctx.next_id);
+    EXPECT_TRUE(ctx.queue.empty());
+}
+
+TEST(EventQueueProperty, TypedPostsPopInStableSortedOrder)
+{
+    EventQueue queue;
+    util::Rng rng(42);
+
+    // Post typed events with many duplicate times; the pop order must be
+    // a stable sort by `when` of the post order.
+    struct Posted
+    {
+        Cycle when;
+        std::uint32_t arg;
+    };
+    std::vector<Posted> posted;
+    for (std::uint32_t i = 0; i < 3000; ++i) {
+        const Cycle when = rng.below(16);
+        posted.push_back({when, i});
+        queue.post(when, EventKind::CoreResume, i, /*addr=*/i * 64);
+    }
+    std::stable_sort(posted.begin(), posted.end(),
+                     [](const Posted& a, const Posted& b) {
+                         return a.when < b.when;
+                     });
+
+    std::size_t next = 0;
+    queue.run([&](const Event& event) {
+        ASSERT_LT(next, posted.size());
+        EXPECT_EQ(event.when, posted[next].when);
+        EXPECT_EQ(event.arg, posted[next].arg);
+        EXPECT_EQ(event.kind, EventKind::CoreResume);
+        EXPECT_EQ(event.addr, posted[next].arg * 64u);
+        ++next;
+    });
+    EXPECT_EQ(next, posted.size());
+}
+
+TEST(EventQueueProperty, NextEventTimeTracksHeapMinimum)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.nextEventTime(), EventQueue::kNever);
+    queue.post(10, EventKind::CoreResume, 0);
+    EXPECT_EQ(queue.nextEventTime(), 10u);
+    queue.post(3, EventKind::CoreResume, 1);
+    EXPECT_EQ(queue.nextEventTime(), 3u);
+    queue.post(7, EventKind::CoreResume, 2);
+    EXPECT_EQ(queue.nextEventTime(), 3u);
+
+    std::vector<Cycle> pops;
+    queue.run([&](const Event& event) { pops.push_back(event.when); });
+    EXPECT_EQ(pops, (std::vector<Cycle>{3, 7, 10}));
+    EXPECT_EQ(queue.nextEventTime(), EventQueue::kNever);
+}
+
+// ---------------------------------------------------------------------
+// CacheArray goldens
+// ---------------------------------------------------------------------
+
+TEST(CacheArrayGolden, LruEvictsInAccessOrder)
+{
+    // One set, 4 ways: the victim sequence is the LRU order.
+    CacheArray cache(/*size=*/64 * 4, /*line=*/64, /*assoc=*/4);
+    ASSERT_EQ(cache.sets(), 1u);
+
+    const Addr stride = 64;
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_FALSE(cache.insert(i * stride, Mesi::Shared).has_value());
+
+    // Touch line 0 so line 1 becomes LRU.
+    cache.touch(0);
+    auto victim = cache.insert(4 * stride, Mesi::Shared);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line_addr, 1 * stride);
+
+    // readHit() refreshes LRU too: hit line 2, next victim is line 3.
+    EXPECT_TRUE(cache.readHit(2 * stride));
+    victim = cache.insert(5 * stride, Mesi::Shared);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line_addr, 3 * stride);
+}
+
+TEST(CacheArrayGolden, InvalidatedLinesNeverGhostHit)
+{
+    CacheArray cache(64 * 8, 64, 2);
+    cache.insert(0x1000, Mesi::Modified);
+    ASSERT_TRUE(cache.contains(0x1000));
+
+    EXPECT_EQ(cache.invalidate(0x1000), Mesi::Modified);
+    // The stale tag must not satisfy any probe flavor.
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.readHit(0x1000));
+    EXPECT_FALSE(cache.writeHitUpgrade(0x1000));
+    EXPECT_EQ(cache.state(0x1000), Mesi::Invalid);
+    EXPECT_EQ(cache.validLines(), 0u);
+
+    // Same via setState(Invalid).
+    cache.insert(0x2000, Mesi::Exclusive);
+    cache.setState(0x2000, Mesi::Invalid);
+    EXPECT_FALSE(cache.contains(0x2000));
+    EXPECT_FALSE(cache.readHit(0x2000));
+}
+
+TEST(CacheArrayGolden, HighAddressesNearTopOfSpaceBehave)
+{
+    // The sentinel invalid tag is ~0, which is NOT line-aligned; the
+    // highest line-aligned address must still hit normally.
+    CacheArray cache(64 * 8, 64, 2);
+    const Addr top = ~Addr{0} & ~Addr{63}; // highest 64B-aligned address
+    cache.insert(top, Mesi::Modified);
+    EXPECT_TRUE(cache.contains(top));
+    EXPECT_TRUE(cache.readHit(top + 63)); // any byte in the line
+    EXPECT_TRUE(cache.writeHitUpgrade(top));
+    EXPECT_EQ(cache.state(top), Mesi::Modified);
+    EXPECT_EQ(cache.invalidate(top), Mesi::Modified);
+    EXPECT_FALSE(cache.contains(top));
+}
+
+TEST(CacheArrayGolden, NonPowerOfTwoSetCountUsesModuloCorrectly)
+{
+    // 3 sets x 2 ways of 64 B lines: lines i and i+3 share a set.
+    CacheArray cache(3 * 64 * 2, 64, 2);
+    ASSERT_EQ(cache.sets(), 3u);
+
+    const Addr stride = 64;
+    // Fill set 0 with lines 0 and 3; line 6 must evict one of them.
+    cache.insert(0 * stride, Mesi::Shared);
+    cache.insert(3 * stride, Mesi::Shared);
+    cache.insert(1 * stride, Mesi::Shared); // set 1, unrelated
+    const auto victim = cache.insert(6 * stride, Mesi::Shared);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line_addr, 0 * stride); // LRU of set 0
+    EXPECT_TRUE(cache.contains(3 * stride));
+    EXPECT_TRUE(cache.contains(6 * stride));
+    EXPECT_TRUE(cache.contains(1 * stride));
+}
+
+TEST(CacheArrayGolden, WriteHitUpgradeOnlyOnWritableStates)
+{
+    // 4 sets x 2 ways; pick lines in three distinct sets.
+    CacheArray cache(64 * 8, 64, 2);
+    cache.insert(0x100, Mesi::Shared);    // set 0
+    cache.insert(0x140, Mesi::Exclusive); // set 1
+    cache.insert(0x180, Mesi::Modified);  // set 2
+
+    EXPECT_FALSE(cache.writeHitUpgrade(0x100)); // Shared needs the bus
+    EXPECT_EQ(cache.state(0x100), Mesi::Shared);
+    EXPECT_FALSE(cache.writeHitUpgrade(0x1c0)); // miss
+
+    EXPECT_TRUE(cache.writeHitUpgrade(0x140)); // E -> M silently
+    EXPECT_EQ(cache.state(0x140), Mesi::Modified);
+    EXPECT_TRUE(cache.writeHitUpgrade(0x180)); // M stays M
+    EXPECT_EQ(cache.state(0x180), Mesi::Modified);
+}
+
+// ---------------------------------------------------------------------
+// Fast-path differential: TLPPM_SIM_FASTPATH=0 vs 1
+// ---------------------------------------------------------------------
+
+/** Run @p program with the fast path forced on or off. */
+sim::RunResult
+runWithFastPath(const Program& program, bool fast)
+{
+    ::setenv("TLPPM_SIM_FASTPATH", fast ? "1" : "0", /*overwrite=*/1);
+    const Cmp cmp{CmpConfig{}};
+    sim::RunResult result = cmp.run(program, 3.2e9);
+    ::unsetenv("TLPPM_SIM_FASTPATH");
+    return result;
+}
+
+std::string
+statsDump(const sim::RunResult& result)
+{
+    std::ostringstream os;
+    result.stats.dump(os);
+    return os.str();
+}
+
+void
+expectFastPathEquivalent(const Program& program)
+{
+    const sim::RunResult slow = runWithFastPath(program, false);
+    const sim::RunResult fast = runWithFastPath(program, true);
+
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    EXPECT_EQ(fast.instructions, slow.instructions);
+    EXPECT_EQ(fast.coherent, slow.coherent);
+    // The architectural counter registry must be byte-identical; only
+    // the kernel's event count may (and should) shrink.
+    EXPECT_EQ(statsDump(fast), statsDump(slow));
+    EXPECT_LE(fast.events, slow.events);
+}
+
+TEST(FastPathDifferential, SingleThreadHitHeavyStream)
+{
+    Program prog;
+    prog.threads.resize(1);
+    auto& tp = prog.threads[0];
+    for (int i = 0; i < 400; ++i) {
+        tp.load(0x1000 + (i % 8) * 64); // mostly L1 hits after warmup
+        tp.store(0x3000 + (i % 4) * 64);
+        tp.intOps(7);
+    }
+    tp.finish();
+
+    const sim::RunResult slow = runWithFastPath(prog, false);
+    const sim::RunResult fast = runWithFastPath(prog, true);
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    EXPECT_EQ(statsDump(fast), statsDump(slow));
+    // A single-threaded hit-heavy stream is where the fast path bites:
+    // nearly every hit must be resolved without a queue round trip.
+    EXPECT_LT(fast.events, slow.events / 2);
+}
+
+TEST(FastPathDifferential, SharingBarriersAndLocks)
+{
+    // Four threads sharing lines, hitting barriers and a contended lock:
+    // the fast path must never fire across a coherence interaction it
+    // could perturb, so the full architectural state stays identical.
+    Program prog;
+    prog.threads.resize(4);
+    for (int t = 0; t < 4; ++t) {
+        auto& tp = prog.threads[t];
+        for (int round = 0; round < 5; ++round) {
+            for (int i = 0; i < 40; ++i) {
+                tp.load(0x8000 + ((t + i) % 16) * 64); // shared region
+                tp.store(0x20000 + t * 0x4000 + (i % 8) * 64); // private
+                tp.intOps(3 + t);
+            }
+            tp.lock(1);
+            tp.store(0xf000); // contended line under the lock
+            tp.load(0xf000);
+            tp.unlock(1);
+            tp.barrier(0);
+        }
+        tp.finish();
+    }
+    expectFastPathEquivalent(prog);
+}
+
+TEST(FastPathDifferential, StoreBufferPressure)
+{
+    // Store bursts past the buffer capacity force stalls and drains; the
+    // fast path must coexist with backpressure byte-identically.
+    Program prog;
+    prog.threads.resize(2);
+    for (int t = 0; t < 2; ++t) {
+        auto& tp = prog.threads[t];
+        for (int i = 0; i < 64; ++i) {
+            tp.store(0x40000 + t * 0x100000 + i * 0x10000); // all misses
+            if (i % 4 == 0)
+                tp.load(0x40000 + t * 0x100000 + i * 0x10000);
+        }
+        tp.finish();
+    }
+    expectFastPathEquivalent(prog);
+}
+
+} // namespace

@@ -98,6 +98,22 @@ class GoldenModel
     std::map<Addr, LineState> lines_;
 };
 
+/** Drain the queue, routing memory-system events and counting finished
+ *  accesses (MemDone for loads, StoreAccept for stores). */
+int
+pump(EventQueue& queue, MemorySystem& memsys)
+{
+    int completed = 0;
+    queue.run([&](const sim::Event& event) {
+        if (memsys.dispatch(event))
+            return;
+        if (event.kind == sim::EventKind::MemDone ||
+            event.kind == sim::EventKind::StoreAccept)
+            ++completed;
+    });
+    return completed;
+}
+
 struct TortureParam
 {
     std::uint64_t seed;
@@ -136,13 +152,13 @@ TEST_P(MesiTorture, GoldenModelAgreesUnderSerializedAccesses)
         const Addr line = memsys.l1(core).lineAddr(addr);
 
         if (rng.uniform() < store_fraction) {
-            memsys.store(core, addr, [&completed] { ++completed; });
+            memsys.store(core, addr);
             golden.onStore(core, line);
         } else {
-            memsys.load(core, addr, [&completed] { ++completed; });
+            memsys.load(core, addr);
             golden.onLoad(core, line);
         }
-        queue.run(); // serialize commits with issue order
+        completed += pump(queue, memsys); // serialize with issue order
 
         if (i % kCheckEvery == kCheckEvery - 1) {
             golden.check(memsys);
@@ -184,11 +200,11 @@ TEST(MesiTortureDeep, LongUncheckedInterleavings)
             const int core = static_cast<int>(rng.below(8));
             const Addr addr = 0x80000 + rng.below(96) * 64;
             if (rng.chance(0.5))
-                memsys.store(core, addr, [&completed] { ++completed; });
+                memsys.store(core, addr);
             else
-                memsys.load(core, addr, [&completed] { ++completed; });
+                memsys.load(core, addr);
         }
-        queue.run();
+        completed += pump(queue, memsys);
         EXPECT_TRUE(memsys.checkCoherence());
     }
     EXPECT_EQ(completed, 15000);
@@ -209,11 +225,11 @@ TEST(MesiWritebacks, DirtyDataAccountedUnderPressure)
     // steady dirty evictions.
     for (int i = 0; i < 6000; ++i) {
         const Addr addr = 0x100000 + rng.below(4096) * 64;
-        memsys.store(0, addr, [&completed] { ++completed; });
+        memsys.store(0, addr);
         if (i % 64 == 0)
-            queue.run();
+            completed += pump(queue, memsys);
     }
-    queue.run();
+    completed += pump(queue, memsys);
     EXPECT_EQ(completed, 6000);
     const auto writebacks =
         stats.counterValue("core0.l1d.writebacks");
@@ -234,11 +250,9 @@ TEST(MesiSerialization, AllCoresStoreToOneLine)
     util::StatRegistry stats;
     MemorySystem memsys(config, 16, 3.2e9, queue, stats);
 
-    int completed = 0;
     for (int c = 0; c < 16; ++c)
-        memsys.store(c, 0x7000, [&completed] { ++completed; });
-    queue.run();
-    EXPECT_EQ(completed, 16);
+        memsys.store(c, 0x7000);
+    EXPECT_EQ(pump(queue, memsys), 16);
 
     int owners = 0, holders = 0;
     for (int c = 0; c < 16; ++c) {
@@ -258,11 +272,9 @@ TEST(MesiSerialization, AllCoresReadOneLine)
     util::StatRegistry stats;
     MemorySystem memsys(config, 16, 3.2e9, queue, stats);
 
-    int completed = 0;
     for (int c = 0; c < 16; ++c)
-        memsys.load(c, 0x9000, [&completed] { ++completed; });
-    queue.run();
-    EXPECT_EQ(completed, 16);
+        memsys.load(c, 0x9000);
+    EXPECT_EQ(pump(queue, memsys), 16);
 
     int shared = 0;
     for (int c = 0; c < 16; ++c)
@@ -282,12 +294,11 @@ TEST(MesiInclusion, BackInvalidationCoversBothHalves)
     util::StatRegistry stats;
     MemorySystem memsys(config, 2, 3.2e9, queue, stats);
 
-    int completed = 0;
     const Addr base = 0x200000;
     // Touch both 64B halves of one 128B L2 line.
-    memsys.load(0, base, [&completed] { ++completed; });
-    memsys.load(0, base + 64, [&completed] { ++completed; });
-    queue.run();
+    memsys.load(0, base);
+    memsys.load(0, base + 64);
+    EXPECT_EQ(pump(queue, memsys), 2);
     ASSERT_TRUE(memsys.l1(0).contains(base));
     ASSERT_TRUE(memsys.l1(0).contains(base + 64));
 
@@ -296,8 +307,9 @@ TEST(MesiInclusion, BackInvalidationCoversBothHalves)
         static_cast<std::uint64_t>(config.l2_line_bytes) *
         memsys.l2().sets();
     for (std::uint64_t i = 1; i <= config.l2_assoc; ++i)
-        memsys.load(1, base + i * stride, [&completed] { ++completed; });
-    queue.run();
+        memsys.load(1, base + i * stride);
+    EXPECT_EQ(pump(queue, memsys),
+              static_cast<int>(config.l2_assoc));
 
     EXPECT_FALSE(memsys.l2().contains(base));
     EXPECT_FALSE(memsys.l1(0).contains(base));

@@ -476,12 +476,15 @@ TEST(Cmp, ArenaReuseKeepsRunsIdentical)
     EXPECT_TRUE(first.coherent);
     EXPECT_TRUE(second.coherent);
 
-    // Every counter (including the queue high-water mark) must agree.
+    // Every counter must agree, and the kernel telemetry fields too.
     for (const auto& [name, counter] : reference.stats.counters()) {
         EXPECT_EQ(second.stats.counterValue(name), counter.value())
             << "counter " << name;
     }
-    EXPECT_GT(reference.stats.counterValue("queue.high_water"), 0u);
+    EXPECT_EQ(first.events, reference.events);
+    EXPECT_EQ(second.events, reference.events);
+    EXPECT_EQ(second.queue_high_water, reference.queue_high_water);
+    EXPECT_GT(reference.queue_high_water, 0u);
 }
 
 } // namespace
