@@ -132,6 +132,9 @@ main(int argc, char** argv)
                       ? static_cast<double>(serial_rep.sim_events) / serial_s
                       : 0.0)
               << ",\"serial_price_calls\":" << serial_rep.price_calls
+              << ",\"serial_raw_misses\":" << serial_rep.raw_misses
+              << ",\"serial_thermal_fallback_solves\":"
+              << serial_rep.thermal_fallback_solves
               << ",\"sim_calls\":" << par_rep.sim_calls
               << ",\"price_calls\":" << par_rep.price_calls
               << ",\"raw_hits\":" << parallel.rawCache().hits()

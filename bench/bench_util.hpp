@@ -6,12 +6,16 @@
 #ifndef TLPPM_BENCH_UTIL_HPP
 #define TLPPM_BENCH_UTIL_HPP
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <set>
 #include <string>
 
 #include "runner/sweep_report.hpp"
+#include "util/error.hpp"
 #include "util/parse.hpp"
+#include "util/trace.hpp"
 
 namespace tlppm_bench {
 
@@ -72,7 +76,7 @@ jobsFromArgsOrEnv(int argc, char** argv)
     return 0;
 }
 
-/** Robustness knobs shared by the sweep-driving figure harnesses. */
+/** Robustness and observability knobs shared by the figure harnesses. */
 struct SweepCliOptions
 {
     int jobs = 0;               ///< --jobs N (0: defaultJobs())
@@ -80,51 +84,179 @@ struct SweepCliOptions
     bool resume = false;        ///< --resume (replay journal first)
     double point_timeout_s = 0; ///< --point-timeout SECONDS (0: off)
     bool cache_stats = false;   ///< --cache-stats (counters to stderr)
+    std::string trace;          ///< --trace PATH (Chrome trace JSON)
+    std::string metrics;        ///< --metrics PATH (RunMetrics JSON)
+    bool progress = false;      ///< --progress (heartbeat to stderr)
 };
 
 /**
- * Parse the sweep CLI: --jobs N, --journal PATH, --resume,
- * --point-timeout SECONDS, --cache-stats (value-taking flags also in
- * --flag=value form). Unknown arguments are a usage error.
+ * Error-returning sweep CLI parser — the testable core of
+ * parseSweepCli(). Flags may appear in any order, each at most once
+ * (a duplicate is a ParseError: a contradictory command line must not
+ * silently pick a winner), value-taking flags accept both "--flag VALUE"
+ * and "--flag=VALUE". With @p sim_flags false (the analytic figures,
+ * which run no sweep) the sweep-only knobs --journal, --resume,
+ * --point-timeout, and --progress are rejected by name.
  */
-inline SweepCliOptions
-parseSweepCli(int argc, char** argv)
+inline tlp::util::Expected<SweepCliOptions>
+tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
 {
+    using tlp::util::Error;
+    using tlp::util::ErrorCode;
     SweepCliOptions options;
-    const auto timeout = [&](const std::string& text) {
-        const auto value =
-            tlp::util::parseNumber(text, "--point-timeout", 0.0, 86400.0);
-        if (!value)
-            usageError(value.error().describe());
-        options.point_timeout_s = value.value();
-    };
+    std::set<std::string> seen;
+
+    // One iteration handles one flag: `name` is the bare flag, `value`
+    // its argument (value-taking flags only), with i already advanced
+    // past a separate-token value.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--jobs" && i + 1 < argc) {
-            options.jobs = parsedJobs(argv[++i]);
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            options.jobs = parsedJobs(arg.substr(7));
-        } else if (arg == "--journal" && i + 1 < argc) {
-            options.journal = argv[++i];
-        } else if (arg.rfind("--journal=", 0) == 0) {
-            options.journal = arg.substr(10);
-        } else if (arg == "--resume") {
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        const std::string::size_type eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+
+        static const std::set<std::string> kValueFlags = {
+            "--jobs", "--journal", "--point-timeout", "--trace",
+            "--metrics"};
+        static const std::set<std::string> kBoolFlags = {
+            "--resume", "--cache-stats", "--progress"};
+        static const std::set<std::string> kSimOnly = {
+            "--journal", "--resume", "--point-timeout", "--progress"};
+
+        if (!kValueFlags.count(name) && !kBoolFlags.count(name)) {
+            return Error{ErrorCode::ParseError,
+                         "unknown argument '" + arg +
+                             "' (expected --jobs N, --journal PATH, "
+                             "--resume, --point-timeout SECONDS, "
+                             "--cache-stats, --trace PATH, "
+                             "--metrics PATH, --progress)"};
+        }
+        if (!seen.insert(name).second) {
+            return Error{ErrorCode::ParseError,
+                         "duplicate flag '" + name + "'"};
+        }
+        if (!sim_flags && kSimOnly.count(name)) {
+            return Error{ErrorCode::ParseError,
+                         "flag '" + name +
+                             "' only applies to the simulation sweeps "
+                             "(fig3/fig4)"};
+        }
+        if (kBoolFlags.count(name)) {
+            if (has_value) {
+                return Error{ErrorCode::ParseError,
+                             "flag '" + name + "' takes no value"};
+            }
+        } else if (!has_value) {
+            if (i + 1 >= argc) {
+                return Error{ErrorCode::ParseError,
+                             "flag '" + name + "' needs a value"};
+            }
+            value = argv[++i];
+        }
+
+        if (name == "--jobs") {
+            const auto jobs = tlp::util::parseInt(value, "--jobs", 1, 4096);
+            if (!jobs)
+                return jobs.error();
+            options.jobs = static_cast<int>(jobs.value());
+        } else if (name == "--journal") {
+            options.journal = value;
+        } else if (name == "--resume") {
             options.resume = true;
-        } else if (arg == "--point-timeout" && i + 1 < argc) {
-            timeout(argv[++i]);
-        } else if (arg.rfind("--point-timeout=", 0) == 0) {
-            timeout(arg.substr(16));
-        } else if (arg == "--cache-stats") {
+        } else if (name == "--point-timeout") {
+            const auto t = tlp::util::parseNumber(value, "--point-timeout",
+                                                  0.0, 86400.0);
+            if (!t)
+                return t.error();
+            options.point_timeout_s = t.value();
+        } else if (name == "--cache-stats") {
             options.cache_stats = true;
-        } else {
-            usageError("unknown argument '" + arg +
-                       "' (expected --jobs N, --journal PATH, --resume, "
-                       "--point-timeout SECONDS, --cache-stats)");
+        } else if (name == "--trace") {
+            options.trace = value;
+        } else if (name == "--metrics") {
+            options.metrics = value;
+        } else if (name == "--progress") {
+            options.progress = true;
         }
     }
-    if (options.resume && options.journal.empty())
-        usageError("--resume requires --journal PATH");
+    if (options.resume && options.journal.empty()) {
+        return Error{ErrorCode::ParseError,
+                     "--resume requires --journal PATH"};
+    }
     return options;
+}
+
+/**
+ * Parse the figure-harness CLI (see tryParseSweepCli for the grammar);
+ * a malformed command line is a usage error (exit 2).
+ */
+inline SweepCliOptions
+parseSweepCli(int argc, char** argv, bool sim_flags = true)
+{
+    auto options = tryParseSweepCli(argc, argv, sim_flags);
+    if (!options)
+        usageError(options.error().describe());
+    return options.value();
+}
+
+/**
+ * Arm the tracer before a bench runs: --trace PATH wins, else the
+ * TLPPM_TRACE environment variable; no-op when neither is set.
+ */
+inline void
+setupTrace(const SweepCliOptions& cli)
+{
+    if (!cli.trace.empty())
+        tlp::util::Tracer::instance().enable(cli.trace);
+    else
+        tlp::util::Tracer::instance().enableFromEnv();
+}
+
+/** Stop recording and write the trace file (no-op when never armed).
+ *  Call once, after all worker threads have quiesced. */
+inline void
+finishTrace()
+{
+    tlp::util::Tracer& tracer = tlp::util::Tracer::instance();
+    if (!tracer.enabled())
+        return;
+    tracer.disable();
+    tracer.writeFile();
+    std::cerr << "  [trace] wrote " << tracer.path() << "\n";
+}
+
+/** The --metrics output path: the flag wins, else TLPPM_METRICS. */
+inline std::string
+metricsPath(const SweepCliOptions& cli)
+{
+    if (!cli.metrics.empty())
+        return cli.metrics;
+    const char* env = std::getenv("TLPPM_METRICS");
+    return env != nullptr ? env : "";
+}
+
+/** Write @p json to the --metrics / TLPPM_METRICS path (no-op when
+ *  neither names one). A write failure is fatal — CI consumes this. */
+inline void
+writeMetrics(const SweepCliOptions& cli, const std::string& json)
+{
+    const std::string path = metricsPath(cli);
+    if (path.empty())
+        return;
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        tlp::util::fatal("cannot open metrics output '" + path + "'");
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    if (written != json.size() || std::fclose(file) != 0)
+        tlp::util::fatal("short write to metrics output '" + path + "'");
+    std::cerr << "  [metrics] wrote " << path << "\n";
 }
 
 /** Tolerant scan for --cache-stats, for the harnesses that otherwise

@@ -22,10 +22,19 @@ namespace {
 
 using namespace tlp;
 
+/** Thermal-solver work of the analytic figures, summed over nodes —
+ *  what fig1's --metrics snapshot reports (it runs zero simulations). */
+struct AnalyticCounters
+{
+    std::uint64_t thermal_solves = 0;
+    std::uint64_t thermal_factorizations = 0;
+};
+
 void
 runNode(const tech::Technology& tech, util::ThreadPool* pool,
-        bool cache_stats)
+        bool cache_stats, AnalyticCounters& counters)
 {
+    TLPPM_TRACE_SCOPE("bench", "fig1:", tech.name());
     const model::AnalyticCmp cmp(tech, 32);
     const model::Scenario1 scenario(cmp);
 
@@ -113,11 +122,13 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool,
         marks.addRow(std::move(row));
     marks.print(std::cout);
 
+    const thermal::RCModel& model = cmp.thermalModel();
+    counters.thermal_solves += model.solveCount();
+    counters.thermal_factorizations += model.factorizationCount();
     if (cache_stats) {
         // The analytic figures run zero cycle-level simulations; the
         // relevant hot-path counters here are the thermal solver's:
         // back-substitutions against the one cached LU factorization.
-        const thermal::RCModel& model = cmp.thermalModel();
         std::cerr << "  [fig1 " << tech.name()
                   << "] cache-stats: sim_calls=0 thermal_solves="
                   << model.solveCount() << " thermal_factorizations="
@@ -132,16 +143,26 @@ main(int argc, char** argv)
 {
     tlppm_bench::banner("Figure 1 -- Scenario I power optimization "
                         "(analytical model)");
-    int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    const tlppm_bench::SweepCliOptions cli =
+        tlppm_bench::parseSweepCli(argc, argv, /*sim_flags=*/false);
+    tlppm_bench::setupTrace(cli);
+    int jobs = cli.jobs;
     if (jobs <= 0)
         jobs = static_cast<int>(tlp::util::ThreadPool::defaultJobs());
-    const bool cache_stats = tlppm_bench::cacheStatsFromArgs(argc, argv);
     std::unique_ptr<tlp::util::ThreadPool> pool;
     if (jobs > 1)
         pool = std::make_unique<tlp::util::ThreadPool>(
             static_cast<unsigned>(jobs));
-    runNode(tlp::tech::tech130nm(), pool.get(), cache_stats);
-    runNode(tlp::tech::tech65nm(), pool.get(), cache_stats);
+    AnalyticCounters counters;
+    runNode(tlp::tech::tech130nm(), pool.get(), cli.cache_stats, counters);
+    runNode(tlp::tech::tech65nm(), pool.get(), cli.cache_stats, counters);
+    tlppm_bench::writeMetrics(
+        cli, tlp::util::strcatMsg(
+                 "{\n  \"sim_calls\": 0,\n  \"thermal_solves\": ",
+                 counters.thermal_solves,
+                 ",\n  \"thermal_factorizations\": ",
+                 counters.thermal_factorizations, "\n}\n"));
+    tlppm_bench::finishTrace();
     std::cout << "Expected shape (paper): curves fall as eps_n grows; "
                  "high-N curves lie above low-N ones at high eps_n; every "
                  "curve drops below 1.0 beyond a break-even eps_n that "

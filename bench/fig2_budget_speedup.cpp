@@ -20,6 +20,9 @@ main(int argc, char** argv)
     using namespace tlp;
     tlppm_bench::banner("Figure 2 -- Scenario II speedup under a fixed "
                         "power budget (analytical model)");
+    const tlppm_bench::SweepCliOptions cli =
+        tlppm_bench::parseSweepCli(argc, argv, /*sim_flags=*/false);
+    tlppm_bench::setupTrace(cli);
 
     const tech::Technology nodes[] = {tech::tech130nm(),
                                       tech::tech65nm()};
@@ -58,7 +61,7 @@ main(int argc, char** argv)
             ok65[i] = 0;
         }
     };
-    int jobs = tlppm_bench::jobsFromArgsOrEnv(argc, argv);
+    int jobs = cli.jobs;
     if (jobs <= 0)
         jobs = static_cast<int>(util::ThreadPool::defaultJobs());
     if (jobs > 1) {
@@ -101,7 +104,7 @@ main(int argc, char** argv)
     }
     table.print(std::cout);
 
-    if (tlppm_bench::cacheStatsFromArgs(argc, argv)) {
+    if (cli.cache_stats) {
         // The analytic figures run zero cycle-level simulations; the
         // hot-path counters here are the thermal solver's back-
         // substitutions against the one cached LU factorization per node.
@@ -114,6 +117,18 @@ main(int argc, char** argv)
                   << " thermal_factorizations="
                   << cmp65.thermalModel().factorizationCount() << "\n";
     }
+
+    tlppm_bench::writeMetrics(
+        cli,
+        util::strcatMsg(
+            "{\n  \"sim_calls\": 0,\n  \"thermal_solves\": ",
+            cmp130.thermalModel().solveCount() +
+                cmp65.thermalModel().solveCount(),
+            ",\n  \"thermal_factorizations\": ",
+            cmp130.thermalModel().factorizationCount() +
+                cmp65.thermalModel().factorizationCount(),
+            "\n}\n"));
+    tlppm_bench::finishTrace();
 
     std::cout << "Measured peaks: 130nm " << peak130 << "x at N="
               << argmax130 << "; 65nm " << peak65 << "x at N=" << argmax65

@@ -34,12 +34,15 @@ main(int argc, char** argv)
 
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv);
+    tlppm_bench::setupTrace(cli);
     runner::SweepRunner::Options options;
     options.jobs = cli.jobs;
     options.scale = scale;
     options.journal_path = cli.journal;
     options.resume = cli.resume;
     options.point_timeout_s = cli.point_timeout_s;
+    options.progress = cli.progress;
+    options.progress_label = "fig3";
     runner::SweepRunner sweep(options);
     const std::vector<int> ns = {1, 2, 4, 8, 16};
 
@@ -105,6 +108,8 @@ main(int argc, char** argv)
     tlppm_bench::reportSweep(sweep.lastReport(), "fig3");
     if (cli.cache_stats)
         tlppm_bench::printCacheStats(sweep.lastReport(), "fig3");
+    tlppm_bench::writeMetrics(cli, sweep.lastReport().metricsJson());
+    tlppm_bench::finishTrace();
 
     eff.print(std::cout);
     spd.print(std::cout);

@@ -30,12 +30,15 @@ main(int argc, char** argv)
 
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv);
+    tlppm_bench::setupTrace(cli);
     runner::SweepRunner::Options options;
     options.jobs = cli.jobs;
     options.scale = scale;
     options.journal_path = cli.journal;
     options.resume = cli.resume;
     options.point_timeout_s = cli.point_timeout_s;
+    options.progress = cli.progress;
+    options.progress_label = "fig4";
     runner::SweepRunner sweep(options);
     std::cout << "Power budget (microbenchmark-derived single-core "
                  "maximum): "
@@ -54,6 +57,8 @@ main(int argc, char** argv)
     tlppm_bench::reportSweep(sweep.lastReport(), "fig4");
     if (cli.cache_stats)
         tlppm_bench::printCacheStats(sweep.lastReport(), "fig4");
+    tlppm_bench::writeMetrics(cli, sweep.lastReport().metricsJson());
+    tlppm_bench::finishTrace();
 
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const std::string name = apps[a]->name;

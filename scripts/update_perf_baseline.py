@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Re-measure and rewrite the CI perf-guard ceilings.
+
+Runs bench_sweep_throughput at the baseline's committed scale, reads the
+serial counters from its JSON line, and rewrites bench/perf_baseline.json
+with the measured values as the new ceilings. The counters are
+deterministic (serial pass, fixed task order), so the measured value IS
+the ceiling -- no headroom fudge is added.
+
+Use this only when an intentional change (sweep grid, caching strategy,
+thermal ladder, event taxonomy) shifts the counts, and explain the shift
+in the commit message that updates the baseline.
+
+Usage:
+    scripts/update_perf_baseline.py [--build-dir build] [--dry-run]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "bench", "perf_baseline.json")
+
+# JSON keys of bench_sweep_throughput's serial (deterministic) counters
+# that the guard enforces; the baseline stores each as "max_<key>".
+GUARDED_KEYS = (
+    "serial_sim_calls",
+    "serial_sim_events",
+    "serial_raw_misses",
+    "serial_thermal_fallback_solves",
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the new ceilings without rewriting "
+                             "the baseline file")
+    args = parser.parse_args()
+
+    with open(BASELINE) as f:
+        baseline = json.load(f)
+
+    bench = os.path.join(REPO_ROOT, args.build_dir, "bench",
+                         "bench_sweep_throughput")
+    if not os.path.exists(bench):
+        sys.exit(f"error: {bench} not built; run "
+                 f"'cmake --build {args.build_dir} --target "
+                 f"bench_sweep_throughput' first")
+
+    env = dict(os.environ, TLPPM_SCALE=str(baseline["scale"]))
+    print(f"running {bench} at TLPPM_SCALE={baseline['scale']} ...")
+    out = subprocess.run([bench], env=env, check=True,
+                         capture_output=True, text=True).stdout
+    result = json.loads(out.strip().splitlines()[-1])
+
+    changed = False
+    for key in GUARDED_KEYS:
+        if key not in result:
+            sys.exit(f"error: bench output lacks '{key}'")
+        old = baseline.get("max_" + key)
+        new = result[key]
+        marker = "" if old == new else f"  (was {old})"
+        print(f"  max_{key} = {new}{marker}")
+        if old != new:
+            baseline["max_" + key] = new
+            changed = True
+
+    if not changed:
+        print("baseline already matches the measured counters")
+        return
+    if args.dry_run:
+        print("dry run: baseline file left untouched")
+        return
+    with open(BASELINE, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"rewrote {BASELINE}; commit it with an explanation of why "
+          f"the counts legitimately moved")
+
+
+if __name__ == "__main__":
+    main()

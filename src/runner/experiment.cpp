@@ -12,6 +12,7 @@
 #include "runner/run_cache.hpp"
 #include "thermal/rc_model.hpp"
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 #include "util/units.hpp"
 #include "util/watchdog.hpp"
 
@@ -124,11 +125,13 @@ Experiment::Experiment(double scale, sim::CmpConfig config,
     if (raw_cache_)
         run_ptr = raw_cache_->find(virus_key);
     if (!run_ptr) {
+        TLPPM_TRACE_SCOPE("sim", "calibrate:power-virus scale=", scale_);
         const sim::Program virus = workloads::makePowerVirus(1, scale_);
         sim_calls_.fetch_add(1, std::memory_order_relaxed);
         run_ptr = std::make_shared<const sim::RunResult>(
             cmp_.run(virus, tech_.fNominal()));
         sim_events_.fetch_add(run_ptr->events, std::memory_order_relaxed);
+        recordRunTelemetry(*run_ptr);
         if (raw_cache_)
             run_ptr = raw_cache_->insert(virus_key, run_ptr);
     }
@@ -207,10 +210,40 @@ Experiment::validateVfTable() const
     }
 }
 
+void
+Experiment::recordRunTelemetry(const sim::RunResult& run) const
+{
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    if (core_cycle_totals_.size() < run.core_cycles.size())
+        core_cycle_totals_.resize(run.core_cycles.size());
+    for (std::size_t i = 0; i < run.core_cycles.size(); ++i) {
+        core_cycle_totals_[i].busy += run.core_cycles[i].busy;
+        core_cycle_totals_[i].stall_mem += run.core_cycles[i].stall_mem;
+        core_cycle_totals_[i].stall_sync += run.core_cycles[i].stall_sync;
+    }
+    queue_high_water_ = std::max(queue_high_water_, run.queue_high_water);
+}
+
+std::vector<sim::CoreCycleBreakdown>
+Experiment::coreCycleTotals() const
+{
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    return core_cycle_totals_;
+}
+
+std::uint64_t
+Experiment::queueHighWater() const
+{
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    return queue_high_water_;
+}
+
 util::Expected<Measurement>
 Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
 {
     price_calls_.fetch_add(1, std::memory_order_relaxed);
+    TLPPM_TRACE_SCOPE("thermal", "price n=", run.n_threads,
+                      " vdd=", vdd, " f=", run.freq_hz * 1e-9, "GHz");
     const int n_active = run.n_threads;
     const auto& plan = power_model_.floorplan();
 
@@ -259,6 +292,21 @@ Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
         coupled = thermal::solveCoupled(thermal_, power_of_temp,
                                         coupled_scratch_, kTolC,
                                         rung.max_iter, rung.damping);
+    }
+    // Rung accounting for the observability layer: which rung this
+    // pricing pass ended on (a non-converged pass still charged the
+    // heavy-damping tail, so it counts as a fallback).
+    if (attempts == 1) {
+        thermal_damped_.fetch_add(1, std::memory_order_relaxed);
+    } else if (attempts == 2) {
+        thermal_accelerated_.fetch_add(1, std::memory_order_relaxed);
+        util::traceInstant("thermal", "accelerated-rescue vdd=", vdd,
+                           " f=", run.freq_hz * 1e-9, "GHz");
+    } else {
+        thermal_fallback_.fetch_add(1, std::memory_order_relaxed);
+        util::traceInstant("thermal", "fallback-rescue attempts=",
+                           attempts, " vdd=", vdd, " f=",
+                           run.freq_hz * 1e-9, "GHz");
     }
     if (!coupled.converged && !coupled.runaway) {
         return util::Error{
@@ -321,6 +369,7 @@ Experiment::tryMeasure(const sim::Program& program, double vdd,
         sim_calls_.fetch_add(1, std::memory_order_relaxed);
         const sim::RunResult run = cmp_.run(program, freq_hz);
         sim_events_.fetch_add(run.events, std::memory_order_relaxed);
+        recordRunTelemetry(run);
         auto priced = tryPriceRun(run, vdd);
         if (!priced) {
             return std::move(priced.error())
@@ -355,15 +404,21 @@ Experiment::trySimulateApp(const workloads::WorkloadInfo& app, int n,
     const RawRunKey key{app.name, n, scale_, freq_hz};
     if (raw_cache_) {
         if (std::shared_ptr<const sim::RunResult> cached =
-                raw_cache_->find(key))
+                raw_cache_->find(key)) {
+            util::traceInstant("cache", "raw-hit:", app.name, " n=", n,
+                               " f=", freq_hz * 1e-9, "GHz");
             return cached;
+        }
     }
     try {
+        TLPPM_TRACE_SCOPE("runner", "simulate:", app.name, " n=", n,
+                          " f=", freq_hz * 1e-9, "GHz");
         sim_calls_.fetch_add(1, std::memory_order_relaxed);
         std::shared_ptr<const sim::RunResult> run =
             std::make_shared<const sim::RunResult>(
                 cmp_.run(app.make(n, scale_), freq_hz));
         sim_events_.fetch_add(run->events, std::memory_order_relaxed);
+        recordRunTelemetry(*run);
         if (raw_cache_)
             run = raw_cache_->insert(key, std::move(run));
         return run;
@@ -382,10 +437,15 @@ util::Expected<Measurement>
 Experiment::tryMeasureApp(const workloads::WorkloadInfo& app, int n,
                           double vdd, double freq_hz) const
 {
+    TLPPM_TRACE_SCOPE("runner", "measure:", app.name, " n=", n,
+                      " vdd=", vdd, " f=", freq_hz * 1e-9, "GHz");
     const RunKey key{app.name, n, scale_, vdd, freq_hz};
     if (cache_) {
-        if (std::optional<Measurement> cached = cache_->find(key))
+        if (std::optional<Measurement> cached = cache_->find(key)) {
+            util::traceInstant("cache", "priced-hit:", app.name, " n=", n,
+                               " vdd=", vdd);
             return *cached;
+        }
     }
 
     // A priced-cache miss is a real measurement: the fault-injection hook

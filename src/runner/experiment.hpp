@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "power/chip_power.hpp"
@@ -192,6 +193,35 @@ class Experiment
         return sim_events_.load(std::memory_order_relaxed);
     }
 
+    /** Pricing passes resolved by the rung-1 damped fixed point (the
+     *  historical default trajectory). Thread-safe, relaxed. */
+    std::uint64_t thermalDampedSolves() const
+    {
+        return thermal_damped_.load(std::memory_order_relaxed);
+    }
+
+    /** Pricing passes rescued by the Anderson-accelerated rung. */
+    std::uint64_t thermalAcceleratedSolves() const
+    {
+        return thermal_accelerated_.load(std::memory_order_relaxed);
+    }
+
+    /** Pricing passes that fell through to the heavy-damping tail — the
+     *  expensive last resort the perf guard keeps an eye on. */
+    std::uint64_t thermalFallbackSolves() const
+    {
+        return thermal_fallback_.load(std::memory_order_relaxed);
+    }
+
+    /** Per-core busy/stall/sync cycle totals summed over every simulation
+     *  this Experiment executed (cache hits contribute nothing); entry i
+     *  is core i. Thread-safe snapshot. */
+    std::vector<sim::CoreCycleBreakdown> coreCycleTotals() const;
+
+    /** Largest event-queue high-water mark across this Experiment's
+     *  simulations. Thread-safe. */
+    std::uint64_t queueHighWater() const;
+
     /** Price an already-simulated run at supply voltage @p vdd: Wattch
      *  dynamic power from the activity counters, static power and die
      *  temperature from the coupled power/temperature fixed point. The
@@ -273,6 +303,11 @@ class Experiment
   private:
     void validateVfTable() const;
 
+    /** Fold one executed run's kernel telemetry (per-core cycle
+     *  breakdown, queue high-water) into the lifetime totals. Called
+     *  only on the simulate path — cache hits never double-count. */
+    void recordRunTelemetry(const sim::RunResult& run) const;
+
     double scale_;
     tech::Technology tech_;
     sim::Cmp cmp_;
@@ -289,6 +324,15 @@ class Experiment
     mutable std::atomic<std::uint64_t> sim_calls_{0};
     mutable std::atomic<std::uint64_t> price_calls_{0};
     mutable std::atomic<std::uint64_t> sim_events_{0};
+    mutable std::atomic<std::uint64_t> thermal_damped_{0};
+    mutable std::atomic<std::uint64_t> thermal_accelerated_{0};
+    mutable std::atomic<std::uint64_t> thermal_fallback_{0};
+    /** Guards the non-atomic telemetry aggregates below; essentially
+     *  uncontended (an Experiment is thread-confined) but gives the
+     *  sweep-side readers a clean happens-before edge. */
+    mutable std::mutex telemetry_mutex_;
+    mutable std::vector<sim::CoreCycleBreakdown> core_cycle_totals_;
+    mutable std::uint64_t queue_high_water_ = 0;
 };
 
 } // namespace tlp::runner

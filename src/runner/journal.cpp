@@ -10,6 +10,7 @@
 
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace tlp::runner {
 
@@ -225,6 +226,8 @@ Journal::~Journal()
 void
 Journal::append(const RunKey& key, const Measurement& m)
 {
+    util::traceInstant("journal", "append:", key.workload, " n=", key.n,
+                       " vdd=", key.vdd);
     const std::string line = formatLine(key, m);
     std::lock_guard<std::mutex> lock(mutex_);
     std::fwrite(line.data(), 1, line.size(), file_);

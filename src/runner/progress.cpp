@@ -1,0 +1,51 @@
+#include "runner/progress.hpp"
+
+#include <cstdio>
+
+namespace tlp::runner {
+
+ProgressReporter::ProgressReporter(std::size_t total, std::string label,
+                                   double min_period_s)
+    : label_(std::move(label)), min_period_s_(min_period_s),
+      total_(total), start_(Clock::now()), last_print_(start_)
+{
+}
+
+std::size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+void
+ProgressReporter::taskDone(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    const Clock::time_point now = Clock::now();
+    const bool final = done_ >= total_;
+    const double since_print =
+        std::chrono::duration<double>(now - last_print_).count();
+    if (!final && printed_ && since_print < min_period_s_)
+        return;
+
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double eta = done_ > 0 && total_ > done_
+        ? elapsed / static_cast<double>(done_) *
+            static_cast<double>(total_ - done_)
+        : 0.0;
+    const int percent = total_ > 0
+        ? static_cast<int>(100.0 * static_cast<double>(done_) /
+                           static_cast<double>(total_))
+        : 100;
+    std::fprintf(stderr, "[%s] %zu/%zu (%d%%) elapsed %.1fs eta %.1fs - %s\n",
+                 label_.c_str(), done_, total_, percent, elapsed, eta,
+                 key.c_str());
+    std::fflush(stderr);
+    last_print_ = now;
+    printed_ = true;
+}
+
+} // namespace tlp::runner

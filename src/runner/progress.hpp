@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ProgressReporter — the lightweight heartbeat of a long sweep.
+ *
+ * Prints "points done/total, percent, ETA, last finished point" lines to
+ * stderr, throttled so even a many-thousand-point overnight sweep emits
+ * a bounded trickle of lines (CI logs stay readable, terminals stay
+ * responsive). Strictly an observer: it sees task keys only after the
+ * task finished, never touches results, and is disabled by default —
+ * enabling it cannot change a single byte of the figure tables.
+ *
+ * Thread-safe: worker threads report completions concurrently; one
+ * mutex serializes the counter update and the (rare) print.
+ */
+
+#ifndef TLP_RUNNER_PROGRESS_HPP
+#define TLP_RUNNER_PROGRESS_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace tlp::runner {
+
+/** Heartbeat printer for sweep execution (see the file comment). */
+class ProgressReporter
+{
+  public:
+    /**
+     * @param total       expected task count (ETA denominator); a sweep
+     *                    that cannot know it exactly passes its upper
+     *                    bound — skipped rows count as done
+     * @param label       line prefix, e.g. the sweep name ("fig3")
+     * @param min_period_s minimum seconds between printed lines (the
+     *                    final line always prints)
+     */
+    explicit ProgressReporter(std::size_t total,
+                              std::string label = "sweep",
+                              double min_period_s = 1.0);
+
+    /** Record one finished task; prints a heartbeat line when due.
+     *  @p key names the point just finished ("profile FFT n=8"). */
+    void taskDone(const std::string& key);
+
+    /** Completed-task count so far. */
+    std::size_t done() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::string label_;
+    double min_period_s_;
+    mutable std::mutex mutex_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    Clock::time_point start_;
+    Clock::time_point last_print_;
+    bool printed_ = false;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_PROGRESS_HPP

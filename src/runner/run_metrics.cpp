@@ -1,0 +1,125 @@
+#include "runner/run_metrics.hpp"
+
+#include <cstdio>
+
+#include "runner/sweep_report.hpp"
+
+namespace tlp::runner {
+
+RunMetrics
+RunMetrics::fromReport(const SweepReport& report)
+{
+    RunMetrics m;
+    m.ok = report.ok;
+    m.failed = report.failed.size();
+    m.retried = report.retried;
+    m.skipped = report.skipped;
+    m.replayed = report.replayed;
+    m.sim_calls = report.sim_calls;
+    m.sim_events = report.sim_events;
+    m.price_calls = report.price_calls;
+    m.raw_hits = report.raw_hits;
+    m.raw_misses = report.raw_misses;
+    m.priced_hits = report.priced_hits;
+    m.priced_misses = report.priced_misses;
+    m.thermal_damped_solves = report.thermal_damped_solves;
+    m.thermal_accelerated_solves = report.thermal_accelerated_solves;
+    m.thermal_fallback_solves = report.thermal_fallback_solves;
+    m.queue_high_water = report.queue_high_water;
+    m.core_cycles = report.core_cycles;
+    return m;
+}
+
+namespace {
+
+double
+hitRate(std::uint64_t hits, std::uint64_t misses)
+{
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+appendField(std::string& out, const char* key, std::uint64_t value,
+            bool& first)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s  \"%s\": %llu", first ? "" : ",\n",
+                  key, static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+}
+
+void
+appendField(std::string& out, const char* key, double value, bool& first)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s  \"%s\": %.6f", first ? "" : ",\n",
+                  key, value);
+    out += buf;
+    first = false;
+}
+
+} // namespace
+
+double
+RunMetrics::rawHitRate() const
+{
+    return hitRate(raw_hits, raw_misses);
+}
+
+double
+RunMetrics::pricedHitRate() const
+{
+    return hitRate(priced_hits, priced_misses);
+}
+
+std::string
+RunMetrics::toJson() const
+{
+    std::string out = "{\n";
+    bool first = true;
+    appendField(out, "ok", static_cast<std::uint64_t>(ok), first);
+    appendField(out, "failed", static_cast<std::uint64_t>(failed), first);
+    appendField(out, "retried", static_cast<std::uint64_t>(retried), first);
+    appendField(out, "skipped", static_cast<std::uint64_t>(skipped), first);
+    appendField(out, "replayed", static_cast<std::uint64_t>(replayed),
+                first);
+    appendField(out, "sim_calls", sim_calls, first);
+    appendField(out, "sim_events", sim_events, first);
+    appendField(out, "price_calls", price_calls, first);
+    appendField(out, "raw_cache_hits", raw_hits, first);
+    appendField(out, "raw_cache_misses", raw_misses, first);
+    appendField(out, "raw_cache_hit_rate", rawHitRate(), first);
+    appendField(out, "priced_cache_hits", priced_hits, first);
+    appendField(out, "priced_cache_misses", priced_misses, first);
+    appendField(out, "priced_cache_hit_rate", pricedHitRate(), first);
+    appendField(out, "thermal_damped_solves", thermal_damped_solves,
+                first);
+    appendField(out, "thermal_accelerated_solves",
+                thermal_accelerated_solves, first);
+    appendField(out, "thermal_fallback_solves", thermal_fallback_solves,
+                first);
+    appendField(out, "queue_high_water", queue_high_water, first);
+    out += ",\n  \"per_core\": [";
+    for (std::size_t i = 0; i < core_cycles.size(); ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"core\": %zu, \"busy\": %llu, "
+                      "\"stall_mem\": %llu, \"stall_sync\": %llu}",
+                      i == 0 ? "" : ",", i,
+                      static_cast<unsigned long long>(core_cycles[i].busy),
+                      static_cast<unsigned long long>(
+                          core_cycles[i].stall_mem),
+                      static_cast<unsigned long long>(
+                          core_cycles[i].stall_sync));
+        out += buf;
+    }
+    if (!core_cycles.empty())
+        out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+} // namespace tlp::runner

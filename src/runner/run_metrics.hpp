@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RunMetrics — the per-sweep metrics snapshot of the observability
+ * layer, serializable to one JSON object.
+ *
+ * A SweepReport already carries every counter the sweep runner
+ * accumulates (outcome counts, two-level cache accounting, thermal rung
+ * counts, kernel telemetry); RunMetrics is the export view of that
+ * ledger: a flat value type with the derived rates precomputed and a
+ * stable JSON schema that the CI observability leg and the perf guard
+ * parse. Figure benches write it behind --metrics / TLPPM_METRICS.
+ *
+ * Schema stability: keys are only ever added, never renamed — CI
+ * baselines (bench/perf_baseline.json ceilings) reference them by name.
+ */
+
+#ifndef TLP_RUNNER_RUN_METRICS_HPP
+#define TLP_RUNNER_RUN_METRICS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cmp.hpp"
+
+namespace tlp::runner {
+
+struct SweepReport;
+
+/** Flat, exportable snapshot of one sweep's counters. */
+struct RunMetrics
+{
+    // Outcome counts (SweepReport ledger).
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t retried = 0;
+    std::size_t skipped = 0;
+    std::size_t replayed = 0;
+
+    // Work actually executed.
+    std::uint64_t sim_calls = 0;
+    std::uint64_t sim_events = 0;
+    std::uint64_t price_calls = 0;
+
+    // Two-level cache accounting.
+    std::uint64_t raw_hits = 0;
+    std::uint64_t raw_misses = 0;
+    std::uint64_t priced_hits = 0;
+    std::uint64_t priced_misses = 0;
+
+    // Thermal fixed-point rung accounting.
+    std::uint64_t thermal_damped_solves = 0;
+    std::uint64_t thermal_accelerated_solves = 0;
+    std::uint64_t thermal_fallback_solves = 0;
+
+    // Kernel telemetry.
+    std::uint64_t queue_high_water = 0;
+    std::vector<sim::CoreCycleBreakdown> core_cycles;
+
+    /** Copy every counter out of a finished sweep's report. */
+    static RunMetrics fromReport(const SweepReport& report);
+
+    /** hits / (hits + misses); 0 when the level was never consulted. */
+    double rawHitRate() const;
+    double pricedHitRate() const;
+
+    /**
+     * One JSON object with every counter above, the derived hit rates,
+     * and a "per_core" array of {core, busy, stall_mem, stall_sync}
+     * objects. Counters only, no timestamps: a serial (--jobs 1) sweep
+     * serializes bit-reproducibly run over run. Parallel sweeps can
+     * legitimately differ in the cache counters (two workers may race
+     * to first-simulate the same point), never in the figure tables.
+     */
+    std::string toJson() const;
+};
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_RUN_METRICS_HPP

@@ -1,5 +1,6 @@
 #include "runner/sweep_report.hpp"
 
+#include "runner/run_metrics.hpp"
 #include "util/logging.hpp"
 
 namespace tlp::runner {
@@ -14,6 +15,12 @@ SweepReport::summary() const
                            " price_calls=", price_calls, " raw=", raw_hits,
                            "/", raw_misses, " priced=", priced_hits, "/",
                            priced_misses);
+}
+
+std::string
+SweepReport::metricsJson() const
+{
+    return RunMetrics::fromReport(*this).toJson();
 }
 
 } // namespace tlp::runner

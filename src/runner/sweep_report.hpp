@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/cmp.hpp"
 #include "util/error.hpp"
 
 namespace tlp::runner {
@@ -62,11 +63,32 @@ struct SweepReport
     std::uint64_t priced_hits = 0;  ///< RunCache hits (pricing elided)
     std::uint64_t priced_misses = 0; ///< RunCache misses
 
+    /** Thermal fixed-point rung accounting over this sweep: pricing
+     *  passes resolved by the rung-1 damped solve, rescued by the
+     *  Anderson-accelerated rung, and fallen through to the
+     *  heavy-damping tail (the expensive last resort). */
+    std::uint64_t thermal_damped_solves = 0;
+    std::uint64_t thermal_accelerated_solves = 0;
+    std::uint64_t thermal_fallback_solves = 0;
+
+    /** Largest event-queue high-water mark any worker's simulator saw
+     *  (lifetime maximum, not a per-sweep delta — it is a peak). */
+    std::uint64_t queue_high_water = 0;
+
+    /** Per-core busy/stall/sync cycle totals summed over every
+     *  simulation this sweep executed, all workers combined; entry i is
+     *  core i. Cache hits contribute nothing. */
+    std::vector<sim::CoreCycleBreakdown> core_cycles;
+
     bool allOk() const { return failed.empty() && skipped == 0; }
 
     /** "ok=12 failed=1 retried=0 skipped=3 replayed=0 sim_calls=…
      *  sim_events=… price_calls=… raw=h/m priced=h/m" */
     std::string summary() const;
+
+    /** The full metrics snapshot as a JSON object (see RunMetrics) —
+     *  what the figure benches write behind --metrics. */
+    std::string metricsJson() const;
 };
 
 } // namespace tlp::runner

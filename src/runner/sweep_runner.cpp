@@ -8,6 +8,7 @@
 
 #include "runner/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 #include "util/watchdog.hpp"
 
 namespace tlp::runner {
@@ -54,6 +55,7 @@ struct SweepTaskRunner
         -> decltype(body())
     {
         using Result = decltype(body());
+        TLPPM_TRACE_SCOPE("sweep", phase, ":", workload, " n=", n);
         const auto start = std::chrono::steady_clock::now();
         const int max_attempts =
             1 + std::max(0, r.options_.max_point_retries);
@@ -65,10 +67,14 @@ struct SweepTaskRunner
             try {
                 Result result = body();
                 if (result.ok()) {
-                    std::lock_guard<std::mutex> lock(r.report_mutex_);
-                    ++r.report_.ok;
-                    if (attempt > 0)
-                        ++r.report_.retried;
+                    {
+                        std::lock_guard<std::mutex> lock(r.report_mutex_);
+                        ++r.report_.ok;
+                        if (attempt > 0)
+                            ++r.report_.retried;
+                    }
+                    r.noteTaskDone(util::strcatMsg(phase, " ", workload,
+                                                   " n=", n));
                     return result;
                 }
                 last = std::move(result.error());
@@ -102,10 +108,14 @@ struct SweepTaskRunner
         failure.wall_seconds = wall;
         failure.attempts = attempts;
         failure.order = order;
+        util::traceInstant("sweep", "point-failed:", workload, " n=", n,
+                           " attempts=", attempts);
         {
             std::lock_guard<std::mutex> lock(r.report_mutex_);
             r.report_.failed.push_back(std::move(failure));
         }
+        r.noteTaskDone(util::strcatMsg(phase, " ", workload, " n=", n,
+                                       " [failed]"));
         return Result(std::move(last));
     }
 
@@ -113,8 +123,11 @@ struct SweepTaskRunner
     void
     skip()
     {
-        std::lock_guard<std::mutex> lock(r.report_mutex_);
-        ++r.report_.skipped;
+        {
+            std::lock_guard<std::mutex> lock(r.report_mutex_);
+            ++r.report_.skipped;
+        }
+        r.noteTaskDone("[skipped]");
     }
 };
 
@@ -197,6 +210,20 @@ SweepRunner::counterTotals() const
         totals.sim_calls += exp->simCalls();
         totals.sim_events += exp->simEvents();
         totals.price_calls += exp->priceCalls();
+        totals.thermal_damped += exp->thermalDampedSolves();
+        totals.thermal_accelerated += exp->thermalAcceleratedSolves();
+        totals.thermal_fallback += exp->thermalFallbackSolves();
+        totals.queue_high_water =
+            std::max(totals.queue_high_water, exp->queueHighWater());
+        const std::vector<sim::CoreCycleBreakdown> cores =
+            exp->coreCycleTotals();
+        if (totals.core_cycles.size() < cores.size())
+            totals.core_cycles.resize(cores.size());
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            totals.core_cycles[i].busy += cores[i].busy;
+            totals.core_cycles[i].stall_mem += cores[i].stall_mem;
+            totals.core_cycles[i].stall_sync += cores[i].stall_sync;
+        }
     }
     totals.raw_hits = raw_cache_.hits();
     totals.raw_misses = raw_cache_.misses();
@@ -206,12 +233,24 @@ SweepRunner::counterTotals() const
 }
 
 void
-SweepRunner::beginSweep()
+SweepRunner::beginSweep(std::size_t expected_tasks)
 {
     sweep_start_counters_ = counterTotals();
+    progress_.reset();
+    if (options_.progress) {
+        progress_ = std::make_unique<ProgressReporter>(
+            expected_tasks, options_.progress_label);
+    }
     std::lock_guard<std::mutex> lock(report_mutex_);
     report_ = SweepReport{};
     report_.replayed = replayed_;
+}
+
+void
+SweepRunner::noteTaskDone(const std::string& key)
+{
+    if (progress_)
+        progress_->taskDone(key);
 }
 
 void
@@ -230,6 +269,27 @@ SweepRunner::finishSweep()
         now.priced_hits - sweep_start_counters_.priced_hits;
     report_.priced_misses =
         now.priced_misses - sweep_start_counters_.priced_misses;
+    report_.thermal_damped_solves =
+        now.thermal_damped - sweep_start_counters_.thermal_damped;
+    report_.thermal_accelerated_solves = now.thermal_accelerated -
+        sweep_start_counters_.thermal_accelerated;
+    report_.thermal_fallback_solves =
+        now.thermal_fallback - sweep_start_counters_.thermal_fallback;
+    // The high-water mark is a peak, not a flow: report the lifetime
+    // maximum rather than a meaningless delta.
+    report_.queue_high_water = now.queue_high_water;
+    report_.core_cycles = now.core_cycles;
+    for (std::size_t i = 0;
+         i < sweep_start_counters_.core_cycles.size() &&
+         i < report_.core_cycles.size();
+         ++i) {
+        report_.core_cycles[i].busy -=
+            sweep_start_counters_.core_cycles[i].busy;
+        report_.core_cycles[i].stall_mem -=
+            sweep_start_counters_.core_cycles[i].stall_mem;
+        report_.core_cycles[i].stall_sync -=
+            sweep_start_counters_.core_cycles[i].stall_sync;
+    }
     std::sort(report_.failed.begin(), report_.failed.end(),
               [](const FailedPoint& a, const FailedPoint& b) {
                   return a.order < b.order;
@@ -243,7 +303,9 @@ SweepRunner::scenario1Sweep(
 {
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario1Sweep: core-count list must start at 1");
-    beginSweep();
+    // Phase A (profile) plus phase B (rows): one task per (app, n) each;
+    // skipped rows report through the same progress channel.
+    beginSweep(apps.size() * ns.size() * 2);
     SweepTaskRunner tasks{*this};
 
     const tech::Technology& tech = experiment().technology();
@@ -335,7 +397,7 @@ SweepRunner::scenario2Sweep(
 {
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario2Sweep: core-count list must start at 1");
-    beginSweep();
+    beginSweep(apps.size() * ns.size() * 2);
     SweepTaskRunner tasks{*this};
 
     Experiment& caller = experiment();
@@ -431,7 +493,7 @@ SweepRunner::measureAll(const std::vector<MeasureSpec>& specs)
         if (!spec.app)
             util::fatal("measureAll: null workload");
     }
-    beginSweep();
+    beginSweep(specs.size());
     SweepTaskRunner tasks{*this};
 
     std::vector<std::future<util::Expected<Measurement>>> futures;

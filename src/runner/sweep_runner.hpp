@@ -51,6 +51,7 @@
 
 #include "runner/experiment.hpp"
 #include "runner/journal.hpp"
+#include "runner/progress.hpp"
 #include "runner/raw_run_cache.hpp"
 #include "runner/run_cache.hpp"
 #include "runner/sweep_report.hpp"
@@ -95,6 +96,12 @@ class SweepRunner
         bool resume = false;
         /** fsync the journal every K appends (1 = every record). */
         int journal_flush_every = 1;
+        /** Print heartbeat lines (points done/total, ETA, last point)
+         *  to stderr while sweeping. Purely an observer: enabling it
+         *  cannot change a byte of the results. */
+        bool progress = false;
+        /** Heartbeat line prefix (the sweep/figure name). */
+        std::string progress_label = "sweep";
     };
 
     SweepRunner() : SweepRunner(Options{}) {}
@@ -158,8 +165,14 @@ class SweepRunner
     /** The calling/worker thread's lazily constructed Experiment. */
     Experiment& workerExperiment();
 
-    void beginSweep();
+    /** @p expected_tasks arms the progress reporter's ETA denominator
+     *  (ignored when Options.progress is off). */
+    void beginSweep(std::size_t expected_tasks);
     void finishSweep();
+
+    /** Report one finished (or skipped) task to the progress heartbeat;
+     *  no-op unless Options.progress armed a reporter. */
+    void noteTaskDone(const std::string& key);
 
     /** Sum of sim/price counters over all constructed Experiments plus
      *  both caches' hit/miss counts — snapshotted at beginSweep() so
@@ -173,6 +186,11 @@ class SweepRunner
         std::uint64_t raw_misses = 0;
         std::uint64_t priced_hits = 0;
         std::uint64_t priced_misses = 0;
+        std::uint64_t thermal_damped = 0;
+        std::uint64_t thermal_accelerated = 0;
+        std::uint64_t thermal_fallback = 0;
+        std::uint64_t queue_high_water = 0; ///< max, not a sum
+        std::vector<sim::CoreCycleBreakdown> core_cycles;
     };
     CounterSnapshot counterTotals() const;
 
@@ -187,6 +205,7 @@ class SweepRunner
     SweepReport report_;
     std::mutex report_mutex_;
     CounterSnapshot sweep_start_counters_;
+    std::unique_ptr<ProgressReporter> progress_; ///< armed per sweep
     std::unique_ptr<util::ThreadPool> pool_; ///< null when jobs_ == 1
     /** Slot 0: calling thread; slot 1 + w: pool worker w. Each slot is
      *  only ever touched by its own thread. */

@@ -9,6 +9,7 @@
 #include "sim/memory_system.hpp"
 #include "sim/sync.hpp"
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace tlp::sim {
 
@@ -74,6 +75,9 @@ Cmp::run(const Program& program, double freq_hz) const
     }
     if (freq_hz <= 0.0)
         util::fatal("Cmp::run: bad frequency");
+
+    TLPPM_TRACE_SCOPE("sim", "cmp.run n=", n_threads, " f=",
+                      freq_hz * 1e-9, "GHz");
 
     RunResult result;
     result.freq_hz = freq_hz;
@@ -175,6 +179,12 @@ Cmp::run(const Program& program, double freq_hz) const
     // StatRegistry — see the RunResult field comments).
     result.events = executed;
     result.queue_high_water = queue.highWater();
+    result.core_cycles.reserve(cores.size());
+    for (const Core& core : cores) {
+        result.core_cycles.push_back({core.busyCycles(),
+                                      core.stallMemCycles(),
+                                      core.stallSyncCycles()});
+    }
     return result;
 }
 

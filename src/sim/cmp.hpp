@@ -20,12 +20,28 @@
 #define TLP_SIM_CMP_HPP
 
 #include <memory>
+#include <vector>
 
 #include "sim/config.hpp"
 #include "sim/program.hpp"
 #include "util/stats.hpp"
 
 namespace tlp::sim {
+
+/**
+ * Where one core's cycles went, from run start to its finish: cycles
+ * retired computing (busy), cycles blocked on the memory hierarchy
+ * (loads, stores, bus and L2/memory queues), and cycles blocked on
+ * synchronization (barriers and locks). Kernel telemetry like
+ * RunResult::events — the observability layer reports it, the power
+ * model never reads it.
+ */
+struct CoreCycleBreakdown
+{
+    std::uint64_t busy = 0;       ///< compute cycles retired
+    std::uint64_t stall_mem = 0;  ///< blocked on loads/stores
+    std::uint64_t stall_sync = 0; ///< blocked on barriers/locks
+};
 
 /** Everything a finished simulation reports. */
 struct RunResult
@@ -43,6 +59,11 @@ struct RunResult
     std::uint64_t events = 0;
     /** Peak pending-event count (heap-reservation telemetry). */
     std::uint64_t queue_high_water = 0;
+    /** Per-core busy/stall/sync cycle accounting, one entry per active
+     *  core. Same telemetry status as `events`: fast-path-invariant in
+     *  total, deliberately outside the StatRegistry so it can never
+     *  perturb the power model's counter sums. */
+    std::vector<CoreCycleBreakdown> core_cycles;
     util::StatRegistry stats;       ///< per-unit activity counters
 
     /** Aggregate instructions per cycle. */

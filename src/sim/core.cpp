@@ -37,6 +37,18 @@ Core::resume()
     // Execute ops, accumulating compute cycles, until an op blocks (memory
     // or synchronization) or the stream ends. Blocking ops re-enter
     // resume() through their typed completion events.
+    //
+    // Telemetry: a blocking issue recorded its issue-time cycle in
+    // blocked_at_; everything between then and this re-entry was spent
+    // waiting on memory or synchronization.
+    if (blocked_ != BlockKind::None) {
+        const std::uint64_t waited = queue_->now() - blocked_at_;
+        if (blocked_ == BlockKind::Mem)
+            stall_mem_cycles_ += waited;
+        else
+            stall_sync_cycles_ += waited;
+        blocked_ = BlockKind::None;
+    }
     Cycle delay = 0;
     while (true) {
         const Op& op = program_->ops()[pc_];
@@ -48,6 +60,7 @@ Core::resume()
             const double whole = std::floor(compute_carry_);
             compute_carry_ -= whole;
             delay += static_cast<Cycle>(whole);
+            busy_cycles_ += static_cast<std::uint64_t>(whole);
             ++pc_;
             break;
           }
@@ -58,6 +71,7 @@ Core::resume()
             const double whole = std::floor(compute_carry_);
             compute_carry_ -= whole;
             delay += static_cast<Cycle>(whole);
+            busy_cycles_ += static_cast<std::uint64_t>(whole);
             ++pc_;
             break;
           }
@@ -75,11 +89,14 @@ Core::resume()
                 if (queue_->nextEventTime() > at + config_.l1_hit_cycles &&
                     memsys_->inlineLoadHit(id_, addr)) {
                     delay += config_.l1_hit_cycles;
+                    stall_mem_cycles_ += config_.l1_hit_cycles;
                     if ((++inline_ops_ & 0x3FFFu) == 0u)
                         util::checkPointDeadline("Core::resume");
                     break;
                 }
             }
+            blocked_at_ = queue_->now() + delay;
+            blocked_ = BlockKind::Mem;
             queue_->postIn(delay, EventKind::IssueLoad, uid_, addr);
             return;
           }
@@ -93,22 +110,29 @@ Core::resume()
                 if (queue_->nextEventTime() > at + 1 &&
                     memsys_->inlineStoreHit(id_, addr)) {
                     delay += 1;
+                    stall_mem_cycles_ += 1;
                     if ((++inline_ops_ & 0x3FFFu) == 0u)
                         util::checkPointDeadline("Core::resume");
                     break;
                 }
             }
+            blocked_at_ = queue_->now() + delay;
+            blocked_ = BlockKind::Mem;
             queue_->postIn(delay, EventKind::IssueStore, uid_, addr);
             return;
           }
           case OpType::Barrier: {
             ++pc_;
+            blocked_at_ = queue_->now() + delay;
+            blocked_ = BlockKind::Sync;
             queue_->postIn(delay, EventKind::IssueBarrier, uid_);
             return;
           }
           case OpType::Lock: {
             const std::uint64_t lock_id = op.addr;
             ++pc_;
+            blocked_at_ = queue_->now() + delay;
+            blocked_ = BlockKind::Sync;
             queue_->postIn(delay, EventKind::IssueLock, uid_, lock_id);
             return;
           }
@@ -117,6 +141,8 @@ Core::resume()
             ++pc_;
             // The release must occur at the correct simulated time and in
             // deterministic order, so route it through the event queue.
+            blocked_at_ = queue_->now() + delay;
+            blocked_ = BlockKind::Sync;
             queue_->postIn(delay, EventKind::IssueUnlock, uid_, lock_id);
             return;
           }

@@ -74,6 +74,16 @@ class Core
     /** Cycle at which the thread retired (valid once finished). */
     Cycle finishCycle() const { return finish_cycle_; }
 
+    /** Compute cycles retired by this core (kernel telemetry). */
+    std::uint64_t busyCycles() const { return busy_cycles_; }
+
+    /** Cycles blocked on the memory hierarchy: issue-to-resume windows
+     *  of loads and stores, plus inline-resolved L1 hit latencies. */
+    std::uint64_t stallMemCycles() const { return stall_mem_cycles_; }
+
+    /** Cycles blocked on synchronization (barriers, locks). */
+    std::uint64_t stallSyncCycles() const { return stall_sync_cycles_; }
+
   private:
     /** Retire bookkeeping for @p insts instructions. */
     void
@@ -104,6 +114,16 @@ class Core
     Cycle finish_cycle_ = 0;
     double compute_carry_ = 0.0; ///< fractional-cycle accumulator
     std::uint32_t inline_ops_ = 0; ///< fast-path watchdog poll counter
+
+    /** Cycle-breakdown telemetry (see the accessors above). A blocking
+     *  issue records its issue-time cycle and kind; the next resume()
+     *  charges the elapsed window to the matching stall bucket. */
+    enum class BlockKind : std::uint8_t { None, Mem, Sync };
+    std::uint64_t busy_cycles_ = 0;
+    std::uint64_t stall_mem_cycles_ = 0;
+    std::uint64_t stall_sync_cycles_ = 0;
+    Cycle blocked_at_ = 0;
+    BlockKind blocked_ = BlockKind::None;
 };
 
 } // namespace tlp::sim

@@ -5,6 +5,7 @@
 
 #include "util/logging.hpp"
 #include "util/solver.hpp"
+#include "util/trace.hpp"
 #include "util/watchdog.hpp"
 
 namespace tlp::thermal {
@@ -228,6 +229,8 @@ solveCoupled(
         power_of_temp,
     CoupledScratch& scratch, double tol_c, int max_iter, double damping)
 {
+    TLPPM_TRACE_SCOPE("thermal", "solveCoupled damping=", damping,
+                      " max_iter=", max_iter);
     const std::size_t n = model.floorplan().size();
     CoupledResult result;
 
@@ -289,6 +292,8 @@ solveCoupledAccelerated(
         power_of_temp,
     double tol_c, int max_iter)
 {
+    TLPPM_TRACE_SCOPE("thermal", "solveCoupledAccelerated max_iter=",
+                      max_iter);
     const std::size_t n = model.floorplan().size();
     const double ambient = model.params().ambient_c;
     CoupledResult result;

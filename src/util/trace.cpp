@@ -1,0 +1,308 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tlp::util {
+
+/**
+ * Per-thread event storage. Spans are appended by their *end* (scope
+ * destruction) in strict RAII order, so a buffer holds a postorder
+ * traversal of the thread's span forest; the recorded nesting depth is
+ * enough to reconstruct the exact begin/end sequence at serialization
+ * time (see emitThread below). The mutex is per-buffer and essentially
+ * uncontended — the owning thread appends, and readers only run after
+ * the recording threads have quiesced — but it gives snapshot()/json() a
+ * clean happens-before edge under TSan.
+ */
+struct Tracer::Buffer
+{
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0; ///< open recorded spans on this thread
+    std::mutex mutex;
+    std::vector<TraceRecord> records;
+};
+
+Tracer&
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+namespace {
+
+std::int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Tracer::Buffer&
+Tracer::localBuffer()
+{
+    static thread_local Buffer* t_buffer = nullptr;
+    if (t_buffer == nullptr) {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        buffers_.push_back(std::make_unique<Buffer>());
+        buffers_.back()->tid =
+            static_cast<std::uint32_t>(buffers_.size());
+        t_buffer = buffers_.back().get();
+    }
+    return *t_buffer;
+}
+
+void
+Tracer::enable(std::string path)
+{
+    clear();
+    path_ = std::move(path);
+    epoch_ns_ = steadyNowNs();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::enableFromEnv()
+{
+    const char* env = std::getenv("TLPPM_TRACE");
+    if (env != nullptr && *env != '\0' && !enabled())
+        enable(env);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+double
+Tracer::nowUs() const
+{
+    return static_cast<double>(steadyNowNs() - epoch_ns_) * 1e-3;
+}
+
+std::uint32_t
+Tracer::beginDepth()
+{
+    return localBuffer().depth++;
+}
+
+void
+Tracer::endDepth()
+{
+    --localBuffer().depth;
+}
+
+void
+Tracer::span(const char* cat, std::string name, double ts_us,
+             double dur_us, std::uint32_t depth)
+{
+    Buffer& buffer = localBuffer();
+    TraceRecord record;
+    record.ts_us = ts_us;
+    record.dur_us = dur_us;
+    record.cat = cat;
+    record.name = std::move(name);
+    record.tid = buffer.tid;
+    record.depth = depth;
+    record.instant = false;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.records.push_back(std::move(record));
+}
+
+void
+Tracer::instant(const char* cat, std::string name)
+{
+    Buffer& buffer = localBuffer();
+    TraceRecord record;
+    record.ts_us = nowUs();
+    record.cat = cat;
+    record.name = std::move(name);
+    record.tid = buffer.tid;
+    // An instant inside an open span must serialize inside that span's
+    // B/E pair: give it child depth, so the forest reconstruction files
+    // it as a (zero-width) leaf of the enclosing span.
+    record.depth = buffer.depth;
+    record.instant = true;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.records.push_back(std::move(record));
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const std::unique_ptr<Buffer>& buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        buffer->records.clear();
+    }
+}
+
+std::vector<TraceRecord>
+Tracer::snapshot() const
+{
+    std::vector<TraceRecord> merged;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const std::unique_ptr<Buffer>& buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        merged.insert(merged.end(), buffer->records.begin(),
+                      buffer->records.end());
+    }
+    return merged;
+}
+
+namespace {
+
+/** Escape @p text for a JSON string literal (quotes, backslashes, and
+ *  control characters; names here are ASCII by construction). */
+void
+appendEscaped(std::string& out, const std::string& text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendEvent(std::string& out, const TraceRecord& record, char phase,
+            double ts_us, bool& first)
+{
+    if (!first)
+        out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    appendEscaped(out, record.name);
+    out += "\",\"cat\":\"";
+    appendEscaped(out, record.cat);
+    out += "\",\"ph\":\"";
+    out += phase;
+    out += '"';
+    if (phase == 'i')
+        out += ",\"s\":\"t\""; // instant scope: thread
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+                  ts_us, record.tid);
+    out += buf;
+}
+
+/** A span (or instant leaf) with its chronologically ordered children —
+ *  one node of the reconstructed per-thread forest. */
+struct SpanNode
+{
+    const TraceRecord* record;
+    std::vector<SpanNode> children;
+};
+
+void
+emitNode(std::string& out, const SpanNode& node, bool& first)
+{
+    const TraceRecord& record = *node.record;
+    if (record.instant) {
+        appendEvent(out, record, 'i', record.ts_us, first);
+        return;
+    }
+    appendEvent(out, record, 'B', record.ts_us, first);
+    for (const SpanNode& child : node.children)
+        emitNode(out, child, first);
+    appendEvent(out, record, 'E', record.ts_us + record.dur_us, first);
+}
+
+/**
+ * Rebuild one thread's begin/end sequence from its postorder record
+ * stream. Scopes are strictly nested per thread (RAII), so a record's
+ * children are exactly the maximal run of deeper records immediately
+ * preceding it; a stack reconstruction recovers the forest, and a
+ * preorder walk with closing events recovers the chronological B/E
+ * sequence — robust even when adjacent spans share a microsecond
+ * timestamp, where a plain timestamp sort could interleave the pairs.
+ */
+void
+emitThread(std::string& out, const std::vector<const TraceRecord*>& records,
+           bool& first)
+{
+    std::vector<SpanNode> pending;
+    for (const TraceRecord* record : records) {
+        SpanNode node{record, {}};
+        while (!pending.empty() &&
+               pending.back().record->depth > record->depth) {
+            node.children.push_back(std::move(pending.back()));
+            pending.pop_back();
+        }
+        std::reverse(node.children.begin(), node.children.end());
+        pending.push_back(std::move(node));
+    }
+    for (const SpanNode& root : pending)
+        emitNode(out, root, first);
+}
+
+} // namespace
+
+std::string
+Tracer::json() const
+{
+    const std::vector<TraceRecord> records = snapshot();
+
+    // Group by thread, preserving each thread's append order.
+    std::uint32_t max_tid = 0;
+    for (const TraceRecord& record : records)
+        max_tid = std::max(max_tid, record.tid);
+    std::vector<std::vector<const TraceRecord*>> by_tid(max_tid + 1);
+    for (const TraceRecord& record : records)
+        by_tid[record.tid].push_back(&record);
+
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const std::vector<const TraceRecord*>& thread_records : by_tid) {
+        if (!thread_records.empty())
+            emitThread(out, thread_records, first);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+Tracer::writeFile() const
+{
+    if (path_.empty())
+        return;
+    const std::string text = json();
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr)
+        fatal(strcatMsg("Tracer: cannot open trace output '", path_, "'"));
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), file);
+    const bool ok = written == text.size() && std::fclose(file) == 0;
+    if (!ok)
+        fatal(strcatMsg("Tracer: short write to trace output '", path_,
+                        "'"));
+}
+
+} // namespace tlp::util

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tracer — zero-overhead-when-off structured tracing in the Chrome trace
+ * event format (chrome://tracing / Perfetto "traceEvents" JSON).
+ *
+ * Design constraints, in order:
+ *
+ *  1. Off is free. Tracing is gated by one process-global atomic flag;
+ *     every instrumentation site (the TLPPM_TRACE_SCOPE macro) costs a
+ *     relaxed load and a predicted branch when tracing is disabled, and
+ *     the span-name string is never even built. The figure sweeps keep
+ *     their hot-path timing to well under measurement noise.
+ *
+ *  2. Recording cannot perturb determinism. A span records wall-clock
+ *     timestamps only; it never touches simulator or solver state, and
+ *     each thread appends to its own buffer, so enabling the tracer
+ *     introduces no cross-thread synchronization on the sweep's task
+ *     ordering. The figure tables are byte-identical with tracing on or
+ *     off, at any job count (test_observability proves it).
+ *
+ *  3. Workers buffer locally, spans merge at the end. Buffers are
+ *     registered once per thread (one mutex acquisition for the whole
+ *     thread lifetime) and owned by the Tracer singleton, so they
+ *     outlive pool teardown; serialization merges and orders them only
+ *     when the trace is written.
+ *
+ * Span events are emitted as matched "B"/"E" pairs (begin/end) plus "i"
+ * instant events, the subset of the trace-event spec that both
+ * chrome://tracing and Perfetto load directly.
+ */
+
+#ifndef TLP_UTIL_TRACE_HPP
+#define TLP_UTIL_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+/** One recorded trace event (a completed span or an instant marker). */
+struct TraceRecord
+{
+    double ts_us = 0.0;  ///< start (span) or occurrence (instant) [us]
+    double dur_us = 0.0; ///< span duration [us]; ignored for instants
+    const char* cat = "";///< static category string ("sim", "thermal", ...)
+    std::string name;    ///< event name ("simulate:FFT n=4 ...")
+    std::uint32_t tid = 0; ///< tracer-assigned thread id (1-based)
+    std::uint32_t depth = 0; ///< span nesting depth at begin (0 = root)
+    bool instant = false;  ///< true: "i" event, false: "B"/"E" span
+};
+
+/** Process-wide trace recorder. Access through instance(). */
+class Tracer
+{
+  public:
+    static Tracer& instance();
+
+    /**
+     * Start recording. @p path is where writeFile() will put the JSON
+     * (empty: buffer only, for tests). Clears previously recorded
+     * events. Not thread-safe against concurrent recording — enable
+     * before the sweep starts.
+     */
+    void enable(std::string path);
+
+    /** Enable from the TLPPM_TRACE environment variable (a file path);
+     *  no-op when unset or empty. */
+    void enableFromEnv();
+
+    /** Stop recording. Already-buffered events are kept. */
+    void disable();
+
+    /** True while recording. The one flag every site checks. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds since the epoch set by enable(). */
+    double nowUs() const;
+
+    /** Record a completed span. Called by TraceScope's destructor. */
+    void span(const char* cat, std::string name, double ts_us,
+              double dur_us, std::uint32_t depth);
+
+    /** Record an instant event at the current time. */
+    void instant(const char* cat, std::string name);
+
+    /** Nesting depth bookkeeping for the calling thread's spans. */
+    std::uint32_t beginDepth();
+    void endDepth();
+
+    /**
+     * All recorded events, merged across threads and ordered exactly as
+     * json() serializes them. Call after the recording threads have
+     * quiesced (futures collected / pool drained).
+     */
+    std::vector<TraceRecord> snapshot() const;
+
+    /** The merged trace as Chrome trace-event JSON:
+     *  {"traceEvents":[...]} with one event object per line. */
+    std::string json() const;
+
+    /** Write json() to the path given to enable(); no-op when the path
+     *  is empty. Throws FatalError when the file cannot be written. */
+    void writeFile() const;
+
+    /** The output path armed by enable(). */
+    const std::string& path() const { return path_; }
+
+    /** Drop all buffered events (buffers stay registered). Only valid
+     *  while disabled. */
+    void clear();
+
+  private:
+    struct Buffer;
+
+    Tracer() = default;
+    Buffer& localBuffer();
+
+    std::atomic<bool> enabled_{false};
+    std::string path_;
+    std::int64_t epoch_ns_ = 0;
+    mutable std::mutex registry_mutex_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/**
+ * RAII span: begin() stamps the start, the destructor records the span.
+ * Default-constructed scopes are inert; the TLPPM_TRACE_SCOPE macro only
+ * calls begin() (and thus only builds the name string) when tracing is
+ * enabled.
+ */
+class TraceScope
+{
+  public:
+    TraceScope() = default;
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+    template <typename... Args>
+    void
+    begin(const char* cat, Args&&... args)
+    {
+        Tracer& tracer = Tracer::instance();
+        cat_ = cat;
+        name_ = strcatMsg(std::forward<Args>(args)...);
+        depth_ = tracer.beginDepth();
+        start_us_ = tracer.nowUs();
+        active_ = true;
+    }
+
+    ~TraceScope()
+    {
+        if (!active_)
+            return;
+        Tracer& tracer = Tracer::instance();
+        tracer.endDepth();
+        tracer.span(cat_, std::move(name_), start_us_,
+                    tracer.nowUs() - start_us_, depth_);
+    }
+
+  private:
+    bool active_ = false;
+    const char* cat_ = "";
+    std::string name_;
+    double start_us_ = 0.0;
+    std::uint32_t depth_ = 0;
+};
+
+/** Record an instant event; the name pieces are only stringified when
+ *  tracing is enabled. */
+template <typename... Args>
+inline void
+traceInstant(const char* cat, Args&&... args)
+{
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled())
+        tracer.instant(cat, strcatMsg(std::forward<Args>(args)...));
+}
+
+} // namespace tlp::util
+
+#define TLPPM_TRACE_CONCAT2(a, b) a##b
+#define TLPPM_TRACE_CONCAT(a, b) TLPPM_TRACE_CONCAT2(a, b)
+
+/**
+ * Open a trace span covering the rest of the enclosing scope.
+ * Usage: TLPPM_TRACE_SCOPE("sim", "simulate:", app.name, " n=", n);
+ * When tracing is disabled this is one relaxed atomic load.
+ */
+#define TLPPM_TRACE_SCOPE(cat, ...)                                        \
+    ::tlp::util::TraceScope TLPPM_TRACE_CONCAT(tlppm_trace_scope_,         \
+                                               __LINE__);                  \
+    if (::tlp::util::Tracer::instance().enabled())                         \
+        TLPPM_TRACE_CONCAT(tlppm_trace_scope_, __LINE__)                   \
+            .begin(cat, __VA_ARGS__)
+
+#endif // TLP_UTIL_TRACE_HPP

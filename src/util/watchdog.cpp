@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace tlp::util {
 
@@ -50,6 +51,7 @@ void
 checkPointDeadline(const char* where)
 {
     if (pointDeadlineExpired()) {
+        traceInstant("watchdog", "timeout:", where);
         throw TimeoutError(
             strcatMsg(where, ": point wall-clock timeout exceeded"));
     }

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Bench CLI parser tests (tryParseSweepCli): flags parse in any order
+ * and in both "--flag VALUE" and "--flag=VALUE" spellings, a duplicate
+ * or unknown or malformed flag is a ParseError (the harnesses turn that
+ * into exit 2), sweep-only flags are rejected for the analytic figures,
+ * and cross-flag constraints (--resume needs --journal) hold.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../bench/bench_util.hpp"
+
+namespace {
+
+using tlppm_bench::SweepCliOptions;
+using tlppm_bench::tryParseSweepCli;
+
+tlp::util::Expected<SweepCliOptions>
+parse(std::vector<const char*> args, bool sim_flags = true)
+{
+    args.insert(args.begin(), "bench");
+    return tryParseSweepCli(static_cast<int>(args.size()), args.data(),
+                            sim_flags);
+}
+
+TEST(SweepCli, DefaultsWithNoArguments)
+{
+    const auto r = parse({});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().jobs, 0);
+    EXPECT_TRUE(r.value().journal.empty());
+    EXPECT_FALSE(r.value().resume);
+    EXPECT_EQ(r.value().point_timeout_s, 0.0);
+    EXPECT_FALSE(r.value().cache_stats);
+    EXPECT_TRUE(r.value().trace.empty());
+    EXPECT_TRUE(r.value().metrics.empty());
+    EXPECT_FALSE(r.value().progress);
+}
+
+TEST(SweepCli, ParsesEveryFlagInAnyOrder)
+{
+    const auto r =
+        parse({"--progress", "--metrics", "m.json", "--journal=j.jsonl",
+               "--trace", "t.json", "--point-timeout=30", "--resume",
+               "--cache-stats", "--jobs", "8"});
+    ASSERT_TRUE(r.ok());
+    const SweepCliOptions& o = r.value();
+    EXPECT_EQ(o.jobs, 8);
+    EXPECT_EQ(o.journal, "j.jsonl");
+    EXPECT_TRUE(o.resume);
+    EXPECT_EQ(o.point_timeout_s, 30.0);
+    EXPECT_TRUE(o.cache_stats);
+    EXPECT_EQ(o.trace, "t.json");
+    EXPECT_EQ(o.metrics, "m.json");
+    EXPECT_TRUE(o.progress);
+}
+
+TEST(SweepCli, EqualsAndSeparateValueSpellingsAgree)
+{
+    const auto a = parse({"--jobs", "4"});
+    const auto b = parse({"--jobs=4"});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().jobs, b.value().jobs);
+}
+
+TEST(SweepCli, RejectsDuplicateFlags)
+{
+    for (const auto& args :
+         std::vector<std::vector<const char*>>{
+             {"--jobs", "2", "--jobs", "3"},
+             {"--jobs=2", "--jobs", "2"}, // duplicate even when equal
+             {"--cache-stats", "--cache-stats"},
+             {"--trace", "a.json", "--trace=b.json"}}) {
+        const auto r = parse(args);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error().code, tlp::util::ErrorCode::ParseError);
+        EXPECT_NE(r.error().describe().find("duplicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepCli, RejectsUnknownFlag)
+{
+    const auto r = parse({"--bogus"});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, tlp::util::ErrorCode::ParseError);
+    EXPECT_NE(r.error().describe().find("unknown"), std::string::npos);
+}
+
+TEST(SweepCli, RejectsValueOnBooleanFlag)
+{
+    const auto r = parse({"--resume=yes", "--journal", "j"});
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().describe().find("takes no value"),
+              std::string::npos);
+}
+
+TEST(SweepCli, RejectsMissingValue)
+{
+    const auto r = parse({"--metrics"});
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().describe().find("needs a value"),
+              std::string::npos);
+}
+
+TEST(SweepCli, RejectsMalformedNumbers)
+{
+    EXPECT_FALSE(parse({"--jobs", "zero"}).ok());
+    EXPECT_FALSE(parse({"--jobs", "0"}).ok());
+    EXPECT_FALSE(parse({"--jobs", "100000"}).ok());
+    EXPECT_FALSE(parse({"--point-timeout", "-5"}).ok());
+    EXPECT_FALSE(parse({"--point-timeout", "1e9"}).ok());
+}
+
+TEST(SweepCli, ResumeRequiresJournal)
+{
+    EXPECT_FALSE(parse({"--resume"}).ok());
+    EXPECT_TRUE(parse({"--resume", "--journal", "j.jsonl"}).ok());
+}
+
+TEST(SweepCli, AnalyticFiguresRejectSweepOnlyFlags)
+{
+    for (const auto& args : std::vector<std::vector<const char*>>{
+             {"--journal", "j"},
+             {"--resume"},
+             {"--point-timeout", "10"},
+             {"--progress"}}) {
+        const auto r = parse(args, /*sim_flags=*/false);
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.error().describe().find("only applies"),
+                  std::string::npos);
+    }
+    // The shared knobs still work for the analytic figures.
+    const auto ok = parse({"--jobs", "2", "--trace", "t.json",
+                           "--metrics", "m.json", "--cache-stats"},
+                          /*sim_flags=*/false);
+    EXPECT_TRUE(ok.ok());
+}
+
+} // namespace

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Observability-layer tests: the tracer must be inert when disabled,
+ * recording must not change a bit of any sweep result at any job count,
+ * the emitted Chrome-trace JSON must be well formed (matched B/E pairs,
+ * monotone per-thread timestamps, valid thread ids), RunMetrics must
+ * agree field-for-field with the SweepReport it snapshots, and
+ * concurrent span emission from many threads must be race-free (this
+ * binary runs under TSan in CI).
+ */
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/run_metrics.hpp"
+#include "runner/sweep_runner.hpp"
+#include "util/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+
+constexpr double kScale = 0.05;
+
+/** Reset the process-global tracer between tests. */
+void
+resetTracer()
+{
+    util::Tracer& tracer = util::Tracer::instance();
+    tracer.disable();
+    tracer.clear();
+}
+
+std::vector<const workloads::WorkloadInfo*>
+someApps()
+{
+    return {&workloads::byName("FMM"), &workloads::byName("Radix")};
+}
+
+void
+expectSameRows(const std::vector<std::vector<runner::Scenario1Row>>& a,
+               const std::vector<std::vector<runner::Scenario1Row>>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].size(), b[i].size());
+        for (std::size_t j = 0; j < a[i].size(); ++j) {
+            const runner::Scenario1Row& x = a[i][j];
+            const runner::Scenario1Row& y = b[i][j];
+            EXPECT_EQ(x.n, y.n);
+            EXPECT_EQ(x.eps_n, y.eps_n);
+            EXPECT_EQ(x.freq_hz, y.freq_hz);
+            EXPECT_EQ(x.vdd, y.vdd);
+            EXPECT_EQ(x.actual_speedup, y.actual_speedup);
+            EXPECT_EQ(x.normalized_power, y.normalized_power);
+            EXPECT_EQ(x.normalized_density, y.normalized_density);
+            EXPECT_EQ(x.avg_temp_c, y.avg_temp_c);
+            EXPECT_EQ(x.failed, y.failed);
+        }
+    }
+}
+
+std::vector<std::vector<runner::Scenario1Row>>
+runSweep(int jobs)
+{
+    runner::SweepRunner::Options options;
+    options.jobs = jobs;
+    options.scale = kScale;
+    runner::SweepRunner sweep(options);
+    return sweep.scenario1Sweep(someApps(), {1, 2, 4});
+}
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    resetTracer();
+    {
+        TLPPM_TRACE_SCOPE("test", "should-not-record");
+        util::traceInstant("test", "also-not-recorded");
+    }
+    EXPECT_TRUE(util::Tracer::instance().snapshot().empty());
+}
+
+TEST(Tracer, ResultsAreByteIdenticalWithTracingOnOrOff)
+{
+    resetTracer();
+    const auto reference = runSweep(1);
+
+    util::Tracer::instance().enable(""); // buffer only, no file
+    const auto traced_serial = runSweep(1);
+    const auto traced_parallel = runSweep(4);
+    resetTracer();
+    const auto plain_parallel = runSweep(4);
+
+    expectSameRows(reference, traced_serial);
+    expectSameRows(reference, traced_parallel);
+    expectSameRows(reference, plain_parallel);
+}
+
+/** One parsed trace-event line of Tracer::json(). */
+struct ParsedEvent
+{
+    char ph = '?';
+    double ts = 0.0;
+    int tid = -1;
+    std::string name;
+};
+
+/** Parse the tracer's own JSON (one event object per line, fixed key
+ *  order — see appendEvent in trace.cpp). */
+std::vector<ParsedEvent>
+parseTraceJson(const std::string& json)
+{
+    std::vector<ParsedEvent> events;
+    std::size_t pos = 0;
+    while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+        ParsedEvent ev;
+        const std::size_t name_start = pos + 9;
+        const std::size_t name_end = json.find("\",\"cat\":", name_start);
+        EXPECT_NE(name_end, std::string::npos);
+        ev.name = json.substr(name_start, name_end - name_start);
+        const std::size_t ph = json.find("\"ph\":\"", name_end);
+        EXPECT_NE(ph, std::string::npos);
+        ev.ph = json[ph + 6];
+        const std::size_t ts = json.find("\"ts\":", ph);
+        EXPECT_NE(ts, std::string::npos);
+        ev.ts = std::strtod(json.c_str() + ts + 5, nullptr);
+        const std::size_t tid = json.find("\"tid\":", ts);
+        EXPECT_NE(tid, std::string::npos);
+        ev.tid = std::atoi(json.c_str() + tid + 6);
+        pos = tid;
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+TEST(Tracer, JsonIsWellFormed)
+{
+    resetTracer();
+    util::Tracer::instance().enable("");
+    (void)runSweep(4);
+    util::Tracer::instance().disable();
+
+    const std::vector<ParsedEvent> events =
+        parseTraceJson(util::Tracer::instance().json());
+    ASSERT_FALSE(events.empty());
+
+    // Matched B/E pairs per thread (a stack per tid must never
+    // underflow and must end empty), monotone timestamps within each
+    // thread's emission order, and sane ids everywhere.
+    std::map<int, int> open_spans;
+    std::map<int, double> last_ts;
+    for (const ParsedEvent& ev : events) {
+        EXPECT_TRUE(ev.ph == 'B' || ev.ph == 'E' || ev.ph == 'i')
+            << "unexpected phase " << ev.ph;
+        EXPECT_GE(ev.tid, 1);
+        EXPECT_FALSE(ev.name.empty());
+        EXPECT_GE(ev.ts, 0.0);
+        if (last_ts.count(ev.tid)) {
+            EXPECT_GE(ev.ts, last_ts[ev.tid])
+                << "timestamps regressed within tid " << ev.tid;
+        }
+        last_ts[ev.tid] = ev.ts;
+        if (ev.ph == 'B') {
+            ++open_spans[ev.tid];
+        } else if (ev.ph == 'E') {
+            ASSERT_GT(open_spans[ev.tid], 0)
+                << "E without matching B on tid " << ev.tid;
+            --open_spans[ev.tid];
+        }
+    }
+    for (const auto& [tid, open] : open_spans)
+        EXPECT_EQ(open, 0) << "unclosed span(s) on tid " << tid;
+    resetTracer();
+}
+
+TEST(Tracer, SnapshotMatchesJsonEventCount)
+{
+    resetTracer();
+    util::Tracer::instance().enable("");
+    (void)runSweep(2);
+    util::Tracer::instance().disable();
+
+    std::size_t spans = 0, instants = 0;
+    for (const util::TraceRecord& r : util::Tracer::instance().snapshot())
+        (r.instant ? instants : spans) += 1;
+    const std::vector<ParsedEvent> events =
+        parseTraceJson(util::Tracer::instance().json());
+    std::size_t b = 0, e = 0, i = 0;
+    for (const ParsedEvent& ev : events) {
+        if (ev.ph == 'B')
+            ++b;
+        else if (ev.ph == 'E')
+            ++e;
+        else
+            ++i;
+    }
+    EXPECT_EQ(b, spans);
+    EXPECT_EQ(e, spans);
+    EXPECT_EQ(i, instants);
+    resetTracer();
+}
+
+TEST(Tracer, ConcurrentEmissionIsRaceFree)
+{
+    resetTracer();
+    util::Tracer::instance().enable("");
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 250;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int s = 0; s < kSpansPerThread; ++s) {
+                TLPPM_TRACE_SCOPE("stress", "t", t, ":outer", s);
+                {
+                    TLPPM_TRACE_SCOPE("stress", "t", t, ":inner", s);
+                    util::traceInstant("stress", "t", t, ":mark", s);
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+    util::Tracer::instance().disable();
+
+    const std::vector<util::TraceRecord> records =
+        util::Tracer::instance().snapshot();
+    std::size_t spans = 0, instants = 0;
+    for (const util::TraceRecord& r : records)
+        (r.instant ? instants : spans) += 1;
+    EXPECT_EQ(spans,
+              static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+    EXPECT_EQ(instants,
+              static_cast<std::size_t>(kThreads) * kSpansPerThread);
+    resetTracer();
+}
+
+TEST(RunMetrics, AgreesWithSweepReport)
+{
+    runner::SweepRunner::Options options;
+    options.jobs = 1;
+    options.scale = kScale;
+    runner::SweepRunner sweep(options);
+    (void)sweep.scenario1Sweep(someApps(), {1, 2});
+    const runner::SweepReport& report = sweep.lastReport();
+
+    const runner::RunMetrics m = runner::RunMetrics::fromReport(report);
+    EXPECT_EQ(m.ok, report.ok);
+    EXPECT_EQ(m.failed, report.failed.size());
+    EXPECT_EQ(m.retried, report.retried);
+    EXPECT_EQ(m.skipped, report.skipped);
+    EXPECT_EQ(m.replayed, report.replayed);
+    EXPECT_EQ(m.sim_calls, report.sim_calls);
+    EXPECT_EQ(m.sim_events, report.sim_events);
+    EXPECT_EQ(m.price_calls, report.price_calls);
+    EXPECT_EQ(m.raw_hits, report.raw_hits);
+    EXPECT_EQ(m.raw_misses, report.raw_misses);
+    EXPECT_EQ(m.priced_hits, report.priced_hits);
+    EXPECT_EQ(m.priced_misses, report.priced_misses);
+    EXPECT_EQ(m.thermal_damped_solves, report.thermal_damped_solves);
+    EXPECT_EQ(m.thermal_accelerated_solves,
+              report.thermal_accelerated_solves);
+    EXPECT_EQ(m.thermal_fallback_solves, report.thermal_fallback_solves);
+    EXPECT_EQ(m.queue_high_water, report.queue_high_water);
+    EXPECT_EQ(m.core_cycles.size(), report.core_cycles.size());
+
+    // The sweep actually ran simulations, priced points, and classified
+    // every thermal solve into exactly one rung.
+    EXPECT_GT(m.sim_calls, 0u);
+    EXPECT_GT(m.price_calls, 0u);
+    EXPECT_EQ(m.thermal_damped_solves + m.thermal_accelerated_solves +
+                  m.thermal_fallback_solves,
+              m.price_calls);
+    EXPECT_FALSE(m.core_cycles.empty());
+    std::uint64_t total_cycles = 0;
+    for (const sim::CoreCycleBreakdown& c : m.core_cycles)
+        total_cycles += c.busy + c.stall_mem + c.stall_sync;
+    EXPECT_GT(total_cycles, 0u);
+}
+
+TEST(RunMetrics, JsonCarriesEveryCounter)
+{
+    runner::SweepRunner::Options options;
+    options.jobs = 1;
+    options.scale = kScale;
+    runner::SweepRunner sweep(options);
+    (void)sweep.scenario1Sweep({&workloads::byName("Radix")}, {1, 2});
+
+    const std::string json = sweep.lastReport().metricsJson();
+    for (const char* key :
+         {"\"ok\":", "\"failed\":", "\"retried\":", "\"skipped\":",
+          "\"replayed\":", "\"sim_calls\":", "\"sim_events\":",
+          "\"price_calls\":", "\"raw_cache_hits\":",
+          "\"raw_cache_misses\":", "\"raw_cache_hit_rate\":",
+          "\"priced_cache_hits\":", "\"priced_cache_misses\":",
+          "\"priced_cache_hit_rate\":", "\"thermal_damped_solves\":",
+          "\"thermal_accelerated_solves\":",
+          "\"thermal_fallback_solves\":", "\"queue_high_water\":",
+          "\"per_core\":", "\"busy\":", "\"stall_mem\":",
+          "\"stall_sync\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "metrics JSON lost key " << key;
+    }
+
+    // Serial metrics are bit-reproducible: the same sweep again yields
+    // the same snapshot text.
+    runner::SweepRunner again(options);
+    (void)again.scenario1Sweep({&workloads::byName("Radix")}, {1, 2});
+    EXPECT_EQ(json, again.lastReport().metricsJson());
+}
+
+} // namespace
