@@ -135,6 +135,13 @@ main(int argc, char** argv)
               << ",\"serial_raw_misses\":" << serial_rep.raw_misses
               << ",\"serial_thermal_fallback_solves\":"
               << serial_rep.thermal_fallback_solves
+              << ",\"serial_thermal_solves\":" << serial_rep.thermal_solves
+              << ",\"serial_thermal_solve_passes\":"
+              << serial_rep.thermal_solve_passes
+              << ",\"serial_thermal_factorizations\":"
+              << serial_rep.thermal_factorizations
+              << ",\"serial_thermal_max_batch_rhs\":"
+              << serial_rep.thermal_max_batch_rhs
               << ",\"sim_calls\":" << par_rep.sim_calls
               << ",\"price_calls\":" << par_rep.price_calls
               << ",\"raw_hits\":" << parallel.rawCache().hits()

@@ -87,6 +87,84 @@ BM_ThermalSteadyState(benchmark::State& state)
 }
 BENCHMARK(BM_ThermalSteadyState)->Arg(4)->Arg(16);
 
+/**
+ * Dense-LU vs sparse-Cholesky head-to-head on the thermal hot paths, at
+ * floorplan sizes bracketing the crossover (single-tile cores, so the
+ * node count is cores + L2 + sink). Run with --benchmark_format=json to
+ * get machine-readable per-size timings; the fill_in_nnz counter reports
+ * the sparse factor's structural fill beyond the assembled lower
+ * triangle (always 0 for dense, whose factor is fully dense by
+ * construction).
+ */
+void
+BM_ThermalSolveHeadToHead(benchmark::State& state,
+                          thermal::ThermalSolverKind kind)
+{
+    const int blocks = static_cast<int>(state.range(0));
+    thermal::RCModel model(
+        thermal::makeTiledCmp(blocks - 1, 1e-5, 4e-5, false),
+        thermal::RCParams{}, kind);
+    std::vector<double> power(model.floorplan().size(), 0.1);
+    thermal::ThermalSolution sol;
+    thermal::SolveScratch scratch;
+    for (auto _ : state) {
+        model.solveInto(power, sol, scratch);
+        benchmark::DoNotOptimize(sol.avg_core_temp_c);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["fill_in_nnz"] =
+        static_cast<double>(model.fillInNnz());
+}
+BENCHMARK_CAPTURE(BM_ThermalSolveHeadToHead, dense,
+                  thermal::ThermalSolverKind::Dense)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_ThermalSolveHeadToHead, sparse,
+                  thermal::ThermalSolverKind::Sparse)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+/**
+ * Numeric refactorization cost (the package-calibration bisection's
+ * inner step): setParams() reassembles the conductance matrix and
+ * refactorizes. Both solvers pay the same assembly, so the delta is the
+ * elimination itself; the sparse side reuses its cached symbolic
+ * analysis and only redoes numeric work.
+ */
+void
+BM_ThermalRefactorizeHeadToHead(benchmark::State& state,
+                                thermal::ThermalSolverKind kind)
+{
+    const int blocks = static_cast<int>(state.range(0));
+    thermal::RCModel model(
+        thermal::makeTiledCmp(blocks - 1, 1e-5, 4e-5, false),
+        thermal::RCParams{}, kind);
+    thermal::RCParams params;
+    bool flip = false;
+    for (auto _ : state) {
+        params.r_vertical_specific = flip ? 1.25e-5 : 1.30e-5;
+        flip = !flip;
+        model.setParams(params);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["fill_in_nnz"] =
+        static_cast<double>(model.fillInNnz());
+    state.counters["symbolic_analyses"] =
+        static_cast<double>(model.symbolicAnalysisCount());
+}
+BENCHMARK_CAPTURE(BM_ThermalRefactorizeHeadToHead, dense,
+                  thermal::ThermalSolverKind::Dense)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_ThermalRefactorizeHeadToHead, sparse,
+                  thermal::ThermalSolverKind::Sparse)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
 void
 BM_LeakageFit(benchmark::State& state)
 {

@@ -10,7 +10,9 @@
  * its own eps_n(N) per N.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "model/efficiency.hpp"
@@ -27,7 +29,10 @@ using namespace tlp;
 struct AnalyticCounters
 {
     std::uint64_t thermal_solves = 0;
+    std::uint64_t thermal_solve_passes = 0;
     std::uint64_t thermal_factorizations = 0;
+    std::uint64_t thermal_symbolic_analyses = 0;
+    std::uint64_t thermal_max_batch_rhs = 0; ///< peak across nodes
 };
 
 void
@@ -50,7 +55,9 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool,
 
     // The (eps, N) grid points are independent; fan one task per eps row
     // and add the finished rows in order, so the table is identical to a
-    // serial evaluation.
+    // serial evaluation. Within a row, all five N are priced in one
+    // batched call (a lockstep thermal fixed point with multi-RHS
+    // solves); per-point results are bit-identical to scalar solve().
     std::vector<int> pcts;
     for (int pct = 5; pct <= 100; pct += 5)
         pcts.push_back(pct);
@@ -58,11 +65,24 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool,
     const auto solve_row = [&](std::size_t i) {
         const double eps = pcts[i] / 100.0;
         std::vector<std::string> row = {util::Table::num(eps, 2)};
-        for (int n : core_counts) {
+        std::vector<std::pair<int, double>> points;
+        for (int n : core_counts)
+            points.push_back({n, eps});
+        std::vector<model::Scenario1Result> results;
+        try {
+            results = scenario.solveBatch(points);
+        } catch (const std::exception& e) {
+            std::cerr << "  [fig1] batched row eps=" << eps
+                      << " failed (" << e.what()
+                      << "); retrying points individually\n";
+        }
+        for (std::size_t k = 0; k < std::size(core_counts); ++k) {
+            const int n = core_counts[k];
             // Contain per-point solver failures: one bad grid point
             // becomes one "error" cell, not a dead figure.
             try {
-                const auto r = scenario.solve(n, eps);
+                const auto r = k < results.size() ? results[k]
+                                                  : scenario.solve(n, eps);
                 if (!r.feasible) {
                     row.push_back("-");       // needs f > f1: disallowed
                 } else if (r.power.runaway) {
@@ -96,10 +116,23 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool,
                        "T [C]"});
     const std::size_t n_marks = std::size(core_counts);
     std::vector<std::vector<std::string>> mark_rows(n_marks);
-    const auto solve_mark = [&](std::size_t i) {
+    // The five working points form one batch (no fan-out needed: the
+    // lockstep fixed point amortizes their thermal solves by itself).
+    std::vector<std::pair<int, double>> mark_points;
+    for (int n : core_counts)
+        mark_points.push_back({n, app.at(n)});
+    std::vector<model::Scenario1Result> mark_results;
+    try {
+        mark_results = scenario.solveBatch(mark_points);
+    } catch (const std::exception& e) {
+        std::cerr << "  [fig1] batched sample-app row failed ("
+                  << e.what() << "); retrying points individually\n";
+    }
+    for (std::size_t i = 0; i < n_marks; ++i) {
         const int n = core_counts[i];
         try {
-            const auto r = scenario.solve(n, app);
+            const auto r = i < mark_results.size() ? mark_results[i]
+                                                   : scenario.solve(n, app);
             mark_rows[i] = {util::Table::num(n),
                             util::Table::num(r.eps_n, 3),
                             util::Table::num(r.normalized_power, 3),
@@ -112,27 +145,33 @@ runNode(const tech::Technology& tech, util::ThreadPool* pool,
             mark_rows[i] = {util::Table::num(n), "error", "error",
                             "error", "error", "error"};
         }
-    };
-    if (pool)
-        pool->parallelFor(0, n_marks, solve_mark);
-    else
-        for (std::size_t i = 0; i < n_marks; ++i)
-            solve_mark(i);
+    }
     for (auto& row : mark_rows)
         marks.addRow(std::move(row));
     marks.print(std::cout);
 
     const thermal::RCModel& model = cmp.thermalModel();
     counters.thermal_solves += model.solveCount();
+    counters.thermal_solve_passes += model.solvePassCount();
     counters.thermal_factorizations += model.factorizationCount();
+    counters.thermal_symbolic_analyses += model.symbolicAnalysisCount();
+    counters.thermal_max_batch_rhs =
+        std::max<std::uint64_t>(counters.thermal_max_batch_rhs,
+                                model.maxBatchRhs());
     if (cache_stats) {
         // The analytic figures run zero cycle-level simulations; the
         // relevant hot-path counters here are the thermal solver's:
-        // back-substitutions against the one cached LU factorization.
+        // multi-RHS substitution passes against the one cached factor.
         std::cerr << "  [fig1 " << tech.name()
-                  << "] cache-stats: sim_calls=0 thermal_solves="
-                  << model.solveCount() << " thermal_factorizations="
-                  << model.factorizationCount() << "\n";
+                  << "] cache-stats: sim_calls=0 thermal_solver="
+                  << model.solverName()
+                  << " thermal_solves=" << model.solveCount()
+                  << " thermal_solve_passes=" << model.solvePassCount()
+                  << " thermal_max_batch_rhs=" << model.maxBatchRhs()
+                  << " thermal_factorizations="
+                  << model.factorizationCount()
+                  << " thermal_symbolic_analyses="
+                  << model.symbolicAnalysisCount() << "\n";
     }
 }
 
@@ -160,8 +199,14 @@ main(int argc, char** argv)
         cli, tlp::util::strcatMsg(
                  "{\n  \"sim_calls\": 0,\n  \"thermal_solves\": ",
                  counters.thermal_solves,
+                 ",\n  \"thermal_solve_passes\": ",
+                 counters.thermal_solve_passes,
+                 ",\n  \"thermal_max_batch_rhs\": ",
+                 counters.thermal_max_batch_rhs,
                  ",\n  \"thermal_factorizations\": ",
-                 counters.thermal_factorizations, "\n}\n"));
+                 counters.thermal_factorizations,
+                 ",\n  \"thermal_symbolic_analyses\": ",
+                 counters.thermal_symbolic_analyses, "\n}\n"));
     tlppm_bench::finishTrace();
     std::cout << "Expected shape (paper): curves fall as eps_n grows; "
                  "high-N curves lie above low-N ones at high eps_n; every "

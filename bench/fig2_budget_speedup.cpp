@@ -6,6 +6,7 @@
  * the 130 nm and 65 nm nodes (Scenario II of the analytical model).
  */
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
@@ -106,16 +107,21 @@ main(int argc, char** argv)
 
     if (cli.cache_stats) {
         // The analytic figures run zero cycle-level simulations; the
-        // hot-path counters here are the thermal solver's back-
-        // substitutions against the one cached LU factorization per node.
-        std::cerr << "  [fig2 130nm] cache-stats: sim_calls=0"
-                  << " thermal_solves=" << cmp130.thermalModel().solveCount()
-                  << " thermal_factorizations="
-                  << cmp130.thermalModel().factorizationCount() << "\n";
-        std::cerr << "  [fig2 65nm] cache-stats: sim_calls=0"
-                  << " thermal_solves=" << cmp65.thermalModel().solveCount()
-                  << " thermal_factorizations="
-                  << cmp65.thermalModel().factorizationCount() << "\n";
+        // hot-path counters here are the thermal solver's multi-RHS
+        // substitution passes against the one cached factor per node.
+        for (const model::AnalyticCmp* cmp : {&cmp130, &cmp65}) {
+            const thermal::RCModel& m = cmp->thermalModel();
+            std::cerr << "  [fig2 " << cmp->technology().name()
+                      << "] cache-stats: sim_calls=0 thermal_solver="
+                      << m.solverName()
+                      << " thermal_solves=" << m.solveCount()
+                      << " thermal_solve_passes=" << m.solvePassCount()
+                      << " thermal_max_batch_rhs=" << m.maxBatchRhs()
+                      << " thermal_factorizations="
+                      << m.factorizationCount()
+                      << " thermal_symbolic_analyses="
+                      << m.symbolicAnalysisCount() << "\n";
+        }
     }
 
     tlppm_bench::writeMetrics(
@@ -124,9 +130,18 @@ main(int argc, char** argv)
             "{\n  \"sim_calls\": 0,\n  \"thermal_solves\": ",
             cmp130.thermalModel().solveCount() +
                 cmp65.thermalModel().solveCount(),
+            ",\n  \"thermal_solve_passes\": ",
+            cmp130.thermalModel().solvePassCount() +
+                cmp65.thermalModel().solvePassCount(),
+            ",\n  \"thermal_max_batch_rhs\": ",
+            std::max(cmp130.thermalModel().maxBatchRhs(),
+                     cmp65.thermalModel().maxBatchRhs()),
             ",\n  \"thermal_factorizations\": ",
             cmp130.thermalModel().factorizationCount() +
                 cmp65.thermalModel().factorizationCount(),
+            ",\n  \"thermal_symbolic_analyses\": ",
+            cmp130.thermalModel().symbolicAnalysisCount() +
+                cmp65.thermalModel().symbolicAnalysisCount(),
             "\n}\n"));
     tlppm_bench::finishTrace();
 

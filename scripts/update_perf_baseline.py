@@ -31,6 +31,7 @@ GUARDED_KEYS = (
     "serial_sim_events",
     "serial_raw_misses",
     "serial_thermal_fallback_solves",
+    "serial_thermal_factorizations",
 )
 
 

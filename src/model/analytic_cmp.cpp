@@ -54,20 +54,29 @@ AnalyticCmp::singleCorePower() const
     return tech_.corePowerHot();
 }
 
+void
+AnalyticCmp::activePowerMapInto(int n_active, double vdd, double dyn_core,
+                                const std::vector<double>& temps,
+                                std::vector<double>& power) const
+{
+    const auto& blocks = thermal_.floorplan().blocks();
+    power.assign(blocks.size(), 0.0);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const int core = blocks[i].core_id;
+        if (core < 0 || core >= n_active)
+            continue; // unused cores are shut off
+        const double t = thermal_feedback_ ? temps[i] : tech_.tHotC();
+        power[i] = dyn_core + tech_.staticPower(vdd, t);
+    }
+}
+
 std::vector<double>
 AnalyticCmp::activePowerMap(const OperatingPoint& op,
                             const std::vector<double>& temps) const
 {
-    const auto& blocks = thermal_.floorplan().blocks();
-    std::vector<double> power(blocks.size(), 0.0);
-    const double dyn_core = tech_.dynamicPower(op.vdd, op.freq);
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-        const int core = blocks[i].core_id;
-        if (core < 0 || core >= op.n_active)
-            continue; // unused cores are shut off
-        const double t = thermal_feedback_ ? temps[i] : tech_.tHotC();
-        power[i] = dyn_core + tech_.staticPower(op.vdd, t);
-    }
+    std::vector<double> power;
+    activePowerMapInto(op.n_active, op.vdd,
+                       tech_.dynamicPower(op.vdd, op.freq), temps, power);
     return power;
 }
 
@@ -132,8 +141,8 @@ AnalyticCmp::evaluatePerCore(const std::vector<double>& vdd,
     return out;
 }
 
-PowerBreakdown
-AnalyticCmp::evaluate(const OperatingPoint& op) const
+void
+AnalyticCmp::validateOperatingPoint(const OperatingPoint& op) const
 {
     if (op.n_active < 1 || op.n_active > total_cores_) {
         util::fatal(util::strcatMsg("AnalyticCmp::evaluate: n_active ",
@@ -142,13 +151,12 @@ AnalyticCmp::evaluate(const OperatingPoint& op) const
     }
     if (op.vdd <= 0.0 || op.freq < 0.0)
         util::fatal("AnalyticCmp::evaluate: invalid operating point");
+}
 
-    const auto result = thermal::solveCoupled(
-        thermal_,
-        [&](const std::vector<double>& temps) {
-            return activePowerMap(op, temps);
-        });
-
+PowerBreakdown
+AnalyticCmp::breakdownFrom(const thermal::CoupledResult& result,
+                           const OperatingPoint& op) const
+{
     PowerBreakdown out;
     out.dynamic_w = tech_.dynamicPower(op.vdd, op.freq) * op.n_active;
     out.total_w = result.total_power;
@@ -159,6 +167,56 @@ AnalyticCmp::evaluate(const OperatingPoint& op) const
     out.iterations = result.iterations;
     out.converged = result.converged;
     out.runaway = result.runaway;
+    return out;
+}
+
+PowerBreakdown
+AnalyticCmp::evaluate(const OperatingPoint& op) const
+{
+    validateOperatingPoint(op);
+
+    const auto result = thermal::solveCoupled(
+        thermal_,
+        [&](const std::vector<double>& temps) {
+            return activePowerMap(op, temps);
+        });
+
+    return breakdownFrom(result, op);
+}
+
+std::vector<PowerBreakdown>
+AnalyticCmp::evaluateBatch(const std::vector<OperatingPoint>& ops) const
+{
+    const std::size_t n_points = ops.size();
+    std::vector<PowerBreakdown> out(n_points);
+    if (n_points == 0)
+        return out;
+    for (const OperatingPoint& op : ops)
+        validateOperatingPoint(op);
+
+    // Per-point dynamic power is fixed across the fixed point; computing
+    // it once per batch matches the scalar path bit for bit (it is a
+    // pure function of the operating point).
+    std::vector<double> dyn_core(n_points);
+    for (std::size_t p = 0; p < n_points; ++p)
+        dyn_core[p] = tech_.dynamicPower(ops[p].vdd, ops[p].freq);
+
+    // Per-call scratch: a shared const AnalyticCmp is evaluated
+    // concurrently from pool workers (the figure benches fan one model
+    // across threads), so no mutable member state.
+    thermal::CoupledBatchScratch scratch;
+    const std::vector<thermal::CoupledResult> results =
+        thermal::solveCoupledBatch(
+            thermal_, n_points,
+            [&](std::size_t p, const std::vector<double>& temps,
+                std::vector<double>& power) {
+                activePowerMapInto(ops[p].n_active, ops[p].vdd,
+                                   dyn_core[p], temps, power);
+            },
+            scratch);
+
+    for (std::size_t p = 0; p < n_points; ++p)
+        out[p] = breakdownFrom(results[p], ops[p]);
     return out;
 }
 

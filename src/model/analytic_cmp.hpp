@@ -65,6 +65,18 @@ class AnalyticCmp
     PowerBreakdown evaluate(const OperatingPoint& op) const;
 
     /**
+     * Batched evaluate(): the whole grid of operating points iterates
+     * the coupled fixed point in lockstep, each iteration solving every
+     * unconverged point in one multi-RHS pass over the cached thermal
+     * factor. Entry p is byte-identical to evaluate(ops[p]) — the
+     * per-point arithmetic is the scalar path's, batching only amortizes
+     * factor traversals. Safe to call concurrently on a shared const
+     * model (scratch is per-call).
+     */
+    std::vector<PowerBreakdown>
+    evaluateBatch(const std::vector<OperatingPoint>& ops) const;
+
+    /**
      * Heterogeneous evaluation: core i runs at (vdd[i], freq[i]); both
      * vectors share one size = the active core count (remaining cores
      * are shut off). Used by the per-core DVFS extension; assumes
@@ -88,6 +100,17 @@ class AnalyticCmp
     std::vector<double> activePowerMap(const OperatingPoint& op,
                                        const std::vector<double>& temps)
         const;
+    /** Allocation-free activePowerMap() kernel: @p dyn_core is the
+     *  per-core dynamic power of the point (precomputed once per
+     *  evaluation); both entry points share it, so scalar and batched
+     *  power maps are bitwise equal. */
+    void activePowerMapInto(int n_active, double vdd, double dyn_core,
+                            const std::vector<double>& temps,
+                            std::vector<double>& power) const;
+    void validateOperatingPoint(const OperatingPoint& op) const;
+    /** Shared evaluate()/evaluateBatch() epilogue. */
+    PowerBreakdown breakdownFrom(const thermal::CoupledResult& result,
+                                 const OperatingPoint& op) const;
     double averageActiveTemp(const thermal::ThermalSolution& sol,
                              int n_active) const;
 

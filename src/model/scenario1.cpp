@@ -1,13 +1,14 @@
 #include "model/scenario1.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/logging.hpp"
 
 namespace tlp::model {
 
-Scenario1Result
-Scenario1::solve(int n, double eps_n) const
+bool
+Scenario1::prepare(int n, double eps_n, Scenario1Result& result) const
 {
     if (n < 1 || n > cmp_->totalCores()) {
         util::fatal(util::strcatMsg("Scenario1: N = ", n, " outside [1, ",
@@ -17,7 +18,6 @@ Scenario1::solve(int n, double eps_n) const
         util::fatal("Scenario1: eps_n must be positive");
 
     const tech::Technology& tech = cmp_->technology();
-    Scenario1Result result;
     result.n = n;
     result.eps_n = eps_n;
 
@@ -26,7 +26,7 @@ Scenario1::solve(int n, double eps_n) const
     if (f_target > tech.fNominal() + 1e-6) {
         // Would require overclocking beyond f1, which the model forbids.
         result.feasible = false;
-        return result;
+        return false;
     }
     result.feasible = true;
     result.freq = f_target;
@@ -39,11 +39,45 @@ Scenario1::solve(int n, double eps_n) const
     }
     vdd = std::min(vdd, tech.vddNominal());
     result.vdd = vdd;
+    return true;
+}
 
-    result.power = cmp_->evaluate({n, vdd, f_target});
+Scenario1Result
+Scenario1::solve(int n, double eps_n) const
+{
+    Scenario1Result result;
+    if (!prepare(n, eps_n, result))
+        return result;
+
+    result.power = cmp_->evaluate({n, result.vdd, result.freq});
     result.normalized_power =
         result.power.total_w / cmp_->singleCorePower();
     return result;
+}
+
+std::vector<Scenario1Result>
+Scenario1::solveBatch(const std::vector<std::pair<int, double>>& points) const
+{
+    std::vector<Scenario1Result> results(points.size());
+    std::vector<OperatingPoint> ops;
+    std::vector<std::size_t> op_owner;
+    ops.reserve(points.size());
+    op_owner.reserve(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        if (prepare(points[p].first, points[p].second, results[p])) {
+            ops.push_back({results[p].n, results[p].vdd, results[p].freq});
+            op_owner.push_back(p);
+        }
+    }
+
+    const std::vector<PowerBreakdown> powers = cmp_->evaluateBatch(ops);
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+        Scenario1Result& result = results[op_owner[k]];
+        result.power = powers[k];
+        result.normalized_power =
+            result.power.total_w / cmp_->singleCorePower();
+    }
+    return results;
 }
 
 } // namespace tlp::model

@@ -17,6 +17,9 @@
 #ifndef TLP_MODEL_SCENARIO1_HPP
 #define TLP_MODEL_SCENARIO1_HPP
 
+#include <utility>
+#include <vector>
+
 #include "model/analytic_cmp.hpp"
 #include "model/efficiency.hpp"
 
@@ -52,7 +55,22 @@ class Scenario1
         return solve(n, curve.at(n));
     }
 
+    /**
+     * Batched solve(): entry p is byte-identical to solve(points[p]).
+     * The per-point preamble (Eq. 7 frequency, minimal voltage) stays
+     * scalar; all feasible points then share one lockstep thermal fixed
+     * point (AnalyticCmp::evaluateBatch), so a whole figure row is
+     * priced with multi-RHS solves against the cached factorization.
+     */
+    std::vector<Scenario1Result>
+    solveBatch(const std::vector<std::pair<int, double>>& points) const;
+
   private:
+    /** Scalar preamble shared by solve()/solveBatch(): validation,
+     *  feasibility, target frequency and voltage. Returns false when the
+     *  point is infeasible (result already filled). */
+    bool prepare(int n, double eps_n, Scenario1Result& result) const;
+
     const AnalyticCmp* cmp_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "util/logging.hpp"
 #include "util/solver.hpp"
@@ -47,8 +48,62 @@ Scenario2::frequencyAt(int n, double vdd) const
     return f;
 }
 
-Scenario2Result
-Scenario2::solve(int n, double eps_n) const
+std::vector<double>
+Scenario2::frequencyAtBatch(int n, const std::vector<double>& vdds) const
+{
+    const tech::Technology& tech = cmp_->technology();
+    const double f1 = tech.fNominal();
+    const std::size_t n_points = vdds.size();
+
+    std::vector<double> f(n_points, 0.0);
+    std::vector<double> f_cap(n_points, 0.0);
+    std::vector<double> dyn_per_hz(n_points, 0.0);
+    std::vector<std::size_t> active;
+    active.reserve(n_points);
+    for (std::size_t p = 0; p < n_points; ++p) {
+        f_cap[p] = std::min(tech.frequencyLaw().maxFrequency(vdds[p]), f1);
+        if (f_cap[p] <= 0.0)
+            continue; // scalar frequencyAt() returns 0 without iterating
+        const double kappa = vdds[p] / tech.vddNominal();
+        dyn_per_hz[p] = n * tech.dynamicPowerNominal() * kappa * kappa / f1;
+        f[p] = f_cap[p];
+        active.push_back(p);
+    }
+
+    // Lockstep image of the scalar fixed point: every iteration evaluates
+    // all unconverged candidates in one batched thermal pass, then applies
+    // the scalar update verbatim. A candidate leaves the active set at the
+    // exact step where the scalar loop would break, so each entry of f is
+    // bit-for-bit the scalar result.
+    std::vector<OperatingPoint> ops;
+    ops.reserve(active.size());
+    for (int it = 0; it < 60 && !active.empty(); ++it) {
+        ops.clear();
+        for (std::size_t p : active)
+            ops.push_back({n, vdds[p], f[p]});
+        const std::vector<PowerBreakdown> pbs = cmp_->evaluateBatch(ops);
+
+        std::size_t kept = 0;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            const std::size_t p = active[k];
+            const double headroom = budget_w_ - pbs[k].static_w;
+            double f_budget =
+                headroom <= 0.0 ? 0.0 : headroom / dyn_per_hz[p];
+            const double f_next = std::clamp(f_budget, 0.0, f_cap[p]);
+            if (std::fabs(f_next - f[p]) <= 1e-4 * tech.fNominal()) {
+                f[p] = f_next;
+                continue; // converged: the scalar loop breaks here
+            }
+            f[p] = 0.5 * f[p] + 0.5 * f_next;
+            active[kept++] = p;
+        }
+        active.resize(kept);
+    }
+    return f;
+}
+
+void
+Scenario2::validate(int n, double eps_n) const
 {
     if (n < 1 || n > cmp_->totalCores()) {
         util::fatal(util::strcatMsg("Scenario2: N = ", n, " outside [1, ",
@@ -56,7 +111,11 @@ Scenario2::solve(int n, double eps_n) const
     }
     if (eps_n <= 0.0)
         util::fatal("Scenario2: eps_n must be positive");
+}
 
+Scenario2Result
+Scenario2::resultAt(int n, double eps_n, double vdd) const
+{
     const tech::Technology& tech = cmp_->technology();
     const double f1 = tech.fNominal();
 
@@ -65,14 +124,7 @@ Scenario2::solve(int n, double eps_n) const
     result.eps_n = eps_n;
     result.budget_w = budget_w_;
 
-    const auto speedup_at = [&](double vdd) {
-        return n * eps_n * frequencyAt(n, vdd) / f1;
-    };
-    const util::MaxResult best =
-        util::maximizeScan(speedup_at, tech.vMin(), tech.vddNominal(), 24,
-                           1e-4);
-
-    result.vdd = best.x;
+    result.vdd = vdd;
     result.freq = frequencyAt(n, result.vdd);
     result.speedup = n * eps_n * result.freq / f1;
     result.feasible = result.freq > 0.0;
@@ -83,6 +135,71 @@ Scenario2::solve(int n, double eps_n) const
         result.budget_bound = result.freq < f_cap - 1e-3 * f1;
     }
     return result;
+}
+
+Scenario2Result
+Scenario2::solve(int n, double eps_n) const
+{
+    validate(n, eps_n);
+
+    const tech::Technology& tech = cmp_->technology();
+    const double f1 = tech.fNominal();
+    const double lo = tech.vMin();
+    const double hi = tech.vddNominal();
+
+    // The grid leg of util::maximizeScan, with all 24 candidates' budget
+    // fixed points advanced in lockstep: same abscissas, same strict ">"
+    // keep-first tie-breaking, same refinement bracket.
+    constexpr int kSamples = 24;
+    std::vector<double> grid(kSamples);
+    grid[0] = lo;
+    for (int i = 1; i < kSamples; ++i)
+        grid[i] = lo + (hi - lo) * i / (kSamples - 1);
+    const std::vector<double> freqs = frequencyAtBatch(n, grid);
+
+    double best_x = grid[0];
+    double best_f = n * eps_n * freqs[0] / f1;
+    int best_i = 0;
+    for (int i = 1; i < kSamples; ++i) {
+        const double fx = n * eps_n * freqs[i] / f1;
+        if (fx > best_f) {
+            best_f = fx;
+            best_x = grid[i];
+            best_i = i;
+        }
+    }
+
+    // Golden-section refinement stays scalar: it is inherently sequential
+    // (each probe depends on the previous comparison) and touches only a
+    // handful of points.
+    const auto speedup_at = [&](double vdd) {
+        return n * eps_n * frequencyAt(n, vdd) / f1;
+    };
+    const double step = (hi - lo) / (kSamples - 1);
+    const double a = std::max(lo, lo + (best_i - 1) * step);
+    const double b = std::min(hi, lo + (best_i + 1) * step);
+    const util::MaxResult refined = util::goldenMax(speedup_at, a, b, 1e-4);
+    const double vdd = refined.fx >= best_f ? refined.x : best_x;
+
+    return resultAt(n, eps_n, vdd);
+}
+
+Scenario2Result
+Scenario2::solveScalar(int n, double eps_n) const
+{
+    validate(n, eps_n);
+
+    const tech::Technology& tech = cmp_->technology();
+    const double f1 = tech.fNominal();
+
+    const auto speedup_at = [&](double vdd) {
+        return n * eps_n * frequencyAt(n, vdd) / f1;
+    };
+    const util::MaxResult best =
+        util::maximizeScan(speedup_at, tech.vMin(), tech.vddNominal(), 24,
+                           1e-4);
+
+    return resultAt(n, eps_n, best.x);
 }
 
 } // namespace tlp::model

@@ -21,6 +21,8 @@
 #ifndef TLP_MODEL_SCENARIO2_HPP
 #define TLP_MODEL_SCENARIO2_HPP
 
+#include <vector>
+
 #include "model/analytic_cmp.hpp"
 #include "model/efficiency.hpp"
 
@@ -51,7 +53,13 @@ class Scenario2
      */
     explicit Scenario2(const AnalyticCmp& cmp, double budget_w = 0.0);
 
-    /** Solve for a given core count and nominal efficiency value. */
+    /**
+     * Solve for a given core count and nominal efficiency value.
+     *
+     * The 24-sample voltage scan runs every candidate's budget fixed
+     * point in lockstep through the batched thermal path; the returned
+     * optimum is byte-identical to solveScalar().
+     */
     Scenario2Result solve(int n, double eps_n) const;
 
     /** Solve along an application's efficiency curve. */
@@ -60,11 +68,27 @@ class Scenario2
         return solve(n, curve.at(n));
     }
 
+    /** Fully scalar reference implementation of solve() — one coupled
+     *  fixed point per voltage sample (util::maximizeScan). Differential
+     *  tests pit solve() against it. */
+    Scenario2Result solveScalar(int n, double eps_n) const;
+
     double budget() const { return budget_w_; }
 
   private:
     /** Best frequency at a fixed voltage, with the thermal fixed point. */
     double frequencyAt(int n, double vdd) const;
+
+    /** frequencyAt() across many voltage candidates in lockstep; entry i
+     *  is byte-identical to frequencyAt(n, vdds[i]). */
+    std::vector<double> frequencyAtBatch(int n,
+                                         const std::vector<double>& vdds)
+        const;
+
+    void validate(int n, double eps_n) const;
+
+    /** Shared solve()/solveScalar() epilogue at the chosen voltage. */
+    Scenario2Result resultAt(int n, double eps_n, double vdd) const;
 
     const AnalyticCmp* cmp_;
     double budget_w_;

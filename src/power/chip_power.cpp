@@ -249,6 +249,17 @@ ChipPowerModel::staticPower(const std::vector<double>& temps_c,
                             const std::vector<double>& dynamic_w,
                             int n_active, double vdd, double freq) const
 {
+    std::vector<double> watts;
+    staticPowerInto(temps_c, dynamic_w, n_active, vdd, freq, watts);
+    return watts;
+}
+
+void
+ChipPowerModel::staticPowerInto(const std::vector<double>& temps_c,
+                                const std::vector<double>& dynamic_w,
+                                int n_active, double vdd, double freq,
+                                std::vector<double>& out) const
+{
     if (temps_c.size() != floorplan_.size() ||
         dynamic_w.size() != floorplan_.size())
         util::fatal("ChipPowerModel::staticPower: map size mismatch");
@@ -270,7 +281,7 @@ ChipPowerModel::staticPower(const std::vector<double>& temps_c,
         (1.0 - kStaticActivityWeight) * maxCoreDynamicPower();
 
     const auto& blocks = floorplan_.blocks();
-    std::vector<double> watts(blocks.size(), 0.0);
+    out.assign(blocks.size(), 0.0);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
         const int core = blocks[i].core_id;
         if (core >= n_active)
@@ -281,11 +292,10 @@ ChipPowerModel::staticPower(const std::vector<double>& temps_c,
         const double ref_dyn_w =
             kStaticActivityWeight * dynamic_w[i] * to_nominal +
             floor_core_w * area_share;
-        watts[i] = staticRatioHot() * ref_dyn_w *
+        out[i] = staticRatioHot() * ref_dyn_w *
             (vdd / tech.vddNominal()) *
             tech.leakageFit().scale(vdd, temps_c[i]) / s_hot;
     }
-    return watts;
 }
 
 } // namespace tlp::power

@@ -126,6 +126,15 @@ class ChipPowerModel
                                     int n_active, double vdd,
                                     double freq) const;
 
+    /** Allocation-free staticPower(): writes the per-block map into
+     *  @p out (resized to the block count). staticPower() delegates
+     *  here, so both forms compute bitwise the same values — the batched
+     *  pricing kernel leans on that. */
+    void staticPowerInto(const std::vector<double>& temps_c,
+                         const std::vector<double>& dynamic_w,
+                         int n_active, double vdd, double freq,
+                         std::vector<double>& out) const;
+
     /** Static/dynamic ratio at the hot anchor (from the technology's
      *  split): r = s / (1 - s). */
     double staticRatioHot() const;

@@ -238,6 +238,24 @@ Experiment::queueHighWater() const
     return queue_high_water_;
 }
 
+namespace {
+
+/** Fixed-point tolerance of the pricing ladder [K]. */
+constexpr double kPriceTolC = 0.01;
+
+/** Heavy-damping tail rungs of the pricing retry ladder. */
+struct PriceRung
+{
+    int max_iter;
+    double damping;
+};
+constexpr PriceRung kDampedTail[] = {
+    {300, 0.4},
+    {1000, 0.2},
+};
+
+} // namespace
+
 util::Expected<Measurement>
 Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
 {
@@ -245,7 +263,6 @@ Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
     TLPPM_TRACE_SCOPE("thermal", "price n=", run.n_threads,
                       " vdd=", vdd, " f=", run.freq_hz * 1e-9, "GHz");
     const int n_active = run.n_threads;
-    const auto& plan = power_model_.floorplan();
 
     const std::vector<double> dynamic = power_model_.dynamicPower(
         run.stats, run.cycles, n_active, vdd, run.freq_hz);
@@ -258,39 +275,109 @@ Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
         return total;
     };
 
-    // Fixed-point retry ladder. Rung 1 is the historical damped default:
-    // converging points must take the exact same iteration trajectory as
-    // before, keeping the figure tables byte-identical. Rung 2 is the
-    // Anderson-accelerated variant, which rescues most oscillating points
-    // near the leakage knee in far fewer iterations than heavy damping.
-    // The remaining damped rungs trade iterations for stability as the
-    // last resort. Runaway points exit the ladder — their clamped result
-    // is the answer.
-    constexpr double kTolC = 0.01;
-    struct Rung
-    {
-        int max_iter;
-        double damping;
-    };
-    static constexpr Rung kDampedTail[] = {
-        {300, 0.4},
-        {1000, 0.2},
+    // Rung 1 of the retry ladder: the historical damped default.
+    // Converging points must take the exact same iteration trajectory
+    // as before, keeping the figure tables byte-identical; the rescue
+    // rungs live in finishPricing().
+    thermal::CoupledResult coupled = thermal::solveCoupled(
+        thermal_, power_of_temp, coupled_scratch_, kPriceTolC, 100, 0.7);
+    return finishPricing(run, vdd, dynamic, std::move(coupled));
+}
+
+std::vector<util::Expected<Measurement>>
+Experiment::tryPriceBatch(const sim::RunResult& run,
+                          const std::vector<double>& vdds) const
+{
+    const std::size_t n_points = vdds.size();
+    std::vector<util::Expected<Measurement>> out;
+    out.reserve(n_points);
+    if (n_points == 0)
+        return out;
+    price_calls_.fetch_add(n_points, std::memory_order_relaxed);
+    TLPPM_TRACE_SCOPE("thermal", "priceBatch n=", run.n_threads,
+                      " points=", n_points,
+                      " f=", run.freq_hz * 1e-9, "GHz");
+    const int n_active = run.n_threads;
+
+    // SoA pricing state: per-point dynamic maps computed once, the
+    // leakage kernel below re-evaluated per fixed-point iteration as a
+    // contiguous pass over the blocks.
+    std::vector<std::vector<double>> dynamic(n_points);
+    for (std::size_t p = 0; p < n_points; ++p) {
+        dynamic[p] = power_model_.dynamicPower(
+            run.stats, run.cycles, n_active, vdds[p], run.freq_hz);
+    }
+    const thermal::BatchPowerFn power_of_temp =
+        [&](std::size_t p, const std::vector<double>& temps,
+            std::vector<double>& power) {
+            power_model_.staticPowerInto(temps, dynamic[p], n_active,
+                                         vdds[p], run.freq_hz, power);
+            const std::vector<double>& dyn = dynamic[p];
+            for (std::size_t i = 0; i < power.size(); ++i)
+                power[i] += dyn[i];
+        };
+
+    // Lockstep rung 1 across the grid: one multi-RHS thermal solve per
+    // iteration, per-point arithmetic identical to the scalar rung.
+    std::vector<thermal::CoupledResult> coupled =
+        thermal::solveCoupledBatch(thermal_, n_points, power_of_temp,
+                                   batch_scratch_, kPriceTolC, 100, 0.7);
+    for (std::size_t p = 0; p < n_points; ++p) {
+        out.push_back(finishPricing(run, vdds[p], dynamic[p],
+                                    std::move(coupled[p])));
+    }
+    return out;
+}
+
+std::vector<Measurement>
+Experiment::priceBatch(const sim::RunResult& run,
+                       const std::vector<double>& vdds) const
+{
+    auto priced = tryPriceBatch(run, vdds);
+    std::vector<Measurement> out;
+    out.reserve(priced.size());
+    for (auto& m : priced) {
+        if (!m)
+            util::fatal(m.error().describe());
+        out.push_back(std::move(m.value()));
+    }
+    return out;
+}
+
+util::Expected<Measurement>
+Experiment::finishPricing(const sim::RunResult& run, double vdd,
+                          const std::vector<double>& dynamic,
+                          thermal::CoupledResult coupled) const
+{
+    const int n_active = run.n_threads;
+    const auto& plan = power_model_.floorplan();
+
+    const auto power_of_temp = [&](const std::vector<double>& temps) {
+        std::vector<double> total = power_model_.staticPower(
+            temps, dynamic, n_active, vdd, run.freq_hz);
+        for (std::size_t i = 0; i < total.size(); ++i)
+            total[i] += dynamic[i];
+        return total;
     };
 
-    thermal::CoupledResult coupled = thermal::solveCoupled(
-        thermal_, power_of_temp, coupled_scratch_, kTolC, 100, 0.7);
+    // Fixed-point retry ladder, rungs 2+. Rung 2 is the Anderson-
+    // accelerated variant, which rescues most oscillating points near
+    // the leakage knee in far fewer iterations than heavy damping. The
+    // remaining damped rungs trade iterations for stability as the last
+    // resort. Runaway points exit the ladder — their clamped result is
+    // the answer.
     int attempts = 1;
     if (!coupled.converged && !coupled.runaway) {
         ++attempts;
         coupled = thermal::solveCoupledAccelerated(thermal_, power_of_temp,
-                                                   kTolC, 100);
+                                                   kPriceTolC, 100);
     }
-    for (const Rung& rung : kDampedTail) {
+    for (const PriceRung& rung : kDampedTail) {
         if (coupled.converged || coupled.runaway)
             break;
         ++attempts;
         coupled = thermal::solveCoupled(thermal_, power_of_temp,
-                                        coupled_scratch_, kTolC,
+                                        coupled_scratch_, kPriceTolC,
                                         rung.max_iter, rung.damping);
     }
     // Rung accounting for the observability layer: which rung this
@@ -315,7 +402,7 @@ Experiment::tryPriceRun(const sim::RunResult& run, double vdd) const
                 "thermal fixed point did not converge after ", attempts,
                 " attempts (last: ", coupled.iterations,
                 " iterations, residual ", coupled.residual_c,
-                " C > tol ", kTolC, " C)")}
+                " C > tol ", kPriceTolC, " C)")}
             .withContext(operatingPoint(vdd, run.freq_hz));
     }
 
@@ -480,7 +567,11 @@ Experiment::tryMeasureApp(const workloads::WorkloadInfo& app, int n,
             .withContext(operatingPoint(vdd, freq_hz))
             .withContext(util::strcatMsg(app.name, " n=", n));
     }
-    auto measured = tryPriceRun(*run.value(), vdd);
+    // Pricing goes through the batched kernel (a batch of one is
+    // bit-identical to the scalar path), so every scenario row and
+    // binary-search probe exercises the same code the grid scans do.
+    auto priced_batch = tryPriceBatch(*run.value(), {vdd});
+    auto& measured = priced_batch.front();
     if (!measured) {
         return std::move(measured.error())
             .withContext(util::strcatMsg(app.name, " n=", n));

@@ -235,6 +235,30 @@ class Experiment
                                             double vdd) const;
 
     /**
+     * Batched pricing: one cached run priced at a whole voltage grid in
+     * a single pass. The per-point leakage/power maps evaluate as
+     * contiguous kernels sharing one thermal fixed-point workspace, and
+     * each fixed-point iteration gathers every unconverged point into
+     * one multi-RHS thermal solve. Point p's arithmetic is exactly
+     * priceRun(run, vdds[p])'s — batching amortizes factor traversals,
+     * never changes values — so entry p is byte-identical to the scalar
+     * result (regression-tested at %.17g).
+     *
+     * Points that the lockstep rung-1 iteration cannot converge fall
+     * back to the scalar rescue ladder individually, exactly as
+     * priceRun() would.
+     */
+    std::vector<Measurement> priceBatch(const sim::RunResult& run,
+                                        const std::vector<double>& vdds)
+        const;
+
+    /** Error-returning priceBatch(): entry p carries point p's error,
+     *  with its operating point in the context chain. */
+    std::vector<util::Expected<Measurement>>
+    tryPriceBatch(const sim::RunResult& run,
+                  const std::vector<double>& vdds) const;
+
+    /**
      * Scenario I (§4.1): profile nominal efficiency, then re-run each
      * configuration at the Eq. 7 frequency and the table voltage.
      *
@@ -303,6 +327,16 @@ class Experiment
   private:
     void validateVfTable() const;
 
+    /** Shared pricing epilogue: run the scalar rescue ladder on a
+     *  non-converged rung-1 result, account the rung counters, and build
+     *  the Measurement. @p coupled is the rung-1 fixed point's output
+     *  (scalar and batched rung 1 are bit-identical per point, so both
+     *  entry points share this tail verbatim). */
+    util::Expected<Measurement>
+    finishPricing(const sim::RunResult& run, double vdd,
+                  const std::vector<double>& dynamic,
+                  thermal::CoupledResult coupled) const;
+
     /** Fold one executed run's kernel telemetry (per-core cycle
      *  breakdown, queue high-water) into the lifetime totals. Called
      *  only on the simulate path — cache hits never double-count. */
@@ -321,6 +355,9 @@ class Experiment
      *  Experiment is thread-confined (the sweep runner gives each worker
      *  its own), so a single scratch per Experiment is race-free. */
     mutable thermal::CoupledScratch coupled_scratch_;
+    /** Batched fixed-point buffers for priceBatch(); thread-confined
+     *  like coupled_scratch_. */
+    mutable thermal::CoupledBatchScratch batch_scratch_;
     mutable std::atomic<std::uint64_t> sim_calls_{0};
     mutable std::atomic<std::uint64_t> price_calls_{0};
     mutable std::atomic<std::uint64_t> sim_events_{0};

@@ -25,6 +25,10 @@ RunMetrics::fromReport(const SweepReport& report)
     m.thermal_damped_solves = report.thermal_damped_solves;
     m.thermal_accelerated_solves = report.thermal_accelerated_solves;
     m.thermal_fallback_solves = report.thermal_fallback_solves;
+    m.thermal_solves = report.thermal_solves;
+    m.thermal_solve_passes = report.thermal_solve_passes;
+    m.thermal_factorizations = report.thermal_factorizations;
+    m.thermal_max_batch_rhs = report.thermal_max_batch_rhs;
     m.queue_high_water = report.queue_high_water;
     m.core_cycles = report.core_cycles;
     return m;
@@ -100,6 +104,12 @@ RunMetrics::toJson() const
     appendField(out, "thermal_accelerated_solves",
                 thermal_accelerated_solves, first);
     appendField(out, "thermal_fallback_solves", thermal_fallback_solves,
+                first);
+    appendField(out, "thermal_solves", thermal_solves, first);
+    appendField(out, "thermal_solve_passes", thermal_solve_passes, first);
+    appendField(out, "thermal_factorizations", thermal_factorizations,
+                first);
+    appendField(out, "thermal_max_batch_rhs", thermal_max_batch_rhs,
                 first);
     appendField(out, "queue_high_water", queue_high_water, first);
     out += ",\n  \"per_core\": [";

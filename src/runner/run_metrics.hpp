@@ -54,6 +54,14 @@ struct RunMetrics
     std::uint64_t thermal_accelerated_solves = 0;
     std::uint64_t thermal_fallback_solves = 0;
 
+    // Thermal linear-solver accounting: RHS solved vs factor traversals
+    // that carried them (batching amortization), factorizations paid,
+    // and the peak RHS batch width.
+    std::uint64_t thermal_solves = 0;
+    std::uint64_t thermal_solve_passes = 0;
+    std::uint64_t thermal_factorizations = 0;
+    std::uint64_t thermal_max_batch_rhs = 0;
+
     // Kernel telemetry.
     std::uint64_t queue_high_water = 0;
     std::vector<sim::CoreCycleBreakdown> core_cycles;

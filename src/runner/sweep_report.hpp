@@ -71,6 +71,19 @@ struct SweepReport
     std::uint64_t thermal_accelerated_solves = 0;
     std::uint64_t thermal_fallback_solves = 0;
 
+    /** Thermal linear-solver accounting over this sweep: right-hand
+     *  sides solved, the factor traversals that carried them (a batched
+     *  multi-RHS pass carries many sides in one traversal — the gap
+     *  between the two numbers is the amortization batching bought),
+     *  and numeric factorizations paid. */
+    std::uint64_t thermal_solves = 0;
+    std::uint64_t thermal_solve_passes = 0;
+    std::uint64_t thermal_factorizations = 0;
+
+    /** Largest right-hand-side batch any worker's thermal model carried
+     *  in one pass (lifetime maximum, like queue_high_water). */
+    std::uint64_t thermal_max_batch_rhs = 0;
+
     /** Largest event-queue high-water mark any worker's simulator saw
      *  (lifetime maximum, not a per-sweep delta — it is a peak). */
     std::uint64_t queue_high_water = 0;

@@ -213,6 +213,12 @@ SweepRunner::counterTotals() const
         totals.thermal_damped += exp->thermalDampedSolves();
         totals.thermal_accelerated += exp->thermalAcceleratedSolves();
         totals.thermal_fallback += exp->thermalFallbackSolves();
+        const thermal::RCModel& model = exp->thermalModel();
+        totals.thermal_solves += model.solveCount();
+        totals.thermal_solve_passes += model.solvePassCount();
+        totals.thermal_factorizations += model.factorizationCount();
+        totals.thermal_max_batch_rhs =
+            std::max(totals.thermal_max_batch_rhs, model.maxBatchRhs());
         totals.queue_high_water =
             std::max(totals.queue_high_water, exp->queueHighWater());
         const std::vector<sim::CoreCycleBreakdown> cores =
@@ -275,8 +281,15 @@ SweepRunner::finishSweep()
         sweep_start_counters_.thermal_accelerated;
     report_.thermal_fallback_solves =
         now.thermal_fallback - sweep_start_counters_.thermal_fallback;
-    // The high-water mark is a peak, not a flow: report the lifetime
+    report_.thermal_solves =
+        now.thermal_solves - sweep_start_counters_.thermal_solves;
+    report_.thermal_solve_passes = now.thermal_solve_passes -
+        sweep_start_counters_.thermal_solve_passes;
+    report_.thermal_factorizations = now.thermal_factorizations -
+        sweep_start_counters_.thermal_factorizations;
+    // The high-water marks are peaks, not flows: report the lifetime
     // maximum rather than a meaningless delta.
+    report_.thermal_max_batch_rhs = now.thermal_max_batch_rhs;
     report_.queue_high_water = now.queue_high_water;
     report_.core_cycles = now.core_cycles;
     for (std::size_t i = 0;

@@ -189,7 +189,11 @@ class SweepRunner
         std::uint64_t thermal_damped = 0;
         std::uint64_t thermal_accelerated = 0;
         std::uint64_t thermal_fallback = 0;
-        std::uint64_t queue_high_water = 0; ///< max, not a sum
+        std::uint64_t thermal_solves = 0;
+        std::uint64_t thermal_solve_passes = 0;
+        std::uint64_t thermal_factorizations = 0;
+        std::uint64_t thermal_max_batch_rhs = 0; ///< max, not a sum
+        std::uint64_t queue_high_water = 0;      ///< max, not a sum
         std::vector<sim::CoreCycleBreakdown> core_cycles;
     };
     CounterSnapshot counterTotals() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/logging.hpp"
 #include "util/solver.hpp"
@@ -10,8 +12,50 @@
 
 namespace tlp::thermal {
 
-RCModel::RCModel(Floorplan floorplan, RCParams params)
-    : floorplan_(std::move(floorplan)), params_(params)
+namespace {
+
+/** Resolve ThermalSolverKind::Auto through TLPPM_THERMAL_SOLVER.
+ *  Unset / "" / "sparse" -> Sparse (the default); "dense" -> Dense;
+ *  anything else is a configuration error, named loudly. */
+ThermalSolverKind
+resolveSolverKind(ThermalSolverKind requested)
+{
+    if (requested != ThermalSolverKind::Auto)
+        return requested;
+    static const ThermalSolverKind from_env = [] {
+        const char* env = std::getenv("TLPPM_THERMAL_SOLVER");
+        if (env == nullptr || *env == '\0' ||
+            std::strcmp(env, "sparse") == 0)
+            return ThermalSolverKind::Sparse;
+        if (std::strcmp(env, "dense") == 0)
+            return ThermalSolverKind::Dense;
+        util::fatal(util::strcatMsg(
+            "TLPPM_THERMAL_SOLVER: unknown solver '", env,
+            "' (expected 'sparse' or 'dense')"));
+    }();
+    return from_env;
+}
+
+} // namespace
+
+const char*
+thermalSolverName(ThermalSolverKind kind)
+{
+    switch (kind) {
+    case ThermalSolverKind::Dense:
+        return "dense-lu";
+    case ThermalSolverKind::Sparse:
+        return "sparse-cholesky";
+    case ThermalSolverKind::Auto:
+        return "auto";
+    }
+    return "unknown";
+}
+
+RCModel::RCModel(Floorplan floorplan, RCParams params,
+                 ThermalSolverKind solver)
+    : floorplan_(std::move(floorplan)), params_(params),
+      solver_(resolveSolverKind(solver))
 {
     if (floorplan_.size() == 0)
         util::fatal("RCModel: empty floorplan");
@@ -20,8 +64,12 @@ RCModel::RCModel(Floorplan floorplan, RCParams params)
 
 RCModel::RCModel(const RCModel& other)
     : floorplan_(other.floorplan_), params_(other.params_),
-      conductance_(other.conductance_), lu_(other.lu_),
+      solver_(other.solver_), conductance_(other.conductance_),
+      lu_(other.lu_), cholesky_(other.cholesky_),
       solves_(other.solves_.load(std::memory_order_relaxed)),
+      solve_passes_(other.solve_passes_.load(std::memory_order_relaxed)),
+      max_batch_rhs_(
+          other.max_batch_rhs_.load(std::memory_order_relaxed)),
       factorizations_(
           other.factorizations_.load(std::memory_order_relaxed))
 {}
@@ -32,10 +80,18 @@ RCModel::operator=(const RCModel& other)
     if (this != &other) {
         floorplan_ = other.floorplan_;
         params_ = other.params_;
+        solver_ = other.solver_;
         conductance_ = other.conductance_;
         lu_ = other.lu_;
+        cholesky_ = other.cholesky_;
         solves_.store(other.solves_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+        solve_passes_.store(
+            other.solve_passes_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        max_batch_rhs_.store(
+            other.max_batch_rhs_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
         factorizations_.store(
             other.factorizations_.load(std::memory_order_relaxed),
             std::memory_order_relaxed);
@@ -91,9 +147,49 @@ RCModel::buildConductance()
         }
     }
     // Factor once per conductance rebuild (HotSpot factors its RC network
-    // per floorplan, not per solve); every solve() is then O(n^2)
-    // back-substitution with bit-identical results to a full elimination.
-    lu_ = util::LuFactorization(conductance_);
+    // per floorplan, not per solve); every solve is then a substitution
+    // against the cached factor. The dense matrix is always assembled —
+    // the transient solver consumes conductance() directly — but only
+    // the selected backend pays its factorization.
+    if (solver_ == ThermalSolverKind::Dense) {
+        lu_ = util::LuFactorization(conductance_);
+    } else {
+        // Sparse assembly mirrors the dense accumulation order entry for
+        // entry, so the compressed values are bitwise the dense ones.
+        util::SparseSpdMatrix g(n + 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double g_v =
+                blocks[i].area() / params_.r_vertical_specific;
+            g.add(i, i, g_v);
+            g.add(n, n, g_v);
+            g.add(i, n, -g_v);
+        }
+        g.add(n, n, 1.0 / params_.r_convection);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double edge = blocks[i].sharedEdge(blocks[j]);
+                if (edge <= 0.0)
+                    continue;
+                const double cx_i = blocks[i].x + 0.5 * blocks[i].w;
+                const double cy_i = blocks[i].y + 0.5 * blocks[i].h;
+                const double cx_j = blocks[j].x + 0.5 * blocks[j].w;
+                const double cy_j = blocks[j].y + 0.5 * blocks[j].h;
+                const double dist = std::hypot(cx_i - cx_j, cy_i - cy_j);
+                if (dist <= 0.0)
+                    continue;
+                const double lateral =
+                    params_.k_lateral * params_.t_lateral * edge / dist;
+                g.add(i, i, lateral);
+                g.add(j, j, lateral);
+                g.add(i, j, -lateral);
+            }
+        }
+        g.compress();
+        // Value-only rebuilds (setParams during calibration) reuse the
+        // cached ordering + symbolic pattern; only the numeric
+        // refactorization below is paid per rebuild.
+        cholesky_.factorize(g);
+    }
     factorizations_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -106,35 +202,37 @@ RCModel::solve(const std::vector<double>& block_power) const
     return sol;
 }
 
+namespace {
+
+/** Shared validation of a power map against the floorplan. */
 void
-RCModel::solveInto(const std::vector<double>& block_power,
-                   ThermalSolution& sol, SolveScratch& scratch) const
+validatePowerMap(const std::vector<double>& block_power,
+                 std::size_t n_blocks)
 {
-    const auto& blocks = floorplan_.blocks();
-    if (block_power.size() != blocks.size()) {
+    if (block_power.size() != n_blocks) {
         util::fatal(util::strcatMsg("RCModel::solve: power map size ",
                                     block_power.size(), " != block count ",
-                                    blocks.size()));
+                                    n_blocks));
     }
     for (double p : block_power) {
         if (p < 0.0)
             util::fatal("RCModel::solve: negative block power");
     }
-    solves_.fetch_add(1, std::memory_order_relaxed);
+}
 
-    // Solve G * T' = P for temperature rises above ambient; the sink node
-    // has no direct power injection.
-    std::vector<double>& rise = scratch.rhs;
-    rise.assign(block_power.begin(), block_power.end());
-    rise.push_back(0.0);
-    lu_.solveInPlace(rise);
+} // namespace
 
+void
+RCModel::fillSolution(const double* rise, std::size_t stride,
+                      ThermalSolution& sol) const
+{
+    const auto& blocks = floorplan_.blocks();
     sol.block_temps_c.resize(blocks.size());
     double core_area = 0.0;
     double core_temp_area = 0.0;
     double max_t = params_.ambient_c;
     for (std::size_t i = 0; i < blocks.size(); ++i) {
-        const double t = params_.ambient_c + rise[i];
+        const double t = params_.ambient_c + rise[i * stride];
         sol.block_temps_c[i] = t;
         max_t = std::max(max_t, t);
         if (blocks[i].core_id >= 0) {
@@ -145,7 +243,73 @@ RCModel::solveInto(const std::vector<double>& block_power,
     sol.max_temp_c = max_t;
     sol.avg_core_temp_c =
         core_area > 0.0 ? core_temp_area / core_area : params_.ambient_c;
-    sol.sink_temp_c = params_.ambient_c + rise[blocks.size()];
+    sol.sink_temp_c = params_.ambient_c + rise[blocks.size() * stride];
+}
+
+void
+RCModel::solveInto(const std::vector<double>& block_power,
+                   ThermalSolution& sol, SolveScratch& scratch) const
+{
+    const std::size_t n = floorplan_.size();
+    validatePowerMap(block_power, n);
+    solves_.fetch_add(1, std::memory_order_relaxed);
+    solve_passes_.fetch_add(1, std::memory_order_relaxed);
+
+    // Solve G * T' = P for temperature rises above ambient; the sink node
+    // has no direct power injection.
+    std::vector<double>& rise = scratch.rhs;
+    rise.assign(block_power.begin(), block_power.end());
+    rise.push_back(0.0);
+    if (solver_ == ThermalSolverKind::Dense)
+        lu_.solveInPlace(rise);
+    else
+        cholesky_.solveInPlace(rise, scratch.work);
+
+    fillSolution(rise.data(), 1, sol);
+}
+
+void
+RCModel::solveManyInto(
+    const std::vector<const std::vector<double>*>& powers,
+    std::vector<ThermalSolution>& sols, BatchSolveScratch& scratch) const
+{
+    const std::size_t n = floorplan_.size();
+    const std::size_t n_rhs = powers.size();
+    if (n_rhs == 0) {
+        sols.clear();
+        return;
+    }
+    for (const std::vector<double>* power : powers)
+        validatePowerMap(*power, n);
+    solves_.fetch_add(n_rhs, std::memory_order_relaxed);
+    solve_passes_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_rhs_.load(std::memory_order_relaxed);
+    while (seen < n_rhs &&
+           !max_batch_rhs_.compare_exchange_weak(
+               seen, n_rhs, std::memory_order_relaxed))
+        ;
+
+    // Interleaved gather: node i of point p at rhs[i * n_rhs + p], sink
+    // row zeroed. One substitution pass serves the whole batch.
+    std::vector<double>& rhs = scratch.rhs;
+    rhs.resize((n + 1) * n_rhs);
+    for (std::size_t i = 0; i < n; ++i) {
+        double* row = rhs.data() + i * n_rhs;
+        for (std::size_t p = 0; p < n_rhs; ++p)
+            row[p] = (*powers[p])[i];
+    }
+    for (std::size_t p = 0; p < n_rhs; ++p)
+        rhs[n * n_rhs + p] = 0.0;
+
+    if (solver_ == ThermalSolverKind::Dense)
+        lu_.solveInterleavedInPlace(rhs.data(), n_rhs, scratch.work);
+    else
+        cholesky_.solveInterleavedInPlace(rhs.data(), n_rhs,
+                                          scratch.work);
+
+    sols.resize(n_rhs);
+    for (std::size_t p = 0; p < n_rhs; ++p)
+        fillSolution(rhs.data() + p, n_rhs, sols[p]);
 }
 
 double
@@ -379,6 +543,101 @@ solveCoupledAccelerated(
     for (double p : power)
         result.total_power += p;
     return result;
+}
+
+std::vector<CoupledResult>
+solveCoupledBatch(const RCModel& model, std::size_t n_points,
+                  const BatchPowerFn& fn, CoupledBatchScratch& scratch,
+                  double tol_c, int max_iter, double damping)
+{
+    TLPPM_TRACE_SCOPE("thermal", "solveCoupledBatch points=", n_points,
+                      " damping=", damping, " max_iter=", max_iter);
+    const std::size_t n = model.floorplan().size();
+    const double ambient = model.params().ambient_c;
+    std::vector<CoupledResult> results(n_points);
+    if (n_points == 0)
+        return results;
+
+    // Per-point state, exactly the scalar iteration's: temperatures at
+    // ambient, powers at zero.
+    if (scratch.temps.size() < n_points) {
+        scratch.temps.resize(n_points);
+        scratch.power.resize(n_points);
+    }
+    scratch.sols.resize(n_points);
+    scratch.active.clear();
+    for (std::size_t p = 0; p < n_points; ++p) {
+        scratch.temps[p].assign(n, ambient);
+        scratch.power[p].assign(n, 0.0);
+        scratch.active.push_back(p);
+    }
+    std::vector<double>& new_power = scratch.new_power;
+
+    for (int it = 0; it < max_iter && !scratch.active.empty(); ++it) {
+        util::checkPointDeadline("solveCoupledBatch");
+        // Power maps of the still-iterating points; the blend is the
+        // scalar solveCoupled()'s, per point.
+        for (std::size_t p : scratch.active) {
+            new_power.assign(n, 0.0);
+            fn(p, scratch.temps[p], new_power);
+            if (new_power.size() != n)
+                util::fatal("solveCoupledBatch: power map size mismatch");
+            if (it == 0) {
+                scratch.power[p] = new_power;
+            } else {
+                std::vector<double>& power = scratch.power[p];
+                for (std::size_t i = 0; i < n; ++i) {
+                    power[i] = (1.0 - damping) * power[i] +
+                        damping * new_power[i];
+                }
+            }
+        }
+
+        // One multi-RHS substitution serves every active point.
+        scratch.batch_powers.clear();
+        for (std::size_t p : scratch.active)
+            scratch.batch_powers.push_back(&scratch.power[p]);
+        model.solveManyInto(scratch.batch_powers, scratch.batch_sols,
+                            scratch.solve);
+
+        std::size_t kept = 0;
+        for (std::size_t idx = 0; idx < scratch.active.size(); ++idx) {
+            const std::size_t p = scratch.active[idx];
+            ThermalSolution& sol = scratch.sols[p];
+            sol = scratch.batch_sols[idx];
+            CoupledResult& result = results[p];
+            for (double& t : sol.block_temps_c) {
+                if (t > kRunawayTempC) {
+                    t = kRunawayTempC;
+                    result.runaway = true;
+                }
+            }
+            double max_delta = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                max_delta = std::max(
+                    max_delta,
+                    std::fabs(sol.block_temps_c[i] - scratch.temps[p][i]));
+            }
+            scratch.temps[p] = sol.block_temps_c;
+            result.iterations = it + 1;
+            result.residual_c = max_delta;
+            if (max_delta < tol_c)
+                result.converged = true;
+            else
+                scratch.active[kept++] = p;
+        }
+        scratch.active.resize(kept);
+    }
+
+    for (std::size_t p = 0; p < n_points; ++p) {
+        CoupledResult& result = results[p];
+        result.thermal = scratch.sols[p];
+        result.block_power = scratch.power[p];
+        result.total_power = 0.0;
+        for (double w : result.block_power)
+            result.total_power += w;
+    }
+    return results;
 }
 
 } // namespace tlp::thermal

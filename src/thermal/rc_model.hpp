@@ -29,8 +29,26 @@
 
 #include "thermal/floorplan.hpp"
 #include "util/linalg.hpp"
+#include "util/sparse_cholesky.hpp"
 
 namespace tlp::thermal {
+
+/**
+ * Which factored solver backs the steady-state solves.
+ *
+ * Auto resolves through the TLPPM_THERMAL_SOLVER environment variable:
+ * unset/"sparse" selects the sparse Cholesky (the default — the
+ * conductance matrix is SPD and floorplan-sparse), "dense" the historical
+ * dense LU, kept selectable for differential testing.
+ */
+enum class ThermalSolverKind {
+    Auto,
+    Dense,
+    Sparse,
+};
+
+/** Stable name of a resolved solver kind: "dense-lu" / "sparse-cholesky". */
+const char* thermalSolverName(ThermalSolverKind kind);
 
 /** Package/material constants of the RC network. */
 struct RCParams
@@ -62,14 +80,23 @@ struct ThermalSolution
 /** Reusable scratch buffers for the steady-state solve hot path. */
 struct SolveScratch
 {
-    std::vector<double> rhs; ///< (blocks + sink) right-hand side
+    std::vector<double> rhs;  ///< (blocks + sink) right-hand side
+    std::vector<double> work; ///< solver workspace
+};
+
+/** Reusable scratch buffers for the multi-RHS solve hot path. */
+struct BatchSolveScratch
+{
+    std::vector<double> rhs;  ///< interleaved (blocks + sink) x n_rhs
+    std::vector<double> work; ///< solver workspace
 };
 
 /** Steady-state solver bound to one floorplan. */
 class RCModel
 {
   public:
-    RCModel(Floorplan floorplan, RCParams params);
+    RCModel(Floorplan floorplan, RCParams params,
+            ThermalSolverKind solver = ThermalSolverKind::Auto);
 
     /** Copies share no counters: each copy starts its solve/factorization
      *  accounting at the values of the source at copy time. */
@@ -91,6 +118,22 @@ class RCModel
     void solveInto(const std::vector<double>& block_power,
                    ThermalSolution& sol, SolveScratch& scratch) const;
 
+    /**
+     * Batched steady-state solve: one traversal of the cached factor
+     * serves every power map (multi-RHS substitution), amortizing the
+     * factor walk across the batch. powers[p] and sols[p] follow the
+     * solveInto() contract; per-point arithmetic is identical to
+     * solveInto() (a batch of one is bit-identical), because the per-RHS
+     * substitutions perform the same operations in the same order.
+     *
+     * Counters: solveCount() advances by powers.size() (it counts
+     * right-hand sides), solvePassCount() by one.
+     */
+    void solveManyInto(const std::vector<const std::vector<double>*>&
+                           powers,
+                       std::vector<ThermalSolution>& sols,
+                       BatchSolveScratch& scratch) const;
+
     const Floorplan& floorplan() const { return floorplan_; }
     const RCParams& params() const { return params_; }
 
@@ -108,27 +151,79 @@ class RCModel
         return solves_.load(std::memory_order_relaxed);
     }
 
-    /** LU factorizations performed: one per floorplan/params change, not
-     *  one per solve — the HotSpot-style factor-once optimization this
-     *  counter makes auditable. */
+    /** Numeric factorizations performed: one per floorplan/params change,
+     *  not one per solve — the HotSpot-style factor-once optimization
+     *  this counter makes auditable. Counts dense LU and sparse numeric
+     *  refactorizations alike. */
     std::uint64_t factorizationCount() const
     {
         return factorizations_.load(std::memory_order_relaxed);
     }
 
+    /** Factor traversals performed: a batched solve of B right-hand
+     *  sides is one pass, a scalar solve is one pass of one RHS.
+     *  solveCount() / solvePassCount() is the batching amortization. */
+    std::uint64_t solvePassCount() const
+    {
+        return solve_passes_.load(std::memory_order_relaxed);
+    }
+
+    /** Largest right-hand-side batch served by one factor traversal. */
+    std::uint64_t maxBatchRhs() const
+    {
+        return max_batch_rhs_.load(std::memory_order_relaxed);
+    }
+
+    /** Symbolic analyses of the sparse factorization — stays at 1 across
+     *  any number of setParams() refactorizations (the pattern is fixed
+     *  per floorplan). Always 0 for the dense solver. */
+    std::uint64_t symbolicAnalysisCount() const
+    {
+        return solver_ == ThermalSolverKind::Sparse
+            ? cholesky_.symbolicAnalyses()
+            : 0;
+    }
+
+    /** Structural fill-in of the sparse factor (nonzeros of L beyond the
+     *  assembled lower triangle); 0 for the dense solver, whose factor is
+     *  always fully dense. */
+    std::uint64_t fillInNnz() const
+    {
+        return solver_ == ThermalSolverKind::Sparse ? cholesky_.fillIn()
+                                                    : 0;
+    }
+
+    /** The resolved solver kind (never Auto). */
+    ThermalSolverKind solverKind() const { return solver_; }
+    /** Stable solver name for logs and --cache-stats lines. */
+    const char* solverName() const { return thermalSolverName(solver_); }
+
   private:
     void buildConductance();
+    /** Shared epilogue of solveInto()/solveManyInto(): read the solved
+     *  temperature rises at @p stride (interleaved batches read their
+     *  own column) and fill @p sol. Identical arithmetic per point. */
+    void fillSolution(const double* rise, std::size_t stride,
+                      ThermalSolution& sol) const;
 
     Floorplan floorplan_;
     RCParams params_;
+    ThermalSolverKind solver_; ///< resolved: Dense or Sparse
     util::Matrix conductance_; ///< G of the linear system G T' = P
-    /** Cached LU of conductance_: rebuilt only by buildConductance()
-     *  (construction and setParams), so every solve is an O(n^2)
-     *  back-substitution instead of an O(n^3) elimination. */
+    /** Cached factorization of conductance_ (one of the two below is
+     *  live, per solver_): rebuilt only by buildConductance()
+     *  (construction and setParams), so every solve is a substitution
+     *  against the cached factor instead of a fresh elimination. */
     util::LuFactorization lu_;
+    /** Sparse Cholesky with its fill-reducing ordering and symbolic
+     *  pattern computed once per floorplan; setParams() refactorizes
+     *  numerically against the cached symbolic analysis. */
+    util::SparseCholesky cholesky_;
     /** Relaxed atomics: solve() runs concurrently on shared const models
      *  (the analytic figure benches fan one model across a pool). */
     mutable std::atomic<std::uint64_t> solves_{0};
+    mutable std::atomic<std::uint64_t> solve_passes_{0};
+    mutable std::atomic<std::uint64_t> max_batch_rhs_{0};
     std::atomic<std::uint64_t> factorizations_{0};
 };
 
@@ -242,6 +337,49 @@ CoupledResult solveCoupledAccelerated(
     const std::function<std::vector<double>(const std::vector<double>&)>&
         power_of_temp,
     double tol_c = 0.01, int max_iter = 100);
+
+/**
+ * Power-map callback of the batched coupled fixed point: write point
+ * @p point's block powers for temperatures @p temps_c into @p power_out
+ * (pre-sized to the block count). Must compute exactly what the scalar
+ * power_of_temp would for that point — the batched iteration's
+ * per-point byte-identity rests on it.
+ */
+using BatchPowerFn = std::function<void(
+    std::size_t point, const std::vector<double>& temps_c,
+    std::vector<double>& power_out)>;
+
+/** Reusable buffers for solveCoupledBatch(); one per thread-confined
+ *  caller. Allocation scales with the batch width, so a caller pricing
+ *  whole V/f grids reuses the grid-sized buffers across calls. */
+struct CoupledBatchScratch
+{
+    std::vector<std::vector<double>> temps; ///< per-point iterates
+    std::vector<std::vector<double>> power; ///< per-point blended maps
+    std::vector<double> new_power;          ///< per-point callback output
+    std::vector<ThermalSolution> sols;      ///< per-point last solve
+    std::vector<std::size_t> active;        ///< unconverged point indices
+    std::vector<const std::vector<double>*> batch_powers;
+    std::vector<ThermalSolution> batch_sols;
+    BatchSolveScratch solve;
+};
+
+/**
+ * Batched damped fixed point: @p n_points operating points iterate in
+ * lockstep, their steady-state solves gathered into one multi-RHS
+ * substitution per iteration (converged points drop out of the batch).
+ *
+ * Per point, the arithmetic is exactly solveCoupled()'s: same initial
+ * temperatures, same damping blend, same runaway clamp, same convergence
+ * test, in the same order. A batch of one is bit-identical to the scalar
+ * iteration, and point p of any batch is bit-identical to solving p
+ * alone — batching changes only which factor traversal carries the
+ * solve, never the values.
+ */
+std::vector<CoupledResult> solveCoupledBatch(
+    const RCModel& model, std::size_t n_points, const BatchPowerFn& fn,
+    CoupledBatchScratch& scratch, double tol_c = 0.01, int max_iter = 100,
+    double damping = 0.7);
 
 } // namespace tlp::thermal
 

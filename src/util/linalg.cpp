@@ -80,6 +80,51 @@ LuFactorization::solveInPlace(std::vector<double>& b) const
     }
 }
 
+void
+LuFactorization::solveInterleavedInPlace(double* b, std::size_t n_rhs,
+                                         std::vector<double>& work) const
+{
+    const std::size_t n = lu_.rows();
+    if (n_rhs == 0)
+        return;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        if (pivot_row_[col] != col) {
+            double* a_row = b + pivot_row_[col] * n_rhs;
+            double* b_row = b + col * n_rhs;
+            for (std::size_t r = 0; r < n_rhs; ++r)
+                std::swap(a_row[r], b_row[r]);
+        }
+    }
+    for (std::size_t col = 0; col < n; ++col) {
+        const double* b_col = b + col * n_rhs;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = lu_(r, col);
+            if (factor == 0.0)
+                continue;
+            double* b_r = b + r * n_rhs;
+            for (std::size_t rh = 0; rh < n_rhs; ++rh)
+                b_r[rh] -= factor * b_col[rh];
+        }
+    }
+    work.resize(n_rhs);
+    double* acc = work.data();
+    for (std::size_t ri = n; ri-- > 0;) {
+        double* b_ri = b + ri * n_rhs;
+        for (std::size_t rh = 0; rh < n_rhs; ++rh)
+            acc[rh] = b_ri[rh];
+        for (std::size_t c = ri + 1; c < n; ++c) {
+            const double u = lu_(ri, c);
+            const double* b_c = b + c * n_rhs;
+            for (std::size_t rh = 0; rh < n_rhs; ++rh)
+                acc[rh] -= u * b_c[rh];
+        }
+        const double diag = lu_(ri, ri);
+        for (std::size_t rh = 0; rh < n_rhs; ++rh)
+            b_ri[rh] = acc[rh] / diag;
+    }
+}
+
 std::vector<double>
 solveDense(const Matrix& a, std::vector<double> b)
 {

@@ -85,6 +85,17 @@ class LuFactorization
     /** Allocation-free solve: @p b is replaced by the solution. */
     void solveInPlace(std::vector<double>& b) const;
 
+    /**
+     * Multi-RHS solve in node-major interleaved layout: entry of
+     * right-hand side p at row i lives at b[i * n_rhs + p]. Each column
+     * performs exactly the operations of solveInPlace() in the same
+     * order (same swaps, same factor == 0 skips), so a batch of one is
+     * bit-identical to the single-RHS solve. @p work is resized to
+     * n_rhs and reusable across calls.
+     */
+    void solveInterleavedInPlace(double* b, std::size_t n_rhs,
+                                 std::vector<double>& work) const;
+
     /** Dimension of the factored system (0 when default-constructed). */
     std::size_t size() const { return lu_.rows(); }
 

@@ -1,0 +1,342 @@
+#include "util/sparse_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+SparseSpdMatrix::SparseSpdMatrix(std::size_t n) : n_(n)
+{
+    if (n == 0)
+        fatal("SparseSpdMatrix: empty matrix");
+}
+
+void
+SparseSpdMatrix::add(std::size_t i, std::size_t j, double v)
+{
+    if (compressed_)
+        fatal("SparseSpdMatrix::add: matrix already compressed");
+    if (i >= n_ || j >= n_)
+        fatal("SparseSpdMatrix::add: index out of range");
+    if (i < j)
+        std::swap(i, j); // keep the lower-triangle image
+    triplets_.push_back({i, j, v});
+}
+
+void
+SparseSpdMatrix::compress()
+{
+    if (compressed_)
+        fatal("SparseSpdMatrix::compress: already compressed");
+    compressed_ = true;
+
+    // Stable sort keeps duplicate entries in insertion order, so their
+    // accumulation below sums in exactly the order the assembly loop
+    // added them (the dense builder's accumulation order).
+    std::stable_sort(triplets_.begin(), triplets_.end(),
+                     [](const Triplet& a, const Triplet& b) {
+                         if (a.col != b.col)
+                             return a.col < b.col;
+                         return a.row < b.row;
+                     });
+
+    col_ptr_.assign(n_ + 1, 0);
+    row_idx_.clear();
+    values_.clear();
+    std::size_t k = 0;
+    for (std::size_t col = 0; col < n_; ++col) {
+        col_ptr_[col] = row_idx_.size();
+        while (k < triplets_.size() && triplets_[k].col == col) {
+            const std::size_t row = triplets_[k].row;
+            double v = triplets_[k].value;
+            ++k;
+            while (k < triplets_.size() && triplets_[k].col == col &&
+                   triplets_[k].row == row) {
+                v += triplets_[k].value;
+                ++k;
+            }
+            row_idx_.push_back(row);
+            values_.push_back(v);
+        }
+    }
+    col_ptr_[n_] = row_idx_.size();
+    triplets_.clear();
+    triplets_.shrink_to_fit();
+}
+
+bool
+SparseCholesky::patternMatches(const SparseSpdMatrix& a) const
+{
+    return n_ == a.size() && a_col_ptr_ == a.colPtr() &&
+        a_row_idx_ == a.rowIdx();
+}
+
+void
+SparseCholesky::analyze(const SparseSpdMatrix& a)
+{
+    ++symbolic_analyses_;
+    n_ = a.size();
+    a_col_ptr_ = a.colPtr();
+    a_row_idx_ = a.rowIdx();
+    nnz_a_lower_ = a.nnzLower();
+
+    // Undirected adjacency (strict off-diagonal) as sorted vectors.
+    std::vector<std::vector<std::size_t>> adj(n_);
+    for (std::size_t col = 0; col < n_; ++col) {
+        for (std::size_t t = a_col_ptr_[col]; t < a_col_ptr_[col + 1];
+             ++t) {
+            const std::size_t row = a_row_idx_[t];
+            if (row == col)
+                continue;
+            adj[col].push_back(row);
+            adj[row].push_back(col);
+        }
+    }
+    for (auto& neighbours : adj)
+        std::sort(neighbours.begin(), neighbours.end());
+
+    // Greedy minimum-degree on the elimination graph; ties break on the
+    // smallest node index, so the ordering is deterministic. The column
+    // pattern of L falls out for free: the eliminated node's remaining
+    // neighbours ARE its factor column (the classic elimination game).
+    perm_.assign(n_, 0);
+    iperm_.assign(n_, 0);
+    std::vector<char> alive(n_, 1);
+    std::vector<std::vector<std::size_t>> col_nodes(n_);
+    const auto insertSorted = [](std::vector<std::size_t>& v,
+                                 std::size_t x) {
+        const auto it = std::lower_bound(v.begin(), v.end(), x);
+        if (it == v.end() || *it != x)
+            v.insert(it, x);
+    };
+    const auto eraseSorted = [](std::vector<std::size_t>& v,
+                                std::size_t x) {
+        const auto it = std::lower_bound(v.begin(), v.end(), x);
+        if (it != v.end() && *it == x)
+            v.erase(it);
+    };
+    for (std::size_t step = 0; step < n_; ++step) {
+        std::size_t best = n_;
+        std::size_t best_deg = n_ + 1;
+        for (std::size_t v = 0; v < n_; ++v) {
+            if (alive[v] && adj[v].size() < best_deg) {
+                best_deg = adj[v].size();
+                best = v;
+            }
+        }
+        perm_[step] = best;
+        iperm_[best] = step;
+        alive[best] = 0;
+        col_nodes[step] = adj[best];
+        // Form the clique among the eliminated node's neighbours and
+        // detach it from the graph.
+        const std::vector<std::size_t>& nb = col_nodes[step];
+        for (std::size_t u : nb) {
+            eraseSorted(adj[u], best);
+            for (std::size_t w : nb) {
+                if (w != u)
+                    insertSorted(adj[u], w);
+            }
+        }
+        adj[best].clear();
+    }
+
+    // Symbolic L in permuted coordinates: rows ascending per column.
+    l_col_ptr_.assign(n_ + 1, 0);
+    l_row_.clear();
+    for (std::size_t j = 0; j < n_; ++j) {
+        l_col_ptr_[j] = l_row_.size();
+        std::vector<std::size_t> rows;
+        rows.reserve(col_nodes[j].size());
+        for (std::size_t node : col_nodes[j])
+            rows.push_back(iperm_[node]);
+        std::sort(rows.begin(), rows.end());
+        l_row_.insert(l_row_.end(), rows.begin(), rows.end());
+    }
+    l_col_ptr_[n_] = l_row_.size();
+    l_val_.assign(l_row_.size(), 0.0);
+    l_diag_.assign(n_, 0.0);
+
+    // Re-address A's lower-triangle entries to permuted coordinates for
+    // the numeric scatter: entry (i, j) lands in permuted column
+    // min(iperm) with permuted row max(iperm).
+    struct PermEntry
+    {
+        std::size_t col;
+        std::size_t row;
+        std::size_t src;
+    };
+    std::vector<PermEntry> entries;
+    entries.reserve(nnz_a_lower_);
+    for (std::size_t col = 0; col < n_; ++col) {
+        for (std::size_t t = a_col_ptr_[col]; t < a_col_ptr_[col + 1];
+             ++t) {
+            const std::size_t pi = iperm_[a_row_idx_[t]];
+            const std::size_t pj = iperm_[col];
+            entries.push_back(
+                {std::min(pi, pj), std::max(pi, pj), t});
+        }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const PermEntry& x, const PermEntry& y) {
+                         if (x.col != y.col)
+                             return x.col < y.col;
+                         return x.row < y.row;
+                     });
+    a_perm_col_ptr_.assign(n_ + 1, 0);
+    a_perm_row_.resize(entries.size());
+    a_perm_src_.resize(entries.size());
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+        a_perm_col_ptr_[j] = k;
+        while (k < entries.size() && entries[k].col == j) {
+            a_perm_row_[k] = entries[k].row;
+            a_perm_src_[k] = entries[k].src;
+            ++k;
+        }
+    }
+    a_perm_col_ptr_[n_] = k;
+}
+
+void
+SparseCholesky::factorize(const SparseSpdMatrix& a)
+{
+    if (!a.compressed())
+        fatal("SparseCholesky::factorize: matrix not compressed");
+    if (!patternMatches(a))
+        analyze(a);
+
+    const std::vector<double>& avals = a.values();
+
+    // Left-looking numeric factorization with the symbolic pattern fixed.
+    // pending[j] chains the columns k < j whose next unconsumed entry
+    // sits at row j (the standard cursor/linked-list technique); the
+    // chain order is deterministic, so repeated factorizations of the
+    // same values are bit-identical.
+    std::vector<double> w(n_, 0.0);
+    std::vector<std::ptrdiff_t> head(n_, -1);
+    std::vector<std::ptrdiff_t> next(n_, -1);
+    std::vector<std::size_t> cursor(n_, 0);
+
+    for (std::size_t j = 0; j < n_; ++j) {
+        // Clear + scatter A's column j (diagonal and structural rows).
+        w[j] = 0.0;
+        for (std::size_t t = l_col_ptr_[j]; t < l_col_ptr_[j + 1]; ++t)
+            w[l_row_[t]] = 0.0;
+        for (std::size_t t = a_perm_col_ptr_[j]; t < a_perm_col_ptr_[j + 1];
+             ++t)
+            w[a_perm_row_[t]] += avals[a_perm_src_[t]];
+
+        // Apply the updates of every finished column with an entry at
+        // row j: w -= L(j:, k) * L(j, k).
+        std::ptrdiff_t k = head[j];
+        head[j] = -1;
+        while (k >= 0) {
+            const std::ptrdiff_t k_next = next[k];
+            const std::size_t kk = static_cast<std::size_t>(k);
+            const std::size_t pos = cursor[kk];
+            const double ljk = l_val_[pos];
+            for (std::size_t t = pos; t < l_col_ptr_[kk + 1]; ++t)
+                w[l_row_[t]] -= l_val_[t] * ljk;
+            cursor[kk] = pos + 1;
+            if (cursor[kk] < l_col_ptr_[kk + 1]) {
+                const std::size_t r = l_row_[cursor[kk]];
+                next[k] = head[r];
+                head[r] = k;
+            }
+            k = k_next;
+        }
+
+        if (!(w[j] > 0.0) || !std::isfinite(w[j])) {
+            fatal(strcatMsg("SparseCholesky: matrix not positive definite "
+                            "(pivot ",
+                            w[j], " at permuted column ", j, ")"));
+        }
+        const double d = std::sqrt(w[j]);
+        l_diag_[j] = d;
+        const double inv_d = 1.0 / d;
+        for (std::size_t t = l_col_ptr_[j]; t < l_col_ptr_[j + 1]; ++t)
+            l_val_[t] = w[l_row_[t]] * inv_d;
+        cursor[j] = l_col_ptr_[j];
+        if (l_col_ptr_[j] < l_col_ptr_[j + 1]) {
+            const std::size_t r = l_row_[l_col_ptr_[j]];
+            next[static_cast<std::ptrdiff_t>(j)] = head[r];
+            head[r] = static_cast<std::ptrdiff_t>(j);
+        }
+    }
+}
+
+void
+SparseCholesky::solveInterleavedInPlace(double* b, std::size_t n_rhs,
+                                        std::vector<double>& work) const
+{
+    if (n_ == 0)
+        fatal("SparseCholesky::solve: not factorized");
+    if (n_rhs == 0)
+        return;
+    work.resize(n_ * n_rhs);
+    double* x = work.data();
+
+    // Permute into elimination order.
+    for (std::size_t j = 0; j < n_; ++j) {
+        const double* src = b + perm_[j] * n_rhs;
+        double* dst = x + j * n_rhs;
+        for (std::size_t r = 0; r < n_rhs; ++r)
+            dst[r] = src[r];
+    }
+    // Forward solve L y = b: per column, divide by the diagonal, then
+    // subtract the column's contribution from the rows below. The inner
+    // loops run over the contiguous RHS dimension.
+    for (std::size_t j = 0; j < n_; ++j) {
+        double* xj = x + j * n_rhs;
+        const double inv_d = 1.0 / l_diag_[j];
+        for (std::size_t r = 0; r < n_rhs; ++r)
+            xj[r] *= inv_d;
+        for (std::size_t t = l_col_ptr_[j]; t < l_col_ptr_[j + 1]; ++t) {
+            const double l = l_val_[t];
+            double* xr = x + l_row_[t] * n_rhs;
+            for (std::size_t r = 0; r < n_rhs; ++r)
+                xr[r] -= l * xj[r];
+        }
+    }
+    // Backward solve L^T x = y.
+    for (std::size_t j = n_; j-- > 0;) {
+        double* xj = x + j * n_rhs;
+        for (std::size_t t = l_col_ptr_[j]; t < l_col_ptr_[j + 1]; ++t) {
+            const double l = l_val_[t];
+            const double* xr = x + l_row_[t] * n_rhs;
+            for (std::size_t r = 0; r < n_rhs; ++r)
+                xj[r] -= l * xr[r];
+        }
+        const double inv_d = 1.0 / l_diag_[j];
+        for (std::size_t r = 0; r < n_rhs; ++r)
+            xj[r] *= inv_d;
+    }
+    // Un-permute.
+    for (std::size_t j = 0; j < n_; ++j) {
+        const double* src = x + j * n_rhs;
+        double* dst = b + perm_[j] * n_rhs;
+        for (std::size_t r = 0; r < n_rhs; ++r)
+            dst[r] = src[r];
+    }
+}
+
+void
+SparseCholesky::solveInPlace(std::vector<double>& b,
+                             std::vector<double>& work) const
+{
+    if (b.size() != n_)
+        fatal("SparseCholesky::solve: rhs size mismatch");
+    solveInterleavedInPlace(b.data(), 1, work);
+}
+
+void
+SparseCholesky::solveInPlace(std::vector<double>& b) const
+{
+    std::vector<double> work;
+    solveInPlace(b, work);
+}
+
+} // namespace tlp::util

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Sparse Cholesky factorization for symmetric positive-definite systems.
+ *
+ * The thermal RC conductance matrix is SPD and floorplan-sparse: a block
+ * couples only to its abutting neighbours and the shared heat-sink node.
+ * Dense LU pays O(n^2) per back-substitution regardless; the sparse factor
+ * pays O(nnz(L)), which for tiled floorplans grows roughly linearly in the
+ * block count. Three structural facts are exploited:
+ *
+ *  - the *pattern* is fixed per floorplan, so the fill-reducing ordering
+ *    and the symbolic factorization are computed once and reused across
+ *    every numeric refactorization (package calibration bisects on a
+ *    resistance parameter, changing values but never structure);
+ *  - a greedy minimum-degree ordering keeps fill low and, as a natural
+ *    consequence, eliminates the heat-sink node (degree n: it couples to
+ *    every block) last instead of letting it densify the factor;
+ *  - the coupled power/temperature fixed point prices many operating
+ *    points against the same factor, so the solve supports multiple
+ *    right-hand sides in one factor traversal with the inner loop over
+ *    the RHS dimension contiguous in memory.
+ *
+ * Determinism contract: for a fixed pattern, the ordering, the symbolic
+ * pattern, and every numeric operation sequence are fully deterministic,
+ * so repeated factorizations and solves of the same system are
+ * bit-identical run to run. The single-RHS solve is the multi-RHS solve
+ * with one column — per-column arithmetic is identical by construction.
+ */
+
+#ifndef TLP_UTIL_SPARSE_CHOLESKY_HPP
+#define TLP_UTIL_SPARSE_CHOLESKY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tlp::util {
+
+/**
+ * Triplet-assembled symmetric matrix, stored as the lower triangle in
+ * compressed sparse column (CSC) form after compress().
+ *
+ * add() accepts entries in either triangle and accumulates duplicates in
+ * insertion order (stable sort at compression), so an assembly loop that
+ * mirrors the dense builder's accumulation order produces bitwise the
+ * same values on the shared entries.
+ */
+class SparseSpdMatrix
+{
+  public:
+    explicit SparseSpdMatrix(std::size_t n);
+
+    /** Accumulate A(i, j) += v (symmetric: only the lower-triangle image
+     *  of the entry is stored). */
+    void add(std::size_t i, std::size_t j, double v);
+
+    /** Build the CSC lower triangle from the accumulated triplets.
+     *  Further add() calls are rejected. */
+    void compress();
+
+    std::size_t size() const { return n_; }
+    bool compressed() const { return compressed_; }
+
+    /** Structural nonzeros of the lower triangle (after compress()). */
+    std::size_t nnzLower() const { return row_idx_.size(); }
+
+    /** CSC column pointers of the lower triangle, size n + 1. */
+    const std::vector<std::size_t>& colPtr() const { return col_ptr_; }
+    /** CSC row indices (ascending within each column, diagonal first). */
+    const std::vector<std::size_t>& rowIdx() const { return row_idx_; }
+    /** CSC values, parallel to rowIdx(). */
+    const std::vector<double>& values() const { return values_; }
+
+  private:
+    struct Triplet
+    {
+        std::size_t row;
+        std::size_t col;
+        double value;
+    };
+
+    std::size_t n_;
+    bool compressed_ = false;
+    std::vector<Triplet> triplets_;
+    std::vector<std::size_t> col_ptr_;
+    std::vector<std::size_t> row_idx_;
+    std::vector<double> values_;
+};
+
+/**
+ * Cached sparse Cholesky factorization A = L D^(1/2) ... specifically
+ * A = L L^T with L lower-triangular (diagonal stored separately).
+ *
+ * factorize() runs the symbolic analysis (minimum-degree ordering +
+ * elimination pattern) only when the pattern differs from the cached one;
+ * refactorizing after a value-only change reuses the symbolic result and
+ * performs numeric work alone. Throws FatalError when the matrix is not
+ * positive definite.
+ */
+class SparseCholesky
+{
+  public:
+    SparseCholesky() = default;
+
+    /** Factor @p a (must be compress()ed). Reuses the cached symbolic
+     *  analysis when a's pattern matches the previous factorization. */
+    void factorize(const SparseSpdMatrix& a);
+
+    /** Dimension of the factored system (0 before any factorize()). */
+    std::size_t size() const { return n_; }
+
+    /** Nonzeros of L including the diagonal. */
+    std::size_t nnzL() const { return l_row_.size() + n_; }
+
+    /** Fill-in: structural nonzeros of L (incl. diagonal) minus those of
+     *  the assembled lower triangle. */
+    std::size_t fillIn() const { return nnzL() - nnz_a_lower_; }
+
+    /** Symbolic analyses performed over this object's lifetime — stays at
+     *  1 across any number of value-only refactorizations. */
+    std::uint64_t symbolicAnalyses() const { return symbolic_analyses_; }
+
+    /**
+     * Solve A x = b in place. @p work is resized as needed and reusable
+     * across calls; the overload without it allocates per call.
+     */
+    void solveInPlace(std::vector<double>& b, std::vector<double>& work)
+        const;
+    void solveInPlace(std::vector<double>& b) const;
+
+    /**
+     * Multi-RHS solve in node-major interleaved layout: column r of
+     * right-hand side p lives at b[node * n_rhs + p]. One traversal of
+     * the factor serves all columns; per-column arithmetic is identical
+     * to the single-RHS solve (same operations in the same order), so a
+     * batch of one is bit-identical to solveInPlace().
+     */
+    void solveInterleavedInPlace(double* b, std::size_t n_rhs,
+                                 std::vector<double>& work) const;
+
+  private:
+    void analyze(const SparseSpdMatrix& a);
+    bool patternMatches(const SparseSpdMatrix& a) const;
+
+    std::size_t n_ = 0;
+    std::size_t nnz_a_lower_ = 0;
+    std::uint64_t symbolic_analyses_ = 0;
+
+    // Cached pattern of the assembled matrix (for reuse detection).
+    std::vector<std::size_t> a_col_ptr_;
+    std::vector<std::size_t> a_row_idx_;
+
+    // Fill-reducing ordering: perm_[k] = original node at elimination
+    // position k; iperm_ is its inverse.
+    std::vector<std::size_t> perm_;
+    std::vector<std::size_t> iperm_;
+
+    // Symbolic pattern of L in permuted coordinates: strictly-below-
+    // diagonal entries in CSC (rows ascending per column); the diagonal
+    // lives in l_diag_.
+    std::vector<std::size_t> l_col_ptr_;
+    std::vector<std::size_t> l_row_;
+    std::vector<double> l_val_;
+    std::vector<double> l_diag_;
+
+    // A's lower-triangle entries re-addressed to permuted coordinates,
+    // grouped by permuted column: source index into a.values() plus the
+    // permuted row, for the numeric scatter.
+    std::vector<std::size_t> a_perm_col_ptr_;
+    std::vector<std::size_t> a_perm_row_;
+    std::vector<std::size_t> a_perm_src_;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_SPARSE_CHOLESKY_HPP

@@ -415,4 +415,84 @@ TEST(Scenario2Nodes, PaperFigure2Shape)
     EXPECT_LT(tail65, tail130 * 1.05);
 }
 
+// -------------------------------------- batched vs scalar differentials
+
+TEST(BatchedEvaluate, BitIdenticalToScalarEvaluate)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 32);
+    const tech::Technology& t = cmp.technology();
+
+    std::vector<model::OperatingPoint> ops;
+    for (int n : {1, 4, 16, 32})
+        for (double v : {0.6, 0.8, t.vddNominal()})
+            ops.push_back({n, v, 0.75 * t.fNominal()});
+
+    const auto batched = cmp.evaluateBatch(ops);
+    ASSERT_EQ(batched.size(), ops.size());
+    for (std::size_t p = 0; p < ops.size(); ++p) {
+        const auto scalar = cmp.evaluate(ops[p]);
+        EXPECT_EQ(batched[p].total_w, scalar.total_w) << "p=" << p;
+        EXPECT_EQ(batched[p].dynamic_w, scalar.dynamic_w) << "p=" << p;
+        EXPECT_EQ(batched[p].static_w, scalar.static_w) << "p=" << p;
+        EXPECT_EQ(batched[p].avg_active_temp_c, scalar.avg_active_temp_c)
+            << "p=" << p;
+        EXPECT_EQ(batched[p].max_temp_c, scalar.max_temp_c) << "p=" << p;
+        EXPECT_EQ(batched[p].iterations, scalar.iterations) << "p=" << p;
+        EXPECT_EQ(batched[p].converged, scalar.converged) << "p=" << p;
+        EXPECT_EQ(batched[p].runaway, scalar.runaway) << "p=" << p;
+    }
+}
+
+TEST(BatchedEvaluate, EmptyBatchIsFine)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 4);
+    EXPECT_TRUE(cmp.evaluateBatch({}).empty());
+}
+
+TEST(BatchedScenario1, SolveBatchBitIdenticalToScalarSolve)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 32);
+    const Scenario1 scenario(cmp);
+
+    // Mix of feasible and infeasible (n * eps < 1) points, as in a
+    // figure row swept over the efficiency grid.
+    std::vector<std::pair<int, double>> points = {
+        {1, 1.0}, {2, 0.3}, {4, 0.9}, {8, 1.0}, {16, 0.7}, {32, 0.5}};
+    const auto batched = scenario.solveBatch(points);
+    ASSERT_EQ(batched.size(), points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        const auto scalar =
+            scenario.solve(points[p].first, points[p].second);
+        EXPECT_EQ(batched[p].feasible, scalar.feasible) << "p=" << p;
+        EXPECT_EQ(batched[p].freq, scalar.freq) << "p=" << p;
+        EXPECT_EQ(batched[p].vdd, scalar.vdd) << "p=" << p;
+        EXPECT_EQ(batched[p].v_floor_hit, scalar.v_floor_hit) << "p=" << p;
+        EXPECT_EQ(batched[p].normalized_power, scalar.normalized_power)
+            << "p=" << p;
+        EXPECT_EQ(batched[p].power.total_w, scalar.power.total_w)
+            << "p=" << p;
+        EXPECT_EQ(batched[p].power.avg_active_temp_c,
+                  scalar.power.avg_active_temp_c)
+            << "p=" << p;
+    }
+}
+
+TEST(BatchedScenario2, SolveBitIdenticalToSolveScalar)
+{
+    const AnalyticCmp cmp(tech::tech65nm(), 32);
+    const Scenario2 scenario(cmp);
+
+    for (int n : {1, 6, 16, 32}) {
+        const auto batched = scenario.solve(n, 1.0);
+        const auto scalar = scenario.solveScalar(n, 1.0);
+        EXPECT_EQ(batched.vdd, scalar.vdd) << "n=" << n;
+        EXPECT_EQ(batched.freq, scalar.freq) << "n=" << n;
+        EXPECT_EQ(batched.speedup, scalar.speedup) << "n=" << n;
+        EXPECT_EQ(batched.feasible, scalar.feasible) << "n=" << n;
+        EXPECT_EQ(batched.budget_bound, scalar.budget_bound) << "n=" << n;
+        EXPECT_EQ(batched.power.total_w, scalar.power.total_w)
+            << "n=" << n;
+    }
+}
+
 } // namespace

@@ -266,6 +266,10 @@ TEST(RunMetrics, AgreesWithSweepReport)
     EXPECT_EQ(m.thermal_accelerated_solves,
               report.thermal_accelerated_solves);
     EXPECT_EQ(m.thermal_fallback_solves, report.thermal_fallback_solves);
+    EXPECT_EQ(m.thermal_solves, report.thermal_solves);
+    EXPECT_EQ(m.thermal_solve_passes, report.thermal_solve_passes);
+    EXPECT_EQ(m.thermal_factorizations, report.thermal_factorizations);
+    EXPECT_EQ(m.thermal_max_batch_rhs, report.thermal_max_batch_rhs);
     EXPECT_EQ(m.queue_high_water, report.queue_high_water);
     EXPECT_EQ(m.core_cycles.size(), report.core_cycles.size());
 
@@ -276,6 +280,13 @@ TEST(RunMetrics, AgreesWithSweepReport)
     EXPECT_EQ(m.thermal_damped_solves + m.thermal_accelerated_solves +
                   m.thermal_fallback_solves,
               m.price_calls);
+
+    // Linear-solver accounting: every RHS rode some factor traversal,
+    // and traversals can never outnumber the sides they carried.
+    EXPECT_GT(m.thermal_solves, 0u);
+    EXPECT_GT(m.thermal_solve_passes, 0u);
+    EXPECT_LE(m.thermal_solve_passes, m.thermal_solves);
+    EXPECT_GE(m.thermal_max_batch_rhs, 1u);
     EXPECT_FALSE(m.core_cycles.empty());
     std::uint64_t total_cycles = 0;
     for (const sim::CoreCycleBreakdown& c : m.core_cycles)
@@ -300,7 +311,9 @@ TEST(RunMetrics, JsonCarriesEveryCounter)
           "\"priced_cache_hits\":", "\"priced_cache_misses\":",
           "\"priced_cache_hit_rate\":", "\"thermal_damped_solves\":",
           "\"thermal_accelerated_solves\":",
-          "\"thermal_fallback_solves\":", "\"queue_high_water\":",
+          "\"thermal_fallback_solves\":", "\"thermal_solves\":",
+          "\"thermal_solve_passes\":", "\"thermal_factorizations\":",
+          "\"thermal_max_batch_rhs\":", "\"queue_high_water\":",
           "\"per_core\":", "\"busy\":", "\"stall_mem\":",
           "\"stall_sync\":"}) {
         EXPECT_NE(json.find(key), std::string::npos)

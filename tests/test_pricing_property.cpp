@@ -74,6 +74,35 @@ TEST_P(PricingProperty, SplitPipelineEqualsFullMeasureOnVfGrid)
     }
 }
 
+TEST_P(PricingProperty, PriceBatchEqualsScalarPriceRunOnVfGrid)
+{
+    // The batched pricer runs all voltages of a run through one lockstep
+    // thermal fixed point; every entry must render %.17g-identical to the
+    // scalar priceRun of that voltage — batching may only amortize factor
+    // traversals, never move a bit.
+    const runner::Experiment exp(kScale);
+    const auto& app = workloads::byName(GetParam());
+    const double f1 = exp.technology().fNominal();
+    const double v1 = exp.technology().vddNominal();
+    const double v_min = exp.technology().vMin();
+
+    const std::vector<double> vdds = {v_min, 0.35 * v_min + 0.65 * v1,
+                                      0.5 * (v_min + v1), v1};
+    for (const double f : {0.5 * f1, f1}) {
+        const auto run = exp.trySimulateApp(app, 2, f);
+        ASSERT_TRUE(run.ok()) << run.error().describe();
+        const std::vector<runner::Measurement> batch =
+            exp.priceBatch(*run.value(), vdds);
+        ASSERT_EQ(batch.size(), vdds.size());
+        for (std::size_t p = 0; p < vdds.size(); ++p) {
+            const runner::Measurement scalar =
+                exp.priceRun(*run.value(), vdds[p]);
+            EXPECT_EQ(formatted(batch[p]), formatted(scalar))
+                << GetParam() << " at v=" << vdds[p] << " f=" << f;
+        }
+    }
+}
+
 TEST_P(PricingProperty, RawCachedRunPricesIdenticallyToFreshRun)
 {
     // The shared raw cache hands every worker the same RunResult object;

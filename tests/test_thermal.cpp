@@ -19,6 +19,7 @@ using thermal::Block;
 using thermal::Floorplan;
 using thermal::RCModel;
 using thermal::RCParams;
+using thermal::ThermalSolverKind;
 
 // -------------------------------------------------------------- floorplan
 
@@ -321,8 +322,11 @@ TEST(RCFactoredSolve, BitIdenticalToDirectDenseSolve)
 {
     // The cached-LU solve must reproduce the historical
     // solveDense(conductance, rhs) doubles exactly — the figure tables
-    // are byte-compared against pre-optimization output.
-    RCModel model(thermal::makeTiledCmp(8, 1e-5, 2e-5, true), RCParams{});
+    // are byte-compared against pre-optimization output. Pinned to the
+    // dense backend: the sparse-Cholesky path agrees only to roundoff
+    // (see SparseSolverMatchesDense below).
+    RCModel model(thermal::makeTiledCmp(8, 1e-5, 2e-5, true), RCParams{},
+                  ThermalSolverKind::Dense);
     const std::size_t blocks = model.floorplan().size();
     std::vector<double> power(blocks);
     for (std::size_t i = 0; i < blocks; ++i)
@@ -407,6 +411,178 @@ TEST(CoupledAccelerated, ExplosiveFeedbackStillFlagsRunaway)
     EXPECT_TRUE(result.runaway);
     for (double t : result.thermal.block_temps_c)
         EXPECT_LE(t, thermal::kRunawayTempC + 1e-9);
+}
+
+// --------------------------------------------- sparse-Cholesky backend
+
+TEST(SparseSolver, MatchesDenseToRoundoff)
+{
+    // Differential test across the two factorization backends: the
+    // figure tables print at 3 decimals, so agreement to ~1e-9 C keeps
+    // them byte-identical under either TLPPM_THERMAL_SOLVER setting.
+    const auto plan = thermal::makeTiledCmp(8, 1e-5, 2e-5, true);
+    RCModel dense(plan, RCParams{}, ThermalSolverKind::Dense);
+    RCModel sparse(plan, RCParams{}, ThermalSolverKind::Sparse);
+    EXPECT_STREQ(dense.solverName(), "dense-lu");
+    EXPECT_STREQ(sparse.solverName(), "sparse-cholesky");
+
+    std::vector<double> power(plan.size());
+    for (std::size_t i = 0; i < power.size(); ++i)
+        power[i] = 0.5 + 0.25 * static_cast<double>(i);
+
+    const auto sd = dense.solve(power);
+    const auto ss = sparse.solve(power);
+    ASSERT_EQ(sd.block_temps_c.size(), ss.block_temps_c.size());
+    for (std::size_t i = 0; i < sd.block_temps_c.size(); ++i)
+        EXPECT_NEAR(ss.block_temps_c[i], sd.block_temps_c[i], 1e-9);
+    EXPECT_NEAR(ss.sink_temp_c, sd.sink_temp_c, 1e-9);
+    EXPECT_NEAR(ss.max_temp_c, sd.max_temp_c, 1e-9);
+    EXPECT_NEAR(ss.avg_core_temp_c, sd.avg_core_temp_c, 1e-9);
+}
+
+TEST(SparseSolver, SymbolicAnalysisCachedAcrossRefactorizations)
+{
+    RCModel model(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{},
+                  ThermalSolverKind::Sparse);
+    EXPECT_EQ(model.factorizationCount(), 1u);
+    EXPECT_EQ(model.symbolicAnalysisCount(), 1u);
+
+    for (int round = 0; round < 3; ++round) {
+        RCParams params = model.params();
+        params.ambient_c += 1.0;
+        model.setParams(params);
+    }
+    // Values changed three times, the pattern never did: three numeric
+    // refactorizations ride on the single cached symbolic analysis.
+    EXPECT_EQ(model.factorizationCount(), 4u);
+    EXPECT_EQ(model.symbolicAnalysisCount(), 1u);
+
+    RCModel dense(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{},
+                  ThermalSolverKind::Dense);
+    EXPECT_EQ(dense.symbolicAnalysisCount(), 0u);
+}
+
+// ------------------------------------------------- batched solve paths
+
+TEST(BatchSolve, ManyIntoBitIdenticalToScalarSolves)
+{
+    RCModel model(thermal::makeTiledCmp(4, 1e-5, 2e-5, true), RCParams{});
+    const std::size_t blocks = model.floorplan().size();
+
+    std::vector<std::vector<double>> maps;
+    for (int k = 0; k < 3; ++k) {
+        std::vector<double> p(blocks);
+        for (std::size_t i = 0; i < blocks; ++i)
+            p[i] = 0.5 * (k + 1) + 0.1 * static_cast<double>(i);
+        maps.push_back(std::move(p));
+    }
+
+    std::vector<thermal::ThermalSolution> scalar;
+    for (const auto& p : maps)
+        scalar.push_back(model.solve(p));
+
+    const auto solves_before = model.solveCount();
+    const auto passes_before = model.solvePassCount();
+    std::vector<const std::vector<double>*> ptrs;
+    for (const auto& p : maps)
+        ptrs.push_back(&p);
+    std::vector<thermal::ThermalSolution> batched;
+    thermal::BatchSolveScratch scratch;
+    model.solveManyInto(ptrs, batched, scratch);
+
+    EXPECT_EQ(model.solveCount(), solves_before + maps.size());
+    EXPECT_EQ(model.solvePassCount(), passes_before + 1);
+    EXPECT_GE(model.maxBatchRhs(), maps.size());
+
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::size_t k = 0; k < maps.size(); ++k) {
+        for (std::size_t i = 0; i < blocks; ++i) {
+            EXPECT_EQ(batched[k].block_temps_c[i],
+                      scalar[k].block_temps_c[i]);
+        }
+        EXPECT_EQ(batched[k].sink_temp_c, scalar[k].sink_temp_c);
+        EXPECT_EQ(batched[k].max_temp_c, scalar[k].max_temp_c);
+        EXPECT_EQ(batched[k].avg_core_temp_c, scalar[k].avg_core_temp_c);
+    }
+}
+
+TEST(CoupledBatch, BitIdenticalToScalarSolveCoupled)
+{
+    RCModel model(thermal::makeTiledCmp(4, 1e-5, 0.0, false), RCParams{});
+    const std::size_t blocks = model.floorplan().size();
+
+    // Three points with different feedback gains converge at different
+    // iterations, exercising the active-set compaction.
+    const double gains[] = {0.005, 0.02, 0.035};
+    const auto power_at = [&](std::size_t p,
+                              const std::vector<double>& temps,
+                              std::vector<double>& out) {
+        out.assign(blocks, 0.0);
+        for (std::size_t i = 0; i < blocks; ++i)
+            out[i] = 3.0 * (1.0 + gains[p] * (temps[i] - 45.0));
+    };
+
+    std::vector<thermal::CoupledResult> scalar;
+    for (std::size_t p = 0; p < 3; ++p) {
+        scalar.push_back(thermal::solveCoupled(
+            model, [&](const std::vector<double>& temps) {
+                std::vector<double> out;
+                power_at(p, temps, out);
+                return out;
+            }));
+    }
+
+    thermal::CoupledBatchScratch scratch;
+    const auto batched =
+        thermal::solveCoupledBatch(model, 3, power_at, scratch);
+
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::size_t p = 0; p < 3; ++p) {
+        EXPECT_EQ(batched[p].converged, scalar[p].converged);
+        EXPECT_EQ(batched[p].runaway, scalar[p].runaway);
+        EXPECT_EQ(batched[p].iterations, scalar[p].iterations);
+        EXPECT_EQ(batched[p].total_power, scalar[p].total_power);
+        for (std::size_t i = 0; i < blocks; ++i) {
+            EXPECT_EQ(batched[p].thermal.block_temps_c[i],
+                      scalar[p].thermal.block_temps_c[i]);
+            EXPECT_EQ(batched[p].block_power[i], scalar[p].block_power[i]);
+        }
+    }
+}
+
+TEST(CoupledBatch, RunawayPointDoesNotPerturbOthers)
+{
+    RCModel model(thermal::makeTiledCmp(2, 1e-5, 0.0, false), RCParams{});
+    const std::size_t blocks = model.floorplan().size();
+    const auto power_at = [&](std::size_t p,
+                              const std::vector<double>& temps,
+                              std::vector<double>& out) {
+        out.assign(blocks, 0.0);
+        for (std::size_t i = 0; i < blocks; ++i) {
+            out[i] = p == 0 ? std::exp((temps[i] - 40.0) * 0.5)
+                            : 4.0 * (1.0 + 0.01 * (temps[i] - 45.0));
+        }
+    };
+
+    thermal::CoupledBatchScratch scratch;
+    const auto batched =
+        thermal::solveCoupledBatch(model, 2, power_at, scratch);
+    EXPECT_TRUE(batched[0].runaway);
+    EXPECT_FALSE(batched[1].runaway);
+    EXPECT_TRUE(batched[1].converged);
+
+    const auto mild = thermal::solveCoupled(
+        model, [&](const std::vector<double>& temps) {
+            std::vector<double> out;
+            power_at(1, temps, out);
+            return out;
+        });
+    EXPECT_EQ(batched[1].iterations, mild.iterations);
+    EXPECT_EQ(batched[1].total_power, mild.total_power);
+    for (std::size_t i = 0; i < blocks; ++i) {
+        EXPECT_EQ(batched[1].thermal.block_temps_c[i],
+                  mild.thermal.block_temps_c[i]);
+    }
 }
 
 } // namespace

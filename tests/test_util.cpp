@@ -18,6 +18,7 @@
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/solver.hpp"
+#include "util/sparse_cholesky.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -643,6 +644,211 @@ TEST(LuFactorization, RejectsSingularAndNonSquare)
     const LuFactorization lu(good);
     std::vector<double> wrong_size = {1.0, 2.0, 3.0};
     EXPECT_THROW(lu.solveInPlace(wrong_size), FatalError);
+}
+
+TEST(LuFactorization, InterleavedSolveBitIdenticalToScalarSolves)
+{
+    Rng rng(42);
+    Matrix a(7, 7);
+    for (std::size_t r = 0; r < 7; ++r) {
+        for (std::size_t c = 0; c < 7; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+        a(r, r) += 5.0;
+    }
+    const LuFactorization lu(a);
+
+    constexpr std::size_t kRhs = 3;
+    std::vector<std::vector<double>> rhs(kRhs, std::vector<double>(7));
+    for (auto& b : rhs)
+        for (double& v : b)
+            v = rng.uniform(-5.0, 5.0);
+
+    std::vector<double> interleaved(7 * kRhs);
+    for (std::size_t i = 0; i < 7; ++i)
+        for (std::size_t p = 0; p < kRhs; ++p)
+            interleaved[i * kRhs + p] = rhs[p][i];
+    std::vector<double> work;
+    lu.solveInterleavedInPlace(interleaved.data(), kRhs, work);
+
+    for (std::size_t p = 0; p < kRhs; ++p) {
+        const std::vector<double> scalar = lu.solve(rhs[p]);
+        for (std::size_t i = 0; i < 7; ++i)
+            EXPECT_EQ(interleaved[i * kRhs + p], scalar[i]) << "rhs=" << p;
+    }
+}
+
+// ------------------------------------------------------ sparse Cholesky
+
+/** Random SPD system shaped like the thermal conductance matrices:
+ *  a sparse symmetric Laplacian-ish coupling plus a strictly positive
+ *  diagonal, assembled simultaneously into dense and sparse forms. */
+void
+makeRandomSpd(Rng& rng, std::size_t n, double link_chance, Matrix& dense,
+              SparseSpdMatrix& sparse)
+{
+    dense = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = rng.uniform(1.0, 3.0);
+        dense(i, i) += d;
+        sparse.add(i, i, d);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (!rng.chance(link_chance))
+                continue;
+            const double w = rng.uniform(0.1, 2.0);
+            dense(i, i) += w;
+            dense(j, j) += w;
+            dense(i, j) -= w;
+            dense(j, i) -= w;
+            sparse.add(i, i, w);
+            sparse.add(j, j, w);
+            sparse.add(i, j, -w); // upper-triangle image, mapped down
+        }
+    }
+    sparse.compress();
+}
+
+TEST(SparseCholesky, MatchesDenseSolveOnRandomSpdSystems)
+{
+    Rng rng(20260808);
+    for (const std::size_t n : {1u, 2u, 5u, 12u, 33u}) {
+        Matrix dense(1, 1);
+        SparseSpdMatrix sparse(n);
+        makeRandomSpd(rng, n, 0.3, dense, sparse);
+
+        SparseCholesky chol;
+        chol.factorize(sparse);
+        EXPECT_EQ(chol.size(), n);
+
+        std::vector<double> b(n);
+        for (double& v : b)
+            v = rng.uniform(-10.0, 10.0);
+        const std::vector<double> expected = solveDense(dense, b);
+        std::vector<double> got = b;
+        chol.solveInPlace(got);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(got[i], expected[i], 1e-9) << "n=" << n;
+    }
+}
+
+TEST(SparseCholesky, InterleavedSolveBitIdenticalToSingleRhs)
+{
+    Rng rng(99);
+    const std::size_t n = 14;
+    Matrix dense(1, 1);
+    SparseSpdMatrix sparse(n);
+    makeRandomSpd(rng, n, 0.25, dense, sparse);
+    SparseCholesky chol;
+    chol.factorize(sparse);
+
+    constexpr std::size_t kRhs = 4;
+    std::vector<std::vector<double>> rhs(kRhs, std::vector<double>(n));
+    for (auto& b : rhs)
+        for (double& v : b)
+            v = rng.uniform(-5.0, 5.0);
+
+    std::vector<double> interleaved(n * kRhs);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t p = 0; p < kRhs; ++p)
+            interleaved[i * kRhs + p] = rhs[p][i];
+    std::vector<double> work;
+    chol.solveInterleavedInPlace(interleaved.data(), kRhs, work);
+
+    for (std::size_t p = 0; p < kRhs; ++p) {
+        std::vector<double> scalar = rhs[p];
+        chol.solveInPlace(scalar);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(interleaved[i * kRhs + p], scalar[i]) << "rhs=" << p;
+    }
+}
+
+TEST(SparseCholesky, SymbolicAnalysisReusedForValueOnlyRefactorization)
+{
+    const auto assemble = [](double scale) {
+        SparseSpdMatrix a(4);
+        for (std::size_t i = 0; i < 4; ++i)
+            a.add(i, i, 2.0 * scale);
+        a.add(1, 0, -0.5 * scale);
+        a.add(2, 1, -0.5 * scale);
+        a.add(3, 2, -0.5 * scale);
+        a.compress();
+        return a;
+    };
+
+    SparseCholesky chol;
+    EXPECT_EQ(chol.symbolicAnalyses(), 0u);
+    const SparseSpdMatrix a1 = assemble(1.0);
+    chol.factorize(a1);
+    EXPECT_EQ(chol.symbolicAnalyses(), 1u);
+
+    // Same pattern, different values: numeric-only refactorization.
+    const SparseSpdMatrix a2 = assemble(3.0);
+    chol.factorize(a2);
+    EXPECT_EQ(chol.symbolicAnalyses(), 1u);
+
+    std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> b_orig = b;
+    chol.solveInPlace(b);
+    // a2 = 3 * a1, so x2 = x1 / 3: the refactorization took the values.
+    SparseCholesky fresh;
+    fresh.factorize(a1);
+    std::vector<double> b1 = b_orig;
+    fresh.solveInPlace(b1);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(b[i], b1[i] / 3.0, 1e-12);
+
+    // A different pattern triggers a second symbolic analysis.
+    SparseSpdMatrix wider(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        wider.add(i, i, 2.0);
+    wider.add(3, 0, -0.5);
+    wider.compress();
+    chol.factorize(wider);
+    EXPECT_EQ(chol.symbolicAnalyses(), 2u);
+}
+
+TEST(SparseCholesky, DuplicateEntriesAccumulate)
+{
+    SparseSpdMatrix a(2);
+    a.add(0, 0, 1.0);
+    a.add(0, 0, 1.0); // accumulates to 2.0
+    a.add(1, 1, 2.0);
+    a.compress();
+    EXPECT_EQ(a.nnzLower(), 2u);
+
+    SparseCholesky chol;
+    chol.factorize(a);
+    std::vector<double> b = {4.0, 6.0};
+    chol.solveInPlace(b);
+    EXPECT_NEAR(b[0], 2.0, 1e-12);
+    EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SparseCholesky, RejectsIndefiniteMatrix)
+{
+    SparseSpdMatrix a(2);
+    a.add(0, 0, 1.0);
+    a.add(1, 1, -1.0);
+    a.compress();
+    SparseCholesky chol;
+    EXPECT_THROW(chol.factorize(a), FatalError);
+}
+
+TEST(SparseCholesky, FillInIsBoundedOnChainGraph)
+{
+    // A path graph has a perfect elimination ordering; minimum degree
+    // must find a zero-fill factorization.
+    const std::size_t n = 32;
+    SparseSpdMatrix a(n);
+    for (std::size_t i = 0; i < n; ++i)
+        a.add(i, i, 3.0);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        a.add(i + 1, i, -1.0);
+    a.compress();
+    SparseCholesky chol;
+    chol.factorize(a);
+    EXPECT_EQ(chol.fillIn(), 0u);
 }
 
 /** Property sweep: bisect recovers known roots across a parameter grid. */
