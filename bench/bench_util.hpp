@@ -284,7 +284,11 @@ printCacheStats(const tlp::runner::SweepReport& report, const char* tag)
               << " raw_hits=" << report.raw_hits
               << " raw_misses=" << report.raw_misses
               << " priced_hits=" << report.priced_hits
-              << " priced_misses=" << report.priced_misses << "\n";
+              << " priced_misses=" << report.priced_misses
+              << " replayed=" << report.replayed
+              << " replay_corrupt=" << report.replay_corrupt
+              << " replay_inadmissible=" << report.replay_inadmissible
+              << "\n";
 }
 
 /**

@@ -8,210 +8,28 @@
  * Also prints the working points of the paper's sample application
  * (the "o" marks): an application with decaying efficiency evaluated at
  * its own eps_n(N) per N.
+ *
+ * The rendering itself lives in service::renderFigure ("fig1") — the
+ * sweep service serves the identical table from the same code path.
  */
 
-#include <algorithm>
 #include <iostream>
-#include <utility>
 
 #include "bench_util.hpp"
-#include "model/efficiency.hpp"
-#include "model/scenario1.hpp"
-#include "util/table.hpp"
-#include "util/thread_pool.hpp"
-
-namespace {
-
-using namespace tlp;
-
-/** Thermal-solver work of the analytic figures, summed over nodes —
- *  what fig1's --metrics snapshot reports (it runs zero simulations). */
-struct AnalyticCounters
-{
-    std::uint64_t thermal_solves = 0;
-    std::uint64_t thermal_solve_passes = 0;
-    std::uint64_t thermal_factorizations = 0;
-    std::uint64_t thermal_symbolic_analyses = 0;
-    std::uint64_t thermal_max_batch_rhs = 0; ///< peak across nodes
-};
-
-void
-runNode(const tech::Technology& tech, util::ThreadPool* pool,
-        bool cache_stats, AnalyticCounters& counters)
-{
-    TLPPM_TRACE_SCOPE("bench", "fig1:", tech.name());
-    const model::AnalyticCmp cmp(tech, 32);
-    const model::Scenario1 scenario(cmp);
-
-    const int core_counts[] = {2, 4, 8, 16, 32};
-    std::vector<std::string> header = {"eps_n"};
-    for (int n : core_counts)
-        header.push_back("N=" + std::to_string(n));
-
-    util::Table table(
-        "Figure 1 (" + tech.name() + "): normalized power P_N/P1 vs "
-        "nominal parallel efficiency",
-        header);
-
-    // The (eps, N) grid points are independent; fan one task per eps row
-    // and add the finished rows in order, so the table is identical to a
-    // serial evaluation. Within a row, all five N are priced in one
-    // batched call (a lockstep thermal fixed point with multi-RHS
-    // solves); per-point results are bit-identical to scalar solve().
-    std::vector<int> pcts;
-    for (int pct = 5; pct <= 100; pct += 5)
-        pcts.push_back(pct);
-    std::vector<std::vector<std::string>> rows(pcts.size());
-    const auto solve_row = [&](std::size_t i) {
-        const double eps = pcts[i] / 100.0;
-        std::vector<std::string> row = {util::Table::num(eps, 2)};
-        std::vector<std::pair<int, double>> points;
-        for (int n : core_counts)
-            points.push_back({n, eps});
-        std::vector<model::Scenario1Result> results;
-        try {
-            results = scenario.solveBatch(points);
-        } catch (const std::exception& e) {
-            std::cerr << "  [fig1] batched row eps=" << eps
-                      << " failed (" << e.what()
-                      << "); retrying points individually\n";
-        }
-        for (std::size_t k = 0; k < std::size(core_counts); ++k) {
-            const int n = core_counts[k];
-            // Contain per-point solver failures: one bad grid point
-            // becomes one "error" cell, not a dead figure.
-            try {
-                const auto r = k < results.size() ? results[k]
-                                                  : scenario.solve(n, eps);
-                if (!r.feasible) {
-                    row.push_back("-");       // needs f > f1: disallowed
-                } else if (r.power.runaway) {
-                    row.push_back("runaway"); // thermally infeasible
-                } else {
-                    row.push_back(util::Table::num(r.normalized_power, 3));
-                }
-            } catch (const std::exception& e) {
-                std::cerr << "  [fig1] solve(N=" << n << ", eps=" << eps
-                          << ") failed: " << e.what() << "\n";
-                row.push_back("error");
-            }
-        }
-        rows[i] = std::move(row);
-    };
-    if (pool)
-        pool->parallelFor(0, pcts.size(), solve_row);
-    else
-        for (std::size_t i = 0; i < pcts.size(); ++i)
-            solve_row(i);
-    for (auto& row : rows)
-        table.addRow(std::move(row));
-    table.print(std::cout);
-
-    // Sample-application marks: eps_n decays with N (communication
-    // overhead family), one working point per configuration.
-    const model::OverheadEfficiency app(0.02);
-    util::Table marks("Figure 1 (" + tech.name() +
-                          "): sample-application working points",
-                      {"N", "eps_n(N)", "P_N/P1", "V [V]", "f [GHz]",
-                       "T [C]"});
-    const std::size_t n_marks = std::size(core_counts);
-    std::vector<std::vector<std::string>> mark_rows(n_marks);
-    // The five working points form one batch (no fan-out needed: the
-    // lockstep fixed point amortizes their thermal solves by itself).
-    std::vector<std::pair<int, double>> mark_points;
-    for (int n : core_counts)
-        mark_points.push_back({n, app.at(n)});
-    std::vector<model::Scenario1Result> mark_results;
-    try {
-        mark_results = scenario.solveBatch(mark_points);
-    } catch (const std::exception& e) {
-        std::cerr << "  [fig1] batched sample-app row failed ("
-                  << e.what() << "); retrying points individually\n";
-    }
-    for (std::size_t i = 0; i < n_marks; ++i) {
-        const int n = core_counts[i];
-        try {
-            const auto r = i < mark_results.size() ? mark_results[i]
-                                                   : scenario.solve(n, app);
-            mark_rows[i] = {util::Table::num(n),
-                            util::Table::num(r.eps_n, 3),
-                            util::Table::num(r.normalized_power, 3),
-                            util::Table::num(r.vdd, 3),
-                            util::Table::num(r.freq / 1e9, 3),
-                            util::Table::num(r.power.avg_active_temp_c, 1)};
-        } catch (const std::exception& e) {
-            std::cerr << "  [fig1] sample-app solve(N=" << n
-                      << ") failed: " << e.what() << "\n";
-            mark_rows[i] = {util::Table::num(n), "error", "error",
-                            "error", "error", "error"};
-        }
-    }
-    for (auto& row : mark_rows)
-        marks.addRow(std::move(row));
-    marks.print(std::cout);
-
-    const thermal::RCModel& model = cmp.thermalModel();
-    counters.thermal_solves += model.solveCount();
-    counters.thermal_solve_passes += model.solvePassCount();
-    counters.thermal_factorizations += model.factorizationCount();
-    counters.thermal_symbolic_analyses += model.symbolicAnalysisCount();
-    counters.thermal_max_batch_rhs =
-        std::max<std::uint64_t>(counters.thermal_max_batch_rhs,
-                                model.maxBatchRhs());
-    if (cache_stats) {
-        // The analytic figures run zero cycle-level simulations; the
-        // relevant hot-path counters here are the thermal solver's:
-        // multi-RHS substitution passes against the one cached factor.
-        std::cerr << "  [fig1 " << tech.name()
-                  << "] cache-stats: sim_calls=0 thermal_solver="
-                  << model.solverName()
-                  << " thermal_solves=" << model.solveCount()
-                  << " thermal_solve_passes=" << model.solvePassCount()
-                  << " thermal_max_batch_rhs=" << model.maxBatchRhs()
-                  << " thermal_factorizations="
-                  << model.factorizationCount()
-                  << " thermal_symbolic_analyses="
-                  << model.symbolicAnalysisCount() << "\n";
-    }
-}
-
-} // namespace
+#include "service/figures.hpp"
 
 int
 main(int argc, char** argv)
 {
-    tlppm_bench::banner("Figure 1 -- Scenario I power optimization "
-                        "(analytical model)");
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv, /*sim_flags=*/false);
     tlppm_bench::setupTrace(cli);
-    int jobs = cli.jobs;
-    if (jobs <= 0)
-        jobs = static_cast<int>(tlp::util::ThreadPool::defaultJobs());
-    std::unique_ptr<tlp::util::ThreadPool> pool;
-    if (jobs > 1)
-        pool = std::make_unique<tlp::util::ThreadPool>(
-            static_cast<unsigned>(jobs));
-    AnalyticCounters counters;
-    runNode(tlp::tech::tech130nm(), pool.get(), cli.cache_stats, counters);
-    runNode(tlp::tech::tech65nm(), pool.get(), cli.cache_stats, counters);
-    tlppm_bench::writeMetrics(
-        cli, tlp::util::strcatMsg(
-                 "{\n  \"sim_calls\": 0,\n  \"thermal_solves\": ",
-                 counters.thermal_solves,
-                 ",\n  \"thermal_solve_passes\": ",
-                 counters.thermal_solve_passes,
-                 ",\n  \"thermal_max_batch_rhs\": ",
-                 counters.thermal_max_batch_rhs,
-                 ",\n  \"thermal_factorizations\": ",
-                 counters.thermal_factorizations,
-                 ",\n  \"thermal_symbolic_analyses\": ",
-                 counters.thermal_symbolic_analyses, "\n}\n"));
+    tlp::service::FigureOptions options;
+    options.jobs = cli.jobs;
+    options.cache_stats = cli.cache_stats;
+    const auto run = tlp::service::renderFigure("fig1", options);
+    std::cout << run.value().output;
+    tlppm_bench::writeMetrics(cli, run.value().metrics_json);
     tlppm_bench::finishTrace();
-    std::cout << "Expected shape (paper): curves fall as eps_n grows; "
-                 "high-N curves lie above low-N ones at high eps_n; every "
-                 "curve drops below 1.0 beyond a break-even eps_n that "
-                 "shrinks with N; the best configuration for the sample "
-                 "app is not the largest N.\n";
     return 0;
 }

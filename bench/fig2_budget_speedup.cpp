@@ -4,154 +4,28 @@
  * under a power budget equal to the single-core full-throttle power, for
  * an application with perfect nominal parallel efficiency (eps_n = 1), on
  * the 130 nm and 65 nm nodes (Scenario II of the analytical model).
+ *
+ * The rendering itself lives in service::renderFigure ("fig2") — the
+ * sweep service serves the identical table from the same code path.
  */
 
-#include <algorithm>
 #include <iostream>
-#include <memory>
 
 #include "bench_util.hpp"
-#include "model/scenario2.hpp"
-#include "util/table.hpp"
-#include "util/thread_pool.hpp"
+#include "service/figures.hpp"
 
 int
 main(int argc, char** argv)
 {
-    using namespace tlp;
-    tlppm_bench::banner("Figure 2 -- Scenario II speedup under a fixed "
-                        "power budget (analytical model)");
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv, /*sim_flags=*/false);
     tlppm_bench::setupTrace(cli);
-
-    const tech::Technology nodes[] = {tech::tech130nm(),
-                                      tech::tech65nm()};
-    const model::AnalyticCmp cmp130(nodes[0], 32);
-    const model::AnalyticCmp cmp65(nodes[1], 32);
-    const model::Scenario2 s130(cmp130);
-    const model::Scenario2 s65(cmp65);
-
-    util::Table table(
-        "Figure 2: speedup vs cores, eps_n = 1, budget = P1",
-        {"N", "130nm speedup", "130nm V", "130nm f[GHz]", "65nm speedup",
-         "65nm V", "65nm f[GHz]"});
-
-    // Both per-N solves are independent; fan them across the pool and
-    // fold the table/peak scan serially in N order afterwards.
-    constexpr int kMaxN = 32;
-    std::vector<model::Scenario2Result> res130(kMaxN);
-    std::vector<model::Scenario2Result> res65(kMaxN);
-    std::vector<char> ok130(kMaxN, 1), ok65(kMaxN, 1);
-    // Contain per-point solver failures: one bad N becomes one "error"
-    // row cell, not a dead figure.
-    const auto solve_n = [&](std::size_t i) {
-        const int n = static_cast<int>(i) + 1;
-        try {
-            res130[i] = s130.solve(n, 1.0);
-        } catch (const std::exception& e) {
-            std::cerr << "  [fig2] 130nm solve(N=" << n
-                      << ") failed: " << e.what() << "\n";
-            ok130[i] = 0;
-        }
-        try {
-            res65[i] = s65.solve(n, 1.0);
-        } catch (const std::exception& e) {
-            std::cerr << "  [fig2] 65nm solve(N=" << n
-                      << ") failed: " << e.what() << "\n";
-            ok65[i] = 0;
-        }
-    };
-    int jobs = cli.jobs;
-    if (jobs <= 0)
-        jobs = static_cast<int>(util::ThreadPool::defaultJobs());
-    if (jobs > 1) {
-        util::ThreadPool pool(static_cast<unsigned>(jobs));
-        pool.parallelFor(0, kMaxN, solve_n);
-    } else {
-        for (std::size_t i = 0; i < kMaxN; ++i)
-            solve_n(i);
-    }
-
-    double peak130 = 0.0, peak65 = 0.0;
-    int argmax130 = 1, argmax65 = 1;
-    for (int n = 1; n <= kMaxN; ++n) {
-        const auto& a = res130[n - 1];
-        const auto& b = res65[n - 1];
-        if (ok130[n - 1] && a.speedup > peak130) {
-            peak130 = a.speedup;
-            argmax130 = n;
-        }
-        if (ok65[n - 1] && b.speedup > peak65) {
-            peak65 = b.speedup;
-            argmax65 = n;
-        }
-        std::vector<std::string> row = {util::Table::num(n)};
-        if (ok130[n - 1]) {
-            row.push_back(util::Table::num(a.speedup, 3));
-            row.push_back(util::Table::num(a.vdd, 3));
-            row.push_back(util::Table::num(a.freq / 1e9, 3));
-        } else {
-            row.insert(row.end(), {"error", "error", "error"});
-        }
-        if (ok65[n - 1]) {
-            row.push_back(util::Table::num(b.speedup, 3));
-            row.push_back(util::Table::num(b.vdd, 3));
-            row.push_back(util::Table::num(b.freq / 1e9, 3));
-        } else {
-            row.insert(row.end(), {"error", "error", "error"});
-        }
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-
-    if (cli.cache_stats) {
-        // The analytic figures run zero cycle-level simulations; the
-        // hot-path counters here are the thermal solver's multi-RHS
-        // substitution passes against the one cached factor per node.
-        for (const model::AnalyticCmp* cmp : {&cmp130, &cmp65}) {
-            const thermal::RCModel& m = cmp->thermalModel();
-            std::cerr << "  [fig2 " << cmp->technology().name()
-                      << "] cache-stats: sim_calls=0 thermal_solver="
-                      << m.solverName()
-                      << " thermal_solves=" << m.solveCount()
-                      << " thermal_solve_passes=" << m.solvePassCount()
-                      << " thermal_max_batch_rhs=" << m.maxBatchRhs()
-                      << " thermal_factorizations="
-                      << m.factorizationCount()
-                      << " thermal_symbolic_analyses="
-                      << m.symbolicAnalysisCount() << "\n";
-        }
-    }
-
-    tlppm_bench::writeMetrics(
-        cli,
-        util::strcatMsg(
-            "{\n  \"sim_calls\": 0,\n  \"thermal_solves\": ",
-            cmp130.thermalModel().solveCount() +
-                cmp65.thermalModel().solveCount(),
-            ",\n  \"thermal_solve_passes\": ",
-            cmp130.thermalModel().solvePassCount() +
-                cmp65.thermalModel().solvePassCount(),
-            ",\n  \"thermal_max_batch_rhs\": ",
-            std::max(cmp130.thermalModel().maxBatchRhs(),
-                     cmp65.thermalModel().maxBatchRhs()),
-            ",\n  \"thermal_factorizations\": ",
-            cmp130.thermalModel().factorizationCount() +
-                cmp65.thermalModel().factorizationCount(),
-            ",\n  \"thermal_symbolic_analyses\": ",
-            cmp130.thermalModel().symbolicAnalysisCount() +
-                cmp65.thermalModel().symbolicAnalysisCount(),
-            "\n}\n"));
+    tlp::service::FigureOptions options;
+    options.jobs = cli.jobs;
+    options.cache_stats = cli.cache_stats;
+    const auto run = tlp::service::renderFigure("fig2", options);
+    std::cout << run.value().output;
+    tlppm_bench::writeMetrics(cli, run.value().metrics_json);
     tlppm_bench::finishTrace();
-
-    std::cout << "Measured peaks: 130nm " << peak130 << "x at N="
-              << argmax130 << "; 65nm " << peak65 << "x at N=" << argmax65
-              << "\n";
-    std::cout << "Expected shape (paper): maximum speedup only a little "
-                 "over 4, on 130nm; the 65nm curve lies below 130nm and "
-                 "degrades faster beyond its peak (higher static power "
-                 "share); both technologies decline well before N=32 "
-                 "despite eps_n = 1.\n";
     return 0;
 }

@@ -16,115 +16,33 @@
  * re-simulates only unfinished points), --point-timeout SECONDS arms a
  * per-point watchdog. A failed point is contained, itemized on stderr,
  * and shown as "FAILED" in the tables; the sweep still completes.
+ *
+ * The rendering itself lives in service::renderFigure ("fig3") — the
+ * sweep service serves the identical tables from the same code path.
  */
 
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "runner/sweep_runner.hpp"
-#include "util/table.hpp"
+#include "service/figures.hpp"
 
 int
 main(int argc, char** argv)
 {
-    using namespace tlp;
-    const double scale = tlppm_bench::workloadScale();
-    tlppm_bench::banner("Figure 3 -- Scenario I on the simulated CMP "
-                        "(scale " + util::Table::num(scale, 2) + ")");
-
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv);
     tlppm_bench::setupTrace(cli);
-    runner::SweepRunner::Options options;
+    tlp::service::FigureOptions options;
     options.jobs = cli.jobs;
-    options.scale = scale;
+    options.scale = tlppm_bench::workloadScale();
     options.journal_path = cli.journal;
     options.resume = cli.resume;
     options.point_timeout_s = cli.point_timeout_s;
     options.progress = cli.progress;
-    options.progress_label = "fig3";
-    runner::SweepRunner sweep(options);
-    const std::vector<int> ns = {1, 2, 4, 8, 16};
-
-    std::vector<std::string> header = {"Application"};
-    for (int n : ns)
-        header.push_back("N=" + std::to_string(n));
-
-    util::Table eff("Panel 1: nominal parallel efficiency [%]", header);
-    util::Table spd("Panel 2: actual speedup (performance pinned to "
-                    "sequential nominal)",
-                    header);
-    util::Table pwr("Panel 3: normalized power P_N/P_1", header);
-    util::Table dens("Panel 4: normalized power density", header);
-    util::Table temp("Panel 5: average temperature [C]", header);
-
-    const auto& suite = workloads::suite();
-    std::vector<const workloads::WorkloadInfo*> apps;
-    for (const auto& info : suite)
-        apps.push_back(&info);
-    std::cerr << "  [fig3] sweeping " << apps.size() << " applications on "
-              << sweep.jobs() << " worker(s)\n";
-    const auto all_rows = sweep.scenario1Sweep(apps, ns);
-
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        const auto& info = *apps[a];
-        const auto& rows = all_rows[a];
-        std::vector<std::string> r_eff = {info.name};
-        std::vector<std::string> r_spd = {info.name};
-        std::vector<std::string> r_pwr = {info.name};
-        std::vector<std::string> r_dens = {info.name};
-        std::vector<std::string> r_temp = {info.name};
-        for (const auto& row : rows) {
-            if (row.failed) {
-                // Containment placeholder: the point is itemized in the
-                // sweep report below.
-                for (auto* cells : {&r_eff, &r_spd, &r_pwr, &r_dens,
-                                    &r_temp})
-                    cells->push_back("FAILED");
-                continue;
-            }
-            // A '*' marks a thermally unsustainable (runaway) operating
-            // point; only tiny TLPPM_SCALE values (distorted efficiency
-            // curves) produce these.
-            const std::string mark =
-                row.measurement.runaway ? "*" : "";
-            r_eff.push_back(util::Table::num(100.0 * row.eps_n, 1));
-            r_spd.push_back(util::Table::num(row.actual_speedup, 2) +
-                            mark);
-            r_pwr.push_back(util::Table::num(row.normalized_power, 3) +
-                            mark);
-            r_dens.push_back(util::Table::num(row.normalized_density, 3) +
-                             mark);
-            r_temp.push_back(util::Table::num(row.avg_temp_c, 1) + mark);
-        }
-        eff.addRow(std::move(r_eff));
-        spd.addRow(std::move(r_spd));
-        pwr.addRow(std::move(r_pwr));
-        dens.addRow(std::move(r_dens));
-        temp.addRow(std::move(r_temp));
-        std::cerr << "  [fig3] " << info.name << " done\n";
-    }
-
-    tlppm_bench::reportSweep(sweep.lastReport(), "fig3");
-    if (cli.cache_stats)
-        tlppm_bench::printCacheStats(sweep.lastReport(), "fig3");
-    tlppm_bench::writeMetrics(cli, sweep.lastReport().metricsJson());
+    options.cache_stats = cli.cache_stats;
+    const auto run = tlp::service::renderFigure("fig3", options);
+    std::cout << run.value().output;
+    tlppm_bench::writeMetrics(cli, run.value().metrics_json);
     tlppm_bench::finishTrace();
-
-    eff.print(std::cout);
-    spd.print(std::cout);
-    pwr.print(std::cout);
-    dens.print(std::cout);
-    temp.print(std::cout);
-
-    std::cout << "Expected shape (paper): efficiency generally falls "
-                 "with N; actual speedups exceed 1 for memory-bound "
-                 "codes (Ocean, and to a lesser extent Cholesky/"
-                 "Radiosity) because chip DVFS narrows the processor-"
-                 "memory gap; normalized power falls with N given enough "
-                 "efficiency, then stagnates/recedes; power density "
-                 "drops ~95% at N=16; temperatures fall toward the 45 C "
-                 "ambient, fastest for the hottest applications (FMM, "
-                 "LU).\n";
     return 0;
 }

@@ -12,86 +12,33 @@
  * Robustness knobs (as in fig3): --journal PATH, --resume,
  * --point-timeout SECONDS. Failed points are contained, itemized on
  * stderr, and shown as "FAILED" rows; the sweep still completes.
+ *
+ * The rendering itself lives in service::renderFigure ("fig4") — the
+ * sweep service serves the identical tables from the same code path.
  */
 
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "runner/sweep_runner.hpp"
-#include "util/table.hpp"
+#include "service/figures.hpp"
 
 int
 main(int argc, char** argv)
 {
-    using namespace tlp;
-    const double scale = tlppm_bench::workloadScale();
-    tlppm_bench::banner("Figure 4 -- Scenario II on the simulated CMP "
-                        "(scale " + util::Table::num(scale, 2) + ")");
-
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv);
     tlppm_bench::setupTrace(cli);
-    runner::SweepRunner::Options options;
+    tlp::service::FigureOptions options;
     options.jobs = cli.jobs;
-    options.scale = scale;
+    options.scale = tlppm_bench::workloadScale();
     options.journal_path = cli.journal;
     options.resume = cli.resume;
     options.point_timeout_s = cli.point_timeout_s;
     options.progress = cli.progress;
-    options.progress_label = "fig4";
-    runner::SweepRunner sweep(options);
-    std::cout << "Power budget (microbenchmark-derived single-core "
-                 "maximum): "
-              << util::Table::num(sweep.experiment().maxSingleCorePower(),
-                                  1)
-              << " W\n\n";
-
-    const std::vector<int> ns = {1, 2, 3, 4, 6, 8, 10, 12, 14, 16};
-    const char* app_names[] = {"FMM", "Cholesky", "Radix"};
-    std::vector<const workloads::WorkloadInfo*> apps;
-    for (const char* name : app_names)
-        apps.push_back(&workloads::byName(name));
-    std::cerr << "  [fig4] sweeping " << apps.size() << " applications on "
-              << sweep.jobs() << " worker(s)\n";
-    const auto all_rows = sweep.scenario2Sweep(apps, ns);
-    tlppm_bench::reportSweep(sweep.lastReport(), "fig4");
-    if (cli.cache_stats)
-        tlppm_bench::printCacheStats(sweep.lastReport(), "fig4");
-    tlppm_bench::writeMetrics(cli, sweep.lastReport().metricsJson());
+    options.cache_stats = cli.cache_stats;
+    const auto run = tlp::service::renderFigure("fig4", options);
+    std::cout << run.value().output;
+    tlppm_bench::writeMetrics(cli, run.value().metrics_json);
     tlppm_bench::finishTrace();
-
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        const std::string name = apps[a]->name;
-        const auto& rows = all_rows[a];
-        util::Table table("Figure 4: " + std::string(name) +
-                              " (descending computational intensity: "
-                              "FMM > Cholesky > Radix)",
-                          {"N", "nominal speedup", "actual speedup",
-                           "f [GHz]", "Vdd [V]", "power [W]",
-                           "at nominal V/f"});
-        for (const auto& row : rows) {
-            if (row.failed) {
-                table.addRow({util::Table::num(row.n), "FAILED", "FAILED",
-                              "-", "-", "-", "-"});
-                continue;
-            }
-            table.addRow({util::Table::num(row.n),
-                          util::Table::num(row.nominal_speedup, 2),
-                          util::Table::num(row.actual_speedup, 2),
-                          util::Table::num(row.freq_hz / 1e9, 2),
-                          util::Table::num(row.vdd, 3),
-                          util::Table::num(row.power_w, 1),
-                          row.at_nominal ? "yes" : "no"});
-        }
-        table.print(std::cout);
-        std::cerr << "  [fig4] " << name << " done\n";
-    }
-
-    std::cout << "Expected shape (paper): the nominal/actual gap is "
-                 "largest for the compute-intensive FMM and smallest for "
-                 "the memory-bound Radix; Radix runs small configurations "
-                 "at full V/f without exceeding the budget (its nominal "
-                 "power is far below the budget), and only develops a gap "
-                 "at larger N.\n";
     return 0;
 }

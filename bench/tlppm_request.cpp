@@ -1,0 +1,221 @@
+/**
+ * @file
+ * tlppm_request — the sweep-service client.
+ *
+ * Enqueues one figure request into a tlppm_serve store and waits for the
+ * answer: writes `<store>/queue/<id>.req` atomically (the daemon never
+ * sees a half-written request), then polls `<store>/results/<id>.resp`.
+ * The response's sealed header and payload CRC are verified before
+ * anything reaches stdout — a torn or corrupt response is an error, not
+ * a silently wrong table.
+ *
+ * The client deliberately never opens the store itself (the daemon holds
+ * the advisory lock); it only touches the queue and results directories.
+ *
+ * Exit codes: 0 ok, 1 request failed / bad response, 2 timed out
+ * waiting, 3 shed by admission control (retry later).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "service/wire.hpp"
+#include "util/crc32.hpp"
+#include "util/fs.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string& what)
+{
+    std::cerr << "error: " << what << "\n"
+              << "usage: tlppm_request --store DIR --figure NAME\n"
+              << "  [--scale S] [--jobs N] [--id ID] [--wait S]\n"
+              << "  [--poll-period S] [--quiet]\n";
+    std::exit(2);
+}
+
+struct RequestCli
+{
+    std::string store;
+    std::string figure;
+    std::string id;
+    double scale = 1.0;
+    int jobs = 0;
+    double wait_s = 600.0; ///< 0: enqueue only, do not wait
+    double poll_period_s = 0.05;
+    bool quiet = false;
+};
+
+RequestCli
+parseCli(int argc, char** argv)
+{
+    using tlp::util::parseInt;
+    using tlp::util::parseNumber;
+    RequestCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string name = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("flag '" + name + "' needs a value");
+            return argv[++i];
+        };
+        auto number = [&](double lo, double hi) {
+            const auto v = parseNumber(value(), name.c_str(), lo, hi);
+            if (!v)
+                usage(v.error().describe());
+            return v.value();
+        };
+        if (name == "--store")
+            cli.store = value();
+        else if (name == "--figure")
+            cli.figure = value();
+        else if (name == "--id")
+            cli.id = value();
+        else if (name == "--scale")
+            cli.scale = number(1e-6, 1.0);
+        else if (name == "--jobs") {
+            const auto jobs = parseInt(value(), "--jobs", 1, 4096);
+            if (!jobs)
+                usage(jobs.error().describe());
+            cli.jobs = static_cast<int>(jobs.value());
+        } else if (name == "--wait")
+            cli.wait_s = number(0.0, 86400.0);
+        else if (name == "--poll-period")
+            cli.poll_period_s = number(0.001, 3600.0);
+        else if (name == "--quiet")
+            cli.quiet = true;
+        else
+            usage("unknown argument '" + name + "'");
+    }
+    if (cli.store.empty())
+        usage("--store DIR is required");
+    if (cli.figure.empty())
+        usage("--figure NAME is required");
+    if (cli.id.empty()) {
+        // Unique enough for one store: pid + wall-clock nanoseconds.
+        const auto now = std::chrono::system_clock::now()
+                             .time_since_epoch()
+                             .count();
+        cli.id = "r" + std::to_string(::getpid()) + "-" +
+            std::to_string(static_cast<unsigned long long>(now));
+    }
+    return cli;
+}
+
+std::string
+requestLine(const RequestCli& cli)
+{
+    char scale[40];
+    std::snprintf(scale, sizeof(scale), "%.17g", cli.scale);
+    return tlp::service::sealJsonLine(
+               "{\"tlppm_request\":1,\"figure\":\"" + cli.figure +
+               "\",\"scale\":" + scale +
+               ",\"jobs\":" + std::to_string(cli.jobs)) +
+        "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tlp::service;
+    const RequestCli cli = parseCli(argc, argv);
+
+    // The queue may predate the daemon (enqueue-before-serve is legal);
+    // creating the directories here never conflicts with the store lock.
+    for (const char* sub : {"", "/queue", "/results"}) {
+        if (auto made = tlp::util::ensureDir(cli.store + sub); !made)
+            usage(made.error().describe());
+    }
+
+    const std::string req_path =
+        cli.store + "/queue/" + cli.id + ".req";
+    const std::string resp_path =
+        cli.store + "/results/" + cli.id + ".resp";
+    if (auto written =
+            tlp::util::atomicWriteFile(req_path, requestLine(cli));
+        !written) {
+        std::cerr << "tlppm_request: enqueue failed: "
+                  << written.error().describe() << "\n";
+        return 1;
+    }
+    if (!cli.quiet) {
+        std::cerr << "tlppm_request: enqueued '" << cli.id << "' ("
+                  << cli.figure << ", scale " << cli.scale << ")\n";
+    }
+    if (cli.wait_s == 0.0)
+        return 0;
+
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(cli.wait_s));
+    std::string text;
+    for (;;) {
+        auto content = tlp::util::readFileIfExists(resp_path);
+        if (content && content.value().has_value()) {
+            text = std::move(*content.value());
+            break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::cerr << "tlppm_request: timed out after " << cli.wait_s
+                      << " s waiting for '" << resp_path
+                      << "' (is tlppm_serve running?)\n";
+            return 2;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cli.poll_period_s));
+    }
+
+    // Verify the sealed header and the payload CRC before trusting a
+    // byte of it.
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string::npos) {
+        std::cerr << "tlppm_request: malformed response (no header)\n";
+        return 1;
+    }
+    const std::string header = text.substr(0, nl);
+    const std::string payload = text.substr(nl + 1);
+    std::uint64_t bytes = 0, crc = 0, from_store = 0, sim_calls = 0,
+                  attempts = 0;
+    std::string status;
+    if (!checkSealedJsonLine(header) ||
+        header.rfind("{\"tlppm_response\":1", 0) != 0 ||
+        !jsonFieldString(header, "status", status) ||
+        !jsonFieldU64(header, "bytes", bytes) ||
+        !jsonFieldU64(header, "payload_crc", crc) ||
+        payload.size() != bytes ||
+        tlp::util::crc32(payload) != static_cast<std::uint32_t>(crc)) {
+        std::cerr << "tlppm_request: response failed its integrity "
+                     "check (torn or corrupt '"
+                  << resp_path << "')\n";
+        return 1;
+    }
+    jsonFieldU64(header, "from_store", from_store);
+    jsonFieldU64(header, "sim_calls", sim_calls);
+    jsonFieldU64(header, "attempts", attempts);
+
+    if (status != "ok") {
+        std::string code, message;
+        jsonFieldString(header, "code", code);
+        jsonFieldString(header, "message", message);
+        std::cerr << "tlppm_request: request failed [" << code << "]: "
+                  << message << "\n";
+        return code == "overloaded" ? 3 : 1;
+    }
+    if (!cli.quiet) {
+        std::cerr << "tlppm_request: status=ok from_store=" << from_store
+                  << " sim_calls=" << sim_calls
+                  << " attempts=" << attempts << " bytes=" << bytes
+                  << "\n";
+    }
+    std::cout << payload;
+    return 0;
+}

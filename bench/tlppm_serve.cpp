@@ -1,0 +1,214 @@
+/**
+ * @file
+ * tlppm_serve — the sweep-as-a-service daemon.
+ *
+ * Opens (or creates) a crash-safe result store, then pumps its request
+ * queue: clients drop `<id>.req` files into `<store>/queue/` (see
+ * tlppm_request) and collect `<store>/results/<id>.resp`. Repeated
+ * requests are served from the store without simulating; a kill -9 at
+ * any instant loses at most the unfinished points of the in-flight
+ * request — restart the daemon and re-request to get the identical
+ * answer from the journal.
+ *
+ * Service metrics are rewritten atomically after every poll, so even an
+ * abruptly killed daemon leaves a consistent snapshot behind.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "runner/fault_injection.hpp"
+#include "service/result_store.hpp"
+#include "service/sweep_service.hpp"
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+[[noreturn]] void
+usage(const std::string& what)
+{
+    std::cerr << "error: " << what << "\n"
+              << "usage: tlppm_serve --store DIR [--jobs N] [--once]\n"
+              << "  [--poll-period S] [--max-queue N] [--max-points N]\n"
+              << "  [--deadline S] [--point-timeout S] [--max-retries N]\n"
+              << "  [--backoff S] [--flush-every N] [--metrics PATH]\n"
+              << "  [--compact] [--cache-stats] [--progress]\n";
+    std::exit(2);
+}
+
+struct ServeCli
+{
+    std::string store;
+    std::string metrics; ///< "" -> <store>/service_metrics.json
+    bool once = false;
+    bool compact = false;
+    double poll_period_s = 0.2;
+    tlp::service::SweepService::Options service;
+};
+
+ServeCli
+parseCli(int argc, char** argv)
+{
+    using tlp::util::parseInt;
+    using tlp::util::parseNumber;
+    ServeCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string name = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("flag '" + name + "' needs a value");
+            return argv[++i];
+        };
+        auto number = [&](double lo, double hi) {
+            const auto v = parseNumber(value(), name.c_str(), lo, hi);
+            if (!v)
+                usage(v.error().describe());
+            return v.value();
+        };
+        auto integer = [&](long lo, long hi) {
+            const auto v = parseInt(value(), name.c_str(), lo, hi);
+            if (!v)
+                usage(v.error().describe());
+            return v.value();
+        };
+        if (name == "--store")
+            cli.store = value();
+        else if (name == "--metrics")
+            cli.metrics = value();
+        else if (name == "--once")
+            cli.once = true;
+        else if (name == "--compact")
+            cli.compact = true;
+        else if (name == "--poll-period")
+            cli.poll_period_s = number(0.0, 3600.0);
+        else if (name == "--jobs")
+            cli.service.jobs = static_cast<int>(integer(1, 4096));
+        else if (name == "--max-queue")
+            cli.service.max_queue =
+                static_cast<std::size_t>(integer(1, 1000000));
+        else if (name == "--max-points")
+            cli.service.max_points =
+                static_cast<std::uint64_t>(integer(0, 1000000000));
+        else if (name == "--deadline")
+            cli.service.deadline_s = number(0.0, 86400.0);
+        else if (name == "--point-timeout")
+            cli.service.point_timeout_s = number(0.0, 86400.0);
+        else if (name == "--max-retries")
+            cli.service.max_retries = static_cast<int>(integer(0, 100));
+        else if (name == "--backoff")
+            cli.service.backoff_s = number(0.0, 3600.0);
+        else if (name == "--flush-every")
+            cli.service.journal_flush_every =
+                static_cast<int>(integer(1, 1000000));
+        else if (name == "--cache-stats")
+            cli.service.cache_stats = true;
+        else if (name == "--progress")
+            cli.service.progress = true;
+        else
+            usage("unknown argument '" + name + "'");
+    }
+    if (cli.store.empty())
+        usage("--store DIR is required");
+    if (cli.metrics.empty())
+        cli.metrics = cli.store + "/service_metrics.json";
+    return cli;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ServeCli cli = parseCli(argc, argv);
+    tlp::util::Tracer::instance().enableFromEnv();
+    tlp::runner::StoreFaultInjector::instance().installFromEnv();
+
+    auto store = tlp::service::ResultStore::open(cli.store);
+    if (!store) {
+        std::cerr << "tlppm_serve: " << store.error().describe() << "\n";
+        // A held lock means another daemon is live — a distinct exit
+        // code so wrappers can tell "busy" from "broken".
+        return store.error().code == tlp::util::ErrorCode::Overloaded
+            ? 3
+            : 1;
+    }
+    tlp::service::SweepService service(std::move(store.value()),
+                                       cli.service);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::cerr << "tlppm_serve: store '" << cli.store << "' generation "
+              << service.store().generation() << ", polling every "
+              << cli.poll_period_s << " s"
+              << (cli.once ? " (once: drain and exit)" : "") << "\n";
+
+    if (cli.compact) {
+        try {
+            auto compacted = service.store().compact();
+            if (!compacted) {
+                std::cerr << "tlppm_serve: compaction failed: "
+                          << compacted.error().describe() << "\n";
+                return 1;
+            }
+            std::cerr << "tlppm_serve: compacted to generation "
+                      << compacted.value().generation << " ("
+                      << compacted.value().kept << " records kept)\n";
+        } catch (const tlp::runner::FaultKillError& kill) {
+            // The injected mid-compaction kill: die abruptly, leaving
+            // the half-published state for the next open() to recover.
+            std::cerr << "tlppm_serve: " << kill.what() << "\n";
+            return 70;
+        }
+    }
+
+    while (g_stop == 0) {
+        auto answered = service.pollOnce();
+        if (!answered) {
+            std::cerr << "tlppm_serve: poll failed: "
+                      << answered.error().describe() << "\n";
+            return 1;
+        }
+        // Rewritten atomically every poll: a kill -9 still leaves the
+        // last consistent snapshot on disk.
+        if (auto written = tlp::util::atomicWriteFile(
+                cli.metrics, service.metricsJson());
+            !written) {
+            tlp::util::warn("tlppm_serve: metrics write failed: " +
+                            written.error().describe());
+        }
+        if (cli.once && answered.value() == 0)
+            break;
+        if (answered.value() == 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(cli.poll_period_s));
+        }
+    }
+
+    const tlp::service::ServiceStats stats = service.stats();
+    std::cerr << "tlppm_serve: exiting; " << stats.requests
+              << " request(s) answered (" << stats.served_ok << " ok, "
+              << stats.from_store << " from store, " << stats.shed
+              << " shed, " << stats.failed << " failed, " << stats.invalid
+              << " invalid)\n";
+    if (tlp::util::Tracer::instance().enabled()) {
+        tlp::util::Tracer::instance().disable();
+        tlp::util::Tracer::instance().writeFile();
+    }
+    return 0;
+}

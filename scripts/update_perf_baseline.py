@@ -18,8 +18,10 @@ Usage:
 import argparse
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE = os.path.join(REPO_ROOT, "bench", "perf_baseline.json")
@@ -33,6 +35,45 @@ GUARDED_KEYS = (
     "serial_thermal_fallback_solves",
     "serial_thermal_factorizations",
 )
+
+# Service-leg ceilings: measured from a fresh tlppm_serve answering a
+# repeated (already-stored) request against a throwaway store. Both are
+# exact invariants -- a nonzero measurement is itself a regression, but
+# the script records what it measured and leaves the judgment to review.
+SERVICE_KEYS = {
+    "store_table_misses": "max_store_misses_on_repeat",
+    "store_quarantined": "max_quarantined_records",
+}
+
+
+def measure_service_repeat(build_dir):
+    """Serve the same fig1 request twice against a scratch store and
+    return the second (fresh) daemon's metrics: the repeat pass must be
+    a pure store hit."""
+    serve = os.path.join(REPO_ROOT, build_dir, "bench", "tlppm_serve")
+    request = os.path.join(REPO_ROOT, build_dir, "bench",
+                           "tlppm_request")
+    for tool in (serve, request):
+        if not os.path.exists(tool):
+            sys.exit(f"error: {tool} not built; run 'cmake --build "
+                     f"{build_dir} --target tlppm_serve tlppm_request' "
+                     f"first")
+
+    scratch = tempfile.mkdtemp(prefix="tlppm_baseline_store_")
+    try:
+        store = os.path.join(scratch, "store")
+        metrics = os.path.join(scratch, "repeat_metrics.json")
+        for rid in ("seed", "repeat"):
+            subprocess.run([request, "--store", store, "--figure",
+                            "fig1", "--id", rid, "--wait", "0",
+                            "--quiet"], check=True)
+            subprocess.run([serve, "--store", store, "--jobs", "1",
+                            "--once", "--metrics", metrics], check=True,
+                           capture_output=True)
+        with open(metrics) as f:
+            return json.load(f)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 def main():
@@ -70,6 +111,23 @@ def main():
         print(f"  max_{key} = {new}{marker}")
         if old != new:
             baseline["max_" + key] = new
+            changed = True
+
+    print("measuring service repeat-request ceilings ...")
+    service_metrics = measure_service_repeat(args.build_dir)
+    for metric, ceiling_key in SERVICE_KEYS.items():
+        if metric not in service_metrics:
+            sys.exit(f"error: service metrics lack '{metric}'")
+        old = baseline.get(ceiling_key)
+        new = service_metrics[metric]
+        marker = "" if old == new else f"  (was {old})"
+        print(f"  {ceiling_key} = {new}{marker}")
+        if new != 0:
+            print(f"  WARNING: {ceiling_key} is an exact invariant; a "
+                  f"nonzero measurement means the store hit path "
+                  f"regressed -- fix that instead of committing this")
+        if old != new:
+            baseline[ceiling_key] = new
             changed = True
 
     if not changed:

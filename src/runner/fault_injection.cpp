@@ -93,6 +93,133 @@ parseFaultPlan(std::string_view spec)
     return plan;
 }
 
+const char*
+storeFaultKindName(StoreFaultKind kind)
+{
+    switch (kind) {
+    case StoreFaultKind::None:
+        return "none";
+    case StoreFaultKind::TornWrite:
+        return "torn-write";
+    case StoreFaultKind::ShortWrite:
+        return "short-write";
+    case StoreFaultKind::CorruptRead:
+        return "corrupt-read";
+    case StoreFaultKind::KillCompaction:
+        return "kill-compaction";
+    }
+    return "?";
+}
+
+util::Expected<StoreFaultPlan>
+parseStoreFaultPlan(std::string_view spec)
+{
+    const auto fail = [&](const std::string& why) -> util::Error {
+        return util::Error{
+            util::ErrorCode::ParseError,
+            util::strcatMsg("store fault plan '", std::string(spec),
+                            "': ", why,
+                            "; expected kind[:K] with kind in "
+                            "{torn-write, short-write, corrupt-read, "
+                            "kill-compaction}")};
+    };
+
+    std::string_view word = spec;
+    StoreFaultPlan plan;
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string_view::npos) {
+        word = spec.substr(0, colon);
+        auto ordinal = util::parseInt(spec.substr(colon + 1),
+                                      "store fault ordinal", 1);
+        if (!ordinal)
+            return ordinal.error().withContext("parseStoreFaultPlan");
+        plan.ordinal = static_cast<std::uint64_t>(ordinal.value());
+    }
+    if (word == "torn-write")
+        plan.kind = StoreFaultKind::TornWrite;
+    else if (word == "short-write")
+        plan.kind = StoreFaultKind::ShortWrite;
+    else if (word == "corrupt-read")
+        plan.kind = StoreFaultKind::CorruptRead;
+    else if (word == "kill-compaction")
+        plan.kind = StoreFaultKind::KillCompaction;
+    else
+        return fail(util::strcatMsg("unknown store fault kind '",
+                                    std::string(word), "'"));
+    return plan;
+}
+
+StoreFaultInjector&
+StoreFaultInjector::instance()
+{
+    static StoreFaultInjector injector;
+    return injector;
+}
+
+void
+StoreFaultInjector::setPlan(const StoreFaultPlan& plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = plan;
+    fired_ = false;
+    count_ = 0;
+}
+
+void
+StoreFaultInjector::clearPlan()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = StoreFaultPlan{};
+    fired_ = false;
+    count_ = 0;
+}
+
+StoreFaultPlan
+StoreFaultInjector::plan() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plan_;
+}
+
+bool
+StoreFaultInjector::installFromEnv()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!env_checked_) {
+        env_checked_ = true;
+        if (const char* spec = std::getenv("TLPPM_STORE_FAULT");
+            spec != nullptr && *spec != '\0') {
+            auto plan = parseStoreFaultPlan(spec);
+            if (!plan) {
+                util::fatal(util::strcatMsg("TLPPM_STORE_FAULT: ",
+                                            plan.error().describe()));
+            }
+            plan_ = plan.value();
+            fired_ = false;
+            count_ = 0;
+            util::warn(util::strcatMsg(
+                "store fault injection armed: kind=",
+                storeFaultKindName(plan_.kind),
+                " ordinal=", plan_.ordinal));
+        }
+    }
+    return plan_.active();
+}
+
+bool
+StoreFaultInjector::shouldFault(StoreFaultKind kind, const char* site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!plan_.active() || plan_.kind != kind || fired_)
+        return false;
+    if (++count_ != plan_.ordinal)
+        return false;
+    fired_ = true;
+    util::warn(util::strcatMsg("store fault firing: ",
+                               storeFaultKindName(kind), " at ", site));
+    return true;
+}
+
 FaultInjector&
 FaultInjector::instance()
 {

@@ -128,6 +128,96 @@ class FaultInjector
     std::atomic<std::uint64_t> count_{0};
 };
 
+/**
+ * Store-layer fault kinds, targeting the persistence paths of the
+ * result store and the journal rather than the measurement hot path:
+ *  - TornWrite:      an artifact write stops halfway and the atomic
+ *                    rename never happens — the on-disk state a crash
+ *                    mid-write leaves behind;
+ *  - ShortWrite:     the write reports fewer bytes than requested
+ *                    (ENOSPC-style) and the writer sees a typed IoError;
+ *  - CorruptRead:    a stored artifact comes back with one byte flipped,
+ *                    so the CRC check must quarantine it;
+ *  - KillCompaction: the process "dies" (FaultKillError) between writing
+ *                    the new store generation and publishing it in the
+ *                    manifest — the window the recovery protocol must
+ *                    tolerate.
+ */
+enum class StoreFaultKind {
+    None = 0,
+    TornWrite,
+    ShortWrite,
+    CorruptRead,
+    KillCompaction,
+};
+
+/** Stable name of @p kind ("torn-write", ...). */
+const char* storeFaultKindName(StoreFaultKind kind);
+
+/** Which store operation to hit: the @p ordinal-th operation (1-based,
+ *  process-wide per kind) fires once. */
+struct StoreFaultPlan
+{
+    StoreFaultKind kind = StoreFaultKind::None;
+    std::uint64_t ordinal = 1;
+
+    bool active() const { return kind != StoreFaultKind::None; }
+};
+
+/** Parse a TLPPM_STORE_FAULT spec: "torn-write", "short-write:3",
+ *  "corrupt-read", "kill-compaction". Ordinal defaults to 1. */
+util::Expected<StoreFaultPlan> parseStoreFaultPlan(std::string_view spec);
+
+/**
+ * Process-wide store fault plan. Separate from FaultInjector because the
+ * two planes compose: a crash-recovery test may arm a measurement fault
+ * AND a store fault in one scenario.
+ */
+class StoreFaultInjector
+{
+  public:
+    static StoreFaultInjector& instance();
+
+    void setPlan(const StoreFaultPlan& plan);
+    void clearPlan();
+    StoreFaultPlan plan() const;
+
+    /** Install a plan from TLPPM_STORE_FAULT, once per process; a
+     *  malformed spec is fatal (see FaultInjector::installFromEnv). */
+    bool installFromEnv();
+
+    /**
+     * Persistence-path hook: count one store operation that @p kind
+     * faults could apply to, and return whether this one fires.
+     * @p site names the operation for the trace/warning ("table-write",
+     * "journal-append", "compaction").
+     */
+    bool shouldFault(StoreFaultKind kind, const char* site);
+
+  private:
+    StoreFaultInjector() = default;
+
+    mutable std::mutex mutex_;
+    StoreFaultPlan plan_;
+    bool env_checked_ = false;
+    bool fired_ = false;
+    std::uint64_t count_ = 0; ///< operations seen for the armed kind
+};
+
+/** RAII plan installation for tests: installs on construction, clears
+ *  (and resets the ordinal-fired latch) on destruction. */
+class ScopedStoreFaultPlan
+{
+  public:
+    explicit ScopedStoreFaultPlan(const StoreFaultPlan& plan)
+    {
+        StoreFaultInjector::instance().setPlan(plan);
+    }
+    ~ScopedStoreFaultPlan() { StoreFaultInjector::instance().clearPlan(); }
+    ScopedStoreFaultPlan(const ScopedStoreFaultPlan&) = delete;
+    ScopedStoreFaultPlan& operator=(const ScopedStoreFaultPlan&) = delete;
+};
+
 /** RAII plan installation for tests: installs on construction, clears
  *  (and resets the ordinal-fired latch) on destruction. */
 class ScopedFaultPlan

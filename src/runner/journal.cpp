@@ -8,6 +8,7 @@
 #include <string_view>
 #include <unistd.h>
 
+#include "runner/fault_injection.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
 #include "util/trace.hpp"
@@ -193,6 +194,12 @@ Journal::formatLine(const RunKey& key, const Measurement& m)
     return line;
 }
 
+std::string
+Journal::headerLine()
+{
+    return std::string(kHeader);
+}
+
 Journal::Journal(std::string path, int flush_every)
     : path_(std::move(path)),
       flush_every_(flush_every < 1 ? 1 : flush_every)
@@ -230,9 +237,32 @@ Journal::append(const RunKey& key, const Measurement& m)
                        " vdd=", key.vdd);
     const std::string line = formatLine(key, m);
     std::lock_guard<std::mutex> lock(mutex_);
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fputc('\n', file_);
-    ++appended_;
+    // A previous short write left an unterminated line; terminate it so
+    // this record starts on a fresh line and only the torn record is
+    // quarantined on replay — never two glued together.
+    if (tail_torn_) {
+        if (std::fputc('\n', file_) == EOF)
+            return; // still out of space: drop this record entirely
+        tail_torn_ = false;
+    }
+    std::size_t to_write = line.size();
+    if (StoreFaultInjector::instance().shouldFault(
+            StoreFaultKind::ShortWrite, "journal-append"))
+        to_write = line.size() / 2;
+    const std::size_t written =
+        std::fwrite(line.data(), 1, to_write, file_);
+    const bool intact = written == line.size() &&
+        std::fputc('\n', file_) != EOF;
+    if (!intact) {
+        ++write_errors_;
+        tail_torn_ = true;
+        util::warn(util::strcatMsg(
+            "journal: short write on '", path_, "' (", key.workload,
+            " n=", key.n, "); the record is lost and the point will be "
+            "re-run on resume"));
+    } else {
+        ++appended_;
+    }
     if (++unflushed_ >= flush_every_) {
         std::fflush(file_);
         ::fsync(::fileno(file_));
@@ -254,6 +284,13 @@ Journal::appended() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return appended_;
+}
+
+std::uint64_t
+Journal::writeErrors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return write_errors_;
 }
 
 ReplayStats
@@ -279,10 +316,15 @@ Journal::replayInto(const std::string& path, RunCache& cache)
         Measurement m;
         if (!checkCrc(line) || !parseLine(line, key, m)) {
             ++stats.corrupt;
+            util::traceInstant("journal", "quarantined:corrupt line ",
+                               line_no);
             util::warn(util::strcatMsg("journal: skipping corrupt line ",
                                        line_no, " of '", path, "'"));
         } else if (!RunCache::admissible(m)) {
             ++stats.inadmissible;
+            util::traceInstant("journal",
+                               "quarantined:inadmissible line ", line_no,
+                               " ", key.workload, " n=", key.n);
             util::warn(util::strcatMsg(
                 "journal: dropping non-finite record at line ", line_no,
                 " of '", path, "' (", key.workload, " n=", key.n,

@@ -63,7 +63,14 @@ class Journal
     Journal(const Journal&) = delete;
     Journal& operator=(const Journal&) = delete;
 
-    /** Append one completed run. Thread-safe. */
+    /**
+     * Append one completed run. Thread-safe. A short write (ENOSPC, or
+     * the injected short-write store fault) is contained, not fatal: the
+     * torn tail is newline-terminated before the next record so exactly
+     * one record is lost (CRC-quarantined on replay), and writeErrors()
+     * counts the event — the sweep re-runs that point on resume instead
+     * of trusting a damaged journal.
+     */
     void append(const RunKey& key, const Measurement& m);
 
     /** Force the current batch to disk (flush + fsync). */
@@ -71,6 +78,9 @@ class Journal
 
     /** Records appended through this handle. */
     std::uint64_t appended() const;
+
+    /** Appends that failed to reach the file intact (short writes). */
+    std::uint64_t writeErrors() const;
 
     const std::string& path() const { return path_; }
 
@@ -87,12 +97,19 @@ class Journal
      *  exposed for tests. */
     static std::string formatLine(const RunKey& key, const Measurement& m);
 
+    /** The header line every journal file starts with (no newline);
+     *  exposed so the result store's compaction can write a replayable
+     *  journal-format generation file of its own. */
+    static std::string headerLine();
+
   private:
     std::string path_;
     int flush_every_ = 1;
     std::FILE* file_ = nullptr;
     mutable std::mutex mutex_;
     std::uint64_t appended_ = 0;
+    std::uint64_t write_errors_ = 0;
+    bool tail_torn_ = false; ///< last append left an unterminated line
     int unflushed_ = 0;
 };
 

@@ -5,9 +5,12 @@
 namespace tlp::runner {
 
 ProgressReporter::ProgressReporter(std::size_t total, std::string label,
-                                   double min_period_s)
+                                   double min_period_s,
+                                   std::size_t replayed)
     : label_(std::move(label)), min_period_s_(min_period_s),
-      total_(total), start_(Clock::now()), last_print_(start_)
+      total_(total), replayed_(replayed > total ? total : replayed),
+      start_(Clock::now()), last_print_(start_), fresh_start_(start_),
+      fresh_started_(replayed_ == 0)
 {
 }
 
@@ -18,12 +21,39 @@ ProgressReporter::done() const
     return done_;
 }
 
+double
+ProgressReporter::etaSecondsLocked(Clock::time_point now) const
+{
+    // Rate from post-replay completions only: replayed points finish in
+    // microseconds and would otherwise collapse the projected rate.
+    if (done_ <= replayed_ || total_ <= done_ || !fresh_started_)
+        return 0.0;
+    const std::size_t fresh_done = done_ - replayed_;
+    const double fresh_elapsed =
+        std::chrono::duration<double>(now - fresh_start_).count();
+    return fresh_elapsed / static_cast<double>(fresh_done) *
+        static_cast<double>(total_ - done_);
+}
+
+double
+ProgressReporter::etaSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return etaSecondsLocked(Clock::now());
+}
+
 void
 ProgressReporter::taskDone(const std::string& key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++done_;
     const Clock::time_point now = Clock::now();
+    // The completion that clears the replayed prefix starts the ETA
+    // clock: everything after it is real work at the real rate.
+    if (!fresh_started_ && done_ >= replayed_) {
+        fresh_start_ = now;
+        fresh_started_ = true;
+    }
     const bool final = done_ >= total_;
     const double since_print =
         std::chrono::duration<double>(now - last_print_).count();
@@ -32,17 +62,23 @@ ProgressReporter::taskDone(const std::string& key)
 
     const double elapsed =
         std::chrono::duration<double>(now - start_).count();
-    const double eta = done_ > 0 && total_ > done_
-        ? elapsed / static_cast<double>(done_) *
-            static_cast<double>(total_ - done_)
-        : 0.0;
+    const double eta = etaSecondsLocked(now);
     const int percent = total_ > 0
         ? static_cast<int>(100.0 * static_cast<double>(done_) /
                            static_cast<double>(total_))
         : 100;
-    std::fprintf(stderr, "[%s] %zu/%zu (%d%%) elapsed %.1fs eta %.1fs - %s\n",
-                 label_.c_str(), done_, total_, percent, elapsed, eta,
-                 key.c_str());
+    if (replayed_ > 0) {
+        std::fprintf(stderr,
+                     "[%s] %zu/%zu (%d%%, %zu replayed) elapsed %.1fs "
+                     "eta %.1fs - %s\n",
+                     label_.c_str(), done_, total_, percent, replayed_,
+                     elapsed, eta, key.c_str());
+    } else {
+        std::fprintf(stderr,
+                     "[%s] %zu/%zu (%d%%) elapsed %.1fs eta %.1fs - %s\n",
+                     label_.c_str(), done_, total_, percent, elapsed, eta,
+                     key.c_str());
+    }
     std::fflush(stderr);
     last_print_ = now;
     printed_ = true;

@@ -34,14 +34,25 @@ class ProgressReporter
      * @param label       line prefix, e.g. the sweep name ("fig3")
      * @param min_period_s minimum seconds between printed lines (the
      *                    final line always prints)
+     * @param replayed    tasks expected to complete near-instantly from
+     *                    a journal replay (--resume). They count toward
+     *                    done/total but are excluded from the ETA: the
+     *                    rate is measured from the first post-replay
+     *                    completion, so a resumed sweep's ETA reflects
+     *                    the work actually left, not the replay blur
      */
     explicit ProgressReporter(std::size_t total,
                               std::string label = "sweep",
-                              double min_period_s = 1.0);
+                              double min_period_s = 1.0,
+                              std::size_t replayed = 0);
 
     /** Record one finished task; prints a heartbeat line when due.
      *  @p key names the point just finished ("profile FFT n=8"). */
     void taskDone(const std::string& key);
+
+    /** ETA estimate [s] as of now (0 when unknowable or done); exposed
+     *  for tests — taskDone() prints the same value. */
+    double etaSeconds() const;
 
     /** Completed-task count so far. */
     std::size_t done() const;
@@ -49,13 +60,21 @@ class ProgressReporter
   private:
     using Clock = std::chrono::steady_clock;
 
+    /** ETA with mutex_ already held. */
+    double etaSecondsLocked(Clock::time_point now) const;
+
     std::string label_;
     double min_period_s_;
     mutable std::mutex mutex_;
     std::size_t total_;
+    std::size_t replayed_; ///< leading completions excluded from the ETA
     std::size_t done_ = 0;
     Clock::time_point start_;
     Clock::time_point last_print_;
+    /** First completion past the replayed prefix — the ETA epoch. Equal
+     *  to start_ until that completion happens. */
+    Clock::time_point fresh_start_;
+    bool fresh_started_ = false;
     bool printed_ = false;
 };
 

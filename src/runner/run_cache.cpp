@@ -78,4 +78,13 @@ RunCache::clear()
     misses_.store(0);
 }
 
+void
+RunCache::forEach(const std::function<void(const RunKey&,
+                                           const Measurement&)>& fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, m] : entries_)
+        fn(key, m);
+}
+
 } // namespace tlp::runner

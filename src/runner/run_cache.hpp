@@ -122,6 +122,15 @@ class RunCache
     std::size_t size() const;
     void clear();
 
+    /**
+     * Visit every entry in key order (the map's canonical quantized
+     * ordering), under the cache lock — @p fn must not call back into
+     * the cache. Compaction uses this to rewrite a store generation as
+     * the deduplicated, sorted image of the replayed journal.
+     */
+    void forEach(const std::function<void(const RunKey&,
+                                          const Measurement&)>& fn) const;
+
   private:
     mutable std::mutex mutex_;
     std::map<RunKey, Measurement> entries_;

@@ -15,6 +15,8 @@ RunMetrics::fromReport(const SweepReport& report)
     m.retried = report.retried;
     m.skipped = report.skipped;
     m.replayed = report.replayed;
+    m.replay_corrupt = report.replay_corrupt;
+    m.replay_inadmissible = report.replay_inadmissible;
     m.sim_calls = report.sim_calls;
     m.sim_events = report.sim_events;
     m.price_calls = report.price_calls;
@@ -90,6 +92,10 @@ RunMetrics::toJson() const
     appendField(out, "skipped", static_cast<std::uint64_t>(skipped), first);
     appendField(out, "replayed", static_cast<std::uint64_t>(replayed),
                 first);
+    appendField(out, "replay_corrupt",
+                static_cast<std::uint64_t>(replay_corrupt), first);
+    appendField(out, "replay_inadmissible",
+                static_cast<std::uint64_t>(replay_inadmissible), first);
     appendField(out, "sim_calls", sim_calls, first);
     appendField(out, "sim_events", sim_events, first);
     appendField(out, "price_calls", price_calls, first);

@@ -37,6 +37,8 @@ struct RunMetrics
     std::size_t retried = 0;
     std::size_t skipped = 0;
     std::size_t replayed = 0;
+    std::size_t replay_corrupt = 0;      ///< journal lines CRC-quarantined
+    std::size_t replay_inadmissible = 0; ///< replayed records cache refused
 
     // Work actually executed.
     std::uint64_t sim_calls = 0;

@@ -48,6 +48,12 @@ struct SweepReport
     std::size_t retried = 0;  ///< points that needed >= 1 retry to pass
     std::size_t skipped = 0;  ///< rows dropped because a dependency failed
     std::size_t replayed = 0; ///< cache entries restored from a journal
+    /** Journal lines quarantined during replay: CRC/parse failures and
+     *  records the cache refused (non-finite). Both degrade to "one more
+     *  point to re-simulate", but a nonzero count means the journal took
+     *  damage and deserves an eye. */
+    std::size_t replay_corrupt = 0;
+    std::size_t replay_inadmissible = 0;
     std::vector<FailedPoint> failed; ///< sorted by submission order
 
     /** Two-level cache accounting over this sweep (deltas between sweep

@@ -146,7 +146,7 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
         if (options_.resume) {
             const ReplayStats stats =
                 Journal::replayInto(options_.journal_path, cache_);
-            replayed_ = stats.entries;
+            replay_stats_ = stats;
             if (stats.entries > 0 || stats.corrupt > 0 ||
                 stats.inadmissible > 0) {
                 util::warn(util::strcatMsg(
@@ -244,12 +244,18 @@ SweepRunner::beginSweep(std::size_t expected_tasks)
     sweep_start_counters_ = counterTotals();
     progress_.reset();
     if (options_.progress) {
+        // Tell the reporter how many tasks will be near-instant journal
+        // replays, so the ETA is computed from real post-replay work
+        // only (a resumed sweep otherwise advertises a fantasy ETA).
         progress_ = std::make_unique<ProgressReporter>(
-            expected_tasks, options_.progress_label);
+            expected_tasks, options_.progress_label, 1.0,
+            std::min(replay_stats_.entries, expected_tasks));
     }
     std::lock_guard<std::mutex> lock(report_mutex_);
     report_ = SweepReport{};
-    report_.replayed = replayed_;
+    report_.replayed = replay_stats_.entries;
+    report_.replay_corrupt = replay_stats_.corrupt;
+    report_.replay_inadmissible = replay_stats_.inadmissible;
 }
 
 void

@@ -131,7 +131,11 @@ class SweepRunner
     const SweepReport& lastReport() const { return report_; }
 
     /** Journal entries replayed into the cache at construction. */
-    std::size_t replayedEntries() const { return replayed_; }
+    std::size_t replayedEntries() const { return replay_stats_.entries; }
+
+    /** Full replay outcome (entries restored, corrupt lines quarantined,
+     *  inadmissible records refused) of the construction-time resume. */
+    const ReplayStats& replayStats() const { return replay_stats_; }
 
     /**
      * Scenario I (Figure 3) for every application in @p apps: result[a]
@@ -205,7 +209,7 @@ class SweepRunner
     /** Declared before pool_ so it outlives the workers that append to
      *  it through the cache observer during pool teardown. */
     std::unique_ptr<Journal> journal_;
-    std::size_t replayed_ = 0;
+    ReplayStats replay_stats_;
     SweepReport report_;
     std::mutex report_mutex_;
     CounterSnapshot sweep_start_counters_;

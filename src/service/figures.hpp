@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared figure renderers — the single implementation of fig1..fig4.
+ *
+ * The figure tables used to live in the bench mains; the sweep service
+ * needs to produce the very same tables, so the rendering moved here and
+ * both front-ends call it: the batch harness streams the result to
+ * stdout, the service stores it as a table artifact and returns it to
+ * clients. Byte-identity between the two paths is therefore structural —
+ * there is exactly one code path that formats a figure.
+ *
+ * A renderer writes the would-be stdout of the batch harness into
+ * FigureRun::output (tables, banners, expected-shape trailer) and keeps
+ * operator chatter (progress, containment ledger, cache stats) on
+ * stderr, exactly where the batch harnesses put it.
+ */
+
+#ifndef TLP_SERVICE_FIGURES_HPP
+#define TLP_SERVICE_FIGURES_HPP
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep_report.hpp"
+#include "util/error.hpp"
+
+namespace tlp::service {
+
+/** Execution knobs of one figure rendering (the sweep CLI, minus the
+ *  I/O flags the front-ends own: --trace and --metrics). */
+struct FigureOptions
+{
+    int jobs = 0;    ///< worker count; <= 0 selects the default
+    double scale = 1.0; ///< workload problem-size scale (fig3/fig4)
+    /** Crash-safe completed-point journal (fig3/fig4; empty: off). */
+    std::string journal_path;
+    bool resume = false;       ///< replay journal_path before sweeping
+    int journal_flush_every = 1;
+    double point_timeout_s = 0.0; ///< per-point watchdog (0: off)
+    bool progress = false;        ///< heartbeat lines to stderr
+    bool cache_stats = false;     ///< counters line(s) to stderr
+};
+
+/** One rendered figure: the batch harness's stdout, its containment
+ *  ledger, and its --metrics JSON. */
+struct FigureRun
+{
+    /** Byte-exact stdout of the batch harness (banner, tables,
+     *  expected-shape trailer). */
+    std::string output;
+    /** Sweep ledger; default-constructed for the analytic figures
+     *  (fig1/fig2), which run no sweep. */
+    runner::SweepReport report;
+    /** What --metrics would have written. */
+    std::string metrics_json;
+    /** True for the simulation figures (fig3/fig4). */
+    bool simulated = false;
+};
+
+/** The renderable figure names, in order: fig1, fig2, fig3, fig4. */
+const std::vector<std::string>& figureNames();
+
+/** True when @p name is a renderable figure. */
+bool figureExists(const std::string& name);
+
+/** True when @p name runs the cycle-level simulator (fig3/fig4) — the
+ *  figures whose points are worth journaling. */
+bool isSimulatedFigure(const std::string& name);
+
+/**
+ * Render @p name ("fig1".."fig4") with @p options. Unknown names are an
+ * InvalidArgument error; render failures inside a sweep are contained
+ * per point (see SweepRunner) and reported in FigureRun::report, not as
+ * an error here.
+ */
+util::Expected<FigureRun> renderFigure(const std::string& name,
+                                       const FigureOptions& options);
+
+} // namespace tlp::service
+
+#endif // TLP_SERVICE_FIGURES_HPP

@@ -1,0 +1,337 @@
+#include "service/result_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runner/fault_injection.hpp"
+#include "service/wire.hpp"
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "util/trace.hpp"
+
+namespace tlp::service {
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kLockName = "LOCK";
+constexpr std::string_view kPointsPrefix = "points.g";
+constexpr std::string_view kPointsSuffix = ".jsonl";
+
+/** Artifact keys become file names: restrict them to a safe alphabet
+ *  (no separators, no leading dot) so a key can never escape tables/. */
+bool
+validTableKey(const std::string& key)
+{
+    if (key.empty() || key.size() > 128 || key.front() == '.')
+        return false;
+    return std::all_of(key.begin(), key.end(), [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    });
+}
+
+/** Generation number of a `points.g<G>.jsonl` name, or nullopt. */
+std::optional<std::uint64_t>
+pointsGeneration(const std::string& name)
+{
+    if (name.rfind(kPointsPrefix, 0) != 0)
+        return std::nullopt;
+    if (name.size() <= kPointsPrefix.size() + kPointsSuffix.size())
+        return std::nullopt;
+    if (name.compare(name.size() - kPointsSuffix.size(),
+                     kPointsSuffix.size(), kPointsSuffix) != 0)
+        return std::nullopt;
+    const std::string digits =
+        name.substr(kPointsPrefix.size(),
+                    name.size() - kPointsPrefix.size() -
+                        kPointsSuffix.size());
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long g = std::strtoull(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(g);
+}
+
+std::string
+pointsName(std::uint64_t generation)
+{
+    return util::strcatMsg(std::string(kPointsPrefix), generation,
+                           std::string(kPointsSuffix));
+}
+
+} // namespace
+
+std::string
+tableKey(const std::string& figure, double scale)
+{
+    return util::strcatMsg(figure, "-s", runner::quantizeScale(scale));
+}
+
+util::Expected<std::unique_ptr<ResultStore>>
+ResultStore::open(const std::string& dir)
+{
+    TLPPM_TRACE_SCOPE("service", "store-open:", dir);
+    std::unique_ptr<ResultStore> store(new ResultStore());
+    store->dir_ = dir;
+
+    if (auto made = util::ensureDir(dir); !made)
+        return made.error().withContext("ResultStore::open");
+    if (auto locked = store->lock_.acquire(
+            dir + "/" + std::string(kLockName));
+        !locked)
+        return locked.error().withContext("ResultStore::open");
+    for (const char* sub : {"/tables", "/queue", "/work", "/results"}) {
+        if (auto made = util::ensureDir(dir + sub); !made)
+            return made.error().withContext("ResultStore::open");
+    }
+
+    if (auto recovered = store->recoverManifest(); !recovered)
+        return recovered.error().withContext("ResultStore::open");
+
+    // Garbage-collect what a crash can leave behind: stray tmp files
+    // from interrupted atomic writes, and orphan point generations from
+    // a kill inside the compaction window. The manifest is the sole
+    // authority on which generation is live.
+    const std::size_t tmp_swept = util::sweepTmpFiles(dir) +
+        util::sweepTmpFiles(dir + "/tables") +
+        util::sweepTmpFiles(dir + "/results");
+    std::size_t orphans = 0;
+    for (const std::string& name : util::listDir(dir)) {
+        const auto g = pointsGeneration(name);
+        if (g && *g != store->generation_) {
+            util::removePath(dir + "/" + name);
+            ++orphans;
+        }
+    }
+    if (tmp_swept > 0 || orphans > 0) {
+        util::warn(util::strcatMsg(
+            "store: recovered '", dir, "': removed ", tmp_swept,
+            " stray tmp file(s) and ", orphans,
+            " orphan generation file(s)"));
+    }
+    util::traceInstant("service", "store-open: generation ",
+                       store->generation_);
+    return store;
+}
+
+std::string
+ResultStore::pointsPath() const
+{
+    return dir_ + "/" + pointsName(generation_);
+}
+
+util::Expected<bool>
+ResultStore::recoverManifest()
+{
+    const std::string path = dir_ + "/" + std::string(kManifestName);
+    auto content = util::readFileIfExists(path);
+    if (!content)
+        return content.error().withContext("recoverManifest");
+
+    if (content.value().has_value()) {
+        // Strip the trailing newline; the manifest is one sealed line.
+        std::string line = *content.value();
+        if (!line.empty() && line.back() == '\n')
+            line.pop_back();
+        std::uint64_t generation = 0;
+        if (checkSealedJsonLine(line) &&
+            line.rfind("{\"tlppm_store\":1", 0) == 0 &&
+            jsonFieldU64(line, "generation", generation)) {
+            generation_ = generation;
+            return true;
+        }
+        // A corrupt manifest is quarantined, then rebuilt from the
+        // on-disk evidence: the highest generation file present becomes
+        // live (journal replay tolerates a torn tail, so the worst case
+        // is re-running the records a newer lost manifest had compacted
+        // away).
+        quarantine(path, "manifest failed CRC/parse");
+    }
+
+    std::uint64_t best = 0;
+    for (const std::string& name : util::listDir(dir_)) {
+        if (const auto g = pointsGeneration(name))
+            best = std::max(best, *g);
+    }
+    generation_ = best;
+    return writeManifest(best);
+}
+
+util::Expected<bool>
+ResultStore::writeManifest(std::uint64_t generation)
+{
+    const std::string line = sealJsonLine(util::strcatMsg(
+        "{\"tlppm_store\":1,\"generation\":", generation));
+    auto written = util::atomicWriteFile(
+        dir_ + "/" + std::string(kManifestName), line + "\n");
+    if (!written)
+        return written.error().withContext("writeManifest");
+    generation_ = generation;
+    return true;
+}
+
+void
+ResultStore::quarantine(const std::string& path, const char* why)
+{
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    util::traceInstant("service", "quarantined:", path, " (", why, ")");
+    util::warn(util::strcatMsg("store: quarantining '", path, "': ", why));
+    if (auto renamed = util::renamePath(path, path + ".quarantined");
+        !renamed) {
+        // Even losing the rename must not block recovery: drop the file
+        // so the recompute path can rewrite it.
+        util::removePath(path);
+    }
+}
+
+util::Expected<std::optional<std::string>>
+ResultStore::loadTable(const std::string& key)
+{
+    if (!validTableKey(key)) {
+        return util::Error{util::ErrorCode::InvalidArgument,
+                           util::strcatMsg("invalid table key '", key,
+                                           "'")};
+    }
+    const std::string path = dir_ + "/tables/" + key + ".table";
+    auto content = util::readFileIfExists(path);
+    if (!content)
+        return content.error().withContext("loadTable");
+    if (!content.value().has_value()) {
+        table_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::optional<std::string>{};
+    }
+
+    std::string text = std::move(*content.value());
+    // Deterministic read-path fault: flip one payload byte, exactly the
+    // bit-rot the CRC must catch.
+    if (runner::StoreFaultInjector::instance().shouldFault(
+            runner::StoreFaultKind::CorruptRead, "table-load") &&
+        !text.empty()) {
+        text.back() = static_cast<char>(text.back() ^ 0x20);
+    }
+
+    const std::size_t nl = text.find('\n');
+    bool intact = nl != std::string::npos;
+    std::string payload;
+    if (intact) {
+        const std::string header = text.substr(0, nl);
+        payload = text.substr(nl + 1);
+        std::uint64_t bytes = 0, crc = 0;
+        intact = checkSealedJsonLine(header) &&
+            header.rfind("{\"tlppm_table\":1", 0) == 0 &&
+            jsonFieldU64(header, "bytes", bytes) &&
+            jsonFieldU64(header, "payload_crc", crc) &&
+            payload.size() == bytes &&
+            util::crc32(payload) == static_cast<std::uint32_t>(crc);
+    }
+    if (!intact) {
+        // Torn or corrupt artifact: quarantine and report a miss so the
+        // caller recomputes and rewrites it.
+        quarantine(path, "table artifact failed CRC/parse");
+        table_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::optional<std::string>{};
+    }
+    table_hits_.fetch_add(1, std::memory_order_relaxed);
+    util::traceInstant("service", "table-hit:", key);
+    return std::optional<std::string>{std::move(payload)};
+}
+
+util::Expected<bool>
+ResultStore::storeTable(const std::string& key, const std::string& payload)
+{
+    if (!validTableKey(key)) {
+        return util::Error{util::ErrorCode::InvalidArgument,
+                           util::strcatMsg("invalid table key '", key,
+                                           "'")};
+    }
+    const std::string path = dir_ + "/tables/" + key + ".table";
+    const std::string header = sealJsonLine(util::strcatMsg(
+        "{\"tlppm_table\":1,\"key\":\"", key, "\",\"bytes\":",
+        payload.size(), ",\"payload_crc\":", util::crc32(payload)));
+    const std::string content = header + "\n" + payload;
+
+    // Deterministic write-path fault: leave the torn on-disk state a
+    // crashed non-atomic writer would — the next load must quarantine
+    // it and recompute.
+    if (runner::StoreFaultInjector::instance().shouldFault(
+            runner::StoreFaultKind::TornWrite, "table-write")) {
+        return util::writeFileRaw(path, content.substr(0,
+                                                       content.size() / 2));
+    }
+    auto written = util::atomicWriteFile(path, content);
+    if (!written)
+        return written.error().withContext("storeTable");
+    util::traceInstant("service", "table-store:", key);
+    return true;
+}
+
+runner::ReplayStats
+ResultStore::replayPoints(runner::RunCache& cache) const
+{
+    return runner::Journal::replayInto(pointsPath(), cache);
+}
+
+util::Expected<CompactionResult>
+ResultStore::compact()
+{
+    TLPPM_TRACE_SCOPE("service", "store-compact");
+    runner::RunCache cache;
+    const runner::ReplayStats replay = replayPoints(cache);
+
+    const std::uint64_t next = generation_ + 1;
+    std::string body = runner::Journal::headerLine() + "\n";
+    cache.forEach([&body](const runner::RunKey& key,
+                          const runner::Measurement& m) {
+        body += runner::Journal::formatLine(key, m);
+        body += '\n';
+    });
+    const std::string old_path = pointsPath();
+    auto written =
+        util::atomicWriteFile(dir_ + "/" + pointsName(next), body);
+    if (!written)
+        return written.error().withContext("compact");
+
+    // The publish window the recovery protocol must tolerate: the new
+    // generation exists on disk but the manifest still names the old
+    // one. A kill here leaves an orphan that open() collects.
+    if (runner::StoreFaultInjector::instance().shouldFault(
+            runner::StoreFaultKind::KillCompaction,
+            "compaction-publish")) {
+        throw runner::FaultKillError(
+            "injected kill between generation write and manifest "
+            "publish");
+    }
+
+    if (auto flipped = writeManifest(next); !flipped)
+        return flipped.error().withContext("compact");
+    util::removePath(old_path);
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+
+    CompactionResult result;
+    result.generation = next;
+    result.kept = cache.size();
+    result.dropped_corrupt = replay.corrupt;
+    result.dropped_inadmissible = replay.inadmissible;
+    util::traceInstant("service", "store-compact: generation ", next,
+                       ", kept ", result.kept);
+    return result;
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    StoreStats s;
+    s.table_hits = table_hits_.load(std::memory_order_relaxed);
+    s.table_misses = table_misses_.load(std::memory_order_relaxed);
+    s.quarantined = quarantined_.load(std::memory_order_relaxed);
+    s.compactions = compactions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace tlp::service

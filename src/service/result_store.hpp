@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ResultStore — the crash-safe persistent result store of the sweep
+ * service.
+ *
+ * Two levels of persistence back the service:
+ *
+ *  1. Raw point records: one journal-format JSONL file per store
+ *     generation (`points.g<G>.jsonl`, the PR-format of runner::Journal —
+ *     CRC32 per record, %.17g doubles, fsync'd appends). The service
+ *     points each request's SweepRunner at this file with resume on, so
+ *     every completed simulation persists the moment it finishes and a
+ *     repeated or crash-recovered request re-simulates only points that
+ *     never reached the file.
+ *
+ *  2. Priced table artifacts: the rendered figure output, stored under
+ *     `tables/<key>.table` as a CRC-protected artifact keyed by
+ *     (figure, quantized scale) — deliberately NOT by job count, because
+ *     the sweep layer guarantees byte-identical tables at any job count.
+ *
+ * Crash-safety protocol:
+ *  - every multi-byte file write is tmp + fsync + rename
+ *    (util::atomicWriteFile): readers never see a torn artifact;
+ *  - `MANIFEST` (one CRC-protected JSON line, atomically replaced) is
+ *    the single source of truth for the live points generation. A
+ *    compaction writes the *next* generation file completely, then
+ *    flips the manifest, then unlinks the old file — a kill anywhere in
+ *    that sequence leaves either the old or the new generation live,
+ *    never neither, and open() garbage-collects the orphan;
+ *  - artifacts that fail their CRC on load (torn/corrupt/flipped bytes)
+ *    are quarantined: renamed to `<name>.quarantined`, counted in
+ *    StoreStats, and reported as a miss so the service recomputes and
+ *    rewrites them — corruption degrades to recomputation, never to a
+ *    wrong answer;
+ *  - an advisory flock on `LOCK` (held for the store's lifetime, dies
+ *    with the process) keeps two daemons from interleaving writes.
+ *
+ * Fault-injection hooks (StoreFaultInjector, TLPPM_STORE_FAULT) let
+ * tests and the CI crash-recovery leg plant torn table writes, short
+ * journal writes, corrupt reads, and kills inside the compaction window
+ * deterministically.
+ */
+
+#ifndef TLP_SERVICE_RESULT_STORE_HPP
+#define TLP_SERVICE_RESULT_STORE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runner/journal.hpp"
+#include "runner/run_cache.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace tlp::service {
+
+/** Store-level counters (process lifetime of this handle). */
+struct StoreStats
+{
+    std::uint64_t table_hits = 0;    ///< artifacts served from disk
+    std::uint64_t table_misses = 0;  ///< absent artifacts (recompute)
+    std::uint64_t quarantined = 0;   ///< artifacts/manifests quarantined
+    std::uint64_t compactions = 0;   ///< generations rewritten
+};
+
+/** Outcome of one compaction pass. */
+struct CompactionResult
+{
+    std::uint64_t generation = 0; ///< the new live generation
+    std::size_t kept = 0;         ///< deduplicated records rewritten
+    std::size_t dropped_corrupt = 0;      ///< CRC/parse casualties
+    std::size_t dropped_inadmissible = 0; ///< non-finite records
+};
+
+/** Artifact key for a figure table: "fig3-s50000000" — the figure name
+ *  plus the quantized problem scale (1e-9 grid, the RunKey grid). Jobs
+ *  are deliberately excluded: tables are byte-identical at any job
+ *  count. */
+std::string tableKey(const std::string& figure, double scale);
+
+/** The crash-safe persistent result store (see the file comment). */
+class ResultStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store at directory @p dir: take the
+     * advisory lock, recover the manifest, garbage-collect orphan
+     * generations and stray tmp files, and create the artifact/queue
+     * subdirectories. Fails with Overloaded when another process holds
+     * the lock, IoError on filesystem trouble.
+     */
+    static util::Expected<std::unique_ptr<ResultStore>>
+    open(const std::string& dir);
+
+    ~ResultStore() = default;
+    ResultStore(const ResultStore&) = delete;
+    ResultStore& operator=(const ResultStore&) = delete;
+
+    const std::string& dir() const { return dir_; }
+    std::uint64_t generation() const { return generation_; }
+
+    /** The live raw-point journal file (`points.g<G>.jsonl`) — hand
+     *  this to SweepRunner::Options::journal_path with resume on. */
+    std::string pointsPath() const;
+
+    /** Queue/work/results directories of the request front-end. */
+    std::string queueDir() const { return dir_ + "/queue"; }
+    std::string workDir() const { return dir_ + "/work"; }
+    std::string resultsDir() const { return dir_ + "/results"; }
+
+    /**
+     * The artifact stored under @p key, or nullopt (counted as a miss)
+     * when absent — or when present but failing its CRC, in which case
+     * the file is quarantined and the caller recomputes. Only returns
+     * payloads whose integrity proved out.
+     */
+    util::Expected<std::optional<std::string>>
+    loadTable(const std::string& key);
+
+    /** Atomically persist @p payload under @p key (CRC-protected,
+     *  tmp + fsync + rename). */
+    util::Expected<bool> storeTable(const std::string& key,
+                                    const std::string& payload);
+
+    /** Replay the live points generation into @p cache (journal replay:
+     *  CRC-checked, first record wins). */
+    runner::ReplayStats replayPoints(runner::RunCache& cache) const;
+
+    /**
+     * Rewrite the points level as generation G+1: replay the live file,
+     * write the deduplicated, key-sorted survivors as a fresh journal
+     * file, flip the manifest, unlink the old generation. Corrupt and
+     * inadmissible records are dropped for good (they were already
+     * quarantined on every replay). Throws FaultKillError inside the
+     * publish window when a kill-compaction fault is armed.
+     */
+    util::Expected<CompactionResult> compact();
+
+    /** Counters for metrics/tracing (monotone over this handle). */
+    StoreStats stats() const;
+
+  private:
+    ResultStore() = default;
+
+    util::Expected<bool> recoverManifest();
+    util::Expected<bool> writeManifest(std::uint64_t generation);
+    /** Rename @p path aside as `<path>.quarantined` and count it. */
+    void quarantine(const std::string& path, const char* why);
+
+    std::string dir_;
+    util::FileLock lock_;
+    std::uint64_t generation_ = 0;
+    std::atomic<std::uint64_t> table_hits_{0};
+    std::atomic<std::uint64_t> table_misses_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+    std::atomic<std::uint64_t> compactions_{0};
+};
+
+} // namespace tlp::service
+
+#endif // TLP_SERVICE_RESULT_STORE_HPP

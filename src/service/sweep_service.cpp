@@ -1,0 +1,411 @@
+#include "service/sweep_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "runner/fault_injection.hpp"
+#include "service/figures.hpp"
+#include "service/wire.hpp"
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "util/trace.hpp"
+
+namespace tlp::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Request ids become response file names: same safe alphabet as table
+ *  keys (no separators, no leading dot). */
+bool
+validRequestId(const std::string& id)
+{
+    if (id.empty() || id.size() > 96 || id.front() == '.')
+        return false;
+    return std::all_of(id.begin(), id.end(), [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '-' || c == '_';
+    });
+}
+
+/**
+ * Generous static estimate of the simulation count one request can
+ * trigger (profiling passes + bisection/budget-search points), for the
+ * admission-time point budget. Overestimating only rejects sooner; the
+ * analytic figures run zero simulations.
+ */
+std::uint64_t
+estimatePoints(const std::string& figure)
+{
+    if (figure == "fig3")
+        return 12u * 5u * 24u; // apps x core counts x search depth
+    if (figure == "fig4")
+        return 3u * 10u * 24u; // apps x core counts x V/f grid
+    return 0;                  // fig1/fig2: analytic, no simulator
+}
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+SweepService::SweepService(std::unique_ptr<ResultStore> store,
+                           Options options)
+    : store_(std::move(store)), options_(options)
+{
+    if (options_.max_retries < 0)
+        options_.max_retries = 0;
+    if (options_.max_queue < 1)
+        options_.max_queue = 1;
+}
+
+util::Expected<Request>
+SweepService::parseRequest(const std::string& id, const std::string& body)
+{
+    std::string line = body;
+    const std::size_t nl = line.find('\n');
+    if (nl != std::string::npos)
+        line.resize(nl);
+
+    if (line.rfind("{\"tlppm_request\":1", 0) != 0) {
+        return util::Error{util::ErrorCode::ParseError,
+                           "request is not a tlppm_request:1 object"};
+    }
+    Request request;
+    request.id = id;
+    if (!jsonFieldString(line, "figure", request.figure)) {
+        return util::Error{util::ErrorCode::ParseError,
+                           "request lacks a \"figure\" field"};
+    }
+    double scale = 1.0;
+    if (jsonFieldDouble(line, "scale", scale))
+        request.scale = scale;
+    std::uint64_t jobs = 0;
+    if (jsonFieldU64(line, "jobs", jobs)) {
+        if (jobs > 4096) {
+            return util::Error{util::ErrorCode::ParseError,
+                               "request \"jobs\" out of range (0..4096)"};
+        }
+        request.jobs = static_cast<int>(jobs);
+    }
+    return request;
+}
+
+util::Expected<bool>
+SweepService::validate(const Request& request) const
+{
+    if (!validRequestId(request.id)) {
+        return util::Error{util::ErrorCode::InvalidArgument,
+                           util::strcatMsg("invalid request id '",
+                                           request.id, "'")};
+    }
+    if (!figureExists(request.figure)) {
+        return util::Error{
+            util::ErrorCode::InvalidArgument,
+            util::strcatMsg("unknown figure '", request.figure,
+                            "' (expected fig1, fig2, fig3, or fig4)")};
+    }
+    if (!(request.scale >= 1e-6 && request.scale <= 1.0)) {
+        return util::Error{util::ErrorCode::InvalidArgument,
+                           util::strcatMsg("scale ", request.scale,
+                                           " out of range [1e-6, 1]")};
+    }
+    if (estimatePoints(request.figure) > options_.max_points) {
+        return util::Error{
+            util::ErrorCode::Overloaded,
+            util::strcatMsg("request exceeds the per-request point "
+                            "budget (estimated ",
+                            estimatePoints(request.figure), " > budget ",
+                            options_.max_points, "); retry when the "
+                            "operator raises --max-points")};
+    }
+    return true;
+}
+
+ServeOutcome
+SweepService::serve(const Request& request)
+{
+    TLPPM_TRACE_SCOPE("service", "serve:", request.id, ":",
+                      request.figure);
+    ServeOutcome out;
+    out.id = request.id;
+    out.figure = request.figure;
+
+    if (auto valid = validate(request); !valid) {
+        out.error = valid.error();
+        return out;
+    }
+
+    const Clock::time_point start = Clock::now();
+    const std::string key = tableKey(request.figure, request.scale);
+
+    // Level-2 hit: the priced table artifact. Integrity-checked by the
+    // store; a quarantined artifact comes back as a miss and is
+    // recomputed below.
+    if (auto hit = store_->loadTable(key); hit && hit.value()) {
+        out.ok = true;
+        out.from_store = true;
+        out.payload = std::move(*hit.value());
+        if (auto metrics = store_->loadTable(key + ".metrics");
+            metrics && metrics.value()) {
+            out.metrics_json = std::move(*metrics.value());
+        }
+        util::traceInstant("service", "store-hit:", key);
+        return out;
+    }
+
+    FigureOptions fopts;
+    fopts.jobs = request.jobs > 0 ? request.jobs : options_.jobs;
+    fopts.scale = request.scale;
+    fopts.cache_stats = options_.cache_stats;
+    fopts.progress = options_.progress;
+    if (isSimulatedFigure(request.figure)) {
+        // Level-1 persistence: every completed point journals into the
+        // store's live generation, and resume replays it first — so a
+        // retry (or a restart after a crash) re-simulates only points
+        // that never reached the file.
+        fopts.journal_path = store_->pointsPath();
+        fopts.resume = true;
+        fopts.journal_flush_every = options_.journal_flush_every;
+    }
+
+    for (int attempt = 1;; ++attempt) {
+        out.attempts = attempt;
+        double point_timeout = options_.point_timeout_s;
+        if (options_.deadline_s > 0) {
+            const double remaining =
+                options_.deadline_s - secondsSince(start);
+            if (remaining <= 0) {
+                out.error = util::Error{
+                    util::ErrorCode::Timeout,
+                    util::strcatMsg("request deadline (",
+                                    options_.deadline_s,
+                                    " s) exhausted after ", attempt - 1,
+                                    " attempt(s)")};
+                return out;
+            }
+            // The cooperative per-point watchdog enforces the deadline
+            // inside the sweep: no point may outlive what is left.
+            point_timeout = point_timeout > 0
+                ? std::min(point_timeout, remaining)
+                : remaining;
+        }
+        fopts.point_timeout_s = point_timeout;
+
+        auto run = renderFigure(request.figure, fopts);
+        if (run) {
+            out.sim_calls += run.value().report.sim_calls;
+            if (!run.value().simulated || run.value().report.allOk()) {
+                out.ok = true;
+                out.payload = std::move(run.value().output);
+                out.metrics_json = std::move(run.value().metrics_json);
+                break;
+            }
+            const auto& failed = run.value().report.failed;
+            out.error = util::Error{
+                failed.empty() ? util::ErrorCode::Unknown
+                               : failed.front().error.code,
+                util::strcatMsg(failed.size(), " point(s) failed, ",
+                                run.value().report.skipped,
+                                " row(s) skipped")};
+        } else {
+            out.error = run.error();
+        }
+
+        if (attempt > options_.max_retries) {
+            out.error =
+                out.error.withContext("SweepService::serve: retries "
+                                      "exhausted");
+            return out;
+        }
+        // Completed points are journaled; only the failures re-run.
+        stats_.retries += 1;
+        util::traceInstant("service", "retry:", request.id, " attempt ",
+                           attempt, ": ", out.error.describe());
+        util::warn(util::strcatMsg("service: request '", request.id,
+                                   "' attempt ", attempt, " failed (",
+                                   out.error.describe(), "); retrying"));
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options_.backoff_s * attempt));
+    }
+
+    // Persist both artifacts so the next identical request is a pure
+    // store hit. Only clean renders are stored: a table with FAILED
+    // cells must never be replayed to a future client.
+    if (auto stored = store_->storeTable(key, out.payload); !stored) {
+        util::warn(util::strcatMsg("service: storing table '", key,
+                                   "' failed: ",
+                                   stored.error().describe()));
+    }
+    if (!out.metrics_json.empty()) {
+        if (auto stored =
+                store_->storeTable(key + ".metrics", out.metrics_json);
+            !stored) {
+            util::warn(util::strcatMsg("service: storing metrics '", key,
+                                       "' failed: ",
+                                       stored.error().describe()));
+        }
+    }
+    return out;
+}
+
+std::string
+SweepService::formatResponse(const ServeOutcome& outcome)
+{
+    std::string header = util::strcatMsg(
+        "{\"tlppm_response\":1,\"id\":\"", outcome.id, "\",\"figure\":\"",
+        escapeForWire(outcome.figure), "\",\"status\":\"",
+        outcome.ok ? "ok" : "error", "\"");
+    if (!outcome.ok) {
+        header += util::strcatMsg(
+            ",\"code\":\"", util::errorCodeName(outcome.error.code),
+            "\",\"message\":\"", escapeForWire(outcome.error.describe()),
+            "\"");
+    }
+    header += util::strcatMsg(
+        ",\"from_store\":", outcome.from_store ? 1 : 0,
+        ",\"sim_calls\":", outcome.sim_calls,
+        ",\"attempts\":", outcome.attempts,
+        ",\"bytes\":", outcome.payload.size(),
+        ",\"payload_crc\":", util::crc32(outcome.payload));
+    return sealJsonLine(std::move(header)) + "\n" + outcome.payload;
+}
+
+void
+SweepService::respond(const ServeOutcome& outcome)
+{
+    stats_.requests += 1;
+    if (outcome.ok) {
+        stats_.served_ok += 1;
+        if (outcome.from_store)
+            stats_.from_store += 1;
+    } else if (outcome.error.code == util::ErrorCode::Overloaded) {
+        stats_.shed += 1;
+        util::traceInstant("service", "shed:", outcome.id);
+    } else if (outcome.error.code == util::ErrorCode::ParseError ||
+               outcome.error.code == util::ErrorCode::InvalidArgument) {
+        stats_.invalid += 1;
+    } else {
+        stats_.failed += 1;
+    }
+    sim_calls_total_ += outcome.sim_calls;
+
+    const std::string path =
+        store_->resultsDir() + "/" + outcome.id + ".resp";
+    if (auto written =
+            util::atomicWriteFile(path, formatResponse(outcome));
+        !written) {
+        util::warn(util::strcatMsg("service: writing response '", path,
+                                   "' failed: ",
+                                   written.error().describe()));
+    }
+}
+
+void
+SweepService::requeueOrphans()
+{
+    for (const std::string& name : util::listDir(store_->workDir(),
+                                                 ".req")) {
+        // A claim without a response: the previous daemon died
+        // mid-request. Its finished points are journaled, so redelivery
+        // costs only the unfinished remainder.
+        auto moved = util::renamePath(store_->workDir() + "/" + name,
+                                      store_->queueDir() + "/" + name);
+        if (moved) {
+            util::warn(util::strcatMsg(
+                "service: re-queued orphaned request '", name,
+                "' from a previous run"));
+        }
+    }
+}
+
+util::Expected<std::size_t>
+SweepService::pollOnce()
+{
+    if (!orphans_recovered_) {
+        requeueOrphans();
+        orphans_recovered_ = true;
+    }
+
+    const std::vector<std::string> names =
+        util::listDir(store_->queueDir(), ".req");
+    std::size_t answered = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string& name = names[i];
+        const std::string id = name.substr(0, name.size() - 4);
+        if (!validRequestId(id)) {
+            // An unsafe id cannot even name a response file; drop the
+            // request file and log.
+            util::warn(util::strcatMsg(
+                "service: dropping request with unsafe id '", name,
+                "'"));
+            util::removePath(store_->queueDir() + "/" + name);
+            stats_.invalid += 1;
+            continue;
+        }
+
+        // Claim by rename: atomic, so a concurrent daemon (which the
+        // store lock already prevents) or a crash cannot double-serve.
+        const std::string work_path = store_->workDir() + "/" + name;
+        if (auto claimed = util::renamePath(
+                store_->queueDir() + "/" + name, work_path);
+            !claimed) {
+            continue;
+        }
+
+        ServeOutcome outcome;
+        outcome.id = id;
+        if (i >= options_.max_queue) {
+            // Admission control: bounded work per poll. The client gets
+            // a typed Overloaded answer and retries later.
+            outcome.error = util::Error{
+                util::ErrorCode::Overloaded,
+                util::strcatMsg("queue depth ", names.size(),
+                                " exceeds the admission bound ",
+                                options_.max_queue, "; retry later")};
+        } else if (auto body = util::readFile(work_path); !body) {
+            outcome.error = body.error().withContext("pollOnce");
+        } else if (auto request = parseRequest(id, body.value());
+                   !request) {
+            outcome.error = request.error();
+        } else {
+            const std::string key = tableKey(request.value().figure,
+                                             request.value().scale);
+            if (!served_keys_.insert(key).second)
+                stats_.deduped += 1; // same key already served: store hit
+            outcome = serve(request.value());
+        }
+        respond(outcome);
+        util::removePath(work_path);
+        ++answered;
+    }
+    return answered;
+}
+
+std::string
+SweepService::metricsJson() const
+{
+    const StoreStats store = store_->stats();
+    return util::strcatMsg(
+        "{\n  \"requests\": ", stats_.requests,
+        ",\n  \"served_ok\": ", stats_.served_ok,
+        ",\n  \"served_from_store\": ", stats_.from_store,
+        ",\n  \"deduped\": ", stats_.deduped,
+        ",\n  \"shed\": ", stats_.shed,
+        ",\n  \"retries\": ", stats_.retries,
+        ",\n  \"failed\": ", stats_.failed,
+        ",\n  \"invalid\": ", stats_.invalid,
+        ",\n  \"sim_calls_total\": ", sim_calls_total_,
+        ",\n  \"store_generation\": ", store_->generation(),
+        ",\n  \"store_table_hits\": ", store.table_hits,
+        ",\n  \"store_table_misses\": ", store.table_misses,
+        ",\n  \"store_quarantined\": ", store.quarantined,
+        ",\n  \"store_compactions\": ", store.compactions, "\n}\n");
+}
+
+} // namespace tlp::service

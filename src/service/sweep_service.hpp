@@ -1,0 +1,172 @@
+/**
+ * @file
+ * SweepService — the request-queue front-end of sweep-as-a-service.
+ *
+ * Clients drop one-line JSON request files into `<store>/queue/`
+ * (`{"tlppm_request":1,"figure":"fig3","scale":0.05,"jobs":1}`, named
+ * `<id>.req`); the service claims each by renaming it into
+ * `<store>/work/`, serves it, and atomically writes
+ * `<store>/results/<id>.resp` — a sealed header line (status, origin,
+ * sim_calls, payload size + CRC) followed by the figure's byte-exact
+ * batch-harness output. Every file transition is atomic (rename), so a
+ * kill at any instant leaves each request either queued, claimed, or
+ * answered — never half-answered. Claimed-but-unanswered requests from
+ * a crashed daemon are re-queued on the next start; their completed
+ * points are already in the store's journal, so redelivery re-simulates
+ * only what never finished.
+ *
+ * Graceful degradation:
+ *  - admission control: at most `max_queue` requests are served per
+ *    poll; the excess is shed with a typed Overloaded response (clients
+ *    retry later) instead of growing an unbounded backlog;
+ *  - a per-request point budget rejects requests whose estimated
+ *    simulation count exceeds `max_points` (Overloaded, permanent until
+ *    the operator raises the budget);
+ *  - a per-request deadline bounds wall time: it caps the per-point
+ *    cooperative watchdog and is re-checked between retry attempts;
+ *  - failed renders (contained failed points, I/O trouble) are retried
+ *    with backoff up to `max_retries` times; completed points persist
+ *    in the journal between attempts, so each retry only re-runs what
+ *    failed. Requests still failing are answered with a typed error.
+ *
+ * Dedup: results are keyed by (figure, quantized scale) — never by job
+ * count — so a repeated request is served entirely from the store
+ * (sim_calls == 0, byte-identical payload), and duplicate requests in
+ * one batch render once.
+ */
+
+#ifndef TLP_SERVICE_SWEEP_SERVICE_HPP
+#define TLP_SERVICE_SWEEP_SERVICE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "service/result_store.hpp"
+#include "util/error.hpp"
+
+namespace tlp::service {
+
+/** One parsed figure request. */
+struct Request
+{
+    std::string id;     ///< from the queue file name (`<id>.req`)
+    std::string figure; ///< "fig1".."fig4"
+    double scale = 1.0; ///< problem-size scale (simulated figures)
+    int jobs = 0;       ///< worker count; 0 defers to the service
+};
+
+/** How one request was answered. */
+struct ServeOutcome
+{
+    std::string id;
+    std::string figure;
+    bool ok = false;
+    bool from_store = false;    ///< payload came from a table artifact
+    std::uint64_t sim_calls = 0; ///< simulations this request executed
+    int attempts = 1;            ///< 1 + service-level retries taken
+    std::string payload;         ///< figure output ("" on error)
+    std::string metrics_json;    ///< renderer metrics ("" on error)
+    util::Error error;           ///< valid when !ok
+};
+
+/** Service-level counters (lifetime of this SweepService). */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;     ///< requests answered (ok or error)
+    std::uint64_t served_ok = 0;
+    std::uint64_t from_store = 0;   ///< answered without simulating
+    std::uint64_t deduped = 0;      ///< same-key duplicates in one batch
+    std::uint64_t shed = 0;         ///< Overloaded admission rejections
+    std::uint64_t retries = 0;      ///< service-level retry attempts
+    std::uint64_t failed = 0;       ///< requests answered with an error
+    std::uint64_t invalid = 0;      ///< malformed/unknown requests
+};
+
+/** The request-serving engine + queue pump (see the file comment). */
+class SweepService
+{
+  public:
+    struct Options
+    {
+        int jobs = 0; ///< default worker count (request may override)
+        /** Admission bound: requests served per poll; the rest shed. */
+        std::size_t max_queue = 32;
+        /** Per-request estimated-simulation budget (admission). */
+        std::uint64_t max_points = 100000;
+        /** Per-request wall-clock deadline [s]; <= 0 disables. Caps the
+         *  per-point watchdog and bounds the retry ladder. */
+        double deadline_s = 0.0;
+        /** Per-point cooperative watchdog [s]; <= 0 disables. */
+        double point_timeout_s = 0.0;
+        /** Service-level retry attempts for a failed render. */
+        int max_retries = 2;
+        /** Base backoff before retry k is backoff_s * k. */
+        double backoff_s = 0.05;
+        /** fsync the point journal every K appends. */
+        int journal_flush_every = 1;
+        bool cache_stats = false; ///< renderer counters to stderr
+        bool progress = false;    ///< renderer heartbeat to stderr
+    };
+
+    SweepService(std::unique_ptr<ResultStore> store, Options options);
+
+    ResultStore& store() { return *store_; }
+    const Options& options() const { return options_; }
+
+    /** Parse a one-line request body (the queue file content). */
+    static util::Expected<Request> parseRequest(const std::string& id,
+                                                const std::string& body);
+
+    /** Validate @p request (known figure, scale in (0,1], jobs bound)
+     *  and admission-check its point budget. */
+    util::Expected<bool> validate(const Request& request) const;
+
+    /**
+     * Serve @p request: store hit, or render through the shared figure
+     * renderer with the store's journal attached (resume on), retrying
+     * with backoff on contained failures. Never throws for contained
+     * request trouble — the outcome carries the typed error. Admission
+     * rejections (queue depth is the caller's; point budget and
+     * deadline are checked here) come back as Overloaded / Timeout.
+     */
+    ServeOutcome serve(const Request& request);
+
+    /**
+     * Pump the queue once: re-queue orphaned claims (first call),
+     * admit up to max_queue requests in name order, shed the excess
+     * with Overloaded responses, serve the admitted ones, and write
+     * one response file per request. Returns requests answered
+     * (including shed/invalid ones).
+     */
+    util::Expected<std::size_t> pollOnce();
+
+    ServiceStats stats() const { return stats_; }
+
+    /** Service + store counters as one JSON object (stable keys, only
+     *  ever added): the service analogue of RunMetrics::toJson(). */
+    std::string metricsJson() const;
+
+    /** Compose a response file body: sealed header line + payload. */
+    static std::string formatResponse(const ServeOutcome& outcome);
+
+  private:
+    /** Write `results/<id>.resp` atomically. */
+    void respond(const ServeOutcome& outcome);
+
+    /** Move claimed-but-unanswered work files back into the queue. */
+    void requeueOrphans();
+
+    std::unique_ptr<ResultStore> store_;
+    Options options_;
+    ServiceStats stats_;
+    std::uint64_t sim_calls_total_ = 0;
+    bool orphans_recovered_ = false;
+    /** Table keys this service has served (dedup accounting). */
+    std::set<std::string> served_keys_;
+};
+
+} // namespace tlp::service
+
+#endif // TLP_SERVICE_SWEEP_SERVICE_HPP

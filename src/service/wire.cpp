@@ -1,0 +1,117 @@
+#include "service/wire.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+
+namespace tlp::service {
+
+namespace {
+
+constexpr std::string_view kCrcToken = ",\"crc\":";
+
+const char*
+findField(const std::string& line, const char* field)
+{
+    const std::string token = util::strcatMsg("\"", field, "\":");
+    const std::size_t pos = line.find(token);
+    if (pos == std::string::npos)
+        return nullptr;
+    return line.c_str() + pos + token.size();
+}
+
+} // namespace
+
+std::string
+sealJsonLine(std::string payload)
+{
+    const std::uint32_t crc = util::crc32(payload);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ",\"crc\":%" PRIu32 "}", crc);
+    payload += buf;
+    return payload;
+}
+
+bool
+checkSealedJsonLine(const std::string& line)
+{
+    const std::size_t pos = line.rfind(kCrcToken);
+    if (pos == std::string::npos)
+        return false;
+    const char* start = line.c_str() + pos + kCrcToken.size();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long stored = std::strtoull(start, &end, 10);
+    if (end == start || errno == ERANGE || stored > 0xFFFFFFFFull)
+        return false;
+    return util::crc32(std::string_view(line.data(), pos)) ==
+        static_cast<std::uint32_t>(stored);
+}
+
+bool
+jsonFieldU64(const std::string& line, const char* field,
+             std::uint64_t& out)
+{
+    const char* start = findField(line, field);
+    if (start == nullptr)
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtoull(start, &end, 10);
+    return end != start && errno != ERANGE;
+}
+
+bool
+jsonFieldDouble(const std::string& line, const char* field, double& out)
+{
+    const char* start = findField(line, field);
+    if (start == nullptr)
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtod(start, &end);
+    if (end == start)
+        return false;
+    return !(errno == ERANGE && (out >= HUGE_VAL || out <= -HUGE_VAL));
+}
+
+bool
+jsonFieldString(const std::string& line, const char* field,
+                std::string& out)
+{
+    const char* start = findField(line, field);
+    if (start == nullptr || *start != '"')
+        return false;
+    const char* close = std::strchr(start + 1, '"');
+    if (close == nullptr)
+        return false;
+    out.assign(start + 1, close);
+    return true;
+}
+
+std::string
+escapeForWire(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"')
+            out += '\'';
+        else if (c == '\\')
+            out += '/';
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace tlp::service

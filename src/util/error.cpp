@@ -26,6 +26,8 @@ errorCodeName(ErrorCode code)
         return "io-error";
     case ErrorCode::CorruptData:
         return "corrupt-data";
+    case ErrorCode::Overloaded:
+        return "overloaded";
     }
     return "unknown";
 }

@@ -36,6 +36,7 @@ enum class ErrorCode {
     SimulationError, ///< the simulator refused the run (deadlock, budget)
     IoError,         ///< filesystem failure (journal open/append)
     CorruptData,     ///< CRC/format mismatch while replaying a journal
+    Overloaded,      ///< admission control shed the request (retry later)
 };
 
 /** Stable lowercase name of @p code, e.g. "no-convergence". */

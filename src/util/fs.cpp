@@ -1,0 +1,220 @@
+#include "util/fs.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace tlp::util {
+
+namespace {
+
+Error
+ioError(const std::string& what, const std::string& path)
+{
+    return Error{ErrorCode::IoError,
+                 strcatMsg(what, " '", path, "': ", std::strerror(errno))};
+}
+
+} // namespace
+
+Expected<std::string>
+readFile(const std::string& path)
+{
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return ioError("cannot open", path);
+    std::string content;
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        content.append(buf, got);
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed)
+        return ioError("read failed on", path);
+    return content;
+}
+
+Expected<std::optional<std::string>>
+readFileIfExists(const std::string& path)
+{
+    if (!pathExists(path))
+        return std::optional<std::string>{};
+    auto content = readFile(path);
+    if (!content)
+        return content.error();
+    return std::optional<std::string>{std::move(content.value())};
+}
+
+Expected<bool>
+atomicWriteFile(const std::string& path, const std::string& content)
+{
+    const std::string tmp =
+        strcatMsg(path, ".tmp.", static_cast<long>(::getpid()));
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr)
+        return ioError("cannot create", tmp);
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), file);
+    if (written != content.size() || std::fflush(file) != 0 ||
+        ::fsync(::fileno(file)) != 0) {
+        std::fclose(file);
+        std::remove(tmp.c_str());
+        return ioError("short write to", tmp);
+    }
+    if (std::fclose(file) != 0) {
+        std::remove(tmp.c_str());
+        return ioError("close failed on", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return ioError("rename failed onto", path);
+    }
+    return true;
+}
+
+Expected<bool>
+writeFileRaw(const std::string& path, const std::string& content)
+{
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return ioError("cannot create", path);
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), file);
+    const bool short_write = written != content.size();
+    std::fclose(file);
+    if (short_write)
+        return ioError("short write to", path);
+    return true;
+}
+
+Expected<bool>
+ensureDir(const std::string& dir)
+{
+    if (::mkdir(dir.c_str(), 0775) == 0 || errno == EEXIST)
+        return true;
+    return ioError("cannot create directory", dir);
+}
+
+std::vector<std::string>
+listDir(const std::string& dir, const std::string& suffix)
+{
+    std::vector<std::string> names;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return names;
+    while (const dirent* entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        if (!suffix.empty() &&
+            (name.size() < suffix.size() ||
+             name.compare(name.size() - suffix.size(), suffix.size(),
+                          suffix) != 0))
+            continue;
+        names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+pathExists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
+removePath(const std::string& path)
+{
+    return std::remove(path.c_str()) == 0 || errno == ENOENT;
+}
+
+Expected<bool>
+renamePath(const std::string& from, const std::string& to)
+{
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        return ioError(strcatMsg("cannot rename '", from, "' onto"), to);
+    return true;
+}
+
+std::size_t
+sweepTmpFiles(const std::string& dir)
+{
+    std::size_t removed = 0;
+    for (const std::string& name : listDir(dir)) {
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        if (removePath(dir + "/" + name))
+            ++removed;
+    }
+    return removed;
+}
+
+FileLock::~FileLock()
+{
+    release();
+}
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_))
+{
+    other.fd_ = -1;
+}
+
+FileLock&
+FileLock::operator=(FileLock&& other) noexcept
+{
+    if (this != &other) {
+        release();
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Expected<bool>
+FileLock::acquire(const std::string& path)
+{
+    release();
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0664);
+    if (fd < 0)
+        return ioError("cannot open lock file", path);
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        const Error error =
+            errno == EWOULDBLOCK
+                ? Error{ErrorCode::Overloaded,
+                        strcatMsg("store lock '", path,
+                                  "' is held by another process")}
+                : ioError("cannot lock", path);
+        ::close(fd);
+        return error;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+void
+FileLock::release()
+{
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace tlp::util

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Small filesystem helpers for the persistence layer: whole-file reads,
+ * atomic (tmp + fsync + rename) writes, directory listing/creation, and
+ * an advisory file lock.
+ *
+ * Everything here returns structured errors instead of throwing: the
+ * service layer treats every filesystem failure as a recoverable event
+ * (shed the request, quarantine the artifact, re-run the point), so the
+ * failure must carry a code and context, not unwind the daemon.
+ *
+ * Atomicity contract of atomicWriteFile(): the destination either keeps
+ * its old content (or stays absent) or holds the complete new content —
+ * never a torn prefix. The payload is written to `<path>.tmp.<pid>`,
+ * flushed and fsync'd, then renamed over the destination; a crash at any
+ * point leaves at worst a stray tmp file, which sweepTmpFiles() removes.
+ */
+
+#ifndef TLP_UTIL_FS_HPP
+#define TLP_UTIL_FS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tlp::util {
+
+/** Entire content of @p path, or IoError (missing file included). */
+Expected<std::string> readFile(const std::string& path);
+
+/** readFile() for callers that treat "absent" as a normal miss:
+ *  nullopt when the file does not exist, IoError on real failures. */
+Expected<std::optional<std::string>>
+readFileIfExists(const std::string& path);
+
+/** Atomically replace @p path with @p content (see the file comment
+ *  for the crash contract). */
+Expected<bool> atomicWriteFile(const std::string& path,
+                               const std::string& content);
+
+/**
+ * Non-atomic write of @p content to @p path (truncate + write, no tmp,
+ * no fsync). The store's fault-injection layer uses it to plant exactly
+ * the torn/corrupt on-disk states the recovery paths must survive; real
+ * writers use atomicWriteFile().
+ */
+Expected<bool> writeFileRaw(const std::string& path,
+                            const std::string& content);
+
+/** Create @p dir (one level; parents must exist). Existing dir is ok. */
+Expected<bool> ensureDir(const std::string& dir);
+
+/** Regular-file names (not paths) in @p dir with suffix @p suffix,
+ *  sorted lexicographically — the queue's deterministic service order.
+ *  A missing directory is an empty listing, not an error. */
+std::vector<std::string> listDir(const std::string& dir,
+                                 const std::string& suffix = "");
+
+/** True when @p path names an existing file/directory. */
+bool pathExists(const std::string& path);
+
+/** Remove @p path; absent is success (idempotent teardown). */
+bool removePath(const std::string& path);
+
+/** Rename @p from to @p to (atomic within one filesystem). */
+Expected<bool> renamePath(const std::string& from, const std::string& to);
+
+/** Remove stray `*.tmp.*` files left by a crashed atomicWriteFile()
+ *  under @p dir; returns how many were removed. */
+std::size_t sweepTmpFiles(const std::string& dir);
+
+/**
+ * Advisory exclusive lock on @p path (flock). Non-blocking: if another
+ * process holds it, acquire() fails with a typed error naming the path,
+ * so two daemons can never interleave writes into one store. The lock
+ * dies with the process (kill -9 included), which is exactly the
+ * recovery semantics a crash-safe store wants.
+ */
+class FileLock
+{
+  public:
+    FileLock() = default;
+    ~FileLock();
+
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+    FileLock(FileLock&& other) noexcept;
+    FileLock& operator=(FileLock&& other) noexcept;
+
+    /** Take the lock; creates the file when absent. */
+    Expected<bool> acquire(const std::string& path);
+
+    /** Release (also closes the fd). Safe to call when not held. */
+    void release();
+
+    bool held() const { return fd_ >= 0; }
+    const std::string& path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_FS_HPP

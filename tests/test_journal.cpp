@@ -8,16 +8,19 @@
  */
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "runner/fault_injection.hpp"
 #include "runner/journal.hpp"
 #include "runner/run_cache.hpp"
 
@@ -309,6 +312,113 @@ TEST(Journal, PoisonedRecordIsDroppedSoThePointIsRecomputed)
 
     // The recomputed (finite) value is then admitted normally.
     EXPECT_TRUE(cache.insert(key, awkwardMeasurement()));
+    EXPECT_TRUE(cache.find(key).has_value());
+}
+
+TEST(Journal, ReplayIsIdempotentAcrossRepeatedResumes)
+{
+    // Resuming twice (or a service replaying the same generation file on
+    // every request) must not duplicate or mutate anything: the cache
+    // ends up with exactly the journaled records, bit-identical, no
+    // matter how many times the file is replayed into it.
+    const TempFile file("idempotent");
+    runner::RunKey key = awkwardKey();
+    const runner::Measurement m = awkwardMeasurement();
+    {
+        runner::Journal journal(file.path());
+        for (int n : {1, 2, 4}) {
+            key.n = n;
+            journal.append(key, m);
+        }
+    }
+
+    runner::RunCache cache;
+    const auto first = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(first.entries, 3u);
+    EXPECT_EQ(cache.size(), 3u);
+
+    const auto second = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(second.corrupt, 0u);
+    EXPECT_EQ(second.inadmissible, 0u);
+    EXPECT_EQ(cache.size(), 3u); // zero duplicates
+    for (int n : {1, 2, 4}) {
+        key.n = n;
+        const auto found = cache.find(key);
+        ASSERT_TRUE(found.has_value());
+        expectBitIdentical(*found, m);
+    }
+}
+
+TEST(Journal, SigkillLosesAtMostOneFlushBatch)
+{
+    // The documented durability contract: with flush_every=N, a SIGKILL
+    // loses at most the current batch of N records. The child appends M
+    // records and dies without any flush or destructor; the parent
+    // replays what reached the file.
+    const TempFile file("sigkill");
+    constexpr int kFlushEvery = 4;
+    constexpr int kAppends = 10;
+
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        runner::Journal journal(file.path(), kFlushEvery);
+        runner::RunKey key = awkwardKey();
+        for (int i = 0; i < kAppends; ++i) {
+            key.n = i + 1;
+            journal.append(key, awkwardMeasurement());
+        }
+        ::raise(SIGKILL); // no flush, no destructor, no atexit
+        ::_exit(99);      // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    // At least the flushed batches survive; at worst one batch (plus a
+    // torn tail record, already counted as corrupt) is gone.
+    EXPECT_GE(stats.entries, static_cast<std::size_t>(kAppends -
+                                                      kFlushEvery));
+    EXPECT_LE(stats.entries + stats.corrupt,
+              static_cast<std::size_t>(kAppends));
+    EXPECT_EQ(stats.inadmissible, 0u);
+    EXPECT_EQ(cache.size(), stats.entries);
+}
+
+TEST(Journal, ShortWriteLosesExactlyTheFaultedRecord)
+{
+    // An injected ENOSPC-style short write on the second append: the
+    // journal must count it, newline-terminate the torn tail so the next
+    // record lands intact, and replay must quarantine exactly the torn
+    // record.
+    const TempFile file("shortwrite");
+    runner::RunKey key = awkwardKey();
+    {
+        runner::StoreFaultPlan plan;
+        plan.kind = runner::StoreFaultKind::ShortWrite;
+        plan.ordinal = 2;
+        runner::ScopedStoreFaultPlan scoped(plan);
+        runner::Journal journal(file.path());
+        for (int n : {1, 2, 4}) {
+            key.n = n;
+            journal.append(key, awkwardMeasurement());
+        }
+        EXPECT_EQ(journal.appended(), 2u);
+        EXPECT_EQ(journal.writeErrors(), 1u);
+    }
+
+    runner::RunCache cache;
+    const auto stats = runner::Journal::replayInto(file.path(), cache);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.corrupt, 1u); // the torn record, nothing else
+    key.n = 1;
+    EXPECT_TRUE(cache.find(key).has_value());
+    key.n = 2;
+    EXPECT_FALSE(cache.find(key).has_value()); // the short-written one
+    key.n = 4;
     EXPECT_TRUE(cache.find(key).has_value());
 }
 

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * ResultStore tests: the crash-safety protocol of the persistent result
+ * store. Every injected fault — torn table write, corrupt read, corrupt
+ * manifest, kill inside the compaction publish window — must degrade to
+ * quarantine-and-recompute, never to a wrong or lost answer; and two
+ * daemons must never share one store (advisory lock).
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/fault_injection.hpp"
+#include "runner/journal.hpp"
+#include "service/result_store.hpp"
+#include "service/wire.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace tlp;
+
+/** Unique store directory per test; contents removed on destruction. */
+class TempStoreDir
+{
+  public:
+    explicit TempStoreDir(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "tlppm_store_" + tag +
+                "_" + std::to_string(::getpid()))
+    {
+        removeAll();
+    }
+    ~TempStoreDir() { removeAll(); }
+    const std::string& path() const { return path_; }
+
+  private:
+    void removeAll()
+    {
+        for (const char* sub : {"/tables", "/queue", "/work", "/results"}) {
+            const std::string dir = path_ + sub;
+            for (const std::string& name : util::listDir(dir))
+                util::removePath(dir + "/" + name);
+            util::removePath(dir);
+        }
+        for (const std::string& name : util::listDir(path_))
+            util::removePath(path_ + "/" + name);
+        util::removePath(path_);
+    }
+
+    std::string path_;
+};
+
+std::unique_ptr<service::ResultStore>
+openOrDie(const std::string& dir)
+{
+    auto store = service::ResultStore::open(dir);
+    EXPECT_TRUE(store.ok())
+        << (store.ok() ? std::string() : store.error().describe());
+    return std::move(store.value());
+}
+
+runner::RunKey
+pointKey(int n)
+{
+    return runner::RunKey{"FFT", n, 0.05, 1.2, 3.2e9};
+}
+
+runner::Measurement
+pointMeasurement(double total_w)
+{
+    runner::Measurement m;
+    m.cycles = 1000;
+    m.seconds = 1e-3;
+    m.freq_hz = 3.2e9;
+    m.vdd = 1.2;
+    m.dynamic_w = total_w / 2;
+    m.static_w = total_w / 2;
+    m.total_w = total_w;
+    m.avg_core_temp_c = 70.0;
+    m.core_power_density_w_m2 = 1e5;
+    m.instructions = 500;
+    return m;
+}
+
+TEST(ResultStore, OpenCreatesLayoutAndSealedManifest)
+{
+    const TempStoreDir dir("layout");
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(store->generation(), 0u);
+    EXPECT_EQ(store->pointsPath(), dir.path() + "/points.g0.jsonl");
+    for (const char* sub : {"/tables", "/queue", "/work", "/results"})
+        EXPECT_TRUE(util::pathExists(dir.path() + sub)) << sub;
+
+    auto manifest = util::readFile(dir.path() + "/MANIFEST");
+    ASSERT_TRUE(manifest.ok());
+    std::string line = manifest.value();
+    ASSERT_FALSE(line.empty());
+    line.pop_back(); // the newline
+    EXPECT_TRUE(service::checkSealedJsonLine(line));
+    std::uint64_t generation = 99;
+    EXPECT_TRUE(service::jsonFieldU64(line, "generation", generation));
+    EXPECT_EQ(generation, 0u);
+}
+
+TEST(ResultStore, SecondOpenIsRefusedWhileTheLockIsHeld)
+{
+    const TempStoreDir dir("lock");
+    auto store = openOrDie(dir.path());
+    auto second = service::ResultStore::open(dir.path());
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.error().code, util::ErrorCode::Overloaded);
+
+    // Releasing the first handle frees the store.
+    store.reset();
+    auto third = service::ResultStore::open(dir.path());
+    EXPECT_TRUE(third.ok());
+}
+
+TEST(ResultStore, TableKeyEncodesFigureAndQuantizedScale)
+{
+    EXPECT_EQ(service::tableKey("fig3", 0.05),
+              service::tableKey("fig3", 0.05));
+    EXPECT_NE(service::tableKey("fig3", 0.05),
+              service::tableKey("fig3", 0.1));
+    EXPECT_NE(service::tableKey("fig3", 0.05),
+              service::tableKey("fig4", 0.05));
+}
+
+TEST(ResultStore, TableRoundTripsAndCountsHitsAndMisses)
+{
+    const TempStoreDir dir("roundtrip");
+    auto store = openOrDie(dir.path());
+    const std::string key = service::tableKey("fig3", 0.05);
+    const std::string payload = "row1\nrow2\nrow3 with \"quotes\"\n";
+
+    auto miss = store->loadTable(key);
+    ASSERT_TRUE(miss.ok());
+    EXPECT_FALSE(miss.value().has_value());
+
+    ASSERT_TRUE(store->storeTable(key, payload).ok());
+    auto hit = store->loadTable(key);
+    ASSERT_TRUE(hit.ok());
+    ASSERT_TRUE(hit.value().has_value());
+    EXPECT_EQ(*hit.value(), payload); // byte-identical round trip
+
+    const service::StoreStats stats = store->stats();
+    EXPECT_EQ(stats.table_hits, 1u);
+    EXPECT_EQ(stats.table_misses, 1u);
+    EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(ResultStore, PathEscapingTableKeysAreRejected)
+{
+    const TempStoreDir dir("badkey");
+    auto store = openOrDie(dir.path());
+    for (const char* key : {"../evil", "a/b", "", ".hidden", "sp ace"}) {
+        auto stored = store->storeTable(key, "x");
+        EXPECT_FALSE(stored.ok()) << key;
+        auto loaded = store->loadTable(key);
+        EXPECT_FALSE(loaded.ok()) << key;
+    }
+}
+
+TEST(ResultStore, CorruptReadIsQuarantinedAndRecomputable)
+{
+    const TempStoreDir dir("corrupt");
+    auto store = openOrDie(dir.path());
+    const std::string key = service::tableKey("fig1", 1.0);
+    ASSERT_TRUE(store->storeTable(key, "precious table bytes").ok());
+
+    {
+        runner::StoreFaultPlan plan;
+        plan.kind = runner::StoreFaultKind::CorruptRead;
+        runner::ScopedStoreFaultPlan scoped(plan);
+        auto load = store->loadTable(key);
+        ASSERT_TRUE(load.ok());
+        EXPECT_FALSE(load.value().has_value()); // corruption -> miss
+    }
+    EXPECT_EQ(store->stats().quarantined, 1u);
+    EXPECT_TRUE(util::pathExists(dir.path() + "/tables/" + key +
+                                 ".table.quarantined"));
+
+    // The recompute path rewrites the artifact; the next load is a hit.
+    ASSERT_TRUE(store->storeTable(key, "precious table bytes").ok());
+    auto reload = store->loadTable(key);
+    ASSERT_TRUE(reload.ok());
+    ASSERT_TRUE(reload.value().has_value());
+    EXPECT_EQ(*reload.value(), "precious table bytes");
+}
+
+TEST(ResultStore, TornWriteIsCaughtOnTheNextLoad)
+{
+    const TempStoreDir dir("torn");
+    auto store = openOrDie(dir.path());
+    const std::string key = service::tableKey("fig2", 1.0);
+    {
+        runner::StoreFaultPlan plan;
+        plan.kind = runner::StoreFaultKind::TornWrite;
+        runner::ScopedStoreFaultPlan scoped(plan);
+        // The faulted write leaves a half-written artifact at the final
+        // path — the state a crash inside a non-atomic writer leaves.
+        ASSERT_TRUE(store->storeTable(key, "0123456789abcdef").ok());
+    }
+    auto load = store->loadTable(key);
+    ASSERT_TRUE(load.ok());
+    EXPECT_FALSE(load.value().has_value()); // torn -> quarantined miss
+    EXPECT_EQ(store->stats().quarantined, 1u);
+}
+
+TEST(ResultStore, CompactionDedupsAndDropsDamage)
+{
+    const TempStoreDir dir("compact");
+    auto store = openOrDie(dir.path());
+    {
+        runner::Journal journal(store->pointsPath());
+        journal.append(pointKey(1), pointMeasurement(10.0));
+        journal.append(pointKey(2), pointMeasurement(20.0));
+        journal.append(pointKey(1), pointMeasurement(99.0)); // duplicate
+    }
+    // Corrupt the duplicate line (the last one) so compaction has both a
+    // duplicate and a corrupt record to drop. First record wins anyway.
+    {
+        std::vector<std::string> lines;
+        {
+            std::ifstream in(store->pointsPath());
+            std::string line;
+            while (std::getline(in, line))
+                lines.push_back(line);
+        }
+        ASSERT_EQ(lines.size(), 4u); // header + three records
+        lines.back()[10] ^= 0x01;    // break the last record's CRC
+        std::ofstream out(store->pointsPath(), std::ios::trunc);
+        for (const std::string& line : lines)
+            out << line << "\n";
+    }
+
+    auto result = store->compact();
+    ASSERT_TRUE(result.ok())
+        << (result.ok() ? std::string() : result.error().describe());
+    EXPECT_EQ(result.value().generation, 1u);
+    EXPECT_EQ(result.value().kept, 2u);
+    EXPECT_EQ(result.value().dropped_corrupt, 1u);
+    EXPECT_EQ(store->generation(), 1u);
+    EXPECT_FALSE(util::pathExists(dir.path() + "/points.g0.jsonl"));
+    EXPECT_TRUE(util::pathExists(dir.path() + "/points.g1.jsonl"));
+
+    // The rewritten generation replays clean, deduplicated, bit-intact.
+    runner::RunCache cache;
+    const runner::ReplayStats replay = store->replayPoints(cache);
+    EXPECT_EQ(replay.entries, 2u);
+    EXPECT_EQ(replay.corrupt, 0u);
+    const auto kept = cache.find(pointKey(1));
+    ASSERT_TRUE(kept.has_value());
+    EXPECT_EQ(kept->total_w, 10.0); // the first record, not the dup
+}
+
+TEST(ResultStore, KillInsideCompactionPublishWindowRecovers)
+{
+    const TempStoreDir dir("killcompact");
+    {
+        auto store = openOrDie(dir.path());
+        {
+            runner::Journal journal(store->pointsPath());
+            journal.append(pointKey(1), pointMeasurement(10.0));
+            journal.append(pointKey(2), pointMeasurement(20.0));
+        }
+        runner::StoreFaultPlan plan;
+        plan.kind = runner::StoreFaultKind::KillCompaction;
+        runner::ScopedStoreFaultPlan scoped(plan);
+        EXPECT_THROW(static_cast<void>(store->compact()),
+                     runner::FaultKillError);
+        // Died between writing points.g1.jsonl and flipping the
+        // manifest: both generations exist, the manifest names g0.
+        EXPECT_TRUE(util::pathExists(dir.path() + "/points.g0.jsonl"));
+        EXPECT_TRUE(util::pathExists(dir.path() + "/points.g1.jsonl"));
+    }
+
+    // Recovery: the manifest is the authority, so g0 stays live and the
+    // orphaned g1 is garbage-collected; no record is lost.
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(store->generation(), 0u);
+    EXPECT_FALSE(util::pathExists(dir.path() + "/points.g1.jsonl"));
+    runner::RunCache cache;
+    const runner::ReplayStats replay = store->replayPoints(cache);
+    EXPECT_EQ(replay.entries, 2u);
+
+    // And a clean compaction afterwards completes the interrupted move.
+    auto result = store->compact();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().generation, 1u);
+    EXPECT_EQ(result.value().kept, 2u);
+}
+
+TEST(ResultStore, CorruptManifestIsQuarantinedAndRebuilt)
+{
+    const TempStoreDir dir("badmanifest");
+    {
+        auto store = openOrDie(dir.path());
+        {
+            runner::Journal journal(store->pointsPath());
+            journal.append(pointKey(1), pointMeasurement(10.0));
+        }
+        ASSERT_TRUE(store->compact().ok()); // now at generation 1
+    }
+    {
+        std::ofstream manifest(dir.path() + "/MANIFEST",
+                               std::ios::trunc);
+        manifest << "{\"tlppm_store\":1,\"generation\":1,\"crc\":42}\n";
+    }
+
+    auto store = openOrDie(dir.path());
+    // Rebuilt from the on-disk evidence: the highest generation present.
+    EXPECT_EQ(store->generation(), 1u);
+    EXPECT_GE(store->stats().quarantined, 1u);
+    EXPECT_TRUE(
+        util::pathExists(dir.path() + "/MANIFEST.quarantined"));
+    runner::RunCache cache;
+    EXPECT_EQ(store->replayPoints(cache).entries, 1u);
+}
+
+TEST(ResultStore, OpenSweepsStrayTmpFiles)
+{
+    const TempStoreDir dir("tmpsweep");
+    {
+        auto store = openOrDie(dir.path());
+        ASSERT_TRUE(store->storeTable("fig1-s1000000000", "x").ok());
+    }
+    // Plant the debris a crash inside atomicWriteFile leaves behind.
+    ASSERT_TRUE(util::writeFileRaw(
+                    dir.path() + "/tables/k.table.tmp.1234", "junk")
+                    .ok());
+    ASSERT_TRUE(
+        util::writeFileRaw(dir.path() + "/MANIFEST.tmp.1234", "junk")
+            .ok());
+
+    auto store = openOrDie(dir.path());
+    EXPECT_FALSE(
+        util::pathExists(dir.path() + "/tables/k.table.tmp.1234"));
+    EXPECT_FALSE(util::pathExists(dir.path() + "/MANIFEST.tmp.1234"));
+    // The real artifact survives the sweep.
+    auto hit = store->loadTable("fig1-s1000000000");
+    ASSERT_TRUE(hit.ok());
+    EXPECT_TRUE(hit.value().has_value());
+}
+
+} // namespace

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * SweepService tests: request parsing/validation, the queue protocol
+ * (claim by rename, atomic responses, orphan re-delivery), admission
+ * control and shedding, store-hit dedup, retry-with-backoff exhaustion,
+ * and the stability of the service metrics schema.
+ *
+ * The figure mechanics use fig1/fig2 (analytic, milliseconds); the
+ * simulation paths use fig3 at a tiny problem scale.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/fault_injection.hpp"
+#include "service/figures.hpp"
+#include "service/result_store.hpp"
+#include "service/sweep_service.hpp"
+#include "service/wire.hpp"
+#include "util/crc32.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace tlp;
+
+/** Unique store directory per test; contents removed on destruction. */
+class TempStoreDir
+{
+  public:
+    explicit TempStoreDir(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "tlppm_svc_" + tag +
+                "_" + std::to_string(::getpid()))
+    {
+        removeAll();
+    }
+    ~TempStoreDir() { removeAll(); }
+    const std::string& path() const { return path_; }
+
+  private:
+    void removeAll()
+    {
+        for (const char* sub : {"/tables", "/queue", "/work", "/results"}) {
+            const std::string dir = path_ + sub;
+            for (const std::string& name : util::listDir(dir))
+                util::removePath(dir + "/" + name);
+            util::removePath(dir);
+        }
+        for (const std::string& name : util::listDir(path_))
+            util::removePath(path_ + "/" + name);
+        util::removePath(path_);
+    }
+
+    std::string path_;
+};
+
+service::SweepService
+makeService(const std::string& dir,
+            service::SweepService::Options options = {})
+{
+    auto store = service::ResultStore::open(dir);
+    EXPECT_TRUE(store.ok())
+        << (store.ok() ? std::string() : store.error().describe());
+    if (options.jobs == 0)
+        options.jobs = 1;
+    return service::SweepService(std::move(store.value()), options);
+}
+
+void
+enqueue(const std::string& dir, const std::string& id,
+        const std::string& body)
+{
+    ASSERT_TRUE(
+        util::atomicWriteFile(dir + "/queue/" + id + ".req", body).ok());
+}
+
+std::string
+requestBody(const std::string& figure, double scale = 1.0, int jobs = 1)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", scale);
+    return service::sealJsonLine("{\"tlppm_request\":1,\"figure\":\"" +
+                                 figure + "\",\"scale\":" + buf +
+                                 ",\"jobs\":" + std::to_string(jobs)) +
+        "\n";
+}
+
+/** Read and integrity-check a response file; returns the header line. */
+std::string
+readResponse(const std::string& dir, const std::string& id,
+             std::string* payload_out = nullptr)
+{
+    auto content = util::readFile(dir + "/results/" + id + ".resp");
+    EXPECT_TRUE(content.ok()) << id;
+    if (!content.ok())
+        return "";
+    const std::string& text = content.value();
+    const std::size_t nl = text.find('\n');
+    EXPECT_NE(nl, std::string::npos);
+    const std::string header = text.substr(0, nl);
+    const std::string payload = text.substr(nl + 1);
+    EXPECT_TRUE(service::checkSealedJsonLine(header));
+    std::uint64_t bytes = 0, crc = 0;
+    EXPECT_TRUE(service::jsonFieldU64(header, "bytes", bytes));
+    EXPECT_TRUE(service::jsonFieldU64(header, "payload_crc", crc));
+    EXPECT_EQ(payload.size(), bytes);
+    EXPECT_EQ(util::crc32(payload), static_cast<std::uint32_t>(crc));
+    if (payload_out != nullptr)
+        *payload_out = payload;
+    return header;
+}
+
+TEST(SweepService, ParsesWellFormedRequestsAndRejectsGarbage)
+{
+    auto good = service::SweepService::parseRequest(
+        "id1", requestBody("fig3", 0.25, 2));
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value().figure, "fig3");
+    EXPECT_EQ(good.value().scale, 0.25);
+    EXPECT_EQ(good.value().jobs, 2);
+    EXPECT_EQ(good.value().id, "id1");
+
+    for (const char* bad :
+         {"", "not json", "{\"figure\":\"fig3\"}",
+          "{\"tlppm_request\":1}",
+          "{\"tlppm_request\":1,\"figure\":\"fig3\",\"jobs\":9999}"}) {
+        auto parsed = service::SweepService::parseRequest("id", bad);
+        EXPECT_FALSE(parsed.ok()) << bad;
+        if (!parsed.ok())
+            EXPECT_EQ(parsed.error().code, util::ErrorCode::ParseError);
+    }
+}
+
+TEST(SweepService, ValidateRejectsUnknownFigureBadScaleAndBadId)
+{
+    const TempStoreDir dir("validate");
+    auto svc = makeService(dir.path());
+
+    service::Request request;
+    request.id = "ok-id";
+    request.figure = "fig9";
+    EXPECT_FALSE(svc.validate(request).ok());
+
+    request.figure = "fig1";
+    EXPECT_TRUE(svc.validate(request).ok());
+
+    request.scale = 0.0;
+    EXPECT_FALSE(svc.validate(request).ok());
+    request.scale = 2.0;
+    EXPECT_FALSE(svc.validate(request).ok());
+    request.scale = 1.0;
+
+    request.id = "../escape";
+    EXPECT_FALSE(svc.validate(request).ok());
+}
+
+TEST(SweepService, PointBudgetShedsSimulatedFiguresOnly)
+{
+    const TempStoreDir dir("budget");
+    service::SweepService::Options options;
+    options.max_points = 10; // far below any fig3/fig4 estimate
+    auto svc = makeService(dir.path(), options);
+
+    service::Request request;
+    request.id = "r1";
+    request.figure = "fig3";
+    auto rejected = svc.validate(request);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.error().code, util::ErrorCode::Overloaded);
+
+    // Analytic figures run zero simulations and always fit the budget.
+    request.figure = "fig1";
+    EXPECT_TRUE(svc.validate(request).ok());
+}
+
+TEST(SweepService, ServesAnalyticFigureThenRepeatsFromStore)
+{
+    const TempStoreDir dir("fig1");
+    auto svc = makeService(dir.path());
+
+    service::Request request;
+    request.id = "first";
+    request.figure = "fig1";
+    const service::ServeOutcome fresh = svc.serve(request);
+    ASSERT_TRUE(fresh.ok) << fresh.error.describe();
+    EXPECT_FALSE(fresh.from_store);
+    EXPECT_EQ(fresh.sim_calls, 0u);
+    EXPECT_FALSE(fresh.payload.empty());
+
+    // The payload equals the batch renderer's output by construction.
+    service::FigureOptions fopts;
+    fopts.jobs = 1;
+    auto batch = service::renderFigure("fig1", fopts);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(fresh.payload, batch.value().output);
+
+    request.id = "second";
+    const service::ServeOutcome repeat = svc.serve(request);
+    ASSERT_TRUE(repeat.ok);
+    EXPECT_TRUE(repeat.from_store);
+    EXPECT_EQ(repeat.sim_calls, 0u);
+    EXPECT_EQ(repeat.payload, fresh.payload); // byte-identical
+}
+
+TEST(SweepService, QueueProtocolClaimsAnswersAndCleansUp)
+{
+    const TempStoreDir dir("queue");
+    auto svc = makeService(dir.path());
+    enqueue(dir.path(), "req-a", requestBody("fig1"));
+    enqueue(dir.path(), "req-b", requestBody("fig2"));
+
+    auto answered = svc.pollOnce();
+    ASSERT_TRUE(answered.ok());
+    EXPECT_EQ(answered.value(), 2u);
+    EXPECT_TRUE(util::listDir(dir.path() + "/queue", ".req").empty());
+    EXPECT_TRUE(util::listDir(dir.path() + "/work", ".req").empty());
+
+    for (const char* id : {"req-a", "req-b"}) {
+        std::string payload;
+        const std::string header = readResponse(dir.path(), id, &payload);
+        std::string status;
+        EXPECT_TRUE(service::jsonFieldString(header, "status", status));
+        EXPECT_EQ(status, "ok") << id;
+        EXPECT_FALSE(payload.empty());
+    }
+    EXPECT_EQ(svc.stats().served_ok, 2u);
+
+    // An idle poll answers nothing.
+    auto idle = svc.pollOnce();
+    ASSERT_TRUE(idle.ok());
+    EXPECT_EQ(idle.value(), 0u);
+}
+
+TEST(SweepService, MalformedRequestGetsTypedErrorResponse)
+{
+    const TempStoreDir dir("malformed");
+    auto svc = makeService(dir.path());
+    enqueue(dir.path(), "broken", "this is not a request\n");
+
+    auto answered = svc.pollOnce();
+    ASSERT_TRUE(answered.ok());
+    EXPECT_EQ(answered.value(), 1u);
+    const std::string header = readResponse(dir.path(), "broken");
+    std::string status, code;
+    EXPECT_TRUE(service::jsonFieldString(header, "status", status));
+    EXPECT_EQ(status, "error");
+    EXPECT_TRUE(service::jsonFieldString(header, "code", code));
+    EXPECT_EQ(code, "parse-error");
+    EXPECT_EQ(svc.stats().invalid, 1u);
+}
+
+TEST(SweepService, AdmissionControlShedsTheExcessWithOverloaded)
+{
+    const TempStoreDir dir("shed");
+    service::SweepService::Options options;
+    options.max_queue = 1;
+    auto svc = makeService(dir.path(), options);
+    enqueue(dir.path(), "a", requestBody("fig1"));
+    enqueue(dir.path(), "b", requestBody("fig1"));
+    enqueue(dir.path(), "c", requestBody("fig2"));
+
+    auto answered = svc.pollOnce();
+    ASSERT_TRUE(answered.ok());
+    EXPECT_EQ(answered.value(), 3u); // every request gets an answer
+    EXPECT_EQ(svc.stats().served_ok, 1u);
+    EXPECT_EQ(svc.stats().shed, 2u);
+
+    // Names are served in order: "a" is admitted, "b"/"c" shed.
+    std::string status, code;
+    EXPECT_TRUE(service::jsonFieldString(
+        readResponse(dir.path(), "a"), "status", status));
+    EXPECT_EQ(status, "ok");
+    for (const char* id : {"b", "c"}) {
+        const std::string header = readResponse(dir.path(), id);
+        EXPECT_TRUE(service::jsonFieldString(header, "status", status));
+        EXPECT_EQ(status, "error") << id;
+        EXPECT_TRUE(service::jsonFieldString(header, "code", code));
+        EXPECT_EQ(code, "overloaded") << id;
+    }
+
+    // Shedding is not starvation: re-enqueued, the next poll serves it
+    // (from the store now — the table was already priced).
+    enqueue(dir.path(), "b2", requestBody("fig1"));
+    ASSERT_TRUE(svc.pollOnce().ok());
+    std::string payload_a, payload_b2;
+    readResponse(dir.path(), "a", &payload_a);
+    const std::string header = readResponse(dir.path(), "b2", &payload_b2);
+    EXPECT_TRUE(service::jsonFieldString(header, "status", status));
+    EXPECT_EQ(status, "ok");
+    EXPECT_EQ(payload_b2, payload_a); // store hit, byte-identical
+    std::uint64_t from_store = 0;
+    EXPECT_TRUE(
+        service::jsonFieldU64(header, "from_store", from_store));
+    EXPECT_EQ(from_store, 1u);
+}
+
+TEST(SweepService, OrphanedClaimsAreRedeliveredOnFirstPoll)
+{
+    const TempStoreDir dir("orphan");
+    {
+        auto svc = makeService(dir.path());
+        // Plant the state a daemon killed mid-request leaves: claimed
+        // into work/, never answered.
+        ASSERT_TRUE(util::atomicWriteFile(
+                        dir.path() + "/work/lost.req",
+                        requestBody("fig1"))
+                        .ok());
+        auto answered = svc.pollOnce();
+        ASSERT_TRUE(answered.ok());
+        EXPECT_EQ(answered.value(), 1u);
+    }
+    std::string status;
+    EXPECT_TRUE(service::jsonFieldString(
+        readResponse(dir.path(), "lost"), "status", status));
+    EXPECT_EQ(status, "ok");
+}
+
+TEST(SweepService, UnsafeRequestIdsAreDroppedWithoutAResponse)
+{
+    const TempStoreDir dir("unsafe");
+    auto svc = makeService(dir.path());
+    ASSERT_TRUE(util::atomicWriteFile(
+                    dir.path() + "/queue/ev il.req", requestBody("fig1"))
+                    .ok());
+
+    auto answered = svc.pollOnce();
+    ASSERT_TRUE(answered.ok());
+    EXPECT_EQ(svc.stats().invalid, 1u);
+    EXPECT_TRUE(util::listDir(dir.path() + "/queue", ".req").empty());
+    EXPECT_TRUE(util::listDir(dir.path() + "/results", ".resp").empty());
+}
+
+TEST(SweepService, RetriesExhaustOnPersistentFaultAndStoreStaysClean)
+{
+    const TempStoreDir dir("retries");
+    service::SweepService::Options options;
+    options.max_retries = 2;
+    options.backoff_s = 0.0; // no need to sleep in tests
+    auto svc = makeService(dir.path(), options);
+
+    // Every measurement of FFT throws: a persistent fault containment
+    // reports as failed points, which the service retries and finally
+    // answers with a typed error.
+    runner::FaultPlan plan;
+    plan.kind = runner::FaultKind::Throw;
+    plan.workload = "FFT";
+    runner::ScopedFaultPlan scoped(plan);
+
+    service::Request request;
+    request.id = "doomed";
+    request.figure = "fig3";
+    request.scale = 0.001;
+    const service::ServeOutcome outcome = svc.serve(request);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.attempts, 3); // 1 + max_retries
+    EXPECT_EQ(svc.stats().retries, 2u);
+
+    // A partially failed table must never be persisted.
+    auto table = svc.store().loadTable(
+        service::tableKey("fig3", request.scale));
+    ASSERT_TRUE(table.ok());
+    EXPECT_FALSE(table.value().has_value());
+
+    // Once the fault clears, the same request succeeds — and the points
+    // that did complete during the failed attempts replay from the
+    // store's journal instead of re-simulating.
+    runner::FaultInjector::instance().clearPlan();
+    request.id = "recovered";
+    const service::ServeOutcome healed = svc.serve(request);
+    ASSERT_TRUE(healed.ok) << healed.error.describe();
+    std::uint64_t replayed = 0;
+    EXPECT_TRUE(
+        service::jsonFieldU64(healed.metrics_json, "replayed", replayed));
+    EXPECT_GT(replayed, 0u);
+}
+
+TEST(SweepService, MetricsJsonCarriesServiceAndStoreCounters)
+{
+    const TempStoreDir dir("metrics");
+    auto svc = makeService(dir.path());
+    enqueue(dir.path(), "m1", requestBody("fig1"));
+    ASSERT_TRUE(svc.pollOnce().ok());
+
+    const std::string json = svc.metricsJson();
+    for (const char* key :
+         {"\"requests\"", "\"served_ok\"", "\"served_from_store\"",
+          "\"deduped\"", "\"shed\"", "\"retries\"", "\"failed\"",
+          "\"invalid\"", "\"sim_calls_total\"", "\"store_generation\"",
+          "\"store_table_hits\"", "\"store_table_misses\"",
+          "\"store_quarantined\"", "\"store_compactions\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+} // namespace
