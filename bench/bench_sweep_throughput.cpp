@@ -10,6 +10,7 @@
  * override with TLPPM_SCALE.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -116,6 +117,25 @@ main(int argc, char** argv)
     // interleaving (e.g. which workers lazily calibrate an Experiment).
     const runner::SweepReport& serial_rep = serial.lastReport();
     const runner::SweepReport& par_rep = parallel.lastReport();
+
+    // Per-worker load balance of the parallel pass: max over workers of
+    // executed tasks divided by the even-split mean. 1.0 is a perfect
+    // spread; the CI ceiling catches a steal path that stops spreading
+    // work (everything piling onto one deque).
+    double worker_imbalance = 1.0;
+    if (const util::ThreadPool* pool = parallel.pool()) {
+        std::uint64_t total = 0;
+        std::uint64_t max_one = 0;
+        for (unsigned w = 0; w < pool->size(); ++w) {
+            const std::uint64_t n = pool->workerExecuted(w);
+            total += n;
+            max_one = std::max(max_one, n);
+        }
+        if (total > 0)
+            worker_imbalance = static_cast<double>(max_one) *
+                               static_cast<double>(pool->size()) /
+                               static_cast<double>(total);
+    }
     std::cout << "{\"bench\":\"sweep_throughput\""
               << ",\"scale\":" << scale
               << ",\"apps\":" << apps.size()
@@ -148,6 +168,14 @@ main(int argc, char** argv)
               << ",\"raw_misses\":" << parallel.rawCache().misses()
               << ",\"cache_hits\":" << parallel.cache().hits()
               << ",\"cache_misses\":" << parallel.cache().misses()
+              << ",\"parallel_pool_tasks\":" << par_rep.pool_tasks
+              << ",\"parallel_steals\":" << par_rep.pool_steals
+              << ",\"parallel_failed_steal_sweeps\":"
+              << par_rep.pool_failed_steal_sweeps
+              << ",\"parallel_workers_pinned\":" << par_rep.pool_workers_pinned
+              << ",\"parallel_worker_imbalance\":" << worker_imbalance
+              << ",\"parallel_sched_expensive\":" << par_rep.sched_expensive
+              << ",\"parallel_sched_cheap\":" << par_rep.sched_cheap
               << ",\"queue_high_water\":" << high_water << "}\n";
 
     if (!identical) {

@@ -87,6 +87,8 @@ struct SweepCliOptions
     std::string trace;          ///< --trace PATH (Chrome trace JSON)
     std::string metrics;        ///< --metrics PATH (RunMetrics JSON)
     bool progress = false;      ///< --progress (heartbeat to stderr)
+    int shards = 1;             ///< --shards K (1: unsharded)
+    int shard_index = 0;        ///< --shard-index I in [0, K)
 };
 
 /**
@@ -122,12 +124,14 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
         }
 
         static const std::set<std::string> kValueFlags = {
-            "--jobs", "--journal", "--point-timeout", "--trace",
-            "--metrics"};
+            "--jobs",    "--journal", "--point-timeout",
+            "--trace",   "--metrics", "--shards",
+            "--shard-index"};
         static const std::set<std::string> kBoolFlags = {
             "--resume", "--cache-stats", "--progress"};
         static const std::set<std::string> kSimOnly = {
-            "--journal", "--resume", "--point-timeout", "--progress"};
+            "--journal", "--resume", "--point-timeout", "--progress",
+            "--shards", "--shard-index"};
 
         if (!kValueFlags.count(name) && !kBoolFlags.count(name)) {
             return Error{ErrorCode::ParseError,
@@ -135,7 +139,8 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
                              "' (expected --jobs N, --journal PATH, "
                              "--resume, --point-timeout SECONDS, "
                              "--cache-stats, --trace PATH, "
-                             "--metrics PATH, --progress)"};
+                             "--metrics PATH, --progress, --shards K, "
+                             "--shard-index I)"};
         }
         if (!seen.insert(name).second) {
             return Error{ErrorCode::ParseError,
@@ -183,11 +188,39 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
             options.metrics = value;
         } else if (name == "--progress") {
             options.progress = true;
+        } else if (name == "--shards") {
+            const auto k = tlp::util::parseInt(value, "--shards", 1, 4096);
+            if (!k)
+                return k.error();
+            options.shards = static_cast<int>(k.value());
+        } else if (name == "--shard-index") {
+            const auto idx =
+                tlp::util::parseInt(value, "--shard-index", 0, 4095);
+            if (!idx)
+                return idx.error();
+            options.shard_index = static_cast<int>(idx.value());
         }
     }
     if (options.resume && options.journal.empty()) {
         return Error{ErrorCode::ParseError,
                      "--resume requires --journal PATH"};
+    }
+    if (seen.count("--shard-index") && !seen.count("--shards")) {
+        return Error{ErrorCode::ParseError,
+                     "--shard-index requires --shards K"};
+    }
+    if (options.shards > 1) {
+        // Each shard must journal: the shard journals ARE the result —
+        // merging them (tlppm_merge) is how the table is assembled.
+        if (options.journal.empty()) {
+            return Error{ErrorCode::ParseError,
+                         "--shards requires --journal PATH (the shard "
+                         "journal is the shard's output)"};
+        }
+        if (options.shard_index >= options.shards) {
+            return Error{ErrorCode::ParseError,
+                         "--shard-index must be in [0, --shards)"};
+        }
     }
     return options;
 }
@@ -288,7 +321,11 @@ printCacheStats(const tlp::runner::SweepReport& report, const char* tag)
               << " replayed=" << report.replayed
               << " replay_corrupt=" << report.replay_corrupt
               << " replay_inadmissible=" << report.replay_inadmissible
-              << "\n";
+              << " sched=" << report.sched_expensive << "x/"
+              << report.sched_cheap << "c"
+              << " pool_tasks=" << report.pool_tasks
+              << " steals=" << report.pool_steals
+              << " pinned=" << report.pool_workers_pinned << "\n";
 }
 
 /**

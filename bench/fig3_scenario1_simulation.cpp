@@ -17,6 +17,11 @@
  * per-point watchdog. A failed point is contained, itemized on stderr,
  * and shown as "FAILED" in the tables; the sweep still completes.
  *
+ * Scale-out: --shards K --shard-index I computes only the rows a stable
+ * hash assigns to shard I (the rest render as "-"), journaling them to
+ * --journal; run the K shards on separate processes/hosts and reassemble
+ * the full tables byte-identically with tlppm_merge.
+ *
  * The rendering itself lives in service::renderFigure ("fig3") — the
  * sweep service serves the identical tables from the same code path.
  */
@@ -40,6 +45,8 @@ main(int argc, char** argv)
     options.point_timeout_s = cli.point_timeout_s;
     options.progress = cli.progress;
     options.cache_stats = cli.cache_stats;
+    options.shards = cli.shards;
+    options.shard_index = cli.shard_index;
     const auto run = tlp::service::renderFigure("fig3", options);
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);

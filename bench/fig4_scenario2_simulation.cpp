@@ -12,6 +12,8 @@
  * Robustness knobs (as in fig3): --journal PATH, --resume,
  * --point-timeout SECONDS. Failed points are contained, itemized on
  * stderr, and shown as "FAILED" rows; the sweep still completes.
+ * Scale-out (as in fig3): --shards K --shard-index I plus tlppm_merge
+ * reassembles the full tables byte-identically.
  *
  * The rendering itself lives in service::renderFigure ("fig4") — the
  * sweep service serves the identical tables from the same code path.
@@ -36,6 +38,8 @@ main(int argc, char** argv)
     options.point_timeout_s = cli.point_timeout_s;
     options.progress = cli.progress;
     options.cache_stats = cli.cache_stats;
+    options.shards = cli.shards;
+    options.shard_index = cli.shard_index;
     const auto run = tlp::service::renderFigure("fig4", options);
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);

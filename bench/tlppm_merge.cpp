@@ -1,0 +1,125 @@
+/**
+ * @file
+ * tlppm_merge — reassemble sharded sweep journals into the unsharded
+ * figure tables.
+ *
+ * The horizontal-scaling path: run a figure sweep K ways
+ * (`fig3_scenario1_simulation --shards K --shard-index I --journal
+ * shardI.jsonl`, one process per shard, any hosts), collect the K shard
+ * journals, and merge them here. The merge validates the shard metadata
+ * (same figure, same scale, indices exactly {0..K-1} — a missing,
+ * repeated, or foreign shard is a hard error, never a silently
+ * incomplete table), deduplicates the cross-shard baseline points, and
+ * writes one unsharded journal; it then re-renders the figure from that
+ * journal in resume mode, which replays every point from the cache and
+ * runs zero simulations — so the printed tables are byte-identical to a
+ * single-process run.
+ *
+ * Usage:
+ *   tlppm_merge --out merged.jsonl [--jobs N] [--merge-only]
+ *               [--cache-stats] shard0.jsonl shard1.jsonl …
+ *
+ * The figure name and problem scale come from the shard metadata, not
+ * from flags or TLPPM_SCALE — a shard set is self-describing. The
+ * merged tables go to stdout; merge accounting goes to stderr. Exit 0
+ * on success, 1 on a merge/validation error, 2 on a usage error.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runner/journal.hpp"
+#include "service/figures.hpp"
+
+int
+main(int argc, char** argv)
+{
+    std::string out_path;
+    int jobs = 1;
+    bool merge_only = false;
+    bool cache_stats = false;
+    std::vector<std::string> shard_paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        const std::string::size_type eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+        if (name == "--out" || name == "--jobs") {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    tlppm_bench::usageError("flag '" + name +
+                                            "' needs a value");
+                value = argv[++i];
+            }
+            if (name == "--out") {
+                out_path = value;
+            } else {
+                jobs = tlppm_bench::parsedJobs(value);
+            }
+        } else if (name == "--merge-only") {
+            merge_only = true;
+        } else if (name == "--cache-stats") {
+            cache_stats = true;
+        } else if (name.rfind("--", 0) == 0) {
+            tlppm_bench::usageError(
+                "unknown argument '" + arg +
+                "' (expected --out PATH, --jobs N, --merge-only, "
+                "--cache-stats, then the shard journal paths)");
+        } else {
+            shard_paths.push_back(arg);
+        }
+    }
+    if (out_path.empty())
+        tlppm_bench::usageError("--out PATH is required");
+    if (shard_paths.empty())
+        tlppm_bench::usageError("no shard journals given");
+
+    const auto merged =
+        tlp::runner::Journal::mergeShards(shard_paths, out_path);
+    if (!merged.ok()) {
+        std::cerr << "error: " << merged.error().describe() << "\n";
+        return 1;
+    }
+    const tlp::runner::MergeStats& stats = merged.value();
+    std::cerr << "  [merge] " << stats.shards << " shard(s) of "
+              << stats.label << " (scale " << stats.scale << ") -> '"
+              << out_path << "': " << stats.entries << " points, "
+              << stats.duplicates << " cross-shard duplicate(s) dropped"
+              << ", corrupt=" << stats.corrupt
+              << " inadmissible=" << stats.inadmissible << "\n";
+    if (merge_only)
+        return 0;
+
+    if (!tlp::service::figureExists(stats.label)) {
+        std::cerr << "error: shard metadata names unknown figure '"
+                  << stats.label << "'; merged journal written, "
+                  << "rendering skipped\n";
+        return 1;
+    }
+    tlp::service::FigureOptions options;
+    options.jobs = jobs;
+    options.scale = stats.scale;
+    options.journal_path = out_path;
+    options.resume = true;
+    options.cache_stats = cache_stats;
+    const auto run = tlp::service::renderFigure(stats.label, options);
+    if (!run.ok()) {
+        std::cerr << "error: " << run.error().describe() << "\n";
+        return 1;
+    }
+    std::cout << run.value().output;
+    std::cerr << "  [merge] rendered " << stats.label
+              << " from the merged journal (sim_calls="
+              << run.value().report.sim_calls << ", replayed="
+              << run.value().report.replayed << ")\n";
+    return 0;
+}

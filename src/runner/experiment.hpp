@@ -72,6 +72,9 @@ struct Scenario1Row
     /** The point could not be measured (see SweepReport::failed); every
      *  numeric field above is a placeholder. */
     bool failed = false;
+    /** The row belongs to another shard of a sharded sweep and was
+     *  deliberately not computed here (not a failure). */
+    bool out_of_shard = false;
 };
 
 /** One row of the Scenario II evaluation (Figure 4). */
@@ -87,6 +90,9 @@ struct Scenario2Row
     /** The point could not be measured (see SweepReport::failed); every
      *  numeric field above is a placeholder. */
     bool failed = false;
+    /** The row belongs to another shard of a sharded sweep and was
+     *  deliberately not computed here (not a failure). */
+    bool out_of_shard = false;
 };
 
 /** The experimental testbed. */

@@ -18,6 +18,13 @@ namespace tlp::runner {
 namespace {
 
 constexpr std::string_view kHeader = "{\"tlppm_journal\":1}";
+constexpr std::string_view kShardMetaPrefix = "{\"tlppm_shard\":";
+
+bool
+isShardMetaLine(const std::string& line)
+{
+    return line.compare(0, kShardMetaPrefix.size(), kShardMetaPrefix) == 0;
+}
 
 /** Append @p value to @p out with %.17g: enough digits that strtod
  *  recovers the exact IEEE-754 bits, so resumed rows are byte-identical
@@ -213,6 +220,7 @@ Journal::Journal(std::string path, int flush_every)
     // Header only on a brand-new (or truncated-empty) file, so repeated
     // resume runs keep appending to one journal.
     if (std::ftell(file_) == 0) {
+        created_empty_ = true;
         std::fwrite(kHeader.data(), 1, kHeader.size(), file_);
         std::fputc('\n', file_);
         std::fflush(file_);
@@ -312,6 +320,19 @@ Journal::replayInto(const std::string& path, RunCache& cache)
             line.clear();
             return;
         }
+        // Shard metadata identifies the journal, it is not a record;
+        // skip it (CRC-guarded: a damaged one is quarantined like any
+        // other corrupt line).
+        if (isShardMetaLine(line)) {
+            if (!checkCrc(line)) {
+                ++stats.corrupt;
+                util::warn(util::strcatMsg(
+                    "journal: skipping corrupt shard metadata at line ",
+                    line_no, " of '", path, "'"));
+            }
+            line.clear();
+            return;
+        }
         RunKey key;
         Measurement m;
         if (!checkCrc(line) || !parseLine(line, key, m)) {
@@ -347,6 +368,214 @@ Journal::replayInto(const std::string& path, RunCache& cache)
     }
     consume(true); // torn final line (no newline): CRC-checked, dropped
     std::fclose(file);
+    return stats;
+}
+
+std::string
+Journal::formatShardMetaLine(const ShardInfo& info)
+{
+    std::string line;
+    line.reserve(128);
+    line += kShardMetaPrefix;
+    line += "{\"label\":\"";
+    line += info.label;
+    line += "\",\"s\":";
+    appendDouble(line, info.scale);
+    line += ",\"k\":";
+    appendU64(line, static_cast<std::uint64_t>(info.shards));
+    line += ",\"i\":";
+    appendU64(line, static_cast<std::uint64_t>(info.shard_index));
+    line += "}";
+    const std::uint32_t crc = util::crc32(line);
+    line += ",\"crc\":";
+    appendU64(line, crc);
+    line += "}";
+    return line;
+}
+
+void
+Journal::appendShardMeta(const ShardInfo& info)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!created_empty_)
+        return; // reopened journal: metadata already on disk
+    const std::string line = formatShardMetaLine(info);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+}
+
+util::Expected<std::optional<ShardInfo>>
+Journal::readShardInfo(const std::string& path)
+{
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return std::optional<ShardInfo>{}; // missing file: no metadata
+
+    std::optional<ShardInfo> found;
+    util::Error error;
+    bool bad = false;
+    std::string line;
+    char buf[4096];
+    std::size_t line_no = 0;
+    const auto consume = [&]() {
+        ++line_no;
+        if (found || bad || !isShardMetaLine(line)) {
+            line.clear();
+            return;
+        }
+        ShardInfo info;
+        std::uint64_t shards = 0;
+        std::uint64_t index = 0;
+        if (!checkCrc(line) ||
+            !parseStringField(line, "label", info.label) ||
+            !parseDoubleField(line, "s", info.scale) ||
+            !parseU64Field(line, "k", shards) ||
+            !parseU64Field(line, "i", index) || shards < 1 ||
+            index >= shards) {
+            bad = true;
+            error = util::Error{
+                util::ErrorCode::CorruptData,
+                util::strcatMsg("journal '", path,
+                                "': shard metadata at line ", line_no,
+                                " is corrupt")};
+        } else {
+            info.shards = static_cast<int>(shards);
+            info.shard_index = static_cast<int>(index);
+            found = info;
+        }
+        line.clear();
+    };
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            if (buf[i] == '\n')
+                consume();
+            else
+                line += buf[i];
+        }
+    }
+    if (!line.empty())
+        consume();
+    std::fclose(file);
+    if (bad)
+        return error;
+    return found;
+}
+
+util::Expected<MergeStats>
+Journal::mergeShards(const std::vector<std::string>& shard_paths,
+                     const std::string& out_path)
+{
+    if (shard_paths.empty())
+        return util::Error{util::ErrorCode::InvalidArgument,
+                           "mergeShards: no shard journals given"};
+
+    // Identity pass: every input must be a shard journal, all agreeing
+    // on (label, scale, shards), and the indices must tile {0, …, K-1}.
+    std::vector<ShardInfo> infos;
+    infos.reserve(shard_paths.size());
+    for (const std::string& path : shard_paths) {
+        auto info = readShardInfo(path);
+        if (!info.ok())
+            return std::move(info.error());
+        if (!info.value().has_value())
+            return util::Error{
+                util::ErrorCode::CorruptData,
+                util::strcatMsg("mergeShards: '", path,
+                                "' has no shard metadata (missing file "
+                                "or not a shard journal)")};
+        infos.push_back(*info.value());
+    }
+    const ShardInfo& first = infos.front();
+    if (static_cast<std::size_t>(first.shards) != shard_paths.size())
+        return util::Error{
+            util::ErrorCode::InvalidArgument,
+            util::strcatMsg("mergeShards: sweep was sharded ",
+                            first.shards, " ways but ",
+                            shard_paths.size(),
+                            " journal(s) were given")};
+    std::vector<char> seen(static_cast<std::size_t>(first.shards), 0);
+    for (std::size_t s = 0; s < infos.size(); ++s) {
+        const ShardInfo& info = infos[s];
+        if (info.label != first.label || info.shards != first.shards ||
+            quantizeScale(info.scale) != quantizeScale(first.scale))
+            return util::Error{
+                util::ErrorCode::InvalidArgument,
+                util::strcatMsg(
+                    "mergeShards: '", shard_paths[s], "' is shard ",
+                    info.shard_index, "/", info.shards, " of ",
+                    info.label, " (scale ", info.scale,
+                    ") — not the same sweep as '", shard_paths[0],
+                    "' (", first.label, " ", first.shards,
+                    "-way, scale ", first.scale, ")")};
+        if (seen[static_cast<std::size_t>(info.shard_index)])
+            return util::Error{
+                util::ErrorCode::InvalidArgument,
+                util::strcatMsg("mergeShards: shard index ",
+                                info.shard_index,
+                                " appears more than once ('",
+                                shard_paths[s], "')")};
+        seen[static_cast<std::size_t>(info.shard_index)] = 1;
+    }
+    // Count == K and no duplicates ⇒ every index present; the loop
+    // above cannot leave a hole, but keep the check explicit.
+    for (int i = 0; i < first.shards; ++i) {
+        if (!seen[static_cast<std::size_t>(i)])
+            return util::Error{
+                util::ErrorCode::InvalidArgument,
+                util::strcatMsg("mergeShards: shard index ", i,
+                                " is missing")};
+    }
+
+    // Merge pass: replay every shard into one cache. Cross-shard
+    // duplicates (the shared n = 1 baselines) are bit-identical, so
+    // first-record-wins deduplication is exact.
+    MergeStats stats;
+    stats.shards = shard_paths.size();
+    stats.label = first.label;
+    stats.scale = first.scale;
+    RunCache cache;
+    std::size_t replayed_total = 0;
+    for (const std::string& path : shard_paths) {
+        const ReplayStats rs = replayInto(path, cache);
+        replayed_total += rs.entries;
+        stats.corrupt += rs.corrupt;
+        stats.inadmissible += rs.inadmissible;
+    }
+    stats.entries = cache.size();
+    stats.duplicates = replayed_total - cache.size();
+
+    // Rewrite in canonical key order: the merged journal is the
+    // deduplicated, sorted image of the union — identical no matter
+    // which shard ran where, or in what order the journals were given.
+    std::FILE* out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr)
+        return util::Error{
+            util::ErrorCode::IoError,
+            util::strcatMsg("mergeShards: cannot write '", out_path,
+                            "': ", std::strerror(errno))};
+    const std::string header = headerLine();
+    bool intact = std::fwrite(header.data(), 1, header.size(), out) ==
+            header.size() &&
+        std::fputc('\n', out) != EOF;
+    cache.forEach([&](const RunKey& key, const Measurement& m) {
+        if (!intact)
+            return;
+        const std::string line = formatLine(key, m);
+        intact = std::fwrite(line.data(), 1, line.size(), out) ==
+                line.size() &&
+            std::fputc('\n', out) != EOF;
+    });
+    intact = std::fflush(out) == 0 && intact;
+    ::fsync(::fileno(out));
+    std::fclose(out);
+    if (!intact)
+        return util::Error{
+            util::ErrorCode::IoError,
+            util::strcatMsg("mergeShards: short write on '", out_path,
+                            "'")};
     return stats;
 }
 

@@ -33,9 +33,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "runner/run_cache.hpp"
+#include "util/error.hpp"
 
 namespace tlp::runner {
 
@@ -45,6 +48,34 @@ struct ReplayStats
     std::size_t entries = 0;      ///< records restored into the cache
     std::size_t corrupt = 0;      ///< lines dropped (CRC/parse failure)
     std::size_t inadmissible = 0; ///< records the cache refused
+};
+
+/**
+ * Identity of one shard journal of a sharded sweep, written as a
+ * CRC-protected metadata line right after the header. The merge tool
+ * refuses to combine journals whose identities disagree (different
+ * figure, scale, or shard count) or whose index set is not exactly
+ * {0, …, shards-1} — a silent partial merge would render a table that
+ * *looks* complete but is missing rows.
+ */
+struct ShardInfo
+{
+    std::string label;   ///< sweep/figure name ("fig3", "fig4", …)
+    double scale = 0.0;  ///< problem-size scale the shard ran at
+    int shards = 1;      ///< total shard count K
+    int shard_index = 0; ///< this journal's shard in [0, K)
+};
+
+/** Outcome of merging shard journals into one unsharded journal. */
+struct MergeStats
+{
+    std::size_t shards = 0;     ///< shard journals combined
+    std::size_t entries = 0;    ///< distinct records in the output
+    std::size_t duplicates = 0; ///< cross-shard duplicates deduplicated
+    std::size_t corrupt = 0;      ///< lines quarantined across shards
+    std::size_t inadmissible = 0; ///< records the cache refused
+    std::string label;  ///< the common sweep label from the metadata
+    double scale = 0.0; ///< the common problem-size scale
 };
 
 /** Append-only, fsync'd, CRC-protected record of completed runs. */
@@ -102,6 +133,47 @@ class Journal
      *  journal-format generation file of its own. */
     static std::string headerLine();
 
+    /** True when the constructor found the file new/empty and wrote the
+     *  header (vs reopening an existing journal to append). */
+    bool createdEmpty() const { return created_empty_; }
+
+    /**
+     * Stamp this journal as shard @p info of a sharded sweep. Writes the
+     * CRC-protected metadata line on a freshly created journal; a no-op
+     * on a reopened one (whose existing metadata the caller must have
+     * verified via readShardInfo() before reopening).
+     */
+    void appendShardMeta(const ShardInfo& info);
+
+    /** Serialize a shard metadata line (without newline); exposed for
+     *  tests. */
+    static std::string formatShardMetaLine(const ShardInfo& info);
+
+    /**
+     * Read the shard metadata of the journal at @p path. A missing file
+     * or a journal with no metadata line (an unsharded journal) yields
+     * nullopt; a metadata line that fails its CRC or does not parse is a
+     * CorruptData error.
+     */
+    static util::Expected<std::optional<ShardInfo>>
+    readShardInfo(const std::string& path);
+
+    /**
+     * Merge the shard journals @p shard_paths into one unsharded journal
+     * at @p out_path: validate that every input carries shard metadata
+     * agreeing on (label, scale, shards) and that the shard indices are
+     * exactly {0, …, shards-1} (a missing, repeated, or foreign shard is
+     * a typed error, not a silently incomplete merge), then replay all
+     * records into one cache (cross-shard duplicates — the shared n = 1
+     * baselines — are bit-identical and deduplicate) and rewrite them in
+     * canonical key order. Re-rendering the figure from the merged
+     * journal with --resume reproduces the unsharded tables
+     * byte-for-byte.
+     */
+    static util::Expected<MergeStats>
+    mergeShards(const std::vector<std::string>& shard_paths,
+                const std::string& out_path);
+
   private:
     std::string path_;
     int flush_every_ = 1;
@@ -110,6 +182,7 @@ class Journal
     std::uint64_t appended_ = 0;
     std::uint64_t write_errors_ = 0;
     bool tail_torn_ = false; ///< last append left an unterminated line
+    bool created_empty_ = false; ///< header written by this handle
     int unflushed_ = 0;
 };
 

@@ -26,6 +26,13 @@ RawRunCache::find(const RawRunKey& key) const
     return it->second;
 }
 
+bool
+RawRunCache::contains(const RawRunKey& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(key) != entries_.end();
+}
+
 std::shared_ptr<const sim::RunResult>
 RawRunCache::insert(const RawRunKey& key,
                     std::shared_ptr<const sim::RunResult> run)

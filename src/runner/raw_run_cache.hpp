@@ -71,6 +71,10 @@ class RawRunCache
     /** The cached run for @p key, or nullptr. Counts hit/miss. */
     std::shared_ptr<const sim::RunResult> find(const RawRunKey& key) const;
 
+    /** True when @p key is cached, without counting a hit or miss (the
+     *  scheduler's cost probe; see RunCache::contains). */
+    bool contains(const RawRunKey& key) const;
+
     /**
      * Record @p run for @p key (first writer wins on a race) and return
      * the canonical stored pointer — the caller should continue with the

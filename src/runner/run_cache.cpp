@@ -30,6 +30,13 @@ RunCache::find(const RunKey& key) const
 }
 
 bool
+RunCache::contains(const RunKey& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(key) != entries_.end();
+}
+
+bool
 RunCache::insert(const RunKey& key, const Measurement& m)
 {
     if (!admissible(m)) {

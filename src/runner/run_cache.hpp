@@ -105,6 +105,12 @@ class RunCache
     /** The cached Measurement for @p key, or nullopt. Counts hit/miss. */
     std::optional<Measurement> find(const RunKey& key) const;
 
+    /** True when @p key is cached. Unlike find(), does NOT count a hit
+     *  or miss — this is the scheduler's cost probe (cheap vs expensive
+     *  task classification), and a probe must not distort the cache
+     *  accounting the perf guard enforces. */
+    bool contains(const RunKey& key) const;
+
     /**
      * Record @p m for @p key (first writer wins on a race). Returns true
      * when @p m was newly stored; inadmissible Measurements are rejected

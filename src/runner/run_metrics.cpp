@@ -17,6 +17,9 @@ RunMetrics::fromReport(const SweepReport& report)
     m.replayed = report.replayed;
     m.replay_corrupt = report.replay_corrupt;
     m.replay_inadmissible = report.replay_inadmissible;
+    m.out_of_shard = report.out_of_shard;
+    m.shards = static_cast<std::uint64_t>(report.shards);
+    m.shard_index = static_cast<std::uint64_t>(report.shard_index);
     m.sim_calls = report.sim_calls;
     m.sim_events = report.sim_events;
     m.price_calls = report.price_calls;
@@ -31,6 +34,12 @@ RunMetrics::fromReport(const SweepReport& report)
     m.thermal_solve_passes = report.thermal_solve_passes;
     m.thermal_factorizations = report.thermal_factorizations;
     m.thermal_max_batch_rhs = report.thermal_max_batch_rhs;
+    m.pool_tasks = report.pool_tasks;
+    m.pool_steals = report.pool_steals;
+    m.pool_failed_steal_sweeps = report.pool_failed_steal_sweeps;
+    m.pool_workers_pinned = report.pool_workers_pinned;
+    m.sched_expensive = report.sched_expensive;
+    m.sched_cheap = report.sched_cheap;
     m.queue_high_water = report.queue_high_water;
     m.core_cycles = report.core_cycles;
     return m;
@@ -96,6 +105,10 @@ RunMetrics::toJson() const
                 static_cast<std::uint64_t>(replay_corrupt), first);
     appendField(out, "replay_inadmissible",
                 static_cast<std::uint64_t>(replay_inadmissible), first);
+    appendField(out, "out_of_shard",
+                static_cast<std::uint64_t>(out_of_shard), first);
+    appendField(out, "shards", shards, first);
+    appendField(out, "shard_index", shard_index, first);
     appendField(out, "sim_calls", sim_calls, first);
     appendField(out, "sim_events", sim_events, first);
     appendField(out, "price_calls", price_calls, first);
@@ -117,6 +130,13 @@ RunMetrics::toJson() const
                 first);
     appendField(out, "thermal_max_batch_rhs", thermal_max_batch_rhs,
                 first);
+    appendField(out, "pool_tasks", pool_tasks, first);
+    appendField(out, "pool_steals", pool_steals, first);
+    appendField(out, "pool_failed_steal_sweeps", pool_failed_steal_sweeps,
+                first);
+    appendField(out, "pool_workers_pinned", pool_workers_pinned, first);
+    appendField(out, "sched_expensive", sched_expensive, first);
+    appendField(out, "sched_cheap", sched_cheap, first);
     appendField(out, "queue_high_water", queue_high_water, first);
     out += ",\n  \"per_core\": [";
     for (std::size_t i = 0; i < core_cycles.size(); ++i) {

@@ -39,6 +39,9 @@ struct RunMetrics
     std::size_t replayed = 0;
     std::size_t replay_corrupt = 0;      ///< journal lines CRC-quarantined
     std::size_t replay_inadmissible = 0; ///< replayed records cache refused
+    std::size_t out_of_shard = 0;        ///< rows owned by another shard
+    std::uint64_t shards = 1;            ///< shard count (1: unsharded)
+    std::uint64_t shard_index = 0;       ///< this process's shard
 
     // Work actually executed.
     std::uint64_t sim_calls = 0;
@@ -63,6 +66,15 @@ struct RunMetrics
     std::uint64_t thermal_solve_passes = 0;
     std::uint64_t thermal_factorizations = 0;
     std::uint64_t thermal_max_batch_rhs = 0;
+
+    // Work-stealing pool accounting (all zero on a serial sweep) and
+    // the cost-aware seeding split (cache-cold vs cache-warm tasks).
+    std::uint64_t pool_tasks = 0;
+    std::uint64_t pool_steals = 0;
+    std::uint64_t pool_failed_steal_sweeps = 0;
+    std::uint64_t pool_workers_pinned = 0;
+    std::uint64_t sched_expensive = 0;
+    std::uint64_t sched_cheap = 0;
 
     // Kernel telemetry.
     std::uint64_t queue_high_water = 0;

@@ -48,6 +48,11 @@ struct SweepReport
     std::size_t retried = 0;  ///< points that needed >= 1 retry to pass
     std::size_t skipped = 0;  ///< rows dropped because a dependency failed
     std::size_t replayed = 0; ///< cache entries restored from a journal
+    /** Rows that belong to another shard of a sharded sweep — not work
+     *  this process was asked to do, and not failures. */
+    std::size_t out_of_shard = 0;
+    int shards = 1;      ///< shard count of the sweep (1: unsharded)
+    int shard_index = 0; ///< this process's shard
     /** Journal lines quarantined during replay: CRC/parse failures and
      *  records the cache refused (non-finite). Both degrade to "one more
      *  point to re-simulate", but a nonzero count means the journal took
@@ -93,6 +98,26 @@ struct SweepReport
     /** Largest event-queue high-water mark any worker's simulator saw
      *  (lifetime maximum, not a per-sweep delta — it is a peak). */
     std::uint64_t queue_high_water = 0;
+
+    /** Work-stealing pool accounting over this sweep (all zero on a
+     *  serial, jobs == 1, sweep — no pool exists): tasks the pool ran,
+     *  tasks an idle worker stole from another worker's deque, and
+     *  steal sweeps that found every victim empty. A healthy uneven
+     *  sweep shows steals > 0; a steal count near pool_tasks means the
+     *  round-robin split was badly uneven (expected after a resume,
+     *  when cache-hit tasks are near-free). */
+    std::uint64_t pool_tasks = 0;
+    std::uint64_t pool_steals = 0;
+    std::uint64_t pool_failed_steal_sweeps = 0;
+    /** Workers pinned to a CPU (TLPPM_AFFINITY; 0 when off). */
+    std::uint64_t pool_workers_pinned = 0;
+
+    /** Cost-aware seeding split: tasks the scheduler classified (by
+     *  probing the two cache levels before submission) as expensive
+     *  (cache-cold, submitted first so stealing balances the tail)
+     *  vs cheap (cache-warm, submitted last). */
+    std::uint64_t sched_expensive = 0;
+    std::uint64_t sched_cheap = 0;
 
     /** Per-core busy/stall/sync cycle totals summed over every
      *  simulation this sweep executed, all workers combined; entry i is

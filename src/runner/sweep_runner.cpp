@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "runner/fault_injection.hpp"
+#include "util/crc32.hpp"
 #include "util/logging.hpp"
 #include "util/trace.hpp"
 #include "util/watchdog.hpp"
@@ -133,6 +134,14 @@ struct SweepTaskRunner
 
 SweepRunner::SweepRunner(Options options) : options_(std::move(options))
 {
+    if (options_.shards < 1)
+        util::fatal("SweepRunner: shards must be >= 1");
+    if (options_.shard_index < 0 ||
+        options_.shard_index >= options_.shards)
+        util::fatal(util::strcatMsg("SweepRunner: shard-index ",
+                                    options_.shard_index,
+                                    " out of range [0, ", options_.shards,
+                                    ")"));
     jobs_ = options_.jobs > 0
         ? options_.jobs
         : static_cast<int>(util::ThreadPool::defaultJobs());
@@ -143,6 +152,31 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
         // Journaling observes the shared cache; without it no completed
         // point would ever reach the journal.
         options_.share_cache = true;
+        if (options_.shards > 1) {
+            // A reopened shard journal must be the same shard of the
+            // same sweep — resuming shard 2's journal as shard 1 would
+            // merge into a table with silently duplicated/missing rows.
+            auto existing = Journal::readShardInfo(options_.journal_path);
+            if (!existing.ok())
+                util::fatal(existing.error().describe());
+            if (existing.value().has_value()) {
+                const ShardInfo& info = *existing.value();
+                if (info.label != options_.progress_label ||
+                    info.shards != options_.shards ||
+                    info.shard_index != options_.shard_index ||
+                    quantizeScale(info.scale) !=
+                        quantizeScale(options_.scale)) {
+                    util::fatal(util::strcatMsg(
+                        "journal '", options_.journal_path,
+                        "' belongs to shard ", info.shard_index, "/",
+                        info.shards, " of ", info.label, " (scale ",
+                        info.scale, "), not shard ",
+                        options_.shard_index, "/", options_.shards,
+                        " of ", options_.progress_label, " (scale ",
+                        options_.scale, ")"));
+                }
+            }
+        }
         if (options_.resume) {
             const ReplayStats stats =
                 Journal::replayInto(options_.journal_path, cache_);
@@ -158,6 +192,12 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
         }
         journal_ = std::make_unique<Journal>(options_.journal_path,
                                              options_.journal_flush_every);
+        if (options_.shards > 1) {
+            journal_->appendShardMeta(ShardInfo{options_.progress_label,
+                                                options_.scale,
+                                                options_.shards,
+                                                options_.shard_index});
+        }
         // Set the observer only after replay: replayed entries are
         // already on disk and must not be appended a second time.
         cache_.setInsertObserver(
@@ -177,6 +217,47 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
 }
 
 SweepRunner::~SweepRunner() = default;
+
+int
+SweepRunner::shardOf(const std::string& workload, int n, double scale,
+                     int shards)
+{
+    if (shards <= 1)
+        return 0;
+    // Hash the *quantized* row key (the same grid the cache keys use),
+    // so the owner of a row is identical on every host, at every job
+    // count, and across the last-ulp scale drift quantization absorbs.
+    const std::string key =
+        util::strcatMsg(workload, "|", n, "|", quantizeScale(scale));
+    return static_cast<int>(util::crc32(key) %
+                            static_cast<std::uint32_t>(shards));
+}
+
+bool
+SweepRunner::ownsRow(const std::string& workload, int n) const
+{
+    if (options_.shards <= 1)
+        return true;
+    return shardOf(workload, n, options_.scale, options_.shards) ==
+        options_.shard_index;
+}
+
+void
+SweepRunner::noteOutOfShard()
+{
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    ++report_.out_of_shard;
+}
+
+void
+SweepRunner::noteScheduled(bool expensive)
+{
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    if (expensive)
+        ++report_.sched_expensive;
+    else
+        ++report_.sched_cheap;
+}
 
 Experiment&
 SweepRunner::workerExperiment()
@@ -235,6 +316,12 @@ SweepRunner::counterTotals() const
     totals.raw_misses = raw_cache_.misses();
     totals.priced_hits = cache_.hits();
     totals.priced_misses = cache_.misses();
+    if (pool_) {
+        const util::ThreadPool::Stats stats = pool_->stats();
+        totals.pool_executed = stats.executed;
+        totals.pool_steals = stats.steals;
+        totals.pool_failed_steal_sweeps = stats.failed_steal_sweeps;
+    }
     return totals;
 }
 
@@ -256,6 +343,8 @@ SweepRunner::beginSweep(std::size_t expected_tasks)
     report_.replayed = replay_stats_.entries;
     report_.replay_corrupt = replay_stats_.corrupt;
     report_.replay_inadmissible = replay_stats_.inadmissible;
+    report_.shards = options_.shards;
+    report_.shard_index = options_.shard_index;
 }
 
 void
@@ -293,6 +382,20 @@ SweepRunner::finishSweep()
         sweep_start_counters_.thermal_solve_passes;
     report_.thermal_factorizations = now.thermal_factorizations -
         sweep_start_counters_.thermal_factorizations;
+    report_.pool_tasks =
+        now.pool_executed - sweep_start_counters_.pool_executed;
+    report_.pool_steals =
+        now.pool_steals - sweep_start_counters_.pool_steals;
+    report_.pool_failed_steal_sweeps = now.pool_failed_steal_sweeps -
+        sweep_start_counters_.pool_failed_steal_sweeps;
+    if (pool_) {
+        report_.pool_workers_pinned = pool_->stats().workers_pinned;
+        util::traceInstant("sweep", "pool: tasks=", report_.pool_tasks,
+                           " steals=", report_.pool_steals,
+                           " failed_sweeps=",
+                           report_.pool_failed_steal_sweeps,
+                           " pinned=", report_.pool_workers_pinned);
+    }
     // The high-water marks are peaks, not flows: report the lifetime
     // maximum rather than a meaningless delta.
     report_.thermal_max_batch_rhs = now.thermal_max_batch_rhs;
@@ -322,47 +425,108 @@ SweepRunner::scenario1Sweep(
 {
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario1Sweep: core-count list must start at 1");
-    // Phase A (profile) plus phase B (rows): one task per (app, n) each;
-    // skipped rows report through the same progress channel.
-    beginSweep(apps.size() * ns.size() * 2);
+    const std::size_t n_apps = apps.size();
+    const std::size_t n_ns = ns.size();
+
+    // Shard ownership, decided per (app, n) row up front. A shard that
+    // owns any row of an application also profiles that application's
+    // n = 1 baseline (every row's speedup/power reference) even when
+    // the n = 1 *row* belongs elsewhere — the baseline is deterministic,
+    // so the cross-shard duplicates are bit-identical and the merged
+    // journals deduplicate cleanly.
+    std::vector<std::vector<char>> owned(n_apps,
+                                         std::vector<char>(n_ns, 1));
+    std::vector<char> any_owned(n_apps, 1);
+    if (options_.shards > 1) {
+        for (std::size_t a = 0; a < n_apps; ++a) {
+            any_owned[a] = 0;
+            for (std::size_t i = 0; i < n_ns; ++i) {
+                owned[a][i] = ownsRow(apps[a]->name, ns[i]) ? 1 : 0;
+                if (owned[a][i])
+                    any_owned[a] = 1;
+            }
+        }
+    }
+    const auto profileNeeded = [&](std::size_t a, std::size_t i) {
+        return owned[a][i] || (i == 0 && any_owned[a]);
+    };
+    std::size_t expected = 0;
+    for (std::size_t a = 0; a < n_apps; ++a)
+        for (std::size_t i = 0; i < n_ns; ++i)
+            expected += (profileNeeded(a, i) ? 1 : 0) +
+                (owned[a][i] ? 1 : 0);
+    beginSweep(expected);
     SweepTaskRunner tasks{*this};
 
     const tech::Technology& tech = experiment().technology();
     const double f1 = tech.fNominal();
     const double v1 = tech.vddNominal();
-    std::size_t order = 0;
 
     // Phase A: the nominal-V/f profiling pass, one task per (app, n).
-    // Collecting the futures in submission order fills the cache and
-    // gives every row task its baseline without re-simulation.
-    std::vector<std::vector<std::future<util::Expected<Measurement>>>>
-        nominal_futures(apps.size());
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        for (int n : ns) {
-            const workloads::WorkloadInfo* app = apps[a];
-            const std::size_t task_order = order++;
-            nominal_futures[a].push_back(
-                tasks.submit([this, &tasks, app, n, v1, f1, task_order] {
-                    return tasks.contain(
-                        "profile", app->name, n, v1, f1, task_order, [&] {
-                            return workerExperiment().tryMeasureApp(
-                                *app, n, v1, f1);
-                        });
-                }));
+    // Expensive points (no cached sim, no cached price: a full
+    // simulation) are seeded first so the work-stealing pool balances
+    // the costly tail instead of discovering it last; results are
+    // assembled by (a, i) index, so the reorder cannot change a byte.
+    struct ProfileTask
+    {
+        std::size_t a;
+        std::size_t i;
+        bool expensive;
+    };
+    std::vector<ProfileTask> profile_order;
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        for (std::size_t i = 0; i < n_ns; ++i) {
+            if (!profileNeeded(a, i))
+                continue;
+            const RunKey priced_key{apps[a]->name, ns[i], options_.scale,
+                                    v1, f1};
+            const RawRunKey raw_key{apps[a]->name, ns[i], options_.scale,
+                                    f1};
+            const bool expensive = !cache_.contains(priced_key) &&
+                !raw_cache_.contains(raw_key);
+            profile_order.push_back({a, i, expensive});
+            noteScheduled(expensive);
         }
     }
-    std::vector<std::vector<util::Expected<Measurement>>> nominal(
-        apps.size());
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        nominal[a].reserve(ns.size());
-        for (auto& future : nominal_futures[a])
-            nominal[a].push_back(future.get());
+    std::stable_partition(profile_order.begin(), profile_order.end(),
+                          [](const ProfileTask& t) { return t.expensive; });
+    std::vector<std::vector<std::future<util::Expected<Measurement>>>>
+        nominal_futures(n_apps);
+    for (auto& futures : nominal_futures)
+        futures.resize(n_ns); // invalid future == not profiled here
+    for (const ProfileTask& t : profile_order) {
+        const workloads::WorkloadInfo* app = apps[t.a];
+        const int n = ns[t.i];
+        // Logical (a, i) enumeration order, stable across seeding
+        // reorders and shard subsets — FailedPoint lists sort on it.
+        const std::size_t task_order = t.a * n_ns + t.i;
+        nominal_futures[t.a][t.i] =
+            tasks.submit([this, &tasks, app, n, v1, f1, task_order] {
+                return tasks.contain(
+                    "profile", app->name, n, v1, f1, task_order, [&] {
+                        return workerExperiment().tryMeasureApp(
+                            *app, n, v1, f1);
+                    });
+            });
+    }
+    const util::Error not_profiled{
+        util::ErrorCode::InvalidArgument,
+        "row owned by another shard; not profiled here"};
+    std::vector<std::vector<util::Expected<Measurement>>> nominal(n_apps);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        nominal[a].reserve(n_ns);
+        for (std::size_t i = 0; i < n_ns; ++i) {
+            nominal[a].push_back(
+                nominal_futures[a][i].valid()
+                    ? nominal_futures[a][i].get()
+                    : util::Expected<Measurement>(not_profiled));
+        }
     }
 
-    // Phase B: one Eq. 7 row per (app, n), again in submission order.
+    // Phase B: one Eq. 7 row per owned (app, n), in submission order.
     // A row whose baseline or nominal profile failed cannot be assembled
     // and is emitted as a `failed` placeholder instead.
-    std::vector<std::vector<Scenario1Row>> results(apps.size());
+    std::vector<std::vector<Scenario1Row>> results(n_apps);
     struct Pending
     {
         std::size_t a;
@@ -370,10 +534,15 @@ SweepRunner::scenario1Sweep(
         std::future<util::Expected<Scenario1Row>> future;
     };
     std::vector<Pending> pending;
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        results[a].resize(ns.size());
-        for (std::size_t i = 0; i < ns.size(); ++i) {
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        results[a].resize(n_ns);
+        for (std::size_t i = 0; i < n_ns; ++i) {
             results[a][i].n = ns[i];
+            if (!owned[a][i]) {
+                results[a][i].out_of_shard = true;
+                noteOutOfShard();
+                continue;
+            }
             if (!nominal[a].front().ok() || !nominal[a][i].ok()) {
                 results[a][i].failed = true;
                 tasks.skip();
@@ -383,7 +552,7 @@ SweepRunner::scenario1Sweep(
             const int n = ns[i];
             const Measurement& base = nominal[a].front().value();
             const Measurement& nominal_n = nominal[a][i].value();
-            const std::size_t task_order = order++;
+            const std::size_t task_order = n_apps * n_ns + a * n_ns + i;
             pending.push_back(
                 {a, i,
                  tasks.submit([this, &tasks, app, n, &base, &nominal_n,
@@ -416,7 +585,33 @@ SweepRunner::scenario2Sweep(
 {
     if (ns.empty() || ns.front() != 1)
         util::fatal("scenario2Sweep: core-count list must start at 1");
-    beginSweep(apps.size() * ns.size() * 2);
+    const std::size_t n_apps = apps.size();
+    const std::size_t n_ns = ns.size();
+
+    // Shard ownership (see scenario1Sweep): per (app, n) row, with the
+    // n = 1 baseline profiled by every shard that owns a row of the app.
+    std::vector<std::vector<char>> owned(n_apps,
+                                         std::vector<char>(n_ns, 1));
+    std::vector<char> any_owned(n_apps, 1);
+    if (options_.shards > 1) {
+        for (std::size_t a = 0; a < n_apps; ++a) {
+            any_owned[a] = 0;
+            for (std::size_t i = 0; i < n_ns; ++i) {
+                owned[a][i] = ownsRow(apps[a]->name, ns[i]) ? 1 : 0;
+                if (owned[a][i])
+                    any_owned[a] = 1;
+            }
+        }
+    }
+    const auto profileNeeded = [&](std::size_t a, std::size_t i) {
+        return owned[a][i] || (i == 0 && any_owned[a]);
+    };
+    std::size_t expected = 0;
+    for (std::size_t a = 0; a < n_apps; ++a)
+        for (std::size_t i = 0; i < n_ns; ++i)
+            expected += (profileNeeded(a, i) ? 1 : 0) +
+                (owned[a][i] ? 1 : 0);
+    beginSweep(expected);
     SweepTaskRunner tasks{*this};
 
     Experiment& caller = experiment();
@@ -428,71 +623,133 @@ SweepRunner::scenario2Sweep(
     if (freqs_hz.empty())
         freqs_hz = caller.defaultFrequencyGrid();
     std::sort(freqs_hz.begin(), freqs_hz.end());
-    std::size_t order = 0;
 
-    // Phase A: nominal profiling pass (also the grid's top point).
-    std::vector<std::vector<std::future<util::Expected<Measurement>>>>
-        nominal_futures(apps.size());
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        for (int n : ns) {
-            const workloads::WorkloadInfo* app = apps[a];
-            const std::size_t task_order = order++;
-            nominal_futures[a].push_back(
-                tasks.submit([this, &tasks, app, n, v1, f1, task_order] {
-                    return tasks.contain(
-                        "profile", app->name, n, v1, f1, task_order, [&] {
-                            return workerExperiment().tryMeasureApp(
-                                *app, n, v1, f1);
-                        });
-                }));
+    // Phase A: nominal profiling pass (also the grid's top point),
+    // expensive (cache-cold) points seeded first — see scenario1Sweep.
+    struct ProfileTask
+    {
+        std::size_t a;
+        std::size_t i;
+        bool expensive;
+    };
+    std::vector<ProfileTask> profile_order;
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        for (std::size_t i = 0; i < n_ns; ++i) {
+            if (!profileNeeded(a, i))
+                continue;
+            const RunKey priced_key{apps[a]->name, ns[i], options_.scale,
+                                    v1, f1};
+            const RawRunKey raw_key{apps[a]->name, ns[i], options_.scale,
+                                    f1};
+            const bool expensive = !cache_.contains(priced_key) &&
+                !raw_cache_.contains(raw_key);
+            profile_order.push_back({a, i, expensive});
+            noteScheduled(expensive);
         }
     }
-    std::vector<std::vector<util::Expected<Measurement>>> nominal(
-        apps.size());
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        nominal[a].reserve(ns.size());
-        for (auto& future : nominal_futures[a])
-            nominal[a].push_back(future.get());
+    std::stable_partition(profile_order.begin(), profile_order.end(),
+                          [](const ProfileTask& t) { return t.expensive; });
+    std::vector<std::vector<std::future<util::Expected<Measurement>>>>
+        nominal_futures(n_apps);
+    for (auto& futures : nominal_futures)
+        futures.resize(n_ns); // invalid future == not profiled here
+    for (const ProfileTask& t : profile_order) {
+        const workloads::WorkloadInfo* app = apps[t.a];
+        const int n = ns[t.i];
+        const std::size_t task_order = t.a * n_ns + t.i;
+        nominal_futures[t.a][t.i] =
+            tasks.submit([this, &tasks, app, n, v1, f1, task_order] {
+                return tasks.contain(
+                    "profile", app->name, n, v1, f1, task_order, [&] {
+                        return workerExperiment().tryMeasureApp(
+                            *app, n, v1, f1);
+                    });
+            });
+    }
+    const util::Error not_profiled{
+        util::ErrorCode::InvalidArgument,
+        "row owned by another shard; not profiled here"};
+    std::vector<std::vector<util::Expected<Measurement>>> nominal(n_apps);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        nominal[a].reserve(n_ns);
+        for (std::size_t i = 0; i < n_ns; ++i) {
+            nominal[a].push_back(
+                nominal_futures[a][i].valid()
+                    ? nominal_futures[a][i].get()
+                    : util::Expected<Measurement>(not_profiled));
+        }
     }
 
-    // Phase B: one budget-sweep row per (app, n). Each row runs its own
-    // ascending frequency sweep; the shared cache deduplicates points
-    // that several rows visit.
-    std::vector<std::vector<Scenario2Row>> results(apps.size());
+    // Phase B: one budget-sweep row per owned (app, n). Each row runs
+    // its own ascending frequency sweep; the shared cache deduplicates
+    // points that several rows visit. Rows are seeded expensive-first
+    // too: a row's candidate frequencies are known up front (the grid),
+    // so a row with any cache-cold grid frequency is classified
+    // expensive. After a full resume every row probes cheap and the
+    // original order is preserved.
+    std::vector<std::vector<Scenario2Row>> results(n_apps);
     struct Pending
     {
         std::size_t a;
         std::size_t i;
         std::future<util::Expected<Scenario2Row>> future;
     };
-    std::vector<Pending> pending;
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        results[a].resize(ns.size());
-        for (std::size_t i = 0; i < ns.size(); ++i) {
+    struct RowTask
+    {
+        std::size_t a;
+        std::size_t i;
+        bool expensive;
+    };
+    std::vector<RowTask> row_order;
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        results[a].resize(n_ns);
+        for (std::size_t i = 0; i < n_ns; ++i) {
             results[a][i].n = ns[i];
+            if (!owned[a][i]) {
+                results[a][i].out_of_shard = true;
+                noteOutOfShard();
+                continue;
+            }
             if (!nominal[a].front().ok() || !nominal[a][i].ok()) {
                 results[a][i].failed = true;
                 tasks.skip();
                 continue;
             }
-            const workloads::WorkloadInfo* app = apps[a];
-            const int n = ns[i];
-            const Measurement& base = nominal[a].front().value();
-            const Measurement& nominal_n = nominal[a][i].value();
-            const std::size_t task_order = order++;
-            pending.push_back(
-                {a, i,
-                 tasks.submit([this, &tasks, app, n, &base, &nominal_n,
-                               &freqs_hz, budget, task_order] {
-                     return tasks.contain(
-                         "row", app->name, n, 0.0, 0.0, task_order,
-                         [&]() -> util::Expected<Scenario2Row> {
-                             return workerExperiment().scenario2Row(
-                                 *app, n, base, nominal_n, freqs_hz,
-                                 budget);
-                         });
-                 })});
+            bool expensive = false;
+            for (double f : freqs_hz) {
+                if (!raw_cache_.contains(RawRunKey{apps[a]->name, ns[i],
+                                                   options_.scale, f})) {
+                    expensive = true;
+                    break;
+                }
+            }
+            row_order.push_back({a, i, expensive});
+            noteScheduled(expensive);
         }
+    }
+    std::stable_partition(row_order.begin(), row_order.end(),
+                          [](const RowTask& t) { return t.expensive; });
+    std::vector<Pending> pending;
+    for (const RowTask& t : row_order) {
+        const std::size_t a = t.a;
+        const std::size_t i = t.i;
+        const workloads::WorkloadInfo* app = apps[a];
+        const int n = ns[i];
+        const Measurement& base = nominal[a].front().value();
+        const Measurement& nominal_n = nominal[a][i].value();
+        const std::size_t task_order = n_apps * n_ns + a * n_ns + i;
+        pending.push_back(
+            {a, i,
+             tasks.submit([this, &tasks, app, n, &base, &nominal_n,
+                           &freqs_hz, budget, task_order] {
+                 return tasks.contain(
+                     "row", app->name, n, 0.0, 0.0, task_order,
+                     [&]() -> util::Expected<Scenario2Row> {
+                         return workerExperiment().scenario2Row(
+                             *app, n, base, nominal_n, freqs_hz,
+                             budget);
+                     });
+             })});
     }
     for (Pending& p : pending) {
         util::Expected<Scenario2Row> row = p.future.get();
@@ -515,18 +772,41 @@ SweepRunner::measureAll(const std::vector<MeasureSpec>& specs)
     beginSweep(specs.size());
     SweepTaskRunner tasks{*this};
 
-    std::vector<std::future<util::Expected<Measurement>>> futures;
-    futures.reserve(specs.size());
+    // Expensive (cache-cold) specs first — results are assembled by
+    // spec index, so the submission reorder cannot change a byte.
+    struct SpecTask
+    {
+        std::size_t i;
+        bool expensive;
+    };
+    std::vector<SpecTask> spec_order;
+    spec_order.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
+        const MeasureSpec& spec = specs[i];
+        const RunKey priced_key{spec.app->name, spec.n, options_.scale,
+                                spec.vdd, spec.freq_hz};
+        const RawRunKey raw_key{spec.app->name, spec.n, options_.scale,
+                                spec.freq_hz};
+        const bool expensive = !cache_.contains(priced_key) &&
+            !raw_cache_.contains(raw_key);
+        spec_order.push_back({i, expensive});
+        noteScheduled(expensive);
+    }
+    std::stable_partition(spec_order.begin(), spec_order.end(),
+                          [](const SpecTask& t) { return t.expensive; });
+    std::vector<std::future<util::Expected<Measurement>>> futures(
+        specs.size());
+    for (const SpecTask& t : spec_order) {
+        const std::size_t i = t.i;
         const MeasureSpec spec = specs[i];
-        futures.push_back(tasks.submit([this, &tasks, spec, i] {
+        futures[i] = tasks.submit([this, &tasks, spec, i] {
             return tasks.contain(
                 "measure", spec.app->name, spec.n, spec.vdd, spec.freq_hz,
                 i, [&] {
                     return workerExperiment().tryMeasureApp(
                         *spec.app, spec.n, spec.vdd, spec.freq_hz);
                 });
-        }));
+        });
     }
     std::vector<Measurement> results;
     results.reserve(specs.size());

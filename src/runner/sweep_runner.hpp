@@ -102,7 +102,28 @@ class SweepRunner
         bool progress = false;
         /** Heartbeat line prefix (the sweep/figure name). */
         std::string progress_label = "sweep";
+        /**
+         * Deterministic multi-process sharding. With shards > 1, each
+         * (workload, n) row is owned by exactly one shard — a stable
+         * CRC32 of the quantized row key, independent of job count,
+         * host, or submission order — and this runner computes only the
+         * rows of shard_index, emitting the rest as out_of_shard
+         * placeholders. Every shard additionally computes the shared
+         * n = 1 baseline of each application it owns a row of (the
+         * baseline is deterministic, so the duplicates across shards
+         * are bit-identical and deduplicate on journal merge). Merging
+         * the shard journals and re-rendering with resume reproduces
+         * the unsharded tables byte-for-byte.
+         */
+        int shards = 1;
+        int shard_index = 0; ///< this process's shard in [0, shards)
     };
+
+    /** The shard that owns row (workload, n) at problem scale @p scale:
+     *  crc32 of the quantized row key mod @p shards. The static core of
+     *  the ownership rule, shared with tlppm_merge and the tests. */
+    static int shardOf(const std::string& workload, int n, double scale,
+                       int shards);
 
     SweepRunner() : SweepRunner(Options{}) {}
     explicit SweepRunner(Options options);
@@ -129,6 +150,12 @@ class SweepRunner
 
     /** Containment ledger of the most recent sweep call. */
     const SweepReport& lastReport() const { return report_; }
+
+    /** The work-stealing pool fanning the sweeps, or null when
+     *  jobs == 1 (serial mode runs inline with no pool). Exposed for
+     *  per-worker load accounting (bench_sweep_throughput reports the
+     *  max/mean executed-task imbalance). */
+    const util::ThreadPool* pool() const { return pool_.get(); }
 
     /** Journal entries replayed into the cache at construction. */
     std::size_t replayedEntries() const { return replay_stats_.entries; }
@@ -169,6 +196,18 @@ class SweepRunner
     /** The calling/worker thread's lazily constructed Experiment. */
     Experiment& workerExperiment();
 
+    /** True when this runner's shard owns row (workload, n). Always
+     *  true when Options.shards <= 1. */
+    bool ownsRow(const std::string& workload, int n) const;
+
+    /** Count one row skipped because another shard owns it. */
+    void noteOutOfShard();
+
+    /** Record a cost classification (cache probe) for the seeding
+     *  counters: @p expensive tasks are submitted ahead of cheap ones
+     *  so work-stealing balances the long tail. */
+    void noteScheduled(bool expensive);
+
     /** @p expected_tasks arms the progress reporter's ETA denominator
      *  (ignored when Options.progress is off). */
     void beginSweep(std::size_t expected_tasks);
@@ -198,6 +237,9 @@ class SweepRunner
         std::uint64_t thermal_factorizations = 0;
         std::uint64_t thermal_max_batch_rhs = 0; ///< max, not a sum
         std::uint64_t queue_high_water = 0;      ///< max, not a sum
+        std::uint64_t pool_executed = 0;
+        std::uint64_t pool_steals = 0;
+        std::uint64_t pool_failed_steal_sweeps = 0;
         std::vector<sim::CoreCycleBreakdown> core_cycles;
     };
     CounterSnapshot counterTotals() const;

@@ -54,7 +54,11 @@ printCacheStats(const runner::SweepReport& report, const char* tag)
               << " replayed=" << report.replayed
               << " replay_corrupt=" << report.replay_corrupt
               << " replay_inadmissible=" << report.replay_inadmissible
-              << "\n";
+              << " sched=" << report.sched_expensive << "x/"
+              << report.sched_cheap << "c"
+              << " pool_tasks=" << report.pool_tasks
+              << " steals=" << report.pool_steals
+              << " pinned=" << report.pool_workers_pinned << "\n";
 }
 
 int
@@ -405,6 +409,8 @@ sweepOptions(const FigureOptions& options, const char* label)
     sweep.point_timeout_s = options.point_timeout_s;
     sweep.progress = options.progress;
     sweep.progress_label = label;
+    sweep.shards = options.shards;
+    sweep.shard_index = options.shard_index;
     return sweep;
 }
 
@@ -449,6 +455,14 @@ renderFig3(const FigureOptions& options)
         std::vector<std::string> r_dens = {info.name};
         std::vector<std::string> r_temp = {info.name};
         for (const auto& row : rows) {
+            if (row.out_of_shard) {
+                // Another shard of a sharded sweep owns this row; its
+                // value appears after a tlppm_merge re-render.
+                for (auto* cells : {&r_eff, &r_spd, &r_pwr, &r_dens,
+                                    &r_temp})
+                    cells->push_back("-");
+                continue;
+            }
             if (row.failed) {
                 // Containment placeholder: the point is itemized in the
                 // sweep report below.
@@ -548,6 +562,11 @@ renderFig4(const FigureOptions& options)
                            "f [GHz]", "Vdd [V]", "power [W]",
                            "at nominal V/f"});
         for (const auto& row : rows) {
+            if (row.out_of_shard) {
+                table.addRow({util::Table::num(row.n), "-", "-", "-", "-",
+                              "-", "-"});
+                continue;
+            }
             if (row.failed) {
                 table.addRow({util::Table::num(row.n), "FAILED", "FAILED",
                               "-", "-", "-", "-"});

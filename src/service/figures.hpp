@@ -39,6 +39,12 @@ struct FigureOptions
     double point_timeout_s = 0.0; ///< per-point watchdog (0: off)
     bool progress = false;        ///< heartbeat lines to stderr
     bool cache_stats = false;     ///< counters line(s) to stderr
+    /** Deterministic multi-process sharding (fig3/fig4): compute only
+     *  the rows a stable hash assigns to shard_index of shards; other
+     *  rows render as "-" placeholders. Merge the shard journals with
+     *  tlppm_merge to reassemble the full tables byte-identically. */
+    int shards = 1;
+    int shard_index = 0;
 };
 
 /** One rendered figure: the batch harness's stdout, its containment

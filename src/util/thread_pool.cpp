@@ -1,6 +1,15 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "util/logging.hpp"
 
@@ -9,64 +18,80 @@ namespace tlp::util {
 namespace {
 
 thread_local int tl_worker_index = -1;
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+bool
+affinityRequested()
+{
+    const char* env = std::getenv("TLPPM_AFFINITY");
+    if (env == nullptr)
+        return false;
+    return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+           std::strcmp(env, "true") == 0;
+}
+
+/** First line of @p path, or empty when unreadable. */
+std::string
+readFirstLine(const char* path)
+{
+    std::FILE* file = std::fopen(path, "rb");
+    if (file == nullptr)
+        return {};
+    char buf[128] = {};
+    const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, file);
+    std::fclose(file);
+    std::string line(buf, got);
+    const std::size_t nl = line.find('\n');
+    if (nl != std::string::npos)
+        line.resize(nl);
+    return line;
+}
+
+/** Leading non-negative integer of @p text, or -1 ("max", garbage). */
+long long
+leadingInt(std::string_view text)
+{
+    while (!text.empty() && text.front() == ' ')
+        text.remove_prefix(1);
+    if (text.empty() || text.front() < '0' || text.front() > '9')
+        return -1;
+    long long value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            break;
+        value = value * 10 + (c - '0');
+        if (value > 1'000'000'000'000ll)
+            return -1;
+    }
+    return value;
+}
 
 } // namespace
 
-ThreadPool::ThreadPool(unsigned n_threads)
+unsigned
+ThreadPool::parseCgroupCpuMax(std::string_view text)
 {
-    if (n_threads == 0)
-        n_threads = 1;
-    workers_.reserve(n_threads);
-    for (unsigned i = 0; i < n_threads; ++i)
-        workers_.emplace_back([this, i] { workerLoop(i); });
+    // cgroup v2 format: "<quota> <period>" in microseconds, or
+    // "max <period>" when unlimited.
+    const std::size_t space = text.find(' ');
+    if (space == std::string_view::npos)
+        return 0;
+    const long long quota = leadingInt(text.substr(0, space));
+    const long long period = leadingInt(text.substr(space + 1));
+    if (quota <= 0 || period <= 0)
+        return 0; // "max", empty, or malformed: unlimited
+    return static_cast<unsigned>((quota + period - 1) / period);
 }
 
-ThreadPool::~ThreadPool()
+unsigned
+ThreadPool::parseCgroupV1Quota(std::string_view quota_text,
+                               std::string_view period_text)
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& worker : workers_)
-        worker.join();
-}
-
-void
-ThreadPool::enqueue(std::function<void()> task)
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_)
-            fatal("ThreadPool: submit after shutdown began");
-        tasks_.push_back(std::move(task));
-    }
-    cv_.notify_one();
-}
-
-void
-ThreadPool::workerLoop(unsigned index)
-{
-    tl_worker_index = static_cast<int>(index);
-    while (true) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return stopping_ || !tasks_.empty(); });
-            if (tasks_.empty())
-                return; // stopping_ and drained
-            task = std::move(tasks_.front());
-            tasks_.pop_front();
-        }
-        task(); // packaged_task captures any exception in its future
-    }
-}
-
-int
-ThreadPool::currentWorkerIndex()
-{
-    return tl_worker_index;
+    const long long quota = leadingInt(quota_text);
+    const long long period = leadingInt(period_text);
+    if (quota <= 0 || period <= 0)
+        return 0; // quota -1 (unlimited) or malformed
+    return static_cast<unsigned>((quota + period - 1) / period);
 }
 
 unsigned
@@ -78,7 +103,219 @@ ThreadPool::defaultJobs()
             return static_cast<unsigned>(value);
     }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    unsigned jobs = hw ? hw : 1;
+
+    // Containerized CI and the service daemon typically see every host
+    // CPU in hardware_concurrency() while the cgroup caps the quota;
+    // spawning more workers than the quota just buys scheduler
+    // throttling mid-simulation.
+    const unsigned v2 =
+        parseCgroupCpuMax(readFirstLine("/sys/fs/cgroup/cpu.max"));
+    if (v2 > 0)
+        jobs = std::min(jobs, v2);
+    const unsigned v1 = parseCgroupV1Quota(
+        readFirstLine("/sys/fs/cgroup/cpu/cpu.cfs_quota_us"),
+        readFirstLine("/sys/fs/cgroup/cpu/cpu.cfs_period_us"));
+    if (v1 > 0)
+        jobs = std::min(jobs, v1);
+
+#ifdef __linux__
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) == 0) {
+        const int count = CPU_COUNT(&allowed);
+        if (count > 0)
+            jobs = std::min(jobs, static_cast<unsigned>(count));
+    }
+#endif
+    return jobs ? jobs : 1;
+}
+
+ThreadPool::ThreadPool(unsigned n_threads)
+{
+    if (n_threads == 0)
+        n_threads = 1;
+    pin_workers_ = affinityRequested();
+#ifdef __linux__
+    if (pin_workers_) {
+        cpu_set_t allowed;
+        CPU_ZERO(&allowed);
+        if (sched_getaffinity(0, sizeof(allowed), &allowed) == 0) {
+            for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+                if (CPU_ISSET(cpu, &allowed))
+                    pin_cpus_.push_back(cpu);
+            }
+        }
+    }
+#endif
+    queues_.reserve(n_threads);
+    worker_executed_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i) {
+        queues_.push_back(std::make_unique<WorkerQueue>());
+        worker_executed_.push_back(
+            std::make_unique<std::atomic<std::uint64_t>>(0));
+    }
+    workers_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stopping_.store(true);
+    {
+        // Empty critical section: a worker between its wait predicate
+        // and blocking must observe the store before we notify.
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    sleep_cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    if (stopping_.load())
+        fatal("ThreadPool: submit after shutdown began");
+    // A worker submitting to its own pool keeps the task local (LIFO,
+    // cache-warm); external submitters spread round-robin so stealing
+    // starts from an even split.
+    std::size_t target;
+    if (tl_worker_pool == this && tl_worker_index >= 0) {
+        target = static_cast<std::size_t>(tl_worker_index);
+    } else {
+        target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                 queues_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1);
+    {
+        // Empty critical section (see destructor): no lost wakeup.
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    sleep_cv_.notify_one();
+}
+
+bool
+ThreadPool::popOwn(unsigned index, std::function<void()>& task)
+{
+    WorkerQueue& queue = *queues_[index];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty())
+        return false;
+    task = std::move(queue.tasks.back());
+    queue.tasks.pop_back();
+    pending_.fetch_sub(1);
+    return true;
+}
+
+bool
+ThreadPool::trySteal(unsigned thief, std::function<void()>& task)
+{
+    const std::size_t n = queues_.size();
+    if (n <= 1)
+        return false;
+    // Per-thread xorshift for victim order: cheap, and uncorrelated
+    // thieves don't convoy on the same victim's lock. Randomness only
+    // reorders execution; results are assembled by index upstream.
+    thread_local std::uint64_t rng_state = 0;
+    if (rng_state == 0)
+        rng_state = 0x9E3779B97F4A7C15ull ^ (thief + 1);
+    rng_state ^= rng_state << 13;
+    rng_state ^= rng_state >> 7;
+    rng_state ^= rng_state << 17;
+    const std::size_t start = rng_state % n;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t victim = (start + k) % n;
+        if (victim == thief)
+            continue;
+        WorkerQueue& queue = *queues_[victim];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        if (queue.tasks.empty())
+            continue;
+        task = std::move(queue.tasks.front()); // FIFO: the oldest task
+        queue.tasks.pop_front();
+        pending_.fetch_sub(1);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    failed_steal_sweeps_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+ThreadPool::pinWorker(unsigned index)
+{
+#ifdef __linux__
+    if (pin_cpus_.empty())
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(pin_cpus_[index % pin_cpus_.size()], &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0)
+        workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)index;
+#endif
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tl_worker_index = static_cast<int>(index);
+    tl_worker_pool = this;
+    if (pin_workers_)
+        pinWorker(index);
+    std::function<void()> task;
+    while (true) {
+        if (popOwn(index, task) || trySteal(index, task)) {
+            task(); // packaged_task captures any exception in its future
+            task = nullptr;
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            worker_executed_[index]->fetch_add(
+                1, std::memory_order_relaxed);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.wait(lock, [this] {
+            return stopping_.load() || pending_.load() > 0;
+        });
+        if (pending_.load() == 0 && stopping_.load())
+            return; // stopping and drained
+    }
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats stats;
+    stats.submitted = submitted_.load(std::memory_order_relaxed);
+    stats.executed = executed_.load(std::memory_order_relaxed);
+    stats.steals = steals_.load(std::memory_order_relaxed);
+    stats.failed_steal_sweeps =
+        failed_steal_sweeps_.load(std::memory_order_relaxed);
+    stats.workers_pinned =
+        workers_pinned_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+std::uint64_t
+ThreadPool::workerExecuted(unsigned w) const
+{
+    if (w >= worker_executed_.size())
+        return 0;
+    return worker_executed_[w]->load(std::memory_order_relaxed);
+}
+
+int
+ThreadPool::currentWorkerIndex()
+{
+    return tl_worker_index;
 }
 
 } // namespace tlp::util

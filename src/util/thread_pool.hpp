@@ -1,39 +1,82 @@
 /**
  * @file
- * ThreadPool — a fixed-size worker pool with futures-based task submission.
+ * ThreadPool — a work-stealing worker pool with futures-based task
+ * submission.
  *
  * The experiment layer (runner::SweepRunner) fans independent simulation
- * runs across hardware threads with this pool: submit() returns a
- * std::future carrying the task's result (or its exception), and
- * parallelFor() blocks until an index range has been fully processed.
- * Destruction drains the queue: every task submitted before the destructor
- * runs is executed before the destructor returns.
+ * runs across hardware threads with this pool. Post-caching, per-task
+ * cost is wildly uneven — a cache-hit point is microseconds while a full
+ * sim::Cmp run is seconds — so a single global queue leaves workers idle
+ * behind one long task. Instead every worker owns a deque: it pushes and
+ * pops its own work LIFO (cache-warm), and an idle worker steals FIFO
+ * from a randomized sequence of victims, so the oldest (and, with the
+ * sweep runner's expensive-first seeding, the costliest) tasks migrate to
+ * idle workers and the tail balances itself. External submissions are
+ * distributed round-robin across the worker deques.
+ *
+ * Execution *order* is therefore nondeterministic — every caller that
+ * needs deterministic output must (and does) assemble results by task
+ * index, never by completion order. submit() returns a std::future
+ * carrying the task's result (or its exception), and parallelFor()
+ * blocks until an index range has been fully processed. Destruction
+ * drains: every task submitted before the destructor runs is executed
+ * before the destructor returns.
  *
  * Worker threads are identified by currentWorkerIndex(), which lets
  * callers maintain strictly per-worker state (e.g. one simulator instance
  * per worker) without locking.
+ *
+ * Optional CPU pinning: when the TLPPM_AFFINITY environment variable is
+ * set to 1/on/true, worker i pins itself to the i-th allowed CPU (round
+ * robin over the process affinity mask) via pthread_setaffinity_np.
+ * Off by default; a no-op on non-Linux platforms. Pinning can reorder
+ * execution, never results — the determinism contract above is
+ * unconditional.
  */
 
 #ifndef TLP_UTIL_THREAD_POOL_HPP
 #define TLP_UTIL_THREAD_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace tlp::util {
 
-/** Fixed worker-count task pool. */
+/** Work-stealing task pool with a fixed worker count. */
 class ThreadPool
 {
   public:
+    /** Lifetime counters of the pool's scheduler (monotone; read them
+     *  only while no caller is blocked mid-submission for exactness). */
+    struct Stats
+    {
+        std::uint64_t submitted = 0; ///< tasks accepted by submit()
+        std::uint64_t executed = 0;  ///< tasks run to completion
+        /** Tasks an idle worker took from another worker's deque. The
+         *  balance signal: 0 means every worker lived off its own
+         *  round-robin share; a large fraction of `executed` means the
+         *  shares were uneven and stealing carried the load. */
+        std::uint64_t steals = 0;
+        /** Steal sweeps that found every victim deque empty (the thief
+         *  then re-checks for shutdown and sleeps). */
+        std::uint64_t failed_steal_sweeps = 0;
+        /** Workers successfully pinned to a CPU (0 unless
+         *  TLPPM_AFFINITY enabled pinning and the platform supports
+         *  it). */
+        std::uint64_t workers_pinned = 0;
+    };
+
     /** Spawn @p n_threads workers (clamped to >= 1). */
     explicit ThreadPool(unsigned n_threads);
 
@@ -48,7 +91,9 @@ class ThreadPool
 
     /**
      * Enqueue @p f; the returned future carries its result. An exception
-     * thrown by the task propagates through future::get().
+     * thrown by the task propagates through future::get(). Called from a
+     * pool worker, the task goes to that worker's own deque (LIFO);
+     * otherwise it is distributed round-robin.
      */
     template <typename F>
     auto
@@ -64,20 +109,67 @@ class ThreadPool
 
     /**
      * Run body(i) for every i in [begin, end) across the pool and wait.
-     * The first task exception (in index order) is rethrown. Must not be
-     * called from a pool worker (the waiting would deadlock the pool).
+     * The range is submitted as O(workers) contiguous chunks, not one
+     * task per index; every index is attempted even when some throw, and
+     * the exception with the smallest index is rethrown after the range
+     * completes. Must not be called from a pool worker (the waiting
+     * would deadlock the pool).
      */
     template <typename F>
     void
     parallelFor(std::size_t begin, std::size_t end, F&& body)
     {
+        if (begin >= end)
+            return;
+        const std::size_t count = end - begin;
+        // Several chunks per worker so a cheap chunk finishing early
+        // frees its worker to steal a slice of a slow one.
+        const std::size_t chunks =
+            std::min<std::size_t>(count, std::size_t{size()} * 4);
+        struct ChunkOutcome
+        {
+            std::size_t first_bad = 0;
+            std::exception_ptr error;
+        };
+        std::vector<ChunkOutcome> outcomes(chunks);
         std::vector<std::future<void>> futures;
-        futures.reserve(end > begin ? end - begin : 0);
-        for (std::size_t i = begin; i < end; ++i)
-            futures.push_back(submit([&body, i] { body(i); }));
+        futures.reserve(chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t lo = begin + count * c / chunks;
+            const std::size_t hi = begin + count * (c + 1) / chunks;
+            ChunkOutcome* outcome = &outcomes[c];
+            futures.push_back(submit([&body, lo, hi, outcome] {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    try {
+                        body(i);
+                    } catch (...) {
+                        if (!outcome->error) {
+                            outcome->first_bad = i;
+                            outcome->error = std::current_exception();
+                        }
+                    }
+                }
+            }));
+        }
         for (auto& future : futures)
-            future.get();
+            future.get(); // chunk bodies swallow exceptions; this waits
+        const ChunkOutcome* worst = nullptr;
+        for (const ChunkOutcome& outcome : outcomes) {
+            if (outcome.error &&
+                (!worst || outcome.first_bad < worst->first_bad))
+                worst = &outcome;
+        }
+        if (worst)
+            std::rethrow_exception(worst->error);
     }
+
+    /** Scheduler counters (see Stats). */
+    Stats stats() const;
+
+    /** Tasks executed by worker @p w so far — the per-worker load split
+     *  behind Stats::executed (bench_sweep_throughput reports the
+     *  imbalance). */
+    std::uint64_t workerExecuted(unsigned w) const;
 
     /**
      * Index of the calling thread within its owning pool, or -1 when the
@@ -86,21 +178,63 @@ class ThreadPool
     static int currentWorkerIndex();
 
     /**
-     * Default parallelism: the TLPPM_JOBS environment variable when set to
-     * a positive integer, otherwise std::thread::hardware_concurrency()
-     * (at least 1).
+     * Default parallelism: the TLPPM_JOBS environment variable when set
+     * to a positive integer; otherwise the smallest of
+     * std::thread::hardware_concurrency(), the cgroup v2/v1 CPU quota
+     * (cpu.max / cpu.cfs_quota_us — containers routinely expose all host
+     * CPUs while capping the quota, and oversubscribing the quota just
+     * buys throttling), and the process CPU affinity mask. At least 1.
      */
     static unsigned defaultJobs();
 
+    /**
+     * CPUs granted by a cgroup v2 `cpu.max` line ("<quota> <period>" or
+     * "max <period>"), rounded up; 0 when unlimited or unparseable.
+     * Exposed for tests.
+     */
+    static unsigned parseCgroupCpuMax(std::string_view text);
+
+    /** Same for cgroup v1 quota/period microsecond values ("-1" quota =
+     *  unlimited). Exposed for tests. */
+    static unsigned parseCgroupV1Quota(std::string_view quota_text,
+                                       std::string_view period_text);
+
   private:
+    /** One worker's deque. Owner pushes/pops at the back (LIFO);
+     *  thieves pop at the front (FIFO) — the oldest task migrates. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
     void enqueue(std::function<void()> task);
     void workerLoop(unsigned index);
+    bool popOwn(unsigned index, std::function<void()>& task);
+    bool trySteal(unsigned thief, std::function<void()>& task);
+    void pinWorker(unsigned index);
 
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> tasks_;
-    bool stopping_ = false;
+
+    /** Sleep/wake signaling only; the task deques have their own locks.
+     *  pending_ is the number of enqueued-but-not-yet-popped tasks. */
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<bool> stopping_{false};
+
+    std::atomic<std::size_t> next_queue_{0}; ///< round-robin cursor
+    bool pin_workers_ = false;               ///< TLPPM_AFFINITY
+    std::vector<int> pin_cpus_;              ///< allowed CPUs, in order
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> failed_steal_sweeps_{0};
+    std::atomic<std::uint64_t> workers_pinned_{0};
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>>
+        worker_executed_;
 };
 
 } // namespace tlp::util

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Deterministic multi-process sharding tests: the stable row-to-shard
+ * hash partitions every (application, N) row exactly once, shard
+ * journals carry CRC-protected identity metadata, mergeShards refuses
+ * incomplete/mismatched/duplicated shard sets with typed errors, and —
+ * the sacred invariant — a 3-way sharded fig3 run merged back together
+ * renders tables byte-identical to the unsharded serial run with zero
+ * re-simulation.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/journal.hpp"
+#include "runner/run_cache.hpp"
+#include "runner/sweep_runner.hpp"
+#include "service/figures.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+
+/** Unique temp path per test; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "tlppm_shard_" + tag +
+                "_" + std::to_string(::getpid()) + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+constexpr double kScale = 0.05;
+
+TEST(ShardOf, PartitionsEveryRowExactlyOnce)
+{
+    const std::vector<int> ns = {1, 2, 4, 8, 16};
+    for (int shards : {1, 2, 3, 7}) {
+        for (const auto& info : workloads::suite()) {
+            for (int n : ns) {
+                const int owner = runner::SweepRunner::shardOf(
+                    info.name, n, kScale, shards);
+                ASSERT_GE(owner, 0);
+                ASSERT_LT(owner, shards);
+                // Stable: the same row always lands on the same shard.
+                EXPECT_EQ(owner, runner::SweepRunner::shardOf(
+                                     info.name, n, kScale, shards));
+            }
+        }
+    }
+}
+
+TEST(ShardOf, SpreadsRowsAcrossShards)
+{
+    // Not a balance guarantee, but with 60 rows over 3 shards every
+    // shard must own something — an empty shard would mean the hash
+    // degenerated.
+    const std::vector<int> ns = {1, 2, 4, 8, 16};
+    std::set<int> owners;
+    for (const auto& info : workloads::suite())
+        for (int n : ns)
+            owners.insert(
+                runner::SweepRunner::shardOf(info.name, n, kScale, 3));
+    EXPECT_EQ(owners.size(), 3u);
+}
+
+TEST(ShardMeta, RoundTripsThroughJournal)
+{
+    const TempFile file("meta_roundtrip");
+    const runner::ShardInfo info{"fig3", 0.05, 3, 1};
+    {
+        runner::Journal journal(file.path());
+        ASSERT_TRUE(journal.createdEmpty());
+        journal.appendShardMeta(info);
+    }
+    const auto read = runner::Journal::readShardInfo(file.path());
+    ASSERT_TRUE(read.ok()) << read.error().describe();
+    ASSERT_TRUE(read.value().has_value());
+    EXPECT_EQ(read.value()->label, "fig3");
+    EXPECT_EQ(read.value()->scale, 0.05);
+    EXPECT_EQ(read.value()->shards, 3);
+    EXPECT_EQ(read.value()->shard_index, 1);
+}
+
+TEST(ShardMeta, UnshardedJournalHasNone)
+{
+    const TempFile file("meta_none");
+    {
+        runner::Journal journal(file.path()); // header only, no meta
+    }
+    const auto read = runner::Journal::readShardInfo(file.path());
+    ASSERT_TRUE(read.ok());
+    EXPECT_FALSE(read.value().has_value());
+}
+
+TEST(ShardMeta, MissingFileHasNone)
+{
+    const auto read = runner::Journal::readShardInfo(
+        std::string(::testing::TempDir()) + "tlppm_shard_nonexistent_" +
+        std::to_string(::getpid()) + ".jsonl");
+    ASSERT_TRUE(read.ok());
+    EXPECT_FALSE(read.value().has_value());
+}
+
+TEST(ShardMeta, CorruptMetaLineIsTypedError)
+{
+    const TempFile file("meta_corrupt");
+    {
+        runner::Journal journal(file.path());
+        journal.appendShardMeta(runner::ShardInfo{"fig3", 0.05, 2, 0});
+    }
+    // Flip one byte inside the metadata line's label so the CRC fails.
+    std::ifstream in(file.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const std::string::size_type at = text.find("fig3");
+    ASSERT_NE(at, std::string::npos);
+    text[at] = 'x';
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << text;
+    out.close();
+
+    const auto read = runner::Journal::readShardInfo(file.path());
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.error().code, util::ErrorCode::CorruptData);
+}
+
+/** A shard journal with metadata but no records — enough for the merge
+ *  validation tests, which must fail before any replay happens. */
+void
+writeShardJournal(const std::string& path, const runner::ShardInfo& info)
+{
+    runner::Journal journal(path);
+    journal.appendShardMeta(info);
+}
+
+TEST(MergeShards, RejectsMissingShard)
+{
+    const TempFile s0("miss0"), s1("miss1"), out("miss_out");
+    writeShardJournal(s0.path(), {"fig3", 0.05, 3, 0});
+    writeShardJournal(s1.path(), {"fig3", 0.05, 3, 1});
+    const auto merged =
+        runner::Journal::mergeShards({s0.path(), s1.path()}, out.path());
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().code, util::ErrorCode::InvalidArgument);
+}
+
+TEST(MergeShards, RejectsDuplicateShardIndex)
+{
+    const TempFile s0("dup0"), s1("dup1"), s1b("dup1b"), out("dup_out");
+    writeShardJournal(s0.path(), {"fig3", 0.05, 3, 0});
+    writeShardJournal(s1.path(), {"fig3", 0.05, 3, 1});
+    writeShardJournal(s1b.path(), {"fig3", 0.05, 3, 1});
+    const auto merged = runner::Journal::mergeShards(
+        {s0.path(), s1.path(), s1b.path()}, out.path());
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().code, util::ErrorCode::InvalidArgument);
+}
+
+TEST(MergeShards, RejectsMismatchedSweeps)
+{
+    // Same K, different scale: not the same sweep.
+    const TempFile s0("mix0"), s1("mix1"), out("mix_out");
+    writeShardJournal(s0.path(), {"fig3", 0.05, 2, 0});
+    writeShardJournal(s1.path(), {"fig3", 0.30, 2, 1});
+    const auto merged =
+        runner::Journal::mergeShards({s0.path(), s1.path()}, out.path());
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().code, util::ErrorCode::InvalidArgument);
+
+    // Different figure, same scale: also not the same sweep.
+    const TempFile f0("fig0"), f1("fig1"), out2("fig_out");
+    writeShardJournal(f0.path(), {"fig3", 0.05, 2, 0});
+    writeShardJournal(f1.path(), {"fig4", 0.05, 2, 1});
+    const auto merged2 =
+        runner::Journal::mergeShards({f0.path(), f1.path()}, out2.path());
+    ASSERT_FALSE(merged2.ok());
+    EXPECT_EQ(merged2.error().code, util::ErrorCode::InvalidArgument);
+}
+
+TEST(MergeShards, RejectsJournalWithoutMetadata)
+{
+    const TempFile s0("plain0"), out("plain_out");
+    {
+        runner::Journal journal(s0.path()); // unsharded: no meta line
+    }
+    const auto merged =
+        runner::Journal::mergeShards({s0.path()}, out.path());
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().code, util::ErrorCode::CorruptData);
+}
+
+TEST(MergeShards, RejectsEmptyInput)
+{
+    const TempFile out("empty_out");
+    const auto merged = runner::Journal::mergeShards({}, out.path());
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().code, util::ErrorCode::InvalidArgument);
+}
+
+/** The end-to-end invariant: a 3-way sharded fig3 run, merged, renders
+ *  byte-identically to the unsharded serial run — and the merged
+ *  re-render replays everything from the journal (zero simulations). */
+TEST(Sharding, Fig3ThreeWayMergeMatchesSerialByteForByte)
+{
+    service::FigureOptions serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.scale = kScale;
+    const auto serial = service::renderFigure("fig3", serial_opts);
+    ASSERT_TRUE(serial.ok()) << serial.error().describe();
+
+    const TempFile s0("e2e0"), s1("e2e1"), s2("e2e2"), merged_j("e2e_m");
+    const std::vector<const TempFile*> shards = {&s0, &s1, &s2};
+    std::uint64_t sharded_sim_calls = 0;
+    for (int i = 0; i < 3; ++i) {
+        service::FigureOptions opts;
+        opts.jobs = 2;
+        opts.scale = kScale;
+        opts.journal_path = shards[static_cast<std::size_t>(i)]->path();
+        opts.shards = 3;
+        opts.shard_index = i;
+        const auto run = service::renderFigure("fig3", opts);
+        ASSERT_TRUE(run.ok()) << run.error().describe();
+        // A shard renders its own rows and dashes for the rest, so its
+        // output must differ from the full table.
+        EXPECT_NE(run.value().output, serial.value().output);
+        EXPECT_GT(run.value().report.out_of_shard, 0u) << "shard " << i;
+        sharded_sim_calls += run.value().report.sim_calls;
+    }
+    // The only repeated work across shards is the shared n = 1
+    // baselines, so the total sharded simulation count stays close to
+    // the serial count (well under 3x).
+    EXPECT_GE(sharded_sim_calls, serial.value().report.sim_calls);
+    EXPECT_LT(sharded_sim_calls, 2 * serial.value().report.sim_calls);
+
+    const auto stats = runner::Journal::mergeShards(
+        {s0.path(), s1.path(), s2.path()}, merged_j.path());
+    ASSERT_TRUE(stats.ok()) << stats.error().describe();
+    EXPECT_EQ(stats.value().shards, 3u);
+    EXPECT_EQ(stats.value().label, "fig3");
+    EXPECT_GT(stats.value().entries, 0u);
+    EXPECT_EQ(stats.value().corrupt, 0u);
+
+    service::FigureOptions merged_opts;
+    merged_opts.jobs = 1;
+    merged_opts.scale = kScale;
+    merged_opts.journal_path = merged_j.path();
+    merged_opts.resume = true;
+    const auto merged = service::renderFigure("fig3", merged_opts);
+    ASSERT_TRUE(merged.ok()) << merged.error().describe();
+    EXPECT_EQ(merged.value().output, serial.value().output);
+    EXPECT_EQ(merged.value().report.sim_calls, 0u)
+        << "merged journal should replay every point";
+    EXPECT_EQ(merged.value().report.replayed, stats.value().entries);
+}
+
+/** The merged journal is canonical: merging the same shards in a
+ *  different argument order writes byte-identical files. */
+TEST(Sharding, MergedJournalIsOrderIndependent)
+{
+    const TempFile s0("ord0"), s1("ord1"), s2("ord2");
+    const TempFile out_a("ord_a"), out_b("ord_b");
+    for (int i = 0; i < 3; ++i) {
+        service::FigureOptions opts;
+        opts.jobs = 2;
+        opts.scale = kScale;
+        const TempFile* files[] = {&s0, &s1, &s2};
+        opts.journal_path = files[i]->path();
+        opts.shards = 3;
+        opts.shard_index = i;
+        const auto run = service::renderFigure("fig3", opts);
+        ASSERT_TRUE(run.ok()) << run.error().describe();
+    }
+    ASSERT_TRUE(runner::Journal::mergeShards(
+                    {s0.path(), s1.path(), s2.path()}, out_a.path())
+                    .ok());
+    ASSERT_TRUE(runner::Journal::mergeShards(
+                    {s2.path(), s0.path(), s1.path()}, out_b.path())
+                    .ok());
+    std::ifstream a(out_a.path()), b(out_b.path());
+    const std::string text_a((std::istreambuf_iterator<char>(a)),
+                             std::istreambuf_iterator<char>());
+    const std::string text_b((std::istreambuf_iterator<char>(b)),
+                             std::istreambuf_iterator<char>());
+    ASSERT_FALSE(text_a.empty());
+    EXPECT_EQ(text_a, text_b);
+}
+
+} // namespace

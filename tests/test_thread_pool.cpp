@@ -1,12 +1,17 @@
 /**
  * @file
  * util::ThreadPool unit tests: futures carry results and exceptions,
- * destruction drains the queue, parallelFor covers its range, and the
- * worker-index / default-jobs helpers behave.
+ * destruction drains the queue, parallelFor covers its range, the
+ * worker-index / default-jobs helpers behave, the work-stealing
+ * scheduler's counters are sane, results are identical at any worker
+ * count and with affinity pinning on or off, and the cgroup quota
+ * parsers handle the real /sys/fs/cgroup formats.
  */
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -111,6 +116,211 @@ TEST(ThreadPool, SizeClampedToAtLeastOne)
 TEST(ThreadPool, DefaultJobsIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+// A deterministic per-index computation heavy enough that workers go
+// idle at different times and steal from each other.
+double
+indexWork(std::size_t i)
+{
+    double x = static_cast<double>(i) + 1.0;
+    for (int k = 0; k < 2000; ++k)
+        x = x * 1.0000001 + static_cast<double>(k % 7);
+    return x;
+}
+
+std::vector<double>
+runWorkload(unsigned workers, std::size_t count)
+{
+    ThreadPool pool(workers);
+    std::vector<double> out(count, 0.0);
+    pool.parallelFor(0, count,
+                     [&out](std::size_t i) { out[i] = indexWork(i); });
+    return out;
+}
+
+TEST(ThreadPool, ResultsIdenticalAtAnyWorkerCount)
+{
+    // The sweep engine's sacred invariant in miniature: results are
+    // assembled by index, so the bytes cannot depend on which worker
+    // ran which chunk. Compare jobs = 1 (serial reference) against
+    // 2 and 8.
+    constexpr std::size_t kN = 512;
+    const std::vector<double> serial = runWorkload(1, kN);
+    for (unsigned workers : {2u, 8u}) {
+        const std::vector<double> parallel = runWorkload(workers, kN);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < kN; ++i)
+            ASSERT_EQ(parallel[i], serial[i])
+                << "index " << i << " at " << workers << " workers";
+    }
+}
+
+TEST(ThreadPool, StatsCountersAreSane)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 256;
+    std::vector<std::future<double>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        futures.push_back(pool.submit(
+            [i] { return indexWork(static_cast<std::size_t>(i)); }));
+    for (auto& f : futures)
+        f.get();
+
+    // A worker fulfills the future inside the task and bumps `executed`
+    // just after, so the counter can trail a get() by an instant; give
+    // it a moment to settle before asserting exact totals.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (pool.stats().executed < static_cast<std::uint64_t>(kTasks) &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+
+    const ThreadPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(stats.executed, static_cast<std::uint64_t>(kTasks));
+    EXPECT_LE(stats.steals, stats.executed);
+
+    // The per-worker split must add back up to the total.
+    std::uint64_t per_worker = 0;
+    for (unsigned w = 0; w < pool.size(); ++w)
+        per_worker += pool.workerExecuted(w);
+    EXPECT_EQ(per_worker, stats.executed);
+}
+
+TEST(ThreadPool, AffinityPinningPreservesResults)
+{
+    // TLPPM_AFFINITY is read at construction; pinning (where the
+    // platform supports it) must be invisible in the computed bytes.
+    constexpr std::size_t kN = 256;
+    const std::vector<double> unpinned = runWorkload(4, kN);
+
+    ASSERT_EQ(setenv("TLPPM_AFFINITY", "1", 1), 0);
+    std::vector<double> pinned;
+    std::uint64_t workers_pinned = 0;
+    {
+        ThreadPool pool(4);
+        pinned.assign(kN, 0.0);
+        pool.parallelFor(0, kN, [&pinned](std::size_t i) {
+            pinned[i] = indexWork(i);
+        });
+        workers_pinned = pool.stats().workers_pinned;
+    }
+    ASSERT_EQ(unsetenv("TLPPM_AFFINITY"), 0);
+
+    EXPECT_LE(workers_pinned, 4u);
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(pinned[i], unpinned[i]) << "index " << i;
+}
+
+TEST(ThreadPool, AffinityOffByDefault)
+{
+    ASSERT_EQ(unsetenv("TLPPM_AFFINITY"), 0);
+    ThreadPool pool(2);
+    pool.parallelFor(0, 8, [](std::size_t) {});
+    EXPECT_EQ(pool.stats().workers_pinned, 0u);
+}
+
+TEST(ThreadPool, DestructorDrainsWhileTasksThrow)
+{
+    // A mix of throwing and counting tasks with all futures dropped:
+    // the destructor must still run every task, and the stored
+    // exceptions must not take the pool down.
+    std::atomic<int> done{0};
+    constexpr int kTasks = 96;
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < kTasks; ++i) {
+            pool.submit([&done, i]() -> int {
+                done.fetch_add(1);
+                if (i % 3 == 0)
+                    throw std::runtime_error("dropped-future throw");
+                return i;
+            });
+        }
+    }
+    EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, ParallelForRunsAllIndicesDespiteThrows)
+{
+    // Every index is attempted even when some throw, and the smallest
+    // failing index wins the rethrow.
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 64;
+    std::vector<std::atomic<int>> hits(kN);
+    try {
+        pool.parallelFor(0, kN, [&hits](std::size_t i) {
+            hits[i].fetch_add(1);
+            if (i == 9 || i == 41)
+                throw std::out_of_range("index " + std::to_string(i));
+        });
+        FAIL() << "expected parallelFor to rethrow";
+    } catch (const std::out_of_range& error) {
+        EXPECT_STREQ(error.what(), "index 9");
+    }
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NestedSubmitStress)
+{
+    // Worker-local nested submission under contention: each outer task
+    // fans out children from inside the pool (they land on the
+    // submitting worker's own deque and are stolen from there). Run
+    // under TSan this doubles as the data-race stress for the
+    // stealing path.
+    ThreadPool pool(4);
+    std::atomic<int> children_done{0};
+    constexpr int kOuter = 32;
+    constexpr int kInner = 8;
+    std::vector<std::future<void>> outer;
+    outer.reserve(kOuter);
+    for (int i = 0; i < kOuter; ++i) {
+        outer.push_back(pool.submit([&pool, &children_done] {
+            std::vector<std::future<int>> inner;
+            inner.reserve(kInner);
+            for (int j = 0; j < kInner; ++j)
+                inner.push_back(pool.submit([&children_done, j] {
+                    children_done.fetch_add(1);
+                    return j;
+                }));
+            // Do not block on the children here: a worker waiting on
+            // work only other workers can run is the classic pool
+            // deadlock. The outer future only covers the spawning.
+        }));
+    }
+    for (auto& f : outer)
+        f.get();
+    // Destruction drains whatever children are still queued.
+    const ThreadPool::Stats before = pool.stats();
+    EXPECT_EQ(before.submitted,
+              static_cast<std::uint64_t>(kOuter + kOuter * kInner));
+}
+
+TEST(ThreadPool, ParseCgroupCpuMax)
+{
+    // "<quota> <period>" in microseconds; "max" = unlimited; rounded up.
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("200000 100000"), 2u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("200000 100000\n"), 2u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("150000 100000"), 2u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("50000 100000"), 1u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("max 100000"), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax(""), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("garbage"), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("100000"), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupCpuMax("100000 0"), 0u);
+}
+
+TEST(ThreadPool, ParseCgroupV1Quota)
+{
+    EXPECT_EQ(ThreadPool::parseCgroupV1Quota("200000", "100000"), 2u);
+    EXPECT_EQ(ThreadPool::parseCgroupV1Quota("150000\n", "100000\n"), 2u);
+    EXPECT_EQ(ThreadPool::parseCgroupV1Quota("-1", "100000"), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupV1Quota("", ""), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupV1Quota("abc", "100000"), 0u);
+    EXPECT_EQ(ThreadPool::parseCgroupV1Quota("100000", "0"), 0u);
 }
 
 } // namespace
