@@ -6,6 +6,13 @@
  * identical field by field, and emits one machine-readable JSON line so
  * CI and scripts can track the speedup.
  *
+ * With --raw-store DIR (or TLPPM_RAW_STORE) it additionally measures the
+ * persistent-store cold-vs-warm split: one pass populating the store
+ * from scratch, then one pass priced entirely from it. The JSON line
+ * gains the two wall clocks, the warm pass's hit rate and simulation
+ * count (0 when the store works), and the store load time. Point the
+ * flag at a fresh directory for an honest cold number.
+ *
  * Defaults to a small problem scale (0.08) so a run takes seconds;
  * override with TLPPM_SCALE.
  */
@@ -59,6 +66,21 @@ sameRows(const std::vector<std::vector<runner::Scenario1Row>>& a,
     return true;
 }
 
+/** Tolerant scan for --raw-store DIR; falls back to TLPPM_RAW_STORE. */
+std::string
+rawStoreFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--raw-store" && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind("--raw-store=", 0) == 0)
+            return arg.substr(12);
+    }
+    const char* env = std::getenv("TLPPM_RAW_STORE");
+    return env != nullptr ? env : "";
+}
+
 } // namespace
 
 int
@@ -102,6 +124,36 @@ main(int argc, char** argv)
     const double parallel_s = seconds_since(t_par);
 
     const bool identical = sameRows(serial_rows, parallel_rows);
+
+    // Optional persistent-store cold-vs-warm split: populate the store
+    // in one pass, then price the identical sweep from it in a second.
+    const std::string raw_store = rawStoreFromArgs(argc, argv);
+    const bool store_mode = !raw_store.empty();
+    double store_cold_s = 0.0;
+    double store_warm_s = 0.0;
+    bool store_warm_identical = true;
+    runner::SweepReport warm_rep;
+    if (store_mode) {
+        std::cerr << "[sweep_throughput] cold store pass into '"
+                  << raw_store << "'...\n";
+        runner::SweepRunner::Options store_opts;
+        store_opts.jobs = jobs;
+        store_opts.scale = scale;
+        store_opts.raw_store = raw_store;
+        {
+            runner::SweepRunner cold(store_opts);
+            const auto t_cold = clock::now();
+            cold.scenario1Sweep(apps, ns);
+            store_cold_s = seconds_since(t_cold);
+        }
+        std::cerr << "[sweep_throughput] warm store pass...\n";
+        runner::SweepRunner warm(store_opts);
+        const auto t_warm = clock::now();
+        const auto warm_rows = warm.scenario1Sweep(apps, ns);
+        store_warm_s = seconds_since(t_warm);
+        warm_rep = warm.lastReport();
+        store_warm_identical = sameRows(serial_rows, warm_rows);
+    }
 
     // Event-queue pressure of one representative simulation, for tracking
     // the heap-reservation hot path.
@@ -176,11 +228,34 @@ main(int argc, char** argv)
               << ",\"parallel_worker_imbalance\":" << worker_imbalance
               << ",\"parallel_sched_expensive\":" << par_rep.sched_expensive
               << ",\"parallel_sched_cheap\":" << par_rep.sched_cheap
+              << ",\"store_attached\":" << (store_mode ? 1 : 0)
+              << ",\"store_cold_s\":" << store_cold_s
+              << ",\"store_warm_s\":" << store_warm_s
+              << ",\"store_warm_speedup\":"
+              << (store_warm_s > 0.0 ? store_cold_s / store_warm_s : 0.0)
+              << ",\"store_warm_sim_calls\":" << warm_rep.sim_calls
+              << ",\"store_warm_hits\":" << warm_rep.store_hits
+              << ",\"store_warm_misses\":" << warm_rep.store_misses
+              << ",\"store_warm_hit_rate\":"
+              << (warm_rep.store_hits + warm_rep.store_misses > 0
+                      ? static_cast<double>(warm_rep.store_hits) /
+                          static_cast<double>(warm_rep.store_hits +
+                                              warm_rep.store_misses)
+                      : 0.0)
+              << ",\"store_warm_loaded\":" << warm_rep.store_loaded
+              << ",\"store_load_micros\":" << warm_rep.store_load_micros
+              << ",\"store_warm_identical\":"
+              << (store_warm_identical ? "true" : "false")
               << ",\"queue_high_water\":" << high_water << "}\n";
 
     if (!identical) {
         std::cerr << "[sweep_throughput] FAIL: parallel rows differ from "
                      "serial rows\n";
+        return 1;
+    }
+    if (!store_warm_identical) {
+        std::cerr << "[sweep_throughput] FAIL: warm-store rows differ "
+                     "from serial rows\n";
         return 1;
     }
     return 0;

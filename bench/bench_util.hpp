@@ -89,6 +89,7 @@ struct SweepCliOptions
     bool progress = false;      ///< --progress (heartbeat to stderr)
     int shards = 1;             ///< --shards K (1: unsharded)
     int shard_index = 0;        ///< --shard-index I in [0, K)
+    std::string raw_store;      ///< --raw-store DIR (empty: off)
 };
 
 /**
@@ -126,7 +127,7 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
         static const std::set<std::string> kValueFlags = {
             "--jobs",    "--journal", "--point-timeout",
             "--trace",   "--metrics", "--shards",
-            "--shard-index"};
+            "--shard-index", "--raw-store"};
         static const std::set<std::string> kBoolFlags = {
             "--resume", "--cache-stats", "--progress"};
         static const std::set<std::string> kSimOnly = {
@@ -140,7 +141,7 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
                              "--resume, --point-timeout SECONDS, "
                              "--cache-stats, --trace PATH, "
                              "--metrics PATH, --progress, --shards K, "
-                             "--shard-index I)"};
+                             "--shard-index I, --raw-store DIR)"};
         }
         if (!seen.insert(name).second) {
             return Error{ErrorCode::ParseError,
@@ -199,6 +200,12 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
             if (!idx)
                 return idx.error();
             options.shard_index = static_cast<int>(idx.value());
+        } else if (name == "--raw-store") {
+            if (value.empty()) {
+                return Error{ErrorCode::ParseError,
+                             "--raw-store needs a directory"};
+            }
+            options.raw_store = value;
         }
     }
     if (options.resume && options.journal.empty()) {
@@ -274,6 +281,17 @@ metricsPath(const SweepCliOptions& cli)
     return env != nullptr ? env : "";
 }
 
+/** The persistent raw-run store directory: --raw-store DIR wins, else
+ *  the TLPPM_RAW_STORE environment variable; empty means off. */
+inline std::string
+rawStorePath(const SweepCliOptions& cli)
+{
+    if (!cli.raw_store.empty())
+        return cli.raw_store;
+    const char* env = std::getenv("TLPPM_RAW_STORE");
+    return env != nullptr ? env : "";
+}
+
 /** Write @p json to the --metrics / TLPPM_METRICS path (no-op when
  *  neither names one). A write failure is fatal — CI consumes this. */
 inline void
@@ -307,7 +325,9 @@ cacheStatsFromArgs(int argc, char** argv)
 /**
  * One-line two-level cache accounting of a sweep, printed to stderr when
  * --cache-stats is set: simulations and pricing passes actually executed,
- * and the hit/miss split of both cache levels.
+ * and the hit/miss split of both cache levels. With a persistent raw-run
+ * store attached (--raw-store / TLPPM_RAW_STORE) a second line itemizes
+ * the store's hit/miss/append flow and its load-time accounting.
  */
 inline void
 printCacheStats(const tlp::runner::SweepReport& report, const char* tag)
@@ -326,6 +346,17 @@ printCacheStats(const tlp::runner::SweepReport& report, const char* tag)
               << " pool_tasks=" << report.pool_tasks
               << " steals=" << report.pool_steals
               << " pinned=" << report.pool_workers_pinned << "\n";
+    if (report.store_attached) {
+        std::cerr << "  [" << tag << "] store-stats: store_hits="
+                  << report.store_hits
+                  << " store_misses=" << report.store_misses
+                  << " store_appends=" << report.store_appends
+                  << " store_loaded=" << report.store_loaded
+                  << " store_quarantined=" << report.store_quarantined
+                  << " store_fp_rejected=" << report.store_fp_rejected
+                  << " store_load_micros=" << report.store_load_micros
+                  << "\n";
+    }
 }
 
 /**

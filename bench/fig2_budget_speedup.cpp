@@ -23,6 +23,9 @@ main(int argc, char** argv)
     tlp::service::FigureOptions options;
     options.jobs = cli.jobs;
     options.cache_stats = cli.cache_stats;
+    // Accepted for CLI uniformity; the analytic figure runs no sweep,
+    // so the store is never opened.
+    options.raw_store = tlppm_bench::rawStorePath(cli);
     const auto run = tlp::service::renderFigure("fig2", options);
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);

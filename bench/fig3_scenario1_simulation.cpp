@@ -22,6 +22,11 @@
  * --journal; run the K shards on separate processes/hosts and reassemble
  * the full tables byte-identically with tlppm_merge.
  *
+ * Memoization: --raw-store DIR (or TLPPM_RAW_STORE) attaches a
+ * persistent cross-process raw-run store — a warm rerun prices the
+ * whole figure without a single simulation (sim_calls=0) and emits
+ * byte-identical tables. Safe to share across shards and job counts.
+ *
  * The rendering itself lives in service::renderFigure ("fig3") — the
  * sweep service serves the identical tables from the same code path.
  */
@@ -29,6 +34,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "runner/fault_injection.hpp"
 #include "service/figures.hpp"
 
 int
@@ -37,6 +43,7 @@ main(int argc, char** argv)
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv);
     tlppm_bench::setupTrace(cli);
+    tlp::runner::StoreFaultInjector::instance().installFromEnv();
     tlp::service::FigureOptions options;
     options.jobs = cli.jobs;
     options.scale = tlppm_bench::workloadScale();
@@ -47,6 +54,7 @@ main(int argc, char** argv)
     options.cache_stats = cli.cache_stats;
     options.shards = cli.shards;
     options.shard_index = cli.shard_index;
+    options.raw_store = tlppm_bench::rawStorePath(cli);
     const auto run = tlp::service::renderFigure("fig3", options);
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);

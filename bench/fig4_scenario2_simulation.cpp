@@ -14,6 +14,8 @@
  * stderr, and shown as "FAILED" rows; the sweep still completes.
  * Scale-out (as in fig3): --shards K --shard-index I plus tlppm_merge
  * reassembles the full tables byte-identically.
+ * Memoization (as in fig3): --raw-store DIR / TLPPM_RAW_STORE attaches
+ * the persistent raw-run store; a warm rerun reports sim_calls=0.
  *
  * The rendering itself lives in service::renderFigure ("fig4") — the
  * sweep service serves the identical tables from the same code path.
@@ -22,6 +24,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "runner/fault_injection.hpp"
 #include "service/figures.hpp"
 
 int
@@ -30,6 +33,7 @@ main(int argc, char** argv)
     const tlppm_bench::SweepCliOptions cli =
         tlppm_bench::parseSweepCli(argc, argv);
     tlppm_bench::setupTrace(cli);
+    tlp::runner::StoreFaultInjector::instance().installFromEnv();
     tlp::service::FigureOptions options;
     options.jobs = cli.jobs;
     options.scale = tlppm_bench::workloadScale();
@@ -40,6 +44,7 @@ main(int argc, char** argv)
     options.cache_stats = cli.cache_stats;
     options.shards = cli.shards;
     options.shard_index = cli.shard_index;
+    options.raw_store = tlppm_bench::rawStorePath(cli);
     const auto run = tlp::service::renderFigure("fig4", options);
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);

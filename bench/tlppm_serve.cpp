@@ -47,7 +47,8 @@ usage(const std::string& what)
               << "  [--poll-period S] [--max-queue N] [--max-points N]\n"
               << "  [--deadline S] [--point-timeout S] [--max-retries N]\n"
               << "  [--backoff S] [--flush-every N] [--metrics PATH]\n"
-              << "  [--compact] [--cache-stats] [--progress]\n";
+              << "  [--raw-store DIR] [--compact] [--cache-stats]\n"
+              << "  [--progress]\n";
     std::exit(2);
 }
 
@@ -90,6 +91,8 @@ parseCli(int argc, char** argv)
             cli.store = value();
         else if (name == "--metrics")
             cli.metrics = value();
+        else if (name == "--raw-store")
+            cli.service.raw_store = value();
         else if (name == "--once")
             cli.once = true;
         else if (name == "--compact")
@@ -126,6 +129,11 @@ parseCli(int argc, char** argv)
         usage("--store DIR is required");
     if (cli.metrics.empty())
         cli.metrics = cli.store + "/service_metrics.json";
+    if (cli.service.raw_store.empty()) {
+        const char* env = std::getenv("TLPPM_RAW_STORE");
+        if (env != nullptr)
+            cli.service.raw_store = env;
+    }
     return cli;
 }
 
@@ -174,6 +182,13 @@ main(int argc, char** argv)
             // the half-published state for the next open() to recover.
             std::cerr << "tlppm_serve: " << kill.what() << "\n";
             return 70;
+        }
+        // Maintenance extends to the raw-run store: remove orphaned
+        // generations and *.tmp.* droppings left by killed writers.
+        if (const std::size_t swept = service.sweepRawStore(); swept > 0) {
+            std::cerr << "tlppm_serve: raw store '"
+                      << cli.service.raw_store << "': swept " << swept
+                      << " orphaned file(s)\n";
         }
     }
 

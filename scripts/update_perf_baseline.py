@@ -45,6 +45,17 @@ SERVICE_KEYS = {
     "store_quarantined": "max_quarantined_records",
 }
 
+# Raw-run store ceilings: measured from bench_sweep_throughput's
+# cold/warm split against a scratch store (the bench runs its sweep
+# once populating the store, then once priced from it). Both are exact
+# invariants -- a warm pass that still simulates, or that misses the
+# store, means the persistent memoization layer stopped covering the
+# sweep's key set.
+RAW_STORE_KEYS = {
+    "store_warm_sim_calls": "max_warm_sim_calls",
+    "store_warm_misses": "max_warm_store_misses",
+}
+
 
 def measure_service_repeat(build_dir):
     """Serve the same fig1 request twice against a scratch store and
@@ -97,8 +108,14 @@ def main():
 
     env = dict(os.environ, TLPPM_SCALE=str(baseline["scale"]))
     print(f"running {bench} at TLPPM_SCALE={baseline['scale']} ...")
-    out = subprocess.run([bench], env=env, check=True,
-                         capture_output=True, text=True).stdout
+    scratch_store = tempfile.mkdtemp(prefix="tlppm_baseline_rawstore_")
+    try:
+        out = subprocess.run(
+            [bench, "--raw-store",
+             os.path.join(scratch_store, "rawstore")],
+            env=env, check=True, capture_output=True, text=True).stdout
+    finally:
+        shutil.rmtree(scratch_store, ignore_errors=True)
     result = json.loads(out.strip().splitlines()[-1])
 
     changed = False
@@ -128,6 +145,28 @@ def main():
             print("  WARNING: measured imbalance exceeds the committed "
                   "ceiling -- the pool is not spreading work; fix the "
                   "scheduler instead of raising the ceiling")
+
+    # Warm raw-store pass: the same exact-invariant treatment as the
+    # service ceilings. store_warm_identical is a hard sanity check --
+    # a warm pass with different rows is a correctness bug, never a
+    # baseline to record.
+    if not result.get("store_warm_identical", False):
+        sys.exit("error: warm raw-store rows differ from the serial "
+                 "reference; fix the store before updating ceilings")
+    for metric, ceiling_key in RAW_STORE_KEYS.items():
+        if metric not in result:
+            sys.exit(f"error: bench output lacks '{metric}'")
+        old = baseline.get(ceiling_key)
+        new = result[metric]
+        marker = "" if old == new else f"  (was {old})"
+        print(f"  {ceiling_key} = {new}{marker}")
+        if new != 0:
+            print(f"  WARNING: {ceiling_key} is an exact invariant; a "
+                  f"nonzero measurement means the warm path regressed "
+                  f"-- fix that instead of committing this")
+        if old != new:
+            baseline[ceiling_key] = new
+            changed = True
 
     print("measuring service repeat-request ceilings ...")
     service_metrics = measure_service_repeat(args.build_dir)

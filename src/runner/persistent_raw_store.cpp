@@ -1,0 +1,597 @@
+#include "runner/persistent_raw_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "runner/fault_injection.hpp"
+#include "sim/run_result_io.hpp"
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "util/sealed_json.hpp"
+#include "util/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlp::runner {
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kLockName = "LOCK";
+constexpr std::string_view kRunsPrefix = "runs.g";
+constexpr std::string_view kRunsSuffix = ".jsonl";
+
+void
+appendDouble(std::string& out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+/** Generation number of a `runs.g<G>.jsonl` name, or nullopt. */
+std::optional<std::uint64_t>
+runsGeneration(const std::string& name)
+{
+    if (name.rfind(kRunsPrefix, 0) != 0)
+        return std::nullopt;
+    if (name.size() <= kRunsPrefix.size() + kRunsSuffix.size())
+        return std::nullopt;
+    if (name.compare(name.size() - kRunsSuffix.size(), kRunsSuffix.size(),
+                     kRunsSuffix) != 0)
+        return std::nullopt;
+    const std::string digits =
+        name.substr(kRunsPrefix.size(),
+                    name.size() - kRunsPrefix.size() - kRunsSuffix.size());
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long g = std::strtoull(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(g);
+}
+
+std::string
+runsName(std::uint64_t generation)
+{
+    return util::strcatMsg(std::string(kRunsPrefix), generation,
+                           std::string(kRunsSuffix));
+}
+
+/** One sealed record line (no trailing newline). */
+std::string
+formatRecord(std::uint32_t fingerprint, const RawRunKey& key,
+             const sim::RunResult& run)
+{
+    std::string body = "{\"tlppm_run\":1,\"fp\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%" PRIu32, fingerprint);
+    body += buf;
+    body += ",\"w\":\"";
+    body += key.workload;
+    body += "\",\"n\":";
+    std::snprintf(buf, sizeof(buf), "%d", key.n);
+    body += buf;
+    body += ",\"s\":";
+    appendDouble(body, key.scale);
+    body += ",\"f\":";
+    appendDouble(body, key.freq_hz);
+    body += ",\"run\":";
+    body += sim::formatRunResult(run);
+    return util::sealJsonLine(std::move(body));
+}
+
+/** Parse one record line (already CRC-checked) into key + run. */
+bool
+parseRecord(const std::string& line, std::uint32_t& fingerprint,
+            RawRunKey& key, sim::RunResult& run)
+{
+    std::uint64_t fp = 0, n = 0;
+    if (!util::jsonFieldU64(line, "fp", fp) || fp > 0xFFFFFFFFull ||
+        !util::jsonFieldString(line, "w", key.workload) ||
+        !util::jsonFieldU64(line, "n", n) ||
+        !util::jsonFieldDouble(line, "s", key.scale) ||
+        !util::jsonFieldDouble(line, "f", key.freq_hz))
+        return false;
+    fingerprint = static_cast<std::uint32_t>(fp);
+    key.n = static_cast<int>(n);
+    const std::size_t run_pos = line.find(",\"run\":");
+    const std::size_t crc_pos = line.rfind(",\"crc\":");
+    if (run_pos == std::string::npos || crc_pos == std::string::npos ||
+        crc_pos <= run_pos)
+        return false;
+    const std::size_t start = run_pos + std::strlen(",\"run\":");
+    auto parsed = sim::parseRunResult(line.substr(start, crc_pos - start));
+    if (!parsed)
+        return false;
+    run = std::move(parsed.value());
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+modelFingerprint(const sim::CmpConfig& config, const tech::Technology& tech)
+{
+    std::string canon = "tlppm-model-v1|cmp:";
+    const auto u = [&canon](std::uint64_t v) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "|", v);
+        canon += buf;
+    };
+    const auto d = [&canon](double v) {
+        appendDouble(canon, v);
+        canon += '|';
+    };
+    u(static_cast<std::uint64_t>(config.n_cores));
+    d(config.ipc_int);
+    d(config.ipc_fp);
+    u(config.store_buffer_entries);
+    u(config.l1_size_bytes);
+    u(config.l1_line_bytes);
+    u(config.l1_assoc);
+    u(config.l1_hit_cycles);
+    u(config.l2_size_bytes);
+    u(config.l2_line_bytes);
+    u(config.l2_assoc);
+    u(config.l2_rt_cycles);
+    u(config.bus_occupancy_data);
+    u(config.bus_occupancy_ctrl);
+    u(config.c2c_rt_cycles);
+    u(config.upgrade_rt_cycles);
+    d(config.memory_rt_ns);
+    u(config.barrier_release_cycles);
+    u(config.lock_acquire_cycles);
+    u(config.lock_handoff_cycles);
+    d(config.f_nominal_hz);
+    u(config.scale_memory_with_chip ? 1 : 0);
+    canon += "tech:";
+    const tech::Technology::Params& p = tech.params();
+    canon += p.name;
+    canon += '|';
+    d(p.feature_nm);
+    d(p.vdd_nominal);
+    d(p.vth);
+    d(p.v_min);
+    d(p.f_nominal);
+    d(p.alpha);
+    d(p.core_power_hot);
+    d(p.static_fraction_hot);
+    d(p.t_hot_c);
+    d(p.core_area_m2);
+    d(p.leakage_reference.vth);
+    d(p.leakage_reference.v_nominal);
+    d(p.leakage_reference.subthreshold_swing_n);
+    d(p.leakage_reference.dibl_eta);
+    d(p.leakage_reference.vth_tc);
+    d(p.leakage_reference.gate_b);
+    d(p.leakage_reference.gate_fraction_nominal);
+    canon += "workloads:";
+    for (const workloads::WorkloadInfo& info : workloads::suite()) {
+        canon += info.name;
+        canon += '|';
+    }
+    return util::crc32(canon);
+}
+
+util::Expected<std::unique_ptr<PersistentRawStore>>
+PersistentRawStore::open(const std::string& dir, std::uint32_t fingerprint,
+                         util::FileLock::Mode mode)
+{
+    TLPPM_TRACE_SCOPE("runner", "raw-store-open:", dir);
+    std::unique_ptr<PersistentRawStore> store(new PersistentRawStore());
+    store->dir_ = dir;
+    store->fingerprint_ = fingerprint;
+    store->mode_ = mode;
+
+    if (auto made = util::ensureDir(dir); !made)
+        return made.error().withContext("PersistentRawStore::open");
+
+    // Always bid for the exclusive lock first: holding it proves no
+    // other process is mid-write, which is what makes the
+    // crash-leftover GC below safe — a concurrent opener's in-flight
+    // MANIFEST.tmp must never be swept as a "stray". A shared opener
+    // that loses the bid (another holder is live) skips the GC and
+    // retries the shared acquire briefly (the winner may be holding
+    // the lock exclusively for a few milliseconds of GC before
+    // downgrading).
+    const std::string lock_path = dir + "/" + std::string(kLockName);
+    bool gc_safe = false;
+    if (auto excl = store->lock_.acquire(lock_path,
+                                         util::FileLock::Mode::Exclusive);
+        excl.ok()) {
+        gc_safe = true;
+    } else if (mode == util::FileLock::Mode::Exclusive) {
+        return excl.error().withContext("PersistentRawStore::open");
+    } else {
+        util::Expected<bool> shared = util::Error{};
+        for (int attempt = 0; attempt < 200; ++attempt) {
+            shared = store->lock_.acquire(lock_path, mode);
+            if (shared.ok() ||
+                shared.error().code != util::ErrorCode::Overloaded)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (!shared)
+            return shared.error().withContext("PersistentRawStore::open");
+    }
+
+    if (auto recovered = store->recoverManifest(); !recovered)
+        return recovered.error().withContext("PersistentRawStore::open");
+
+    if (gc_safe) {
+        // Garbage-collect crash leftovers: stray tmp files from
+        // interrupted atomic writes and orphan generations from a kill
+        // inside the compaction window.
+        store->tmp_swept_ = util::sweepTmpFiles(dir);
+        for (const std::string& name : util::listDir(dir)) {
+            const auto g = runsGeneration(name);
+            if (g && *g != store->generation_) {
+                util::removePath(dir + "/" + name);
+                ++store->orphans_swept_;
+            }
+        }
+        if (store->tmp_swept_ > 0 || store->orphans_swept_ > 0) {
+            util::warn(util::strcatMsg(
+                "raw-store: recovered '", dir, "': removed ",
+                store->tmp_swept_, " stray tmp file(s) and ",
+                store->orphans_swept_, " orphan generation file(s)"));
+        }
+        if (mode == util::FileLock::Mode::Shared) {
+            if (auto down = store->lock_.downgradeToShared(); !down) {
+                return down.error().withContext(
+                    "PersistentRawStore::open");
+            }
+        }
+    }
+
+    store->load();
+    util::traceInstant("runner", "raw-store-open: generation ",
+                       store->generation_, ", ", store->index_.size(),
+                       " record(s)");
+    return store;
+}
+
+PersistentRawStore::~PersistentRawStore()
+{
+    if (append_fd_ >= 0)
+        ::close(append_fd_);
+}
+
+std::string
+PersistentRawStore::runsPath() const
+{
+    return dir_ + "/" + runsName(generation_);
+}
+
+util::Expected<bool>
+PersistentRawStore::recoverManifest()
+{
+    const std::string path = dir_ + "/" + std::string(kManifestName);
+    auto content = util::readFileIfExists(path);
+    if (!content)
+        return content.error().withContext("recoverManifest");
+
+    if (content.value().has_value()) {
+        std::string line = *content.value();
+        if (!line.empty() && line.back() == '\n')
+            line.pop_back();
+        std::uint64_t generation = 0;
+        if (util::checkSealedJsonLine(line) &&
+            line.rfind("{\"tlppm_raw_store\":1", 0) == 0 &&
+            util::jsonFieldU64(line, "generation", generation)) {
+            generation_ = generation;
+            return true;
+        }
+        quarantineFile(path, "manifest failed CRC/parse");
+    }
+
+    // Rebuild from the on-disk evidence: the highest generation present
+    // becomes live (replay tolerates a torn tail, so the worst case is
+    // re-simulating records a newer lost manifest had compacted away).
+    std::uint64_t best = 0;
+    for (const std::string& name : util::listDir(dir_)) {
+        if (const auto g = runsGeneration(name))
+            best = std::max(best, *g);
+    }
+    generation_ = best;
+    return writeManifest(best);
+}
+
+util::Expected<bool>
+PersistentRawStore::writeManifest(std::uint64_t generation)
+{
+    const std::string line = util::sealJsonLine(util::strcatMsg(
+        "{\"tlppm_raw_store\":1,\"generation\":", generation));
+    auto written = util::atomicWriteFile(
+        dir_ + "/" + std::string(kManifestName), line + "\n");
+    if (!written)
+        return written.error().withContext("writeManifest");
+    generation_ = generation;
+    return true;
+}
+
+void
+PersistentRawStore::quarantineFile(const std::string& path, const char* why)
+{
+    ++quarantined_;
+    util::traceInstant("runner", "raw-store-quarantined:", path, " (", why,
+                       ")");
+    util::warn(util::strcatMsg("raw-store: quarantining '", path, "': ",
+                               why));
+    if (auto renamed = util::renamePath(path, path + ".quarantined");
+        !renamed) {
+        util::removePath(path);
+    }
+}
+
+void
+PersistentRawStore::load()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto content = util::readFileIfExists(runsPath());
+    if (!content) {
+        util::warn(util::strcatMsg("raw-store: cannot read '", runsPath(),
+                                   "': ", content.error().message,
+                                   "; starting empty"));
+        return;
+    }
+    if (!content.value().has_value())
+        return; // fresh store
+
+    std::string text = std::move(*content.value());
+    // Deterministic read-path fault: flip one byte in the middle of the
+    // last record's payload — inside the CRC-sealed region — exactly
+    // the bit-rot the per-line CRC must catch.
+    if (StoreFaultInjector::instance().shouldFault(
+            StoreFaultKind::CorruptRead, "raw-load") &&
+        text.size() >= 2) {
+        std::size_t line_start = text.rfind('\n', text.size() - 2);
+        line_start = line_start == std::string::npos ? 0 : line_start + 1;
+        const std::size_t mid = line_start + (text.size() - line_start) / 2;
+        text[mid] = static_cast<char>(text[mid] ^ 0x20);
+    }
+
+    std::size_t pos = 0;
+    std::uint64_t corrupt = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        const bool torn = nl == std::string::npos;
+        if (torn)
+            nl = text.size(); // torn tail: validate what is there
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        if (!util::checkSealedJsonLine(line) ||
+            line.rfind("{\"tlppm_run\":1", 0) != 0) {
+            ++corrupt;
+            continue;
+        }
+        std::uint32_t fp = 0;
+        RawRunKey key;
+        sim::RunResult run;
+        if (!parseRecord(line, fp, key, run)) {
+            ++corrupt;
+            continue;
+        }
+        if (fp != fingerprint_) {
+            ++fingerprint_rejected_;
+            continue;
+        }
+        if (!RawRunCache::admissible(run)) {
+            ++corrupt;
+            continue;
+        }
+        // First record wins: replayed appends from racing writers are
+        // identical (the simulator is deterministic), so any choice is
+        // consistent; first-wins matches the journal's rule.
+        auto stored =
+            std::make_shared<const sim::RunResult>(std::move(run));
+        if (index_.emplace(key, std::move(stored)).second)
+            ++loaded_;
+    }
+    quarantined_ += corrupt;
+    if (corrupt > 0) {
+        util::warn(util::strcatMsg(
+            "raw-store: skipped ", corrupt,
+            " corrupt/torn record(s) in '", runsPath(),
+            "'; the affected keys will recompute (compaction drops the "
+            "bad lines)"));
+    }
+    if (fingerprint_rejected_ > 0) {
+        util::warn(util::strcatMsg(
+            "raw-store: ignored ", fingerprint_rejected_,
+            " record(s) with a stale model fingerprint in '", runsPath(),
+            "'"));
+    }
+    load_micros_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+std::shared_ptr<const sim::RunResult>
+PersistentRawStore::fetch(const RawRunKey& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return it->second;
+}
+
+bool
+PersistentRawStore::contains(const RawRunKey& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.find(key) != index_.end();
+}
+
+bool
+PersistentRawStore::ensureAppendFd()
+{
+    if (append_fd_ >= 0)
+        return true;
+    append_fd_ = ::open(runsPath().c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0664);
+    if (append_fd_ < 0) {
+        util::warn(util::strcatMsg("raw-store: cannot open '", runsPath(),
+                                   "' for append: ",
+                                   std::strerror(errno)));
+        return false;
+    }
+    return true;
+}
+
+void
+PersistentRawStore::append(const RawRunKey& key,
+                           const std::shared_ptr<const sim::RunResult>& run)
+{
+    if (!run || !RawRunCache::admissible(*run))
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!index_.emplace(key, run).second)
+        return; // already stored (loaded or appended earlier)
+    if (!ensureAppendFd())
+        return;
+    std::string line = formatRecord(fingerprint_, key, *run);
+    line += '\n';
+    std::size_t to_write = line.size();
+    // ENOSPC-style fault: the record tears mid-line; the next load
+    // must skip it and recompute the key.
+    if (StoreFaultInjector::instance().shouldFault(
+            StoreFaultKind::ShortWrite, "raw-append"))
+        to_write /= 2;
+    // One whole-line write on an O_APPEND fd: concurrent shard
+    // appenders cannot interleave bytes, and the per-line CRC catches
+    // any tear a crash leaves.
+    const ssize_t wrote = ::write(append_fd_, line.data(), to_write);
+    if (wrote < 0 || static_cast<std::size_t>(wrote) != line.size()) {
+        util::warn(util::strcatMsg(
+            "raw-store: short append to '", runsPath(), "' for ",
+            key.workload, " n=", key.n,
+            "; the torn record will be quarantined on the next load"));
+        return;
+    }
+    ++appends_;
+}
+
+util::Expected<RawCompactionResult>
+PersistentRawStore::compact()
+{
+    TLPPM_TRACE_SCOPE("runner", "raw-store-compact");
+    if (mode_ != util::FileLock::Mode::Exclusive) {
+        return util::Error{
+            util::ErrorCode::InvalidArgument,
+            "raw-store compaction requires the exclusive lock mode"};
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t next = generation_ + 1;
+    std::string body;
+    for (const auto& [key, run] : index_) {
+        body += formatRecord(fingerprint_, key, *run);
+        body += '\n';
+    }
+    const std::string old_path = runsPath();
+    auto written =
+        util::atomicWriteFile(dir_ + "/" + runsName(next), body);
+    if (!written)
+        return written.error().withContext("compact");
+
+    // The publish window the recovery protocol must tolerate: the new
+    // generation exists on disk but the manifest still names the old
+    // one. A kill here leaves an orphan that open() collects.
+    if (StoreFaultInjector::instance().shouldFault(
+            StoreFaultKind::KillCompaction, "raw-compaction-publish")) {
+        throw FaultKillError(
+            "injected kill between raw generation write and manifest "
+            "publish");
+    }
+
+    if (auto flipped = writeManifest(next); !flipped)
+        return flipped.error().withContext("compact");
+    if (append_fd_ >= 0) {
+        ::close(append_fd_);
+        append_fd_ = -1; // reopens against the new generation
+    }
+    util::removePath(old_path);
+    ++compactions_;
+
+    RawCompactionResult result;
+    result.generation = next;
+    result.kept = index_.size();
+    util::traceInstant("runner", "raw-store-compact: generation ", next,
+                       ", kept ", result.kept);
+    return result;
+}
+
+RawStoreStats
+PersistentRawStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RawStoreStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.appends = appends_;
+    s.loaded = loaded_;
+    s.quarantined = quarantined_;
+    s.fingerprint_rejected = fingerprint_rejected_;
+    s.orphans_swept = orphans_swept_;
+    s.tmp_swept = tmp_swept_;
+    s.compactions = compactions_;
+    s.load_micros = load_micros_;
+    return s;
+}
+
+std::size_t
+PersistentRawStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+std::size_t
+sweepRawStoreOrphans(const std::string& dir)
+{
+    if (!util::pathExists(dir))
+        return 0;
+    std::size_t removed = util::sweepTmpFiles(dir);
+    const std::string manifest_path =
+        dir + "/" + std::string(kManifestName);
+    auto content = util::readFileIfExists(manifest_path);
+    std::optional<std::uint64_t> live;
+    if (content && content.value().has_value()) {
+        std::string line = *content.value();
+        if (!line.empty() && line.back() == '\n')
+            line.pop_back();
+        std::uint64_t generation = 0;
+        if (util::checkSealedJsonLine(line) &&
+            line.rfind("{\"tlppm_raw_store\":1", 0) == 0 &&
+            util::jsonFieldU64(line, "generation", generation))
+            live = generation;
+    }
+    if (!live)
+        return removed; // no readable manifest: nothing is provably dead
+    for (const std::string& name : util::listDir(dir)) {
+        const auto g = runsGeneration(name);
+        if (g && *g != *live && util::removePath(dir + "/" + name))
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace tlp::runner

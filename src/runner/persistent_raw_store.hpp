@@ -1,0 +1,183 @@
+/**
+ * @file
+ * PersistentRawStore — a crash-safe, on-disk, cross-process memoization
+ * layer for sim::RunResult, the persistent level below RawRunCache.
+ *
+ * A raw run is a pure function of (workload, n, scale, f) under one
+ * model version, so a result computed by ANY earlier process — a batch
+ * bench, one shard of a sharded sweep, a service daemon — can be
+ * reused by every later one. The store keeps those results as
+ * CRC-sealed JSONL generation files (`runs.g<G>.jsonl`) governed by a
+ * sealed one-line MANIFEST, the same generation/compaction protocol as
+ * service::ResultStore:
+ *
+ *  - every record is one sealed line carrying the quantized key, a
+ *    model-version fingerprint, and the lossless (%.17g)
+ *    serialization of the RunResult (run_result_io);
+ *  - the MANIFEST names the single live generation; it is rewritten
+ *    atomically, so a kill inside the compaction window leaves at
+ *    worst an orphan generation that open() garbage-collects;
+ *  - a corrupt MANIFEST is quarantined and rebuilt from the highest
+ *    generation on disk; a corrupt or torn record is skipped and
+ *    counted (the key recomputes and re-appends), and compaction
+ *    drops it for good;
+ *  - records whose fingerprint does not match the opener's model
+ *    version are invisible (counted as rejected): stale entries can
+ *    never match after a CmpConfig/technology/workload change.
+ *
+ * Concurrency: appenders open the store with a SHARED advisory lock,
+ * so K sweep shards (or a daemon plus a batch bench) can populate one
+ * store concurrently; each append is a single whole-line O_APPEND
+ * write and every line carries its own CRC, so interleaved writers
+ * can at worst tear their own tail. Compaction and other
+ * rewrite-in-place maintenance take the EXCLUSIVE mode and therefore
+ * cannot run while any appender is live.
+ */
+
+#ifndef TLP_RUNNER_PERSISTENT_RAW_STORE_HPP
+#define TLP_RUNNER_PERSISTENT_RAW_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "runner/raw_run_cache.hpp"
+#include "sim/cmp.hpp"
+#include "sim/config.hpp"
+#include "tech/technology.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace tlp::runner {
+
+/**
+ * Model-version fingerprint: CRC32 over a canonical rendering of every
+ * CmpConfig field, the technology's full parameter set, and the
+ * workload-registry identity (suite names in registry order). Any
+ * change to the simulated machine, the process node, or the workload
+ * generators changes the fingerprint, so records written under the old
+ * model can never satisfy a lookup under the new one.
+ */
+std::uint32_t modelFingerprint(const sim::CmpConfig& config,
+                               const tech::Technology& tech);
+
+/** Store counters (lifetime of this open handle). */
+struct RawStoreStats
+{
+    std::uint64_t hits = 0;        ///< fetch() served from the index
+    std::uint64_t misses = 0;      ///< fetch() found nothing
+    std::uint64_t appends = 0;     ///< records written by this handle
+    std::uint64_t loaded = 0;      ///< records adopted at open()
+    std::uint64_t quarantined = 0; ///< corrupt/torn records + files
+    std::uint64_t fingerprint_rejected = 0; ///< stale-model records
+    std::uint64_t orphans_swept = 0; ///< orphan generations removed
+    std::uint64_t tmp_swept = 0;     ///< stray tmp files removed
+    std::uint64_t compactions = 0;
+    std::uint64_t load_micros = 0; ///< wall time of the open() load
+};
+
+/** What compact() accomplished. */
+struct RawCompactionResult
+{
+    std::uint64_t generation = 0; ///< the new live generation
+    std::size_t kept = 0;         ///< records in the new generation
+};
+
+/** The on-disk raw-run memoization store (see the file comment). */
+class PersistentRawStore
+{
+  public:
+    /**
+     * Open (creating if absent) the store at @p dir for the model
+     * version @p fingerprint. Acquires the advisory lock in @p mode
+     * (shared for appenders, exclusive for maintenance), recovers the
+     * manifest, garbage-collects crash leftovers, and loads the live
+     * generation into the in-memory index. Fails typed on lock
+     * conflict (Overloaded when an exclusive holder is live) and on
+     * I/O trouble.
+     */
+    static util::Expected<std::unique_ptr<PersistentRawStore>>
+    open(const std::string& dir, std::uint32_t fingerprint,
+         util::FileLock::Mode mode = util::FileLock::Mode::Shared);
+
+    ~PersistentRawStore();
+
+    PersistentRawStore(const PersistentRawStore&) = delete;
+    PersistentRawStore& operator=(const PersistentRawStore&) = delete;
+
+    /** The stored run for @p key, or nullptr. Counts hit/miss. */
+    std::shared_ptr<const sim::RunResult> fetch(const RawRunKey& key);
+
+    /** True when @p key is stored, without counting (the scheduler's
+     *  cost probe; see RawRunCache::contains). */
+    bool contains(const RawRunKey& key) const;
+
+    /**
+     * Write-behind one admissible run (no-op when the key is already
+     * stored — cross-process duplicates are tolerated by replay, but
+     * one handle never writes a key twice). A failed write warns and
+     * degrades to memory-only; it never fails the sweep.
+     */
+    void append(const RawRunKey& key,
+                const std::shared_ptr<const sim::RunResult>& run);
+
+    /**
+     * Rewrite the live generation from the index in canonical key
+     * order, publish it in the manifest, and remove the old file.
+     * Drops corrupt and stale-fingerprint records for good. Requires
+     * the exclusive mode (InvalidArgument otherwise).
+     */
+    util::Expected<RawCompactionResult> compact();
+
+    RawStoreStats stats() const;
+    std::uint64_t generation() const { return generation_; }
+    std::size_t size() const;
+    const std::string& dir() const { return dir_; }
+    std::uint32_t fingerprint() const { return fingerprint_; }
+
+  private:
+    PersistentRawStore() = default;
+
+    std::string runsPath() const;
+    util::Expected<bool> recoverManifest();
+    util::Expected<bool> writeManifest(std::uint64_t generation);
+    void quarantineFile(const std::string& path, const char* why);
+    void load();
+    bool ensureAppendFd();
+
+    std::string dir_;
+    std::uint32_t fingerprint_ = 0;
+    util::FileLock::Mode mode_ = util::FileLock::Mode::Shared;
+    util::FileLock lock_;
+    std::uint64_t generation_ = 0;
+    int append_fd_ = -1;
+
+    mutable std::mutex mutex_;
+    std::map<RawRunKey, std::shared_ptr<const sim::RunResult>> index_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t appends_ = 0;
+    std::uint64_t loaded_ = 0;
+    std::uint64_t quarantined_ = 0;
+    std::uint64_t fingerprint_rejected_ = 0;
+    std::uint64_t orphans_swept_ = 0;
+    std::uint64_t tmp_swept_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::uint64_t load_micros_ = 0;
+};
+
+/**
+ * Maintenance sweep without opening a handle: remove stray `*.tmp.*`
+ * files and orphan (non-live) generation files under @p dir, reading
+ * the manifest read-only to learn the live generation. Used by
+ * `tlppm_serve --compact` to clean a raw store it does not own.
+ * Returns files removed; a missing or unreadable store sweeps nothing.
+ */
+std::size_t sweepRawStoreOrphans(const std::string& dir);
+
+} // namespace tlp::runner
+
+#endif // TLP_RUNNER_PERSISTENT_RAW_STORE_HPP

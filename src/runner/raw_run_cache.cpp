@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runner/persistent_raw_store.hpp"
 #include "util/logging.hpp"
 
 namespace tlp::runner {
@@ -18,19 +19,41 @@ RawRunCache::find(const RawRunKey& key) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
-    if (it == entries_.end()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        return nullptr;
+    if (it != entries_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return it->second;
+    if (store_ != nullptr) {
+        // Read-through: a disk hit is promoted into the map so later
+        // lookups never touch the store again. The store keeps its own
+        // hit/miss counters; ours keep meaning "memory hit" and
+        // "missed both levels" (== a simulation happens).
+        if (auto run = store_->fetch(key)) {
+            entries_.emplace(key, run);
+            return run;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
 }
 
 bool
 RawRunCache::contains(const RawRunKey& key) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.find(key) != entries_.end();
+    if (entries_.find(key) != entries_.end())
+        return true;
+    // Non-counting store probe: the scheduler's cost classifier must
+    // see disk-resident points as cheap without perturbing the
+    // perf-guard counters.
+    return store_ != nullptr && store_->contains(key);
+}
+
+void
+RawRunCache::attachStore(PersistentRawStore* store)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_ = store;
 }
 
 std::shared_ptr<const sim::RunResult>
@@ -48,7 +71,11 @@ RawRunCache::insert(const RawRunKey& key,
     }
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = entries_.emplace(key, std::move(run));
-    (void)inserted; // first writer wins; racers adopt the stored run
+    // First writer wins; racers adopt the stored run. Only the winner
+    // write-behinds to the persistent level (which also dedups against
+    // records it loaded from disk).
+    if (inserted && store_ != nullptr)
+        store_->append(key, it->second);
     return it->second;
 }
 

@@ -21,6 +21,17 @@
  * simulation runs outside the lock (first writer wins on a race; the
  * simulator is deterministic so both racers hold identical results), and
  * only admissible results are ever stored.
+ *
+ * An optional PersistentRawStore can be attached below the in-memory
+ * map, making this a read-through/write-behind two-level cache: find()
+ * falls through to the store on a memory miss (promoting disk hits
+ * into memory), insert() write-behind-appends every first-seen run,
+ * and contains() probes both levels without counting — so a warm sweep
+ * against a populated store performs zero simulations and the
+ * scheduler's cost-aware seeding classifies disk-resident points as
+ * cheap. The miss counter then means "missed BOTH levels", preserving
+ * the raw_misses == simulations-performed invariant the perf guards
+ * rely on.
  */
 
 #ifndef TLP_RUNNER_RAW_RUN_CACHE_HPP
@@ -38,6 +49,8 @@
 #include "sim/cmp.hpp"
 
 namespace tlp::runner {
+
+class PersistentRawStore;
 
 /** Identity of a raw (unpriced) simulation run: RunKey minus vdd. */
 struct RawRunKey
@@ -84,6 +97,13 @@ class RawRunCache
     std::shared_ptr<const sim::RunResult>
     insert(const RawRunKey& key, std::shared_ptr<const sim::RunResult> run);
 
+    /** Attach (or detach with nullptr) the persistent second level.
+     *  Not owned; must outlive this cache. */
+    void attachStore(PersistentRawStore* store);
+
+    /** The attached persistent level, or nullptr. */
+    PersistentRawStore* store() const { return store_; }
+
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
     std::size_t size() const;
@@ -91,7 +111,10 @@ class RawRunCache
 
   private:
     mutable std::mutex mutex_;
-    std::map<RawRunKey, std::shared_ptr<const sim::RunResult>> entries_;
+    /** mutable: find() promotes persistent-store hits into the map. */
+    mutable std::map<RawRunKey, std::shared_ptr<const sim::RunResult>>
+        entries_;
+    PersistentRawStore* store_ = nullptr;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -40,6 +40,14 @@ RunMetrics::fromReport(const SweepReport& report)
     m.pool_workers_pinned = report.pool_workers_pinned;
     m.sched_expensive = report.sched_expensive;
     m.sched_cheap = report.sched_cheap;
+    m.store_attached = report.store_attached ? 1 : 0;
+    m.store_hits = report.store_hits;
+    m.store_misses = report.store_misses;
+    m.store_appends = report.store_appends;
+    m.store_loaded = report.store_loaded;
+    m.store_quarantined = report.store_quarantined;
+    m.store_fp_rejected = report.store_fp_rejected;
+    m.store_load_micros = report.store_load_micros;
     m.queue_high_water = report.queue_high_water;
     m.core_cycles = report.core_cycles;
     return m;
@@ -90,6 +98,12 @@ RunMetrics::pricedHitRate() const
     return hitRate(priced_hits, priced_misses);
 }
 
+double
+RunMetrics::storeHitRate() const
+{
+    return hitRate(store_hits, store_misses);
+}
+
 std::string
 RunMetrics::toJson() const
 {
@@ -137,6 +151,15 @@ RunMetrics::toJson() const
     appendField(out, "pool_workers_pinned", pool_workers_pinned, first);
     appendField(out, "sched_expensive", sched_expensive, first);
     appendField(out, "sched_cheap", sched_cheap, first);
+    appendField(out, "store_attached", store_attached, first);
+    appendField(out, "store_hits", store_hits, first);
+    appendField(out, "store_misses", store_misses, first);
+    appendField(out, "store_hit_rate", storeHitRate(), first);
+    appendField(out, "store_appends", store_appends, first);
+    appendField(out, "store_loaded", store_loaded, first);
+    appendField(out, "store_quarantined", store_quarantined, first);
+    appendField(out, "store_fp_rejected", store_fp_rejected, first);
+    appendField(out, "store_load_micros", store_load_micros, first);
     appendField(out, "queue_high_water", queue_high_water, first);
     out += ",\n  \"per_core\": [";
     for (std::size_t i = 0; i < core_cycles.size(); ++i) {

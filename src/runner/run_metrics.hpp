@@ -76,6 +76,17 @@ struct RunMetrics
     std::uint64_t sched_expensive = 0;
     std::uint64_t sched_cheap = 0;
 
+    // Persistent raw-run store accounting (all zero without
+    // --raw-store; store_attached distinguishes "off" from "cold").
+    std::uint64_t store_attached = 0;
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
+    std::uint64_t store_appends = 0;
+    std::uint64_t store_loaded = 0;
+    std::uint64_t store_quarantined = 0;
+    std::uint64_t store_fp_rejected = 0;
+    std::uint64_t store_load_micros = 0;
+
     // Kernel telemetry.
     std::uint64_t queue_high_water = 0;
     std::vector<sim::CoreCycleBreakdown> core_cycles;
@@ -86,6 +97,7 @@ struct RunMetrics
     /** hits / (hits + misses); 0 when the level was never consulted. */
     double rawHitRate() const;
     double pricedHitRate() const;
+    double storeHitRate() const;
 
     /**
      * One JSON object with every counter above, the derived hit rates,

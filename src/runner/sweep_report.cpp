@@ -8,13 +8,19 @@ namespace tlp::runner {
 std::string
 SweepReport::summary() const
 {
-    return util::strcatMsg("ok=", ok, " failed=", failed.size(),
-                           " retried=", retried, " skipped=", skipped,
-                           " replayed=", replayed, " sim_calls=", sim_calls,
-                           " sim_events=", sim_events,
-                           " price_calls=", price_calls, " raw=", raw_hits,
-                           "/", raw_misses, " priced=", priced_hits, "/",
-                           priced_misses);
+    std::string text =
+        util::strcatMsg("ok=", ok, " failed=", failed.size(),
+                        " retried=", retried, " skipped=", skipped,
+                        " replayed=", replayed, " sim_calls=", sim_calls,
+                        " sim_events=", sim_events,
+                        " price_calls=", price_calls, " raw=", raw_hits,
+                        "/", raw_misses, " priced=", priced_hits, "/",
+                        priced_misses);
+    if (store_attached) {
+        text += util::strcatMsg(" store=", store_hits, "/", store_misses,
+                                " store_appends=", store_appends);
+    }
+    return text;
 }
 
 std::string

@@ -119,6 +119,21 @@ struct SweepReport
     std::uint64_t sched_expensive = 0;
     std::uint64_t sched_cheap = 0;
 
+    /** Persistent raw-run store accounting (all zero without
+     *  --raw-store). hits/misses/appends are per-sweep deltas of the
+     *  store's counters; the load/maintenance numbers are absolute for
+     *  the store handle (loading happens at runner construction,
+     *  before any sweep), so a quarantine or stale-fingerprint
+     *  rejection during the warm load is never invisible. */
+    bool store_attached = false;
+    std::uint64_t store_hits = 0;    ///< raw misses served from disk
+    std::uint64_t store_misses = 0;  ///< missed memory AND disk
+    std::uint64_t store_appends = 0; ///< runs written behind this sweep
+    std::uint64_t store_loaded = 0;  ///< records adopted at open
+    std::uint64_t store_quarantined = 0;    ///< corrupt records/files
+    std::uint64_t store_fp_rejected = 0;    ///< stale-model records
+    std::uint64_t store_load_micros = 0;    ///< open()-time load wall
+
     /** Per-core busy/stall/sync cycle totals summed over every
      *  simulation this sweep executed, all workers combined; entry i is
      *  core i. Cache hits contribute nothing. */

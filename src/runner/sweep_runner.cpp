@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "runner/fault_injection.hpp"
+#include "runner/persistent_raw_store.hpp"
+#include "tech/technology.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
 #include "util/trace.hpp"
@@ -148,6 +150,27 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
     if (jobs_ < 1)
         jobs_ = 1;
 
+    if (!options_.raw_store.empty()) {
+        // The persistent level hangs below the shared RawRunCache, so
+        // the workers must share it (the same forcing journaling does).
+        options_.share_cache = true;
+        // The fingerprint pins the model version this store's records
+        // are valid for: the full machine configuration, the process
+        // node the experiments calibrate against (tech65nm, the
+        // paper's), and the workload-registry identity.
+        auto store = PersistentRawStore::open(
+            options_.raw_store,
+            modelFingerprint(options_.config, tech::tech65nm()));
+        if (store.ok()) {
+            raw_store_ = std::move(store.value());
+            raw_cache_.attachStore(raw_store_.get());
+        } else {
+            util::warn(util::strcatMsg(
+                "raw-store: cannot open '", options_.raw_store, "': ",
+                store.error().describe(),
+                "; continuing with the in-memory cache only"));
+        }
+    }
     if (!options_.journal_path.empty()) {
         // Journaling observes the shared cache; without it no completed
         // point would ever reach the journal.
@@ -316,6 +339,12 @@ SweepRunner::counterTotals() const
     totals.raw_misses = raw_cache_.misses();
     totals.priced_hits = cache_.hits();
     totals.priced_misses = cache_.misses();
+    if (raw_store_) {
+        const RawStoreStats stats = raw_store_->stats();
+        totals.store_hits = stats.hits;
+        totals.store_misses = stats.misses;
+        totals.store_appends = stats.appends;
+    }
     if (pool_) {
         const util::ThreadPool::Stats stats = pool_->stats();
         totals.pool_executed = stats.executed;
@@ -388,6 +417,23 @@ SweepRunner::finishSweep()
         now.pool_steals - sweep_start_counters_.pool_steals;
     report_.pool_failed_steal_sweeps = now.pool_failed_steal_sweeps -
         sweep_start_counters_.pool_failed_steal_sweeps;
+    if (raw_store_) {
+        report_.store_attached = true;
+        report_.store_hits =
+            now.store_hits - sweep_start_counters_.store_hits;
+        report_.store_misses =
+            now.store_misses - sweep_start_counters_.store_misses;
+        report_.store_appends =
+            now.store_appends - sweep_start_counters_.store_appends;
+        // Load/maintenance numbers are absolute for this handle: the
+        // load (and any quarantine it performed) happened at runner
+        // construction, before the first beginSweep() snapshot.
+        const RawStoreStats stats = raw_store_->stats();
+        report_.store_loaded = stats.loaded;
+        report_.store_quarantined = stats.quarantined;
+        report_.store_fp_rejected = stats.fingerprint_rejected;
+        report_.store_load_micros = stats.load_micros;
+    }
     if (pool_) {
         report_.pool_workers_pinned = pool_->stats().workers_pinned;
         util::traceInstant("sweep", "pool: tasks=", report_.pool_tasks,

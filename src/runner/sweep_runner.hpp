@@ -117,6 +117,17 @@ class SweepRunner
          */
         int shards = 1;
         int shard_index = 0; ///< this process's shard in [0, shards)
+        /**
+         * Directory of the persistent cross-process raw-run store
+         * (empty: off). Implies share_cache. Opened in the shared lock
+         * mode at construction and attached below the RawRunCache, so
+         * every raw run any earlier process stored here — including
+         * other shards appending concurrently — is reused instead of
+         * re-simulated, and every run this sweep simulates is appended
+         * for the next process. A store that cannot be opened degrades
+         * (with a warning) to the in-memory cache only.
+         */
+        std::string raw_store;
     };
 
     /** The shard that owns row (workload, n) at problem scale @p scale:
@@ -143,6 +154,10 @@ class SweepRunner
      *  workers (the first level of the two-level cache). */
     RawRunCache& rawCache() { return raw_cache_; }
     const RawRunCache& rawCache() const { return raw_cache_; }
+
+    /** The persistent raw-run store below the RawRunCache, or null
+     *  (Options.raw_store empty or the open degraded). */
+    const PersistentRawStore* rawStore() const { return raw_store_.get(); }
 
     /** The calling thread's Experiment (calibrated testbed). */
     Experiment& experiment() { return *experiments_.front(); }
@@ -240,6 +255,9 @@ class SweepRunner
         std::uint64_t pool_executed = 0;
         std::uint64_t pool_steals = 0;
         std::uint64_t pool_failed_steal_sweeps = 0;
+        std::uint64_t store_hits = 0;
+        std::uint64_t store_misses = 0;
+        std::uint64_t store_appends = 0;
         std::vector<sim::CoreCycleBreakdown> core_cycles;
     };
     CounterSnapshot counterTotals() const;
@@ -248,6 +266,9 @@ class SweepRunner
     int jobs_ = 1;
     RunCache cache_;
     RawRunCache raw_cache_;
+    /** Declared before pool_ so it outlives workers that write-behind
+     *  through raw_cache_ during pool teardown. */
+    std::unique_ptr<PersistentRawStore> raw_store_;
     /** Declared before pool_ so it outlives the workers that append to
      *  it through the cache observer during pool teardown. */
     std::unique_ptr<Journal> journal_;

@@ -41,7 +41,8 @@ reportSweep(const runner::SweepReport& report, const char* tag)
     }
 }
 
-/** Two-level cache accounting line to stderr (--cache-stats). */
+/** Two-level cache accounting line to stderr (--cache-stats), plus a
+ *  persistent-store line when a raw store is attached. */
 void
 printCacheStats(const runner::SweepReport& report, const char* tag)
 {
@@ -59,6 +60,17 @@ printCacheStats(const runner::SweepReport& report, const char* tag)
               << " pool_tasks=" << report.pool_tasks
               << " steals=" << report.pool_steals
               << " pinned=" << report.pool_workers_pinned << "\n";
+    if (report.store_attached) {
+        std::cerr << "  [" << tag << "] store-stats: store_hits="
+                  << report.store_hits
+                  << " store_misses=" << report.store_misses
+                  << " store_appends=" << report.store_appends
+                  << " store_loaded=" << report.store_loaded
+                  << " store_quarantined=" << report.store_quarantined
+                  << " store_fp_rejected=" << report.store_fp_rejected
+                  << " store_load_micros=" << report.store_load_micros
+                  << "\n";
+    }
 }
 
 int
@@ -410,6 +422,7 @@ sweepOptions(const FigureOptions& options, const char* label)
     sweep.progress = options.progress;
     sweep.progress_label = label;
     sweep.shards = options.shards;
+    sweep.raw_store = options.raw_store;
     sweep.shard_index = options.shard_index;
     return sweep;
 }

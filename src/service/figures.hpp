@@ -45,6 +45,9 @@ struct FigureOptions
      *  tlppm_merge to reassemble the full tables byte-identically. */
     int shards = 1;
     int shard_index = 0;
+    /** Persistent cross-process raw-run store directory (fig3/fig4;
+     *  empty: off). Accepted but inert for the analytic figures. */
+    std::string raw_store;
 };
 
 /** One rendered figure: the batch harness's stdout, its containment

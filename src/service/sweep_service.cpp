@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "runner/fault_injection.hpp"
+#include "runner/persistent_raw_store.hpp"
 #include "service/figures.hpp"
 #include "service/wire.hpp"
 #include "util/crc32.hpp"
@@ -172,6 +173,10 @@ SweepService::serve(const Request& request)
         fopts.journal_path = store_->pointsPath();
         fopts.resume = true;
         fopts.journal_flush_every = options_.journal_flush_every;
+        // Level-0 persistence: raw runs memoize below the in-memory
+        // cache, shared with any batch harness or shard pointing at
+        // the same directory.
+        fopts.raw_store = options_.raw_store;
     }
 
     for (int attempt = 1;; ++attempt) {
@@ -200,6 +205,14 @@ SweepService::serve(const Request& request)
         auto run = renderFigure(request.figure, fopts);
         if (run) {
             out.sim_calls += run.value().report.sim_calls;
+            if (run.value().report.store_attached) {
+                const auto& report = run.value().report;
+                raw_store_hits_total_ += report.store_hits;
+                raw_store_misses_total_ += report.store_misses;
+                raw_store_appends_total_ += report.store_appends;
+                raw_store_quarantined_total_ += report.store_quarantined;
+                raw_store_fp_rejected_total_ += report.store_fp_rejected;
+            }
             if (!run.value().simulated || run.value().report.allOk()) {
                 out.ok = true;
                 out.payload = std::move(run.value().output);
@@ -387,6 +400,17 @@ SweepService::pollOnce()
     return answered;
 }
 
+std::size_t
+SweepService::sweepRawStore()
+{
+    if (options_.raw_store.empty())
+        return 0;
+    const std::size_t swept =
+        runner::sweepRawStoreOrphans(options_.raw_store);
+    raw_store_files_swept_ += swept;
+    return swept;
+}
+
 std::string
 SweepService::metricsJson() const
 {
@@ -405,7 +429,16 @@ SweepService::metricsJson() const
         ",\n  \"store_table_hits\": ", store.table_hits,
         ",\n  \"store_table_misses\": ", store.table_misses,
         ",\n  \"store_quarantined\": ", store.quarantined,
-        ",\n  \"store_compactions\": ", store.compactions, "\n}\n");
+        ",\n  \"store_compactions\": ", store.compactions,
+        ",\n  \"raw_store_attached\": ",
+        options_.raw_store.empty() ? 0 : 1,
+        ",\n  \"raw_store_hits\": ", raw_store_hits_total_,
+        ",\n  \"raw_store_misses\": ", raw_store_misses_total_,
+        ",\n  \"raw_store_appends\": ", raw_store_appends_total_,
+        ",\n  \"raw_store_quarantined\": ", raw_store_quarantined_total_,
+        ",\n  \"raw_store_fp_rejected\": ", raw_store_fp_rejected_total_,
+        ",\n  \"raw_store_files_swept\": ", raw_store_files_swept_,
+        "\n}\n");
 }
 
 } // namespace tlp::service

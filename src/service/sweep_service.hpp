@@ -108,6 +108,11 @@ class SweepService
         int journal_flush_every = 1;
         bool cache_stats = false; ///< renderer counters to stderr
         bool progress = false;    ///< renderer heartbeat to stderr
+        /** Persistent cross-process raw-run store directory attached
+         *  to every simulated render (empty: off). Shards and batch
+         *  harnesses pointing at the same directory share raw runs
+         *  with this daemon. */
+        std::string raw_store;
     };
 
     SweepService(std::unique_ptr<ResultStore> store, Options options);
@@ -144,6 +149,15 @@ class SweepService
 
     ServiceStats stats() const { return stats_; }
 
+    /**
+     * Maintenance sweep of the configured raw store (no-op without
+     * Options.raw_store): removes `*.tmp.*` droppings and orphaned
+     * generations left by killed writers, without taking the store
+     * lock. Returns files removed; the total is surfaced in
+     * metricsJson() as raw_store_files_swept.
+     */
+    std::size_t sweepRawStore();
+
     /** Service + store counters as one JSON object (stable keys, only
      *  ever added): the service analogue of RunMetrics::toJson(). */
     std::string metricsJson() const;
@@ -162,6 +176,14 @@ class SweepService
     Options options_;
     ServiceStats stats_;
     std::uint64_t sim_calls_total_ = 0;
+    // Lifetime raw-store accounting, summed over the renders this
+    // service executed (zero without Options.raw_store).
+    std::uint64_t raw_store_hits_total_ = 0;
+    std::uint64_t raw_store_misses_total_ = 0;
+    std::uint64_t raw_store_appends_total_ = 0;
+    std::uint64_t raw_store_quarantined_total_ = 0;
+    std::uint64_t raw_store_fp_rejected_total_ = 0;
+    std::uint64_t raw_store_files_swept_ = 0;
     bool orphans_recovered_ = false;
     /** Table keys this service has served (dedup accounting). */
     std::set<std::string> served_keys_;

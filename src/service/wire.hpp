@@ -1,49 +1,24 @@
 /**
  * @file
- * Wire format helpers of the service layer: one-line JSON records with
- * a trailing CRC32 seal, shared by the store's manifest and table
- * headers, the request files, and the response headers.
- *
- * Convention (the journal's): a sealed line is a JSON object whose
- * last member is `"crc"`, and the stored CRC32 covers every byte of
- * the line before the `,"crc":` token. Field extraction is the same
- * fixed-token scan the journal uses — every producer in this codebase
- * writes short known keys and quote-free string values, so a substring
- * search is exact for this format (values never embed quotes: see
- * escapeForWire).
+ * Wire format helpers of the service layer. The implementation lives
+ * in util/sealed_json (the persistent raw-run store uses the same
+ * sealed-line convention below the service layer); this header keeps
+ * the service-namespace names that existing callers use.
  */
 
 #ifndef TLP_SERVICE_WIRE_HPP
 #define TLP_SERVICE_WIRE_HPP
 
-#include <cstdint>
-#include <string>
+#include "util/sealed_json.hpp"
 
 namespace tlp::service {
 
-/** Seal @p payload (a JSON object text WITHOUT its closing brace) by
- *  appending `,"crc":<crc32>}`. */
-std::string sealJsonLine(std::string payload);
-
-/** Verify a sealed line's CRC. */
-bool checkSealedJsonLine(const std::string& line);
-
-/** Extract `"<field>":<uint>`; false when absent/malformed. */
-bool jsonFieldU64(const std::string& line, const char* field,
-                  std::uint64_t& out);
-
-/** Extract `"<field>":<double>`; false when absent/malformed. */
-bool jsonFieldDouble(const std::string& line, const char* field,
-                     double& out);
-
-/** Extract `"<field>":"<text>"`; false when absent/malformed. */
-bool jsonFieldString(const std::string& line, const char* field,
-                     std::string& out);
-
-/** Make @p text safe to embed as a wire string value: double quotes
- *  become single quotes, control characters become spaces. Lossy by
- *  design — wire strings are diagnostics, not payload. */
-std::string escapeForWire(const std::string& text);
+using util::checkSealedJsonLine;
+using util::escapeForWire;
+using util::jsonFieldDouble;
+using util::jsonFieldString;
+using util::jsonFieldU64;
+using util::sealJsonLine;
 
 } // namespace tlp::service
 

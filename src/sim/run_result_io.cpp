@@ -1,0 +1,246 @@
+#include "sim/run_result_io.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace tlp::sim {
+
+namespace {
+
+void
+appendU64(std::string& out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+}
+
+void
+appendDouble(std::string& out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+/** Cursor over the serialized text; every expect/parse step advances
+ *  it or trips `failed`, so callers chain steps and check once. */
+struct Cursor
+{
+    const char* p;
+    const char* end;
+    bool failed = false;
+
+    void expect(const char* literal)
+    {
+        const std::size_t len = std::strlen(literal);
+        if (failed || static_cast<std::size_t>(end - p) < len ||
+            std::memcmp(p, literal, len) != 0) {
+            failed = true;
+            return;
+        }
+        p += len;
+    }
+
+    bool peek(char c) const { return !failed && p < end && *p == c; }
+
+    std::uint64_t u64()
+    {
+        if (failed)
+            return 0;
+        char* stop = nullptr;
+        errno = 0;
+        const unsigned long long value = std::strtoull(p, &stop, 10);
+        if (stop == p || errno == ERANGE) {
+            failed = true;
+            return 0;
+        }
+        p = stop;
+        return value;
+    }
+
+    double f64()
+    {
+        if (failed)
+            return 0.0;
+        char* stop = nullptr;
+        errno = 0;
+        const double value = std::strtod(p, &stop);
+        if (stop == p ||
+            (errno == ERANGE && (value >= HUGE_VAL || value <= -HUGE_VAL))) {
+            failed = true;
+            return 0.0;
+        }
+        p = stop;
+        return value;
+    }
+
+    /** `"name"` — registry names never embed quotes or escapes. */
+    std::string name()
+    {
+        expect("\"");
+        if (failed)
+            return {};
+        const char* close =
+            static_cast<const char*>(std::memchr(p, '"', end - p));
+        if (close == nullptr) {
+            failed = true;
+            return {};
+        }
+        std::string out(p, close);
+        p = close + 1;
+        return out;
+    }
+};
+
+} // namespace
+
+std::string
+formatRunResult(const RunResult& result)
+{
+    std::string out;
+    out.reserve(512 + 64 * result.core_cycles.size());
+    out += "{\"cycles\":";
+    appendU64(out, result.cycles);
+    out += ",\"freq_hz\":";
+    appendDouble(out, result.freq_hz);
+    out += ",\"seconds\":";
+    appendDouble(out, result.seconds);
+    out += ",\"instructions\":";
+    appendU64(out, result.instructions);
+    out += ",\"n_threads\":";
+    appendU64(out, static_cast<std::uint64_t>(result.n_threads));
+    out += ",\"coherent\":";
+    out += result.coherent ? '1' : '0';
+    out += ",\"events\":";
+    appendU64(out, result.events);
+    out += ",\"qhw\":";
+    appendU64(out, result.queue_high_water);
+    out += ",\"cores\":[";
+    for (std::size_t i = 0; i < result.core_cycles.size(); ++i) {
+        const CoreCycleBreakdown& c = result.core_cycles[i];
+        if (i)
+            out += ',';
+        out += '[';
+        appendU64(out, c.busy);
+        out += ',';
+        appendU64(out, c.stall_mem);
+        out += ',';
+        appendU64(out, c.stall_sync);
+        out += ']';
+    }
+    out += "],\"ctr\":{";
+    bool first = true;
+    for (const auto& [name, counter] : result.stats.counters()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += "\":";
+        appendU64(out, counter.value());
+    }
+    out += "},\"acc\":{";
+    first = true;
+    for (const auto& [name, acc] : result.stats.accumulators()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += "\":[";
+        appendU64(out, acc.count());
+        out += ',';
+        appendDouble(out, acc.sum());
+        out += ',';
+        appendDouble(out, acc.min());
+        out += ',';
+        appendDouble(out, acc.max());
+        out += ']';
+    }
+    out += "}}";
+    return out;
+}
+
+util::Expected<RunResult>
+parseRunResult(const std::string& text)
+{
+    Cursor cur{text.c_str(), text.c_str() + text.size()};
+    RunResult result;
+    cur.expect("{\"cycles\":");
+    result.cycles = cur.u64();
+    cur.expect(",\"freq_hz\":");
+    result.freq_hz = cur.f64();
+    cur.expect(",\"seconds\":");
+    result.seconds = cur.f64();
+    cur.expect(",\"instructions\":");
+    result.instructions = cur.u64();
+    cur.expect(",\"n_threads\":");
+    result.n_threads = static_cast<int>(cur.u64());
+    cur.expect(",\"coherent\":");
+    if (cur.peek('1')) {
+        result.coherent = true;
+        cur.expect("1");
+    } else {
+        result.coherent = false;
+        cur.expect("0");
+    }
+    cur.expect(",\"events\":");
+    result.events = cur.u64();
+    cur.expect(",\"qhw\":");
+    result.queue_high_water = cur.u64();
+    cur.expect(",\"cores\":[");
+    while (!cur.failed && !cur.peek(']')) {
+        CoreCycleBreakdown c;
+        cur.expect("[");
+        c.busy = cur.u64();
+        cur.expect(",");
+        c.stall_mem = cur.u64();
+        cur.expect(",");
+        c.stall_sync = cur.u64();
+        cur.expect("]");
+        result.core_cycles.push_back(c);
+        if (cur.peek(','))
+            cur.expect(",");
+    }
+    cur.expect("],\"ctr\":{");
+    while (!cur.failed && !cur.peek('}')) {
+        const std::string name = cur.name();
+        cur.expect(":");
+        const std::uint64_t value = cur.u64();
+        if (!cur.failed)
+            result.stats.counter(name).increment(value);
+        if (cur.peek(','))
+            cur.expect(",");
+    }
+    cur.expect("},\"acc\":{");
+    while (!cur.failed && !cur.peek('}')) {
+        const std::string name = cur.name();
+        cur.expect(":[");
+        const std::uint64_t count = cur.u64();
+        cur.expect(",");
+        const double sum = cur.f64();
+        cur.expect(",");
+        const double min = cur.f64();
+        cur.expect(",");
+        const double max = cur.f64();
+        cur.expect("]");
+        if (!cur.failed)
+            result.stats.accumulator(name).restore(count, sum, min, max);
+        if (cur.peek(','))
+            cur.expect(",");
+    }
+    cur.expect("}}");
+    if (cur.failed || cur.p != cur.end)
+        return util::Error{util::ErrorCode::CorruptData,
+                           "malformed RunResult record"};
+    return result;
+}
+
+} // namespace tlp::sim

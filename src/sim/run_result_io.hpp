@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Lossless one-line JSON serialization of sim::RunResult for the
+ * persistent raw-run store.
+ *
+ * Doubles are printed with %.17g, which round-trips every finite
+ * IEEE-754 double exactly through strtod, so a deserialized result
+ * prices byte-identically to the in-memory original. The full
+ * telemetry is carried: per-core cycle breakdowns, the kernel event
+ * and queue-high-water counts, and the complete StatRegistry
+ * (counters as exact integers, accumulators as their four-value
+ * state). parseRunResult() is a strict sequential parser of exactly
+ * the format formatRunResult() emits — any deviation is CorruptData,
+ * which the store treats as quarantine-and-recompute.
+ */
+
+#ifndef TLP_SIM_RUN_RESULT_IO_HPP
+#define TLP_SIM_RUN_RESULT_IO_HPP
+
+#include <string>
+
+#include "sim/cmp.hpp"
+#include "util/error.hpp"
+
+namespace tlp::sim {
+
+/** @return @p result as one JSON object text (no trailing newline). */
+std::string formatRunResult(const RunResult& result);
+
+/** Inverse of formatRunResult(); CorruptData on any malformation. */
+util::Expected<RunResult> parseRunResult(const std::string& text);
+
+} // namespace tlp::sim
+
+#endif // TLP_SIM_RUN_RESULT_IO_HPP

@@ -186,13 +186,14 @@ FileLock::operator=(FileLock&& other) noexcept
 }
 
 Expected<bool>
-FileLock::acquire(const std::string& path)
+FileLock::acquire(const std::string& path, Mode mode)
 {
     release();
     const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0664);
     if (fd < 0)
         return ioError("cannot open lock file", path);
-    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int op = mode == Mode::Shared ? LOCK_SH : LOCK_EX;
+    if (::flock(fd, op | LOCK_NB) != 0) {
         const Error error =
             errno == EWOULDBLOCK
                 ? Error{ErrorCode::Overloaded,
@@ -204,6 +205,21 @@ FileLock::acquire(const std::string& path)
     }
     fd_ = fd;
     path_ = path;
+    return true;
+}
+
+Expected<bool>
+FileLock::downgradeToShared()
+{
+    if (fd_ < 0) {
+        return Error{ErrorCode::InvalidArgument,
+                     "downgradeToShared: no lock held"};
+    }
+    // Blocking on purpose: the conversion drops the exclusive lock
+    // first, and another exclusive holder slipping into the gap (an
+    // opener doing its crash-leftover GC) finishes quickly.
+    if (::flock(fd_, LOCK_SH) != 0)
+        return ioError("cannot downgrade lock", path_);
     return true;
 }
 

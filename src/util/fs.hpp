@@ -72,15 +72,25 @@ Expected<bool> renamePath(const std::string& from, const std::string& to);
 std::size_t sweepTmpFiles(const std::string& dir);
 
 /**
- * Advisory exclusive lock on @p path (flock). Non-blocking: if another
- * process holds it, acquire() fails with a typed error naming the path,
- * so two daemons can never interleave writes into one store. The lock
- * dies with the process (kill -9 included), which is exactly the
- * recovery semantics a crash-safe store wants.
+ * Advisory lock on @p path (flock). Non-blocking: if another process
+ * holds a conflicting lock, acquire() fails with a typed error naming
+ * the path, so two daemons can never interleave writes into one store.
+ * The lock dies with the process (kill -9 included), which is exactly
+ * the recovery semantics a crash-safe store wants.
+ *
+ * Shared mode lets many appenders coexist (the raw-run store's K
+ * concurrent shards) while still excluding the compactor, which takes
+ * the exclusive mode.
  */
 class FileLock
 {
   public:
+    enum class Mode
+    {
+        Exclusive, ///< sole holder (writers that rewrite files)
+        Shared     ///< many holders; conflicts only with Exclusive
+    };
+
     FileLock() = default;
     ~FileLock();
 
@@ -90,7 +100,18 @@ class FileLock
     FileLock& operator=(FileLock&& other) noexcept;
 
     /** Take the lock; creates the file when absent. */
-    Expected<bool> acquire(const std::string& path);
+    Expected<bool> acquire(const std::string& path,
+                           Mode mode = Mode::Exclusive);
+
+    /**
+     * Convert a held exclusive lock to shared, letting other shared
+     * holders attach. POSIX makes the conversion non-atomic (the lock
+     * is dropped, then re-taken shared), so this may block briefly
+     * behind another exclusive holder that slips into the gap; it
+     * cannot deadlock (nothing is held while waiting). Error when no
+     * lock is held.
+     */
+    Expected<bool> downgradeToShared();
 
     /** Release (also closes the fd). Safe to call when not held. */
     void release();

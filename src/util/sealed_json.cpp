@@ -1,4 +1,4 @@
-#include "service/wire.hpp"
+#include "util/sealed_json.hpp"
 
 #include <cerrno>
 #include <cinttypes>
@@ -11,7 +11,7 @@
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
 
-namespace tlp::service {
+namespace tlp::util {
 
 namespace {
 
@@ -114,4 +114,4 @@ escapeForWire(const std::string& text)
     return out;
 }
 
-} // namespace tlp::service
+} // namespace tlp::util

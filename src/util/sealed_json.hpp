@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sealed one-line JSON records: JSON objects with a trailing CRC32
+ * seal, shared by the service store's manifest and table headers, the
+ * request/response wire format, and the persistent raw-run store.
+ *
+ * Convention (the journal's): a sealed line is a JSON object whose
+ * last member is `"crc"`, and the stored CRC32 covers every byte of
+ * the line before the `,"crc":` token. Field extraction is the same
+ * fixed-token scan the journal uses — every producer in this codebase
+ * writes short known keys and quote-free string values, so a substring
+ * search is exact for this format (values never embed quotes: see
+ * escapeForWire).
+ */
+
+#ifndef TLP_UTIL_SEALED_JSON_HPP
+#define TLP_UTIL_SEALED_JSON_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace tlp::util {
+
+/** Seal @p payload (a JSON object text WITHOUT its closing brace) by
+ *  appending `,"crc":<crc32>}`. */
+std::string sealJsonLine(std::string payload);
+
+/** Verify a sealed line's CRC. */
+bool checkSealedJsonLine(const std::string& line);
+
+/** Extract `"<field>":<uint>`; false when absent/malformed. */
+bool jsonFieldU64(const std::string& line, const char* field,
+                  std::uint64_t& out);
+
+/** Extract `"<field>":<double>`; false when absent/malformed. */
+bool jsonFieldDouble(const std::string& line, const char* field,
+                     double& out);
+
+/** Extract `"<field>":"<text>"`; false when absent/malformed. */
+bool jsonFieldString(const std::string& line, const char* field,
+                     std::string& out);
+
+/** Make @p text safe to embed as a wire string value: double quotes
+ *  become single quotes, control characters become spaces. Lossy by
+ *  design — wire strings are diagnostics, not payload. */
+std::string escapeForWire(const std::string& text);
+
+} // namespace tlp::util
+
+#endif // TLP_UTIL_SEALED_JSON_HPP

@@ -46,6 +46,16 @@ class Accumulator
     double max() const { return count_ ? max_ : 0.0; }
     void reset();
 
+    /** Reinstate a serialized state verbatim (deserialization only —
+     *  the four values must come from a prior accumulator's getters). */
+    void restore(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * PersistentRawStore tests: the on-disk raw-run memoization layer.
+ *
+ * The contract under test: a stored RunResult prices byte-identically
+ * to a freshly simulated one (lossless %.17g serialization); records
+ * from a different model version are invisible; torn and corrupt
+ * records quarantine-and-recompute instead of surfacing wrong data;
+ * two handles appending to one store concurrently lose no records; and
+ * the generation/compaction protocol survives an injected kill inside
+ * its publish window.
+ */
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/fault_injection.hpp"
+#include "runner/persistent_raw_store.hpp"
+#include "runner/raw_run_cache.hpp"
+#include "sim/config.hpp"
+#include "sim/run_result_io.hpp"
+#include "tech/technology.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace tlp;
+
+/** Unique store directory per test; contents removed on destruction. */
+class TempStoreDir
+{
+  public:
+    explicit TempStoreDir(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "tlppm_raw_" + tag +
+                "_" + std::to_string(::getpid()))
+    {
+        removeAll();
+    }
+    ~TempStoreDir() { removeAll(); }
+    const std::string& path() const { return path_; }
+
+  private:
+    void removeAll()
+    {
+        for (const std::string& name : util::listDir(path_))
+            util::removePath(path_ + "/" + name);
+        util::removePath(path_);
+    }
+
+    std::string path_;
+};
+
+/** An admissible RunResult exercising every serialized field, with
+ *  deliberately awkward doubles (non-terminating binary fractions and
+ *  a subnormal-adjacent magnitude) that only survive %.17g. */
+sim::RunResult
+makeRun(std::uint64_t seed)
+{
+    sim::RunResult run;
+    run.cycles = 1000 + seed;
+    run.freq_hz = 2.4e9 + 0.1 * static_cast<double>(seed);
+    run.seconds = static_cast<double>(run.cycles) / run.freq_hz;
+    run.instructions = 3000 + 7 * seed;
+    run.n_threads = static_cast<int>(1 + seed % 16);
+    run.coherent = true;
+    run.events = 12345 + seed;
+    run.queue_high_water = 17 + seed;
+    for (int c = 0; c < run.n_threads; ++c) {
+        sim::CoreCycleBreakdown core;
+        core.busy = 100 + seed + static_cast<std::uint64_t>(c);
+        core.stall_mem = 50 + static_cast<std::uint64_t>(c);
+        core.stall_sync = 5 + static_cast<std::uint64_t>(c);
+        run.core_cycles.push_back(core);
+    }
+    run.stats.counter("l1.hits").increment(9000 + seed);
+    run.stats.counter("l2.misses").increment(11 + seed);
+    run.stats.accumulator("bus.occupancy").sample(0.1 + 1.0 / 3.0);
+    run.stats.accumulator("bus.occupancy")
+        .sample(0.7 + static_cast<double>(seed) * 1e-13);
+    return run;
+}
+
+runner::RawRunKey
+makeKey(const std::string& workload, int n, std::uint64_t seed)
+{
+    runner::RawRunKey key;
+    key.workload = workload;
+    key.n = n;
+    key.scale = 0.05 + 1e-9 * static_cast<double>(seed);
+    key.freq_hz = 2.4e9;
+    return key;
+}
+
+std::uint32_t
+testFingerprint()
+{
+    return runner::modelFingerprint(sim::CmpConfig{}, tech::tech65nm());
+}
+
+std::unique_ptr<runner::PersistentRawStore>
+openOrDie(const std::string& dir,
+          util::FileLock::Mode mode = util::FileLock::Mode::Shared)
+{
+    auto store =
+        runner::PersistentRawStore::open(dir, testFingerprint(), mode);
+    if (!store.ok()) {
+        ADD_FAILURE() << "open('" << dir
+                      << "') failed: " << store.error().describe();
+        return nullptr;
+    }
+    return std::move(store.value());
+}
+
+// --------------------------------------------------------------------
+// RunResult serialization: lossless round trips.
+// --------------------------------------------------------------------
+
+TEST(RunResultIo, RoundTripIsByteIdentical)
+{
+    for (std::uint64_t seed : {0ull, 1ull, 17ull, 999983ull}) {
+        const sim::RunResult run = makeRun(seed);
+        const std::string text = sim::formatRunResult(run);
+        auto parsed = sim::parseRunResult(text);
+        ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+        // Byte identity of the re-serialization proves every double
+        // survived %.17g exactly — the property the warm pricing path
+        // (cold-vs-warm table byte-identity) rests on.
+        EXPECT_EQ(text, sim::formatRunResult(parsed.value()));
+        EXPECT_EQ(run.cycles, parsed.value().cycles);
+        EXPECT_EQ(run.instructions, parsed.value().instructions);
+        EXPECT_EQ(run.n_threads, parsed.value().n_threads);
+        EXPECT_EQ(run.coherent, parsed.value().coherent);
+        EXPECT_EQ(run.core_cycles.size(),
+                  parsed.value().core_cycles.size());
+        EXPECT_EQ(run.stats.counterValue("l1.hits"),
+                  parsed.value().stats.counterValue("l1.hits"));
+        const auto& acc = run.stats.accumulators().at("bus.occupancy");
+        const auto& back =
+            parsed.value().stats.accumulators().at("bus.occupancy");
+        EXPECT_EQ(acc.count(), back.count());
+        EXPECT_EQ(acc.sum(), back.sum()); // exact, not approximate
+        EXPECT_EQ(acc.min(), back.min());
+        EXPECT_EQ(acc.max(), back.max());
+    }
+}
+
+TEST(RunResultIo, RejectsGarbage)
+{
+    EXPECT_FALSE(sim::parseRunResult("").ok());
+    EXPECT_FALSE(sim::parseRunResult("{}").ok());
+    EXPECT_FALSE(sim::parseRunResult("{\"cycles\":}").ok());
+    const std::string good = sim::formatRunResult(makeRun(1));
+    EXPECT_FALSE(sim::parseRunResult(good + "x").ok());
+    EXPECT_FALSE(sim::parseRunResult(good.substr(0, good.size() - 3)).ok());
+}
+
+// --------------------------------------------------------------------
+// Store basics: append, reopen, fetch.
+// --------------------------------------------------------------------
+
+TEST(PersistentRawStore, AppendsSurviveReopen)
+{
+    TempStoreDir dir("reopen");
+    const auto run = std::make_shared<const sim::RunResult>(makeRun(7));
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 7), run);
+        store->append(makeKey("LU", 8, 8),
+                      std::make_shared<const sim::RunResult>(makeRun(8)));
+        EXPECT_EQ(2u, store->stats().appends);
+        // One handle never writes a key twice.
+        store->append(makeKey("FFT", 4, 7), run);
+        EXPECT_EQ(2u, store->stats().appends);
+    }
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(2u, store->stats().loaded);
+    const auto hit = store->fetch(makeKey("FFT", 4, 7));
+    ASSERT_NE(nullptr, hit);
+    EXPECT_EQ(sim::formatRunResult(*run), sim::formatRunResult(*hit));
+    EXPECT_TRUE(store->contains(makeKey("LU", 8, 8)));
+    EXPECT_FALSE(store->contains(makeKey("LU", 16, 8)));
+    EXPECT_EQ(nullptr, store->fetch(makeKey("Radix", 2, 1)));
+    EXPECT_EQ(1u, store->stats().hits);
+    EXPECT_EQ(1u, store->stats().misses);
+}
+
+TEST(PersistentRawStore, InadmissibleRunsAreNeverStored)
+{
+    TempStoreDir dir("inadmissible");
+    auto store = openOrDie(dir.path());
+    sim::RunResult bad = makeRun(3);
+    bad.cycles = 0; // inadmissible
+    store->append(makeKey("FFT", 2, 3),
+                  std::make_shared<const sim::RunResult>(bad));
+    EXPECT_EQ(0u, store->stats().appends);
+    EXPECT_FALSE(store->contains(makeKey("FFT", 2, 3)));
+}
+
+// --------------------------------------------------------------------
+// Model-version fingerprint: stale records are invisible.
+// --------------------------------------------------------------------
+
+TEST(PersistentRawStore, FingerprintMismatchRejectsRecords)
+{
+    TempStoreDir dir("fingerprint");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+    }
+    // A model change (here: one more core) must make the stored record
+    // invisible — it may never satisfy a lookup under the new model.
+    sim::CmpConfig changed;
+    changed.n_cores += 1;
+    auto store = runner::PersistentRawStore::open(
+        dir.path(), runner::modelFingerprint(changed, tech::tech65nm()));
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(0u, store.value()->stats().loaded);
+    EXPECT_EQ(1u, store.value()->stats().fingerprint_rejected);
+    EXPECT_FALSE(store.value()->contains(makeKey("FFT", 4, 1)));
+}
+
+TEST(PersistentRawStore, FingerprintIsSensitiveToModelIdentity)
+{
+    const std::uint32_t base = testFingerprint();
+    sim::CmpConfig cores;
+    cores.n_cores += 1;
+    EXPECT_NE(base, runner::modelFingerprint(cores, tech::tech65nm()));
+    sim::CmpConfig latency;
+    latency.l2_rt_cycles += 1;
+    EXPECT_NE(base, runner::modelFingerprint(latency, tech::tech65nm()));
+    EXPECT_NE(base,
+              runner::modelFingerprint(sim::CmpConfig{}, tech::tech130nm()));
+    EXPECT_EQ(base,
+              runner::modelFingerprint(sim::CmpConfig{}, tech::tech65nm()));
+}
+
+// --------------------------------------------------------------------
+// Corruption: torn tails and flipped bytes quarantine-and-recompute.
+// --------------------------------------------------------------------
+
+TEST(PersistentRawStore, TornTailIsQuarantinedAndKeyRecomputes)
+{
+    TempStoreDir dir("torn");
+    std::string runs_path;
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+        store->append(makeKey("LU", 8, 2),
+                      std::make_shared<const sim::RunResult>(makeRun(2)));
+        runs_path = dir.path() + "/runs.g0.jsonl";
+    }
+    // Tear the tail mid-record, as a crashed writer would.
+    auto content = util::readFile(runs_path);
+    ASSERT_TRUE(content.ok());
+    const std::string text = content.value();
+    const std::size_t first_nl = text.find('\n');
+    ASSERT_NE(std::string::npos, first_nl);
+    {
+        std::ofstream torn(runs_path, std::ios::trunc | std::ios::binary);
+        torn << text.substr(0, first_nl + 1)
+             << text.substr(first_nl + 1, (text.size() - first_nl) / 2);
+    }
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(1u, store->stats().loaded);
+    EXPECT_EQ(1u, store->stats().quarantined);
+    EXPECT_TRUE(store->contains(makeKey("FFT", 4, 1)));
+    // The torn key is simply absent: the caller recomputes and
+    // re-appends it.
+    EXPECT_FALSE(store->contains(makeKey("LU", 8, 2)));
+    store->append(makeKey("LU", 8, 2),
+                  std::make_shared<const sim::RunResult>(makeRun(2)));
+    EXPECT_EQ(1u, store->stats().appends);
+}
+
+TEST(PersistentRawStore, ShortWriteFaultTearsOnlyItsOwnRecord)
+{
+    TempStoreDir dir("shortwrite");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+        runner::ScopedStoreFaultPlan fault(runner::StoreFaultPlan{
+            runner::StoreFaultKind::ShortWrite, 1});
+        store->append(makeKey("LU", 8, 2),
+                      std::make_shared<const sim::RunResult>(makeRun(2)));
+    }
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(1u, store->stats().loaded);
+    EXPECT_EQ(1u, store->stats().quarantined);
+    EXPECT_TRUE(store->contains(makeKey("FFT", 4, 1)));
+    EXPECT_FALSE(store->contains(makeKey("LU", 8, 2)));
+}
+
+TEST(PersistentRawStore, CorruptReadFaultQuarantinesOneRecord)
+{
+    TempStoreDir dir("corruptread");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+        store->append(makeKey("LU", 8, 2),
+                      std::make_shared<const sim::RunResult>(makeRun(2)));
+    }
+    runner::ScopedStoreFaultPlan fault(
+        runner::StoreFaultPlan{runner::StoreFaultKind::CorruptRead, 1});
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(1u, store->stats().loaded);
+    EXPECT_EQ(1u, store->stats().quarantined);
+}
+
+TEST(PersistentRawStore, CorruptManifestIsQuarantinedAndRebuilt)
+{
+    TempStoreDir dir("manifest");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+    }
+    {
+        std::ofstream bad(dir.path() + "/MANIFEST", std::ios::trunc);
+        bad << "{\"tlppm_raw_store\":1,\"generation\":0,\"crc\":1}\n";
+    }
+    auto store = openOrDie(dir.path());
+    // The bad manifest is quarantined and the store rebuilds from the
+    // on-disk generation — no records lost.
+    EXPECT_GE(store->stats().quarantined, 1u);
+    EXPECT_EQ(1u, store->stats().loaded);
+    EXPECT_TRUE(store->contains(makeKey("FFT", 4, 1)));
+}
+
+// --------------------------------------------------------------------
+// Compaction: exclusive-only, crash-tolerant publish.
+// --------------------------------------------------------------------
+
+TEST(PersistentRawStore, CompactionRequiresExclusiveMode)
+{
+    TempStoreDir dir("exclusive");
+    auto store = openOrDie(dir.path(), util::FileLock::Mode::Shared);
+    auto compacted = store->compact();
+    ASSERT_FALSE(compacted.ok());
+    EXPECT_EQ(util::ErrorCode::InvalidArgument, compacted.error().code);
+}
+
+TEST(PersistentRawStore, CompactionDropsCorruptLinesForGood)
+{
+    TempStoreDir dir("compact");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+        store->append(makeKey("LU", 8, 2),
+                      std::make_shared<const sim::RunResult>(makeRun(2)));
+    }
+    // Inject a garbage line between the two records.
+    {
+        std::ofstream f(dir.path() + "/runs.g0.jsonl", std::ios::app);
+        f << "not json at all\n";
+    }
+    {
+        auto store =
+            openOrDie(dir.path(), util::FileLock::Mode::Exclusive);
+        EXPECT_EQ(2u, store->stats().loaded);
+        EXPECT_EQ(1u, store->stats().quarantined);
+        auto compacted = store->compact();
+        ASSERT_TRUE(compacted.ok()) << compacted.error().describe();
+        EXPECT_EQ(1u, compacted.value().generation);
+        EXPECT_EQ(2u, compacted.value().kept);
+        // Appends continue against the new generation.
+        store->append(makeKey("Radix", 2, 3),
+                      std::make_shared<const sim::RunResult>(makeRun(3)));
+    }
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(1u, store->generation());
+    EXPECT_EQ(3u, store->stats().loaded);
+    EXPECT_EQ(0u, store->stats().quarantined);
+}
+
+TEST(PersistentRawStore, KillInsidePublishWindowLeavesRecoverableStore)
+{
+    TempStoreDir dir("kill");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+    }
+    {
+        auto store =
+            openOrDie(dir.path(), util::FileLock::Mode::Exclusive);
+        runner::ScopedStoreFaultPlan fault(runner::StoreFaultPlan{
+            runner::StoreFaultKind::KillCompaction, 1});
+        EXPECT_THROW(static_cast<void>(store->compact()),
+                     runner::FaultKillError);
+    }
+    // The new generation exists but the manifest still names g0: the
+    // next open keeps serving g0 and sweeps the orphan.
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(0u, store->generation());
+    EXPECT_EQ(1u, store->stats().loaded);
+    EXPECT_EQ(1u, store->stats().orphans_swept);
+    EXPECT_TRUE(store->contains(makeKey("FFT", 4, 1)));
+}
+
+// --------------------------------------------------------------------
+// Concurrency: two handles, one store, no lost records.
+// --------------------------------------------------------------------
+
+TEST(PersistentRawStore, TwoHandlesAppendConcurrentlyWithoutLoss)
+{
+    TempStoreDir dir("concurrent");
+    constexpr int kPerHandle = 64;
+    auto a = openOrDie(dir.path());
+    auto b = openOrDie(dir.path()); // second shared holder, same store
+
+    const auto appender = [&](runner::PersistentRawStore* store,
+                              const char* workload) {
+        for (int i = 0; i < kPerHandle; ++i) {
+            store->append(
+                makeKey(workload, 1 + (i % 16),
+                        static_cast<std::uint64_t>(i)),
+                std::make_shared<const sim::RunResult>(
+                    makeRun(static_cast<std::uint64_t>(i))));
+        }
+    };
+    std::thread ta(appender, a.get(), "Barnes");
+    std::thread tb(appender, b.get(), "Ocean");
+    ta.join();
+    tb.join();
+    EXPECT_EQ(static_cast<std::uint64_t>(kPerHandle), a->stats().appends);
+    EXPECT_EQ(static_cast<std::uint64_t>(kPerHandle), b->stats().appends);
+    a.reset();
+    b.reset();
+
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(static_cast<std::uint64_t>(2 * kPerHandle),
+              store->stats().loaded);
+    EXPECT_EQ(0u, store->stats().quarantined);
+    for (int i = 0; i < kPerHandle; ++i) {
+        EXPECT_TRUE(store->contains(
+            makeKey("Barnes", 1 + (i % 16),
+                    static_cast<std::uint64_t>(i))));
+        EXPECT_TRUE(store->contains(
+            makeKey("Ocean", 1 + (i % 16),
+                    static_cast<std::uint64_t>(i))));
+    }
+}
+
+TEST(PersistentRawStore, DuplicateCrossHandleAppendsDedupOnLoad)
+{
+    TempStoreDir dir("dup");
+    auto a = openOrDie(dir.path());
+    auto b = openOrDie(dir.path());
+    // Both handles compute the same deterministic point (as racing
+    // shards do for a shared baseline) and both append it.
+    const auto run = std::make_shared<const sim::RunResult>(makeRun(5));
+    a->append(makeKey("FFT", 1, 5), run);
+    b->append(makeKey("FFT", 1, 5), run);
+    a.reset();
+    b.reset();
+    auto store = openOrDie(dir.path());
+    // First record wins; the duplicate is simply not double-counted.
+    EXPECT_EQ(1u, store->stats().loaded);
+    ASSERT_NE(nullptr, store->fetch(makeKey("FFT", 1, 5)));
+}
+
+// --------------------------------------------------------------------
+// Orphan sweeping without a handle (tlppm_serve --compact).
+// --------------------------------------------------------------------
+
+TEST(PersistentRawStore, SweepRawStoreOrphansRemovesDeadFiles)
+{
+    TempStoreDir dir("sweep");
+    {
+        auto store = openOrDie(dir.path());
+        store->append(makeKey("FFT", 4, 1),
+                      std::make_shared<const sim::RunResult>(makeRun(1)));
+    }
+    // Crash leftovers: a stray tmp file and an orphan generation.
+    { std::ofstream(dir.path() + "/MANIFEST.tmp.999") << "half"; }
+    { std::ofstream(dir.path() + "/runs.g7.jsonl") << "orphan\n"; }
+    EXPECT_EQ(2u, runner::sweepRawStoreOrphans(dir.path()));
+    EXPECT_FALSE(util::pathExists(dir.path() + "/MANIFEST.tmp.999"));
+    EXPECT_FALSE(util::pathExists(dir.path() + "/runs.g7.jsonl"));
+    // The live generation and manifest are untouched.
+    EXPECT_TRUE(util::pathExists(dir.path() + "/runs.g0.jsonl"));
+    auto store = openOrDie(dir.path());
+    EXPECT_EQ(1u, store->stats().loaded);
+}
+
+TEST(PersistentRawStore, SweepWithoutManifestOnlyRemovesTmpFiles)
+{
+    TempStoreDir dir("sweepnomanifest");
+    ASSERT_TRUE(util::ensureDir(dir.path()).ok());
+    { std::ofstream(dir.path() + "/runs.g3.jsonl") << "x\n"; }
+    { std::ofstream(dir.path() + "/LOCK.tmp.1") << "y"; }
+    // No manifest: no generation is provably dead, so only tmp files go.
+    EXPECT_EQ(1u, runner::sweepRawStoreOrphans(dir.path()));
+    EXPECT_TRUE(util::pathExists(dir.path() + "/runs.g3.jsonl"));
+}
+
+} // namespace
