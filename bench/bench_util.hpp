@@ -90,6 +90,9 @@ struct SweepCliOptions
     int shards = 1;             ///< --shards K (1: unsharded)
     int shard_index = 0;        ///< --shard-index I in [0, K)
     std::string raw_store;      ///< --raw-store DIR (empty: off)
+    /** --workloads A,B,... (empty: the figure's defaults). Suite names
+     *  or trace:<path> specs; fig5_multiprog takes co-schedule specs. */
+    std::string workloads;
 };
 
 /**
@@ -117,8 +120,12 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
         std::string name = arg;
         std::string value;
         bool has_value = false;
+        // Only split "--flag=value" at the '=': a bare operand like a
+        // workload spec ("trace:runs/a=b.trc") must reach the
+        // unknown-argument diagnostic whole, not be misparsed as a
+        // flag named by its prefix.
         const std::string::size_type eq = arg.find('=');
-        if (eq != std::string::npos) {
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
             name = arg.substr(0, eq);
             value = arg.substr(eq + 1);
             has_value = true;
@@ -127,12 +134,12 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
         static const std::set<std::string> kValueFlags = {
             "--jobs",    "--journal", "--point-timeout",
             "--trace",   "--metrics", "--shards",
-            "--shard-index", "--raw-store"};
+            "--shard-index", "--raw-store", "--workloads"};
         static const std::set<std::string> kBoolFlags = {
             "--resume", "--cache-stats", "--progress"};
         static const std::set<std::string> kSimOnly = {
             "--journal", "--resume", "--point-timeout", "--progress",
-            "--shards", "--shard-index"};
+            "--shards", "--shard-index", "--workloads"};
 
         if (!kValueFlags.count(name) && !kBoolFlags.count(name)) {
             return Error{ErrorCode::ParseError,
@@ -141,7 +148,8 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
                              "--resume, --point-timeout SECONDS, "
                              "--cache-stats, --trace PATH, "
                              "--metrics PATH, --progress, --shards K, "
-                             "--shard-index I, --raw-store DIR)"};
+                             "--shard-index I, --raw-store DIR, "
+                             "--workloads A,B)"};
         }
         if (!seen.insert(name).second) {
             return Error{ErrorCode::ParseError,
@@ -206,6 +214,19 @@ tryParseSweepCli(int argc, const char* const* argv, bool sim_flags = true)
                              "--raw-store needs a directory"};
             }
             options.raw_store = value;
+        } else if (name == "--workloads") {
+            if (value.empty()) {
+                return Error{ErrorCode::ParseError,
+                             "--workloads needs a comma-joined list"};
+            }
+            // Journal shard-meta lines store the list in a quoted JSON
+            // field parsed without escapes; refuse the one character
+            // that would corrupt it.
+            if (value.find('"') != std::string::npos) {
+                return Error{ErrorCode::ParseError,
+                             "--workloads must not contain '\"'"};
+            }
+            options.workloads = value;
         }
     }
     if (options.resume && options.journal.empty()) {

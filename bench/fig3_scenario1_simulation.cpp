@@ -27,6 +27,11 @@
  * whole figure without a single simulation (sim_calls=0) and emits
  * byte-identical tables. Safe to share across shards and job counts.
  *
+ * Workload override: --workloads A,B,... replaces the twelve-application
+ * suite; entries are suite names or trace:<path> specs (tlppm_tracegen
+ * dumps the suite to such traces). Replaying the suite's own traces
+ * reproduces the default tables byte for byte.
+ *
  * The rendering itself lives in service::renderFigure ("fig3") — the
  * sweep service serves the identical tables from the same code path.
  */
@@ -55,7 +60,14 @@ main(int argc, char** argv)
     options.shards = cli.shards;
     options.shard_index = cli.shard_index;
     options.raw_store = tlppm_bench::rawStorePath(cli);
+    options.workloads = cli.workloads;
     const auto run = tlp::service::renderFigure("fig3", options);
+    if (!run) {
+        // An unresolvable --workloads spec (unknown name, unreadable or
+        // corrupt trace) is a usage error, like a malformed flag.
+        std::cerr << "error: " << run.error().describe() << "\n";
+        return 2;
+    }
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);
     tlppm_bench::finishTrace();

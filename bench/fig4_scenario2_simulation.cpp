@@ -16,6 +16,8 @@
  * reassembles the full tables byte-identically.
  * Memoization (as in fig3): --raw-store DIR / TLPPM_RAW_STORE attaches
  * the persistent raw-run store; a warm rerun reports sim_calls=0.
+ * Workload override (as in fig3): --workloads A,B replaces the
+ * FMM/Cholesky/Radix default with suite names or trace:<path> specs.
  *
  * The rendering itself lives in service::renderFigure ("fig4") — the
  * sweep service serves the identical tables from the same code path.
@@ -45,7 +47,14 @@ main(int argc, char** argv)
     options.shards = cli.shards;
     options.shard_index = cli.shard_index;
     options.raw_store = tlppm_bench::rawStorePath(cli);
+    options.workloads = cli.workloads;
     const auto run = tlp::service::renderFigure("fig4", options);
+    if (!run) {
+        // An unresolvable --workloads spec (unknown name, unreadable or
+        // corrupt trace) is a usage error, like a malformed flag.
+        std::cerr << "error: " << run.error().describe() << "\n";
+        return 2;
+    }
     std::cout << run.value().output;
     tlppm_bench::writeMetrics(cli, run.value().metrics_json);
     tlppm_bench::finishTrace();

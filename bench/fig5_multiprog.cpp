@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 5 (beyond the paper): multiprogrammed co-scheduling — k
+ * applications pinned to disjoint core sets of the 16-way CMP, sharing
+ * the L2, the bus, and one global power budget, each arbitrated to its
+ * own DVFS operating point (src/model/multiprog.hpp documents the
+ * composition model and the arbitration).
+ *
+ * Co-schedules come from --workloads as comma-joined specs of the form
+ * NAME:cores+NAME:cores (core count after the LAST ':', so trace:<path>
+ * workloads keep their colon), e.g.
+ *   --workloads "FMM:8+Radix:8,Cholesky:4+Ocean:4+FFT:8"
+ * The default is exactly that pair. Suite names and trace:<path> specs
+ * both work; tlppm_tracegen dumps the suite to traces.
+ *
+ * The grid points are pre-warmed through the jobs-parallel sweep path
+ * and the arbitration itself is serial, so the tables are byte-identical
+ * at any --jobs; with --raw-store DIR a warm rerun prices the whole
+ * figure with sim_calls=0. --shards is rejected (the figure's unit of
+ * work is a co-schedule, not a row).
+ *
+ * The rendering lives in service::renderFigure ("fig5_multiprog") — the
+ * sweep service serves the identical tables from the same code path.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "runner/fault_injection.hpp"
+#include "service/figures.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const tlppm_bench::SweepCliOptions cli =
+        tlppm_bench::parseSweepCli(argc, argv);
+    tlppm_bench::setupTrace(cli);
+    tlp::runner::StoreFaultInjector::instance().installFromEnv();
+    tlp::service::FigureOptions options;
+    options.jobs = cli.jobs;
+    options.scale = tlppm_bench::workloadScale();
+    options.journal_path = cli.journal;
+    options.resume = cli.resume;
+    options.point_timeout_s = cli.point_timeout_s;
+    options.progress = cli.progress;
+    options.cache_stats = cli.cache_stats;
+    options.shards = cli.shards;
+    options.shard_index = cli.shard_index;
+    options.raw_store = tlppm_bench::rawStorePath(cli);
+    options.workloads = cli.workloads;
+    const auto run = tlp::service::renderFigure("fig5_multiprog", options);
+    if (!run) {
+        // A malformed co-schedule spec or unresolvable workload (unknown
+        // name, unreadable or corrupt trace) is a usage error.
+        std::cerr << "error: " << run.error().describe() << "\n";
+        return 2;
+    }
+    std::cout << run.value().output;
+    tlppm_bench::writeMetrics(cli, run.value().metrics_json);
+    tlppm_bench::finishTrace();
+    return 0;
+}

@@ -111,6 +111,10 @@ main(int argc, char** argv)
     options.journal_path = out_path;
     options.resume = true;
     options.cache_stats = cache_stats;
+    // A trace-replay (or otherwise overridden) sweep stamped its
+    // workload list into the shard metadata; re-render against the same
+    // set so the merged tables match the unsharded run byte for byte.
+    options.workloads = stats.workloads;
     const auto run = tlp::service::renderFigure(stats.label, options);
     if (!run.ok()) {
         std::cerr << "error: " << run.error().describe() << "\n";

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * tlppm_tracegen — dump the synthetic workload suite to trace files.
+ *
+ * Usage:
+ *   tlppm_tracegen --out DIR [--workloads A,B,...] [--ns 1,2,4,8,16]
+ *
+ * Writes one sealed version-1 trace file per workload (lowercased name,
+ * ".trc" suffix) into DIR, each holding one `@program` section per
+ * requested thread count, captured at the TLPPM_SCALE problem scale
+ * (default 1.0 — set it to the scale you will replay at; a trace replays
+ * only at its captured scale). The default thread counts cover both
+ * simulation figures (fig3 uses {1,2,4,8,16}, fig4 {1,2,3,4,6,8,10,12,
+ * 14,16}).
+ *
+ * Replaying a dump reproduces the generator tables byte for byte:
+ *   tlppm_tracegen --out traces
+ *   fig3_scenario1_simulation --workloads \
+ *       trace:traces/fmm.trc,trace:traces/cholesky.trc,...
+ *
+ * One line per written file is printed to stdout (its trace:<path>
+ * spec), ready to paste into --workloads.
+ */
+
+#include <cctype>
+#include <iostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/fs.hpp"
+#include "util/parse.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+struct TracegenOptions
+{
+    std::string out;
+    std::vector<std::string> workloads; ///< empty: the whole suite
+    std::vector<int> ns = {1, 2, 3, 4, 6, 8, 10, 12, 14, 16};
+};
+
+std::vector<std::string>
+splitCsv(const std::string& csv)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            parts.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+TracegenOptions
+parseCli(int argc, char** argv)
+{
+    TracegenOptions options;
+    std::set<std::string> seen;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        const std::string::size_type eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+        if (name != "--out" && name != "--workloads" && name != "--ns") {
+            tlppm_bench::usageError(
+                "unknown argument '" + arg +
+                "' (expected --out DIR, --workloads A,B, --ns 1,2,4)");
+        }
+        if (!seen.insert(name).second)
+            tlppm_bench::usageError("duplicate flag '" + name + "'");
+        if (!has_value) {
+            if (i + 1 >= argc)
+                tlppm_bench::usageError("flag '" + name +
+                                        "' needs a value");
+            value = argv[++i];
+        }
+        if (name == "--out") {
+            options.out = value;
+        } else if (name == "--workloads") {
+            options.workloads = splitCsv(value);
+        } else if (name == "--ns") {
+            options.ns.clear();
+            for (const std::string& part : splitCsv(value)) {
+                const auto n = tlp::util::parseInt(part, "--ns", 1, 1024);
+                if (!n)
+                    tlppm_bench::usageError(n.error().describe());
+                options.ns.push_back(static_cast<int>(n.value()));
+            }
+        }
+    }
+    if (options.out.empty())
+        tlppm_bench::usageError("--out DIR is required");
+    if (options.ns.empty())
+        tlppm_bench::usageError("--ns named no thread counts");
+    return options;
+}
+
+/** "Water-Nsq" -> "water-nsq": lowercased, non-alphanumerics dashed. */
+std::string
+slugOf(const std::string& name)
+{
+    std::string slug;
+    for (char c : name) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        slug += std::isalnum(u) ? static_cast<char>(std::tolower(u)) : '-';
+    }
+    return slug;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const TracegenOptions options = parseCli(argc, argv);
+    const double scale = tlppm_bench::workloadScale();
+
+    std::vector<const tlp::workloads::WorkloadInfo*> apps;
+    if (options.workloads.empty()) {
+        for (const auto& info : tlp::workloads::suite())
+            apps.push_back(&info);
+    } else {
+        for (const std::string& spec : options.workloads) {
+            const auto app = tlp::workloads::resolve(spec);
+            if (!app)
+                tlppm_bench::usageError(app.error().describe());
+            apps.push_back(app.value());
+        }
+    }
+
+    const auto made_dir = tlp::util::ensureDir(options.out);
+    if (!made_dir)
+        tlppm_bench::usageError(made_dir.error().describe());
+
+    for (const auto* app : apps) {
+        std::vector<std::pair<int, tlp::sim::Program>> programs;
+        for (int n : options.ns)
+            programs.emplace_back(n, app->make(n, scale));
+        const std::string text =
+            tlp::workloads::formatTrace(app->name, scale, programs);
+        const std::string path =
+            options.out + "/" + slugOf(app->name) + ".trc";
+        const auto written = tlp::util::atomicWriteFile(path, text);
+        if (!written) {
+            std::cerr << "error: " << written.error().describe() << "\n";
+            return 1;
+        }
+        std::cerr << "  [tracegen] " << app->name << " -> " << path
+                  << " (" << text.size() << " bytes, " << options.ns.size()
+                  << " thread counts)\n";
+        std::cout << "trace:" << path << "\n";
+    }
+    return 0;
+}

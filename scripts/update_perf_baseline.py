@@ -56,6 +56,67 @@ RAW_STORE_KEYS = {
     "store_warm_misses": "max_warm_store_misses",
 }
 
+# fig5_multiprog ceilings: the co-scheduling sweep pre-warms every grid
+# point the DVFS arbitration can touch, so its serial simulation count
+# is exact and job-count-invariant -- measured and rewritten like the
+# GUARDED_KEYS.
+FIG5_KEYS = {
+    "sim_calls": "max_fig5_serial_sim_calls",
+}
+
+
+def measure_trace_replay(build_dir):
+    """Dump FFT+FMM to sealed traces and replay them through fig3,
+    returning the replay's metrics (trace_loads / trace_load_micros)."""
+    tracegen = os.path.join(REPO_ROOT, build_dir, "bench",
+                            "tlppm_tracegen")
+    fig3 = os.path.join(REPO_ROOT, build_dir, "bench",
+                        "fig3_scenario1_simulation")
+    for tool in (tracegen, fig3):
+        if not os.path.exists(tool):
+            sys.exit(f"error: {tool} not built; run 'cmake --build "
+                     f"{build_dir} --target tlppm_tracegen "
+                     f"fig3_scenario1_simulation' first")
+    with open(BASELINE) as f:
+        scale = json.load(f)["scale"]
+    env = dict(os.environ, TLPPM_SCALE=str(scale))
+    scratch = tempfile.mkdtemp(prefix="tlppm_baseline_traces_")
+    try:
+        traces = os.path.join(scratch, "traces")
+        subprocess.run([tracegen, "--out", traces, "--workloads",
+                        "FFT,FMM", "--ns", "1,2,4,8,16"], env=env,
+                       check=True, capture_output=True)
+        metrics = os.path.join(scratch, "replay_metrics.json")
+        subprocess.run(
+            [fig3, "--jobs", "1", "--metrics", metrics, "--workloads",
+             f"trace:{traces}/fft.trc,trace:{traces}/fmm.trc"],
+            env=env, check=True, capture_output=True)
+        with open(metrics) as f:
+            return json.load(f)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def measure_fig5(build_dir):
+    """Run the fig5_multiprog co-scheduling sweep serially and return
+    its metrics (the arbitration's exact simulation count)."""
+    fig5 = os.path.join(REPO_ROOT, build_dir, "bench", "fig5_multiprog")
+    if not os.path.exists(fig5):
+        sys.exit(f"error: {fig5} not built; run 'cmake --build "
+                 f"{build_dir} --target fig5_multiprog' first")
+    with open(BASELINE) as f:
+        scale = json.load(f)["scale"]
+    env = dict(os.environ, TLPPM_SCALE=str(scale))
+    scratch = tempfile.mkdtemp(prefix="tlppm_baseline_fig5_")
+    try:
+        metrics = os.path.join(scratch, "fig5_metrics.json")
+        subprocess.run([fig5, "--jobs", "1", "--metrics", metrics],
+                       env=env, check=True, capture_output=True)
+        with open(metrics) as f:
+            return json.load(f)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
 
 def measure_service_repeat(build_dir):
     """Serve the same fig1 request twice against a scratch store and
@@ -167,6 +228,39 @@ def main():
         if old != new:
             baseline[ceiling_key] = new
             changed = True
+
+    print("measuring fig5_multiprog serial simulation ceiling ...")
+    fig5_metrics = measure_fig5(args.build_dir)
+    for metric, ceiling_key in FIG5_KEYS.items():
+        if metric not in fig5_metrics:
+            sys.exit(f"error: fig5 metrics lack '{metric}'")
+        old = baseline.get(ceiling_key)
+        new = fig5_metrics[metric]
+        marker = "" if old == new else f"  (was {old})"
+        print(f"  {ceiling_key} = {new}{marker}")
+        if old != new:
+            baseline[ceiling_key] = new
+            changed = True
+
+    # Trace-loader accounting: informational only. max_trace_load_micros
+    # is wall-clock, so (like the pool-imbalance ceiling) it is a fixed
+    # judgment value with generous headroom -- recording a fast local
+    # measurement as the ceiling would make the guard flaky on shared
+    # runners.
+    print("measuring trace replay loader accounting ...")
+    replay_metrics = measure_trace_replay(args.build_dir)
+    loads = replay_metrics.get("trace_loads")
+    micros = replay_metrics.get("trace_load_micros")
+    ceiling = baseline.get("max_trace_load_micros")
+    print(f"  trace_load_micros = {micros} over {loads} trace load(s) "
+          f"(fixed ceiling {ceiling}, not rewritten)")
+    if loads is None or loads < 1:
+        sys.exit("error: trace replay loaded no traces; the loader "
+                 "accounting is broken")
+    if ceiling is not None and micros > ceiling:
+        print("  WARNING: measured trace load time exceeds the committed "
+              "ceiling -- the loader has regressed badly (quadratic "
+              "parse?); fix it instead of raising the ceiling")
 
     print("measuring service repeat-request ceilings ...")
     service_metrics = measure_service_repeat(args.build_dir)

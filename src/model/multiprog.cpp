@@ -1,0 +1,285 @@
+#include "model/multiprog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "sim/config.hpp"
+#include "thermal/floorplan.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+
+namespace tlp::model {
+
+namespace {
+
+/** Split @p spec on '+' into non-empty parts. */
+std::vector<std::string>
+splitApps(const std::string& spec)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t plus = spec.find('+', start);
+        const std::size_t end = plus == std::string::npos ? spec.size() : plus;
+        parts.push_back(spec.substr(start, end - start));
+        if (plus == std::string::npos)
+            break;
+        start = plus + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+util::Expected<CoSchedule>
+parseCoSchedule(const std::string& spec, int max_cores)
+{
+    CoSchedule sched;
+    sched.name = spec;
+    if (spec.empty())
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "empty co-schedule spec (expected "
+                           "NAME:cores+NAME:cores)");
+    for (const std::string& part : splitApps(spec)) {
+        // The core count sits after the LAST ':' so trace:<path> specs
+        // keep their own colon ("trace:t/fft.trc:4").
+        const std::size_t colon = part.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == part.size())
+            return util::Error(
+                util::ErrorCode::InvalidArgument,
+                util::strcatMsg("co-schedule part '", part,
+                                "' is not NAME:cores"));
+        const std::string name = part.substr(0, colon);
+        const auto cores = util::parseInt(
+            part.substr(colon + 1),
+            util::strcatMsg("core count of co-schedule part '", part, "'"),
+            1, max_cores);
+        if (!cores)
+            return cores.error();
+        const auto app = workloads::resolve(name);
+        if (!app)
+            return util::Error(app.error()).withContext(
+                util::strcatMsg("co-schedule part '", part, "'"));
+        sched.apps.push_back(
+            CoScheduledApp{app.value(), static_cast<int>(cores.value())});
+    }
+    const int total = sched.totalCores();
+    if (total > max_cores)
+        return util::Error(
+            util::ErrorCode::InvalidArgument,
+            util::strcatMsg("co-schedule '", spec, "' needs ", total,
+                            " cores but the chip has ", max_cores));
+    return sched;
+}
+
+namespace {
+
+/** Measured grid of one co-scheduled app, plus its power decomposition
+ *  at every level. */
+struct AppGrid
+{
+    const workloads::WorkloadInfo* app = nullptr;
+    int n = 0;
+    runner::Measurement base;      ///< n = 1 at nominal V/f
+    runner::Measurement nominal_n; ///< n cores at nominal V/f
+    std::vector<runner::Measurement> at; ///< one per grid level
+    std::vector<double> core_w;          ///< core-block power per level
+    std::vector<double> uncore_w;        ///< uncore residue per level
+};
+
+} // namespace
+
+util::Expected<MultiprogResult>
+arbitrateCoSchedule(const runner::Experiment& exp, const CoSchedule& sched,
+                    std::vector<double> freqs_hz, double budget_w)
+{
+    if (sched.apps.empty())
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "co-schedule has no applications");
+    const int chip_cores = exp.cmp().config().n_cores;
+    if (sched.totalCores() > chip_cores)
+        return util::Error(
+            util::ErrorCode::InvalidArgument,
+            util::strcatMsg("co-schedule '", sched.name, "' needs ",
+                            sched.totalCores(), " cores but the chip has ",
+                            chip_cores));
+    if (freqs_hz.empty())
+        freqs_hz = exp.defaultFrequencyGrid();
+    if (!std::is_sorted(freqs_hz.begin(), freqs_hz.end()))
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "frequency grid must be sorted ascending");
+    const double f_nominal = exp.technology().fNominal();
+    if (std::find(freqs_hz.begin(), freqs_hz.end(), f_nominal) ==
+        freqs_hz.end())
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "frequency grid must contain the nominal "
+                           "frequency");
+    if (budget_w <= 0.0)
+        budget_w = exp.maxSingleCorePower();
+
+    const double vdd_nominal = exp.technology().vddNominal();
+    // Area of one core tile: the density -> watts conversion for an app
+    // occupying n_i tiles.
+    const double per_core_area =
+        exp.powerModel().floorplan().coreArea() / chip_cores;
+    const std::size_t levels = freqs_hz.size();
+
+    // Measure every app's full grid plus its two nominal baselines. All
+    // points go through the caches, so a measureAll() prefetch (or a warm
+    // raw-run store) makes this loop pure pricing or pure lookup.
+    std::vector<AppGrid> grids;
+    grids.reserve(sched.apps.size());
+    for (const CoScheduledApp& a : sched.apps) {
+        AppGrid g;
+        g.app = a.app;
+        g.n = a.n;
+        auto base = exp.tryMeasureApp(*a.app, 1, vdd_nominal, f_nominal);
+        if (!base)
+            return std::move(base.error())
+                .withContext(util::strcatMsg("co-schedule '", sched.name,
+                                             "' baseline of ", a.app->name));
+        g.base = base.value();
+        auto nominal = exp.tryMeasureApp(*a.app, a.n, vdd_nominal, f_nominal);
+        if (!nominal)
+            return std::move(nominal.error())
+                .withContext(util::strcatMsg("co-schedule '", sched.name,
+                                             "' nominal point of ",
+                                             a.app->name));
+        g.nominal_n = nominal.value();
+        g.at.reserve(levels);
+        for (double f : freqs_hz) {
+            auto m = f == f_nominal
+                         ? std::move(nominal)
+                         : exp.tryMeasureApp(*a.app, a.n,
+                                             exp.vfTable().voltageFor(f), f);
+            if (!m)
+                return std::move(m.error())
+                    .withContext(util::strcatMsg("co-schedule '", sched.name,
+                                                 "' grid point of ",
+                                                 a.app->name));
+            // Decompose the stand-alone measurement: core part from the
+            // active-core power density over the app's n_i tiles, uncore
+            // residue = everything else (L2, bus, idle cores).
+            const runner::Measurement& mm = m.value();
+            const double core =
+                mm.core_power_density_w_m2 * per_core_area * g.n;
+            g.core_w.push_back(core);
+            g.uncore_w.push_back(std::max(0.0, mm.total_w - core));
+            g.at.push_back(mm);
+        }
+        grids.push_back(std::move(g));
+    }
+
+    // Composed chip power at a per-app level vector: sum of core parts
+    // plus the largest uncore residue (the shared uncore priced once, at
+    // the hungriest co-runner's demand). Monotone in every level.
+    const auto chipPower = [&](const std::vector<std::size_t>& lv) {
+        double core_sum = 0.0;
+        double uncore_max = 0.0;
+        for (std::size_t i = 0; i < grids.size(); ++i) {
+            core_sum += grids[i].core_w[lv[i]];
+            uncore_max = std::max(uncore_max, grids[i].uncore_w[lv[i]]);
+        }
+        return core_sum + uncore_max;
+    };
+    const auto runawayAt = [&](const std::vector<std::size_t>& lv) {
+        for (std::size_t i = 0; i < grids.size(); ++i)
+            if (grids[i].at[lv[i]].runaway)
+                return true;
+        return false;
+    };
+    const auto feasibleAt = [&](const std::vector<std::size_t>& lv) {
+        return chipPower(lv) <= budget_w && !runawayAt(lv);
+    };
+
+    MultiprogResult result;
+    result.name = sched.name;
+    result.budget_w = budget_w;
+
+    std::vector<std::size_t> chosen(grids.size(), 0);
+    result.feasible = feasibleAt(chosen);
+    if (result.feasible) {
+        // Binary search the highest common grid level within the budget
+        // (chip power is monotone in the common level — the Scenario-2
+        // feasibility idiom, lifted from one app to the composed chip).
+        std::size_t lo = 0;
+        std::size_t hi = levels - 1;
+        const auto allAt = [&](std::size_t level) {
+            return std::vector<std::size_t>(grids.size(), level);
+        };
+        if (feasibleAt(allAt(hi))) {
+            lo = hi;
+        } else {
+            while (hi - lo > 1) {
+                const std::size_t mid = lo + (hi - lo) / 2;
+                (feasibleAt(allAt(mid)) ? lo : hi) = mid;
+            }
+        }
+        chosen.assign(grids.size(), lo);
+
+        // Water-fill the remaining headroom: repeated passes in
+        // descriptor order, raising one app one level at a time while
+        // the budget holds. Levels only ever increase, so the loop
+        // terminates; the fixed order keeps the outcome deterministic.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 0; i < grids.size(); ++i) {
+                if (chosen[i] + 1 >= levels)
+                    continue;
+                std::vector<std::size_t> next = chosen;
+                ++next[i];
+                if (feasibleAt(next)) {
+                    chosen = std::move(next);
+                    changed = true;
+                }
+            }
+        }
+    }
+    result.chip_power_w = chipPower(chosen);
+    for (std::size_t i = 0; i < grids.size(); ++i)
+        result.uncore_w =
+            std::max(result.uncore_w, grids[i].uncore_w[chosen[i]]);
+
+    const int total_cores = sched.totalCores();
+    for (std::size_t i = 0; i < grids.size(); ++i) {
+        const AppGrid& g = grids[i];
+        const std::size_t lv = chosen[i];
+        MultiprogAppRow row;
+        row.workload = g.app->name;
+        row.n = g.n;
+        row.freq_hz = freqs_hz[lv];
+        row.vdd = g.at[lv].vdd;
+        row.core_w = g.core_w[lv];
+        row.uncore_w = g.uncore_w[lv];
+        row.budget_share =
+            result.chip_power_w > 0.0 ? g.core_w[lv] / result.chip_power_w
+                                      : 0.0;
+        row.speedup = g.base.seconds / g.at[lv].seconds;
+        row.at_nominal = freqs_hz[lv] == f_nominal;
+        // Fair-share reference: the app alone under a static per-core
+        // budget split, straight through the Scenario-2 machinery.
+        // scenario2Row throws FatalError on a failed measurement
+        // (interpolation probes are not pre-warmed points), so contain
+        // it here the way tryMeasure-family does.
+        const double fair_budget =
+            budget_w * static_cast<double>(g.n) / total_cores;
+        try {
+            const runner::Scenario2Row fair = exp.scenario2Row(
+                *g.app, g.n, g.base, g.nominal_n, freqs_hz, fair_budget);
+            row.fair_speedup = fair.actual_speedup;
+        } catch (const util::FatalError& e) {
+            return util::Error(util::ErrorCode::SimulationError, e.what())
+                .withContext(util::strcatMsg("co-schedule '", sched.name,
+                                             "' fair-share reference of ",
+                                             g.app->name));
+        }
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+} // namespace tlp::model

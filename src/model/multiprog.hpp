@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multiprogrammed co-scheduling under one global power budget.
+ *
+ * The paper evaluates thread-level parallelism one application at a
+ * time; this module adds the multiprogrammed dimension its ROADMAP item
+ * calls for: k independent applications pinned to disjoint core sets of
+ * the same CMP, sharing the L2, the bus, and — crucially — a single
+ * chip-level power budget. Following Silva et al.'s observation that
+ * energy-optimal operating points must be arbitrated globally rather
+ * than per application in isolation, the arbitration below assigns each
+ * application its own DVFS operating point such that the co-scheduled
+ * chip stays within the budget.
+ *
+ * Power composition model: each application's stand-alone measurement at
+ * its core count n_i decomposes into a core part (its measured active-
+ * core power density times the area of its n_i tiles) and an uncore
+ * residue (shared L2/bus/idle-core power). Co-scheduled chip power is
+ * the sum of the per-app core parts plus the *maximum* uncore residue —
+ * the shared uncore is priced once, at the demand of the hungriest
+ * co-runner, which is conservative for the budget check and keeps the
+ * composed power monotone in every per-app frequency (the property the
+ * binary search needs).
+ *
+ * Arbitration: find the highest common V/f grid level all apps can run
+ * at within the budget (binary search over the monotone composed power,
+ * the Scenario-2 feasibility idiom), then deterministically water-fill
+ * the remaining headroom — repeated passes in descriptor order raising
+ * one app one grid level at a time while the budget holds. Everything is
+ * a pure function of the measured grid, so the outcome is byte-identical
+ * at every job count, and a warm raw-run store prices a repeat run with
+ * zero simulations.
+ *
+ * The fair-share reference column reuses Experiment::scenario2Row
+ * verbatim: each app alone under budget_w * n_i / total_cores — what the
+ * app would get if the budget were split by core count with no
+ * co-runner interference — so the table shows what global arbitration
+ * buys or costs each workload relative to a static split.
+ */
+
+#ifndef TLP_MODEL_MULTIPROG_HPP
+#define TLP_MODEL_MULTIPROG_HPP
+
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlp::model {
+
+/** One application of a co-schedule, pinned to @p n dedicated cores. */
+struct CoScheduledApp
+{
+    const workloads::WorkloadInfo* app = nullptr;
+    int n = 1;
+};
+
+/** k applications on disjoint core sets of one chip. */
+struct CoSchedule
+{
+    std::string name; ///< display name, e.g. "FFT:8+Ocean:8"
+    std::vector<CoScheduledApp> apps;
+
+    int totalCores() const
+    {
+        int total = 0;
+        for (const CoScheduledApp& a : apps)
+            total += a.n;
+        return total;
+    }
+};
+
+/**
+ * Parse a co-schedule spec "NAME:cores+NAME:cores[+...]", e.g.
+ * "FFT:8+Ocean:8" or "trace:traces/fft.trc:4+Radix:12". The core count
+ * is taken from the LAST ':' of each part, so trace:<path> specs keep
+ * their own colon; paths must not contain '+'. Workload names resolve
+ * through workloads::resolve() (suite names and trace specs). Core
+ * counts must be >= 1 and sum to at most @p max_cores.
+ */
+util::Expected<CoSchedule> parseCoSchedule(const std::string& spec,
+                                           int max_cores);
+
+/** Per-app outcome of one arbitrated co-schedule. */
+struct MultiprogAppRow
+{
+    std::string workload; ///< display name
+    int n = 0;            ///< dedicated cores
+    double freq_hz = 0.0; ///< arbitrated operating frequency
+    double vdd = 0.0;
+    double core_w = 0.0;   ///< core-block power at the chosen point
+    double uncore_w = 0.0; ///< this app's stand-alone uncore residue
+    /** Fraction of the arbitrated chip power attributed to this app's
+     *  cores. */
+    double budget_share = 0.0;
+    /** Wall-clock speedup vs this app's own sequential (n = 1) run at
+     *  nominal V/f — the paper's speedup normalization. */
+    double speedup = 0.0;
+    /** scenario2Row speedup of the app alone under the fair static
+     *  budget split budget * n / total_cores. */
+    double fair_speedup = 0.0;
+    bool at_nominal = false; ///< arbitrated to full nominal V/f
+};
+
+/** One arbitrated co-schedule. */
+struct MultiprogResult
+{
+    std::string name;        ///< CoSchedule display name
+    double budget_w = 0.0;   ///< the global budget arbitrated against
+    double chip_power_w = 0.0; ///< composed chip power at the outcome
+    /** Shared-uncore residue priced into chip_power_w (the max over
+     *  the co-runners). */
+    double uncore_w = 0.0;
+    /** False when even the lowest grid point exceeds the budget; the
+     *  rows then carry the lowest-point data for diagnosis. */
+    bool feasible = false;
+    std::vector<MultiprogAppRow> rows; ///< one per app, descriptor order
+};
+
+/**
+ * Arbitrate @p sched against @p budget_w on @p exp's testbed.
+ *
+ * @param freqs_hz V/f grid, sorted ascending and containing the nominal
+ *                 frequency; empty selects exp.defaultFrequencyGrid()
+ * @param budget_w global chip budget; <= 0 selects the paper's default,
+ *                 the microbenchmark-derived single-core maximum
+ *
+ * Measurement failures (simulation/pricing errors at any probed point)
+ * surface as the typed error of the failing point. All probed points
+ * are served through the attached caches, so pre-warming them (e.g.
+ * SweepRunner::measureAll over apps x grid) parallelizes the expensive
+ * part without changing a byte of the outcome.
+ */
+util::Expected<MultiprogResult>
+arbitrateCoSchedule(const runner::Experiment& exp, const CoSchedule& sched,
+                    std::vector<double> freqs_hz = {},
+                    double budget_w = 0.0);
+
+} // namespace tlp::model
+
+#endif // TLP_MODEL_MULTIPROG_HPP

@@ -488,7 +488,9 @@ util::Expected<std::shared_ptr<const sim::RunResult>>
 Experiment::trySimulateApp(const workloads::WorkloadInfo& app, int n,
                            double freq_hz) const
 {
-    const RawRunKey key{app.name, n, scale_, freq_hz};
+    // key(), not name: a trace-backed workload caches under its
+    // content-CRC identity so an edited trace can never hit stale runs.
+    const RawRunKey key{app.key(), n, scale_, freq_hz};
     if (raw_cache_) {
         if (std::shared_ptr<const sim::RunResult> cached =
                 raw_cache_->find(key)) {
@@ -526,7 +528,7 @@ Experiment::tryMeasureApp(const workloads::WorkloadInfo& app, int n,
 {
     TLPPM_TRACE_SCOPE("runner", "measure:", app.name, " n=", n,
                       " vdd=", vdd, " f=", freq_hz * 1e-9, "GHz");
-    const RunKey key{app.name, n, scale_, vdd, freq_hz};
+    const RunKey key{app.key(), n, scale_, vdd, freq_hz};
     if (cache_) {
         if (std::optional<Measurement> cached = cache_->find(key)) {
             util::traceInstant("cache", "priced-hit:", app.name, " n=", n,

@@ -385,6 +385,13 @@ Journal::formatShardMetaLine(const ShardInfo& info)
     appendU64(line, static_cast<std::uint64_t>(info.shards));
     line += ",\"i\":";
     appendU64(line, static_cast<std::uint64_t>(info.shard_index));
+    // Only non-default workload sets are stamped, so journals of plain
+    // suite sweeps keep the exact line format earlier releases wrote.
+    if (!info.workloads.empty()) {
+        line += ",\"apps\":\"";
+        line += info.workloads;
+        line += "\"";
+    }
     line += "}";
     const std::uint32_t crc = util::crc32(line);
     line += ",\"crc\":";
@@ -443,6 +450,9 @@ Journal::readShardInfo(const std::string& path)
         } else {
             info.shards = static_cast<int>(shards);
             info.shard_index = static_cast<int>(index);
+            // Optional field (absent on plain suite sweeps and on
+            // journals from before workload selection existed).
+            parseStringField(line, "apps", info.workloads);
             found = info;
         }
         line.clear();
@@ -500,7 +510,8 @@ Journal::mergeShards(const std::vector<std::string>& shard_paths,
     for (std::size_t s = 0; s < infos.size(); ++s) {
         const ShardInfo& info = infos[s];
         if (info.label != first.label || info.shards != first.shards ||
-            quantizeScale(info.scale) != quantizeScale(first.scale))
+            quantizeScale(info.scale) != quantizeScale(first.scale) ||
+            info.workloads != first.workloads)
             return util::Error{
                 util::ErrorCode::InvalidArgument,
                 util::strcatMsg(
@@ -536,6 +547,7 @@ Journal::mergeShards(const std::vector<std::string>& shard_paths,
     stats.shards = shard_paths.size();
     stats.label = first.label;
     stats.scale = first.scale;
+    stats.workloads = first.workloads;
     RunCache cache;
     std::size_t replayed_total = 0;
     for (const std::string& path : shard_paths) {

@@ -64,6 +64,15 @@ struct ShardInfo
     double scale = 0.0;  ///< problem-size scale the shard ran at
     int shards = 1;      ///< total shard count K
     int shard_index = 0; ///< this journal's shard in [0, K)
+    /**
+     * Comma-joined workload spec list the sweep ran over, empty for the
+     * figure's default suite. Carried so a merged journal of a
+     * trace-replay sweep can be re-rendered against the same workload
+     * set (tlppm_merge forwards it to the renderer), and so shards of
+     * sweeps over different workload sets refuse to merge. Specs must
+     * not contain '"' or ',' (trace paths never do in practice).
+     */
+    std::string workloads = {};
 };
 
 /** Outcome of merging shard journals into one unsharded journal. */
@@ -76,6 +85,8 @@ struct MergeStats
     std::size_t inadmissible = 0; ///< records the cache refused
     std::string label;  ///< the common sweep label from the metadata
     double scale = 0.0; ///< the common problem-size scale
+    /** The common workload spec list (empty: figure default suite). */
+    std::string workloads;
 };
 
 /** Append-only, fsync'd, CRC-protected record of completed runs. */

@@ -48,6 +48,8 @@ RunMetrics::fromReport(const SweepReport& report)
     m.store_quarantined = report.store_quarantined;
     m.store_fp_rejected = report.store_fp_rejected;
     m.store_load_micros = report.store_load_micros;
+    m.trace_loads = report.trace_loads;
+    m.trace_load_micros = report.trace_load_micros;
     m.queue_high_water = report.queue_high_water;
     m.core_cycles = report.core_cycles;
     return m;
@@ -160,6 +162,8 @@ RunMetrics::toJson() const
     appendField(out, "store_quarantined", store_quarantined, first);
     appendField(out, "store_fp_rejected", store_fp_rejected, first);
     appendField(out, "store_load_micros", store_load_micros, first);
+    appendField(out, "trace_loads", trace_loads, first);
+    appendField(out, "trace_load_micros", trace_load_micros, first);
     appendField(out, "queue_high_water", queue_high_water, first);
     out += ",\n  \"per_core\": [";
     for (std::size_t i = 0; i < core_cycles.size(); ++i) {

@@ -87,6 +87,10 @@ struct RunMetrics
     std::uint64_t store_fp_rejected = 0;
     std::uint64_t store_load_micros = 0;
 
+    // Trace front-end accounting (zero without trace:<path> workloads).
+    std::uint64_t trace_loads = 0;
+    std::uint64_t trace_load_micros = 0;
+
     // Kernel telemetry.
     std::uint64_t queue_high_water = 0;
     std::vector<sim::CoreCycleBreakdown> core_cycles;

@@ -134,6 +134,13 @@ struct SweepReport
     std::uint64_t store_fp_rejected = 0;    ///< stale-model records
     std::uint64_t store_load_micros = 0;    ///< open()-time load wall
 
+    /** Trace front-end accounting (absolute for the process, like the
+     *  store load numbers: traces parse once in the workload registry,
+     *  usually before the sweep starts): trace files read+parsed and
+     *  the wall time that cost. Zero without trace:<path> workloads. */
+    std::uint64_t trace_loads = 0;
+    std::uint64_t trace_load_micros = 0;
+
     /** Per-core busy/stall/sync cycle totals summed over every
      *  simulation this sweep executed, all workers combined; entry i is
      *  core i. Cache hits contribute nothing. */

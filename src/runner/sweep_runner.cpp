@@ -13,6 +13,7 @@
 #include "util/logging.hpp"
 #include "util/trace.hpp"
 #include "util/watchdog.hpp"
+#include "workloads/trace.hpp"
 
 namespace tlp::runner {
 
@@ -187,6 +188,7 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
                 if (info.label != options_.progress_label ||
                     info.shards != options_.shards ||
                     info.shard_index != options_.shard_index ||
+                    info.workloads != options_.workloads ||
                     quantizeScale(info.scale) !=
                         quantizeScale(options_.scale)) {
                     util::fatal(util::strcatMsg(
@@ -219,7 +221,8 @@ SweepRunner::SweepRunner(Options options) : options_(std::move(options))
             journal_->appendShardMeta(ShardInfo{options_.progress_label,
                                                 options_.scale,
                                                 options_.shards,
-                                                options_.shard_index});
+                                                options_.shard_index,
+                                                options_.workloads});
         }
         // Set the observer only after replay: replayed entries are
         // already on disk and must not be appended a second time.
@@ -434,6 +437,13 @@ SweepRunner::finishSweep()
         report_.store_fp_rejected = stats.fingerprint_rejected;
         report_.store_load_micros = stats.load_micros;
     }
+    // Trace-front-end numbers are absolute for the process, like the
+    // store load numbers: registry parses happen on first workload
+    // resolution, before (or independent of) any sweep.
+    const workloads::TraceLoadStats trace_stats =
+        workloads::traceLoadStats();
+    report_.trace_loads = trace_stats.loads;
+    report_.trace_load_micros = trace_stats.load_micros;
     if (pool_) {
         report_.pool_workers_pinned = pool_->stats().workers_pinned;
         util::traceInstant("sweep", "pool: tasks=", report_.pool_tasks,
@@ -524,10 +534,10 @@ SweepRunner::scenario1Sweep(
         for (std::size_t i = 0; i < n_ns; ++i) {
             if (!profileNeeded(a, i))
                 continue;
-            const RunKey priced_key{apps[a]->name, ns[i], options_.scale,
-                                    v1, f1};
-            const RawRunKey raw_key{apps[a]->name, ns[i], options_.scale,
-                                    f1};
+            const RunKey priced_key{apps[a]->key(), ns[i],
+                                    options_.scale, v1, f1};
+            const RawRunKey raw_key{apps[a]->key(), ns[i],
+                                    options_.scale, f1};
             const bool expensive = !cache_.contains(priced_key) &&
                 !raw_cache_.contains(raw_key);
             profile_order.push_back({a, i, expensive});
@@ -683,10 +693,10 @@ SweepRunner::scenario2Sweep(
         for (std::size_t i = 0; i < n_ns; ++i) {
             if (!profileNeeded(a, i))
                 continue;
-            const RunKey priced_key{apps[a]->name, ns[i], options_.scale,
-                                    v1, f1};
-            const RawRunKey raw_key{apps[a]->name, ns[i], options_.scale,
-                                    f1};
+            const RunKey priced_key{apps[a]->key(), ns[i],
+                                    options_.scale, v1, f1};
+            const RawRunKey raw_key{apps[a]->key(), ns[i],
+                                    options_.scale, f1};
             const bool expensive = !cache_.contains(priced_key) &&
                 !raw_cache_.contains(raw_key);
             profile_order.push_back({a, i, expensive});
@@ -763,7 +773,7 @@ SweepRunner::scenario2Sweep(
             }
             bool expensive = false;
             for (double f : freqs_hz) {
-                if (!raw_cache_.contains(RawRunKey{apps[a]->name, ns[i],
+                if (!raw_cache_.contains(RawRunKey{apps[a]->key(), ns[i],
                                                    options_.scale, f})) {
                     expensive = true;
                     break;
@@ -829,9 +839,9 @@ SweepRunner::measureAll(const std::vector<MeasureSpec>& specs)
     spec_order.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const MeasureSpec& spec = specs[i];
-        const RunKey priced_key{spec.app->name, spec.n, options_.scale,
+        const RunKey priced_key{spec.app->key(), spec.n, options_.scale,
                                 spec.vdd, spec.freq_hz};
-        const RawRunKey raw_key{spec.app->name, spec.n, options_.scale,
+        const RawRunKey raw_key{spec.app->key(), spec.n, options_.scale,
                                 spec.freq_hz};
         const bool expensive = !cache_.contains(priced_key) &&
             !raw_cache_.contains(raw_key);

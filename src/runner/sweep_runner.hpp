@@ -118,6 +118,16 @@ class SweepRunner
         int shards = 1;
         int shard_index = 0; ///< this process's shard in [0, shards)
         /**
+         * Canonical comma-joined workload spec list the sweep runs over
+         * (empty: the figure's default suite). Purely identity metadata:
+         * it is stamped into sharded journals (and checked on reopen) so
+         * tlppm_merge can re-render a trace-replay sweep against the
+         * same workload set and refuses to mix shards of different
+         * sweeps. Row ownership still hashes display names, so a trace
+         * replay shards exactly like its generator original.
+         */
+        std::string workloads;
+        /**
          * Directory of the persistent cross-process raw-run store
          * (empty: off). Implies share_cache. Opened in the shared lock
          * mode at construction and attached below the RawRunCache, so

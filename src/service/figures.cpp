@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "model/efficiency.hpp"
+#include "model/multiprog.hpp"
 #include "model/scenario1.hpp"
 #include "model/scenario2.hpp"
 #include "runner/sweep_runner.hpp"
@@ -424,10 +425,54 @@ sweepOptions(const FigureOptions& options, const char* label)
     sweep.shards = options.shards;
     sweep.raw_store = options.raw_store;
     sweep.shard_index = options.shard_index;
+    sweep.workloads = options.workloads;
     return sweep;
 }
 
-FigureRun
+/** Split the comma-joined --workloads list; empty input or empty parts
+ *  (",,") yield no entries. */
+std::vector<std::string>
+splitList(const std::string& csv)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            parts.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+/** Resolve the --workloads override of fig3/fig4 (suite names or
+ *  trace:<path> specs); empty yields the figure's default @p fallback
+ *  list. A bad spec or unreadable/corrupt trace is a typed error. */
+util::Expected<std::vector<const workloads::WorkloadInfo*>>
+resolveApps(const std::string& csv,
+            std::vector<const workloads::WorkloadInfo*> fallback)
+{
+    if (csv.empty())
+        return fallback;
+    std::vector<const workloads::WorkloadInfo*> apps;
+    for (const std::string& spec : splitList(csv)) {
+        auto app = workloads::resolve(spec);
+        if (!app)
+            return std::move(app.error())
+                .withContext("--workloads '" + spec + "'");
+        apps.push_back(app.value());
+    }
+    if (apps.empty())
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "--workloads named no workloads");
+    return apps;
+}
+
+util::Expected<FigureRun>
 renderFig3(const FigureOptions& options)
 {
     FigureRun run;
@@ -435,6 +480,18 @@ renderFig3(const FigureOptions& options)
     std::ostringstream out;
     banner(out, "Figure 3 -- Scenario I on the simulated CMP (scale " +
                     util::Table::num(options.scale, 2) + ")");
+
+    // Resolve the workload override before constructing the runner: a
+    // bad --workloads spec (or a corrupt trace) must fail fast, not
+    // after a journal/store has been opened.
+    std::vector<const workloads::WorkloadInfo*> defaults;
+    for (const auto& info : workloads::suite())
+        defaults.push_back(&info);
+    auto resolved = resolveApps(options.workloads, std::move(defaults));
+    if (!resolved)
+        return std::move(resolved.error()).withContext("fig3");
+    const std::vector<const workloads::WorkloadInfo*>& apps =
+        resolved.value();
 
     runner::SweepRunner sweep(sweepOptions(options, "fig3"));
     const std::vector<int> ns = {1, 2, 4, 8, 16};
@@ -451,10 +508,6 @@ renderFig3(const FigureOptions& options)
     util::Table dens("Panel 4: normalized power density", header);
     util::Table temp("Panel 5: average temperature [C]", header);
 
-    const auto& suite = workloads::suite();
-    std::vector<const workloads::WorkloadInfo*> apps;
-    for (const auto& info : suite)
-        apps.push_back(&info);
     std::cerr << "  [fig3] sweeping " << apps.size() << " applications on "
               << sweep.jobs() << " worker(s)\n";
     const auto all_rows = sweep.scenario1Sweep(apps, ns);
@@ -536,7 +589,7 @@ renderFig3(const FigureOptions& options)
 // under the power budget of one maxed-out core, N = 1..16.
 // --------------------------------------------------------------------
 
-FigureRun
+util::Expected<FigureRun>
 renderFig4(const FigureOptions& options)
 {
     FigureRun run;
@@ -545,6 +598,15 @@ renderFig4(const FigureOptions& options)
     banner(out, "Figure 4 -- Scenario II on the simulated CMP (scale " +
                     util::Table::num(options.scale, 2) + ")");
 
+    std::vector<const workloads::WorkloadInfo*> defaults;
+    for (const char* name : {"FMM", "Cholesky", "Radix"})
+        defaults.push_back(&workloads::byName(name));
+    auto resolved = resolveApps(options.workloads, std::move(defaults));
+    if (!resolved)
+        return std::move(resolved.error()).withContext("fig4");
+    const std::vector<const workloads::WorkloadInfo*>& apps =
+        resolved.value();
+
     runner::SweepRunner sweep(sweepOptions(options, "fig4"));
     out << "Power budget (microbenchmark-derived single-core "
            "maximum): "
@@ -552,10 +614,6 @@ renderFig4(const FigureOptions& options)
         << " W\n\n";
 
     const std::vector<int> ns = {1, 2, 3, 4, 6, 8, 10, 12, 14, 16};
-    const char* app_names[] = {"FMM", "Cholesky", "Radix"};
-    std::vector<const workloads::WorkloadInfo*> apps;
-    for (const char* name : app_names)
-        apps.push_back(&workloads::byName(name));
     std::cerr << "  [fig4] sweeping " << apps.size() << " applications on "
               << sweep.jobs() << " worker(s)\n";
     const auto all_rows = sweep.scenario2Sweep(apps, ns);
@@ -607,13 +665,163 @@ renderFig4(const FigureOptions& options)
     return run;
 }
 
+// --------------------------------------------------------------------
+// Figure 5 (beyond the paper): multiprogrammed co-scheduling — k
+// applications on disjoint core sets of the 16-way CMP, their DVFS
+// operating points arbitrated against one global power budget.
+// --------------------------------------------------------------------
+
+/** Default co-schedules: a compute/memory pair and an asymmetric
+ *  three-way mix, both filling the 16-way chip. */
+const std::vector<std::string>&
+defaultSchedules()
+{
+    static const std::vector<std::string> specs = {
+        "FMM:8+Radix:8", "Cholesky:4+Ocean:4+FFT:8"};
+    return specs;
+}
+
+util::Expected<FigureRun>
+renderFig5(const FigureOptions& options)
+{
+    FigureRun run;
+    run.simulated = true;
+    std::ostringstream out;
+    banner(out, "Figure 5 -- Multiprogrammed co-scheduling under one "
+                "power budget (scale " +
+                    util::Table::num(options.scale, 2) + ")");
+
+    if (options.shards > 1)
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "fig5_multiprog does not shard (its unit of "
+                           "work is one co-schedule, not one row)");
+
+    runner::SweepRunner sweep(sweepOptions(options, "fig5"));
+    const runner::Experiment& exp = sweep.experiment();
+    const int chip_cores = exp.cmp().config().n_cores;
+    const double budget_w = exp.maxSingleCorePower();
+    const std::vector<double> grid = exp.defaultFrequencyGrid();
+    const double f_nominal = exp.technology().fNominal();
+    const double vdd_nominal = exp.technology().vddNominal();
+
+    out << "Power budget (microbenchmark-derived single-core "
+           "maximum): "
+        << util::Table::num(budget_w, 1) << " W\n\n";
+
+    // Parse every co-schedule up front: a bad spec is a usage error for
+    // the whole figure, not a contained point failure.
+    const std::vector<std::string> specs = options.workloads.empty()
+                                               ? defaultSchedules()
+                                               : splitList(options.workloads);
+    std::vector<model::CoSchedule> schedules;
+    for (const std::string& spec : specs) {
+        auto sched = model::parseCoSchedule(spec, chip_cores);
+        if (!sched)
+            return std::move(sched.error()).withContext("fig5_multiprog");
+        schedules.push_back(std::move(sched.value()));
+    }
+    if (schedules.empty())
+        return util::Error(util::ErrorCode::InvalidArgument,
+                           "fig5_multiprog: no co-schedules given");
+
+    // Prefetch every grid point the arbitration will consult through the
+    // jobs-parallel sweep path (shared caches make the later serial
+    // arbitration pure lookup, so the tables are byte-identical at any
+    // --jobs). scenario2Row's off-grid interpolation/validation probes
+    // are the only points simulated after this — on the calling thread,
+    // deterministically.
+    std::vector<runner::MeasureSpec> specs_to_warm;
+    for (const model::CoSchedule& sched : schedules) {
+        for (const model::CoScheduledApp& a : sched.apps) {
+            specs_to_warm.push_back({a.app, 1, vdd_nominal, f_nominal});
+            specs_to_warm.push_back({a.app, a.n, vdd_nominal, f_nominal});
+            for (double f : grid) {
+                if (f != f_nominal)
+                    specs_to_warm.push_back(
+                        {a.app, a.n, exp.vfTable().voltageFor(f), f});
+            }
+        }
+    }
+    std::cerr << "  [fig5] warming " << specs_to_warm.size()
+              << " grid points for " << schedules.size()
+              << " co-schedule(s) on " << sweep.jobs() << " worker(s)\n";
+    sweep.measureAll(specs_to_warm);
+    run.report = sweep.lastReport();
+
+    // Post-sweep counter snapshot: the arbitration below runs on the
+    // calling thread after finishSweep(), so fold its (interpolation /
+    // validation) work into the report by delta.
+    const std::uint64_t sim0 = exp.simCalls();
+    const std::uint64_t events0 = exp.simEvents();
+    const std::uint64_t price0 = exp.priceCalls();
+
+    for (const model::CoSchedule& sched : schedules) {
+        util::Table table(
+            "Figure 5: " + sched.name,
+            {"Application", "cores", "f [GHz]", "Vdd [V]", "core [W]",
+             "share [%]", "speedup", "fair speedup", "at nominal V/f"});
+        auto result = model::arbitrateCoSchedule(exp, sched, grid,
+                                                 budget_w);
+        if (!result) {
+            // Contain a failed arbitration (a point that still would not
+            // measure): one FAILED table, itemized on stderr, the other
+            // schedules still render.
+            std::cerr << "  [fig5] FAILED " << sched.name << ": "
+                      << result.error().describe() << "\n";
+            table.addRow({"FAILED", "-", "-", "-", "-", "-", "-", "-",
+                          "-"});
+            table.print(out);
+            continue;
+        }
+        const model::MultiprogResult& r = result.value();
+        for (const model::MultiprogAppRow& row : r.rows) {
+            table.addRow({row.workload, util::Table::num(row.n),
+                          util::Table::num(row.freq_hz / 1e9, 2),
+                          util::Table::num(row.vdd, 3),
+                          util::Table::num(row.core_w, 1),
+                          util::Table::num(100.0 * row.budget_share, 1),
+                          util::Table::num(row.speedup, 2),
+                          util::Table::num(row.fair_speedup, 2),
+                          row.at_nominal ? "yes" : "no"});
+        }
+        table.print(out);
+        out << "  chip power " << util::Table::num(r.chip_power_w, 1)
+            << " W of " << util::Table::num(r.budget_w, 1)
+            << " W budget (shared uncore "
+            << util::Table::num(r.uncore_w, 1) << " W)"
+            << (r.feasible ? "" : " -- INFEASIBLE at the lowest "
+                                  "grid point")
+            << "\n\n";
+        std::cerr << "  [fig5] " << sched.name << " done\n";
+    }
+
+    run.report.sim_calls += exp.simCalls() - sim0;
+    run.report.sim_events += exp.simEvents() - events0;
+    run.report.price_calls += exp.priceCalls() - price0;
+    reportSweep(run.report, "fig5");
+    if (options.cache_stats)
+        printCacheStats(run.report, "fig5");
+    run.metrics_json = run.report.metricsJson();
+
+    out << "Expected shape: global arbitration pushes the budget "
+           "toward the co-runner that converts watts to speedup best; "
+           "memory-bound co-runners (Radix, Ocean) reach nominal V/f "
+           "cheaply while compute-bound ones (FMM, Cholesky) absorb "
+           "the remaining headroom; each app's arbitrated speedup "
+           "meets or beats its fair-share (static budget split) "
+           "reference except when a power-hungry partner saturates "
+           "the shared uncore allowance.\n";
+    run.output = out.str();
+    return run;
+}
+
 } // namespace
 
 const std::vector<std::string>&
 figureNames()
 {
-    static const std::vector<std::string> names = {"fig1", "fig2", "fig3",
-                                                   "fig4"};
+    static const std::vector<std::string> names = {
+        "fig1", "fig2", "fig3", "fig4", "fig5_multiprog"};
     return names;
 }
 
@@ -627,7 +835,7 @@ figureExists(const std::string& name)
 bool
 isSimulatedFigure(const std::string& name)
 {
-    return name == "fig3" || name == "fig4";
+    return name == "fig3" || name == "fig4" || name == "fig5_multiprog";
 }
 
 util::Expected<FigureRun>
@@ -642,10 +850,12 @@ renderFigure(const std::string& name, const FigureOptions& options)
         return renderFig3(options);
     if (name == "fig4")
         return renderFig4(options);
+    if (name == "fig5_multiprog")
+        return renderFig5(options);
     return util::Error{util::ErrorCode::InvalidArgument,
                        util::strcatMsg("unknown figure '", name,
                                        "' (expected fig1, fig2, fig3, "
-                                       "or fig4)")};
+                                       "fig4, or fig5_multiprog)")};
 }
 
 } // namespace tlp::service

@@ -48,6 +48,18 @@ struct FigureOptions
     /** Persistent cross-process raw-run store directory (fig3/fig4;
      *  empty: off). Accepted but inert for the analytic figures. */
     std::string raw_store;
+    /**
+     * Comma-joined workload override of the simulated figures (empty:
+     * the figure's defaults). fig3/fig4: suite names or trace:<path>
+     * specs replacing the application list — how a trace replay of the
+     * synthetic workloads reproduces its generator tables
+     * byte-identically. fig5_multiprog: co-schedule specs
+     * "NAME:cores+NAME:cores" (core count after the LAST ':', so trace
+     * specs keep their own colon). A spec that fails to resolve (or a
+     * trace that fails its CRC) is a typed error from renderFigure,
+     * not a contained point failure.
+     */
+    std::string workloads;
 };
 
 /** One rendered figure: the batch harness's stdout, its containment
@@ -66,21 +78,22 @@ struct FigureRun
     bool simulated = false;
 };
 
-/** The renderable figure names, in order: fig1, fig2, fig3, fig4. */
+/** The renderable figure names, in order: fig1, fig2, fig3, fig4,
+ *  fig5_multiprog. */
 const std::vector<std::string>& figureNames();
 
 /** True when @p name is a renderable figure. */
 bool figureExists(const std::string& name);
 
-/** True when @p name runs the cycle-level simulator (fig3/fig4) — the
- *  figures whose points are worth journaling. */
+/** True when @p name runs the cycle-level simulator (fig3, fig4,
+ *  fig5_multiprog) — the figures whose points are worth journaling. */
 bool isSimulatedFigure(const std::string& name);
 
 /**
- * Render @p name ("fig1".."fig4") with @p options. Unknown names are an
- * InvalidArgument error; render failures inside a sweep are contained
- * per point (see SweepRunner) and reported in FigureRun::report, not as
- * an error here.
+ * Render @p name ("fig1".."fig4", "fig5_multiprog") with @p options.
+ * Unknown names are an InvalidArgument error; render failures inside a
+ * sweep are contained per point (see SweepRunner) and reported in
+ * FigureRun::report, not as an error here.
  */
 util::Expected<FigureRun> renderFigure(const std::string& name,
                                        const FigureOptions& options);

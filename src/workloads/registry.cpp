@@ -1,6 +1,7 @@
 #include "workloads/workload.hpp"
 
 #include "util/logging.hpp"
+#include "workloads/trace.hpp"
 
 namespace tlp::workloads {
 
@@ -47,6 +48,21 @@ byName(const std::string& name)
     }
     util::fatal(util::strcatMsg("workloads: unknown application '", name,
                                 "'"));
+}
+
+util::Expected<const WorkloadInfo*>
+resolve(const std::string& name)
+{
+    if (isTraceSpec(name))
+        return traceWorkload(name);
+    for (const WorkloadInfo& info : suite()) {
+        if (info.name == name)
+            return &info;
+    }
+    return util::Error(
+        util::ErrorCode::InvalidArgument,
+        util::strcatMsg("unknown workload '", name,
+                        "' (expected a suite name or trace:<path>)"));
 }
 
 } // namespace tlp::workloads

@@ -1,0 +1,623 @@
+#include "workloads/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "util/crc32.hpp"
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+
+namespace tlp::workloads {
+
+namespace {
+
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+
+/** Registry cache misses / wall time (see traceLoadStats()). */
+std::atomic<std::uint64_t> g_trace_loads{0};
+std::atomic<std::uint64_t> g_trace_load_micros{0};
+
+/** Same quantization as runner::quantizeScale (run_cache.hpp); kept
+ *  local because the workload layer sits below the runner. */
+std::int64_t
+quantizedScale(double scale)
+{
+    return std::llround(scale * 1e9);
+}
+
+std::string
+at(std::string_view origin, std::size_t line_no)
+{
+    return util::strcatMsg(origin, ":", line_no);
+}
+
+/** Split @p line into whitespace-separated tokens (no escapes). */
+std::vector<std::string_view>
+tokenize(std::string_view line)
+{
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t')
+            ++i;
+        if (i > start)
+            tokens.push_back(line.substr(start, i - start));
+    }
+    return tokens;
+}
+
+/** Parse a decimal unsigned integer <= @p max, rejecting junk and
+ *  overflow with a ParseError naming @p what. */
+Expected<std::uint64_t>
+parseDecimal(std::string_view text, std::string_view what,
+             std::uint64_t max)
+{
+    if (text.empty())
+        return Error(ErrorCode::ParseError,
+                     util::strcatMsg("empty ", what));
+    std::uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("malformed ", what, " '", text,
+                                         "' (decimal digits only)"));
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (max - digit) / 10)
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg(what, " '", text,
+                                         "' exceeds the maximum of ",
+                                         max));
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+/** Parse a hex address (optional 0x prefix), rejecting junk and 64-bit
+ *  overflow with a ParseError. */
+Expected<std::uint64_t>
+parseHexAddr(std::string_view text)
+{
+    std::string_view digits = text;
+    if (digits.rfind("0x", 0) == 0 || digits.rfind("0X", 0) == 0)
+        digits.remove_prefix(2);
+    if (digits.empty())
+        return Error(ErrorCode::ParseError,
+                     util::strcatMsg("empty address '", text, "'"));
+    std::uint64_t v = 0;
+    for (char c : digits) {
+        std::uint64_t nibble;
+        if (c >= '0' && c <= '9')
+            nibble = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("malformed address '", text,
+                                         "' (hex digits only)"));
+        if (v >> 60)
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("address '", text,
+                                         "' overflows 64 bits"));
+        v = (v << 4) | nibble;
+    }
+    return v;
+}
+
+/** Parse a `key=value` token, checking the key. */
+Expected<std::string_view>
+fieldValue(std::string_view token, std::string_view key)
+{
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || token.substr(0, eq) != key)
+        return Error(ErrorCode::ParseError,
+                     util::strcatMsg("expected ", key, "=<value>, got '",
+                                     token, "'"));
+    return token.substr(eq + 1);
+}
+
+/** Render @p value as 8 lowercase hex digits. */
+std::string
+hex32(std::uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", value);
+    return buf;
+}
+
+/** Verify the optional sealed `#tlppm-trace` first line; true when the
+ *  file is sealed (and the CRC matched), false when unsealed. */
+Expected<bool>
+checkHeader(std::string_view text, std::string_view origin)
+{
+    if (text.rfind("#tlppm-trace", 0) != 0)
+        return false; // unsealed file: no integrity check
+    const std::size_t eol = text.find('\n');
+    const std::string_view header =
+        text.substr(0, eol == std::string_view::npos ? text.size() : eol);
+    const auto tokens = tokenize(header);
+    if (tokens.size() != 3 || tokens[1] != "v1")
+        return Error(ErrorCode::ParseError,
+                     util::strcatMsg("unsupported trace header '", header,
+                                     "' (expected '#tlppm-trace v1 "
+                                     "crc=0x<hex>')"))
+            .withContext(at(origin, 1));
+    const auto crc_text = fieldValue(tokens[2], "crc");
+    if (!crc_text.ok())
+        return Error(crc_text.error()).withContext(at(origin, 1));
+    const auto declared = parseHexAddr(crc_text.value());
+    if (!declared.ok() || declared.value() > 0xffffffffu)
+        return Error(ErrorCode::ParseError,
+                     util::strcatMsg("malformed trace header CRC '",
+                                     header, "'"))
+            .withContext(at(origin, 1));
+    const std::string_view body =
+        eol == std::string_view::npos ? std::string_view{}
+                                      : text.substr(eol + 1);
+    const std::uint32_t actual = util::crc32(body);
+    if (actual != static_cast<std::uint32_t>(declared.value()))
+        return Error(ErrorCode::CorruptData,
+                     util::strcatMsg(
+                         "trace CRC mismatch: header declares 0x",
+                         hex32(static_cast<std::uint32_t>(declared.value())),
+                         " but the content hashes to 0x", hex32(actual),
+                         " -- the file is truncated or corrupted"))
+            .withContext(std::string(origin));
+    return true;
+}
+
+} // namespace
+
+Expected<TraceFile>
+parseTrace(std::string_view text, std::string_view origin)
+{
+    const auto sealed = checkHeader(text, origin);
+    if (!sealed.ok())
+        return sealed.error();
+
+    TraceFile file;
+    file.crc = util::crc32(text);
+
+    bool saw_trace_line = false;
+    bool in_program = false;
+    int program_n = 0;
+    std::size_t program_line = 0;
+    sim::Program program;
+
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        std::string_view line =
+            text.substr(pos, (eol == std::string_view::npos
+                                  ? text.size()
+                                  : eol) -
+                                 pos);
+        pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        if (tokens[0] == "@trace") {
+            if (saw_trace_line || in_program)
+                return Error(ErrorCode::ParseError,
+                             "duplicate or misplaced @trace line")
+                    .withContext(at(origin, line_no));
+            if (tokens.size() != 3)
+                return Error(ErrorCode::ParseError,
+                             "@trace needs exactly workload=<name> "
+                             "scale=<scale>")
+                    .withContext(at(origin, line_no));
+            const auto name = fieldValue(tokens[1], "workload");
+            if (!name.ok())
+                return Error(name.error())
+                    .withContext(at(origin, line_no));
+            if (name.value().empty())
+                return Error(ErrorCode::ParseError,
+                             "@trace workload name is empty")
+                    .withContext(at(origin, line_no));
+            const auto scale_text = fieldValue(tokens[2], "scale");
+            if (!scale_text.ok())
+                return Error(scale_text.error())
+                    .withContext(at(origin, line_no));
+            const auto scale = util::parseNumber(
+                scale_text.value(), "@trace scale", 1e-9, 1.0);
+            if (!scale.ok())
+                return Error(scale.error())
+                    .withContext(at(origin, line_no));
+            file.workload = std::string(name.value());
+            file.scale = scale.value();
+            saw_trace_line = true;
+            continue;
+        }
+
+        if (tokens[0] == "@program") {
+            if (!saw_trace_line)
+                return Error(ErrorCode::ParseError,
+                             "@program before the @trace line")
+                    .withContext(at(origin, line_no));
+            if (in_program)
+                return Error(ErrorCode::ParseError,
+                             "@program inside an open @program "
+                             "(missing @end)")
+                    .withContext(at(origin, line_no));
+            if (tokens.size() != 4)
+                return Error(ErrorCode::ParseError,
+                             "@program needs exactly n=<cores> "
+                             "barriers=<count> locks=<count>")
+                    .withContext(at(origin, line_no));
+            const auto n_text = fieldValue(tokens[1], "n");
+            const auto barriers_text = fieldValue(tokens[2], "barriers");
+            const auto locks_text = fieldValue(tokens[3], "locks");
+            for (const auto* field : {&n_text, &barriers_text,
+                                      &locks_text}) {
+                if (!field->ok())
+                    return Error(field->error())
+                        .withContext(at(origin, line_no));
+            }
+            const auto n = parseDecimal(n_text.value(), "@program n",
+                                        1024);
+            if (!n.ok())
+                return Error(n.error()).withContext(at(origin, line_no));
+            if (n.value() == 0)
+                return Error(ErrorCode::ParseError,
+                             "@program n must be >= 1")
+                    .withContext(at(origin, line_no));
+            const auto barriers = parseDecimal(
+                barriers_text.value(), "@program barriers",
+                std::numeric_limits<std::uint64_t>::max());
+            if (!barriers.ok())
+                return Error(barriers.error())
+                    .withContext(at(origin, line_no));
+            const auto locks = parseDecimal(
+                locks_text.value(), "@program locks",
+                std::numeric_limits<std::uint64_t>::max());
+            if (!locks.ok())
+                return Error(locks.error())
+                    .withContext(at(origin, line_no));
+            program_n = static_cast<int>(n.value());
+            if (file.programs.count(program_n))
+                return Error(ErrorCode::ParseError,
+                             util::strcatMsg("duplicate @program n=",
+                                             program_n))
+                    .withContext(at(origin, line_no));
+            program = sim::Program{};
+            program.threads.resize(static_cast<std::size_t>(program_n));
+            program.n_barriers = barriers.value();
+            program.n_locks = locks.value();
+            program_line = line_no;
+            in_program = true;
+            continue;
+        }
+
+        if (tokens[0] == "@end") {
+            if (!in_program)
+                return Error(ErrorCode::ParseError,
+                             "@end without an open @program")
+                    .withContext(at(origin, line_no));
+            if (tokens.size() != 1)
+                return Error(ErrorCode::ParseError,
+                             "@end takes no operands")
+                    .withContext(at(origin, line_no));
+            for (sim::ThreadProgram& tp : program.threads)
+                tp.finish();
+            file.programs.emplace(program_n, std::move(program));
+            in_program = false;
+            continue;
+        }
+
+        // Everything else must be a core op line.
+        if (tokens[0].size() < 2 || tokens[0][0] != 'C')
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("malformed line '", line,
+                                         "' (expected C<core> "
+                                         "<mnemonic> ... or a @"
+                                         "directive)"))
+                .withContext(at(origin, line_no));
+        if (!in_program)
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("op line '", line,
+                                         "' outside a @program section"))
+                .withContext(at(origin, line_no));
+        const auto core = parseDecimal(tokens[0].substr(1), "core id",
+                                       1023);
+        if (!core.ok())
+            return Error(core.error()).withContext(at(origin, line_no));
+        if (core.value() >= static_cast<std::uint64_t>(program_n))
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("unknown core C", core.value(),
+                                         " (this @program declares n=",
+                                         program_n, ")"))
+                .withContext(at(origin, line_no));
+        sim::ThreadProgram& tp = program.threads[core.value()];
+
+        if (tokens.size() < 2)
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("op line '", line,
+                                         "' lacks a mnemonic"))
+                .withContext(at(origin, line_no));
+        const std::string_view op = tokens[1];
+        const auto expectOperands =
+            [&](std::size_t lo, std::size_t hi) -> Expected<bool> {
+            const std::size_t got = tokens.size() - 2;
+            if (got < lo || got > hi) {
+                std::string takes = std::to_string(lo);
+                if (hi != lo)
+                    takes += util::strcatMsg(" to ", hi);
+                return Error(ErrorCode::ParseError,
+                             util::strcatMsg("op line '", line, "' has ",
+                                             got, " operand(s); ", op,
+                                             " takes ", takes))
+                    .withContext(at(origin, line_no));
+            }
+            return true;
+        };
+
+        if (op == "RD" || op == "WR") {
+            const auto shape = expectOperands(1, 2);
+            if (!shape.ok())
+                return shape.error();
+            const auto addr = parseHexAddr(tokens[2]);
+            if (!addr.ok())
+                return Error(addr.error())
+                    .withContext(at(origin, line_no));
+            if (tokens.size() == 4) {
+                const auto cycles = parseDecimal(
+                    tokens[3], "compute-cycles count",
+                    std::numeric_limits<std::uint32_t>::max());
+                if (!cycles.ok())
+                    return Error(cycles.error())
+                        .withContext(at(origin, line_no));
+                if (cycles.value() > 0)
+                    tp.push({sim::OpType::IntOps,
+                             static_cast<std::uint32_t>(cycles.value()),
+                             0});
+            }
+            tp.push({op == "RD" ? sim::OpType::Load : sim::OpType::Store,
+                     0, addr.value()});
+        } else if (op == "INT" || op == "FP") {
+            const auto shape = expectOperands(1, 1);
+            if (!shape.ok())
+                return shape.error();
+            const auto count = parseDecimal(
+                tokens[2], "op count",
+                std::numeric_limits<std::uint32_t>::max());
+            if (!count.ok())
+                return Error(count.error())
+                    .withContext(at(origin, line_no));
+            // push(), not intOps(): replicate the dumped op verbatim so
+            // a round-tripped program is field-identical.
+            tp.push({op == "INT" ? sim::OpType::IntOps
+                                 : sim::OpType::FpOps,
+                     static_cast<std::uint32_t>(count.value()), 0});
+        } else if (op == "BAR" || op == "LOCK" || op == "UNLOCK") {
+            const auto shape = expectOperands(1, 1);
+            if (!shape.ok())
+                return shape.error();
+            const auto id = parseDecimal(
+                tokens[2], "sync id",
+                std::numeric_limits<std::uint64_t>::max());
+            if (!id.ok())
+                return Error(id.error())
+                    .withContext(at(origin, line_no));
+            const sim::OpType type = op == "BAR" ? sim::OpType::Barrier
+                                    : op == "LOCK" ? sim::OpType::Lock
+                                                   : sim::OpType::Unlock;
+            tp.push({type, 0, id.value()});
+        } else if (op == "END") {
+            const auto shape = expectOperands(0, 0);
+            if (!shape.ok())
+                return shape.error();
+            tp.push({sim::OpType::End, 0, 0});
+        } else {
+            return Error(ErrorCode::ParseError,
+                         util::strcatMsg("unknown mnemonic '", op,
+                                         "' in line '", line, "'"))
+                .withContext(at(origin, line_no));
+        }
+    }
+
+    if (in_program)
+        return Error(ErrorCode::CorruptData,
+                     util::strcatMsg("@program n=", program_n,
+                                     " (opened at line ", program_line,
+                                     ") never reaches @end -- the file "
+                                     "is truncated"))
+            .withContext(std::string(origin));
+    if (!saw_trace_line)
+        return Error(ErrorCode::ParseError,
+                     "trace has no @trace workload=... scale=... line")
+            .withContext(std::string(origin));
+    if (file.programs.empty())
+        return Error(ErrorCode::ParseError,
+                     "trace has no @program sections")
+            .withContext(std::string(origin));
+    return file;
+}
+
+Expected<TraceFile>
+loadTrace(const std::string& path)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto content = util::readFile(path);
+    if (!content.ok())
+        return Error(content.error())
+            .withContext(util::strcatMsg("loadTrace(", path, ")"));
+    auto file = parseTrace(content.value(), path);
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    g_trace_loads.fetch_add(1, std::memory_order_relaxed);
+    g_trace_load_micros.fetch_add(static_cast<std::uint64_t>(micros),
+                                  std::memory_order_relaxed);
+    return file;
+}
+
+std::string
+formatTrace(std::string_view workload, double scale,
+            const std::vector<std::pair<int, sim::Program>>& programs)
+{
+    std::string body;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", scale);
+    body += util::strcatMsg("@trace workload=", workload, " scale=", buf,
+                            "\n");
+    for (const auto& [n, program] : programs) {
+        body += util::strcatMsg("@program n=", n,
+                                " barriers=", program.n_barriers,
+                                " locks=", program.n_locks, "\n");
+        for (std::size_t t = 0; t < program.threads.size(); ++t) {
+            for (const sim::Op& op : program.threads[t].ops()) {
+                body += 'C';
+                body += std::to_string(t);
+                switch (op.type) {
+                case sim::OpType::IntOps:
+                    body += util::strcatMsg(" INT ", op.count);
+                    break;
+                case sim::OpType::FpOps:
+                    body += util::strcatMsg(" FP ", op.count);
+                    break;
+                case sim::OpType::Load:
+                case sim::OpType::Store:
+                    std::snprintf(buf, sizeof buf, " %s 0x%" PRIx64,
+                                  op.type == sim::OpType::Load ? "RD"
+                                                               : "WR",
+                                  static_cast<std::uint64_t>(op.addr));
+                    body += buf;
+                    break;
+                case sim::OpType::Barrier:
+                    body += util::strcatMsg(" BAR ", op.addr);
+                    break;
+                case sim::OpType::Lock:
+                    body += util::strcatMsg(" LOCK ", op.addr);
+                    break;
+                case sim::OpType::Unlock:
+                    body += util::strcatMsg(" UNLOCK ", op.addr);
+                    break;
+                case sim::OpType::End:
+                    body += " END";
+                    break;
+                }
+                body += '\n';
+            }
+        }
+        body += "@end\n";
+    }
+    std::snprintf(buf, sizeof buf, "#tlppm-trace v1 crc=0x%08x\n",
+                  util::crc32(body));
+    return buf + body;
+}
+
+namespace {
+
+/** One resolved trace spec: the parse, the registry descriptor handed
+ *  out to callers, or the sticky error of the first attempt. */
+struct TraceEntry
+{
+    TraceFile file;
+    WorkloadInfo info;
+    Expected<bool> outcome{true};
+};
+
+/** Process-wide spec -> entry map; entries are never removed, so the
+ *  WorkloadInfo pointers handed out stay valid for the process's life. */
+std::mutex g_registry_mutex;
+std::map<std::string, std::unique_ptr<TraceEntry>>& traceRegistry()
+{
+    static std::map<std::string, std::unique_ptr<TraceEntry>> registry;
+    return registry;
+}
+
+} // namespace
+
+Expected<const WorkloadInfo*>
+traceWorkload(const std::string& spec)
+{
+    if (!isTraceSpec(spec))
+        return Error(ErrorCode::InvalidArgument,
+                     util::strcatMsg("'", spec,
+                                     "' is not a trace:<path> spec"));
+    const std::string path(
+        std::string_view(spec).substr(kTracePrefix.size()));
+    if (path.empty())
+        return Error(ErrorCode::InvalidArgument,
+                     "trace spec has an empty path");
+
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    auto& registry = traceRegistry();
+    auto it = registry.find(spec);
+    if (it == registry.end()) {
+        auto entry = std::make_unique<TraceEntry>();
+        auto file = loadTrace(path);
+        if (!file.ok()) {
+            entry->outcome = Expected<bool>(file.error());
+        } else {
+            entry->file = std::move(file.value());
+            const std::string& name = entry->file.workload;
+            // Inherit the suite metadata when the trace replays a suite
+            // member so the rendered tables match the generator's byte
+            // for byte; foreign names carry their own marker.
+            const WorkloadInfo* twin = nullptr;
+            for (const WorkloadInfo& info : suite()) {
+                if (info.name == name)
+                    twin = &info;
+            }
+            char crc_hex[16];
+            std::snprintf(crc_hex, sizeof crc_hex, "%08x",
+                          entry->file.crc);
+            const TraceFile* trace = &entry->file;
+            entry->info = WorkloadInfo{
+                name,
+                twin ? twin->paper_size : "external trace",
+                twin ? twin->scaled_size : "external trace",
+                twin ? twin->regime : "trace",
+                [trace](int n, double s) {
+                    if (quantizedScale(s) != quantizedScale(trace->scale))
+                        util::fatal(util::strcatMsg(
+                            "trace for '", trace->workload,
+                            "' was captured at scale ", trace->scale,
+                            ", cannot replay at scale ", s));
+                    const auto found = trace->programs.find(n);
+                    if (found == trace->programs.end())
+                        util::fatal(util::strcatMsg(
+                            "trace for '", trace->workload,
+                            "' has no @program n=", n, " section"));
+                    return found->second;
+                },
+                util::strcatMsg(spec, "#crc32=", crc_hex)};
+        }
+        it = registry.emplace(spec, std::move(entry)).first;
+    }
+    if (!it->second->outcome.ok())
+        return it->second->outcome.error();
+    return &it->second->info;
+}
+
+TraceLoadStats
+traceLoadStats()
+{
+    return {g_trace_loads.load(std::memory_order_relaxed),
+            g_trace_load_micros.load(std::memory_order_relaxed)};
+}
+
+} // namespace tlp::workloads

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Trace-driven workload front-end: a strict parser/loader for per-core
+ * text traces that compiles into the same sim::Program representation the
+ * synthetic generators emit, so every figure bench, the sweep service,
+ * sharding, and the persistent raw-run store work unchanged.
+ *
+ * ## Format (version 1)
+ *
+ *     #tlppm-trace v1 crc=0x1a2b3c4d
+ *     # free comments and blank lines are allowed anywhere below
+ *     @trace workload=FFT scale=0.05
+ *     @program n=4 barriers=3 locks=1
+ *     C0 INT 150
+ *     C0 RD 0x10000
+ *     C1 WR 0x10040 25
+ *     C0 FP 80
+ *     C0 BAR 0
+ *     C1 LOCK 0
+ *     C1 UNLOCK 0
+ *     C0 END
+ *     @end
+ *
+ *  - The optional first line seals the file: `crc` is the CRC32 of every
+ *    byte after the first newline. A mismatch (truncation, bit rot, a
+ *    hand edit that forgot to re-seal) is refused with a typed
+ *    CorruptData error. Files without the header are accepted unsealed;
+ *    tlppm_tracegen always writes it.
+ *  - `@trace` declares the display workload name (tables render it
+ *    exactly like the generator of the same name) and the problem scale
+ *    the trace was captured at; replaying at any other scale is refused.
+ *  - One `@program n=N ...` section per thread count, holding the op
+ *    stream of all N cores; lines from different cores may interleave
+ *    freely (each core's own order is its program order).
+ *  - Op lines are `C<core> <mnemonic> <operands>`:
+ *      RD|WR <hex-addr> [<compute-cycles>]  memory access, optionally
+ *                                           preceded by that many integer
+ *                                           compute cycles
+ *      INT|FP <count>                       integer / floating-point runs
+ *      BAR|LOCK|UNLOCK <id>                 synchronization markers
+ *      END                                  end of this core's stream
+ *    Malformed lines, addresses overflowing 64 bits, and core ids
+ *    outside [0, N) are typed ParseErrors naming the offending line.
+ *
+ * ## Cache identity
+ *
+ * A loaded trace registers as workload `trace:<path>` whose display name
+ * is the embedded workload name but whose cache key is
+ * `trace:<path>#crc32=<hex>` (CRC32 of the whole file). The key is what
+ * enters RunKey/RawRunKey and the persistent raw store, so editing a
+ * trace file changes every key and a stale cached run can never be
+ * replayed against new trace content.
+ */
+
+#ifndef TLP_WORKLOADS_TRACE_HPP
+#define TLP_WORKLOADS_TRACE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlp::workloads {
+
+/** Prefix that marks a workload spec as a trace file reference. */
+inline constexpr std::string_view kTracePrefix = "trace:";
+
+/** True when @p spec names a trace file ("trace:<path>"). */
+inline bool isTraceSpec(std::string_view spec)
+{
+    return spec.rfind(kTracePrefix, 0) == 0;
+}
+
+/** A fully parsed trace file. */
+struct TraceFile
+{
+    std::string workload; ///< display name (from `@trace workload=`)
+    double scale = 1.0;   ///< problem scale the trace was captured at
+    std::uint32_t crc = 0; ///< CRC32 of the whole file (cache identity)
+    /** One compiled program per thread count (`@program n=` section). */
+    std::map<int, sim::Program> programs;
+};
+
+/**
+ * Parse trace @p text. @p origin names the input in error messages
+ * (usually the file path). Format violations are ParseError; a sealed
+ * header whose CRC does not match the content (truncation/corruption)
+ * is CorruptData.
+ */
+util::Expected<TraceFile> parseTrace(std::string_view text,
+                                     std::string_view origin);
+
+/** readFile() + parseTrace() + load accounting (see traceLoadStats). */
+util::Expected<TraceFile> loadTrace(const std::string& path);
+
+/**
+ * Serialize @p programs (pairs of thread count and compiled program) as
+ * a sealed version-1 trace. parseTrace(formatTrace(...)) reconstructs
+ * every op verbatim, so a replayed trace prices and renders exactly like
+ * the program it was dumped from.
+ */
+std::string formatTrace(
+    std::string_view workload, double scale,
+    const std::vector<std::pair<int, sim::Program>>& programs);
+
+/**
+ * The registry entry behind workload spec "trace:<path>": loads the file
+ * on first use, caches the parse process-wide, and returns a stable
+ * WorkloadInfo whose name is the embedded workload name and whose
+ * cache_key carries the content CRC. Errors (unreadable file, format
+ * violation, CRC mismatch) surface typed; subsequent calls for the same
+ * spec re-return the same outcome without re-reading the file.
+ */
+util::Expected<const WorkloadInfo*>
+traceWorkload(const std::string& spec);
+
+/** Cumulative trace-loading effort of this process (registry cache
+ *  misses only — a cached spec costs nothing). */
+struct TraceLoadStats
+{
+    std::uint64_t loads = 0;       ///< trace files read and parsed
+    std::uint64_t load_micros = 0; ///< wall time spent doing so [us]
+};
+TraceLoadStats traceLoadStats();
+
+} // namespace tlp::workloads
+
+#endif // TLP_WORKLOADS_TRACE_HPP

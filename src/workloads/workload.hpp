@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/program.hpp"
+#include "util/error.hpp"
 
 namespace tlp::workloads {
 
@@ -38,6 +39,21 @@ struct WorkloadInfo
      *  "compute" | "mixed" | "memory". */
     std::string regime;
     Generator make;
+    /**
+     * Cache identity, when it must differ from the display name. The
+     * built-in generators leave it empty (the name IS the identity);
+     * trace-backed entries set "trace:<path>#crc32=<hex>" so an edited
+     * trace file can never hit a stale cached or stored run, while the
+     * display name stays the embedded workload name and the rendered
+     * tables match the generator originals byte for byte.
+     */
+    std::string cache_key = {};
+
+    /** The key runs are cached/stored under (cache_key, else name). */
+    const std::string& key() const
+    {
+        return cache_key.empty() ? name : cache_key;
+    }
 };
 
 /** All twelve suite members, in the paper's Table 2 order. */
@@ -45,6 +61,15 @@ const std::vector<WorkloadInfo>& suite();
 
 /** Lookup by (case-sensitive) name; fatal when unknown. */
 const WorkloadInfo& byName(const std::string& name);
+
+/**
+ * Error-returning lookup that also accepts trace specs: a plain suite
+ * name resolves against suite(); a "trace:<path>" spec loads (and
+ * process-wide caches) the trace file behind it. The returned pointer is
+ * stable for the life of the process. Unknown names are InvalidArgument;
+ * unreadable/corrupt traces surface the loader's typed error.
+ */
+util::Expected<const WorkloadInfo*> resolve(const std::string& name);
 
 /** Individual generators (n_threads >= 1, 0 < scale <= 1). */
 sim::Program makeBarnes(int n_threads, double scale = 1.0);

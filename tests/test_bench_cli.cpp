@@ -123,12 +123,52 @@ TEST(SweepCli, ResumeRequiresJournal)
     EXPECT_TRUE(parse({"--resume", "--journal", "j.jsonl"}).ok());
 }
 
+TEST(SweepCli, WorkloadsAcceptsTraceSpecsWithPathCharacters)
+{
+    // Trace specs carry ':', '/', and '.'; both value spellings must
+    // deliver them verbatim, not trip the unknown-argument path.
+    const auto a =
+        parse({"--workloads", "trace:runs/fft.v2.trc,Radix"});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().workloads, "trace:runs/fft.v2.trc,Radix");
+    const auto b = parse({"--workloads=trace:runs/fft.v2.trc"});
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b.value().workloads, "trace:runs/fft.v2.trc");
+}
+
+TEST(SweepCli, WorkloadsValueMayContainEquals)
+{
+    // The '=' splitter only applies to "--flag=value" tokens: a value
+    // with its own '=' survives both spellings (the attached form splits
+    // at the FIRST '='), and a bare operand containing '=' is reported
+    // whole as unknown instead of being misparsed as a flag.
+    const auto a = parse({"--workloads", "trace:runs/a=b.trc"});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().workloads, "trace:runs/a=b.trc");
+    const auto b = parse({"--workloads=trace:runs/a=b.trc"});
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b.value().workloads, "trace:runs/a=b.trc");
+    const auto bare = parse({"trace:runs/a=b.trc"});
+    ASSERT_FALSE(bare.ok());
+    EXPECT_NE(bare.error().describe().find("trace:runs/a=b.trc"),
+              std::string::npos);
+}
+
+TEST(SweepCli, WorkloadsRejectsEmptyAndQuoted)
+{
+    EXPECT_FALSE(parse({"--workloads", ""}).ok());
+    // '"' would corrupt the journal shard-meta line the list is
+    // stamped into (parsed without escape handling).
+    EXPECT_FALSE(parse({"--workloads", "trace:a\".trc"}).ok());
+}
+
 TEST(SweepCli, AnalyticFiguresRejectSweepOnlyFlags)
 {
     for (const auto& args : std::vector<std::vector<const char*>>{
              {"--journal", "j"},
              {"--resume"},
              {"--point-timeout", "10"},
+             {"--workloads", "FFT"},
              {"--progress"}}) {
         const auto r = parse(args, /*sim_flags=*/false);
         ASSERT_FALSE(r.ok());

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Trace front-end tests: the parser accepts the documented grammar
+ * (comments, blank lines, free per-core interleaving) and compiles it
+ * into the exact sim::Program the generators emit; every malformed
+ * input is a *typed* error naming the offending line; the sealed-header
+ * CRC turns truncation/corruption into CorruptData instead of a
+ * plausible-but-wrong table; and a trace's content CRC is part of its
+ * cache identity, so an edited trace can never hit a stale cached run.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "sim/program.hpp"
+#include "util/error.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlp;
+using workloads::parseTrace;
+using workloads::formatTrace;
+using workloads::TraceFile;
+
+/** Unique temp path per test; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "tlppm_trace_" + tag +
+                "_" + std::to_string(::getpid()) + ".trc")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+    void write(const std::string& text) const
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out << text;
+        ASSERT_TRUE(out.good()) << "cannot write " << path_;
+    }
+
+  private:
+    std::string path_;
+};
+
+/** Field-exact comparison of two op streams. */
+void
+expectSamePrograms(const sim::Program& a, const sim::Program& b)
+{
+    EXPECT_EQ(a.n_barriers, b.n_barriers);
+    EXPECT_EQ(a.n_locks, b.n_locks);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        const auto& ta = a.threads[t].ops();
+        const auto& tb = b.threads[t].ops();
+        ASSERT_EQ(ta.size(), tb.size()) << "thread " << t;
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+            EXPECT_EQ(static_cast<int>(ta[i].type),
+                      static_cast<int>(tb[i].type))
+                << "thread " << t << " op " << i;
+            EXPECT_EQ(ta[i].count, tb[i].count)
+                << "thread " << t << " op " << i;
+            EXPECT_EQ(ta[i].addr, tb[i].addr)
+                << "thread " << t << " op " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser goldens
+
+TEST(TraceParser, GoldenWithCommentsBlanksAndInterleaving)
+{
+    // Unsealed file, comments and blank lines sprinkled throughout,
+    // and the two cores' lines interleaved — each core's own order is
+    // its program order.
+    const std::string text =
+        "# a leading comment (not a sealed header)\n"
+        "\n"
+        "@trace workload=Golden scale=0.25\n"
+        "# two-core section\n"
+        "@program n=2 barriers=1 locks=1\n"
+        "C0 INT 150\n"
+        "C1 FP 80\n"
+        "\n"
+        "C0 RD 0x10000\n"
+        "C1 WR 0x10040 25\n"
+        "C0 BAR 0\n"
+        "C1 BAR 0\n"
+        "C1 LOCK 0\n"
+        "C1 UNLOCK 0\n"
+        "C0 END\n"
+        "C1 END\n"
+        "@end\n";
+    const auto parsed = parseTrace(text, "golden");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    const TraceFile& file = parsed.value();
+    EXPECT_EQ(file.workload, "Golden");
+    EXPECT_DOUBLE_EQ(file.scale, 0.25);
+    ASSERT_EQ(file.programs.size(), 1u);
+    const sim::Program& p = file.programs.at(2);
+    EXPECT_EQ(p.n_barriers, 1u);
+    EXPECT_EQ(p.n_locks, 1u);
+    ASSERT_EQ(p.threads.size(), 2u);
+
+    // Core 0: INT 150, RD, BAR, END.
+    const auto& c0 = p.threads[0].ops();
+    ASSERT_EQ(c0.size(), 4u);
+    EXPECT_EQ(c0[0].type, sim::OpType::IntOps);
+    EXPECT_EQ(c0[0].count, 150u);
+    EXPECT_EQ(c0[1].type, sim::OpType::Load);
+    EXPECT_EQ(c0[1].addr, 0x10000u);
+    EXPECT_EQ(c0[2].type, sim::OpType::Barrier);
+    EXPECT_EQ(c0[3].type, sim::OpType::End);
+
+    // Core 1: FP 80, then "WR 0x10040 25" desugars to INT 25 + Store,
+    // then BAR, LOCK, UNLOCK, END.
+    const auto& c1 = p.threads[1].ops();
+    ASSERT_EQ(c1.size(), 7u);
+    EXPECT_EQ(c1[0].type, sim::OpType::FpOps);
+    EXPECT_EQ(c1[0].count, 80u);
+    EXPECT_EQ(c1[1].type, sim::OpType::IntOps);
+    EXPECT_EQ(c1[1].count, 25u);
+    EXPECT_EQ(c1[2].type, sim::OpType::Store);
+    EXPECT_EQ(c1[2].addr, 0x10040u);
+    EXPECT_EQ(c1[3].type, sim::OpType::Barrier);
+    EXPECT_EQ(c1[4].type, sim::OpType::Lock);
+    EXPECT_EQ(c1[5].type, sim::OpType::Unlock);
+    EXPECT_EQ(c1[6].type, sim::OpType::End);
+}
+
+TEST(TraceParser, MultipleProgramSectionsKeyedByThreadCount)
+{
+    const std::string text =
+        "@trace workload=W scale=1\n"
+        "@program n=1 barriers=0 locks=0\n"
+        "C0 INT 1\nC0 END\n"
+        "@end\n"
+        "@program n=4 barriers=0 locks=0\n"
+        "C3 INT 4\nC0 END\nC1 END\nC2 END\nC3 END\n"
+        "@end\n";
+    const auto parsed = parseTrace(text, "multi");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    ASSERT_EQ(parsed.value().programs.size(), 2u);
+    EXPECT_EQ(parsed.value().programs.at(1).nThreads(), 1);
+    EXPECT_EQ(parsed.value().programs.at(4).nThreads(), 4);
+}
+
+// ---------------------------------------------------------------------
+// Typed errors
+
+TEST(TraceParser, MalformedLineIsParseErrorNamingTheLine)
+{
+    const std::string text =
+        "@trace workload=W scale=1\n"
+        "@program n=1 barriers=0 locks=0\n"
+        "garbage here\n"
+        "C0 END\n"
+        "@end\n";
+    const auto r = parseTrace(text, "bad.trc");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, util::ErrorCode::ParseError);
+    const std::string what = r.error().describe();
+    EXPECT_NE(what.find("garbage here"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad.trc:3"), std::string::npos) << what;
+}
+
+TEST(TraceParser, OverflowAddressIsParseError)
+{
+    const std::string text =
+        "@trace workload=W scale=1\n"
+        "@program n=1 barriers=0 locks=0\n"
+        "C0 RD 0x10000000000000000\n" // 17 nibbles: > 64 bits
+        "C0 END\n"
+        "@end\n";
+    const auto r = parseTrace(text, "overflow.trc");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, util::ErrorCode::ParseError);
+    EXPECT_NE(r.error().describe().find("overflows 64 bits"),
+              std::string::npos)
+        << r.error().describe();
+}
+
+TEST(TraceParser, UnknownCoreIsParseError)
+{
+    const std::string text =
+        "@trace workload=W scale=1\n"
+        "@program n=2 barriers=0 locks=0\n"
+        "C2 INT 5\n"
+        "C0 END\nC1 END\n"
+        "@end\n";
+    const auto r = parseTrace(text, "core.trc");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, util::ErrorCode::ParseError);
+    const std::string what = r.error().describe();
+    EXPECT_NE(what.find("unknown core C2"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=2"), std::string::npos) << what;
+}
+
+TEST(TraceParser, UnknownMnemonicAndMissingTraceLineAreParseErrors)
+{
+    const auto bad_op = parseTrace("@trace workload=W scale=1\n"
+                                   "@program n=1 barriers=0 locks=0\n"
+                                   "C0 MOV 3\n@end\n",
+                                   "op.trc");
+    ASSERT_FALSE(bad_op.ok());
+    EXPECT_EQ(bad_op.error().code, util::ErrorCode::ParseError);
+    EXPECT_NE(bad_op.error().describe().find("unknown mnemonic 'MOV'"),
+              std::string::npos);
+
+    const auto no_trace = parseTrace("# nothing\n", "empty.trc");
+    ASSERT_FALSE(no_trace.ok());
+    EXPECT_EQ(no_trace.error().code, util::ErrorCode::ParseError);
+}
+
+TEST(TraceParser, UnterminatedProgramIsCorruptData)
+{
+    // A @program with no @end means the tail of the file is gone — that
+    // is data loss, not a grammar quibble.
+    const auto r = parseTrace("@trace workload=W scale=1\n"
+                              "@program n=1 barriers=0 locks=0\n"
+                              "C0 INT 5\n",
+                              "cut.trc");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, util::ErrorCode::CorruptData);
+    EXPECT_NE(r.error().describe().find("truncated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sealed-header CRC
+
+TEST(TraceCrc, SealedHeaderRoundTripsAndDetectsCorruption)
+{
+    sim::Program p;
+    p.threads.resize(1);
+    p.threads[0].intOps(42);
+    p.threads[0].load(0x1000);
+    p.threads[0].finish();
+    const std::string text = formatTrace("Sealed", 0.5, {{1, p}});
+    ASSERT_EQ(text.rfind("#tlppm-trace v1 crc=0x", 0), 0u) << text;
+
+    const auto ok = parseTrace(text, "sealed");
+    ASSERT_TRUE(ok.ok()) << ok.error().describe();
+    EXPECT_EQ(ok.value().workload, "Sealed");
+    expectSamePrograms(ok.value().programs.at(1), p);
+
+    // Flip one payload byte: the seal must catch it as CorruptData.
+    std::string corrupt = text;
+    corrupt[corrupt.size() / 2] ^= 0x01;
+    const auto bad = parseTrace(corrupt, "sealed");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, util::ErrorCode::CorruptData);
+    EXPECT_NE(bad.error().describe().find("trace CRC mismatch"),
+              std::string::npos)
+        << bad.error().describe();
+
+    // Truncation of a sealed file is equally refused.
+    const auto cut =
+        parseTrace(std::string_view(text).substr(0, text.size() - 10),
+                   "sealed");
+    ASSERT_FALSE(cut.ok());
+    EXPECT_EQ(cut.error().code, util::ErrorCode::CorruptData);
+}
+
+TEST(TraceCrc, MalformedHeaderIsParseError)
+{
+    const auto r = parseTrace("#tlppm-trace v2 crc=0x0\n", "hdr");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, util::ErrorCode::ParseError);
+    EXPECT_NE(r.error().describe().find("unsupported trace header"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Generator-vs-replay identity
+
+TEST(TraceRoundTrip, GeneratorProgramsSurviveDumpAndReload)
+{
+    // Two suite members with different op mixes (FFT: barriers; Radix:
+    // locks), dumped at two thread counts, must reload field-identical —
+    // this is the program-level half of the byte-identical-tables
+    // guarantee (the other half is the shared pricing pipeline).
+    const double scale = 0.02;
+    for (const char* name : {"FFT", "Radix"}) {
+        const workloads::WorkloadInfo& app = workloads::byName(name);
+        std::vector<std::pair<int, sim::Program>> programs;
+        for (int n : {1, 4})
+            programs.emplace_back(n, app.make(n, scale));
+        const std::string text = formatTrace(app.name, scale, programs);
+        const auto parsed = parseTrace(text, app.name);
+        ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+        EXPECT_EQ(parsed.value().workload, app.name);
+        for (const auto& [n, program] : programs) {
+            SCOPED_TRACE(std::string(name) + " n=" + std::to_string(n));
+            expectSamePrograms(parsed.value().programs.at(n), program);
+        }
+
+        // And the text itself is a fixed point: re-dumping the parsed
+        // programs reproduces the file byte for byte.
+        std::vector<std::pair<int, sim::Program>> reloaded(
+            parsed.value().programs.begin(),
+            parsed.value().programs.end());
+        EXPECT_EQ(formatTrace(parsed.value().workload,
+                              parsed.value().scale, reloaded),
+                  text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache identity
+
+TEST(TraceIdentity, CacheKeyCarriesContentCrc)
+{
+    sim::Program p;
+    p.threads.resize(1);
+    p.threads[0].intOps(7);
+    p.threads[0].finish();
+
+    TempFile a("key_a");
+    a.write(formatTrace("FFT", 0.05, {{1, p}}));
+    const std::string spec_a = "trace:" + a.path();
+    const auto wa = workloads::resolve(spec_a);
+    ASSERT_TRUE(wa.ok()) << wa.error().describe();
+    // Display name is the embedded workload; cache identity is the spec
+    // plus the content CRC.
+    EXPECT_EQ(wa.value()->name, "FFT");
+    EXPECT_EQ(wa.value()->key().rfind(spec_a + "#crc32=", 0), 0u)
+        << wa.value()->key();
+
+    // An edited trace (one more op) at another path: same display name,
+    // different key — a RunKey/RawRunKey built from it cannot collide
+    // with the original's cached runs.
+    sim::Program q = p;
+    q.threads[0] = sim::ThreadProgram{};
+    q.threads[0].intOps(8);
+    q.threads[0].finish();
+    TempFile b("key_b");
+    b.write(formatTrace("FFT", 0.05, {{1, q}}));
+    const auto wb = workloads::resolve("trace:" + b.path());
+    ASSERT_TRUE(wb.ok()) << wb.error().describe();
+    EXPECT_EQ(wb.value()->name, wa.value()->name);
+    EXPECT_NE(wb.value()->key(), wa.value()->key());
+    const std::string crc_a =
+        wa.value()->key().substr(wa.value()->key().rfind('=') + 1);
+    const std::string crc_b =
+        wb.value()->key().substr(wb.value()->key().rfind('=') + 1);
+    EXPECT_NE(crc_a, crc_b);
+}
+
+TEST(TraceIdentity, CorruptFileSurfacesTypedErrorThroughResolve)
+{
+    TempFile f("corrupt");
+    sim::Program p;
+    p.threads.resize(1);
+    p.threads[0].intOps(3);
+    p.threads[0].finish();
+    std::string text = formatTrace("FFT", 0.05, {{1, p}});
+    text.resize(text.size() - 5); // truncate: the seal must catch it
+    f.write(text);
+    const auto r = workloads::resolve("trace:" + f.path());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, util::ErrorCode::CorruptData);
+    // Sticky: the second resolve re-returns the same typed error
+    // without re-reading the file.
+    const auto again = workloads::resolve("trace:" + f.path());
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.error().code, util::ErrorCode::CorruptData);
+}
+
+TEST(TraceIdentity, MissingFileIsTypedNotFatal)
+{
+    const auto r = workloads::resolve(
+        "trace:" + std::string(::testing::TempDir()) +
+        "tlppm_trace_nonexistent_" + std::to_string(::getpid()) + ".trc");
+    ASSERT_FALSE(r.ok());
+}
+
+} // namespace
